@@ -1,0 +1,224 @@
+//! Criterion benchmarks, one group per paper figure/table.
+//!
+//! These measure the *real wall-clock* cost of regenerating each experiment
+//! (the simulation machinery does real work: serialization, pointer fixup,
+//! CoW copies), while the figures themselves report deterministic virtual
+//! time. Run `cargo run -p bench --bin repro -- all` for the tables.
+
+use catalyzer::{BootMode, Catalyzer, CatalyzerConfig, CatalyzerEngine};
+use criterion::{criterion_group, criterion_main, Criterion};
+use runtimes::AppProfile;
+use sandbox::BootEngine;
+use simtime::{CostModel, SimClock};
+use std::hint::black_box;
+
+fn model() -> CostModel {
+    CostModel::experimental_machine()
+}
+
+/// Fig. 1 / Fig. 13a: an end-to-end fork-boot invocation of a DeathStar
+/// microservice.
+fn fig01_fig13_e2e(c: &mut Criterion) {
+    let model = model();
+    let profile = workloads::deathstar::Service::Text.profile();
+    let mut engine = CatalyzerEngine::standalone(BootMode::Fork);
+    // Warm the template outside the measurement.
+    engine.boot(&profile, &SimClock::new(), &model).unwrap();
+    c.bench_function("fig01_13/e2e_fork_boot_deathstar_text", |b| {
+        b.iter(|| {
+            let clock = SimClock::new();
+            let mut outcome = engine.boot(&profile, &clock, &model).unwrap();
+            outcome.program.invoke_handler(&clock, &model).unwrap();
+            black_box(clock.now())
+        })
+    });
+}
+
+/// Fig. 2 / Fig. 6: gVisor and gVisor-restore boots.
+fn fig02_06_gvisor_paths(c: &mut Criterion) {
+    let model = model();
+    let mut group = c.benchmark_group("fig02_06");
+    group.sample_size(10);
+    let profile = AppProfile::python_hello();
+    group.bench_function("gvisor_boot_python_hello", |b| {
+        let mut engine = sandbox::GvisorEngine::new();
+        b.iter(|| {
+            black_box(engine.boot(&profile, &SimClock::new(), &model).unwrap().boot_latency)
+        })
+    });
+    group.bench_function("gvisor_restore_boot_python_hello", |b| {
+        let mut engine = sandbox::GvisorRestoreEngine::new();
+        engine.boot(&profile, &SimClock::new(), &model).unwrap(); // compile image
+        b.iter(|| {
+            black_box(engine.boot(&profile, &SimClock::new(), &model).unwrap().boot_latency)
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 4: the four baseline sandboxes booting Python-hello.
+fn fig04_baselines(c: &mut Criterion) {
+    let model = model();
+    let profile = AppProfile::python_hello();
+    let mut group = c.benchmark_group("fig04");
+    group.sample_size(10);
+    group.bench_function("docker", |b| {
+        let mut e = sandbox::DockerEngine::new();
+        b.iter(|| black_box(e.boot(&profile, &SimClock::new(), &model).unwrap().boot_latency))
+    });
+    group.bench_function("firecracker", |b| {
+        let mut e = sandbox::FirecrackerEngine::new();
+        b.iter(|| black_box(e.boot(&profile, &SimClock::new(), &model).unwrap().boot_latency))
+    });
+    group.bench_function("hyper", |b| {
+        let mut e = sandbox::HyperContainerEngine::new();
+        b.iter(|| black_box(e.boot(&profile, &SimClock::new(), &model).unwrap().boot_latency))
+    });
+    group.finish();
+}
+
+/// Fig. 7 / Fig. 11: Catalyzer's three boot kinds.
+fn fig07_11_catalyzer_modes(c: &mut Criterion) {
+    let model = model();
+    let profile = AppProfile::c_hello();
+    let mut group = c.benchmark_group("fig07_11");
+    group.sample_size(10);
+    group.bench_function("cold_boot_c_hello", |b| {
+        let mut system = Catalyzer::new();
+        system.prewarm_image(&profile, &model).unwrap();
+        b.iter(|| {
+            let clock = SimClock::new();
+            system.boot(BootMode::Cold, &profile, &clock, &model).unwrap();
+            black_box(clock.now())
+        })
+    });
+    group.bench_function("warm_boot_c_hello", |b| {
+        let mut system = Catalyzer::new();
+        system.boot(BootMode::Cold, &profile, &SimClock::new(), &model).unwrap();
+        b.iter(|| {
+            let clock = SimClock::new();
+            system.boot(BootMode::Warm, &profile, &clock, &model).unwrap();
+            black_box(clock.now())
+        })
+    });
+    group.bench_function("fork_boot_c_hello", |b| {
+        let mut system = Catalyzer::new();
+        system.ensure_template(&profile, &model).unwrap();
+        b.iter(|| {
+            let clock = SimClock::new();
+            system.boot(BootMode::Fork, &profile, &clock, &model).unwrap();
+            black_box(clock.now())
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 12: the ablation ladder on Python Django.
+fn fig12_ablation(c: &mut Criterion) {
+    let model = model();
+    let profile = AppProfile::python_django();
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    for (label, config) in [
+        ("overlay_only", CatalyzerConfig::overlay_only()),
+        ("overlay_separated", CatalyzerConfig::overlay_and_separated()),
+        ("overlay_separated_lazy", CatalyzerConfig::overlay_separated_lazy()),
+    ] {
+        group.bench_function(label, |b| {
+            let mut system = Catalyzer::with_config(config);
+            system.prewarm_image(&profile, &model).unwrap();
+            b.iter(|| {
+                let clock = SimClock::new();
+                system.boot(BootMode::Cold, &profile, &clock, &model).unwrap();
+                black_box(clock.now())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 14: memory accounting across concurrent sandboxes.
+fn fig14_memory(c: &mut Criterion) {
+    let model = model();
+    let profile = workloads::deathstar::Service::ComposePost.profile();
+    c.bench_function("fig14/usage_4_forked_sandboxes", |b| {
+        let mut engine = CatalyzerEngine::standalone(BootMode::Fork);
+        engine.boot(&profile, &SimClock::new(), &model).unwrap();
+        b.iter(|| {
+            black_box(platform::memory::concurrent_usage(&mut engine, &profile, 4, &model).unwrap())
+        })
+    });
+}
+
+/// Fig. 15: one fork boot under background-instance contention.
+fn fig15_scaling(c: &mut Criterion) {
+    let model = model();
+    let profile = workloads::deathstar::Service::Text.profile();
+    c.bench_function("fig15/fork_boot_with_32_running", |b| {
+        let mut engine = CatalyzerEngine::standalone(BootMode::Fork);
+        b.iter(|| {
+            black_box(
+                platform::scaling::sweep(&mut engine, &profile, &[32], &model, 7).unwrap(),
+            )
+        })
+    });
+}
+
+/// Fig. 16: host-level primitives.
+fn fig16_host(c: &mut Criterion) {
+    let model = model();
+    let mut group = c.benchmark_group("fig16");
+    group.bench_function("kvcalloc_series", |b| {
+        b.iter(|| black_box(bench::figures::hostopts::fig16b(&model)))
+    });
+    group.bench_function("set_memory_region_series", |b| {
+        b.iter(|| black_box(bench::figures::hostopts::fig16c(&model)))
+    });
+    group.bench_function("dup_series", |b| {
+        b.iter(|| black_box(bench::figures::hostopts::fig16d(&model)))
+    });
+    group.finish();
+}
+
+/// Table 2: Java language-template cold boot.
+fn table2_language_template(c: &mut Criterion) {
+    let model = model();
+    let profile = AppProfile::java_hello();
+    c.bench_function("table2/java_template_cold_boot", |b| {
+        let mut system = Catalyzer::new();
+        system
+            .ensure_language_template(runtimes::RuntimeKind::Java, &model)
+            .unwrap();
+        b.iter(|| {
+            let clock = SimClock::new();
+            system.language_template_boot(&profile, &clock, &model).unwrap();
+            black_box(clock.now())
+        })
+    });
+}
+
+/// Table 3: warm-boot memory-cost extraction.
+fn table3_costs(c: &mut Criterion) {
+    let model = model();
+    let profile = AppProfile::c_nginx();
+    c.bench_function("table3/warm_memory_costs", |b| {
+        let mut system = Catalyzer::new();
+        system.prewarm_image(&profile, &model).unwrap();
+        b.iter(|| black_box(system.warm_memory_costs(&profile.name, &model).unwrap()))
+    });
+}
+
+criterion_group!(
+    figures,
+    fig01_fig13_e2e,
+    fig02_06_gvisor_paths,
+    fig04_baselines,
+    fig07_11_catalyzer_modes,
+    fig12_ablation,
+    fig14_memory,
+    fig15_scaling,
+    fig16_host,
+    table2_language_template,
+    table3_costs,
+);
+criterion_main!(figures);

@@ -1,0 +1,130 @@
+//! Machine-readable CSV export for the numeric experiments, so plots can be
+//! drawn from `repro csv <experiment>` without scraping tables.
+
+use simtime::SimNanos;
+
+use super::ablation::AblationRow;
+use super::endtoend::E2eRow;
+use super::scale::{MemoryRow, ScaleSeries};
+use super::startup::StartupRow;
+
+fn f(d: SimNanos) -> String {
+    format!("{:.6}", d.as_millis_f64())
+}
+
+/// Fig. 6 / Fig. 11 startup rows.
+pub fn startup_rows(rows: &[StartupRow]) -> String {
+    let mut out = String::from("system,app,startup_ms,sandbox_ms,app_ms\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            r.system,
+            r.app,
+            f(r.startup),
+            f(r.sandbox),
+            f(r.app_part)
+        ));
+    }
+    out
+}
+
+/// Fig. 12 ablation rows.
+pub fn ablation_rows(rows: &[AblationRow]) -> String {
+    let mut out = String::from("configuration,app,kernel_ms,memory_ms,io_ms,total_ms\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            r.config,
+            r.app,
+            f(r.kernel),
+            f(r.memory),
+            f(r.io),
+            f(r.total)
+        ));
+    }
+    out
+}
+
+/// Fig. 13 end-to-end rows.
+pub fn e2e_rows(rows: &[E2eRow]) -> String {
+    let mut out = String::from("system,function,boot_ms,exec_ms,total_ms\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            r.system,
+            r.function,
+            f(r.boot),
+            f(r.exec),
+            f(r.total())
+        ));
+    }
+    out
+}
+
+/// Fig. 14 memory rows.
+pub fn memory_rows(rows: &[MemoryRow]) -> String {
+    let mut out = String::from("system,concurrency,rss_mib,pss_mib\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.4},{:.4}\n",
+            r.system,
+            r.n,
+            r.usage.rss_mib(),
+            r.usage.pss_mib()
+        ));
+    }
+    out
+}
+
+/// Fig. 15 scalability series.
+pub fn scale_series(series: &[ScaleSeries]) -> String {
+    let mut out = String::from("system,running_instances,startup_ms\n");
+    for s in series {
+        for p in &s.points {
+            out.push_str(&format!("{},{},{}\n", s.system, p.running, f(p.startup)));
+        }
+    }
+    out
+}
+
+/// Fig. 16 b–d numbered series (`(index, series_a, series_b)`).
+pub fn indexed_pair(
+    header: &str,
+    rows: &[(u32, SimNanos, SimNanos)],
+) -> String {
+    let mut out = format!("{header}\n");
+    for (i, a, b) in rows {
+        out.push_str(&format!("{},{},{}\n", i, f(*a), f(*b)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_shapes_are_parseable() {
+        let rows = vec![StartupRow {
+            system: "gVisor",
+            app: "C-hello".into(),
+            startup: SimNanos::from_millis_f64(1.5),
+            sandbox: SimNanos::from_millis(1),
+            app_part: SimNanos::from_micros(500),
+        }];
+        let csv = startup_rows(&rows);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap().split(',').count(), 5);
+        let data: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert_eq!(data[0], "gVisor");
+        assert_eq!(data[2], "1.500000");
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn indexed_pair_format() {
+        let rows = vec![(1, SimNanos::from_micros(85), SimNanos::from_micros(38))];
+        let csv = indexed_pair("invocation,baseline_ms,cached_ms", &rows);
+        assert!(csv.starts_with("invocation,baseline_ms,cached_ms\n1,0.085"));
+    }
+}

@@ -1,0 +1,178 @@
+//! §5 "Generality": on-demand restore applied to FireCracker, and a
+//! cost-model sensitivity study showing the paper's conclusions are robust
+//! to the calibration constants.
+
+use catalyzer::{BootMode, Catalyzer, FirecrackerSnapshotEngine};
+use runtimes::AppProfile;
+use sandbox::{BootEngine, FirecrackerEngine, GvisorEngine, SandboxError};
+use simtime::{CostModel, SimClock, SimNanos};
+
+use super::rule;
+use crate::ms;
+
+/// One generality row.
+#[derive(Debug, Clone)]
+pub struct GeneralityRow {
+    /// System.
+    pub system: &'static str,
+    /// Application.
+    pub app: String,
+    /// Startup latency.
+    pub startup: SimNanos,
+}
+
+/// §5: stock FireCracker vs FireCracker with Catalyzer-style snapshot
+/// restore, next to the gVisor-based implementation.
+///
+/// # Errors
+///
+/// Engine errors.
+pub fn generality(model: &CostModel) -> Result<Vec<GeneralityRow>, SandboxError> {
+    let apps = [AppProfile::python_hello(), AppProfile::node_hello()];
+    let mut rows = Vec::new();
+    for app in &apps {
+        let mut stock = FirecrackerEngine::new();
+        let clock = SimClock::new();
+        stock.boot(app, &clock, model)?;
+        rows.push(GeneralityRow {
+            system: "FireCracker (stock)",
+            app: app.name.clone(),
+            startup: clock.now(),
+        });
+
+        let mut snap = FirecrackerSnapshotEngine::new();
+        snap.boot(app, &SimClock::new(), model)?; // cold: builds the base
+        let clock = SimClock::new();
+        snap.boot(app, &clock, model)?;
+        rows.push(GeneralityRow {
+            system: "FireCracker-snapshot",
+            app: app.name.clone(),
+            startup: clock.now(),
+        });
+
+        let mut cat = Catalyzer::new();
+        cat.boot(BootMode::Cold, app, &SimClock::new(), model)?;
+        let clock = SimClock::new();
+        cat.boot(BootMode::Warm, app, &clock, model)?;
+        rows.push(GeneralityRow {
+            system: "Catalyzer/gVisor (warm)",
+            app: app.name.clone(),
+            startup: clock.now(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Prints the generality comparison.
+pub fn render_generality(rows: &[GeneralityRow]) {
+    println!("\n§5 generality — on-demand restore ported to FireCracker (ms)");
+    rule(64);
+    println!("{:<24} {:<16} {:>10}", "system", "app", "startup");
+    for r in rows {
+        println!("{:<24} {:<16} {:>10}", r.system, r.app, ms(r.startup));
+    }
+}
+
+/// One sensitivity scenario: a perturbed cost model and the headline factor
+/// (gVisor startup ÷ Catalyzer-fork startup) measured under it.
+#[derive(Debug, Clone)]
+pub struct SensitivityRow {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// gVisor startup under the perturbed model.
+    pub gvisor: SimNanos,
+    /// Catalyzer fork-boot startup under the perturbed model.
+    pub fork: SimNanos,
+    /// Catalyzer warm-boot startup under the perturbed model.
+    pub warm: SimNanos,
+}
+
+impl SensitivityRow {
+    /// Headline factor: gVisor over fork boot.
+    pub fn speedup(&self) -> f64 {
+        self.gvisor.as_nanos() as f64 / self.fork.as_nanos().max(1) as f64
+    }
+}
+
+/// Sensitivity study: perturb the calibration constants that carry the most
+/// modelling risk and re-measure the headline comparison on Python-hello.
+/// The paper's conclusion survives every scenario.
+///
+/// # Errors
+///
+/// Engine errors.
+pub fn sensitivity() -> Result<Vec<SensitivityRow>, SandboxError> {
+    let mut scenarios: Vec<(&'static str, CostModel)> = Vec::new();
+    scenarios.push(("calibrated", CostModel::experimental_machine()));
+
+    let mut slow_disk = CostModel::experimental_machine();
+    slow_disk.mem.disk_read_per_byte_ns *= 4.0;
+    slow_disk.mem.disk_seek = slow_disk.mem.disk_seek.saturating_mul(4);
+    scenarios.push(("disk 4x slower", slow_disk));
+
+    let mut fast_disk = CostModel::experimental_machine();
+    fast_disk.mem.disk_read_per_byte_ns /= 4.0;
+    scenarios.push(("disk 4x faster", fast_disk));
+
+    let mut single_worker = CostModel::experimental_machine();
+    single_worker.parallel_workers = 1;
+    scenarios.push(("1 fixup worker", single_worker));
+
+    let mut no_fixed = CostModel::experimental_machine();
+    no_fixed.obj.classic_restore_fixed = SimNanos::ZERO;
+    scenarios.push(("no classic fixed cost", no_fixed));
+
+    let mut pricey_faults = CostModel::experimental_machine();
+    pricey_faults.mem.page_fault = pricey_faults.mem.page_fault.saturating_mul(4);
+    pricey_faults.kvm.ept_violation = pricey_faults.kvm.ept_violation.saturating_mul(4);
+    scenarios.push(("faults 4x pricier", pricey_faults));
+
+    let profile = AppProfile::python_hello();
+    let mut rows = Vec::new();
+    for (label, model) in scenarios {
+        let gvisor = {
+            let clock = SimClock::new();
+            GvisorEngine::new().boot(&profile, &clock, &model)?;
+            clock.now()
+        };
+        let mut cat = Catalyzer::new();
+        cat.ensure_template(&profile, &model)?;
+        let fork = {
+            let clock = SimClock::new();
+            cat.boot(BootMode::Fork, &profile, &clock, &model)?;
+            clock.now()
+        };
+        let warm = {
+            let clock = SimClock::new();
+            cat.boot(BootMode::Warm, &profile, &clock, &model)?;
+            clock.now()
+        };
+        rows.push(SensitivityRow {
+            scenario: label,
+            gvisor,
+            fork,
+            warm,
+        });
+    }
+    Ok(rows)
+}
+
+/// Prints the sensitivity study.
+pub fn render_sensitivity(rows: &[SensitivityRow]) {
+    println!("\nsensitivity — headline comparison under perturbed cost models (Python-hello)");
+    rule(78);
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>10}",
+        "scenario", "gVisor", "warm", "fork", "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:<24} {:>10} {:>10} {:>10} {:>9.0}x",
+            r.scenario,
+            ms(r.gvisor),
+            ms(r.warm),
+            ms(r.fork),
+            r.speedup()
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure/table regenerators. See `DESIGN.md` §5 for the experiment index.
+
+pub mod ablation;
+pub mod csv;
+pub mod endtoend;
+pub mod generality;
+pub mod hostopts;
+pub mod pipeline;
+pub mod platformsim;
+pub mod scale;
+pub mod startup;
+
+use catalyzer::{BootMode, Catalyzer, CatalyzerEngine};
+use runtimes::AppProfile;
+use sandbox::{BootEngine, BootOutcome, SandboxError};
+use simtime::{CostModel, SimClock, SimNanos};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The systems compared in Fig. 11 (and reused by several experiments).
+pub enum System {
+    /// HyperContainer baseline.
+    Hyper(sandbox::HyperContainerEngine),
+    /// FireCracker baseline.
+    Firecracker(sandbox::FirecrackerEngine),
+    /// gVisor baseline.
+    Gvisor(sandbox::GvisorEngine),
+    /// Docker baseline.
+    Docker(sandbox::DockerEngine),
+    /// gVisor-restore strawman.
+    GvisorRestore(sandbox::GvisorRestoreEngine),
+    /// A Catalyzer boot mode.
+    Catalyzer(CatalyzerEngine),
+}
+
+impl System {
+    /// The full Fig. 11 lineup, sharing one Catalyzer instance across its
+    /// three modes (as one deployment would).
+    pub fn fig11_lineup() -> Vec<System> {
+        let shared = Rc::new(RefCell::new(Catalyzer::new()));
+        vec![
+            System::Hyper(sandbox::HyperContainerEngine::new()),
+            System::Firecracker(sandbox::FirecrackerEngine::new()),
+            System::Gvisor(sandbox::GvisorEngine::new()),
+            System::Docker(sandbox::DockerEngine::new()),
+            System::GvisorRestore(sandbox::GvisorRestoreEngine::new()),
+            System::Catalyzer(CatalyzerEngine::new(Rc::clone(&shared), BootMode::Cold)),
+            System::Catalyzer(CatalyzerEngine::new(Rc::clone(&shared), BootMode::Warm)),
+            System::Catalyzer(CatalyzerEngine::new(shared, BootMode::Fork)),
+        ]
+    }
+
+    /// Engine name.
+    pub fn name(&mut self) -> &'static str {
+        self.as_engine().name()
+    }
+
+    /// View as the common trait object.
+    pub fn as_engine(&mut self) -> &mut dyn BootEngine {
+        match self {
+            System::Hyper(e) => e,
+            System::Firecracker(e) => e,
+            System::Gvisor(e) => e,
+            System::Docker(e) => e,
+            System::GvisorRestore(e) => e,
+            System::Catalyzer(e) => e,
+        }
+    }
+}
+
+/// Boots once and returns `(startup latency, outcome)`.
+///
+/// # Errors
+///
+/// Engine errors.
+pub fn boot_once(
+    engine: &mut dyn BootEngine,
+    profile: &AppProfile,
+    model: &CostModel,
+) -> Result<(SimNanos, BootOutcome), SandboxError> {
+    let clock = SimClock::new();
+    let outcome = engine.boot(profile, &clock, model)?;
+    Ok((clock.now(), outcome))
+}
+
+/// Prints a rule line for tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}

@@ -1,0 +1,82 @@
+//! Pipeline and taxonomy experiments: Fig. 2, Fig. 3, Fig. 10, Table 1.
+
+use catalyzer::{techniques, BootMode};
+use guest_kernel::syscalls::{SyscallClass, SyscallName};
+use runtimes::AppProfile;
+use sandbox::{taxonomy, SandboxError};
+use simtime::{Breakdown, CostModel};
+
+use super::{boot_once, rule};
+use crate::ms;
+
+/// Fig. 2: the boot and restore pipelines of gVisor for Java SPECjbb, phase
+/// by phase.
+///
+/// # Errors
+///
+/// Engine errors.
+pub fn fig02(model: &CostModel) -> Result<(Breakdown, Breakdown), SandboxError> {
+    let profile = AppProfile::java_specjbb();
+    let (_, boot) = boot_once(&mut sandbox::GvisorEngine::new(), &profile, model)?;
+    let (_, restore) = boot_once(&mut sandbox::GvisorRestoreEngine::new(), &profile, model)?;
+    Ok((boot.breakdown, restore.breakdown))
+}
+
+/// Prints Fig. 2.
+pub fn render_fig02(boot: &Breakdown, restore: &Breakdown) {
+    println!("\nFigure 2 — gVisor boot pipeline for Java SPECjbb");
+    rule(64);
+    println!("Boot path (paper: parse 1.369 / spawn 0.319 / init 0.757 / task image 19.889 / JVM 1850 ms):");
+    for (phase, cost) in boot.iter() {
+        println!("  {:<32} {:>10} ms", phase, ms(cost));
+    }
+    println!("  {:<32} {:>10} ms", "TOTAL", ms(boot.total()));
+    println!("Restore path (paper: recover kernel 56.7 / load memory 128.8 / reconnect I/O 79.2 ms):");
+    for (phase, cost) in restore.iter() {
+        println!("  {:<32} {:>10} ms", phase, ms(cost));
+    }
+    println!("  {:<32} {:>10} ms", "TOTAL", ms(restore.total()));
+}
+
+/// Prints Fig. 3 (the design space is static data from `sandbox::taxonomy`).
+pub fn render_fig03() {
+    println!("\nFigure 3 — serverless sandbox design space");
+    rule(64);
+    println!("{:<24} {:<10} {:<10} {:<12}", "system", "isolation", "startup", "implemented");
+    for p in taxonomy::design_space() {
+        println!(
+            "{:<24} {:<10} {:<10} {}",
+            p.system,
+            format!("{:?}", p.isolation),
+            format!("{:?}", p.startup),
+            if p.implemented { "yes" } else { "(placed only)" }
+        );
+    }
+}
+
+/// Prints Fig. 10 (techniques per boot kind).
+pub fn render_fig10() {
+    println!("\nFigure 10 — techniques/optimizations per boot kind");
+    rule(64);
+    for mode in [BootMode::Cold, BootMode::Warm, BootMode::Fork] {
+        let (offline, online) = techniques::techniques_for(mode);
+        println!("{}:", mode.label());
+        println!("  offline: {:?}", offline);
+        println!("  online:  {:?}", online);
+    }
+}
+
+/// Prints Table 1 (syscall classification for sfork).
+pub fn render_table1() {
+    println!("\nTable 1 — syscall classification used in Catalyzer for sfork");
+    rule(72);
+    println!("{:<20} {:<12} {:<14}", "syscall", "category", "classification");
+    for s in SyscallName::ALL {
+        let class = match s.classify() {
+            SyscallClass::Allowed => "allowed".to_string(),
+            SyscallClass::Handled(h) => format!("handled ({h:?})"),
+            SyscallClass::Denied => "DENIED".to_string(),
+        };
+        println!("{:<20} {:<12} {}", s.as_str(), format!("{:?}", s.category()), class);
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment harness for the Catalyzer reproduction.
+//!
+//! One module per table/figure of the paper's evaluation (§2 and §6); each
+//! exposes a typed `compute(..)` returning the figure's rows/series and a
+//! `render(..)` that prints them the way the paper reports them. The `repro`
+//! binary drives them from the command line:
+//!
+//! ```text
+//! cargo run -p bench --bin repro -- all
+//! cargo run -p bench --bin repro -- fig11
+//! ```
+//!
+//! Criterion benches (`benches/figures.rs`, `benches/mechanisms.rs`) measure
+//! the real wall-clock cost of the underlying mechanisms.
+
+#![forbid(unsafe_code)]
+
+pub mod figures;
+
+/// Formats a `SimNanos` latency as the paper prints them (ms with 2–3
+/// significant decimals).
+pub fn ms(d: simtime::SimNanos) -> String {
+    let v = d.as_millis_f64();
+    if v < 0.01 {
+        format!("{:.4}", v)
+    } else if v < 10.0 {
+        format!("{:.2}", v)
+    } else {
+        format!("{:.1}", v)
+    }
+}

@@ -1,0 +1,78 @@
+//! Smoke tests over the figure regenerators: the cheap experiments compute
+//! rows whose shape matches the paper's claims, so `repro` output can be
+//! trusted without eyeballing.
+
+use bench::figures::{generality, hostopts, scale, startup};
+use simtime::{CostModel, SimNanos};
+
+fn model() -> CostModel {
+    CostModel::experimental_machine()
+}
+
+#[test]
+fn fig07_taxonomy_orders_cold_warm_fork() {
+    let rows = startup::fig07(&model()).unwrap();
+    assert_eq!(rows[0].0, "cold boot");
+    assert!(rows[0].1 > rows[1].1, "cold !> warm");
+    assert!(rows[1].1 > rows[2].1, "warm !> fork");
+    assert!(rows[2].1 < SimNanos::from_millis(1), "fork boot {}", rows[2].1);
+}
+
+#[test]
+fn fig16b_series_matches_paper_shape() {
+    let rows = hostopts::fig16b(&model());
+    assert_eq!(rows.len(), 6);
+    // Baseline grows monotonically; total ≈ 1.6 ms; cache flat <50 µs.
+    let total: SimNanos = rows.iter().map(|(_, b, _)| *b).sum();
+    assert!((1.0..2.2).contains(&total.as_millis_f64()), "{total}");
+    assert!(rows.windows(2).all(|w| w[1].1 > w[0].1));
+    assert!(rows.iter().all(|(_, _, c)| *c < SimNanos::from_micros(50)));
+}
+
+#[test]
+fn fig16c_pml_ratio_near_10x() {
+    let rows = hostopts::fig16c(&model());
+    let (_, pml, nopml) = rows.last().unwrap();
+    let ratio = pml.as_nanos() as f64 / nopml.as_nanos() as f64;
+    assert!((8.0..13.0).contains(&ratio), "ratio {ratio}");
+    assert!(*pml > SimNanos::from_millis(5));
+}
+
+#[test]
+fn fig16d_has_exactly_the_expected_bursts() {
+    let rows = hostopts::fig16d(&model());
+    let eager_bursts = rows.iter().filter(|(_, e, _)| *e > SimNanos::from_millis(1)).count();
+    let lazy_bursts = rows.iter().filter(|(_, _, l)| *l > SimNanos::from_millis(1)).count();
+    // Table starts at 64 fds; 40 warm-up + 40 measured dups cross one
+    // doubling point (64) within the measured window.
+    assert_eq!(eager_bursts, 1, "{rows:?}");
+    assert_eq!(lazy_bursts, 0);
+}
+
+#[test]
+fn sensitivity_conclusions_are_robust() {
+    let rows = generality::sensitivity().unwrap();
+    assert!(rows.len() >= 5);
+    for r in &rows {
+        assert!(r.speedup() > 50.0, "{}: speedup {}", r.scenario, r.speedup());
+        assert!(r.fork < r.warm, "{}: fork !< warm", r.scenario);
+        assert!(r.warm < r.gvisor, "{}: warm !< gvisor", r.scenario);
+    }
+}
+
+#[test]
+fn generality_firecracker_snapshot_wins_big() {
+    let rows = generality::generality(&model()).unwrap();
+    let stock = rows.iter().find(|r| r.system.contains("stock")).unwrap();
+    let snap = rows
+        .iter()
+        .find(|r| r.system.contains("snapshot"))
+        .unwrap();
+    assert!(stock.startup.as_nanos() > snap.startup.as_nanos() * 10);
+}
+
+#[test]
+fn tail_latency_fork_beats_cache_p99_by_100x() {
+    let (cached, forked) = scale::tail_latency(&model()).unwrap();
+    assert!(cached.startup.p99.as_nanos() > forked.startup.p99.as_nanos() * 100);
+}

@@ -1,0 +1,403 @@
+//! The Catalyzer facade: one object owning the func-image store, the Zygote
+//! pool, and the template sandboxes, dispatching the three boot kinds of
+//! Fig. 7.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use runtimes::{AppProfile, RuntimeKind};
+use sandbox::{BootEngine, BootOutcome, IsolationLevel, SandboxError};
+use simtime::{CostModel, SimClock, SimNanos};
+
+use crate::restore::restore_boot;
+use crate::sfork::{LanguageTemplate, Template};
+use crate::store::FuncImageStore;
+use crate::zygote::ZygotePool;
+use crate::CatalyzerConfig;
+
+/// The three boot kinds (paper Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BootMode {
+    /// Restore from the func-image (map-file); builds the sandbox fresh.
+    Cold,
+    /// Restore sharing running instances' Base-EPT and a Zygote sandbox.
+    Warm,
+    /// `sfork` from a running template sandbox.
+    Fork,
+}
+
+impl BootMode {
+    /// Label as printed in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            BootMode::Cold => "Catalyzer-restore",
+            BootMode::Warm => "Catalyzer-Zygote",
+            BootMode::Fork => "Catalyzer-sfork",
+        }
+    }
+}
+
+/// The Catalyzer system: init-less booting with on-demand restore and sfork.
+#[derive(Debug)]
+pub struct Catalyzer {
+    config: CatalyzerConfig,
+    store: FuncImageStore,
+    zygotes: ZygotePool,
+    templates: HashMap<String, Template>,
+    lang_templates: HashMap<RuntimeKind, LanguageTemplate>,
+}
+
+impl Catalyzer {
+    /// The full system.
+    pub fn new() -> Catalyzer {
+        Catalyzer::with_config(CatalyzerConfig::full())
+    }
+
+    /// A system with selected techniques (ablations, Fig. 12).
+    pub fn with_config(config: CatalyzerConfig) -> Catalyzer {
+        Catalyzer {
+            config,
+            store: FuncImageStore::new(),
+            zygotes: ZygotePool::new(config.tweaks),
+            templates: HashMap::new(),
+            lang_templates: HashMap::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CatalyzerConfig {
+        &self.config
+    }
+
+    /// The func-image store (Table 3 sizes etc.).
+    pub fn store(&self) -> &FuncImageStore {
+        &self.store
+    }
+
+    /// Compiles the func-image for `profile` offline, if needed.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors from the offline run.
+    pub fn prewarm_image(&mut self, profile: &AppProfile, model: &CostModel) -> Result<(), SandboxError> {
+        self.store.ensure_compiled(profile, model)?;
+        Ok(())
+    }
+
+    /// Generates (offline) the template sandbox that fork boot requires.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors from template generation.
+    pub fn ensure_template(&mut self, profile: &AppProfile, model: &CostModel) -> Result<(), SandboxError> {
+        if !self.templates.contains_key(&profile.name) {
+            self.templates
+                .insert(profile.name.clone(), Template::generate(profile, model)?);
+        }
+        Ok(())
+    }
+
+    /// Generates (offline) the per-language runtime template (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors from template generation.
+    pub fn ensure_language_template(
+        &mut self,
+        runtime: RuntimeKind,
+        model: &CostModel,
+    ) -> Result<(), SandboxError> {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.lang_templates.entry(runtime) {
+            e.insert(LanguageTemplate::generate(runtime, model)?);
+        }
+        Ok(())
+    }
+
+    /// Boots one instance with the requested mode.
+    ///
+    /// Warm boot keeps the Zygote pool topped up offline (a background
+    /// daemon in the real system); fork boot requires
+    /// [`Catalyzer::ensure_template`] to have run.
+    ///
+    /// # Errors
+    ///
+    /// [`SandboxError::Config`] for fork boot without a template; substrate
+    /// errors otherwise.
+    pub fn boot(
+        &mut self,
+        mode: BootMode,
+        profile: &AppProfile,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<BootOutcome, SandboxError> {
+        match mode {
+            BootMode::Cold => restore_boot(
+                mode, &self.config, &mut self.store, &mut self.zygotes, profile, clock, model,
+            ),
+            BootMode::Warm => {
+                if self.config.zygotes {
+                    self.zygotes.refill(1, model)?; // maintained offline
+                }
+                restore_boot(
+                    mode, &self.config, &mut self.store, &mut self.zygotes, profile, clock, model,
+                )
+            }
+            BootMode::Fork => {
+                let template = self.templates.get_mut(&profile.name).ok_or_else(|| {
+                    SandboxError::Config {
+                        detail: format!("no template sandbox for '{}'", profile.name),
+                    }
+                })?;
+                template.fork_boot(&self.config, clock, model)
+            }
+        }
+    }
+
+    /// Cold boot through the per-language runtime template (Table 2).
+    ///
+    /// # Errors
+    ///
+    /// [`SandboxError::Config`] if the language template is missing.
+    pub fn language_template_boot(
+        &mut self,
+        profile: &AppProfile,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<BootOutcome, SandboxError> {
+        let config = self.config;
+        let lt = self
+            .lang_templates
+            .get_mut(&profile.runtime)
+            .ok_or_else(|| SandboxError::Config {
+                detail: format!("no language template for {}", profile.runtime),
+            })?;
+        lt.boot_function(profile, &config, clock, model)
+    }
+
+    /// Table 3: per-function warm-boot memory costs, `(metadata bytes,
+    /// I/O-cache bytes)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SandboxError::Config`] if the func-image is not compiled yet.
+    pub fn warm_memory_costs(
+        &self,
+        function: &str,
+        model: &CostModel,
+    ) -> Result<(u64, u64), SandboxError> {
+        let stored = self.store.get(function).ok_or_else(|| SandboxError::Config {
+            detail: format!("func-image for '{function}' not compiled"),
+        })?;
+        let manifest = stored
+            .flat
+            .read_io_manifest(&SimClock::new(), model)?;
+        let io_cache: u64 = manifest
+            .iter()
+            .filter(|c| c.used_immediately)
+            .map(|c| c.wire_size() as u64)
+            .sum();
+        Ok((stored.flat.metadata_bytes(), io_cache))
+    }
+
+    /// Total offline virtual time spent (image compilation + zygote refills;
+    /// template generation is tracked per template).
+    pub fn offline_time(&self) -> SimNanos {
+        self.store.offline_time() + self.zygotes.offline_time()
+    }
+}
+
+impl Default for Catalyzer {
+    fn default() -> Self {
+        Catalyzer::new()
+    }
+}
+
+/// A [`BootEngine`] adapter pinning one [`BootMode`], so Catalyzer variants
+/// slot into the same harnesses as the baseline engines.
+pub struct CatalyzerEngine {
+    inner: Rc<RefCell<Catalyzer>>,
+    mode: BootMode,
+}
+
+impl CatalyzerEngine {
+    /// Wraps a shared Catalyzer with a fixed boot mode.
+    pub fn new(inner: Rc<RefCell<Catalyzer>>, mode: BootMode) -> CatalyzerEngine {
+        CatalyzerEngine { inner, mode }
+    }
+
+    /// Convenience: a standalone engine with its own Catalyzer instance.
+    pub fn standalone(mode: BootMode) -> CatalyzerEngine {
+        CatalyzerEngine::new(Rc::new(RefCell::new(Catalyzer::new())), mode)
+    }
+
+    /// The shared system.
+    pub fn system(&self) -> Rc<RefCell<Catalyzer>> {
+        Rc::clone(&self.inner)
+    }
+}
+
+impl fmt::Debug for CatalyzerEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CatalyzerEngine").field("mode", &self.mode).finish()
+    }
+}
+
+impl BootEngine for CatalyzerEngine {
+    fn name(&self) -> &'static str {
+        self.mode.label()
+    }
+
+    fn isolation(&self) -> IsolationLevel {
+        IsolationLevel::High
+    }
+
+    fn boot(
+        &mut self,
+        profile: &AppProfile,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<BootOutcome, SandboxError> {
+        let mut system = self.inner.borrow_mut();
+        if self.mode == BootMode::Fork {
+            system.ensure_template(profile, model)?;
+        }
+        if self.mode == BootMode::Warm && !system.store.contains(&profile.name) {
+            // Warm boot presumes running instances: simulate the pre-existing
+            // cold boot off the critical path.
+            system.prewarm_image(profile, model)?;
+            let warmup = SimClock::new();
+            system.boot(BootMode::Cold, profile, &warmup, model)?;
+        }
+        system.boot(self.mode, profile, clock, model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::experimental_machine()
+    }
+
+    #[test]
+    fn warm_beats_cold_beats_gvisor_restore() {
+        let model = model();
+        let profile = AppProfile::python_django();
+        let mut cat = Catalyzer::new();
+
+        let cold_clock = SimClock::new();
+        cat.boot(BootMode::Cold, &profile, &cold_clock, &model).unwrap();
+        let warm_clock = SimClock::new();
+        cat.boot(BootMode::Warm, &profile, &warm_clock, &model).unwrap();
+
+        assert!(warm_clock.now() < cold_clock.now());
+        // Paper: restore ≈ zygote + ~30 ms.
+        let gap = (cold_clock.now() - warm_clock.now()).as_millis_f64();
+        assert!((15.0..45.0).contains(&gap), "cold-warm gap {gap} ms");
+    }
+
+    #[test]
+    fn zygote_warm_boot_latencies_match_paper() {
+        // Paper §6.2: warm (Zygote) boot ≈ C 5 / Java 14 / Python 9 /
+        // Ruby 12 / Node 9 ms. Allow ±45 % bands.
+        let model = model();
+        let cases = [
+            (AppProfile::c_hello(), 5.0),
+            (AppProfile::java_hello(), 14.0),
+            (AppProfile::python_hello(), 9.0),
+            (AppProfile::ruby_hello(), 12.0),
+            (AppProfile::node_hello(), 9.0),
+        ];
+        for (profile, expect_ms) in cases {
+            let mut engine = CatalyzerEngine::standalone(BootMode::Warm);
+            let clock = SimClock::new();
+            engine.boot(&profile, &clock, &model).unwrap();
+            let ms = clock.now().as_millis_f64();
+            assert!(
+                (expect_ms * 0.4..expect_ms * 1.6).contains(&ms),
+                "{}: warm boot {ms} ms (paper {expect_ms})",
+                profile.name
+            );
+        }
+    }
+
+    #[test]
+    fn fork_requires_template() {
+        let model = model();
+        let mut cat = Catalyzer::new();
+        let err = cat
+            .boot(BootMode::Fork, &AppProfile::c_hello(), &SimClock::new(), &model)
+            .unwrap_err();
+        assert!(matches!(err, SandboxError::Config { .. }));
+        cat.ensure_template(&AppProfile::c_hello(), &model).unwrap();
+        cat.boot(BootMode::Fork, &AppProfile::c_hello(), &SimClock::new(), &model)
+            .unwrap();
+    }
+
+    #[test]
+    fn restored_instance_serves_correct_state() {
+        let model = model();
+        let clock = SimClock::new();
+        let mut cat = Catalyzer::new();
+        let mut boot = cat
+            .boot(BootMode::Cold, &AppProfile::c_nginx(), &clock, &model)
+            .unwrap();
+        // The handler's internal debug_assert verifies the restored heap
+        // pattern byte-for-byte.
+        let exec = boot.program.invoke_handler(&clock, &model).unwrap();
+        assert!(exec.pages_touched > 0);
+        assert!(exec.syscalls > 0);
+    }
+
+    #[test]
+    fn warm_boots_share_base_ept() {
+        let model = model();
+        let profile = AppProfile::python_hello();
+        let mut cat = Catalyzer::new();
+        cat.boot(BootMode::Cold, &profile, &SimClock::new(), &model).unwrap();
+
+        let mut a = cat.boot(BootMode::Warm, &profile, &SimClock::new(), &model).unwrap();
+        let mut b = cat.boot(BootMode::Warm, &profile, &SimClock::new(), &model).unwrap();
+        let clock = SimClock::new();
+        a.program.invoke_handler(&clock, &model).unwrap();
+        b.program.invoke_handler(&clock, &model).unwrap();
+        let usage = memsim::accounting::usage(&[&a.program.space, &b.program.space]);
+        // Shared base pages make PSS strictly smaller than RSS.
+        assert!(usage[0].pss_bytes < usage[0].rss_bytes);
+    }
+
+    #[test]
+    fn table3_costs_are_kb_scale() {
+        let model = model();
+        let mut cat = Catalyzer::new();
+        let profile = AppProfile::c_nginx();
+        cat.prewarm_image(&profile, &model).unwrap();
+        let (meta, io) = cat.warm_memory_costs(&profile.name, &model).unwrap();
+        assert!(meta > 10 << 10, "metadata {meta} B");
+        assert!(meta < 4 << 20, "metadata {meta} B");
+        assert!(io > 0 && io < 8 << 10, "io cache {io} B");
+        assert!(cat.warm_memory_costs("nope", &model).is_err());
+    }
+
+    #[test]
+    fn ablation_ladder_improves_monotonically() {
+        let model = model();
+        let profile = AppProfile::java_specjbb();
+        let mut latencies = Vec::new();
+        for config in [
+            CatalyzerConfig::overlay_only(),
+            CatalyzerConfig::overlay_and_separated(),
+            CatalyzerConfig::overlay_separated_lazy(),
+        ] {
+            let mut cat = Catalyzer::with_config(config);
+            let clock = SimClock::new();
+            cat.boot(BootMode::Cold, &profile, &clock, &model).unwrap();
+            latencies.push(clock.now());
+        }
+        assert!(latencies[0] > latencies[1], "{latencies:?}");
+        assert!(latencies[1] > latencies[2], "{latencies:?}");
+    }
+}

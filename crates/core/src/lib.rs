@@ -1,0 +1,60 @@
+//! **Catalyzer**: init-less booting for serverless sandboxes.
+//!
+//! This crate is the paper's primary contribution, built on the substrate
+//! crates (`memsim`, `imagefmt`, `guest-kernel`, `runtimes`, `sandbox`). It
+//! implements the three boot kinds of Figure 7:
+//!
+//! - **Cold boot** — restore from a *func-image* with **on-demand restore**
+//!   (§3): overlay memory (Base/Private EPT over the mmap-ed image),
+//!   separated state recovery (arena + relation table, parallel pointer
+//!   re-establishment), on-demand I/O reconnection with the I/O cache, and
+//!   virtualization sandbox **Zygotes**.
+//! - **Warm boot** — the same, sharing the already-mapped Base-EPT and hot
+//!   page cache of running instances of the function (share-mapping).
+//! - **Fork boot** — [`sfork`](Template::sfork): duplicate a running
+//!   *template sandbox* directly (§4), with the transient single-thread
+//!   protocol, stateless overlay rootFS, the shared-mapping CoW flag, and
+//!   PID/USER namespace consistency. [`LanguageTemplate`] provides the §4.3
+//!   per-language template for fast *cold* boot (Table 2).
+//!
+//! Every technique can be toggled through [`CatalyzerConfig`] to reproduce
+//! the paper's ablation (Fig. 12) and optimization (Fig. 16) experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use catalyzer::{BootMode, Catalyzer};
+//! use runtimes::AppProfile;
+//! use sandbox::BootEngine;
+//! use simtime::{CostModel, SimClock};
+//!
+//! let model = CostModel::experimental_machine();
+//! let mut catalyzer = Catalyzer::new();
+//! let profile = AppProfile::c_hello();
+//!
+//! // Fork boot from a template sandbox: sub-millisecond startup.
+//! catalyzer.ensure_template(&profile, &model)?;
+//! let clock = SimClock::new();
+//! let boot = catalyzer.boot(BootMode::Fork, &profile, &clock, &model)?;
+//! assert!(boot.boot_latency.as_millis_f64() < 1.0, "{}", boot.boot_latency);
+//! # Ok::<(), sandbox::SandboxError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod config;
+mod engine;
+mod firecracker;
+mod restore;
+mod sfork;
+mod store;
+pub mod techniques;
+mod zygote;
+
+pub use config::CatalyzerConfig;
+pub use engine::{BootMode, Catalyzer, CatalyzerEngine};
+pub use firecracker::FirecrackerSnapshotEngine;
+pub use sfork::{LanguageTemplate, Template};
+pub use store::FuncImageStore;
+pub use zygote::{Zygote, ZygotePool};

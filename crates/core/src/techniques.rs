@@ -1,0 +1,111 @@
+//! The technique × boot-kind matrix of the paper's Figure 10.
+
+use crate::BootMode;
+
+/// Every technique/optimization Catalyzer applies, by pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Offline func-image compilation (§5).
+    FuncImage,
+    /// Offline language-runtime / template sandbox generation (§4.3).
+    TemplateGeneration,
+    /// Zygote preparation (§3.4).
+    PrepareZygote,
+    /// Overlay memory: Base/Private EPT over the mmap-ed image (§3.1).
+    OverlayMemory,
+    /// Separated state recovery (§3.2).
+    SeparatedState,
+    /// On-demand I/O reconnection + I/O cache (§3.3).
+    OnDemandIo,
+    /// The `sfork` primitive (§4).
+    Sfork,
+    /// Importing function binaries into a specialized sandbox (§3.4).
+    ImportFunc,
+    /// Stateless overlay rootFS (§4.2).
+    StatelessOverlayFs,
+    /// CoW inheritance of memory across `sfork` (§4).
+    CowFromSfork,
+    /// Fine-grained func-entry point (§6.7).
+    FineGrainedEntryPoint,
+    /// KVM allocation cache + disabled PML (§6.7).
+    KvmCacheAndNoPml,
+    /// Lazy `dup` in the gofer (§6.7).
+    LazyDup,
+}
+
+/// Which techniques run for a given boot kind (Fig. 10's columns), split by
+/// whether they run offline or on the startup critical path.
+pub fn techniques_for(mode: BootMode) -> (Vec<Technique>, Vec<Technique>) {
+    use Technique::*;
+    match mode {
+        BootMode::Cold => (
+            vec![FuncImage],
+            vec![
+                OverlayMemory,
+                SeparatedState,
+                OnDemandIo,
+                ImportFunc,
+                FineGrainedEntryPoint,
+                KvmCacheAndNoPml,
+                LazyDup,
+            ],
+        ),
+        BootMode::Warm => (
+            vec![FuncImage, PrepareZygote],
+            vec![
+                OverlayMemory,
+                SeparatedState,
+                OnDemandIo,
+                ImportFunc,
+                FineGrainedEntryPoint,
+                KvmCacheAndNoPml,
+                LazyDup,
+            ],
+        ),
+        BootMode::Fork => (
+            vec![TemplateGeneration],
+            vec![
+                Sfork,
+                StatelessOverlayFs,
+                CowFromSfork,
+                FineGrainedEntryPoint,
+                KvmCacheAndNoPml,
+                LazyDup,
+            ],
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_mode_has_offline_and_online_work() {
+        for mode in [BootMode::Cold, BootMode::Warm, BootMode::Fork] {
+            let (offline, online) = techniques_for(mode);
+            assert!(!offline.is_empty());
+            assert!(!online.is_empty());
+        }
+    }
+
+    #[test]
+    fn fork_uses_sfork_and_restores_do_not() {
+        let (_, fork) = techniques_for(BootMode::Fork);
+        assert!(fork.contains(&Technique::Sfork));
+        assert!(fork.contains(&Technique::StatelessOverlayFs));
+        for mode in [BootMode::Cold, BootMode::Warm] {
+            let (_, online) = techniques_for(mode);
+            assert!(!online.contains(&Technique::Sfork));
+            assert!(online.contains(&Technique::OverlayMemory));
+        }
+    }
+
+    #[test]
+    fn zygotes_are_warm_only_offline_prep() {
+        let (cold_off, _) = techniques_for(BootMode::Cold);
+        let (warm_off, _) = techniques_for(BootMode::Warm);
+        assert!(!cold_off.contains(&Technique::PrepareZygote));
+        assert!(warm_off.contains(&Technique::PrepareZygote));
+    }
+}

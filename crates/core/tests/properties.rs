@@ -1,0 +1,107 @@
+//! Property-based tests for Catalyzer's boot invariants over randomized
+//! application profiles.
+
+use catalyzer::{BootMode, Catalyzer, CatalyzerConfig, Template};
+use proptest::prelude::*;
+use runtimes::{heap_page_byte, AppProfile};
+use simtime::{CostModel, SimClock, SimNanos};
+
+/// A randomized (small) application profile built on the C baseline.
+fn arb_profile() -> impl Strategy<Value = AppProfile> {
+    (
+        8u64..96,     // heap pages
+        200u64..1500, // kernel objects
+        1u32..40,     // load units
+        1u64..8,      // exec ms
+    )
+        .prop_map(|(heap, objects, units, exec_ms)| {
+            let mut p = AppProfile::c_hello();
+            p.name = format!("prop-{heap}-{objects}-{units}");
+            p.init_heap_pages = heap;
+            p.kernel_objects = objects;
+            p.load_units = units;
+            p.exec_time = SimNanos::from_millis(exec_ms);
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any profile: fork < warm < cold, and all three serve the same
+    /// heap contents.
+    #[test]
+    fn boot_mode_ordering_and_fidelity(profile in arb_profile()) {
+        let model = CostModel::experimental_machine();
+        let mut cat = Catalyzer::new();
+        cat.ensure_template(&profile, &model).unwrap();
+
+        let mut latencies = Vec::new();
+        for mode in [BootMode::Cold, BootMode::Warm, BootMode::Fork] {
+            let clock = SimClock::new();
+            let mut outcome = cat.boot(mode, &profile, &clock, &model).unwrap();
+            latencies.push(clock.now());
+
+            let probe = profile.heap_range().start + profile.init_heap_pages / 2;
+            let mut buf = [0u8; 1];
+            outcome.program.space.read(probe, 0, &mut buf, &clock, &model).unwrap();
+            prop_assert_eq!(buf[0], heap_page_byte(probe), "{} heap corrupt", mode.label());
+        }
+        prop_assert!(latencies[2] < latencies[1], "fork !< warm: {latencies:?}");
+        prop_assert!(latencies[1] < latencies[0], "warm !< cold: {latencies:?}");
+    }
+
+    /// The ablation ladder is monotone for any profile: each added technique
+    /// never slows the cold boot down.
+    #[test]
+    fn ablation_monotone(profile in arb_profile()) {
+        let model = CostModel::experimental_machine();
+        let mut last = SimNanos::MAX;
+        for config in [
+            CatalyzerConfig::overlay_only(),
+            CatalyzerConfig::overlay_and_separated(),
+            CatalyzerConfig::overlay_separated_lazy(),
+        ] {
+            let mut cat = Catalyzer::with_config(config);
+            let clock = SimClock::new();
+            cat.boot(BootMode::Cold, &profile, &clock, &model).unwrap();
+            prop_assert!(clock.now() <= last, "ladder regressed at {config:?}");
+            last = clock.now();
+        }
+    }
+
+    /// Any number of sfork children share the template's bytes until they
+    /// write, and each child's boot latency is identical (scalability).
+    #[test]
+    fn sfork_scalability_and_isolation(profile in arb_profile(), children in 2usize..6) {
+        let model = CostModel::experimental_machine();
+        let mut template = Template::generate(&profile, &model).unwrap();
+        let clock = SimClock::new();
+
+        let mut programs = Vec::new();
+        let mut first_latency = None;
+        for _ in 0..children {
+            let boot_clock = SimClock::new();
+            let outcome = template
+                .fork_boot(&CatalyzerConfig::full(), &boot_clock, &model)
+                .unwrap();
+            match first_latency {
+                None => first_latency = Some(boot_clock.now()),
+                Some(expect) => prop_assert_eq!(boot_clock.now(), expect),
+            }
+            programs.push(outcome.program);
+        }
+
+        // Child 0 scribbles over its whole heap; siblings stay pristine.
+        let heap = profile.heap_range();
+        for vpn in heap.iter() {
+            programs[0].space.write(vpn, 0, &[0xEE], &clock, &model).unwrap();
+        }
+        for sibling in programs.iter_mut().skip(1) {
+            let probe = heap.start + heap.len() - 1;
+            let mut buf = [0u8; 1];
+            sibling.space.read(probe, 0, &mut buf, &clock, &model).unwrap();
+            prop_assert_eq!(buf[0], heap_page_byte(probe));
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The syscall surface and the paper's **Table 1** classification.
+//!
+//! For `sfork`, Catalyzer classifies syscalls into three groups (§4):
+//!
+//! - **Allowed** — run as normal syscalls; their effects are safe to reuse
+//!   across fork.
+//! - **Handled** — user-space logic must fix related system state after
+//!   `sfork` (e.g. `clone`'s multi-threaded contexts are re-expanded by the
+//!   transient single-thread mechanism; `openat`'s descriptors survive as
+//!   read-only gofer grants).
+//! - **Denied** — removed from template sandboxes because they would make
+//!   system state non-deterministically inconsistent across fork.
+
+use std::fmt;
+
+/// Table 1's category rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyscallCategory {
+    /// Process control.
+    Proc,
+    /// VFS (FS/Net) descriptor plumbing.
+    Vfs,
+    /// File (storage) data path.
+    File,
+    /// Network endpoints.
+    Network,
+    /// Memory management.
+    Mem,
+    /// Miscellaneous identity/time/sync.
+    Misc,
+}
+
+/// Table 1's handler mechanisms for *handled* syscalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SforkHandler {
+    /// Transient single-thread (multi-threaded context recovery, §4.1).
+    TransientSingleThread,
+    /// PID/USER namespaces keep identity state consistent.
+    Namespace,
+    /// Read-only descriptors remain valid across fork.
+    ReadOnlyFd,
+    /// Stateless overlay rootFS (§4.2).
+    StatelessOverlayFs,
+    /// On-demand reconnection (§3.3).
+    Reconnect,
+    /// Handled directly by the `sfork` implementation (CoW mappings).
+    HandledBySfork,
+}
+
+/// Classification of a syscall under the template-sandbox policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyscallClass {
+    /// Runs as a normal syscall.
+    Allowed,
+    /// Allowed, but user-space logic repairs its state after `sfork`.
+    Handled(SforkHandler),
+    /// Removed from template sandboxes.
+    Denied,
+}
+
+macro_rules! syscall_table {
+    ($( $variant:ident => ($name:literal, $cat:ident, $class:expr) ),+ $(,)?) => {
+        /// Every syscall named in the paper's Table 1, plus representative
+        /// denied syscalls.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)]
+        pub enum SyscallName {
+            $( $variant, )+
+        }
+
+        impl SyscallName {
+            /// All table entries.
+            pub const ALL: &'static [SyscallName] = &[ $( SyscallName::$variant, )+ ];
+
+            /// The Linux syscall name.
+            pub fn as_str(self) -> &'static str {
+                match self { $( SyscallName::$variant => $name, )+ }
+            }
+
+            /// Table 1 category row.
+            pub fn category(self) -> SyscallCategory {
+                match self { $( SyscallName::$variant => SyscallCategory::$cat, )+ }
+            }
+
+            /// Template-sandbox classification.
+            pub fn classify(self) -> SyscallClass {
+                match self { $( SyscallName::$variant => $class, )+ }
+            }
+        }
+    };
+}
+
+use SforkHandler as H;
+use SyscallClass::{Allowed, Denied, Handled};
+
+syscall_table! {
+    // --- Proc: transient single-thread + namespaces ---
+    Capget => ("capget", Proc, Allowed),
+    Clone => ("clone", Proc, Handled(H::TransientSingleThread)),
+    Getpid => ("getpid", Proc, Handled(H::Namespace)),
+    Gettid => ("gettid", Proc, Handled(H::TransientSingleThread)),
+    ArchPrctl => ("arch_prctl", Proc, Allowed),
+    Prctl => ("prctl", Proc, Allowed),
+    RtSigaction => ("rt_sigaction", Proc, Allowed),
+    RtSigprocmask => ("rt_sigprocmask", Proc, Allowed),
+    RtSigreturn => ("rt_sigreturn", Proc, Allowed),
+    Seccomp => ("seccomp", Proc, Allowed),
+    Sigaltstack => ("sigaltstack", Proc, Allowed),
+    SchedGetaffinity => ("sched_getaffinity", Proc, Allowed),
+    // --- VFS (FS/Net): read-only fd handling ---
+    Poll => ("poll", Vfs, Allowed),
+    Ioctl => ("ioctl", Vfs, Allowed),
+    MemfdCreate => ("memfd_create", Vfs, Allowed),
+    Ftruncate => ("ftruncate", Vfs, Allowed),
+    Mount => ("mount", Vfs, Handled(H::ReadOnlyFd)),
+    PivotRoot => ("pivot_root", Vfs, Handled(H::ReadOnlyFd)),
+    Umount => ("umount", Vfs, Handled(H::ReadOnlyFd)),
+    EpollCreate1 => ("epoll_create1", Vfs, Allowed),
+    EpollCtl => ("epoll_ctl", Vfs, Allowed),
+    EpollPwait => ("epoll_pwait", Vfs, Allowed),
+    Eventfd2 => ("eventfd2", Vfs, Allowed),
+    Fcntl => ("fcntl", Vfs, Allowed),
+    Chdir => ("chdir", Vfs, Allowed),
+    Close => ("close", Vfs, Handled(H::ReadOnlyFd)),
+    Dup => ("dup", Vfs, Handled(H::ReadOnlyFd)),
+    Dup2 => ("dup2", Vfs, Handled(H::ReadOnlyFd)),
+    Lseek => ("lseek", Vfs, Allowed),
+    Openat => ("openat", Vfs, Handled(H::ReadOnlyFd)),
+    // --- File (storage): stateless overlayFS ---
+    Newfstat => ("newfstat", File, Allowed),
+    Newfstatat => ("newfstatat", File, Allowed),
+    Mkdirat => ("mkdirat", File, Handled(H::StatelessOverlayFs)),
+    Write => ("write", File, Handled(H::StatelessOverlayFs)),
+    Read => ("read", File, Handled(H::StatelessOverlayFs)),
+    Readlinkat => ("readlinkat", File, Allowed),
+    Pread64 => ("pread64", File, Allowed),
+    // --- Network: reconnect ---
+    Sendmsg => ("sendmsg", Network, Handled(H::Reconnect)),
+    Shutdown => ("shutdown", Network, Handled(H::Reconnect)),
+    Recvmsg => ("recvmsg", Network, Handled(H::Reconnect)),
+    Getsockopt => ("getsockopt", Network, Allowed),
+    Listen => ("listen", Network, Handled(H::Reconnect)),
+    Accept => ("accept", Network, Handled(H::Reconnect)),
+    // --- Mem: handled by sfork ---
+    Mmap => ("mmap", Mem, Handled(H::HandledBySfork)),
+    Munmap => ("munmap", Mem, Handled(H::HandledBySfork)),
+    // --- Misc: namespaces ---
+    Setgid => ("setgid", Misc, Handled(H::Namespace)),
+    Setuid => ("setuid", Misc, Handled(H::Namespace)),
+    Getgid => ("getgid", Misc, Allowed),
+    Getuid => ("getuid", Misc, Allowed),
+    Getegid => ("getegid", Misc, Allowed),
+    Geteuid => ("geteuid", Misc, Allowed),
+    Getrandom => ("getrandom", Misc, Allowed),
+    Nanosleep => ("nanosleep", Misc, Allowed),
+    Futex => ("futex", Misc, Allowed),
+    Getgroups => ("getgroups", Misc, Allowed),
+    ClockGettime => ("clock_gettime", Misc, Allowed),
+    Getrlimit => ("getrlimit", Misc, Allowed),
+    Setsid => ("setsid", Misc, Handled(H::Namespace)),
+    // --- Denied in template sandboxes (non-deterministic state) ---
+    Ptrace => ("ptrace", Proc, Denied),
+    Reboot => ("reboot", Misc, Denied),
+    KexecLoad => ("kexec_load", Misc, Denied),
+    InitModule => ("init_module", Misc, Denied),
+    DeleteModule => ("delete_module", Misc, Denied),
+    Iopl => ("iopl", Misc, Denied),
+}
+
+impl fmt::Display for SyscallName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Convenience: the classification of a syscall by Linux name; `None` for
+/// syscalls outside the table.
+pub fn classify(name: &str) -> Option<SyscallClass> {
+    SyscallName::ALL
+        .iter()
+        .find(|s| s.as_str() == name)
+        .map(|s| s.classify())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_examples() {
+        assert_eq!(
+            SyscallName::Clone.classify(),
+            Handled(H::TransientSingleThread)
+        );
+        assert_eq!(SyscallName::Openat.classify(), Handled(H::ReadOnlyFd));
+        assert_eq!(SyscallName::Write.classify(), Handled(H::StatelessOverlayFs));
+        assert_eq!(SyscallName::Accept.classify(), Handled(H::Reconnect));
+        assert_eq!(SyscallName::Mmap.classify(), Handled(H::HandledBySfork));
+        assert_eq!(SyscallName::Setsid.classify(), Handled(H::Namespace));
+        assert_eq!(SyscallName::ClockGettime.classify(), Allowed);
+        assert_eq!(SyscallName::Ptrace.classify(), Denied);
+    }
+
+    #[test]
+    fn categories_match_table_rows() {
+        assert_eq!(SyscallName::Seccomp.category(), SyscallCategory::Proc);
+        assert_eq!(SyscallName::EpollCtl.category(), SyscallCategory::Vfs);
+        assert_eq!(SyscallName::Pread64.category(), SyscallCategory::File);
+        assert_eq!(SyscallName::Getsockopt.category(), SyscallCategory::Network);
+        assert_eq!(SyscallName::Munmap.category(), SyscallCategory::Mem);
+        assert_eq!(SyscallName::Futex.category(), SyscallCategory::Misc);
+    }
+
+    #[test]
+    fn classify_by_name() {
+        assert_eq!(classify("getpid"), Some(Handled(H::Namespace)));
+        assert_eq!(classify("nanosleep"), Some(Allowed));
+        assert_eq!(classify("reboot"), Some(Denied));
+        assert_eq!(classify("not_a_syscall"), None);
+    }
+
+    #[test]
+    fn table_covers_every_paper_row() {
+        // Spot-check the full Table 1 membership by name.
+        for name in [
+            "capget", "clone", "getpid", "gettid", "arch_prctl", "prctl",
+            "rt_sigaction", "rt_sigprocmask", "rt_sigreturn", "seccomp",
+            "sigaltstack", "sched_getaffinity", "poll", "ioctl", "memfd_create",
+            "ftruncate", "mount", "pivot_root", "umount", "epoll_create1",
+            "epoll_ctl", "epoll_pwait", "eventfd2", "fcntl", "chdir", "close",
+            "dup", "dup2", "lseek", "openat", "newfstat", "newfstatat",
+            "mkdirat", "write", "read", "readlinkat", "pread64", "sendmsg",
+            "shutdown", "recvmsg", "getsockopt", "listen", "accept", "mmap",
+            "munmap", "setgid", "setuid", "getgid", "getuid", "getegid",
+            "geteuid", "getrandom", "nanosleep", "futex", "getgroups",
+            "clock_gettime", "getrlimit", "setsid",
+        ] {
+            assert!(classify(name).is_some(), "missing table entry for {name}");
+            assert_ne!(classify(name), Some(Denied), "{name} must not be denied");
+        }
+    }
+
+    #[test]
+    fn display_prints_linux_name() {
+        assert_eq!(SyscallName::EpollPwait.to_string(), "epoll_pwait");
+    }
+
+    #[test]
+    fn denied_set_is_disjoint_from_table() {
+        let denied: Vec<_> = SyscallName::ALL
+            .iter()
+            .filter(|s| s.classify() == Denied)
+            .collect();
+        assert!(!denied.is_empty());
+        for d in denied {
+            assert!(matches!(d.classify(), Denied));
+        }
+    }
+}

@@ -1,0 +1,635 @@
+//! The guest VFS: mount table, fd table, and the **stateless overlay
+//! rootFS** (paper §4.2).
+//!
+//! Each sandbox sees two file-system layers:
+//!
+//! - an **upper**, in-memory, read-write overlay private to the sandbox
+//!   (cheaply CoW-cloned across `sfork`); over
+//! - the **lower**, read-only rootfs owned by the per-function
+//!   [`FsServer`] (gofer), accessed through granted
+//!   read-only descriptors that remain valid across `sfork`.
+//!
+//! After a restore, descriptors exist but are *disconnected*: the first use
+//! triggers on-demand reconnection (paper §3.3), unless the restore path
+//! eagerly reconnected them (gVisor-restore) or replayed them from the I/O
+//! cache (Catalyzer warm boot).
+//!
+//! [`FsServer`]: crate::gofer::FsServer
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use simtime::{CostModel, SimClock};
+
+use crate::gofer::{FsServer, GoferFd};
+use crate::KernelError;
+
+/// Maximum guest descriptors per sandbox.
+pub const MAX_FDS: usize = 1024;
+
+/// Where a descriptor's bytes live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Backend {
+    /// The in-memory upper overlay layer (read-write).
+    Upper,
+    /// A read-only grant from the FS server.
+    Gofer(GoferFd),
+    /// A writable persistent grant (log files) — write-through to the server.
+    Persistent(GoferFd),
+}
+
+/// One open file description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileDesc {
+    /// Path within the sandbox rootfs.
+    pub path: String,
+    /// Current file offset.
+    pub offset: u64,
+    /// Whether writes are allowed.
+    pub writable: bool,
+    /// Backing layer.
+    pub backend: Backend,
+    /// False right after a restore until the connection is re-established.
+    pub connected: bool,
+    /// True once the descriptor has been used (read/written) — feeds the
+    /// `used_immediately` hint in the checkpoint I/O manifest.
+    pub used: bool,
+}
+
+/// A mount-table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MountInfo {
+    /// Device / source label.
+    pub source: String,
+    /// Mount point.
+    pub target: String,
+    /// Filesystem type label.
+    pub fs_type: String,
+}
+
+/// The per-sandbox VFS.
+#[derive(Debug)]
+pub struct Vfs {
+    server: Arc<FsServer>,
+    upper: BTreeMap<String, Vec<u8>>,
+    fds: Vec<Option<FileDesc>>,
+    mounts: Vec<MountInfo>,
+    /// Count of on-demand reconnections performed (Fig. 12 I/O accounting).
+    reconnects: u64,
+}
+
+impl Vfs {
+    /// Creates a VFS over the function's FS server with the root mount
+    /// installed.
+    pub fn new(server: Arc<FsServer>) -> Vfs {
+        Vfs {
+            server,
+            upper: BTreeMap::new(),
+            fds: Vec::new(),
+            mounts: vec![MountInfo {
+                source: "rootfs".into(),
+                target: "/".into(),
+                fs_type: "overlay".into(),
+            }],
+            reconnects: 0,
+        }
+    }
+
+    /// The backing FS server.
+    pub fn server(&self) -> &Arc<FsServer> {
+        &self.server
+    }
+
+    /// Registered mounts.
+    pub fn mounts(&self) -> &[MountInfo] {
+        &self.mounts
+    }
+
+    /// Replaces the whole mount table (restore path; no cost — the redo cost
+    /// is accounted per-object by the restore engine).
+    pub fn set_mounts(&mut self, mounts: Vec<MountInfo>) {
+        self.mounts = mounts;
+    }
+
+    /// Adds a mount, charging the mount cost.
+    pub fn mount(&mut self, info: MountInfo, clock: &SimClock, model: &CostModel) {
+        clock.charge(model.host.mount_fs);
+        self.mounts.push(info);
+    }
+
+    /// Number of open descriptors.
+    pub fn open_fds(&self) -> usize {
+        self.fds.iter().flatten().count()
+    }
+
+    /// On-demand reconnections performed since boot/restore.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn alloc_fd(&mut self, desc: FileDesc) -> Result<i32, KernelError> {
+        if let Some(i) = self.fds.iter().position(Option::is_none) {
+            self.fds[i] = Some(desc);
+            return Ok(i as i32);
+        }
+        if self.fds.len() >= MAX_FDS {
+            return Err(KernelError::ResourceExhausted { what: "guest fds" });
+        }
+        self.fds.push(Some(desc));
+        Ok((self.fds.len() - 1) as i32)
+    }
+
+    fn desc(&self, fd: i32) -> Result<&FileDesc, KernelError> {
+        self.fds
+            .get(fd as usize)
+            .and_then(Option::as_ref)
+            .ok_or(KernelError::BadFd { fd })
+    }
+
+    fn desc_mut(&mut self, fd: i32) -> Result<&mut FileDesc, KernelError> {
+        self.fds
+            .get_mut(fd as usize)
+            .and_then(Option::as_mut)
+            .ok_or(KernelError::BadFd { fd })
+    }
+
+    /// Opens `path`. Read-only opens resolve upper-then-lower; writable opens
+    /// copy the file up into the overlay (unless it is a persistent grant
+    /// path, which stays write-through).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoEntry`] if the path exists in neither layer;
+    /// [`KernelError::ResourceExhausted`] if the fd table is full.
+    pub fn open(
+        &mut self,
+        path: &str,
+        writable: bool,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<i32, KernelError> {
+        clock.charge(model.host.syscall_base);
+        // Upper layer wins (overlay precedence).
+        if self.upper.contains_key(path) {
+            return self.alloc_fd(FileDesc {
+                path: path.into(),
+                offset: 0,
+                writable,
+                backend: Backend::Upper,
+                connected: true,
+                used: false,
+            });
+        }
+        if writable {
+            if let Ok(grant) = self.server.grant_persistent(path, clock, model) {
+                return self.alloc_fd(FileDesc {
+                    path: path.into(),
+                    offset: 0,
+                    writable: true,
+                    backend: Backend::Persistent(grant),
+                    connected: true,
+                    used: false,
+                });
+            }
+            // Copy-up: pull lower contents into the overlay, then open there.
+            let gfd = self.server.open(path, clock, model)?;
+            let len = self.server.size_of(path).unwrap_or(0) as usize;
+            let data = self.server.read(&gfd, 0, len, clock, model)?;
+            self.upper.insert(path.to_string(), data.to_vec());
+            return self.alloc_fd(FileDesc {
+                path: path.into(),
+                offset: 0,
+                writable: true,
+                backend: Backend::Upper,
+                connected: true,
+                used: false,
+            });
+        }
+        let gfd = self.server.open(path, clock, model)?;
+        self.alloc_fd(FileDesc {
+            path: path.into(),
+            offset: 0,
+            writable: false,
+            backend: Backend::Gofer(gfd),
+            connected: true,
+            used: false,
+        })
+    }
+
+    /// Creates (or truncates) a file in the overlay layer.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::ResourceExhausted`] if the fd table is full.
+    pub fn create(
+        &mut self,
+        path: &str,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<i32, KernelError> {
+        clock.charge(model.host.syscall_base);
+        self.upper.insert(path.to_string(), Vec::new());
+        self.alloc_fd(FileDesc {
+            path: path.into(),
+            offset: 0,
+            writable: true,
+            backend: Backend::Upper,
+            connected: true,
+            used: false,
+        })
+    }
+
+    /// Re-establishes a disconnected descriptor (on-demand I/O reconnection).
+    /// No-op when already connected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FS-server errors if the path vanished.
+    pub fn ensure_connected(
+        &mut self,
+        fd: i32,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<(), KernelError> {
+        let desc = self.desc(fd)?.clone();
+        if desc.connected {
+            return Ok(());
+        }
+        let backend = match desc.backend {
+            Backend::Upper => Backend::Upper,
+            Backend::Gofer(_) => Backend::Gofer(self.server.open(&desc.path, clock, model)?),
+            Backend::Persistent(_) => {
+                Backend::Persistent(self.server.grant_persistent(&desc.path, clock, model)?)
+            }
+        };
+        let slot = self.desc_mut(fd)?;
+        slot.backend = backend;
+        slot.connected = true;
+        self.reconnects += 1;
+        Ok(())
+    }
+
+    /// Reads up to `len` bytes at the current offset, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadFd`]; reconnection errors on first post-restore use.
+    pub fn read(
+        &mut self,
+        fd: i32,
+        len: usize,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<Bytes, KernelError> {
+        clock.charge(model.host.syscall_base);
+        self.ensure_connected(fd, clock, model)?;
+        let desc = self.desc(fd)?.clone();
+        let data = match &desc.backend {
+            Backend::Upper => {
+                let content = self.upper.get(&desc.path).cloned().unwrap_or_default();
+                let start = (desc.offset as usize).min(content.len());
+                let end = (start + len).min(content.len());
+                clock.charge(model.memcpy((end - start) as u64));
+                Bytes::copy_from_slice(&content[start..end])
+            }
+            Backend::Gofer(g) | Backend::Persistent(g) => {
+                self.server.read(g, desc.offset, len, clock, model)?
+            }
+        };
+        let slot = self.desc_mut(fd)?;
+        slot.offset += data.len() as u64;
+        slot.used = true;
+        Ok(data)
+    }
+
+    /// Writes at the current offset, advancing it. Overlay-backed files
+    /// mutate the in-memory layer; persistent grants are counted as
+    /// write-through (contents live server-side and are not modeled).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::ReadOnly`] on read-only descriptors; [`KernelError::BadFd`].
+    pub fn write(
+        &mut self,
+        fd: i32,
+        data: &[u8],
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<usize, KernelError> {
+        clock.charge(model.host.syscall_base);
+        self.ensure_connected(fd, clock, model)?;
+        let desc = self.desc(fd)?.clone();
+        if !desc.writable {
+            return Err(KernelError::ReadOnly { fd });
+        }
+        match &desc.backend {
+            Backend::Upper => {
+                let content = self.upper.entry(desc.path.clone()).or_default();
+                let off = desc.offset as usize;
+                if content.len() < off + data.len() {
+                    content.resize(off + data.len(), 0);
+                }
+                content[off..off + data.len()].copy_from_slice(data);
+                clock.charge(model.memcpy(data.len() as u64));
+            }
+            Backend::Persistent(_) => {
+                clock.charge(model.io.gofer_rpc + model.memcpy(data.len() as u64));
+            }
+            Backend::Gofer(_) => return Err(KernelError::ReadOnly { fd }),
+        }
+        let slot = self.desc_mut(fd)?;
+        slot.offset += data.len() as u64;
+        slot.used = true;
+        Ok(data.len())
+    }
+
+    /// Duplicates a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadFd`]; [`KernelError::ResourceExhausted`].
+    pub fn dup(&mut self, fd: i32, clock: &SimClock, model: &CostModel) -> Result<i32, KernelError> {
+        clock.charge(model.host.syscall_base + model.io.dup_fast);
+        let desc = self.desc(fd)?.clone();
+        self.alloc_fd(desc)
+    }
+
+    /// Closes a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::BadFd`].
+    pub fn close(&mut self, fd: i32, clock: &SimClock, model: &CostModel) -> Result<(), KernelError> {
+        clock.charge(model.host.syscall_base + model.io.close_fd);
+        let slot = self
+            .fds
+            .get_mut(fd as usize)
+            .ok_or(KernelError::BadFd { fd })?;
+        if slot.take().is_none() {
+            return Err(KernelError::BadFd { fd });
+        }
+        Ok(())
+    }
+
+    /// File size as seen through the overlay.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoEntry`].
+    pub fn stat(&self, path: &str) -> Result<u64, KernelError> {
+        if let Some(content) = self.upper.get(path) {
+            return Ok(content.len() as u64);
+        }
+        self.server
+            .size_of(path)
+            .ok_or_else(|| KernelError::NoEntry { path: path.into() })
+    }
+
+    /// Clones this VFS for `sfork`: the overlay layer and fd table are
+    /// duplicated (CoW at page granularity in a real kernel; here the upper
+    /// map is cloned and a small per-entry cost is charged), and **read-only
+    /// gofer descriptors are inherited as-is** — they stay valid because the
+    /// server content is immutable. Persistent (writable) grants are re-
+    /// granted so the child's log handle is its own.
+    pub fn sfork_clone(&self, clock: &SimClock, model: &CostModel) -> Vfs {
+        let mut fds = self.fds.clone();
+        for slot in fds.iter_mut().flatten() {
+            if let Backend::Persistent(_) = slot.backend {
+                if let Ok(grant) = self.server.grant_persistent(&slot.path, clock, model) {
+                    slot.backend = Backend::Persistent(grant);
+                }
+            }
+        }
+        // Upper-layer clone: CoW bookkeeping only.
+        clock.charge(
+            simtime::SimNanos::from_nanos(120).saturating_mul(self.upper.len() as u64),
+        );
+        Vfs {
+            server: Arc::clone(&self.server),
+            upper: self.upper.clone(),
+            fds,
+            mounts: self.mounts.clone(),
+            reconnects: 0,
+        }
+    }
+
+    /// Installs a descriptor restored from a checkpoint, in the disconnected
+    /// state (reconnection happens eagerly, lazily, or via the I/O cache
+    /// depending on the restore engine).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::ResourceExhausted`].
+    pub fn install_restored_fd(
+        &mut self,
+        path: &str,
+        writable: bool,
+        offset: u64,
+    ) -> Result<i32, KernelError> {
+        let backend = if writable {
+            Backend::Persistent(GoferFd {
+                id: 0,
+                path: path.into(),
+                writable: true,
+            })
+        } else {
+            Backend::Gofer(GoferFd {
+                id: 0,
+                path: path.into(),
+                writable: false,
+            })
+        };
+        self.alloc_fd(FileDesc {
+            path: path.into(),
+            offset,
+            writable,
+            backend,
+            connected: false,
+            used: false,
+        })
+    }
+
+    /// Iterates over open descriptors as `(fd, desc)`.
+    pub fn iter_fds(&self) -> impl Iterator<Item = (i32, &FileDesc)> {
+        self.fds
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.as_ref().map(|d| (i as i32, d)))
+    }
+
+    /// Paths currently materialized in the upper overlay layer.
+    pub fn upper_paths(&self) -> impl Iterator<Item = &str> {
+        self.upper.keys().map(String::as_str)
+    }
+}
+
+impl fmt::Display for Vfs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "vfs: {} fds, {} upper files, {} mounts",
+            self.open_fds(),
+            self.upper.len(),
+            self.mounts.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SimClock, CostModel, Vfs) {
+        let server = FsServer::builder("f")
+            .file("/app/config.json", b"{}".to_vec())
+            .file("/lib/base.so", vec![1u8; 256])
+            .persistent("/var/log/fn.log")
+            .build();
+        (
+            SimClock::new(),
+            CostModel::experimental_machine(),
+            Vfs::new(Arc::new(server)),
+        )
+    }
+
+    #[test]
+    fn open_read_lower_layer() {
+        let (clock, model, mut vfs) = setup();
+        let fd = vfs.open("/app/config.json", false, &clock, &model).unwrap();
+        assert_eq!(&vfs.read(fd, 2, &clock, &model).unwrap()[..], b"{}");
+        assert_eq!(vfs.open_fds(), 1);
+    }
+
+    #[test]
+    fn missing_path() {
+        let (clock, model, mut vfs) = setup();
+        assert!(matches!(
+            vfs.open("/nope", false, &clock, &model).unwrap_err(),
+            KernelError::NoEntry { .. }
+        ));
+    }
+
+    #[test]
+    fn write_copies_up_into_overlay() {
+        let (clock, model, mut vfs) = setup();
+        let fd = vfs.open("/lib/base.so", true, &clock, &model).unwrap();
+        vfs.write(fd, b"patched", &clock, &model).unwrap();
+        assert!(vfs.upper_paths().any(|p| p == "/lib/base.so"));
+        // Lower layer is untouched.
+        assert_eq!(vfs.server().size_of("/lib/base.so"), Some(256));
+        // Reading back through a fresh fd sees the overlay version.
+        let fd2 = vfs.open("/lib/base.so", false, &clock, &model).unwrap();
+        assert_eq!(&vfs.read(fd2, 7, &clock, &model).unwrap()[..], b"patched");
+    }
+
+    #[test]
+    fn create_and_stat() {
+        let (clock, model, mut vfs) = setup();
+        let fd = vfs.create("/tmp/scratch", &clock, &model).unwrap();
+        vfs.write(fd, &[0u8; 100], &clock, &model).unwrap();
+        assert_eq!(vfs.stat("/tmp/scratch").unwrap(), 100);
+        assert_eq!(vfs.stat("/lib/base.so").unwrap(), 256);
+        assert!(vfs.stat("/gone").is_err());
+    }
+
+    #[test]
+    fn readonly_write_rejected() {
+        let (clock, model, mut vfs) = setup();
+        let fd = vfs.open("/app/config.json", false, &clock, &model).unwrap();
+        assert!(matches!(
+            vfs.write(fd, b"x", &clock, &model).unwrap_err(),
+            KernelError::ReadOnly { .. }
+        ));
+    }
+
+    #[test]
+    fn persistent_log_is_write_through() {
+        let (clock, model, mut vfs) = setup();
+        let fd = vfs.open("/var/log/fn.log", true, &clock, &model).unwrap();
+        assert!(matches!(
+            vfs.iter_fds().next().unwrap().1.backend,
+            Backend::Persistent(_)
+        ));
+        vfs.write(fd, b"log line", &clock, &model).unwrap();
+        assert!(!vfs.upper_paths().any(|p| p == "/var/log/fn.log"));
+    }
+
+    #[test]
+    fn dup_and_close() {
+        let (clock, model, mut vfs) = setup();
+        let fd = vfs.open("/app/config.json", false, &clock, &model).unwrap();
+        let dup = vfs.dup(fd, &clock, &model).unwrap();
+        assert_ne!(fd, dup);
+        vfs.close(fd, &clock, &model).unwrap();
+        assert!(vfs.read(dup, 1, &clock, &model).is_ok());
+        assert!(matches!(
+            vfs.close(fd, &clock, &model).unwrap_err(),
+            KernelError::BadFd { .. }
+        ));
+    }
+
+    #[test]
+    fn restored_fd_reconnects_on_first_use() {
+        let (clock, model, mut vfs) = setup();
+        let fd = vfs.install_restored_fd("/app/config.json", false, 0).unwrap();
+        assert_eq!(vfs.reconnects(), 0);
+        let before = vfs.server().opens_served();
+        let data = vfs.read(fd, 2, &clock, &model).unwrap();
+        assert_eq!(&data[..], b"{}");
+        assert_eq!(vfs.reconnects(), 1);
+        assert_eq!(vfs.server().opens_served(), before + 1);
+        // Second read: no further reconnection.
+        vfs.read(fd, 0, &clock, &model).unwrap();
+        assert_eq!(vfs.reconnects(), 1);
+    }
+
+    #[test]
+    fn sfork_clone_inherits_readonly_fds_and_isolates_overlay() {
+        let (clock, model, mut vfs) = setup();
+        let ro = vfs.open("/app/config.json", false, &clock, &model).unwrap();
+        let scratch = vfs.create("/tmp/x", &clock, &model).unwrap();
+        vfs.write(scratch, b"parent", &clock, &model).unwrap();
+
+        let mut child = vfs.sfork_clone(&clock, &model);
+        // Read-only fd works in the child without reopening.
+        let opens_before = child.server().opens_served();
+        assert_eq!(&child.read(ro, 2, &clock, &model).unwrap()[..], b"{}");
+        assert_eq!(child.server().opens_served(), opens_before);
+
+        // Overlay writes diverge.
+        let cfd = child.open("/tmp/x", true, &clock, &model).unwrap();
+        child.write(cfd, b"child!", &clock, &model).unwrap();
+        let pfd = vfs.open("/tmp/x", false, &clock, &model).unwrap();
+        assert_eq!(&vfs.read(pfd, 6, &clock, &model).unwrap()[..], b"parent");
+    }
+
+    #[test]
+    fn fd_exhaustion() {
+        let (clock, model, mut vfs) = setup();
+        for _ in 0..MAX_FDS {
+            vfs.create("/tmp/a", &clock, &model).unwrap();
+        }
+        assert!(matches!(
+            vfs.create("/tmp/a", &clock, &model).unwrap_err(),
+            KernelError::ResourceExhausted { .. }
+        ));
+    }
+
+    #[test]
+    fn mounts_register() {
+        let (clock, model, mut vfs) = setup();
+        assert_eq!(vfs.mounts().len(), 1);
+        vfs.mount(
+            MountInfo {
+                source: "proc".into(),
+                target: "/proc".into(),
+                fs_type: "procfs".into(),
+            },
+            &clock,
+            &model,
+        );
+        assert_eq!(vfs.mounts().len(), 2);
+    }
+}

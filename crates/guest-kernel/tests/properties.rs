@@ -1,0 +1,135 @@
+//! Property-based tests: checkpoint/restore of the guest-kernel object graph
+//! is faithful for arbitrary graph shapes, and the syscall policy is total.
+
+use std::sync::Arc;
+
+use guest_kernel::gofer::FsServer;
+use guest_kernel::syscalls::{SyscallClass, SyscallName};
+use guest_kernel::{GraphSpec, GuestKernel};
+use proptest::prelude::*;
+use simtime::{CostModel, SimClock};
+
+fn test_fs() -> Arc<FsServer> {
+    Arc::new(
+        FsServer::builder("prop")
+            .synthetic_tree("/lib", 24, 64)
+            .persistent("/var/log/x.log")
+            .build(),
+    )
+}
+
+fn arb_spec() -> impl Strategy<Value = GraphSpec> {
+    (
+        0u32..4,
+        0u32..6,
+        0u32..64,
+        0u32..24,
+        0u32..8,
+        0u32..16,
+        0u32..8,
+        0u32..3,
+        0u32..128,
+        0u32..48,
+    )
+        .prop_map(
+            |(tasks, threads, dentries, files, socks, timers, wqs, epolls, misc, payload)| {
+                GraphSpec {
+                    extra_tasks: tasks,
+                    threads_per_task: threads,
+                    dentries,
+                    open_files: files,
+                    sockets: socks,
+                    timers,
+                    waitqueues: wqs,
+                    epolls,
+                    misc_objects: misc,
+                    misc_payload: payload,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// checkpoint → restore → checkpoint is a fixed point for any graph.
+    #[test]
+    fn checkpoint_restore_fixed_point(spec in arb_spec()) {
+        let clock = SimClock::new();
+        let model = CostModel::experimental_machine();
+        let mut kernel = GuestKernel::boot("prop", test_fs(), &clock, &model);
+        spec.populate(&mut kernel, &clock, &model).unwrap();
+        kernel.validate().unwrap();
+
+        let records = kernel.checkpoint_objects();
+        prop_assert_eq!(records.len() as u64, kernel.object_count());
+
+        let restored = GuestKernel::restore_from_records(
+            "copy", &records, test_fs(), false, &clock, &model,
+        ).unwrap();
+        restored.validate().unwrap();
+        prop_assert_eq!(restored.checkpoint_objects(), records);
+    }
+
+    /// Eager and deferred restore produce the same graph; only connection
+    /// status differs.
+    #[test]
+    fn eager_and_lazy_restore_agree(spec in arb_spec()) {
+        let clock = SimClock::new();
+        let model = CostModel::experimental_machine();
+        let mut kernel = GuestKernel::boot("prop", test_fs(), &clock, &model);
+        spec.populate(&mut kernel, &clock, &model).unwrap();
+        let records = kernel.checkpoint_objects();
+
+        let eager = GuestKernel::restore_from_records(
+            "e", &records, test_fs(), true, &clock, &model).unwrap();
+        let lazy = GuestKernel::restore_from_records(
+            "l", &records, test_fs(), false, &clock, &model).unwrap();
+        prop_assert_eq!(eager.object_count(), lazy.object_count());
+        prop_assert!(eager.vfs.iter_fds().all(|(_, d)| d.connected));
+        if spec.open_files > 0 {
+            prop_assert!(lazy.vfs.iter_fds().all(|(_, d)| !d.connected));
+        }
+        prop_assert_eq!(eager.checkpoint_objects().len(), lazy.checkpoint_objects().len());
+    }
+
+    /// The template-mode policy gate is total and only rejects Denied.
+    #[test]
+    fn policy_gate_matches_classification(idx in 0usize..SyscallName::ALL.len()) {
+        let clock = SimClock::new();
+        let model = CostModel::experimental_machine();
+        let mut kernel = GuestKernel::boot("p", test_fs(), &clock, &model);
+        kernel.set_template_mode(true);
+        let name = SyscallName::ALL[idx];
+        let outcome = kernel.check_syscall(name);
+        match name.classify() {
+            SyscallClass::Denied => prop_assert!(outcome.is_err()),
+            _ => prop_assert!(outcome.is_ok()),
+        }
+    }
+
+    /// sfork_clone preserves observable kernel state for any graph, and the
+    /// child's mutations never reach the parent.
+    #[test]
+    fn sfork_clone_preserves_and_isolates(spec in arb_spec()) {
+        let clock = SimClock::new();
+        let model = CostModel::experimental_machine();
+        let mut parent = GuestKernel::boot("parent", test_fs(), &clock, &model);
+        spec.populate(&mut parent, &clock, &model).unwrap();
+        let before = parent.checkpoint_objects();
+
+        let mut child = parent.sfork_clone("child", &clock, &model);
+        prop_assert_eq!(child.object_count(), parent.object_count());
+        prop_assert_eq!(child.tasks.getpid(), parent.tasks.getpid(),
+            "PID namespace must keep getpid() stable");
+
+        // Child mutates: new file, new socket, fired timers.
+        let fd = child.vfs.create("/tmp/child-only", &clock, &model).unwrap();
+        child.vfs.write(fd, b"x", &clock, &model).unwrap();
+        child.net.socket(&clock, &model);
+        child.timers.fire_due(simtime::SimNanos::from_secs(60));
+
+        prop_assert_eq!(parent.checkpoint_objects(), before, "child leaked into parent");
+        prop_assert!(parent.vfs.stat("/tmp/child-only").is_err());
+    }
+}

@@ -1,0 +1,664 @@
+//! The flat **func-image** format (paper §3.1–§3.2).
+//!
+//! A func-image is *well-formed*: uncompressed, page-aligned, and directly
+//! `mmap`-able. It holds:
+//!
+//! - a **metadata arena** of partially deserialized guest-kernel objects —
+//!   records laid out in their in-memory shape with every pointer slot
+//!   zeroed to a placeholder;
+//! - a **relation table** mapping `(record, pointer slot) → target object`,
+//!   used by stage 2 of separated state recovery to re-establish pointers
+//!   (each patch is independent, so stage 2 runs on parallel workers and the
+//!   clock is charged the critical path);
+//! - an **I/O manifest** of connections to re-establish (lazily, §3.3);
+//! - the **application memory pages**, page-aligned so the Base-EPT can
+//!   reference them lazily without any copy.
+//!
+//! Restore therefore never pays per-object deserialization: stage 1 is a
+//! mapping (page-cache touches of the metadata sections), stage 2 is pointer
+//! patching. This is the mechanism behind the paper's 7× "kernel loading"
+//! reduction in Figure 12.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use memsim::{EptEntry, EptLayer, MappedImage, Vpn, PAGE_SIZE};
+use simtime::{CostModel, SimClock};
+
+use crate::record::REF_PLACEHOLDER;
+use crate::{classic, crc32, CheckpointSource, ImageError, IoConn, ObjKind, ObjRecord};
+
+const MAGIC: &[u8; 4] = b"FUNC";
+const VERSION: u32 = 1;
+/// Fixed record header: id(8) kind(2) flags(4) nrefs(2) payload_len(4).
+const REC_HEADER: usize = 20;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Section {
+    offset: u64,
+    len: u64,
+    crc: u32,
+}
+
+/// Section indices within the header.
+const SEC_META_INDEX: usize = 0;
+const SEC_META_ARENA: usize = 1;
+const SEC_REL_TABLE: usize = 2;
+const SEC_IO_MANIFEST: usize = 3;
+const SEC_APPMEM_INDEX: usize = 4;
+const SEC_APPMEM_PAGES: usize = 5;
+const N_SECTIONS: usize = 6;
+
+/// Writes a func-image (the offline func-image *compilation* step, §5).
+///
+/// Charges per-object encode plus bulk copy costs — all off the startup
+/// critical path.
+pub fn write(src: &CheckpointSource, clock: &SimClock, model: &CostModel) -> Bytes {
+    // --- metadata arena + index + relation table ---
+    let mut arena = Vec::new();
+    let mut index = Vec::with_capacity(src.objects.len() * 8);
+    let mut rel = Vec::new();
+    for (rec_idx, obj) in src.objects.iter().enumerate() {
+        index.extend_from_slice(&(arena.len() as u64).to_le_bytes());
+        arena.extend_from_slice(&obj.id.to_le_bytes());
+        arena.extend_from_slice(&obj.kind.code().to_le_bytes());
+        arena.extend_from_slice(&obj.flags.to_le_bytes());
+        arena.extend_from_slice(&(obj.refs.len() as u16).to_le_bytes());
+        arena.extend_from_slice(&(obj.payload.len() as u32).to_le_bytes());
+        for (slot, target) in obj.refs.iter().enumerate() {
+            // Zeroed placeholder in the arena; the truth goes into the
+            // relation table.
+            arena.extend_from_slice(&REF_PLACEHOLDER.to_le_bytes());
+            rel.extend_from_slice(&(rec_idx as u32).to_le_bytes());
+            rel.extend_from_slice(&(slot as u16).to_le_bytes());
+            rel.extend_from_slice(&target.to_le_bytes());
+        }
+        arena.extend_from_slice(&obj.payload);
+    }
+
+    // --- I/O manifest (same wire encoding as the classic format) ---
+    let mut manifest = Vec::new();
+    crate::varint::put_u64(&mut manifest, src.io_conns.len() as u64);
+    for conn in &src.io_conns {
+        classic::encode_conn(&mut manifest, conn);
+    }
+
+    // --- application memory index + raw pages ---
+    let mut appmem_index = Vec::with_capacity(src.app_pages.len() * 16);
+    let mut appmem = Vec::with_capacity(src.app_pages.len() * PAGE_SIZE);
+    for page in &src.app_pages {
+        assert_eq!(page.data.len(), PAGE_SIZE, "app pages must be page-sized");
+        appmem_index.extend_from_slice(&page.vpn.to_le_bytes());
+        appmem.extend_from_slice(&page.data);
+    }
+
+    // --- assemble, page-aligning the raw app pages ---
+    let mut sections = [Section { offset: 0, len: 0, crc: 0 }; N_SECTIONS];
+    let mut body = vec![0u8; PAGE_SIZE]; // reserve the header page
+    let place = |body: &mut Vec<u8>, bytes: &[u8], align_page: bool| -> Section {
+        if align_page {
+            let pad = body.len().next_multiple_of(PAGE_SIZE) - body.len();
+            body.extend(std::iter::repeat_n(0, pad));
+        }
+        let offset = body.len() as u64;
+        body.extend_from_slice(bytes);
+        Section {
+            offset,
+            len: bytes.len() as u64,
+            crc: crc32(bytes),
+        }
+    };
+    sections[SEC_META_INDEX] = place(&mut body, &index, false);
+    sections[SEC_META_ARENA] = place(&mut body, &arena, false);
+    sections[SEC_REL_TABLE] = place(&mut body, &rel, false);
+    sections[SEC_IO_MANIFEST] = place(&mut body, &manifest, false);
+    sections[SEC_APPMEM_INDEX] = place(&mut body, &appmem_index, false);
+    sections[SEC_APPMEM_PAGES] = place(&mut body, &appmem, true);
+    // Pad the tail to a whole page so the image itself is well-formed.
+    let pad = body.len().next_multiple_of(PAGE_SIZE) - body.len();
+    body.extend(std::iter::repeat_n(0, pad));
+
+    // --- header page ---
+    let mut header = Vec::with_capacity(PAGE_SIZE);
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.extend_from_slice(&(src.objects.len() as u64).to_le_bytes());
+    header.extend_from_slice(&(src.app_pages.len() as u64).to_le_bytes());
+    for s in &sections {
+        header.extend_from_slice(&s.offset.to_le_bytes());
+        header.extend_from_slice(&s.len.to_le_bytes());
+        header.extend_from_slice(&s.crc.to_le_bytes());
+    }
+    assert!(header.len() <= PAGE_SIZE, "header must fit one page");
+    body[..header.len()].copy_from_slice(&header);
+
+    clock.charge(
+        model
+            .obj
+            .encode_per_object
+            .saturating_mul(src.objects.len() as u64),
+    );
+    clock.charge(model.memcpy(body.len() as u64));
+    Bytes::from(body)
+}
+
+/// A parsed func-image handle: cheap header view over a [`MappedImage`].
+#[derive(Debug)]
+pub struct FlatImage {
+    image: Arc<MappedImage>,
+    sections: [Section; N_SECTIONS],
+    n_objects: u64,
+    n_pages: u64,
+}
+
+impl FlatImage {
+    /// Parses the header page. Charges one page touch (the header) plus the
+    /// `mmap` of the image region — nothing else; every section stays lazy.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError`] on bad magic/version or out-of-bounds sections.
+    pub fn parse(
+        image: &Arc<MappedImage>,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<FlatImage, ImageError> {
+        clock.charge(model.mmap_region(image.len()));
+        let header = image
+            .load_page(0, clock, model)
+            .map_err(|_| ImageError::Truncated { what: "flat header" })?;
+        let buf = header.bytes();
+        if &buf[0..4] != MAGIC {
+            return Err(ImageError::BadMagic);
+        }
+        let version = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(ImageError::BadVersion { found: version });
+        }
+        let n_objects = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+        let n_pages = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
+        let mut sections = [Section { offset: 0, len: 0, crc: 0 }; N_SECTIONS];
+        let mut pos = 24;
+        for s in &mut sections {
+            s.offset = u64::from_le_bytes(buf[pos..pos + 8].try_into().expect("8 bytes"));
+            s.len = u64::from_le_bytes(buf[pos + 8..pos + 16].try_into().expect("8 bytes"));
+            s.crc = u32::from_le_bytes(buf[pos + 16..pos + 20].try_into().expect("4 bytes"));
+            pos += 20;
+            if s.offset + s.len > image.len().next_multiple_of(PAGE_SIZE as u64) {
+                return Err(ImageError::BadSection { section: "flat section" });
+            }
+        }
+        Ok(FlatImage {
+            image: Arc::clone(image),
+            sections,
+            n_objects,
+            n_pages,
+        })
+    }
+
+    /// The backing image.
+    pub fn image(&self) -> &Arc<MappedImage> {
+        &self.image
+    }
+
+    /// Number of metadata objects.
+    pub fn object_count(&self) -> u64 {
+        self.n_objects
+    }
+
+    /// Number of application memory pages.
+    pub fn app_page_count(&self) -> u64 {
+        self.n_pages
+    }
+
+    /// Size of the metadata sections (index + arena + relation table), i.e.
+    /// Table 3's "Metadata Objects" column.
+    pub fn metadata_bytes(&self) -> u64 {
+        self.sections[SEC_META_INDEX].len
+            + self.sections[SEC_META_ARENA].len
+            + self.sections[SEC_REL_TABLE].len
+    }
+
+    /// Size of the I/O manifest section.
+    pub fn io_manifest_bytes(&self) -> u64 {
+        self.sections[SEC_IO_MANIFEST].len
+    }
+
+    /// Reads a whole section through the page cache, charging page touches.
+    fn section_bytes(
+        &self,
+        idx: usize,
+        name: &'static str,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<Bytes, ImageError> {
+        let s = self.sections[idx];
+        let start = s.offset as usize;
+        let end = (s.offset + s.len) as usize;
+        if end > self.image.raw_bytes().len() {
+            return Err(ImageError::BadSection { section: name });
+        }
+        // Touch the section via the shared page cache with readahead: disk
+        // is charged once globally; the per-space fault cost is charged here.
+        let first_page = s.offset / PAGE_SIZE as u64;
+        let last_page = (s.offset + s.len).div_ceil(PAGE_SIZE as u64);
+        self.image
+            .load_range(first_page, last_page - first_page, clock, model)
+            .map_err(|_| ImageError::Truncated { what: name })?;
+        clock.charge(model.mem.page_fault.saturating_mul(last_page - first_page));
+        let bytes = self.image.raw_bytes().slice(start..end);
+        if crc32(&bytes) != s.crc {
+            return Err(ImageError::Checksum { section: name });
+        }
+        clock.charge(model.memcpy(bytes.len() as u64)); // checksum pass
+        Ok(bytes)
+    }
+
+    /// **Separated state recovery** (§3.2): stage 1 maps the metadata arena
+    /// (no per-object decode); stage 2 re-establishes pointer relations from
+    /// the relation table on `model.parallel_workers` real threads, charging
+    /// the critical path.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError`] on corrupt sections, malformed records, dangling
+    /// relation entries, or placeholders left unpatched.
+    pub fn restore_metadata(
+        &self,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<Vec<ObjRecord>, ImageError> {
+        // Stage 1: map.
+        let index = self.section_bytes(SEC_META_INDEX, "meta index", clock, model)?;
+        let arena = self.section_bytes(SEC_META_ARENA, "meta arena", clock, model)?;
+        let rel = self.section_bytes(SEC_REL_TABLE, "relation table", clock, model)?;
+
+        if index.len() != self.n_objects as usize * 8 {
+            return Err(ImageError::Truncated { what: "meta index" });
+        }
+        let mut objects = Vec::with_capacity(self.n_objects as usize);
+        for i in 0..self.n_objects as usize {
+            let off =
+                u64::from_le_bytes(index[i * 8..i * 8 + 8].try_into().expect("8 bytes")) as usize;
+            objects.push(parse_arena_record(&arena, off)?);
+        }
+
+        // Stage 2: parallel pointer re-establishment.
+        if rel.len() % 14 != 0 {
+            return Err(ImageError::Truncated { what: "relation table" });
+        }
+        let entries: Vec<(u32, u16, u64)> = rel
+            .chunks_exact(14)
+            .map(|c| {
+                (
+                    u32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
+                    u16::from_le_bytes(c[4..6].try_into().expect("2 bytes")),
+                    u64::from_le_bytes(c[6..14].try_into().expect("8 bytes")),
+                )
+            })
+            .collect();
+        // Entries are ordered by record index (the writer emits them that
+        // way), so contiguous record chunks get contiguous entry ranges.
+        let workers = model.parallel_workers.max(1);
+        let chunk_len = objects.len().div_ceil(workers).max(1);
+        let mut failed = false;
+        let mut worker_costs = Vec::with_capacity(workers);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut rest: &mut [ObjRecord] = &mut objects;
+            let mut rec_base = 0usize;
+            let mut entry_pos = 0usize;
+            while !rest.is_empty() {
+                let take = chunk_len.min(rest.len());
+                let (chunk, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let rec_end = rec_base + take;
+                let entry_start = entry_pos;
+                while entry_pos < entries.len() && (entries[entry_pos].0 as usize) < rec_end {
+                    entry_pos += 1;
+                }
+                let my_entries = &entries[entry_start..entry_pos];
+                let base = rec_base;
+                handles.push(scope.spawn(move |_| {
+                    let mut ok = true;
+                    for &(rec, slot, target) in my_entries {
+                        let rec = rec as usize;
+                        if rec < base || rec - base >= chunk.len() {
+                            ok = false;
+                            continue;
+                        }
+                        match chunk[rec - base].refs.get_mut(slot as usize) {
+                            Some(r) => *r = target,
+                            None => ok = false,
+                        }
+                    }
+                    (ok, my_entries.len() as u64)
+                }));
+                rec_base = rec_end;
+            }
+            for h in handles {
+                let (ok, n) = h.join().expect("fixup worker panicked");
+                if !ok {
+                    failed = true;
+                }
+                worker_costs.push(model.obj.fixup_per_pointer.saturating_mul(n));
+            }
+        })
+        .expect("crossbeam scope");
+        clock.charge_parallel(worker_costs);
+        if failed {
+            return Err(ImageError::BadRelation { record: 0, slot: 0 });
+        }
+        // Totality: no placeholder may survive stage 2.
+        for (i, obj) in objects.iter().enumerate() {
+            if let Some(slot) = obj.refs.iter().position(|&r| r == REF_PLACEHOLDER) {
+                return Err(ImageError::BadRelation {
+                    record: i as u32,
+                    slot: slot as u16,
+                });
+            }
+        }
+        Ok(objects)
+    }
+
+    /// Reads the I/O manifest (cheap; the manifest is tiny — Table 3 shows
+    /// 370 B–2.4 KB of cached connections).
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError`] on a corrupt manifest section.
+    pub fn read_io_manifest(
+        &self,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<Vec<IoConn>, ImageError> {
+        let bytes = self.section_bytes(SEC_IO_MANIFEST, "io manifest", clock, model)?;
+        let mut pos = 0usize;
+        let n = crate::varint::get_u64(&bytes, &mut pos)?;
+        let mut conns = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            conns.push(classic::decode_conn(&bytes, &mut pos)?);
+        }
+        Ok(conns)
+    }
+
+    /// Reads the `(vpn → image page)` application-memory index.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError`] on a corrupt index section.
+    pub fn app_mem_index(
+        &self,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<Vec<(Vpn, u64)>, ImageError> {
+        let bytes = self.section_bytes(SEC_APPMEM_INDEX, "appmem index", clock, model)?;
+        if bytes.len() != self.n_pages as usize * 8 {
+            return Err(ImageError::Truncated { what: "appmem index" });
+        }
+        let pages_base = self.sections[SEC_APPMEM_PAGES].offset / PAGE_SIZE as u64;
+        Ok(bytes
+            .chunks_exact(8)
+            .enumerate()
+            .map(|(i, c)| {
+                (
+                    u64::from_le_bytes(c.try_into().expect("8 bytes")),
+                    pages_base + i as u64,
+                )
+            })
+            .collect())
+    }
+
+    /// Builds the shared **Base-EPT** over this image's application memory:
+    /// every checkpointed page becomes a lazy, demand-loaded entry (the
+    /// *map-file* operation of overlay memory, §3.1). No page is read.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError`] on a corrupt appmem index.
+    pub fn build_base_layer(
+        &self,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<Arc<EptLayer>, ImageError> {
+        let index = self.app_mem_index(clock, model)?;
+        clock.charge(model.mmap_region(self.n_pages * PAGE_SIZE as u64));
+        let layer = EptLayer::new();
+        for (vpn, page) in index {
+            layer.insert(
+                vpn,
+                EptEntry::LazyImage {
+                    image: Arc::clone(&self.image),
+                    page,
+                },
+            );
+        }
+        Ok(Arc::new(layer))
+    }
+}
+
+fn parse_arena_record(arena: &[u8], off: usize) -> Result<ObjRecord, ImageError> {
+    if off + REC_HEADER > arena.len() {
+        return Err(ImageError::Truncated { what: "arena record" });
+    }
+    let id = u64::from_le_bytes(arena[off..off + 8].try_into().expect("8 bytes"));
+    let code = u16::from_le_bytes(arena[off + 8..off + 10].try_into().expect("2 bytes"));
+    let kind = ObjKind::from_code(code).ok_or(ImageError::BadObjKind { code })?;
+    let flags = u32::from_le_bytes(arena[off + 10..off + 14].try_into().expect("4 bytes"));
+    let n_refs = u16::from_le_bytes(arena[off + 14..off + 16].try_into().expect("2 bytes")) as usize;
+    let payload_len =
+        u32::from_le_bytes(arena[off + 16..off + 20].try_into().expect("4 bytes")) as usize;
+    let refs_end = off + REC_HEADER + n_refs * 8;
+    let end = refs_end + payload_len;
+    if end > arena.len() {
+        return Err(ImageError::Truncated { what: "arena record body" });
+    }
+    let refs = arena[off + REC_HEADER..refs_end]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect();
+    Ok(ObjRecord {
+        id,
+        kind,
+        flags,
+        refs,
+        payload: arena[refs_end..end].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PagePayload;
+    use simtime::SimNanos;
+
+    fn sample_source(n_objects: u64, n_pages: u64) -> CheckpointSource {
+        CheckpointSource {
+            objects: (0..n_objects)
+                .map(|i| {
+                    ObjRecord::new(
+                        i + 1,
+                        ObjKind::ALL[(i % 14) as usize],
+                        i as u32,
+                        (0..(i % 4)).map(|k| (i + k) % n_objects + 1).collect(),
+                        vec![(i % 251) as u8; (i % 40) as usize],
+                    )
+                })
+                .collect(),
+            app_pages: (0..n_pages)
+                .map(|i| PagePayload {
+                    vpn: 0x4_0000 + i,
+                    data: Bytes::from(vec![(i % 255) as u8; PAGE_SIZE]),
+                })
+                .collect(),
+            io_conns: vec![
+                IoConn::file("/app/rootfs/lib.so", true),
+                IoConn::file("/home/user/hello.txt", false),
+                IoConn::socket("0.0.0.0:80", true),
+            ],
+        }
+    }
+
+    fn setup() -> (SimClock, CostModel) {
+        (SimClock::new(), CostModel::experimental_machine())
+    }
+
+    fn make_image(src: &CheckpointSource) -> Arc<MappedImage> {
+        let bytes = write(src, &SimClock::new(), &CostModel::experimental_machine());
+        MappedImage::new("func.img", bytes)
+    }
+
+    #[test]
+    fn metadata_round_trip_identity() {
+        let (clock, model) = setup();
+        let src = sample_source(500, 8);
+        let img = make_image(&src);
+        let flat = FlatImage::parse(&img, &clock, &model).unwrap();
+        assert_eq!(flat.object_count(), 500);
+        assert_eq!(flat.app_page_count(), 8);
+        let objects = flat.restore_metadata(&clock, &model).unwrap();
+        assert_eq!(objects, src.objects);
+    }
+
+    #[test]
+    fn io_manifest_round_trips() {
+        let (clock, model) = setup();
+        let src = sample_source(10, 0);
+        let flat = FlatImage::parse(&make_image(&src), &clock, &model).unwrap();
+        assert_eq!(flat.read_io_manifest(&clock, &model).unwrap(), src.io_conns);
+    }
+
+    #[test]
+    fn app_pages_restore_through_base_layer() {
+        let (clock, model) = setup();
+        let src = sample_source(5, 4);
+        let flat = FlatImage::parse(&make_image(&src), &clock, &model).unwrap();
+        let base = flat.build_base_layer(&clock, &model).unwrap();
+        assert_eq!(base.len(), 4);
+        assert_eq!(base.present_pages(), 0, "map-file must not populate");
+        // Demand-load one page and compare contents.
+        let frame = base.materialize(0x4_0002, &clock, &model).unwrap().unwrap();
+        assert_eq!(frame.bytes(), &src.app_pages[2].data[..]);
+    }
+
+    #[test]
+    fn flat_restore_cheaper_than_classic_for_many_objects() {
+        let model = CostModel::experimental_machine();
+        let src = sample_source(20_000, 0);
+
+        let classic_img = classic::write(&src, &SimClock::new(), &model);
+        let classic_clock = SimClock::new();
+        classic::read(&classic_img, &classic_clock, &model).unwrap();
+
+        let img = make_image(&src);
+        let flat_clock = SimClock::new();
+        let flat = FlatImage::parse(&img, &flat_clock, &model).unwrap();
+        let objs = flat.restore_metadata(&flat_clock, &model).unwrap();
+        assert_eq!(objs.len(), 20_000);
+
+        assert!(
+            flat_clock.now().saturating_mul(3) < classic_clock.now(),
+            "flat {} vs classic {}",
+            flat_clock.now(),
+            classic_clock.now()
+        );
+    }
+
+    #[test]
+    fn parse_is_cheap_and_lazy() {
+        let model = CostModel::experimental_machine();
+        let src = sample_source(10_000, 64);
+        let img = make_image(&src);
+        let clock = SimClock::new();
+        let _flat = FlatImage::parse(&img, &clock, &model).unwrap();
+        // Only the header page's readahead cluster (+ mmap) may be touched.
+        assert!(img.resident_pages() <= 8, "resident {}", img.resident_pages());
+        assert!(clock.now() < SimNanos::from_millis(2), "parse cost {}", clock.now());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (clock, model) = setup();
+        let mut bytes = write(&sample_source(3, 0), &clock, &model).to_vec();
+        bytes[0] = b'Z';
+        let img = MappedImage::new("bad", Bytes::from(bytes));
+        assert_eq!(
+            FlatImage::parse(&img, &clock, &model).unwrap_err(),
+            ImageError::BadMagic
+        );
+    }
+
+    #[test]
+    fn corrupt_arena_fails_checksum() {
+        let (clock, model) = setup();
+        let src = sample_source(50, 0);
+        let mut bytes = write(&src, &clock, &model).to_vec();
+        // Flip a byte beyond the header page (inside the metadata sections).
+        bytes[PAGE_SIZE + 100] ^= 0xFF;
+        let img = MappedImage::new("corrupt", Bytes::from(bytes));
+        let flat = FlatImage::parse(&img, &clock, &model).unwrap();
+        assert!(matches!(
+            flat.restore_metadata(&clock, &model).unwrap_err(),
+            ImageError::Checksum { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_image_rejected() {
+        let (clock, model) = setup();
+        let src = sample_source(50, 2);
+        let bytes = write(&src, &clock, &model);
+        let cut = bytes.slice(0..PAGE_SIZE + 10);
+        let img = MappedImage::new("cut", cut);
+        // Header parses (sections declared), but reading sections fails.
+        match FlatImage::parse(&img, &clock, &model) {
+            Err(_) => {}
+            Ok(flat) => {
+                assert!(flat.restore_metadata(&clock, &model).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn warm_restore_pays_no_disk() {
+        let model = CostModel::experimental_machine();
+        let src = sample_source(2_000, 16);
+        let img = make_image(&src);
+
+        let cold = SimClock::new();
+        let flat = FlatImage::parse(&img, &cold, &model).unwrap();
+        flat.restore_metadata(&cold, &model).unwrap();
+        let cold_cost = cold.now();
+
+        // Second instance, same image: page cache is hot.
+        let warm = SimClock::new();
+        let flat2 = FlatImage::parse(&img, &warm, &model).unwrap();
+        flat2.restore_metadata(&warm, &model).unwrap();
+        assert!(
+            warm.now() < cold_cost,
+            "warm {} must beat cold {}",
+            warm.now(),
+            cold_cost
+        );
+    }
+
+    #[test]
+    fn table3_sizes_are_exposed() {
+        let (clock, model) = setup();
+        let src = sample_source(100, 0);
+        let flat = FlatImage::parse(&make_image(&src), &clock, &model).unwrap();
+        assert!(flat.metadata_bytes() > 0);
+        assert!(flat.io_manifest_bytes() > 0);
+        assert!(flat.io_manifest_bytes() < 1024);
+    }
+
+    #[test]
+    fn empty_source_round_trips() {
+        let (clock, model) = setup();
+        let src = CheckpointSource::default();
+        let flat = FlatImage::parse(&make_image(&src), &clock, &model).unwrap();
+        assert_eq!(flat.restore_metadata(&clock, &model).unwrap(), Vec::new());
+        assert_eq!(flat.read_io_manifest(&clock, &model).unwrap(), Vec::new());
+        assert_eq!(flat.build_base_layer(&clock, &model).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,287 @@
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a checkpointed guest-kernel object.
+pub type ObjId = u64;
+
+/// The placeholder written into zeroed pointer slots in a flat image.
+pub(crate) const REF_PLACEHOLDER: ObjId = u64::MAX;
+
+/// Kind of a checkpointed guest-kernel object.
+///
+/// These mirror the categories the paper counts when restoring SPECjbb
+/// ("threads/tasks, mounts, sessionLists, timers, and etc." — §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u16)]
+pub enum ObjKind {
+    /// A task (process) control block.
+    Task = 0,
+    /// A thread context.
+    Thread = 1,
+    /// A mount-table entry.
+    Mount = 2,
+    /// A directory-cache entry.
+    Dentry = 3,
+    /// An open file description (I/O state).
+    File = 4,
+    /// A file-descriptor table slot (I/O state).
+    FdSlot = 5,
+    /// A socket endpoint (I/O state).
+    Socket = 6,
+    /// A kernel timer.
+    Timer = 7,
+    /// A session/process-group record.
+    Session = 8,
+    /// A virtual memory area descriptor.
+    MemRegion = 9,
+    /// A futex/wait-queue record.
+    WaitQueue = 10,
+    /// An epoll instance (I/O state).
+    Epoll = 11,
+    /// A namespace record.
+    Namespace = 12,
+    /// Anything else (opaque runtime state).
+    Misc = 13,
+}
+
+impl ObjKind {
+    /// All kinds, for iteration in generators and tests.
+    pub const ALL: [ObjKind; 14] = [
+        ObjKind::Task,
+        ObjKind::Thread,
+        ObjKind::Mount,
+        ObjKind::Dentry,
+        ObjKind::File,
+        ObjKind::FdSlot,
+        ObjKind::Socket,
+        ObjKind::Timer,
+        ObjKind::Session,
+        ObjKind::MemRegion,
+        ObjKind::WaitQueue,
+        ObjKind::Epoll,
+        ObjKind::Namespace,
+        ObjKind::Misc,
+    ];
+
+    /// Wire code.
+    pub fn code(self) -> u16 {
+        self as u16
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u16) -> Option<ObjKind> {
+        ObjKind::ALL.get(code as usize).copied()
+    }
+
+    /// True if this object represents I/O system state, whose recovery
+    /// Catalyzer defers off the critical path (§3.3).
+    pub fn is_io_state(self) -> bool {
+        matches!(
+            self,
+            ObjKind::File | ObjKind::FdSlot | ObjKind::Socket | ObjKind::Epoll
+        )
+    }
+}
+
+/// One checkpointed guest-kernel object: an id, a kind, flags, its pointer
+/// fields (`refs`, as object ids), and an opaque serialized payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjRecord {
+    /// Unique object id within the checkpoint.
+    pub id: ObjId,
+    /// Object kind.
+    pub kind: ObjKind,
+    /// Kind-specific flags.
+    pub flags: u32,
+    /// Pointer fields: ids of referenced objects.
+    pub refs: Vec<ObjId>,
+    /// Opaque serialized field data.
+    pub payload: Vec<u8>,
+}
+
+impl ObjRecord {
+    /// Convenience constructor.
+    pub fn new(id: ObjId, kind: ObjKind, flags: u32, refs: Vec<ObjId>, payload: Vec<u8>) -> Self {
+        ObjRecord {
+            id,
+            kind,
+            flags,
+            refs,
+            payload,
+        }
+    }
+
+    /// Approximate serialized size in bytes (used for Table 3 accounting).
+    pub fn wire_size(&self) -> usize {
+        8 + 2 + 4 + 2 + 4 + self.refs.len() * 8 + self.payload.len()
+    }
+}
+
+/// Kind of a checkpointed I/O connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoConnKind {
+    /// An opened file.
+    File,
+    /// A network connection / listener.
+    Socket,
+}
+
+/// One I/O connection recorded at checkpoint time, to be re-established at
+/// restore (eagerly in gVisor's C/R; lazily or via the I/O cache in
+/// Catalyzer, §3.3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoConn {
+    /// File or socket.
+    pub kind: IoConnKind,
+    /// Path (files) or address (sockets).
+    pub target: String,
+    /// Whether the function deterministically uses this connection right
+    /// after boot (learned by profiling a cold boot; drives the I/O cache).
+    pub used_immediately: bool,
+    /// Whether the connection needs write access (e.g. log files).
+    pub writable: bool,
+}
+
+impl IoConn {
+    /// A file connection.
+    pub fn file(path: impl Into<String>, used_immediately: bool) -> IoConn {
+        IoConn {
+            kind: IoConnKind::File,
+            target: path.into(),
+            used_immediately,
+            writable: false,
+        }
+    }
+
+    /// A socket connection.
+    pub fn socket(addr: impl Into<String>, used_immediately: bool) -> IoConn {
+        IoConn {
+            kind: IoConnKind::Socket,
+            target: addr.into(),
+            used_immediately,
+            writable: true,
+        }
+    }
+
+    /// Approximate serialized size (Table 3's "I/O Cache" column counts the
+    /// cached subset of these).
+    pub fn wire_size(&self) -> usize {
+        1 + 1 + 1 + 2 + self.target.len()
+    }
+}
+
+/// A page of application memory captured at checkpoint time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PagePayload {
+    /// Guest virtual page number.
+    pub vpn: memsim::Vpn,
+    /// Page contents (must be exactly [`memsim::PAGE_SIZE`] bytes).
+    pub data: Bytes,
+}
+
+/// Everything a checkpoint captures: the guest-kernel object graph, the
+/// application memory pages, and the I/O connection manifest.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CheckpointSource {
+    /// Guest-kernel metadata objects.
+    pub objects: Vec<ObjRecord>,
+    /// Application memory pages.
+    pub app_pages: Vec<PagePayload>,
+    /// I/O connections to re-establish at restore.
+    pub io_conns: Vec<IoConn>,
+}
+
+impl Default for ObjRecord {
+    fn default() -> Self {
+        ObjRecord::new(0, ObjKind::Misc, 0, Vec::new(), Vec::new())
+    }
+}
+
+impl CheckpointSource {
+    /// Total application-memory bytes.
+    pub fn app_bytes(&self) -> u64 {
+        (self.app_pages.len() * memsim::PAGE_SIZE) as u64
+    }
+
+    /// Total metadata wire size (Table 3's "Metadata Objects" column).
+    pub fn metadata_bytes(&self) -> u64 {
+        self.objects.iter().map(|o| o.wire_size() as u64).sum()
+    }
+
+    /// Number of pointer fields across all objects.
+    pub fn pointer_count(&self) -> u64 {
+        self.objects.iter().map(|o| o.refs.len() as u64).sum()
+    }
+}
+
+impl fmt::Display for CheckpointSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "checkpoint: {} objects ({} ptrs), {} app pages, {} io conns",
+            self.objects.len(),
+            self.pointer_count(),
+            self.app_pages.len(),
+            self.io_conns.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in ObjKind::ALL {
+            assert_eq!(ObjKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(ObjKind::from_code(999), None);
+    }
+
+    #[test]
+    fn io_state_classification() {
+        assert!(ObjKind::File.is_io_state());
+        assert!(ObjKind::Socket.is_io_state());
+        assert!(ObjKind::Epoll.is_io_state());
+        assert!(!ObjKind::Task.is_io_state());
+        assert!(!ObjKind::Timer.is_io_state());
+    }
+
+    #[test]
+    fn wire_size_counts_refs_and_payload() {
+        let r = ObjRecord::new(1, ObjKind::Task, 0, vec![2, 3], vec![0; 10]);
+        assert_eq!(r.wire_size(), 8 + 2 + 4 + 2 + 4 + 16 + 10);
+    }
+
+    #[test]
+    fn source_aggregates() {
+        let src = CheckpointSource {
+            objects: vec![
+                ObjRecord::new(1, ObjKind::Task, 0, vec![2], vec![]),
+                ObjRecord::new(2, ObjKind::Timer, 0, vec![1, 1], vec![1, 2, 3]),
+            ],
+            app_pages: vec![],
+            io_conns: vec![IoConn::file("/a", true), IoConn::socket("1.2.3.4:80", false)],
+        };
+        assert_eq!(src.pointer_count(), 3);
+        assert_eq!(src.app_bytes(), 0);
+        assert!(src.metadata_bytes() > 0);
+        let text = src.to_string();
+        assert!(text.contains("2 objects"));
+        assert!(text.contains("2 io conns"));
+    }
+
+    #[test]
+    fn ioconn_constructors() {
+        let f = IoConn::file("/var/log/app.log", true);
+        assert_eq!(f.kind, IoConnKind::File);
+        assert!(!f.writable);
+        let s = IoConn::socket("10.0.0.1:6379", false);
+        assert_eq!(s.kind, IoConnKind::Socket);
+        assert!(s.writable);
+        assert!(f.wire_size() > "/var/log/app.log".len());
+    }
+}

@@ -1,0 +1,129 @@
+//! LEB128-style variable-length integer encoding used by the classic image
+//! format (gVisor's stream serializer uses a comparable wire encoding).
+
+use crate::ImageError;
+
+/// Appends `value` to `out` as a little-endian base-128 varint.
+pub fn put_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a varint from `buf` at `*pos`, advancing `*pos`.
+///
+/// # Errors
+///
+/// [`ImageError::Truncated`] if the buffer ends mid-varint, or
+/// [`ImageError::BadVarint`] if the encoding exceeds 10 bytes (u64 overflow).
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64, ImageError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(ImageError::Truncated { what: "varint" })?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(ImageError::BadVarint);
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(ImageError::BadVarint);
+        }
+    }
+}
+
+/// Appends a length-prefixed byte slice.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Reads a length-prefixed byte slice.
+///
+/// # Errors
+///
+/// [`ImageError::Truncated`] if fewer bytes remain than the prefix declares.
+pub fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8], ImageError> {
+    let len = get_u64(buf, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .ok_or(ImageError::Truncated { what: "byte slice" })?;
+    if end > buf.len() {
+        return Err(ImageError::Truncated { what: "byte slice" });
+    }
+    let out = &buf[*pos..end];
+    *pos = end;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 42);
+        assert_eq!(buf, vec![42]);
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let buf = vec![0x80, 0x80]; // continuation bits with no terminator
+        let mut pos = 0;
+        assert_eq!(
+            get_u64(&buf, &mut pos).unwrap_err(),
+            ImageError::Truncated { what: "varint" }
+        );
+    }
+
+    #[test]
+    fn overlong_varint_errors() {
+        let buf = vec![0xFF; 11];
+        let mut pos = 0;
+        assert_eq!(get_u64(&buf, &mut pos).unwrap_err(), ImageError::BadVarint);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"hello");
+        put_bytes(&mut buf, b"");
+        let mut pos = 0;
+        assert_eq!(get_bytes(&buf, &mut pos).unwrap(), b"hello");
+        assert_eq!(get_bytes(&buf, &mut pos).unwrap(), b"");
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn bytes_truncated_errors() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 100); // declares 100 bytes, provides none
+        let mut pos = 0;
+        assert!(matches!(
+            get_bytes(&buf, &mut pos).unwrap_err(),
+            ImageError::Truncated { .. }
+        ));
+    }
+}

@@ -1,0 +1,184 @@
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::PAGE_SIZE;
+
+/// One 4 KiB guest-physical page frame.
+///
+/// A frame's contents come from one of two places:
+///
+/// - **Anonymous** memory, owned by the frame (heap, stack, CoW copies); or
+/// - a zero-copy **image slice** of a mapped func-image (`Bytes` clones share
+///   the underlying buffer, exactly like `mmap`-ing a file read-only).
+///
+/// Frames are shared between address spaces through [`FrameRef`]
+/// (`Arc<Frame>`); the `Arc` strong count is the frame's *sharing degree*,
+/// which [`crate::accounting`] uses to compute PSS.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    data: FrameData,
+}
+
+/// Shared handle to a frame. `Arc::strong_count` = sharing degree.
+pub type FrameRef = Arc<Frame>;
+
+#[derive(Debug, Clone)]
+enum FrameData {
+    /// Owned, writable-in-place storage.
+    Owned(Box<[u8]>),
+    /// Zero-copy slice of an image file; always read-only (writes CoW first).
+    Image(Bytes),
+}
+
+impl Frame {
+    /// A new zero-filled anonymous frame.
+    pub fn zeroed() -> Frame {
+        Frame {
+            data: FrameData::Owned(vec![0u8; PAGE_SIZE].into_boxed_slice()),
+        }
+    }
+
+    /// An anonymous frame holding a copy of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() > PAGE_SIZE`.
+    pub fn from_bytes(bytes: &[u8]) -> Frame {
+        assert!(bytes.len() <= PAGE_SIZE, "frame contents exceed a page");
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        Frame {
+            data: FrameData::Owned(buf.into_boxed_slice()),
+        }
+    }
+
+    /// A zero-copy frame over one page of an image buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is not exactly [`PAGE_SIZE`] long.
+    pub fn from_image_slice(slice: Bytes) -> Frame {
+        assert_eq!(slice.len(), PAGE_SIZE, "image frame must be page-sized");
+        Frame {
+            data: FrameData::Image(slice),
+        }
+    }
+
+    /// The page contents.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.data {
+            FrameData::Owned(b) => b,
+            FrameData::Image(b) => b,
+        }
+    }
+
+    /// True if the frame is an image-backed (inherently read-only) page.
+    pub fn is_image_backed(&self) -> bool {
+        matches!(self.data, FrameData::Image(_))
+    }
+
+    /// Writes `src` at `offset` in place.
+    ///
+    /// Callers must hold the only reference (checked by the address space via
+    /// `Arc::get_mut`); image-backed frames must be CoW-copied first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is image-backed or the write crosses the page end.
+    pub(crate) fn write_in_place(&mut self, offset: usize, src: &[u8]) {
+        assert!(offset + src.len() <= PAGE_SIZE, "write crosses page end");
+        match &mut self.data {
+            FrameData::Owned(b) => b[offset..offset + src.len()].copy_from_slice(src),
+            FrameData::Image(_) => panic!("write_in_place on an image-backed frame"),
+        }
+    }
+
+    /// A writable deep copy of this frame (the CoW copy operation).
+    pub fn cow_copy(&self) -> Frame {
+        Frame::from_bytes(self.bytes())
+    }
+}
+
+/// Hash-consable identity of a frame, for PSS accounting.
+pub(crate) fn frame_identity(frame: &FrameRef) -> usize {
+    Arc::as_ptr(frame) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_all_zero() {
+        let f = Frame::zeroed();
+        assert_eq!(f.bytes().len(), PAGE_SIZE);
+        assert!(f.bytes().iter().all(|&b| b == 0));
+        assert!(!f.is_image_backed());
+    }
+
+    #[test]
+    fn from_bytes_pads_with_zero() {
+        let f = Frame::from_bytes(b"abc");
+        assert_eq!(&f.bytes()[..3], b"abc");
+        assert_eq!(f.bytes()[3], 0);
+        assert_eq!(f.bytes().len(), PAGE_SIZE);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn from_bytes_rejects_oversize() {
+        let _ = Frame::from_bytes(&vec![0u8; PAGE_SIZE + 1]);
+    }
+
+    #[test]
+    fn image_slice_round_trip() {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[0] = 0xAB;
+        let f = Frame::from_image_slice(Bytes::from(buf));
+        assert!(f.is_image_backed());
+        assert_eq!(f.bytes()[0], 0xAB);
+    }
+
+    #[test]
+    #[should_panic(expected = "page-sized")]
+    fn image_slice_must_be_page_sized() {
+        let _ = Frame::from_image_slice(Bytes::from_static(b"short"));
+    }
+
+    #[test]
+    fn cow_copy_is_independent() {
+        let a = Frame::from_bytes(b"xyz");
+        let mut b = a.cow_copy();
+        b.write_in_place(0, b"Q");
+        assert_eq!(a.bytes()[0], b'x');
+        assert_eq!(b.bytes()[0], b'Q');
+        assert!(!b.is_image_backed());
+    }
+
+    #[test]
+    fn cow_copy_of_image_frame_is_writable() {
+        let f = Frame::from_image_slice(Bytes::from(vec![7u8; PAGE_SIZE]));
+        let mut c = f.cow_copy();
+        c.write_in_place(10, &[9]);
+        assert_eq!(c.bytes()[10], 9);
+        assert_eq!(c.bytes()[0], 7);
+        assert!(!c.is_image_backed());
+    }
+
+    #[test]
+    #[should_panic(expected = "image-backed")]
+    fn write_to_image_frame_panics() {
+        let mut f = Frame::from_image_slice(Bytes::from(vec![0u8; PAGE_SIZE]));
+        f.write_in_place(0, &[1]);
+    }
+
+    #[test]
+    fn identity_distinguishes_frames() {
+        let a: FrameRef = Arc::new(Frame::zeroed());
+        let b: FrameRef = Arc::new(Frame::zeroed());
+        let a2 = Arc::clone(&a);
+        assert_eq!(frame_identity(&a), frame_identity(&a2));
+        assert_ne!(frame_identity(&a), frame_identity(&b));
+    }
+}

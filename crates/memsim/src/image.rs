@@ -1,0 +1,297 @@
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use simtime::{CostModel, SimClock};
+
+use crate::{Frame, MemError, PAGE_SIZE};
+
+/// A page-aligned image file mapped into memory, with a shared page cache.
+///
+/// Catalyzer's func-images are *well-formed*: uncompressed and page-aligned,
+/// so they can be `mmap`-ed directly (paper §3.1). When any sandbox first
+/// touches a page, the host reads it from storage into the page cache; every
+/// later touch — by the same sandbox or any other sharing the Base-EPT — hits
+/// the cache for free. `MappedImage` reproduces exactly that: the first
+/// [`MappedImage::load_page`] for a page index charges a disk read to the
+/// calling clock, later calls charge nothing.
+///
+/// # Example
+///
+/// ```
+/// use bytes::Bytes;
+/// use memsim::{MappedImage, PAGE_SIZE};
+/// use simtime::{CostModel, SimClock};
+///
+/// let image = MappedImage::new("func.img", Bytes::from(vec![7u8; PAGE_SIZE * 2]));
+/// let model = CostModel::experimental_machine();
+/// let clock = SimClock::new();
+/// let frame = image.load_page(1, &clock, &model)?;
+/// assert_eq!(frame.bytes()[0], 7);
+/// let cold = clock.now();
+/// image.load_page(1, &clock, &model)?; // cached: free
+/// assert_eq!(clock.now(), cold);
+/// # Ok::<(), memsim::MemError>(())
+/// ```
+pub struct MappedImage {
+    name: String,
+    bytes: Bytes,
+    pages: u64,
+    resident: Mutex<Vec<bool>>,
+}
+
+impl MappedImage {
+    /// Wraps `bytes` as a mapped image. The length is padded *logically* to a
+    /// whole number of pages (a trailing partial page reads as zero-filled).
+    pub fn new(name: impl Into<String>, bytes: Bytes) -> Arc<MappedImage> {
+        let pages = (bytes.len() as u64).div_ceil(PAGE_SIZE as u64);
+        Arc::new(MappedImage {
+            name: name.into(),
+            bytes,
+            pages,
+            resident: Mutex::new(vec![false; pages as usize]),
+        })
+    }
+
+    /// Image name (path-like label for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Image length in pages.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Image length in bytes (unpadded).
+    pub fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// True if the image holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Number of pages currently resident in the shared page cache.
+    pub fn resident_pages(&self) -> u64 {
+        self.resident.lock().iter().filter(|&&r| r).count() as u64
+    }
+
+    /// Loads page `index`, charging a disk read on the first touch only.
+    ///
+    /// Returns a zero-copy [`Frame`] over the image buffer (or an owned
+    /// zero-padded frame for a trailing partial page).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::ImageBounds`] if `index` is past the end.
+    pub fn load_page(
+        &self,
+        index: u64,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<Frame, MemError> {
+        if index >= self.pages {
+            return Err(MemError::ImageBounds {
+                page: index,
+                pages: self.pages,
+            });
+        }
+        {
+            // Fault-around: a miss reads a small cluster ahead, the way host
+            // kernels do readahead under mmap. One seek covers the cluster.
+            let mut resident = self.resident.lock();
+            if !resident[index as usize] {
+                let cluster_end = (index + 8).min(self.pages);
+                let mut loaded = 0u64;
+                for slot in resident[index as usize..cluster_end as usize].iter_mut() {
+                    if !*slot {
+                        *slot = true;
+                        loaded += 1;
+                    }
+                }
+                drop(resident);
+                clock.charge(model.disk_read(loaded * PAGE_SIZE as u64));
+            }
+        }
+        let start = index as usize * PAGE_SIZE;
+        let end = (start + PAGE_SIZE).min(self.bytes.len());
+        if end - start == PAGE_SIZE {
+            Ok(Frame::from_image_slice(self.bytes.slice(start..end)))
+        } else {
+            Ok(Frame::from_bytes(&self.bytes[start..end]))
+        }
+    }
+
+    /// Sequentially loads pages `[first, first + count)` with readahead
+    /// semantics: one seek plus transfer for however many pages were not yet
+    /// resident. Models `mmap` readahead / `read(2)` of a section.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::ImageBounds`] if the range extends past the image.
+    pub fn load_range(
+        &self,
+        first: u64,
+        count: u64,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<(), MemError> {
+        let end = first.saturating_add(count);
+        if end > self.pages {
+            return Err(MemError::ImageBounds {
+                page: end.saturating_sub(1),
+                pages: self.pages,
+            });
+        }
+        let mut resident = self.resident.lock();
+        let mut missing = 0u64;
+        for slot in resident[first as usize..end as usize].iter_mut() {
+            if !*slot {
+                *slot = true;
+                missing += 1;
+            }
+        }
+        drop(resident);
+        if missing > 0 {
+            clock.charge(model.disk_read(missing * PAGE_SIZE as u64));
+        }
+        Ok(())
+    }
+
+    /// Marks every page resident, as if the file were read sequentially
+    /// (used by the *classic* restore path, which loads everything eagerly),
+    /// charging one bulk disk read.
+    pub fn prefetch_all(&self, clock: &SimClock, model: &CostModel) {
+        let mut resident = self.resident.lock();
+        let missing = resident.iter().filter(|&&r| !r).count() as u64;
+        if missing == 0 {
+            return;
+        }
+        for slot in resident.iter_mut() {
+            *slot = true;
+        }
+        drop(resident);
+        clock.charge(model.disk_read(missing * PAGE_SIZE as u64));
+    }
+
+    /// Raw access to the underlying buffer (used by the image format parser;
+    /// does **not** touch the page cache or charge costs).
+    pub fn raw_bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+}
+
+impl fmt::Debug for MappedImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MappedImage")
+            .field("name", &self.name)
+            .field("pages", &self.pages)
+            .field("resident", &self.resident_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::SimNanos;
+
+    fn image_of(pages: usize, fill: u8) -> Arc<MappedImage> {
+        MappedImage::new("test.img", Bytes::from(vec![fill; pages * PAGE_SIZE]))
+    }
+
+    #[test]
+    fn first_touch_charges_later_touches_free() {
+        let img = image_of(4, 3);
+        let model = CostModel::experimental_machine();
+        let clock = SimClock::new();
+        img.load_page(2, &clock, &model).unwrap();
+        let after_first = clock.now();
+        assert!(after_first > SimNanos::ZERO);
+        img.load_page(2, &clock, &model).unwrap();
+        assert_eq!(clock.now(), after_first);
+        // Fault-around brought in the rest of the cluster (pages 2..4).
+        assert_eq!(img.resident_pages(), 2);
+    }
+
+    #[test]
+    fn cache_is_shared_across_callers() {
+        let img = image_of(2, 1);
+        let model = CostModel::experimental_machine();
+        let warm_clock = SimClock::new();
+        // Another "sandbox" already touched page 0.
+        img.load_page(0, &SimClock::new(), &model).unwrap();
+        img.load_page(0, &warm_clock, &model).unwrap();
+        assert_eq!(warm_clock.now(), SimNanos::ZERO);
+    }
+
+    #[test]
+    fn out_of_bounds_is_error() {
+        let img = image_of(2, 0);
+        let err = img
+            .load_page(2, &SimClock::new(), &CostModel::experimental_machine())
+            .unwrap_err();
+        assert_eq!(err, MemError::ImageBounds { page: 2, pages: 2 });
+    }
+
+    #[test]
+    fn partial_trailing_page_zero_pads() {
+        let img = MappedImage::new("t", Bytes::from(vec![9u8; PAGE_SIZE + 10]));
+        assert_eq!(img.pages(), 2);
+        let model = CostModel::experimental_machine();
+        let clock = SimClock::new();
+        let f = img.load_page(1, &clock, &model).unwrap();
+        assert_eq!(f.bytes()[9], 9);
+        assert_eq!(f.bytes()[10], 0);
+        assert!(!f.is_image_backed()); // padded copy, not zero-copy
+    }
+
+    #[test]
+    fn full_pages_are_zero_copy() {
+        let img = image_of(1, 5);
+        let f = img
+            .load_page(0, &SimClock::new(), &CostModel::experimental_machine())
+            .unwrap();
+        assert!(f.is_image_backed());
+    }
+
+    #[test]
+    fn prefetch_all_charges_once() {
+        let img = image_of(8, 0);
+        let model = CostModel::experimental_machine();
+        let clock = SimClock::new();
+        img.prefetch_all(&clock, &model);
+        let cost = clock.now();
+        assert!(cost > SimNanos::ZERO);
+        assert_eq!(img.resident_pages(), 8);
+        img.prefetch_all(&clock, &model);
+        assert_eq!(clock.now(), cost);
+    }
+
+    #[test]
+    fn prefetch_after_partial_touch_charges_remainder() {
+        let img = image_of(12, 0);
+        let model = CostModel::experimental_machine();
+        // Fault-around loads the 8-page cluster at 0.
+        img.load_page(0, &SimClock::new(), &model).unwrap();
+        assert_eq!(img.resident_pages(), 8);
+        let clock = SimClock::new();
+        img.prefetch_all(&clock, &model);
+        // 4 pages remained: 1 seek + 4 pages of transfer.
+        let expected = model.disk_read(4 * PAGE_SIZE as u64);
+        assert_eq!(clock.now(), expected);
+    }
+
+    #[test]
+    fn empty_image() {
+        let img = MappedImage::new("empty", Bytes::new());
+        assert!(img.is_empty());
+        assert_eq!(img.pages(), 0);
+        assert!(img
+            .load_page(0, &SimClock::new(), &CostModel::experimental_machine())
+            .is_err());
+    }
+}

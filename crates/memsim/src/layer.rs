@@ -1,0 +1,266 @@
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use simtime::{CostModel, SimClock};
+
+use crate::{FrameRef, MappedImage, MemError, Vpn, PAGE_SIZE};
+
+/// One slot of an EPT layer.
+#[derive(Debug, Clone)]
+pub enum EptEntry {
+    /// A resident frame.
+    Present {
+        /// The mapped frame.
+        frame: FrameRef,
+    },
+    /// Anonymous memory not yet materialized (zero-fill on first touch).
+    LazyZero,
+    /// A func-image page not yet materialized (demand-load on first touch).
+    LazyImage {
+        /// The backing image.
+        image: Arc<MappedImage>,
+        /// Page index within the image.
+        page: u64,
+    },
+}
+
+impl EptEntry {
+    /// True if the entry holds a resident frame.
+    pub fn is_present(&self) -> bool {
+        matches!(self, EptEntry::Present { .. })
+    }
+}
+
+/// One layer of the two-level overlay EPT (paper §3.1).
+///
+/// The **Base-EPT** is an `Arc<EptLayer>` shared read-only among every
+/// sandbox running the same function; the **Private-EPT** is an owned
+/// `EptLayer` per sandbox. Interior locking lets lazily-loaded base pages be
+/// upgraded to `Present` once, globally — the analogue of the host page cache
+/// populating under a shared file mapping.
+#[derive(Default)]
+pub struct EptLayer {
+    entries: RwLock<BTreeMap<Vpn, EptEntry>>,
+}
+
+impl EptLayer {
+    /// An empty layer.
+    pub fn new() -> EptLayer {
+        EptLayer::default()
+    }
+
+    /// Builds a shared Base-EPT whose entries lazily reference `image`,
+    /// starting at guest page `at`. This is the *map-file* operation of
+    /// overlay memory: one `mmap` of the whole image, no population.
+    pub fn lazy_from_image(
+        image: &Arc<MappedImage>,
+        at: Vpn,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Arc<EptLayer> {
+        clock.charge(model.mmap_region(image.pages() * PAGE_SIZE as u64));
+        let layer = EptLayer::new();
+        {
+            let mut entries = layer.entries.write();
+            for page in 0..image.pages() {
+                entries.insert(
+                    at + page,
+                    EptEntry::LazyImage {
+                        image: Arc::clone(image),
+                        page,
+                    },
+                );
+            }
+        }
+        Arc::new(layer)
+    }
+
+    /// Looks up the entry for `vpn` (cloned; entries are cheap handles).
+    pub fn get(&self, vpn: Vpn) -> Option<EptEntry> {
+        self.entries.read().get(&vpn).cloned()
+    }
+
+    /// Inserts or replaces the entry for `vpn`.
+    pub fn insert(&self, vpn: Vpn, entry: EptEntry) {
+        self.entries.write().insert(vpn, entry);
+    }
+
+    /// Removes the entry for `vpn`, returning it if present.
+    pub fn remove(&self, vpn: Vpn) -> Option<EptEntry> {
+        self.entries.write().remove(&vpn)
+    }
+
+    /// Materializes a lazy image entry for `vpn` as `Present`, returning the
+    /// frame. Present entries return their frame unchanged. `LazyZero` and
+    /// missing entries return `None` (the caller decides zero-fill policy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemError::ImageBounds`] from the backing image.
+    pub fn materialize(
+        &self,
+        vpn: Vpn,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<Option<FrameRef>, MemError> {
+        let entry = self.get(vpn);
+        match entry {
+            Some(EptEntry::Present { frame }) => Ok(Some(frame)),
+            Some(EptEntry::LazyImage { image, page }) => {
+                let frame: FrameRef = Arc::new(image.load_page(page, clock, model)?);
+                self.insert(
+                    vpn,
+                    EptEntry::Present {
+                        frame: Arc::clone(&frame),
+                    },
+                );
+                Ok(Some(frame))
+            }
+            Some(EptEntry::LazyZero) | None => Ok(None),
+        }
+    }
+
+    /// Number of entries (any state).
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True if the layer has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Number of `Present` (resident) entries.
+    pub fn present_pages(&self) -> u64 {
+        self.entries
+            .read()
+            .values()
+            .filter(|e| e.is_present())
+            .count() as u64
+    }
+
+    /// Applies `f` to every `(vpn, entry)` pair.
+    pub fn for_each(&self, mut f: impl FnMut(Vpn, &EptEntry)) {
+        for (vpn, entry) in self.entries.read().iter() {
+            f(*vpn, entry);
+        }
+    }
+
+    /// Clones the full entry map (used by `sfork` to duplicate the private
+    /// layer; frames are shared by reference, i.e. CoW).
+    pub fn clone_entries(&self) -> EptLayer {
+        let copied = self.entries.read().clone();
+        EptLayer {
+            entries: RwLock::new(copied),
+        }
+    }
+
+    /// Removes every entry in `[start, end)`.
+    pub fn remove_range(&self, start: Vpn, end: Vpn) {
+        self.entries.write().retain(|vpn, _| !(start..end).contains(vpn));
+    }
+}
+
+impl fmt::Debug for EptLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EptLayer")
+            .field("entries", &self.len())
+            .field("present", &self.present_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Frame;
+    use bytes::Bytes;
+    use simtime::SimNanos;
+
+    fn test_image(pages: usize) -> Arc<MappedImage> {
+        let mut data = vec![0u8; pages * PAGE_SIZE];
+        for (i, chunk) in data.chunks_mut(PAGE_SIZE).enumerate() {
+            chunk[0] = i as u8;
+        }
+        MappedImage::new("img", Bytes::from(data))
+    }
+
+    #[test]
+    fn lazy_from_image_creates_all_entries() {
+        let img = test_image(3);
+        let clock = SimClock::new();
+        let model = CostModel::experimental_machine();
+        let base = EptLayer::lazy_from_image(&img, 100, &clock, &model);
+        assert_eq!(base.len(), 3);
+        assert_eq!(base.present_pages(), 0);
+        assert!(clock.now() > SimNanos::ZERO); // the mmap was charged
+        assert!(base.get(100).is_some());
+        assert!(base.get(102).is_some());
+        assert!(base.get(103).is_none());
+    }
+
+    #[test]
+    fn materialize_upgrades_once_globally() {
+        let img = test_image(2);
+        let model = CostModel::experimental_machine();
+        let base = EptLayer::lazy_from_image(&img, 0, &SimClock::new(), &model);
+
+        let cold = SimClock::new();
+        let f1 = base.materialize(1, &cold, &model).unwrap().unwrap();
+        assert_eq!(f1.bytes()[0], 1);
+        assert!(cold.now() > SimNanos::ZERO); // disk read charged
+        assert_eq!(base.present_pages(), 1);
+
+        // A different sandbox touching the same base page pays nothing.
+        let warm = SimClock::new();
+        let f2 = base.materialize(1, &warm, &model).unwrap().unwrap();
+        assert_eq!(warm.now(), SimNanos::ZERO);
+        assert!(Arc::ptr_eq(&f1, &f2), "shared base page must be one frame");
+    }
+
+    #[test]
+    fn materialize_lazy_zero_and_missing_return_none() {
+        let layer = EptLayer::new();
+        layer.insert(5, EptEntry::LazyZero);
+        let model = CostModel::experimental_machine();
+        assert!(layer.materialize(5, &SimClock::new(), &model).unwrap().is_none());
+        assert!(layer.materialize(6, &SimClock::new(), &model).unwrap().is_none());
+    }
+
+    #[test]
+    fn clone_entries_shares_frames() {
+        let layer = EptLayer::new();
+        let frame: FrameRef = Arc::new(Frame::from_bytes(b"x"));
+        layer.insert(1, EptEntry::Present { frame: Arc::clone(&frame) });
+        let cloned = layer.clone_entries();
+        match cloned.get(1) {
+            Some(EptEntry::Present { frame: f }) => assert!(Arc::ptr_eq(&f, &frame)),
+            other => panic!("unexpected entry: {other:?}"),
+        }
+        assert_eq!(Arc::strong_count(&frame), 3); // local + 2 layers
+    }
+
+    #[test]
+    fn remove_range_clears_window() {
+        let layer = EptLayer::new();
+        for vpn in 0..10 {
+            layer.insert(vpn, EptEntry::LazyZero);
+        }
+        layer.remove_range(3, 7);
+        assert_eq!(layer.len(), 6);
+        assert!(layer.get(3).is_none());
+        assert!(layer.get(6).is_none());
+        assert!(layer.get(7).is_some());
+    }
+
+    #[test]
+    fn remove_returns_entry() {
+        let layer = EptLayer::new();
+        layer.insert(9, EptEntry::LazyZero);
+        assert!(layer.remove(9).is_some());
+        assert!(layer.remove(9).is_none());
+        assert!(layer.is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the memory substrate invariants that Catalyzer's
+//! overlay memory (paper §3.1) depends on.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use memsim::{
+    accounting, AddressSpace, EptLayer, MappedImage, Perms, ShareMode, VpnRange, PAGE_SIZE,
+};
+use proptest::prelude::*;
+use simtime::{CostModel, SimClock};
+
+fn setup() -> (SimClock, CostModel) {
+    (SimClock::new(), CostModel::experimental_machine())
+}
+
+fn image_with_pattern(pages: u8) -> Arc<MappedImage> {
+    let mut data = vec![0u8; pages as usize * PAGE_SIZE];
+    for (i, chunk) in data.chunks_mut(PAGE_SIZE).enumerate() {
+        chunk.fill((i as u8).wrapping_add(1));
+    }
+    MappedImage::new("prop.img", Bytes::from(data))
+}
+
+proptest! {
+    /// Writes through one sandbox are never visible through another sharing
+    /// the same Base-EPT (CoW isolation).
+    #[test]
+    fn cow_isolation_between_sandboxes(
+        pages in 1u8..16,
+        writes in proptest::collection::vec((0u64..16, 0usize..PAGE_SIZE, any::<u8>()), 0..32),
+    ) {
+        let (clock, model) = setup();
+        let img = image_with_pattern(pages);
+        let base = EptLayer::lazy_from_image(&img, 0, &clock, &model);
+        let range = VpnRange::new(0, pages as u64);
+
+        let mut writer = AddressSpace::new("writer");
+        let mut observer = AddressSpace::new("observer");
+        writer.attach_base(Arc::clone(&base), range, "f", &clock, &model).unwrap();
+        observer.attach_base(base, range, "f", &clock, &model).unwrap();
+
+        for (vpn, off, val) in writes {
+            let vpn = vpn % pages as u64;
+            writer.write(vpn, off, &[val], &clock, &model).unwrap();
+        }
+
+        // Observer still sees the pristine image pattern everywhere.
+        for vpn in range.iter() {
+            let mut b = [0u8; 1];
+            observer.read(vpn, 7, &mut b, &clock, &model).unwrap();
+            prop_assert_eq!(b[0], (vpn as u8).wrapping_add(1));
+        }
+    }
+
+    /// Read-your-writes within a sandbox, regardless of write order, layer,
+    /// or fault path taken.
+    #[test]
+    fn read_your_writes(
+        writes in proptest::collection::vec((0u64..8, 0usize..PAGE_SIZE, any::<u8>()), 1..64),
+    ) {
+        let (clock, model) = setup();
+        let mut s = AddressSpace::new("s");
+        s.map_anonymous(VpnRange::new(0, 8), Perms::RW, ShareMode::Private, "m").unwrap();
+
+        let mut shadow = vec![vec![0u8; PAGE_SIZE]; 8];
+        for (vpn, off, val) in &writes {
+            s.write(*vpn, *off, &[*val], &clock, &model).unwrap();
+            shadow[*vpn as usize][*off] = *val;
+        }
+        for vpn in 0..8u64 {
+            let mut page = vec![0u8; PAGE_SIZE];
+            s.read(vpn, 0, &mut page, &clock, &model).unwrap();
+            prop_assert_eq!(&page, &shadow[vpn as usize]);
+        }
+    }
+
+    /// sfork children inherit the template state exactly, and divergent
+    /// writes stay divergent (no aliasing between siblings).
+    #[test]
+    fn sfork_siblings_diverge_independently(
+        template_writes in proptest::collection::vec((0u64..4, 0usize..64, any::<u8>()), 0..16),
+        child_writes in proptest::collection::vec((0u64..4, 0usize..64, any::<u8>()), 1..16),
+    ) {
+        let (clock, model) = setup();
+        let mut t = AddressSpace::new("t");
+        t.map_anonymous(VpnRange::new(0, 4), Perms::RW, ShareMode::Private, "m").unwrap();
+        for (vpn, off, val) in &template_writes {
+            t.write(*vpn, *off, &[*val], &clock, &model).unwrap();
+        }
+
+        let mut c1 = t.sfork_clone("c1").unwrap();
+        let mut c2 = t.sfork_clone("c2").unwrap();
+        for (vpn, off, val) in &child_writes {
+            c1.write(*vpn, *off, &[val.wrapping_add(1)], &clock, &model).unwrap();
+        }
+
+        // c2 must equal the template byte-for-byte on the touched window.
+        let mut t = t;
+        for vpn in 0..4u64 {
+            let mut a = vec![0u8; 64];
+            let mut b = vec![0u8; 64];
+            t.read(vpn, 0, &mut a, &clock, &model).unwrap();
+            c2.read(vpn, 0, &mut b, &clock, &model).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// PSS never exceeds RSS, and total PSS across a sharing group equals
+    /// the number of distinct resident frames times the page size.
+    #[test]
+    fn pss_conservation(n_spaces in 1usize..6, pages in 1u8..12) {
+        let (clock, model) = setup();
+        let img = image_with_pattern(pages);
+        let base = EptLayer::lazy_from_image(&img, 0, &clock, &model);
+        let range = VpnRange::new(0, pages as u64);
+
+        let mut spaces = Vec::new();
+        for i in 0..n_spaces {
+            let mut s = AddressSpace::new(format!("s{i}"));
+            s.attach_base(Arc::clone(&base), range, "f", &clock, &model).unwrap();
+            s.touch_range(range, false, &clock, &model).unwrap();
+            // The first space also dirties one page (private copy).
+            if i == 0 {
+                s.write(0, 0, &[0xFF], &clock, &model).unwrap();
+            }
+            spaces.push(s);
+        }
+        let refs: Vec<&AddressSpace> = spaces.iter().collect();
+        let usages = accounting::usage(&refs);
+
+        let mut total_pss = 0u64;
+        for u in &usages {
+            prop_assert!(u.pss_bytes <= u.rss_bytes);
+            total_pss += u.pss_bytes;
+        }
+        // Distinct frames: `pages` shared base frames + 1 private CoW copy.
+        let distinct = pages as u64 + 1;
+        let expected = distinct * PAGE_SIZE as u64;
+        // Integer division in per-space PSS may lose at most one page total.
+        prop_assert!(total_pss <= expected && total_pss + PAGE_SIZE as u64 > expected,
+            "total_pss={} expected≈{}", total_pss, expected);
+    }
+
+    /// Demand paging charges each image page's disk read at most once across
+    /// any interleaving of sandboxes (page-cache property).
+    #[test]
+    fn disk_read_charged_once_per_page(
+        accesses in proptest::collection::vec((0usize..3, 0u64..8), 1..64),
+    ) {
+        let model = CostModel::experimental_machine();
+        let build_clock = SimClock::new();
+        let img = image_with_pattern(8);
+        let base = EptLayer::lazy_from_image(&img, 0, &build_clock, &model);
+        let range = VpnRange::new(0, 8);
+
+        let clock = SimClock::new();
+        let mut spaces: Vec<AddressSpace> = (0..3)
+            .map(|i| {
+                let mut s = AddressSpace::new(format!("s{i}"));
+                s.attach_base(Arc::clone(&base), range, "f", &clock, &model).unwrap();
+                s
+            })
+            .collect();
+
+        let mut buf = [0u8; 1];
+        for (who, vpn) in accesses {
+            spaces[who].read(vpn, 0, &mut buf, &clock, &model).unwrap();
+        }
+        let loads: u64 = spaces.iter().map(|s| s.stats().image_pages_loaded).sum();
+        // Fault-around may make more pages resident than were demand-loaded,
+        // but every charged load corresponds to a newly-resident cluster and
+        // no page is ever charged twice.
+        prop_assert!(loads <= img.resident_pages());
+        prop_assert!(img.resident_pages() <= 8);
+    }
+}

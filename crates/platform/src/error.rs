@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+/// Platform-layer errors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// The requested function is not registered.
+    UnknownFunction {
+        /// The requested name.
+        name: String,
+    },
+    /// A sandbox operation failed.
+    Sandbox(sandbox::SandboxError),
+    /// A handler execution failed.
+    Runtime(runtimes::RuntimeError),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::UnknownFunction { name } => write!(f, "unknown function '{name}'"),
+            PlatformError::Sandbox(e) => write!(f, "sandbox: {e}"),
+            PlatformError::Runtime(e) => write!(f, "runtime: {e}"),
+        }
+    }
+}
+
+impl Error for PlatformError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlatformError::UnknownFunction { .. } => None,
+            PlatformError::Sandbox(e) => Some(e),
+            PlatformError::Runtime(e) => Some(e),
+        }
+    }
+}
+
+impl From<sandbox::SandboxError> for PlatformError {
+    fn from(e: sandbox::SandboxError) -> Self {
+        PlatformError::Sandbox(e)
+    }
+}
+
+impl From<runtimes::RuntimeError> for PlatformError {
+    fn from(e: runtimes::RuntimeError) -> Self {
+        PlatformError::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = PlatformError::UnknownFunction { name: "f".into() };
+        assert!(e.to_string().contains("'f'"));
+        assert!(Error::source(&e).is_none());
+        let e: PlatformError = sandbox::SandboxError::Config { detail: "x".into() }.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

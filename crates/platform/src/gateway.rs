@@ -1,0 +1,175 @@
+use std::fmt;
+
+use runtimes::ExecReport;
+use sandbox::{BootEngine, BootOutcome};
+use simtime::{CostModel, SimClock, SimNanos};
+
+use crate::{FunctionRegistry, PlatformError};
+
+/// One end-to-end invocation: boot + handler execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvocationReport {
+    /// Startup latency (gateway request → handler ready).
+    pub boot: SimNanos,
+    /// Handler execution latency.
+    pub exec: SimNanos,
+}
+
+impl InvocationReport {
+    /// Total user-visible latency.
+    pub fn total(self) -> SimNanos {
+        self.boot + self.exec
+    }
+
+    /// Fig. 1's x-axis: execution latency as a fraction of overall latency.
+    pub fn execution_ratio(self) -> f64 {
+        if self.total().is_zero() {
+            return 0.0;
+        }
+        self.exec.as_nanos() as f64 / self.total().as_nanos() as f64
+    }
+}
+
+/// The per-server gateway daemon (paper §2.1): accepts "invoke function"
+/// requests and starts sandboxes through a pluggable [`BootEngine`].
+pub struct Gateway<E: BootEngine> {
+    engine: E,
+    registry: FunctionRegistry,
+    model: CostModel,
+    invocations: u64,
+}
+
+impl<E: BootEngine> Gateway<E> {
+    /// A gateway over `engine` with the given machine model.
+    pub fn new(engine: E, model: CostModel) -> Gateway<E> {
+        Gateway {
+            engine,
+            registry: FunctionRegistry::new(),
+            model,
+            invocations: 0,
+        }
+    }
+
+    /// Deploys a function.
+    pub fn register(&mut self, profile: runtimes::AppProfile) {
+        self.registry.register(profile);
+    }
+
+    /// The registry.
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    /// The engine (for engine-specific preparation).
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
+    /// Requests served.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Serves one request end to end: boot an ephemeral sandbox, run the
+    /// handler, tear down. Returns the latency split.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownFunction`]; engine and handler errors.
+    pub fn invoke(&mut self, function: &str) -> Result<InvocationReport, PlatformError> {
+        let (report, _, _) = self.invoke_detailed(function)?;
+        Ok(report)
+    }
+
+    /// [`Gateway::invoke`], also returning the boot outcome and exec report
+    /// for experiments that need breakdowns or the live sandbox.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Gateway::invoke`].
+    pub fn invoke_detailed(
+        &mut self,
+        function: &str,
+    ) -> Result<(InvocationReport, BootOutcome, ExecReport), PlatformError> {
+        let profile = self
+            .registry
+            .get(function)
+            .ok_or_else(|| PlatformError::UnknownFunction {
+                name: function.to_string(),
+            })?
+            .clone();
+        let clock = SimClock::new();
+        let mut outcome = self.engine.boot(&profile, &clock, &self.model)?;
+        let boot = clock.now();
+        let exec_report = outcome.program.invoke_handler(&clock, &self.model)?;
+        self.invocations += 1;
+        Ok((
+            InvocationReport {
+                boot,
+                exec: clock.now() - boot,
+            },
+            outcome,
+            exec_report,
+        ))
+    }
+}
+
+impl<E: BootEngine> fmt::Debug for Gateway<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gateway")
+            .field("engine", &self.engine.name())
+            .field("functions", &self.registry.len())
+            .field("invocations", &self.invocations)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalyzer::{BootMode, CatalyzerEngine};
+    use runtimes::AppProfile;
+    use sandbox::GvisorEngine;
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let model = CostModel::experimental_machine();
+        let mut gw = Gateway::new(GvisorEngine::new(), model);
+        assert!(matches!(
+            gw.invoke("ghost").unwrap_err(),
+            PlatformError::UnknownFunction { .. }
+        ));
+    }
+
+    #[test]
+    fn gvisor_hello_is_startup_dominated() {
+        let model = CostModel::experimental_machine();
+        let mut gw = Gateway::new(GvisorEngine::new(), model);
+        gw.register(AppProfile::python_hello());
+        let r = gw.invoke("Python-hello").unwrap();
+        // Fig. 1: in gVisor, startup dominates for most functions.
+        assert!(r.execution_ratio() < 0.3, "ratio {}", r.execution_ratio());
+        assert_eq!(gw.invocations(), 1);
+    }
+
+    #[test]
+    fn catalyzer_flips_the_ratio() {
+        let model = CostModel::experimental_machine();
+        let mut gw = Gateway::new(CatalyzerEngine::standalone(BootMode::Fork), model);
+        gw.register(AppProfile::python_django());
+        let r = gw.invoke("Python-Django").unwrap();
+        assert!(r.execution_ratio() > 0.9, "ratio {}", r.execution_ratio());
+    }
+
+    #[test]
+    fn invocation_report_math() {
+        let r = InvocationReport {
+            boot: SimNanos::from_millis(30),
+            exec: SimNanos::from_millis(10),
+        };
+        assert_eq!(r.total(), SimNanos::from_millis(40));
+        assert_eq!(r.execution_ratio(), 0.25);
+        let zero = InvocationReport { boot: SimNanos::ZERO, exec: SimNanos::ZERO };
+        assert_eq!(zero.execution_ratio(), 0.0);
+    }
+}

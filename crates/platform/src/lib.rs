@@ -1,0 +1,48 @@
+//! The serverless platform layer.
+//!
+//! The paper's end-to-end experiments run whole functions through a gateway
+//! (§2.1): a request arrives, a sandbox boots, the handler executes, and the
+//! user-visible latency is `boot + execution`. This crate provides:
+//!
+//! - [`FunctionRegistry`]: the deployed functions;
+//! - [`Gateway`]: per-request invocation over any [`sandbox::BootEngine`],
+//!   producing [`InvocationReport`]s (Fig. 1's ratio, Fig. 13's bars);
+//! - [`scaling`]: startup latency under 0–1000 concurrent running instances
+//!   (Fig. 15), with a deterministic contention model;
+//! - [`memory`]: RSS/PSS accounting across concurrent sandboxes (Fig. 14);
+//! - [`policy`]: boot-mode selection and the cache-vs-fork tail-latency
+//!   experiment (§6.9 "sustainable hot boot");
+//! - [`pool`]: an autoscaling instance pool with keep-alive expiry, showing
+//!   where cold starts come from in the first place.
+//!
+//! # Example
+//!
+//! ```
+//! use platform::Gateway;
+//! use runtimes::AppProfile;
+//! use sandbox::GvisorEngine;
+//! use simtime::CostModel;
+//!
+//! let model = CostModel::experimental_machine();
+//! let mut gw = Gateway::new(GvisorEngine::new(), model);
+//! gw.register(AppProfile::c_hello());
+//! let report = gw.invoke("C-hello")?;
+//! assert!(report.boot > report.exec, "hello is startup-dominated");
+//! # Ok::<(), platform::PlatformError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod error;
+mod gateway;
+pub mod memory;
+pub mod policy;
+pub mod pool;
+mod registry;
+pub mod simulate;
+pub mod scaling;
+
+pub use error::PlatformError;
+pub use gateway::{Gateway, InvocationReport};
+pub use registry::FunctionRegistry;

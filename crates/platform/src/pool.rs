@@ -1,0 +1,193 @@
+//! An autoscaling instance pool: the piece of a serverless platform that
+//! decides *when* a boot happens at all.
+//!
+//! The gateway serves each request from an idle instance when one exists;
+//! otherwise it boots a new instance through the engine (scale-up). Idle
+//! instances expire after `keep_alive` of virtual inactivity (scale-down) —
+//! the classic keep-alive policy whose cold-start tail Catalyzer's fork boot
+//! eliminates (paper §2.2 "caching does not help with the tail latency").
+
+use std::collections::VecDeque;
+
+use runtimes::AppProfile;
+use sandbox::{BootEngine, BootOutcome};
+use simtime::{CostModel, SimClock, SimNanos};
+
+use crate::PlatformError;
+
+/// One pooled, idle instance.
+#[derive(Debug)]
+struct IdleInstance {
+    outcome: BootOutcome,
+    idle_since: SimNanos,
+}
+
+/// Pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests served from an idle instance.
+    pub reuses: u64,
+    /// Requests that required a new boot.
+    pub boots: u64,
+    /// Instances reclaimed by keep-alive expiry.
+    pub expirations: u64,
+}
+
+/// An autoscaling pool for one function over one boot engine.
+///
+/// Time is the *platform's* virtual timeline: pass the arrival clock reading
+/// with each request, monotonically non-decreasing.
+#[derive(Debug)]
+pub struct InstancePool<E: BootEngine> {
+    engine: E,
+    profile: AppProfile,
+    keep_alive: SimNanos,
+    max_idle: usize,
+    idle: VecDeque<IdleInstance>,
+    stats: PoolStats,
+}
+
+impl<E: BootEngine> InstancePool<E> {
+    /// A pool for `profile` with the given keep-alive window and idle cap.
+    pub fn new(engine: E, profile: AppProfile, keep_alive: SimNanos, max_idle: usize) -> Self {
+        InstancePool {
+            engine,
+            profile,
+            keep_alive,
+            max_idle,
+            idle: VecDeque::new(),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Pool statistics so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Idle instances currently held.
+    pub fn idle_count(&self) -> usize {
+        self.idle.len()
+    }
+
+    /// Expires idle instances older than the keep-alive window at `now`.
+    pub fn reap(&mut self, now: SimNanos) {
+        let keep_alive = self.keep_alive;
+        let before = self.idle.len();
+        self.idle
+            .retain(|i| now.saturating_sub(i.idle_since) < keep_alive);
+        self.stats.expirations += (before - self.idle.len()) as u64;
+    }
+
+    /// Serves one request arriving at `now`: reuse an idle instance or boot
+    /// a new one; run the handler; park the instance back in the pool.
+    /// Returns `(startup latency, execution latency, was_reuse)`.
+    ///
+    /// # Errors
+    ///
+    /// Engine or handler errors.
+    pub fn serve(
+        &mut self,
+        now: SimNanos,
+        model: &CostModel,
+    ) -> Result<(SimNanos, SimNanos, bool), PlatformError> {
+        self.reap(now);
+        let (mut outcome, startup, reused) = match self.idle.pop_front() {
+            Some(instance) => {
+                self.stats.reuses += 1;
+                // Reuse: scheduler hand-off only.
+                (instance.outcome, SimNanos::from_micros(150), true)
+            }
+            None => {
+                self.stats.boots += 1;
+                let clock = SimClock::new();
+                let outcome = self.engine.boot(&self.profile, &clock, model)?;
+                (outcome, clock.now(), false)
+            }
+        };
+        let clock = SimClock::new();
+        outcome.program.invoke_handler(&clock, model)?;
+        let exec = clock.now();
+        if self.idle.len() < self.max_idle {
+            self.idle.push_back(IdleInstance {
+                outcome,
+                idle_since: now + startup + exec,
+            });
+        }
+        Ok((startup, exec, reused))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalyzer::{BootMode, CatalyzerEngine};
+    use sandbox::GvisorRestoreEngine;
+
+    fn model() -> CostModel {
+        CostModel::experimental_machine()
+    }
+
+    #[test]
+    fn reuses_within_keep_alive_boots_after() {
+        let model = model();
+        let mut pool = InstancePool::new(
+            GvisorRestoreEngine::new(),
+            AppProfile::c_hello(),
+            SimNanos::from_secs(10),
+            4,
+        );
+        let (s1, _, reused1) = pool.serve(SimNanos::ZERO, &model).unwrap();
+        assert!(!reused1);
+        assert!(s1 > SimNanos::from_millis(50), "first request cold boots");
+
+        let (s2, _, reused2) = pool.serve(SimNanos::from_secs(1), &model).unwrap();
+        assert!(reused2, "warm instance must be reused");
+        assert!(s2 < SimNanos::from_millis(1));
+
+        // Past the keep-alive window, the instance is gone: cold again.
+        let (s3, _, reused3) = pool.serve(SimNanos::from_secs(60), &model).unwrap();
+        assert!(!reused3);
+        assert!(s3 > SimNanos::from_millis(50));
+        assert_eq!(pool.stats().expirations, 1);
+        assert_eq!(pool.stats().boots, 2);
+        assert_eq!(pool.stats().reuses, 1);
+    }
+
+    #[test]
+    fn burst_beyond_pool_boots_every_time_but_fork_boot_stays_cheap() {
+        let model = model();
+        let mut pool = InstancePool::new(
+            CatalyzerEngine::standalone(BootMode::Fork),
+            AppProfile::c_hello(),
+            SimNanos::from_secs(10),
+            0, // nothing is ever parked: every request "misses"
+        );
+        for i in 0..10 {
+            let (startup, _, reused) = pool
+                .serve(SimNanos::from_millis(i * 10), &model)
+                .unwrap();
+            assert!(!reused);
+            assert!(
+                startup < SimNanos::from_millis(1),
+                "fork boot keeps even 100% miss rates sub-ms: {startup}"
+            );
+        }
+        assert_eq!(pool.stats().boots, 10);
+    }
+
+    #[test]
+    fn max_idle_caps_the_pool() {
+        let model = model();
+        let mut pool = InstancePool::new(
+            CatalyzerEngine::standalone(BootMode::Fork),
+            AppProfile::c_hello(),
+            SimNanos::from_secs(100),
+            2,
+        );
+        for i in 0..5 {
+            pool.serve(SimNanos::from_millis(i), &model).unwrap();
+        }
+        assert!(pool.idle_count() <= 2);
+    }
+}

@@ -1,0 +1,70 @@
+use std::collections::BTreeMap;
+
+use runtimes::AppProfile;
+
+/// The functions deployed on a platform.
+#[derive(Debug, Default)]
+pub struct FunctionRegistry {
+    functions: BTreeMap<String, AppProfile>,
+}
+
+impl FunctionRegistry {
+    /// An empty registry.
+    pub fn new() -> FunctionRegistry {
+        FunctionRegistry::default()
+    }
+
+    /// Deploys (or redeploys) a function.
+    pub fn register(&mut self, profile: AppProfile) {
+        self.functions.insert(profile.name.clone(), profile);
+    }
+
+    /// Looks up a function.
+    pub fn get(&self, name: &str) -> Option<&AppProfile> {
+        self.functions.get(name)
+    }
+
+    /// Deployed function count.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// True if nothing is deployed.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Iterates deployed functions in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &AppProfile> {
+        self.functions.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = FunctionRegistry::new();
+        assert!(r.is_empty());
+        r.register(AppProfile::c_hello());
+        r.register(AppProfile::java_hello());
+        assert_eq!(r.len(), 2);
+        assert!(r.get("C-hello").is_some());
+        assert!(r.get("nope").is_none());
+        let names: Vec<&str> = r.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["C-hello", "Java-hello"]);
+    }
+
+    #[test]
+    fn redeploy_replaces() {
+        let mut r = FunctionRegistry::new();
+        r.register(AppProfile::c_hello());
+        let mut changed = AppProfile::c_hello();
+        changed.exec_alloc_pages = 99;
+        r.register(changed);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get("C-hello").unwrap().exec_alloc_pages, 99);
+    }
+}

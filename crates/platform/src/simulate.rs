@@ -1,0 +1,235 @@
+//! Event-driven platform simulation: a request trace drives per-function
+//! [`InstancePool`]s on a shared virtual timeline, producing the
+//! startup-latency distribution, reuse rate, and peak concurrency a real
+//! deployment would see.
+//!
+//! This is the glue between `workloads::generator` traces and the boot
+//! engines — the platform-level view the paper's §6.9 lessons are about:
+//! with keep-alive caching, tail latency tracks the *miss* pattern of the
+//! trace; with fork boot, the trace shape stops mattering.
+
+use runtimes::AppProfile;
+use sandbox::BootEngine;
+use simtime::stats::{summarize, Summary};
+use simtime::{CostModel, SimNanos};
+
+use crate::pool::{InstancePool, PoolStats};
+use crate::PlatformError;
+
+/// A request against the simulated platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRequest {
+    /// Virtual arrival time.
+    pub arrival: SimNanos,
+    /// Index into the function list.
+    pub function: usize,
+}
+
+/// The outcome of driving a trace through the platform.
+#[derive(Debug, Clone)]
+pub struct SimulationOutcome {
+    /// Startup-latency distribution across all requests.
+    pub startup: Summary,
+    /// End-to-end (startup + execution) distribution.
+    pub end_to_end: Summary,
+    /// Fraction of requests served by reusing an idle instance.
+    pub reuse_rate: f64,
+    /// Aggregated pool statistics (summed over functions).
+    pub pools: PoolStats,
+    /// Maximum requests in flight at any instant.
+    pub peak_concurrency: usize,
+}
+
+/// Drives `requests` (sorted by arrival) through one pool per function.
+///
+/// `make_engine` constructs the boot engine for each function's pool, so a
+/// caller can simulate a homogeneous fleet (`|_| GvisorRestoreEngine::new()`)
+/// or per-function choices.
+///
+/// # Errors
+///
+/// Engine or handler errors.
+///
+/// # Panics
+///
+/// Panics if any request indexes past `functions`, or arrivals go backwards.
+pub fn run<E, F>(
+    functions: &[AppProfile],
+    requests: &[TraceRequest],
+    keep_alive: SimNanos,
+    max_idle: usize,
+    mut make_engine: F,
+    model: &CostModel,
+) -> Result<SimulationOutcome, PlatformError>
+where
+    E: BootEngine,
+    F: FnMut(&AppProfile) -> E,
+{
+    let mut pools: Vec<InstancePool<E>> = functions
+        .iter()
+        .map(|p| InstancePool::new(make_engine(p), p.clone(), keep_alive, max_idle))
+        .collect();
+
+    let mut startups = Vec::with_capacity(requests.len());
+    let mut totals = Vec::with_capacity(requests.len());
+    let mut completions: Vec<SimNanos> = Vec::new();
+    let mut reuses = 0u64;
+    let mut peak = 0usize;
+    let mut last_arrival = SimNanos::ZERO;
+
+    for req in requests {
+        assert!(req.arrival >= last_arrival, "trace must be time-sorted");
+        last_arrival = req.arrival;
+        let pool = pools
+            .get_mut(req.function)
+            .unwrap_or_else(|| panic!("request for unknown function {}", req.function));
+
+        let (startup, exec, reused) = pool.serve(req.arrival, model)?;
+        if reused {
+            reuses += 1;
+        }
+        startups.push(startup);
+        totals.push(startup + exec);
+        completions.push(req.arrival + startup + exec);
+
+        // Concurrency: requests whose completion is after this arrival.
+        completions.retain(|&c| c > req.arrival);
+        peak = peak.max(completions.len() + 1);
+    }
+
+    let pools_stats = pools.iter().fold(PoolStats::default(), |acc, p| {
+        let s = p.stats();
+        PoolStats {
+            reuses: acc.reuses + s.reuses,
+            boots: acc.boots + s.boots,
+            expirations: acc.expirations + s.expirations,
+        }
+    });
+    Ok(SimulationOutcome {
+        startup: summarize(&startups).expect("non-empty trace"),
+        end_to_end: summarize(&totals).expect("non-empty trace"),
+        reuse_rate: reuses as f64 / requests.len() as f64,
+        pools: pools_stats,
+        peak_concurrency: peak,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalyzer::{BootMode, CatalyzerEngine};
+    use sandbox::GvisorRestoreEngine;
+
+    fn functions() -> Vec<AppProfile> {
+        vec![AppProfile::c_hello(), AppProfile::c_nginx()]
+    }
+
+    fn steady_trace(n: usize, gap: SimNanos) -> Vec<TraceRequest> {
+        (0..n)
+            .map(|i| TraceRequest {
+                arrival: gap.saturating_mul(i as u64),
+                function: i % 2,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn steady_traffic_reuses_after_warmup() {
+        let model = CostModel::experimental_machine();
+        let outcome = run(
+            &functions(),
+            &steady_trace(20, SimNanos::from_millis(500)),
+            SimNanos::from_secs(5),
+            4,
+            |_| GvisorRestoreEngine::new(),
+            &model,
+        )
+        .unwrap();
+        // 2 cold boots (one per function), 18 reuses.
+        assert_eq!(outcome.pools.boots, 2);
+        assert!((outcome.reuse_rate - 0.9).abs() < 1e-9, "{}", outcome.reuse_rate);
+        // The p99 startup is still a cold boot: caching can't fix the tail.
+        assert!(outcome.startup.p99 > SimNanos::from_millis(50));
+        assert!(outcome.startup.p50 < SimNanos::from_millis(1));
+    }
+
+    #[test]
+    fn sparse_traffic_expires_and_recolds() {
+        let model = CostModel::experimental_machine();
+        let outcome = run(
+            &functions(),
+            &steady_trace(8, SimNanos::from_secs(30)),
+            SimNanos::from_secs(5), // shorter than the inter-arrival gap
+            4,
+            |_| GvisorRestoreEngine::new(),
+            &model,
+        )
+        .unwrap();
+        assert_eq!(outcome.pools.boots, 8, "every request cold boots");
+        assert_eq!(outcome.reuse_rate, 0.0);
+        assert!(outcome.pools.expirations > 0);
+    }
+
+    #[test]
+    fn fork_boot_fleet_has_flat_distribution() {
+        let model = CostModel::experimental_machine();
+        let outcome = run(
+            &functions(),
+            &steady_trace(20, SimNanos::from_secs(30)), // all keep-alive misses
+            SimNanos::from_secs(1),
+            0,
+            |_| CatalyzerEngine::standalone(BootMode::Fork),
+            &model,
+        )
+        .unwrap();
+        assert_eq!(outcome.reuse_rate, 0.0);
+        assert!(
+            outcome.startup.p99 < SimNanos::from_millis(1),
+            "{:?}",
+            outcome.startup
+        );
+        // max/min within 2x: no tail at all.
+        assert!(outcome.startup.max < outcome.startup.min.saturating_mul(2));
+    }
+
+    #[test]
+    fn burst_drives_peak_concurrency() {
+        let model = CostModel::experimental_machine();
+        // 10 requests in the same millisecond: executions overlap.
+        let burst: Vec<TraceRequest> = (0..10)
+            .map(|i| TraceRequest {
+                arrival: SimNanos::from_micros(i * 100),
+                function: 0,
+            })
+            .collect();
+        let outcome = run(
+            &[AppProfile::c_nginx()],
+            &burst,
+            SimNanos::from_secs(5),
+            0, // no reuse: every request boots its own instance
+            |_| CatalyzerEngine::standalone(BootMode::Fork),
+            &model,
+        )
+        .unwrap();
+        assert!(outcome.peak_concurrency > 1, "{}", outcome.peak_concurrency);
+        assert_eq!(outcome.pools.boots, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-sorted")]
+    fn unsorted_trace_rejected() {
+        let model = CostModel::experimental_machine();
+        let bad = vec![
+            TraceRequest { arrival: SimNanos::from_secs(1), function: 0 },
+            TraceRequest { arrival: SimNanos::ZERO, function: 0 },
+        ];
+        let _ = run(
+            &[AppProfile::c_hello()],
+            &bad,
+            SimNanos::from_secs(1),
+            1,
+            |_| CatalyzerEngine::standalone(BootMode::Fork),
+            &model,
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Simulated language runtimes and the application catalogue.
+//!
+//! The paper's Insight I is that most serverless startup latency is
+//! *application initialization* — JVM start, class loading, interpreter
+//! setup — not sandbox creation (§2.2, Fig. 4). This crate models the five
+//! evaluated language runtimes (C, Java, Python, Ruby, Node.js) as programs
+//! that, when initialized, create **real state** against the substrates:
+//!
+//! - they allocate and fill guest heap pages in a [`memsim::AddressSpace`]
+//!   (deterministic per-page patterns, so restores are verifiable);
+//! - they populate the [`guest_kernel::GuestKernel`] object graph to the
+//!   paper-calibrated size (37 838 objects for SPECjbb);
+//! - they open files and sockets through the live VFS/net subsystems;
+//! - they charge the calibrated runtime-start and unit-load costs.
+//!
+//! Execution (the handler) then *touches a small fraction* of that state —
+//! the paper's Insight II — driving demand paging and CoW on whatever boot
+//! path produced the sandbox.
+//!
+//! # Example
+//!
+//! ```
+//! use runtimes::{AppProfile, WrappedProgram};
+//! use simtime::{CostModel, SimClock};
+//!
+//! let profile = AppProfile::c_hello();
+//! let model = CostModel::experimental_machine();
+//! let clock = SimClock::new();
+//! let mut program = WrappedProgram::start(&profile, &clock, &model)?;
+//! program.run_to_entry_point(&clock, &model)?;     // application init
+//! let report = program.invoke_handler(&clock, &model)?; // handler run
+//! assert!(report.exec_time > simtime::SimNanos::ZERO);
+//! # Ok::<(), runtimes::RuntimeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod error;
+mod kind;
+mod profile;
+mod program;
+
+pub use error::RuntimeError;
+pub use kind::RuntimeKind;
+pub use profile::AppProfile;
+pub use program::{heap_page_byte, ExecReport, InitReport, WrappedProgram, HEAP_BASE};

@@ -1,0 +1,139 @@
+//! The common boot-engine interface and phase conventions.
+
+use runtimes::{AppProfile, WrappedProgram};
+use simtime::{Breakdown, CostModel, SimClock, SimNanos};
+
+use crate::host::{HostTweaks, KvmDevice};
+use crate::SandboxError;
+
+/// Phase-name prefix for sandbox-initialization work (Fig. 4's "Sandbox").
+pub const PHASE_SANDBOX: &str = "sandbox:";
+/// Phase name for application initialization (Fig. 4's "Application").
+pub const PHASE_APP: &str = "app:init";
+/// Phase name for guest-kernel (non-I/O) state recovery (Fig. 12 "Kernel").
+pub const PHASE_RESTORE_KERNEL: &str = "restore:kernel";
+/// Phase name for application-memory loading (Fig. 12 "Memory").
+pub const PHASE_RESTORE_MEMORY: &str = "restore:memory";
+/// Phase name for I/O reconnection (Fig. 12 "I/O").
+pub const PHASE_RESTORE_IO: &str = "restore:io";
+
+/// Isolation strength, for the Fig. 3 design-space chart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IsolationLevel {
+    /// Software process/thread isolation.
+    Low,
+    /// Software container isolation (shared host kernel).
+    Medium,
+    /// Hardware virtualization.
+    High,
+}
+
+/// The result of booting one sandbox: a program parked at its handler,
+/// ready to serve, plus full latency accounting.
+#[derive(Debug)]
+pub struct BootOutcome {
+    /// Which engine produced this boot.
+    pub system: &'static str,
+    /// Total startup latency (gateway request → handler ready).
+    pub boot_latency: SimNanos,
+    /// Ordered phase breakdown.
+    pub breakdown: Breakdown,
+    /// The booted program (invoke its handler to serve requests).
+    pub program: WrappedProgram,
+}
+
+impl BootOutcome {
+    /// Latency attributed to sandbox initialization (Fig. 4).
+    pub fn sandbox_time(&self) -> SimNanos {
+        self.breakdown.total_matching(|n| n.starts_with(PHASE_SANDBOX))
+    }
+
+    /// Latency attributed to application initialization (Fig. 4). Restore
+    /// phases count here: they are the *transformed* application-init cost.
+    pub fn app_time(&self) -> SimNanos {
+        self.breakdown
+            .total_matching(|n| n == PHASE_APP || n.starts_with("restore:"))
+    }
+
+    /// The Fig. 12 three-way split: (kernel, memory, io) restore costs.
+    pub fn restore_split(&self) -> (SimNanos, SimNanos, SimNanos) {
+        (
+            self.breakdown.total_for(PHASE_RESTORE_KERNEL),
+            self.breakdown.total_for(PHASE_RESTORE_MEMORY),
+            self.breakdown.total_for(PHASE_RESTORE_IO),
+        )
+    }
+}
+
+/// A serverless sandbox design: boots function instances.
+///
+/// Engines are stateful where the design is (image caches, zygote pools,
+/// templates); `boot` may be called repeatedly and concurrently-ish (the
+/// simulation is single-threaded, but instances must not alias state they
+/// should not share).
+pub trait BootEngine {
+    /// Engine name as printed in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Where the design sits in Fig. 3.
+    fn isolation(&self) -> IsolationLevel;
+
+    /// Boots one instance of `profile`, charging `clock` for everything on
+    /// the startup critical path.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SandboxError`] from the substrates.
+    fn boot(
+        &mut self,
+        profile: &AppProfile,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<BootOutcome, SandboxError>;
+}
+
+/// Shared helper: hardware-virtualization setup (KVM VM, VCPUs, memory
+/// regions) as performed by every VM-based engine.
+pub(crate) fn virtualization_setup(
+    tweaks: HostTweaks,
+    vcpus: u32,
+    regions: u64,
+    clock: &SimClock,
+    model: &CostModel,
+) -> KvmDevice {
+    let mut kvm = KvmDevice::create(tweaks, clock, model);
+    for _ in 0..vcpus {
+        kvm.create_vcpu(clock, model);
+    }
+    // KVM management allocations taken during VM construction.
+    kvm.kvcalloc(clock, model);
+    kvm.kvcalloc(clock, model);
+    for _ in 0..regions {
+        kvm.set_memory_region(clock, model);
+    }
+    kvm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolation_levels_order() {
+        assert!(IsolationLevel::Low < IsolationLevel::Medium);
+        assert!(IsolationLevel::Medium < IsolationLevel::High);
+    }
+
+    #[test]
+    fn virtualization_setup_charges() {
+        let clock = SimClock::new();
+        let model = CostModel::experimental_machine();
+        let kvm = virtualization_setup(HostTweaks::baseline(), 2, 3, &clock, &model);
+        assert_eq!(kvm.vcpus(), 2);
+        assert_eq!(kvm.regions(), 3);
+        // Fig. 2 calibration: gVisor's "create and initialize
+        // kernel/platform" step lands near 0.757 ms + region setup.
+        let ms = clock.now().as_millis_f64();
+        assert!((0.5..1.6).contains(&ms), "setup cost {ms} ms");
+    }
+}

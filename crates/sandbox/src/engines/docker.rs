@@ -1,0 +1,113 @@
+//! Docker (runc-style) containers: fast-ish sandbox setup, shared host
+//! kernel (medium isolation), full application initialization on every boot.
+
+use runtimes::{AppProfile, WrappedProgram};
+use simtime::{CostModel, PhaseRecorder, SimClock};
+
+use crate::boot::{BootEngine, BootOutcome, IsolationLevel, PHASE_APP};
+use crate::config::OciConfig;
+use crate::SandboxError;
+
+/// The Docker baseline engine.
+#[derive(Debug, Default)]
+pub struct DockerEngine {
+    boots: u64,
+}
+
+impl DockerEngine {
+    /// Creates the engine.
+    pub fn new() -> DockerEngine {
+        DockerEngine::default()
+    }
+
+    /// Boots performed.
+    pub fn boots(&self) -> u64 {
+        self.boots
+    }
+}
+
+impl BootEngine for DockerEngine {
+    fn name(&self) -> &'static str {
+        "Docker"
+    }
+
+    fn isolation(&self) -> IsolationLevel {
+        IsolationLevel::Medium
+    }
+
+    fn boot(
+        &mut self,
+        profile: &AppProfile,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<BootOutcome, SandboxError> {
+        self.boots += 1;
+        let start = clock.now();
+        let mut rec = PhaseRecorder::new(clock);
+
+        let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
+        rec.phase("sandbox:parse-config", |clk| OciConfig::parse(&json, clk, model))?;
+        rec.phase("sandbox:container-runtime", |clk| {
+            clk.charge(model.host.container_runtime_overhead);
+        });
+        let mut program = rec.phase("sandbox:namespaces+process", |clk| {
+            let mut program = WrappedProgram::start(profile, clk, model)?;
+            // runc sets up pid/user/net/mnt namespaces and cgroups.
+            for ns in ["mnt", "cgroup"] {
+                program.kernel.tasks.add_namespace(ns, 0, clk, model);
+            }
+            clk.charge(model.host.process_spawn);
+            Ok::<_, SandboxError>(program)
+        })?;
+        rec.phase("sandbox:rootfs-mounts", |clk| {
+            program.kernel.vfs.mount(
+                guest_kernel::vfs::MountInfo {
+                    source: "proc".into(),
+                    target: "/proc".into(),
+                    fs_type: "proc".into(),
+                },
+                clk,
+                model,
+            );
+        });
+        rec.phase(PHASE_APP, |clk| program.run_to_entry_point(clk, model))?;
+
+        Ok(BootOutcome {
+            system: self.name(),
+            boot_latency: clock.since(start),
+            breakdown: rec.finish(),
+            program,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn docker_boot_shape() {
+        let model = CostModel::experimental_machine();
+        let clock = SimClock::new();
+        let mut engine = DockerEngine::new();
+        let boot = engine.boot(&AppProfile::python_hello(), &clock, &model).unwrap();
+        assert_eq!(boot.system, "Docker");
+        // Paper: Docker startup > 100 ms; Python-hello is sandbox-dominated.
+        let total = boot.boot_latency.as_millis_f64();
+        assert!(total > 100.0, "total {total} ms");
+        let sandbox = boot.sandbox_time().as_millis_f64();
+        assert!(sandbox > 80.0, "sandbox {sandbox} ms");
+        assert_eq!(engine.boots(), 1);
+        assert!(boot.program.at_entry_point());
+    }
+
+    #[test]
+    fn app_init_dominates_for_java() {
+        let model = CostModel::experimental_machine();
+        let mut engine = DockerEngine::new();
+        let boot = engine
+            .boot(&AppProfile::java_specjbb(), &SimClock::new(), &model)
+            .unwrap();
+        assert!(boot.app_time() > boot.sandbox_time().saturating_mul(10));
+    }
+}

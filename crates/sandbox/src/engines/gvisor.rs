@@ -1,0 +1,170 @@
+//! gVisor (runsc): the Sentry user-space kernel over KVM — the paper's base
+//! system. The boot pipeline and its phase latencies reproduce Figure 2's
+//! upper ("Boot") path.
+
+use runtimes::{AppProfile, WrappedProgram};
+use simtime::{CostModel, PhaseRecorder, SimClock};
+
+use crate::boot::{virtualization_setup, BootEngine, BootOutcome, IsolationLevel, PHASE_APP};
+use crate::config::OciConfig;
+use crate::host::HostTweaks;
+use crate::SandboxError;
+
+/// The gVisor baseline engine.
+#[derive(Debug)]
+pub struct GvisorEngine {
+    tweaks: HostTweaks,
+}
+
+impl GvisorEngine {
+    /// Creates the engine with the paper's baseline host tweaks.
+    pub fn new() -> GvisorEngine {
+        GvisorEngine {
+            tweaks: HostTweaks::baseline(),
+        }
+    }
+
+    /// Overrides host tweaks.
+    pub fn with_tweaks(tweaks: HostTweaks) -> GvisorEngine {
+        GvisorEngine { tweaks }
+    }
+
+    /// The shared sandbox-preparation pipeline (also used by the restore
+    /// engines — gVisor-restore here, and Catalyzer's cold boot in the
+    /// `catalyzer` crate — which replace application init with restore
+    /// phases). Returns the program parked *before* application
+    /// initialization; pass `load_task_image = false` on restore paths,
+    /// which never load the wrapped program from the rootfs.
+    pub fn prepare_sandbox(
+        tweaks: HostTweaks,
+        profile: &AppProfile,
+        load_task_image: bool,
+        rec: &mut PhaseRecorder,
+        model: &CostModel,
+    ) -> Result<WrappedProgram, SandboxError> {
+        let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
+        let config = rec.phase("sandbox:parse-config", |clk| OciConfig::parse(&json, clk, model))?;
+        rec.phase("sandbox:boot-sandbox-process", |clk| {
+            clk.charge(model.host.process_spawn); // the Sentry
+            clk.charge(model.host.gofer_spawn); // the I/O (gofer) process
+        });
+        let mut program = rec.phase("sandbox:init-kernel-platform", |clk| {
+            virtualization_setup(tweaks, config.vcpus, 3, clk, model);
+            WrappedProgram::start(profile, clk, model)
+        })?;
+        rec.phase("sandbox:mount-rootfs", |clk| {
+            program.kernel.vfs.mount(
+                guest_kernel::vfs::MountInfo {
+                    source: "proc".into(),
+                    target: "/proc".into(),
+                    fs_type: "procfs".into(),
+                },
+                clk,
+                model,
+            );
+        });
+        if load_task_image {
+            rec.phase("sandbox:load-task-image", |clk| {
+                clk.charge(model.host.task_image_load);
+            });
+        }
+        Ok(program)
+    }
+}
+
+impl Default for GvisorEngine {
+    fn default() -> Self {
+        GvisorEngine::new()
+    }
+}
+
+impl BootEngine for GvisorEngine {
+    fn name(&self) -> &'static str {
+        "gVisor"
+    }
+
+    fn isolation(&self) -> IsolationLevel {
+        IsolationLevel::High
+    }
+
+    fn boot(
+        &mut self,
+        profile: &AppProfile,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<BootOutcome, SandboxError> {
+        let start = clock.now();
+        let mut rec = PhaseRecorder::new(clock);
+        let mut program = Self::prepare_sandbox(self.tweaks, profile, true, &mut rec, model)?;
+        rec.phase(PHASE_APP, |clk| program.run_to_entry_point(clk, model))?;
+        Ok(BootOutcome {
+            system: self.name(),
+            boot_latency: clock.since(start),
+            breakdown: rec.finish(),
+            program,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::SimNanos;
+
+    #[test]
+    fn fig2_sandbox_pipeline_near_22ms() {
+        let model = CostModel::experimental_machine();
+        let mut engine = GvisorEngine::new();
+        let boot = engine
+            .boot(&AppProfile::java_specjbb(), &SimClock::new(), &model)
+            .unwrap();
+        // Fig. 2: 1.369 + 0.319 + 0.757 + 19.889 ≈ 22.3 ms of sandbox init.
+        let sandbox = boot.sandbox_time().as_millis_f64();
+        assert!((20.0..28.0).contains(&sandbox), "sandbox {sandbox} ms");
+        assert!(
+            boot.breakdown.total_for("sandbox:parse-config")
+                >= SimNanos::from_millis_f64(1.369)
+        );
+        assert!(
+            (19.0..21.0).contains(
+                &boot
+                    .breakdown
+                    .total_for("sandbox:load-task-image")
+                    .as_millis_f64()
+            )
+        );
+    }
+
+    #[test]
+    fn specjbb_total_near_two_seconds() {
+        let model = CostModel::experimental_machine();
+        let boot = GvisorEngine::new()
+            .boot(&AppProfile::java_specjbb(), &SimClock::new(), &model)
+            .unwrap();
+        let total = boot.boot_latency.as_millis_f64();
+        // Fig. 6: gVisor Java-SPECjbb startup ≈ 2 s.
+        assert!((1_900.0..2_200.0).contains(&total), "total {total} ms");
+    }
+
+    #[test]
+    fn c_hello_near_142ms() {
+        let model = CostModel::experimental_machine();
+        let boot = GvisorEngine::new()
+            .boot(&AppProfile::c_hello(), &SimClock::new(), &model)
+            .unwrap();
+        let total = boot.boot_latency.as_millis_f64();
+        // Paper §6.2: 142 ms startup latency for C in gVisor.
+        assert!((125.0..160.0).contains(&total), "total {total} ms");
+    }
+
+    #[test]
+    fn booted_program_serves_requests() {
+        let model = CostModel::experimental_machine();
+        let clock = SimClock::new();
+        let mut boot = GvisorEngine::new()
+            .boot(&AppProfile::c_hello(), &clock, &model)
+            .unwrap();
+        let exec = boot.program.invoke_handler(&clock, &model).unwrap();
+        assert!(exec.pages_touched > 0);
+    }
+}

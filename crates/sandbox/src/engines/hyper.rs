@@ -1,0 +1,92 @@
+//! HyperContainer: container tooling around a hardware-virtualized guest —
+//! the heaviest baseline in Fig. 11.
+
+use runtimes::{AppProfile, WrappedProgram};
+use simtime::{CostModel, PhaseRecorder, SimClock};
+
+use crate::boot::{virtualization_setup, BootEngine, BootOutcome, IsolationLevel, PHASE_APP};
+use crate::config::OciConfig;
+use crate::host::HostTweaks;
+use crate::SandboxError;
+
+/// The HyperContainer baseline engine.
+#[derive(Debug, Default)]
+pub struct HyperContainerEngine;
+
+impl HyperContainerEngine {
+    /// Creates the engine.
+    pub fn new() -> HyperContainerEngine {
+        HyperContainerEngine
+    }
+}
+
+impl BootEngine for HyperContainerEngine {
+    fn name(&self) -> &'static str {
+        "HyperContainer"
+    }
+
+    fn isolation(&self) -> IsolationLevel {
+        IsolationLevel::High
+    }
+
+    fn boot(
+        &mut self,
+        profile: &AppProfile,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<BootOutcome, SandboxError> {
+        let start = clock.now();
+        let mut rec = PhaseRecorder::new(clock);
+
+        let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
+        let config = rec.phase("sandbox:parse-config", |clk| OciConfig::parse(&json, clk, model))?;
+        rec.phase("sandbox:hyperd", |clk| {
+            clk.charge(model.host.hyper_runtime_overhead);
+        });
+        rec.phase("sandbox:kvm-setup", |clk| {
+            virtualization_setup(HostTweaks::baseline(), config.vcpus, 5, clk, model)
+        });
+        rec.phase("sandbox:guest-linux-boot", |clk| {
+            // A full (not minimized) guest kernel plus the hyperstart agent.
+            clk.charge(model.kvm.guest_linux_boot.saturating_mul(2));
+        });
+        let mut program = rec.phase("sandbox:guest-userspace", |clk| {
+            let mut p = WrappedProgram::start(profile, clk, model)?;
+            p.kernel.tasks.add_namespace("mnt", 0, clk, model);
+            Ok::<_, SandboxError>(p)
+        })?;
+        rec.phase(PHASE_APP, |clk| program.run_to_entry_point(clk, model))?;
+
+        Ok(BootOutcome {
+            system: self.name(),
+            boot_latency: clock.since(start),
+            breakdown: rec.finish(),
+            program,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::docker::DockerEngine;
+    use crate::engines::firecracker::FirecrackerEngine;
+
+    #[test]
+    fn hyper_is_the_slowest_sandbox() {
+        let model = CostModel::experimental_machine();
+        let profile = AppProfile::python_hello();
+        let hyper = HyperContainerEngine::new()
+            .boot(&profile, &SimClock::new(), &model)
+            .unwrap();
+        let fc = FirecrackerEngine::new()
+            .boot(&profile, &SimClock::new(), &model)
+            .unwrap();
+        let docker = DockerEngine::new()
+            .boot(&profile, &SimClock::new(), &model)
+            .unwrap();
+        assert!(hyper.sandbox_time() > fc.sandbox_time());
+        assert!(hyper.sandbox_time() > docker.sandbox_time());
+        assert_eq!(hyper.system, "HyperContainer");
+    }
+}

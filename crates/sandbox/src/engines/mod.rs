@@ -1,0 +1,7 @@
+//! The baseline sandbox boot engines (paper §2.2, Fig. 3, Fig. 11).
+
+pub mod docker;
+pub mod firecracker;
+pub mod gvisor;
+pub mod gvisor_restore;
+pub mod hyper;

@@ -1,0 +1,55 @@
+//! Host model and baseline sandbox boot engines.
+//!
+//! This crate supplies the pieces *below* the guest kernel:
+//!
+//! - [`host`]: the KVM device model (ioctl latencies, `kvcalloc`, Page
+//!   Modification Logging — paper §6.7, Fig. 16b–c) and the host fd table
+//!   with its `dup` expansion bursts (Fig. 16d);
+//! - [`config`]: OCI-style configuration bundles and their parse cost
+//!   (Fig. 2's first phase);
+//! - [`BootEngine`]: the common interface every sandbox design implements,
+//!   producing a ready-to-invoke [`runtimes::WrappedProgram`] plus a phase
+//!   [`simtime::Breakdown`];
+//! - the baseline engines of §2.2 and Fig. 11: [`DockerEngine`],
+//!   [`HyperContainerEngine`], [`FirecrackerEngine`], [`GvisorEngine`], and
+//!   [`GvisorRestoreEngine`] (C/R with eager, on-critical-path recovery);
+//! - [`taxonomy`]: the design-space chart of Fig. 3.
+//!
+//! Catalyzer's own engines (cold/warm/fork boot) build on the same interface
+//! in the `catalyzer` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use runtimes::AppProfile;
+//! use sandbox::{BootEngine, GvisorEngine};
+//! use simtime::{CostModel, SimClock};
+//!
+//! let model = CostModel::experimental_machine();
+//! let mut engine = GvisorEngine::new();
+//! let clock = SimClock::new();
+//! let mut boot = engine.boot(&AppProfile::c_hello(), &clock, &model)?;
+//! // gVisor cold boot of C-hello ≈ 142 ms in the paper.
+//! let ms = boot.boot_latency.as_millis_f64();
+//! assert!((120.0..165.0).contains(&ms));
+//! boot.program.invoke_handler(&clock, &model)?;
+//! # Ok::<(), sandbox::SandboxError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod boot;
+pub mod config;
+mod engines;
+mod error;
+pub mod host;
+pub mod taxonomy;
+
+pub use boot::{BootEngine, BootOutcome, IsolationLevel, PHASE_APP, PHASE_RESTORE_IO, PHASE_RESTORE_KERNEL, PHASE_RESTORE_MEMORY, PHASE_SANDBOX};
+pub use engines::docker::DockerEngine;
+pub use engines::firecracker::FirecrackerEngine;
+pub use engines::gvisor::GvisorEngine;
+pub use engines::gvisor_restore::GvisorRestoreEngine;
+pub use engines::hyper::HyperContainerEngine;
+pub use error::SandboxError;

@@ -1,0 +1,78 @@
+//! The Fig. 3 design-space chart: isolation strength × startup class for
+//! every system the paper places.
+
+use crate::IsolationLevel;
+
+/// Startup-latency class (Fig. 3's y-axis bands).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StartupClass {
+    /// > 1000 ms.
+    Slow,
+    /// ~50–100 ms.
+    Fast,
+    /// ≤ 10 ms.
+    Extreme,
+}
+
+/// One placed system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignPoint {
+    /// System name.
+    pub system: &'static str,
+    /// Isolation strength.
+    pub isolation: IsolationLevel,
+    /// Startup class.
+    pub startup: StartupClass,
+    /// Whether this repository implements it as a runnable engine.
+    pub implemented: bool,
+}
+
+/// The paper's Fig. 3 placements.
+pub fn design_space() -> Vec<DesignPoint> {
+    use IsolationLevel::*;
+    use StartupClass::*;
+    vec![
+        DesignPoint { system: "HyperContainer", isolation: High, startup: Slow, implemented: true },
+        DesignPoint { system: "gVisor", isolation: High, startup: Slow, implemented: true },
+        DesignPoint { system: "Docker", isolation: Medium, startup: Fast, implemented: true },
+        DesignPoint { system: "FireCracker", isolation: High, startup: Fast, implemented: true },
+        DesignPoint { system: "gVisor-restore", isolation: High, startup: Fast, implemented: true },
+        DesignPoint { system: "SOCK", isolation: Medium, startup: Fast, implemented: false },
+        DesignPoint { system: "SAND", isolation: Medium, startup: Fast, implemented: false },
+        DesignPoint { system: "Replayable-Execution", isolation: Medium, startup: Extreme, implemented: false },
+        DesignPoint { system: "Catalyzer", isolation: High, startup: Extreme, implemented: true },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalyzer_is_uniquely_high_isolation_extreme_startup() {
+        let points = design_space();
+        let extreme_high: Vec<_> = points
+            .iter()
+            .filter(|p| p.isolation == IsolationLevel::High && p.startup == StartupClass::Extreme)
+            .collect();
+        assert_eq!(extreme_high.len(), 1);
+        assert_eq!(extreme_high[0].system, "Catalyzer");
+    }
+
+    #[test]
+    fn every_engine_in_this_repo_is_placed() {
+        let points = design_space();
+        for name in ["Docker", "FireCracker", "gVisor", "gVisor-restore", "HyperContainer", "Catalyzer"] {
+            assert!(
+                points.iter().any(|p| p.system == name && p.implemented),
+                "{name} missing from design space"
+            );
+        }
+    }
+
+    #[test]
+    fn startup_classes_order() {
+        assert!(StartupClass::Slow < StartupClass::Fast);
+        assert!(StartupClass::Fast < StartupClass::Extreme);
+    }
+}

@@ -1,0 +1,52 @@
+//! Virtual time and cost accounting for the Catalyzer reproduction.
+//!
+//! The Catalyzer paper ([Du et al., ASPLOS 2020]) reports wall-clock latencies
+//! measured on two physical machines (an i7-7700 desktop and a 96-core server)
+//! running a patched gVisor on Linux/KVM. This reproduction runs the same
+//! *mechanisms* (checkpoint/restore, on-demand paging, sandbox fork) on real
+//! Rust data structures, but the raw *hardware and host-kernel* costs — disk
+//! reads, KVM ioctls, page-fault traps, process spawns — are charged to a
+//! deterministic virtual clock using a calibrated [`CostModel`].
+//!
+//! The crate provides:
+//!
+//! - [`SimNanos`]: a nanosecond-precision virtual duration / instant newtype.
+//! - [`SimClock`]: an accumulating virtual clock that boot engines charge.
+//! - [`CostModel`]: every machine-level unit cost, with presets calibrated
+//!   against the numbers printed in the paper (see `DESIGN.md` §6).
+//! - [`PhaseRecorder`]: named-phase breakdowns matching the paper's Figure 2.
+//! - [`stats`]: summary statistics and CDFs used by the figure regenerators.
+//!
+//! # Example
+//!
+//! ```
+//! use simtime::{CostModel, PhaseRecorder, SimClock, SimNanos};
+//!
+//! let model = CostModel::experimental_machine();
+//! let clock = SimClock::new();
+//! let mut phases = PhaseRecorder::new(&clock);
+//!
+//! phases.phase("parse-config", |clk| {
+//!     clk.charge(model.host.config_parse_base);
+//! });
+//!
+//! assert_eq!(clock.now(), model.host.config_parse_base);
+//! assert!(phases.total() > SimNanos::ZERO);
+//! ```
+//!
+//! [Du et al., ASPLOS 2020]: https://doi.org/10.1145/3373376.3378512
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod clock;
+mod cost;
+mod duration;
+mod phase;
+pub mod jitter;
+pub mod stats;
+
+pub use clock::SimClock;
+pub use cost::{CostModel, HostCosts, IoCosts, KvmCosts, MachineKind, MemCosts, ObjectCosts};
+pub use duration::SimNanos;
+pub use phase::{Breakdown, PhaseRecorder};

@@ -1,0 +1,317 @@
+//! Summary statistics and CDFs for figure regeneration.
+//!
+//! Figure 1 of the paper is a CDF of the execution/overall-latency ratio
+//! across 14 serverless functions; Figure 16d plots per-invocation latency
+//! series with heavy tails. This module provides the small, dependency-free
+//! statistics needed to print those series.
+
+use crate::SimNanos;
+
+/// Summary statistics over a latency sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: SimNanos,
+    /// Minimum sample.
+    pub min: SimNanos,
+    /// Maximum sample.
+    pub max: SimNanos,
+    /// Median (p50).
+    pub p50: SimNanos,
+    /// 95th percentile.
+    pub p95: SimNanos,
+    /// 99th percentile.
+    pub p99: SimNanos,
+}
+
+/// Computes summary statistics. Returns `None` for an empty sample.
+///
+/// Percentiles use the nearest-rank method on a sorted copy.
+///
+/// # Example
+///
+/// ```
+/// use simtime::stats::summarize;
+/// use simtime::SimNanos;
+///
+/// let xs: Vec<SimNanos> = (1..=100).map(SimNanos::from_micros).collect();
+/// let s = summarize(&xs).unwrap();
+/// assert_eq!(s.p50, SimNanos::from_micros(50));
+/// assert_eq!(s.p99, SimNanos::from_micros(99));
+/// ```
+pub fn summarize(samples: &[SimNanos]) -> Option<Summary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let count = sorted.len();
+    let total_ns: u128 = sorted.iter().map(|d| d.as_nanos() as u128).sum();
+    let mean = SimNanos::from_nanos((total_ns / count as u128) as u64);
+    let rank = |p: f64| -> SimNanos {
+        let idx = ((p * count as f64).ceil() as usize).clamp(1, count) - 1;
+        sorted[idx]
+    };
+    Some(Summary {
+        count,
+        mean,
+        min: sorted[0],
+        max: sorted[count - 1],
+        p50: rank(0.50),
+        p95: rank(0.95),
+        p99: rank(0.99),
+    })
+}
+
+/// An empirical CDF over arbitrary `f64` values (e.g. latency *ratios* for
+/// Figure 1).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples; NaNs are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        assert!(sorted.iter().all(|x| !x.is_nan()), "CDF sample was NaN");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN"));
+        Cdf { sorted }
+    }
+
+    /// Fraction of samples ≤ `x` (0.0 for an empty CDF).
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&s| s <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// The value below which fraction `q` of samples fall (inverse CDF,
+    /// nearest rank). Returns `None` for an empty CDF.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let n = self.sorted.len();
+        let idx = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Some(self.sorted[idx])
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if no samples were provided.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Emits `(x, F(x))` steps for plotting/printing, one per sample.
+    pub fn steps(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(move |(i, &x)| (x, (i + 1) as f64 / n as f64))
+    }
+
+    /// The maximum sample, if any (Fig. 1 reports "the ratio of all functions
+    /// in gVisor can not even achieve 65.54 %": the CDF's max x).
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+}
+
+/// A log-scale latency histogram (power-of-two buckets from 1 µs), the shape
+/// used to summarize heavy-tailed host behaviour like Fig. 16d's `dup`
+/// latencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    const BASE_NS: u64 = 1_000; // first bucket: ≤1 µs
+    const BUCKETS: usize = 32; // up to ~4 000 s
+
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; Self::BUCKETS],
+            count: 0,
+        }
+    }
+
+    fn bucket_of(sample: SimNanos) -> usize {
+        let ns = sample.as_nanos().max(1);
+        let ratio = ns.div_ceil(Self::BASE_NS).max(1);
+        // Smallest power of two ≥ ratio names the bucket.
+        (ratio.next_power_of_two().trailing_zeros() as usize).min(Self::BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: SimNanos) {
+        self.buckets[Self::bucket_of(sample)] += 1;
+        self.count += 1;
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The inclusive upper bound of bucket `i`.
+    pub fn bucket_upper(i: usize) -> SimNanos {
+        SimNanos::from_nanos(Self::BASE_NS << i)
+    }
+
+    /// Iterates non-empty buckets as `(upper bound, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (SimNanos, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_upper(i), c))
+    }
+
+    /// An upper bound on the quantile `q` (the bucket boundary at or above
+    /// it). Returns `None` when empty.
+    pub fn quantile_upper(&self, q: f64) -> Option<SimNanos> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_upper(i));
+            }
+        }
+        Some(Self::bucket_upper(Self::BUCKETS - 1))
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl FromIterator<SimNanos> for Histogram {
+    fn from_iter<I: IntoIterator<Item = SimNanos>>(iter: I) -> Histogram {
+        let mut h = Histogram::new();
+        for s in iter {
+            h.record(s);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_empty_is_none() {
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn summarize_single_sample() {
+        let s = summarize(&[SimNanos::from_micros(7)]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, SimNanos::from_micros(7));
+        assert_eq!(s.min, s.max);
+        assert_eq!(s.p99, SimNanos::from_micros(7));
+    }
+
+    #[test]
+    fn summarize_percentiles() {
+        let xs: Vec<SimNanos> = (1..=1000).map(SimNanos::from_nanos).collect();
+        let s = summarize(&xs).unwrap();
+        assert_eq!(s.p50, SimNanos::from_nanos(500));
+        assert_eq!(s.p95, SimNanos::from_nanos(950));
+        assert_eq!(s.p99, SimNanos::from_nanos(990));
+        assert_eq!(s.min, SimNanos::from_nanos(1));
+        assert_eq!(s.max, SimNanos::from_nanos(1000));
+    }
+
+    #[test]
+    fn cdf_basic() {
+        let cdf = Cdf::from_samples([0.1, 0.5, 0.9, 0.3]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.at(0.0), 0.0);
+        assert_eq!(cdf.at(0.3), 0.5);
+        assert_eq!(cdf.at(1.0), 1.0);
+        assert_eq!(cdf.max(), Some(0.9));
+        assert_eq!(cdf.quantile(0.5), Some(0.3));
+    }
+
+    #[test]
+    fn cdf_steps_are_monotone() {
+        let cdf = Cdf::from_samples([3.0, 1.0, 2.0]);
+        let steps: Vec<(f64, f64)> = cdf.steps().collect();
+        assert_eq!(steps, vec![(1.0, 1.0 / 3.0), (2.0, 2.0 / 3.0), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn cdf_empty() {
+        let cdf = Cdf::from_samples([]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.at(5.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.max(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn cdf_rejects_nan() {
+        let _ = Cdf::from_samples([f64::NAN]);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let mut h = Histogram::new();
+        h.record(SimNanos::from_nanos(500)); // ≤1 µs bucket
+        h.record(SimNanos::from_micros(1)); // ≤1 µs bucket
+        h.record(SimNanos::from_micros(3)); // ≤4 µs bucket
+        h.record(SimNanos::from_millis(30)); // a high bucket
+        assert_eq!(h.count(), 4);
+        let buckets: Vec<(SimNanos, u64)> = h.iter().collect();
+        assert_eq!(buckets[0], (SimNanos::from_micros(1), 2));
+        assert_eq!(buckets[1], (SimNanos::from_micros(4), 1));
+        assert!(buckets[2].0 >= SimNanos::from_millis(30));
+    }
+
+    #[test]
+    fn histogram_quantiles_capture_the_tail() {
+        // 99 fast dups + 1 burst: p50 tiny, p100 ≥ burst.
+        let h: Histogram = (0..99)
+            .map(|_| SimNanos::from_micros(1))
+            .chain(std::iter::once(SimNanos::from_millis(28)))
+            .collect();
+        assert_eq!(h.quantile_upper(0.5), Some(SimNanos::from_micros(1)));
+        assert!(h.quantile_upper(1.0).unwrap() >= SimNanos::from_millis(28));
+        assert_eq!(Histogram::new().quantile_upper(0.5), None);
+    }
+
+    #[test]
+    fn histogram_never_drops_samples() {
+        let mut h = Histogram::new();
+        h.record(SimNanos::ZERO);
+        h.record(SimNanos::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.iter().map(|(_, c)| c).sum::<u64>(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! The 14-function set behind Figure 1's CDF: five DeathStar microservices,
+//! five Pillow image functions, and four e-commerce services.
+
+use runtimes::AppProfile;
+
+use crate::deathstar::Service;
+use crate::ecommerce::EcommerceOp;
+use crate::pillow::ImageOp;
+
+/// All 14 evaluated serverless functions (§6.4), DeathStar first.
+pub fn fig1_functions() -> Vec<AppProfile> {
+    let mut out: Vec<AppProfile> = Service::ALL.iter().map(|s| s.profile()).collect();
+    out.extend(ImageOp::ALL.iter().map(|o| o.profile()));
+    out.extend(EcommerceOp::ALL.iter().map(|o| o.profile()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fourteen_distinct_functions() {
+        let fns = fig1_functions();
+        assert_eq!(fns.len(), 14);
+        let names: HashSet<&str> = fns.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names.len(), 14, "names must be unique");
+    }
+
+    #[test]
+    fn spans_execution_range() {
+        let fns = fig1_functions();
+        let min = fns.iter().map(|p| p.exec_time).min().unwrap();
+        let max = fns.iter().map(|p| p.exec_time).max().unwrap();
+        // From sub-ms microservices to >1 s purchase.
+        assert!(min < simtime::SimNanos::from_millis(1));
+        assert!(max > simtime::SimNanos::from_secs(1));
+    }
+}

@@ -1,0 +1,210 @@
+//! Five DeathStarBench social-network microservices, ported as serverless
+//! functions (paper §6.4, Fig. 13a; `composePost` drives Fig. 14 and `text`
+//! drives Fig. 15).
+//!
+//! These are the paper's "real-world lightweight serverless functions":
+//! C++ services with <2.5 ms handlers whose end-to-end latency is utterly
+//! dominated by startup under gVisor. The handler logic here is real (string
+//! processing, id generation, in-memory timelines); microservice calls are
+//! replaced by stubs exactly as the paper did ("all microservice invocations
+//! ... are replaced by stub functions").
+
+use runtimes::{AppProfile, RuntimeKind};
+use simtime::SimNanos;
+
+/// The five ported services.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Service {
+    /// Extract mentions/URLs from post text.
+    Text,
+    /// Generate a unique post id.
+    UniqueId,
+    /// Validate and register attached media.
+    Media,
+    /// Compose a post from the other services' outputs.
+    ComposePost,
+    /// Read a user's home timeline.
+    Timeline,
+}
+
+impl Service {
+    /// All services, in Fig. 13a order.
+    pub const ALL: [Service; 5] = [
+        Service::Text,
+        Service::UniqueId,
+        Service::Media,
+        Service::ComposePost,
+        Service::Timeline,
+    ];
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Service::Text => "Text",
+            Service::UniqueId => "UniqueID",
+            Service::Media => "Media",
+            Service::ComposePost => "ComposePost",
+            Service::Timeline => "Timeline",
+        }
+    }
+
+    /// The calibrated profile: C++-class sandbox footprint, handler compute
+    /// under 2.5 ms (Fig. 13a's execution bars).
+    pub fn profile(self) -> AppProfile {
+        let (exec_ms, heap_pages, objects) = match self {
+            Service::Text => (1.2, 2_048, 900),
+            Service::UniqueId => (0.3, 1_536, 700),
+            Service::Media => (2.0, 3_072, 1_100),
+            Service::ComposePost => (2.4, 4_096, 1_300),
+            Service::Timeline => (1.8, 2_560, 1_000),
+        };
+        let mut p = AppProfile::c_hello();
+        p.name = format!("deathstar-{}", self.label());
+        p.runtime = RuntimeKind::C;
+        p.exec_time = SimNanos::from_millis_f64(exec_ms);
+        p.init_heap_pages = heap_pages;
+        p.kernel_objects = objects;
+        p.exec_touch_fraction = 0.3;
+        p.exec_alloc_pages = 8;
+        p
+    }
+}
+
+/// A parsed social-network post.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Post {
+    /// Unique id.
+    pub id: u64,
+    /// Author user id.
+    pub user: u32,
+    /// Body text.
+    pub text: String,
+    /// Extracted @mentions.
+    pub mentions: Vec<String>,
+    /// Extracted URLs.
+    pub urls: Vec<String>,
+    /// Registered media ids.
+    pub media: Vec<u64>,
+}
+
+/// `Text`: extract mentions and URLs from a post body.
+pub fn text_service(body: &str) -> (Vec<String>, Vec<String>) {
+    let mut mentions = Vec::new();
+    let mut urls = Vec::new();
+    for token in body.split_whitespace() {
+        if let Some(name) = token.strip_prefix('@') {
+            if !name.is_empty() {
+                mentions.push(name.trim_end_matches(|c: char| !c.is_alphanumeric()).to_string());
+            }
+        } else if token.starts_with("http://") || token.starts_with("https://") {
+            urls.push(token.to_string());
+        }
+    }
+    (mentions, urls)
+}
+
+/// `UniqueID`: timestamp-and-sequence id generation (snowflake-style).
+pub fn unique_id_service(timestamp_ms: u64, machine: u16, sequence: u16) -> u64 {
+    (timestamp_ms << 22) | (u64::from(machine) & 0x3FF) << 12 | u64::from(sequence) & 0xFFF
+}
+
+/// `Media`: validate media types and assign ids.
+pub fn media_service(filenames: &[&str]) -> Vec<u64> {
+    filenames
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            f.ends_with(".png") || f.ends_with(".jpg") || f.ends_with(".gif") || f.ends_with(".mp4")
+        })
+        .map(|(i, f)| {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in f.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+            }
+            h ^ i as u64
+        })
+        .collect()
+}
+
+/// `ComposePost`: stitch the other services' outputs into a post.
+pub fn compose_post(user: u32, body: &str, media_files: &[&str], timestamp_ms: u64) -> Post {
+    let (mentions, urls) = text_service(body);
+    let id = unique_id_service(timestamp_ms, 7, 1);
+    let media = media_service(media_files);
+    Post {
+        id,
+        user,
+        text: body.to_string(),
+        mentions,
+        urls,
+        media,
+    }
+}
+
+/// `Timeline`: most-recent-first slice of a user's posts.
+pub fn timeline_service(posts: &[Post], user: u32, limit: usize) -> Vec<u64> {
+    let mut ids: Vec<(u64, u64)> = posts
+        .iter()
+        .filter(|p| p.user == user || p.mentions.iter().any(|m| m == &format!("user{user}")))
+        .map(|p| (p.id >> 22, p.id))
+        .collect();
+    ids.sort_by_key(|&(ts, _)| std::cmp::Reverse(ts));
+    ids.into_iter().take(limit).map(|(_, id)| id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_lightweight_c() {
+        for svc in Service::ALL {
+            let p = svc.profile();
+            assert_eq!(p.runtime, RuntimeKind::C);
+            assert!(p.exec_time <= SimNanos::from_millis_f64(2.5), "{}", p.name);
+            assert!(p.kernel_objects < 2_000);
+        }
+    }
+
+    #[test]
+    fn text_extracts_mentions_and_urls() {
+        let (mentions, urls) =
+            text_service("hi @alice check https://example.com and @bob! thanks");
+        assert_eq!(mentions, vec!["alice", "bob"]);
+        assert_eq!(urls, vec!["https://example.com"]);
+        let (m, u) = text_service("");
+        assert!(m.is_empty() && u.is_empty());
+    }
+
+    #[test]
+    fn unique_ids_are_monotone_in_time_and_distinct() {
+        let a = unique_id_service(1_000, 1, 1);
+        let b = unique_id_service(1_001, 1, 1);
+        let c = unique_id_service(1_001, 1, 2);
+        assert!(b > a);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn media_filters_types() {
+        let ids = media_service(&["cat.png", "virus.exe", "dog.jpg"]);
+        assert_eq!(ids.len(), 2);
+        assert_ne!(ids[0], ids[1]);
+    }
+
+    #[test]
+    fn compose_and_timeline_flow() {
+        let p1 = compose_post(1, "hello @user2 https://x.y", &["a.png"], 1_000);
+        let p2 = compose_post(2, "reply @user1", &[], 2_000);
+        let p3 = compose_post(1, "later", &[], 3_000);
+        assert_eq!(p1.mentions, vec!["user2"]);
+        assert_eq!(p1.media.len(), 1);
+
+        let posts = vec![p1.clone(), p2.clone(), p3.clone()];
+        let tl = timeline_service(&posts, 1, 10);
+        // User 1's own posts plus the mention, newest first.
+        assert_eq!(tl, vec![p3.id, p2.id, p1.id]);
+        assert_eq!(timeline_service(&posts, 1, 1), vec![p3.id]);
+        assert!(timeline_service(&posts, 9, 10).is_empty());
+    }
+}

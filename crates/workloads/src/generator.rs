@@ -1,0 +1,121 @@
+//! Seeded request-trace generation for end-to-end and policy experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simtime::SimNanos;
+
+/// One generated request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Virtual arrival time.
+    pub arrival: SimNanos,
+    /// Index of the target function in the caller's function list.
+    pub function: usize,
+}
+
+/// How requests distribute over functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Popularity {
+    /// Uniform across functions.
+    Uniform,
+    /// Zipf-like skew with the given exponent (≥ 0; larger = more skewed).
+    Zipf {
+        /// Skew exponent (1.0 is the classic web skew).
+        exponent: f64,
+    },
+}
+
+/// Generates `count` requests with exponential inter-arrivals at `rate_hz`
+/// over `functions` functions, deterministically from `seed`.
+///
+/// # Panics
+///
+/// Panics if `functions == 0` or `rate_hz <= 0`.
+pub fn trace(
+    functions: usize,
+    count: usize,
+    rate_hz: f64,
+    popularity: Popularity,
+    seed: u64,
+) -> Vec<Request> {
+    assert!(functions > 0, "need at least one function");
+    assert!(rate_hz > 0.0, "rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Zipf CDF over ranks.
+    let weights: Vec<f64> = match popularity {
+        Popularity::Uniform => vec![1.0; functions],
+        Popularity::Zipf { exponent } => (1..=functions)
+            .map(|r| 1.0 / (r as f64).powf(exponent.max(0.0)))
+            .collect(),
+    };
+    let total: f64 = weights.iter().sum();
+
+    let mut now_ns = 0.0f64;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        // Exponential inter-arrival via inverse transform.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        now_ns += -u.ln() / rate_hz * 1e9;
+        let mut pick: f64 = rng.gen_range(0.0..total);
+        let mut function = functions - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if pick < *w {
+                function = i;
+                break;
+            }
+            pick -= w;
+        }
+        out.push(Request {
+            arrival: SimNanos::from_nanos(now_ns as u64),
+            function,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sorted() {
+        let a = trace(4, 100, 50.0, Popularity::Uniform, 9);
+        let b = trace(4, 100, 50.0, Popularity::Uniform, 9);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn rate_controls_density() {
+        let slow = trace(1, 200, 10.0, Popularity::Uniform, 1);
+        let fast = trace(1, 200, 1_000.0, Popularity::Uniform, 1);
+        assert!(fast.last().unwrap().arrival < slow.last().unwrap().arrival);
+        // Mean inter-arrival of the slow trace ≈ 100 ms.
+        let span = slow.last().unwrap().arrival.as_secs_f64();
+        assert!((10.0..30.0).contains(&span), "span {span}s");
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let reqs = trace(10, 5_000, 100.0, Popularity::Zipf { exponent: 1.2 }, 3);
+        let mut counts = [0usize; 10];
+        for r in &reqs {
+            counts[r.function] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "{counts:?}");
+        let uniform = trace(10, 5_000, 100.0, Popularity::Uniform, 3);
+        let mut ucounts = [0usize; 10];
+        for r in &uniform {
+            ucounts[r.function] += 1;
+        }
+        assert!(ucounts[0] < ucounts[9] * 2, "{ucounts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one function")]
+    fn zero_functions_rejected() {
+        let _ = trace(0, 1, 1.0, Popularity::Uniform, 0);
+    }
+}

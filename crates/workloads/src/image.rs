@@ -1,0 +1,234 @@
+//! A small RGBA image type with the real pixel kernels the Pillow workloads
+//! execute.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An RGBA8 image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<[u8; 4]>,
+}
+
+impl Image {
+    /// A black image.
+    pub fn new(width: usize, height: usize) -> Image {
+        Image {
+            width,
+            height,
+            pixels: vec![[0, 0, 0, 255]; width * height],
+        }
+    }
+
+    /// A deterministic pseudo-random test image.
+    pub fn synthetic(width: usize, height: usize, seed: u64) -> Image {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut img = Image::new(width, height);
+        for p in &mut img.pixels {
+            p[0] = rng.gen();
+            p[1] = rng.gen();
+            p[2] = rng.gen();
+        }
+        img
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    pub fn pixel(&self, x: usize, y: usize) -> [u8; 4] {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Mutable pixel accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics out of bounds.
+    pub fn pixel_mut(&mut self, x: usize, y: usize) -> &mut [u8; 4] {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        &mut self.pixels[y * self.width + x]
+    }
+
+    /// Mean luminance (0–255), for verifying enhancement effects.
+    pub fn mean_luma(&self) -> f64 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .pixels
+            .iter()
+            .map(|p| 0.299 * f64::from(p[0]) + 0.587 * f64::from(p[1]) + 0.114 * f64::from(p[2]))
+            .sum();
+        sum / self.pixels.len() as f64
+    }
+
+    /// Contrast enhancement about the mid-point (Pillow `ImageEnhance`).
+    pub fn enhance_contrast(&self, factor: f64) -> Image {
+        let mut out = self.clone();
+        for p in &mut out.pixels {
+            for c in &mut p[..3] {
+                let v = (f64::from(*c) - 128.0) * factor + 128.0;
+                *c = v.clamp(0.0, 255.0) as u8;
+            }
+        }
+        out
+    }
+
+    /// 3×3 box blur (Pillow `ImageFilter.BLUR`-style kernel).
+    pub fn box_blur(&self) -> Image {
+        let mut out = Image::new(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let mut acc = [0u32; 4];
+                let mut n = 0u32;
+                for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        let nx = x as i64 + dx;
+                        let ny = y as i64 + dy;
+                        if nx >= 0 && ny >= 0 && (nx as usize) < self.width && (ny as usize) < self.height {
+                            let p = self.pixel(nx as usize, ny as usize);
+                            for c in 0..4 {
+                                acc[c] += u32::from(p[c]);
+                            }
+                            n += 1;
+                        }
+                    }
+                }
+                let q = out.pixel_mut(x, y);
+                for c in 0..4 {
+                    q[c] = (acc[c] / n) as u8;
+                }
+            }
+        }
+        out
+    }
+
+    /// Horizontal roll by `delta` pixels (the Pillow tutorial's `roll`).
+    pub fn roll(&self, delta: usize) -> Image {
+        let delta = if self.width == 0 { 0 } else { delta % self.width };
+        let mut out = Image::new(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                *out.pixel_mut((x + delta) % self.width, y) = self.pixel(x, y);
+            }
+        }
+        out
+    }
+
+    /// Channel split + re-merge with R and B swapped (`Image.split`/`merge`).
+    pub fn split_merge_swapped(&self) -> Image {
+        let (mut r, mut g, mut b) = (Vec::new(), Vec::new(), Vec::new());
+        for p in &self.pixels {
+            r.push(p[0]);
+            g.push(p[1]);
+            b.push(p[2]);
+        }
+        let mut out = Image::new(self.width, self.height);
+        for (i, p) in out.pixels.iter_mut().enumerate() {
+            p[0] = b[i];
+            p[1] = g[i];
+            p[2] = r[i];
+        }
+        out
+    }
+
+    /// Transpose (flip across the main diagonal).
+    pub fn transpose(&self) -> Image {
+        let mut out = Image::new(self.height, self.width);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                *out.pixel_mut(y, x) = self.pixel(x, y);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        assert_eq!(Image::synthetic(16, 16, 7), Image::synthetic(16, 16, 7));
+        assert_ne!(Image::synthetic(16, 16, 7), Image::synthetic(16, 16, 8));
+    }
+
+    #[test]
+    fn contrast_stretches_about_midpoint() {
+        let img = Image::synthetic(32, 32, 1);
+        let hi = img.enhance_contrast(2.0);
+        let lo = img.enhance_contrast(0.0);
+        // Zero contrast collapses to gray.
+        assert!((lo.mean_luma() - 128.0).abs() < 1.0, "{}", lo.mean_luma());
+        // Stretching moves pixels away from the midpoint.
+        let spread = |i: &Image| {
+            i.pixel(3, 3)
+                .iter()
+                .take(3)
+                .map(|&c| (f64::from(c) - 128.0).abs())
+                .sum::<f64>()
+        };
+        assert!(spread(&hi) >= spread(&img));
+    }
+
+    #[test]
+    fn blur_smooths_extremes() {
+        let mut img = Image::new(9, 9);
+        img.pixel_mut(4, 4)[0] = 255;
+        let blurred = img.box_blur();
+        assert!(blurred.pixel(4, 4)[0] < 255);
+        assert!(blurred.pixel(3, 4)[0] > 0, "energy spreads to neighbours");
+    }
+
+    #[test]
+    fn roll_wraps_and_full_roll_is_identity() {
+        let img = Image::synthetic(20, 8, 3);
+        let rolled = img.roll(5);
+        assert_eq!(rolled.pixel(5, 0), img.pixel(0, 0));
+        assert_eq!(img.roll(20), img);
+        assert_eq!(img.roll(0), img);
+    }
+
+    #[test]
+    fn split_merge_swaps_channels() {
+        let mut img = Image::new(2, 1);
+        *img.pixel_mut(0, 0) = [10, 20, 30, 255];
+        let swapped = img.split_merge_swapped();
+        assert_eq!(swapped.pixel(0, 0), [30, 20, 10, 255]);
+        // Twice swaps back.
+        assert_eq!(swapped.split_merge_swapped(), img);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let img = Image::synthetic(13, 7, 9);
+        let t = img.transpose();
+        assert_eq!(t.width(), 7);
+        assert_eq!(t.height(), 13);
+        assert_eq!(t.transpose(), img);
+        assert_eq!(t.pixel(2, 5), img.pixel(5, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn pixel_bounds_checked() {
+        let img = Image::new(4, 4);
+        let _ = img.pixel(4, 0);
+    }
+}

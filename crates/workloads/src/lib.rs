@@ -1,0 +1,31 @@
+//! The paper's evaluation workloads (§6.4): three real application suites
+//! plus request generators.
+//!
+//! - [`deathstar`]: five social-network microservices ported from the
+//!   DeathStarBench suite — lightweight C++ functions with <2.5 ms handlers
+//!   (Fig. 13a), including `composePost` used for the memory study
+//!   (Fig. 14) and `text` used for the scalability study (Fig. 15);
+//! - [`pillow`]: five image-processing functions (enhance / filter / roll /
+//!   split-merge / transpose) with **real pixel kernels** over synthetic
+//!   RGBA images (Fig. 13b);
+//! - [`ecommerce`]: four Java services (purchase / advertising / report /
+//!   discount) over an in-memory order store (Fig. 13c);
+//! - [`catalogue`]: the combined 14-function set behind Figure 1's CDF;
+//! - [`specjbb`]: a miniature SPECjbb-2015 backend agent with the classic
+//!   transaction mix, matching the paper's heavyweight Java case;
+//! - [`generator`]: seeded request traces (uniform and skewed).
+//!
+//! Each workload pairs a calibrated [`runtimes::AppProfile`] (driving boot
+//! and charged execution latency) with genuinely executable logic, so
+//! examples and tests can verify functional behaviour, not just latency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod catalogue;
+pub mod deathstar;
+pub mod ecommerce;
+pub mod generator;
+pub mod image;
+pub mod pillow;
+pub mod specjbb;

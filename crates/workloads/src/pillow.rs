@@ -1,0 +1,126 @@
+//! The five Pillow image-processing functions (paper §6.4, Fig. 13b).
+//!
+//! "The Pillow applications receive images, process them (i.e., enhance /
+//! filter / roll / splitmerge / transpose the images), and then return the
+//! processed results." Execution takes 100–200 ms (dominated by reading the
+//! input image), yet under gVisor startup still dominates (>500 ms).
+
+use runtimes::{AppProfile, RuntimeKind};
+use simtime::SimNanos;
+
+use crate::image::Image;
+
+/// The five image operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImageOp {
+    /// Contrast enhancement.
+    Enhancement,
+    /// 3×3 blur filter.
+    Filters,
+    /// Horizontal roll.
+    Rolling,
+    /// Channel split + merge.
+    SplitMerge,
+    /// Transpose.
+    Transpose,
+}
+
+impl ImageOp {
+    /// All operations, in Fig. 13b order.
+    pub const ALL: [ImageOp; 5] = [
+        ImageOp::Enhancement,
+        ImageOp::Filters,
+        ImageOp::Rolling,
+        ImageOp::SplitMerge,
+        ImageOp::Transpose,
+    ];
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            ImageOp::Enhancement => "Enhancement",
+            ImageOp::Filters => "Filters",
+            ImageOp::Rolling => "Rolling",
+            ImageOp::SplitMerge => "SplitMerge",
+            ImageOp::Transpose => "Transpose",
+        }
+    }
+
+    /// The calibrated profile: Python + imaging library (heavy init,
+    /// 100–200 ms execution, most of it reading the input image).
+    pub fn profile(self) -> AppProfile {
+        let exec_ms = match self {
+            ImageOp::Enhancement => 105.0,
+            ImageOp::Filters => 185.0,
+            ImageOp::Rolling => 120.0,
+            ImageOp::SplitMerge => 160.0,
+            ImageOp::Transpose => 110.0,
+        };
+        let mut p = AppProfile::python_django();
+        p.name = format!("pillow-{}", self.label());
+        p.runtime = RuntimeKind::Python;
+        p.runtime_start = SimNanos::from_millis(84);
+        p.load_units = 480; // interpreter + Pillow + codec modules
+        p.init_heap_pages = 8_192; // 32 MB interpreter + library state
+        p.kernel_objects = 9_000;
+        p.exec_time = SimNanos::from_millis_f64(exec_ms);
+        p.exec_touch_fraction = 0.25;
+        p.exec_alloc_pages = 512; // the decoded input image
+        p
+    }
+
+    /// Runs the real pixel kernel.
+    pub fn apply(self, input: &Image) -> Image {
+        match self {
+            ImageOp::Enhancement => input.enhance_contrast(1.5),
+            ImageOp::Filters => input.box_blur(),
+            ImageOp::Rolling => input.roll(input.width() / 3),
+            ImageOp::SplitMerge => input.split_merge_swapped(),
+            ImageOp::Transpose => input.transpose(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper_shape() {
+        for op in ImageOp::ALL {
+            let p = op.profile();
+            assert_eq!(p.runtime, RuntimeKind::Python);
+            let exec = p.exec_time.as_millis_f64();
+            assert!((100.0..=200.0).contains(&exec), "{}: {exec} ms", p.name);
+            // App init >450 ms so gVisor startup dominates (paper: >500 ms
+            // overall with sandbox init included).
+            assert!(p.app_init_estimate() > SimNanos::from_millis(450));
+        }
+    }
+
+    #[test]
+    fn every_op_transforms_the_image() {
+        let input = Image::synthetic(48, 32, 11);
+        for op in ImageOp::ALL {
+            let out = op.apply(&input);
+            assert!(
+                out != input || op == ImageOp::Rolling && input.width() < 3,
+                "{} produced identity output",
+                op.label()
+            );
+        }
+    }
+
+    #[test]
+    fn transpose_dimensions_swap_others_preserve() {
+        let input = Image::synthetic(40, 20, 2);
+        for op in ImageOp::ALL {
+            let out = op.apply(&input);
+            if op == ImageOp::Transpose {
+                assert_eq!((out.width(), out.height()), (20, 40));
+            } else {
+                assert_eq!((out.width(), out.height()), (40, 20), "{}", op.label());
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! An autoscaling storm (the paper's §6.6 scenario): a traffic spike forces
+//! the platform to boot many instances of one function back-to-back while
+//! earlier instances keep running. Compares tail startup latency and
+//! per-sandbox memory between gVisor-restore and Catalyzer fork boot.
+//!
+//! ```text
+//! cargo run --example autoscale_storm
+//! ```
+
+use catalyzer_suite::memsim::accounting;
+use catalyzer_suite::prelude::*;
+use catalyzer_suite::simtime::stats::summarize;
+use catalyzer_suite::workloads::deathstar::Service;
+
+const STORM: usize = 200;
+
+fn storm<E: BootEngine>(
+    label: &str,
+    mut engine: E,
+    model: &CostModel,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let profile = Service::Text.profile();
+    let mut running = Vec::with_capacity(STORM);
+    let mut latencies = Vec::with_capacity(STORM);
+    for _ in 0..STORM {
+        let clock = SimClock::new();
+        let mut outcome = engine.boot(&profile, &clock, model)?;
+        latencies.push(clock.now()); // startup latency the user waits for
+        outcome.program.invoke_handler(&clock, model)?;
+        running.push(outcome); // instances stay alive through the storm
+    }
+
+    let stats = summarize(&latencies).expect("non-empty");
+    let spaces: Vec<_> = running.iter().map(|o| &o.program.space).collect();
+    let usage = accounting::average(&accounting::usage(&spaces));
+    println!(
+        "{:<18} p50 {:>10}  p99 {:>10}  max {:>10}  avg RSS {:>7.2} MB  avg PSS {:>7.2} MB",
+        label,
+        stats.p50,
+        stats.p99,
+        stats.max,
+        usage.rss_mib(),
+        usage.pss_mib()
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = CostModel::experimental_machine();
+    println!(
+        "storm: boot {STORM} instances of {} back-to-back, keep them running\n",
+        Service::Text.profile().name
+    );
+    storm("gVisor-restore", GvisorRestoreEngine::new(), &model)?;
+    storm(
+        "Catalyzer-sfork",
+        CatalyzerEngine::standalone(BootMode::Fork),
+        &model,
+    )?;
+    println!(
+        "\nfork boot keeps every one of the {STORM} boots at ~sub-ms (sustainable hot boot, §6.9),\n\
+         and CoW sharing keeps the proportional memory of each instance a fraction of its RSS."
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: boot one serverless function on every sandbox design and
+//! compare startup latencies, ending with Catalyzer's three boot kinds.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use catalyzer_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = CostModel::experimental_machine();
+    let profile = AppProfile::python_hello();
+    println!("function: {} ({} runtime)", profile.name, profile.runtime);
+    println!("machine:  {}\n", model.machine.label());
+
+    // --- the baselines, coldest first -----------------------------------
+    let mut baselines: Vec<Box<dyn BootEngine>> = vec![
+        Box::new(HyperContainerEngine::new()),
+        Box::new(FirecrackerEngine::new()),
+        Box::new(DockerEngine::new()),
+        Box::new(GvisorEngine::new()),
+        Box::new(GvisorRestoreEngine::new()),
+    ];
+    println!("{:<20} {:>12} {:>12} {:>14}", "system", "startup", "sandbox", "app/restore");
+    for engine in &mut baselines {
+        let clock = SimClock::new();
+        let outcome = engine.boot(&profile, &clock, &model)?;
+        println!(
+            "{:<20} {:>12} {:>12} {:>14}",
+            outcome.system,
+            clock.now(),
+            outcome.sandbox_time(),
+            outcome.app_time()
+        );
+    }
+
+    // --- Catalyzer: cold, warm, fork -------------------------------------
+    let mut system = Catalyzer::new();
+    system.ensure_template(&profile, &model)?;
+    for mode in [BootMode::Cold, BootMode::Warm, BootMode::Fork] {
+        let clock = SimClock::new();
+        let mut outcome = system.boot(mode, &profile, &clock, &model)?;
+        let boot = clock.now();
+        let exec = outcome.program.invoke_handler(&clock, &model)?;
+        println!(
+            "{:<20} {:>12} {:>12} {:>14}   (handler ran {} touching {} pages)",
+            outcome.system,
+            boot,
+            outcome.sandbox_time(),
+            outcome.app_time(),
+            exec.exec_time,
+            exec.pages_touched,
+        );
+    }
+
+    println!(
+        "\noffline work Catalyzer did once (image compilation + zygotes): {}",
+        system.offline_time()
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! **catalyzer-suite** — the façade crate of the Catalyzer reproduction.
+//!
+//! This workspace reproduces *"Catalyzer: Sub-millisecond Startup for
+//! Serverless Computing with Initialization-less Booting"* (Du et al.,
+//! ASPLOS 2020) as a pure-Rust, virtual-time simulation whose mechanisms do
+//! real work. See `README.md` for the tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured numbers.
+//!
+//! The façade re-exports every member crate so examples and downstream
+//! experiments need a single dependency:
+//!
+//! ```
+//! use catalyzer_suite::prelude::*;
+//!
+//! let model = CostModel::experimental_machine();
+//! let mut system = Catalyzer::new();
+//! let profile = AppProfile::python_hello();
+//! system.ensure_template(&profile, &model)?;
+//! let clock = SimClock::new();
+//! let mut boot = system.boot(BootMode::Fork, &profile, &clock, &model)?;
+//! boot.program.invoke_handler(&clock, &model)?;
+//! println!("fork boot + handler: {}", clock.now());
+//! # Ok::<(), sandbox::SandboxError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use catalyzer;
+pub use guest_kernel;
+pub use imagefmt;
+pub use memsim;
+pub use platform;
+pub use runtimes;
+pub use sandbox;
+pub use simtime;
+pub use workloads;
+
+/// The names most experiments need.
+pub mod prelude {
+    pub use catalyzer::{BootMode, Catalyzer, CatalyzerConfig, CatalyzerEngine, Template};
+    pub use platform::{Gateway, InvocationReport};
+    pub use runtimes::{AppProfile, RuntimeKind, WrappedProgram};
+    pub use sandbox::{
+        BootEngine, BootOutcome, DockerEngine, FirecrackerEngine, GvisorEngine,
+        GvisorRestoreEngine, HyperContainerEngine,
+    };
+    pub use simtime::{CostModel, MachineKind, SimClock, SimNanos};
+}

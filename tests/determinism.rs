@@ -1,0 +1,75 @@
+//! Integration: the whole simulation is deterministic — identical runs
+//! produce identical virtual-time results, which is what makes the figure
+//! regeneration trustworthy and diffable.
+
+use catalyzer_suite::prelude::*;
+use catalyzer_suite::workloads::generator::{trace, Popularity};
+
+fn model() -> CostModel {
+    CostModel::experimental_machine()
+}
+
+fn full_boot_fingerprint() -> Vec<(String, u64)> {
+    let model = model();
+    let mut out = Vec::new();
+    for profile in [AppProfile::c_hello(), AppProfile::python_hello()] {
+        let mut cat = Catalyzer::new();
+        cat.ensure_template(&profile, &model).unwrap();
+        for mode in [BootMode::Cold, BootMode::Warm, BootMode::Fork] {
+            let clock = SimClock::new();
+            let mut boot = cat.boot(mode, &profile, &clock, &model).unwrap();
+            boot.program.invoke_handler(&clock, &model).unwrap();
+            out.push((format!("{}/{}", profile.name, mode.label()), clock.now().as_nanos()));
+        }
+    }
+    out
+}
+
+#[test]
+fn end_to_end_pipeline_is_bit_for_bit_repeatable() {
+    assert_eq!(full_boot_fingerprint(), full_boot_fingerprint());
+}
+
+#[test]
+fn baseline_engines_are_repeatable_too() {
+    let model = model();
+    let run = || {
+        let mut out = Vec::new();
+        let mut gv = GvisorEngine::new();
+        let mut rs = GvisorRestoreEngine::new();
+        for profile in [AppProfile::c_nginx(), AppProfile::ruby_hello()] {
+            for engine in [&mut gv as &mut dyn BootEngine, &mut rs] {
+                let clock = SimClock::new();
+                engine.boot(&profile, &clock, &model).unwrap();
+                out.push(clock.now().as_nanos());
+            }
+        }
+        out
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn traces_and_jitter_are_seed_stable() {
+    let a = trace(8, 256, 100.0, Popularity::Zipf { exponent: 1.0 }, 1234);
+    let b = trace(8, 256, 100.0, Popularity::Zipf { exponent: 1.0 }, 1234);
+    assert_eq!(a, b);
+
+    use catalyzer_suite::simtime::jitter::Jitter;
+    let mut j1 = Jitter::seeded(77);
+    let mut j2 = Jitter::seeded(77);
+    for _ in 0..128 {
+        assert_eq!(j1.lognormal_factor(0.2).to_bits(), j2.lognormal_factor(0.2).to_bits());
+    }
+}
+
+#[test]
+fn offline_work_is_deterministic_as_well() {
+    let model = model();
+    let offline = |_: u32| {
+        let mut cat = Catalyzer::new();
+        cat.prewarm_image(&AppProfile::node_hello(), &model).unwrap();
+        cat.offline_time().as_nanos()
+    };
+    assert_eq!(offline(0), offline(1));
+}
