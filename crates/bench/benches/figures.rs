@@ -43,14 +43,24 @@ fn fig02_06_gvisor_paths(c: &mut Criterion) {
     group.bench_function("gvisor_boot_python_hello", |b| {
         let mut engine = sandbox::GvisorEngine::new();
         b.iter(|| {
-            black_box(engine.boot(&profile, &SimClock::new(), &model).unwrap().boot_latency)
+            black_box(
+                engine
+                    .boot(&profile, &SimClock::new(), &model)
+                    .unwrap()
+                    .boot_latency,
+            )
         })
     });
     group.bench_function("gvisor_restore_boot_python_hello", |b| {
         let mut engine = sandbox::GvisorRestoreEngine::new();
         engine.boot(&profile, &SimClock::new(), &model).unwrap(); // compile image
         b.iter(|| {
-            black_box(engine.boot(&profile, &SimClock::new(), &model).unwrap().boot_latency)
+            black_box(
+                engine
+                    .boot(&profile, &SimClock::new(), &model)
+                    .unwrap()
+                    .boot_latency,
+            )
         })
     });
     group.finish();
@@ -64,15 +74,33 @@ fn fig04_baselines(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("docker", |b| {
         let mut e = sandbox::DockerEngine::new();
-        b.iter(|| black_box(e.boot(&profile, &SimClock::new(), &model).unwrap().boot_latency))
+        b.iter(|| {
+            black_box(
+                e.boot(&profile, &SimClock::new(), &model)
+                    .unwrap()
+                    .boot_latency,
+            )
+        })
     });
     group.bench_function("firecracker", |b| {
         let mut e = sandbox::FirecrackerEngine::new();
-        b.iter(|| black_box(e.boot(&profile, &SimClock::new(), &model).unwrap().boot_latency))
+        b.iter(|| {
+            black_box(
+                e.boot(&profile, &SimClock::new(), &model)
+                    .unwrap()
+                    .boot_latency,
+            )
+        })
     });
     group.bench_function("hyper", |b| {
         let mut e = sandbox::HyperContainerEngine::new();
-        b.iter(|| black_box(e.boot(&profile, &SimClock::new(), &model).unwrap().boot_latency))
+        b.iter(|| {
+            black_box(
+                e.boot(&profile, &SimClock::new(), &model)
+                    .unwrap()
+                    .boot_latency,
+            )
+        })
     });
     group.finish();
 }
@@ -88,16 +116,22 @@ fn fig07_11_catalyzer_modes(c: &mut Criterion) {
         system.prewarm_image(&profile, &model).unwrap();
         b.iter(|| {
             let clock = SimClock::new();
-            system.boot(BootMode::Cold, &profile, &clock, &model).unwrap();
+            system
+                .boot(BootMode::Cold, &profile, &clock, &model)
+                .unwrap();
             black_box(clock.now())
         })
     });
     group.bench_function("warm_boot_c_hello", |b| {
         let mut system = Catalyzer::new();
-        system.boot(BootMode::Cold, &profile, &SimClock::new(), &model).unwrap();
+        system
+            .boot(BootMode::Cold, &profile, &SimClock::new(), &model)
+            .unwrap();
         b.iter(|| {
             let clock = SimClock::new();
-            system.boot(BootMode::Warm, &profile, &clock, &model).unwrap();
+            system
+                .boot(BootMode::Warm, &profile, &clock, &model)
+                .unwrap();
             black_box(clock.now())
         })
     });
@@ -106,7 +140,9 @@ fn fig07_11_catalyzer_modes(c: &mut Criterion) {
         system.ensure_template(&profile, &model).unwrap();
         b.iter(|| {
             let clock = SimClock::new();
-            system.boot(BootMode::Fork, &profile, &clock, &model).unwrap();
+            system
+                .boot(BootMode::Fork, &profile, &clock, &model)
+                .unwrap();
             black_box(clock.now())
         })
     });
@@ -121,15 +157,23 @@ fn fig12_ablation(c: &mut Criterion) {
     group.sample_size(10);
     for (label, config) in [
         ("overlay_only", CatalyzerConfig::overlay_only()),
-        ("overlay_separated", CatalyzerConfig::overlay_and_separated()),
-        ("overlay_separated_lazy", CatalyzerConfig::overlay_separated_lazy()),
+        (
+            "overlay_separated",
+            CatalyzerConfig::overlay_and_separated(),
+        ),
+        (
+            "overlay_separated_lazy",
+            CatalyzerConfig::overlay_separated_lazy(),
+        ),
     ] {
         group.bench_function(label, |b| {
             let mut system = Catalyzer::with_config(config);
             system.prewarm_image(&profile, &model).unwrap();
             b.iter(|| {
                 let clock = SimClock::new();
-                system.boot(BootMode::Cold, &profile, &clock, &model).unwrap();
+                system
+                    .boot(BootMode::Cold, &profile, &clock, &model)
+                    .unwrap();
                 black_box(clock.now())
             })
         });
@@ -157,9 +201,7 @@ fn fig15_scaling(c: &mut Criterion) {
     c.bench_function("fig15/fork_boot_with_32_running", |b| {
         let mut engine = CatalyzerEngine::standalone(BootMode::Fork);
         b.iter(|| {
-            black_box(
-                platform::scaling::sweep(&mut engine, &profile, &[32], &model, 7).unwrap(),
-            )
+            black_box(platform::scaling::sweep(&mut engine, &profile, &[32], &model, 7).unwrap())
         })
     });
 }
@@ -191,7 +233,9 @@ fn table2_language_template(c: &mut Criterion) {
             .unwrap();
         b.iter(|| {
             let clock = SimClock::new();
-            system.language_template_boot(&profile, &clock, &model).unwrap();
+            system
+                .language_template_boot(&profile, &clock, &model)
+                .unwrap();
             black_box(clock.now())
         })
     });

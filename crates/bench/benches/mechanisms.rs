@@ -34,7 +34,13 @@ fn sample_source(objects: u64, pages: u64) -> CheckpointSource {
 
 fn lz_codec(c: &mut Criterion) {
     let data: Vec<u8> = (0..1 << 20)
-        .map(|i: u32| if i.is_multiple_of(7) { (i / 7) as u8 } else { 0xAB })
+        .map(|i: u32| {
+            if i.is_multiple_of(7) {
+                (i / 7) as u8
+            } else {
+                0xAB
+            }
+        })
         .collect();
     let packed = imagefmt::lz::compress(&data);
     let mut group = c.benchmark_group("lz");
@@ -95,9 +101,17 @@ fn ept_paths(c: &mut Criterion) {
         b.iter(|| {
             let mut space = AddressSpace::new("bench");
             space
-                .attach_base(Arc::clone(&base), VpnRange::new(0, pages), "img", &clock, &model)
+                .attach_base(
+                    Arc::clone(&base),
+                    VpnRange::new(0, pages),
+                    "img",
+                    &clock,
+                    &model,
+                )
                 .unwrap();
-            space.touch_range(VpnRange::new(0, pages), true, &clock, &model).unwrap();
+            space
+                .touch_range(VpnRange::new(0, pages), true, &clock, &model)
+                .unwrap();
             black_box(space.stats().cow_faults)
         })
     });
@@ -105,9 +119,16 @@ fn ept_paths(c: &mut Criterion) {
         let clock = SimClock::new();
         let mut template = AddressSpace::new("tmpl");
         template
-            .map_anonymous(VpnRange::new(0, pages), Perms::RW, ShareMode::Private, "heap")
+            .map_anonymous(
+                VpnRange::new(0, pages),
+                Perms::RW,
+                ShareMode::Private,
+                "heap",
+            )
             .unwrap();
-        template.touch_range(VpnRange::new(0, pages), true, &clock, &model).unwrap();
+        template
+            .touch_range(VpnRange::new(0, pages), true, &clock, &model)
+            .unwrap();
         b.iter(|| black_box(template.sfork_clone("child").unwrap()))
     });
     group.finish();
@@ -156,5 +177,13 @@ fn crc(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(mechanisms, lz_codec, classic_format, flat_format, ept_paths, kernel_graph, crc);
+criterion_group!(
+    mechanisms,
+    lz_codec,
+    classic_format,
+    flat_format,
+    ept_paths,
+    kernel_graph,
+    crc
+);
 criterion_main!(mechanisms);

@@ -7,13 +7,38 @@
 //! repro list           # available experiment ids
 //! ```
 
-use bench::figures::{ablation, endtoend, generality, hostopts, pipeline, platformsim, scale, startup};
+use bench::figures::{
+    ablation, endtoend, generality, hostopts, pipeline, platformsim, scale, startup,
+};
 use simtime::CostModel;
 
 const EXPERIMENTS: &[&str] = &[
-    "fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig10", "fig11", "fig12", "fig13a",
-    "fig13b", "fig13c", "fig14", "fig15", "fig16a", "fig16b", "fig16c", "fig16d", "table1",
-    "table2", "table3", "tail", "generality", "sensitivity", "platform", "warm-breakdown",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13a",
+    "fig13b",
+    "fig13c",
+    "fig14",
+    "fig15",
+    "fig16a",
+    "fig16b",
+    "fig16c",
+    "fig16d",
+    "table1",
+    "table2",
+    "table3",
+    "tail",
+    "generality",
+    "sensitivity",
+    "platform",
+    "warm-breakdown",
 ];
 
 fn run(id: &str, fig15_max: u32) -> Result<(), Box<dyn std::error::Error>> {
@@ -88,7 +113,10 @@ fn csv(id: &str) -> Result<(), Box<dyn std::error::Error>> {
         "fig13c" => out::e2e_rows(&endtoend::fig13c()?),
         "fig14" => out::memory_rows(&scale::fig14(&model)?),
         "fig15" => out::scale_series(&scale::fig15(1000)?),
-        "fig16b" => out::indexed_pair("invocation,baseline_ms,cached_ms", &hostopts::fig16b(&model)),
+        "fig16b" => out::indexed_pair(
+            "invocation,baseline_ms,cached_ms",
+            &hostopts::fig16b(&model),
+        ),
         "fig16c" => out::indexed_pair("ioctl,pml_ms,nopml_ms", &hostopts::fig16c(&model)),
         "fig16d" => out::indexed_pair("call,dup_ms,lazy_dup_ms", &hostopts::fig16d(&model)),
         other => {
@@ -121,9 +149,7 @@ fn main() {
             let fig15_max = if command == "quick" { 100 } else { 1000 };
             println!("Catalyzer reproduction — regenerating every table and figure");
             println!("(virtual-time simulation; see DESIGN.md for the substitution rules)");
-            EXPERIMENTS
-                .iter()
-                .try_for_each(|id| run(id, fig15_max))
+            EXPERIMENTS.iter().try_for_each(|id| run(id, fig15_max))
         }
         id => run(id, 1000),
     };

@@ -37,8 +37,14 @@ pub fn fig12(model: &CostModel) -> Result<Vec<AblationRow>, SandboxError> {
     let ladder: [(&'static str, Option<CatalyzerConfig>); 4] = [
         ("baseline (gVisor-restore)", None),
         ("+OverlayMem", Some(CatalyzerConfig::overlay_only())),
-        ("+SeparatedLoad", Some(CatalyzerConfig::overlay_and_separated())),
-        ("+LazyReconnection", Some(CatalyzerConfig::overlay_separated_lazy())),
+        (
+            "+SeparatedLoad",
+            Some(CatalyzerConfig::overlay_and_separated()),
+        ),
+        (
+            "+LazyReconnection",
+            Some(CatalyzerConfig::overlay_separated_lazy()),
+        ),
     ];
     let mut rows = Vec::new();
     for app in &apps {
@@ -80,7 +86,12 @@ pub fn render_fig12(rows: &[AblationRow]) {
     for r in rows {
         println!(
             "{:<28} {:<16} {:>10} {:>10} {:>10} {:>10}",
-            r.config, r.app, ms(r.kernel), ms(r.memory), ms(r.io), ms(r.total)
+            r.config,
+            r.app,
+            ms(r.kernel),
+            ms(r.memory),
+            ms(r.io),
+            ms(r.total)
         );
     }
 }
@@ -128,7 +139,10 @@ pub fn render_table3(rows: &[Table3Row]) {
     println!("\nTable 3 — warm-boot memory costs per function");
     println!("(paper: metadata 165.5 KB – 680.6 KB; I/O cache 370 B – 2.4 KB)");
     rule(56);
-    println!("{:<18} {:>14} {:>12}", "application", "metadata", "io cache");
+    println!(
+        "{:<18} {:>14} {:>12}",
+        "application", "metadata", "io cache"
+    );
     for r in rows {
         println!(
             "{:<18} {:>12.1}KB {:>11}B",

@@ -88,10 +88,7 @@ pub fn scale_series(series: &[ScaleSeries]) -> String {
 }
 
 /// Fig. 16 b–d numbered series (`(index, series_a, series_b)`).
-pub fn indexed_pair(
-    header: &str,
-    rows: &[(u32, SimNanos, SimNanos)],
-) -> String {
+pub fn indexed_pair(header: &str, rows: &[(u32, SimNanos, SimNanos)]) -> String {
     let mut out = format!("{header}\n");
     for (i, a, b) in rows {
         out.push_str(&format!("{},{},{}\n", i, f(*a), f(*b)));

@@ -35,10 +35,7 @@ impl E2eRow {
     }
 }
 
-fn run_suite(
-    functions: &[AppProfile],
-    model: &CostModel,
-) -> Result<Vec<E2eRow>, PlatformError> {
+fn run_suite(functions: &[AppProfile], model: &CostModel) -> Result<Vec<E2eRow>, PlatformError> {
     let mut rows = Vec::new();
     // gVisor baseline.
     let mut gv = Gateway::new(GvisorEngine::new(), model.clone());
@@ -160,7 +157,10 @@ pub fn render_fig01(gvisor: &Cdf, catalyzer: &Cdf) {
         gvisor.max().unwrap_or(0.0) * 100.0
     );
     rule(56);
-    println!("{:>14} {:>14} {:>14}", "ratio (%)", "gVisor CDF", "Catalyzer CDF");
+    println!(
+        "{:>14} {:>14} {:>14}",
+        "ratio (%)", "gVisor CDF", "Catalyzer CDF"
+    );
     for pct in (0..=100).step_by(10) {
         let x = f64::from(pct) / 100.0;
         println!(

@@ -35,8 +35,7 @@ pub fn fig16a(model: &CostModel) -> Result<Vec<(String, SimNanos, SimNanos)>, Sa
             let mut system = catalyzer::Catalyzer::new();
             system.ensure_template(profile, model)?;
             let clock = SimClock::new();
-            let mut boot =
-                system.boot(catalyzer::BootMode::Fork, profile, &clock, model)?;
+            let mut boot = system.boot(catalyzer::BootMode::Fork, profile, &clock, model)?;
             let before = clock.now();
             boot.program
                 .invoke_handler(&clock, model)
@@ -54,7 +53,10 @@ pub fn fig16a(model: &CostModel) -> Result<Vec<(String, SimNanos, SimNanos)>, Sa
 pub fn render_fig16a(rows: &[(String, SimNanos, SimNanos)]) {
     println!("\nFigure 16a — fine-grained func-entry point (paper: ~3x exec reduction)");
     rule(72);
-    println!("{:<18} {:>14} {:>14} {:>8}", "workload", "baseline", "optimized", "speedup");
+    println!(
+        "{:<18} {:>14} {:>14} {:>8}",
+        "workload", "baseline", "optimized", "speedup"
+    );
     for (name, base, opt) in rows {
         println!(
             "{:<18} {:>12}ms {:>12}ms {:>7.2}x",
@@ -87,9 +89,17 @@ pub fn fig16b(model: &CostModel) -> Vec<(u32, SimNanos, SimNanos)> {
 pub fn render_fig16b(rows: &[(u32, SimNanos, SimNanos)]) {
     println!("\nFigure 16b — kvcalloc latency vs invocations (paper: 1.6 ms total → <50 us)");
     rule(56);
-    println!("{:<12} {:>14} {:>14}", "invocation", "baseline KVM", "KVM cache");
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "invocation", "baseline KVM", "KVM cache"
+    );
     for (i, base, cached) in rows {
-        println!("{:<12} {:>12}us {:>12}us", i, base.as_micros_f64().round(), cached.as_micros_f64().round());
+        println!(
+            "{:<12} {:>12}us {:>12}us",
+            i,
+            base.as_micros_f64().round(),
+            cached.as_micros_f64().round()
+        );
     }
 }
 
@@ -114,7 +124,10 @@ pub fn fig16c(model: &CostModel) -> Vec<(u32, SimNanos, SimNanos)> {
 pub fn render_fig16c(rows: &[(u32, SimNanos, SimNanos)]) {
     println!("\nFigure 16c — set_memory_region latency (paper: disabling PML ≈ 10x faster)");
     rule(56);
-    println!("{:<10} {:>16} {:>16}", "ioctl #", "default (PML)", "PML disabled");
+    println!(
+        "{:<10} {:>16} {:>16}",
+        "ioctl #", "default (PML)", "PML disabled"
+    );
     for (i, pml, nopml) in rows {
         println!(
             "{:<10} {:>14}us {:>14}us",
@@ -161,6 +174,11 @@ pub fn render_fig16d(rows: &[(u32, SimNanos, SimNanos)]) {
     rule(56);
     println!("{:<8} {:>16} {:>16}", "call #", "dup", "lazy dup");
     for (i, eager, lazy) in rows {
-        println!("{:<8} {:>16} {:>16}", i, format!("{eager}"), format!("{lazy}"));
+        println!(
+            "{:<8} {:>16} {:>16}",
+            i,
+            format!("{eager}"),
+            format!("{lazy}")
+        );
     }
 }

@@ -31,7 +31,9 @@ pub fn render_fig02(boot: &Breakdown, restore: &Breakdown) {
         println!("  {:<32} {:>10} ms", phase, ms(cost));
     }
     println!("  {:<32} {:>10} ms", "TOTAL", ms(boot.total()));
-    println!("Restore path (paper: recover kernel 56.7 / load memory 128.8 / reconnect I/O 79.2 ms):");
+    println!(
+        "Restore path (paper: recover kernel 56.7 / load memory 128.8 / reconnect I/O 79.2 ms):"
+    );
     for (phase, cost) in restore.iter() {
         println!("  {:<32} {:>10} ms", phase, ms(cost));
     }
@@ -42,14 +44,21 @@ pub fn render_fig02(boot: &Breakdown, restore: &Breakdown) {
 pub fn render_fig03() {
     println!("\nFigure 3 — serverless sandbox design space");
     rule(64);
-    println!("{:<24} {:<10} {:<10} {:<12}", "system", "isolation", "startup", "implemented");
+    println!(
+        "{:<24} {:<10} {:<10} {:<12}",
+        "system", "isolation", "startup", "implemented"
+    );
     for p in taxonomy::design_space() {
         println!(
             "{:<24} {:<10} {:<10} {}",
             p.system,
             format!("{:?}", p.isolation),
             format!("{:?}", p.startup),
-            if p.implemented { "yes" } else { "(placed only)" }
+            if p.implemented {
+                "yes"
+            } else {
+                "(placed only)"
+            }
         );
     }
 }
@@ -70,13 +79,21 @@ pub fn render_fig10() {
 pub fn render_table1() {
     println!("\nTable 1 — syscall classification used in Catalyzer for sfork");
     rule(72);
-    println!("{:<20} {:<12} {:<14}", "syscall", "category", "classification");
+    println!(
+        "{:<20} {:<12} {:<14}",
+        "syscall", "category", "classification"
+    );
     for s in SyscallName::ALL {
         let class = match s.classify() {
             SyscallClass::Allowed => "allowed".to_string(),
             SyscallClass::Handled(h) => format!("handled ({h:?})"),
             SyscallClass::Denied => "DENIED".to_string(),
         };
-        println!("{:<20} {:<12} {}", s.as_str(), format!("{:?}", s.category()), class);
+        println!(
+            "{:<20} {:<12} {}",
+            s.as_str(),
+            format!("{:?}", s.category()),
+            class
+        );
     }
 }

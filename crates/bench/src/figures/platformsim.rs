@@ -13,13 +13,19 @@ use crate::ms;
 
 /// Builds the shared zipf trace over six functions.
 fn shared_trace(functions: &[AppProfile]) -> Vec<TraceRequest> {
-    trace(functions.len(), 60, 20.0, Popularity::Zipf { exponent: 1.1 }, 2020)
-        .into_iter()
-        .map(|r| TraceRequest {
-            arrival: r.arrival,
-            function: r.function,
-        })
-        .collect()
+    trace(
+        functions.len(),
+        60,
+        20.0,
+        Popularity::Zipf { exponent: 1.1 },
+        2020,
+    )
+    .into_iter()
+    .map(|r| TraceRequest {
+        arrival: r.arrival,
+        function: r.function,
+    })
+    .collect()
 }
 
 /// Runs the trace against a keep-alive pooled gVisor-restore fleet and a
@@ -117,6 +123,10 @@ pub fn render_warm_breakdown(rows: &[(String, Breakdown)]) {
         for (phase, cost) in breakdown.iter() {
             println!("    {:<28} {:>10}", phase, format!("{cost}"));
         }
-        println!("    {:<28} {:>10}", "TOTAL", format!("{}", breakdown.total()));
+        println!(
+            "    {:<28} {:>10}",
+            "TOTAL",
+            format!("{}", breakdown.total())
+        );
     }
 }

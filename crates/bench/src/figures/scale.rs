@@ -87,7 +87,9 @@ pub struct ScaleSeries {
 /// Engine errors.
 pub fn fig15(max_running: u32) -> Result<Vec<ScaleSeries>, SandboxError> {
     let profile = Service::Text.profile();
-    let steps: Vec<u32> = (0..=max_running).step_by((max_running / 10).max(1) as usize).collect();
+    let steps: Vec<u32> = (0..=max_running)
+        .step_by((max_running / 10).max(1) as usize)
+        .collect();
     let exp = CostModel::experimental_machine();
     let srv = CostModel::server_machine();
 

@@ -64,11 +64,18 @@ pub fn fig04(model: &CostModel) -> Result<Vec<ShareRow>, SandboxError> {
 pub fn render_fig04(rows: &[ShareRow]) {
     println!("\nFigure 4 — startup latency distribution (sandbox vs application %)");
     rule(78);
-    println!("{:<16} {:<14} {:>10} {:>10} {:>12}", "system", "app", "sandbox%", "app%", "total(ms)");
+    println!(
+        "{:<16} {:<14} {:>10} {:>10} {:>12}",
+        "system", "app", "sandbox%", "app%", "total(ms)"
+    );
     for r in rows {
         println!(
             "{:<16} {:<14} {:>9.1}% {:>9.1}% {:>12}",
-            r.system, r.app, r.sandbox_pct, r.app_pct, ms(r.total)
+            r.system,
+            r.app,
+            r.sandbox_pct,
+            r.app_pct,
+            ms(r.total)
         );
     }
 }
@@ -124,11 +131,18 @@ pub fn fig06(model: &CostModel) -> Result<Vec<StartupRow>, SandboxError> {
 pub fn render_fig06(rows: &[StartupRow]) {
     println!("\nFigure 6 — startup latency of gVisor vs gVisor-restore (ms)");
     rule(78);
-    println!("{:<16} {:<16} {:>10} {:>12} {:>12}", "system", "app", "total", "sandbox", "app/restore");
+    println!(
+        "{:<16} {:<16} {:>10} {:>12} {:>12}",
+        "system", "app", "total", "sandbox", "app/restore"
+    );
     for r in rows {
         println!(
             "{:<16} {:<16} {:>10} {:>12} {:>12}",
-            r.system, r.app, ms(r.startup), ms(r.sandbox), ms(r.app_part)
+            r.system,
+            r.app,
+            ms(r.startup),
+            ms(r.sandbox),
+            ms(r.app_part)
         );
     }
 }
@@ -158,7 +172,11 @@ pub fn fig07(model: &CostModel) -> Result<[(&'static str, SimNanos); 3], Sandbox
         system.boot(BootMode::Fork, &profile, &clock, model)?;
         clock.now()
     };
-    Ok([("cold boot", cold), ("warm boot", warm), ("fork boot", fork)])
+    Ok([
+        ("cold boot", cold),
+        ("warm boot", warm),
+        ("fork boot", fork),
+    ])
 }
 
 /// Prints Fig. 7.
@@ -275,10 +293,7 @@ pub fn table2(model: &CostModel) -> Result<Table2, SandboxError> {
 pub fn render_table2(t: &Table2) {
     println!("\nTable 2 — cold boot with Java runtime templates (paper: 89.4 / 659.1 / 29.3 ms)");
     rule(56);
-    println!(
-        "{:<14} {:>12} {:>14}",
-        "Native", "gVisor", "Java template"
-    );
+    println!("{:<14} {:>12} {:>14}", "Native", "gVisor", "Java template");
     println!(
         "{:<14} {:>12} {:>14}",
         ms(t.native),

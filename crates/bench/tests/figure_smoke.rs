@@ -15,7 +15,11 @@ fn fig07_taxonomy_orders_cold_warm_fork() {
     assert_eq!(rows[0].0, "cold boot");
     assert!(rows[0].1 > rows[1].1, "cold !> warm");
     assert!(rows[1].1 > rows[2].1, "warm !> fork");
-    assert!(rows[2].1 < SimNanos::from_millis(1), "fork boot {}", rows[2].1);
+    assert!(
+        rows[2].1 < SimNanos::from_millis(1),
+        "fork boot {}",
+        rows[2].1
+    );
 }
 
 #[test]
@@ -41,8 +45,14 @@ fn fig16c_pml_ratio_near_10x() {
 #[test]
 fn fig16d_has_exactly_the_expected_bursts() {
     let rows = hostopts::fig16d(&model());
-    let eager_bursts = rows.iter().filter(|(_, e, _)| *e > SimNanos::from_millis(1)).count();
-    let lazy_bursts = rows.iter().filter(|(_, _, l)| *l > SimNanos::from_millis(1)).count();
+    let eager_bursts = rows
+        .iter()
+        .filter(|(_, e, _)| *e > SimNanos::from_millis(1))
+        .count();
+    let lazy_bursts = rows
+        .iter()
+        .filter(|(_, _, l)| *l > SimNanos::from_millis(1))
+        .count();
     // Table starts at 64 fds; 40 warm-up + 40 measured dups cross one
     // doubling point (64) within the measured window.
     assert_eq!(eager_bursts, 1, "{rows:?}");
@@ -54,7 +64,12 @@ fn sensitivity_conclusions_are_robust() {
     let rows = generality::sensitivity().unwrap();
     assert!(rows.len() >= 5);
     for r in &rows {
-        assert!(r.speedup() > 50.0, "{}: speedup {}", r.scenario, r.speedup());
+        assert!(
+            r.speedup() > 50.0,
+            "{}: speedup {}",
+            r.scenario,
+            r.speedup()
+        );
         assert!(r.fork < r.warm, "{}: fork !< warm", r.scenario);
         assert!(r.warm < r.gvisor, "{}: warm !< gvisor", r.scenario);
     }
@@ -64,10 +79,7 @@ fn sensitivity_conclusions_are_robust() {
 fn generality_firecracker_snapshot_wins_big() {
     let rows = generality::generality(&model()).unwrap();
     let stock = rows.iter().find(|r| r.system.contains("stock")).unwrap();
-    let snap = rows
-        .iter()
-        .find(|r| r.system.contains("snapshot"))
-        .unwrap();
+    let snap = rows.iter().find(|r| r.system.contains("snapshot")).unwrap();
     assert!(stock.startup.as_nanos() > snap.startup.as_nanos() * 10);
 }
 

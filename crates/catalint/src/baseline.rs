@@ -1,0 +1,358 @@
+//! The checked-in violation baseline (`catalint.toml`).
+//!
+//! The baseline records *existing* debt as `(pass, file, function, count)`
+//! tuples. The checker fails only when a `(pass, file, function)` bucket
+//! exceeds its baselined count — so debt is visible and monotonically
+//! decreasing, new debt is impossible to land silently, and the file never
+//! churns on unrelated line-number changes.
+//!
+//! The format is a strict subset of TOML (`[[allow]]` tables with string
+//! and integer values), parsed here directly so the checker has zero
+//! dependencies.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::passes::ALL_PASSES;
+use crate::Violation;
+
+/// One tolerated bucket of pre-existing violations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Pass name (see [`crate::passes::ALL_PASSES`]).
+    pub pass: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Function name, or `<module>` for top-level findings.
+    pub function: String,
+    /// Number of findings tolerated in this bucket.
+    pub count: u32,
+}
+
+impl BaselineEntry {
+    fn key(&self) -> (String, String, String) {
+        (self.pass.clone(), self.file.clone(), self.function.clone())
+    }
+}
+
+/// A `(pass, file, function)` bucket whose finding count exceeds the baseline.
+#[derive(Debug)]
+pub struct Exceeded {
+    /// The offending bucket.
+    pub entry: BaselineEntry,
+    /// Baselined count (0 when the bucket is new).
+    pub allowed: u32,
+    /// Every finding in the bucket, so new sites are easy to spot.
+    pub sites: Vec<Violation>,
+}
+
+/// Result of diffing findings against the baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// Buckets with more findings than the baseline allows. Non-empty ⇒ fail.
+    pub exceeded: Vec<Exceeded>,
+    /// Baseline entries whose debt has shrunk — the recorded count with the
+    /// number actually found. Informational: tighten the baseline.
+    pub stale: Vec<(BaselineEntry, u32)>,
+}
+
+impl Diff {
+    /// True when no bucket exceeds its baseline.
+    pub fn is_clean(&self) -> bool {
+        self.exceeded.is_empty()
+    }
+}
+
+/// Parses baseline text. Accepts only the subset this module renders.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut entries: Vec<BaselineEntry> = Vec::new();
+    let mut cur: Option<BaselineEntry> = None;
+    for (ix, raw) in text.lines().enumerate() {
+        let lineno = ix + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(done) = cur.take() {
+                entries.push(validate(done, lineno)?);
+            }
+            cur = Some(BaselineEntry::default());
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {lineno}: unsupported table `{line}`"));
+        }
+        let Some((k, v)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = value`"));
+        };
+        let Some(entry) = cur.as_mut() else {
+            return Err(format!("line {lineno}: key outside an [[allow]] table"));
+        };
+        let (k, v) = (k.trim(), v.trim());
+        match k {
+            "pass" => entry.pass = unquote(v, lineno)?,
+            "file" => entry.file = unquote(v, lineno)?,
+            "function" => entry.function = unquote(v, lineno)?,
+            "count" => {
+                entry.count = v
+                    .parse::<u32>()
+                    .map_err(|e| format!("line {lineno}: bad count `{v}`: {e}"))?;
+            }
+            other => return Err(format!("line {lineno}: unknown key `{other}`")),
+        }
+    }
+    if let Some(done) = cur.take() {
+        entries.push(validate(done, 0)?);
+    }
+    Ok(entries)
+}
+
+fn validate(e: BaselineEntry, lineno: usize) -> Result<BaselineEntry, String> {
+    let at = if lineno == 0 {
+        "last entry".to_string()
+    } else {
+        format!("entry ending before line {lineno}")
+    };
+    if e.pass.is_empty() || e.file.is_empty() || e.function.is_empty() {
+        return Err(format!("{at}: pass, file, and function are all required"));
+    }
+    if !ALL_PASSES.contains(&e.pass.as_str()) {
+        return Err(format!("{at}: unknown pass `{}`", e.pass));
+    }
+    if e.count == 0 {
+        return Err(format!(
+            "{at}: count must be >= 1 (delete the entry instead)"
+        ));
+    }
+    Ok(e)
+}
+
+/// Strips a `#` comment, honouring double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (pos, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..pos],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn unquote(v: &str, lineno: usize) -> Result<String, String> {
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("line {lineno}: expected a double-quoted string, got `{v}`"))?;
+    Ok(inner.to_string())
+}
+
+/// Groups findings into baseline entries (sorted, counts summed).
+pub fn summarize(violations: &[Violation]) -> Vec<BaselineEntry> {
+    let mut counts: BTreeMap<(String, String, String), u32> = BTreeMap::new();
+    for v in violations {
+        *counts
+            .entry((v.pass.to_string(), v.file.clone(), v.func.clone()))
+            .or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .map(|((pass, file, function), count)| BaselineEntry {
+            pass,
+            file,
+            function,
+            count,
+        })
+        .collect()
+}
+
+/// Renders a baseline file, stably sorted.
+pub fn render_baseline(entries: &[BaselineEntry]) -> String {
+    let mut sorted: Vec<&BaselineEntry> = entries.iter().collect();
+    sorted.sort_by_key(|e| e.key());
+    let mut out = String::from(
+        "# catalint baseline — pre-existing violations, tolerated but visible.\n\
+         #\n\
+         # Each [[allow]] bucket tolerates `count` findings of `pass` in\n\
+         # `function` of `file`. The checker fails when a bucket exceeds its\n\
+         # count, so new debt cannot land silently. Shrink counts (or delete\n\
+         # entries) as debt is paid down; regenerate with\n\
+         # `cargo run -p catalint -- --write-baseline` only when reviewing\n\
+         # every delta. See DESIGN.md, \"Mechanically enforced invariants\".\n\n",
+    );
+    for e in sorted {
+        let _ = write!(
+            out,
+            "[[allow]]\npass = \"{}\"\nfile = \"{}\"\nfunction = \"{}\"\ncount = {}\n\n",
+            e.pass, e.file, e.function, e.count
+        );
+    }
+    out
+}
+
+/// Diffs findings against the baseline.
+pub fn diff(violations: &[Violation], baseline: &[BaselineEntry]) -> Diff {
+    let mut allowed: BTreeMap<(String, String, String), u32> = BTreeMap::new();
+    for e in baseline {
+        *allowed.entry(e.key()).or_insert(0) += e.count;
+    }
+    let mut found: BTreeMap<(String, String, String), Vec<Violation>> = BTreeMap::new();
+    for v in violations {
+        found
+            .entry((v.pass.to_string(), v.file.clone(), v.func.clone()))
+            .or_default()
+            .push(v.clone());
+    }
+
+    let mut out = Diff::default();
+    for (key, sites) in &found {
+        let cap = allowed.get(key).copied().unwrap_or(0);
+        let n = u32::try_from(sites.len()).unwrap_or(u32::MAX);
+        if n > cap {
+            out.exceeded.push(Exceeded {
+                entry: BaselineEntry {
+                    pass: key.0.clone(),
+                    file: key.1.clone(),
+                    function: key.2.clone(),
+                    count: n,
+                },
+                allowed: cap,
+                sites: sites.clone(),
+            });
+        }
+    }
+    for (key, cap) in &allowed {
+        let n = found
+            .get(key)
+            .map_or(0, |v| u32::try_from(v.len()).unwrap_or(u32::MAX));
+        if n < *cap {
+            out.stale.push((
+                BaselineEntry {
+                    pass: key.0.clone(),
+                    file: key.1.clone(),
+                    function: key.2.clone(),
+                    count: *cap,
+                },
+                n,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{diff, parse_baseline, render_baseline, summarize, BaselineEntry};
+    use crate::Violation;
+
+    fn v(pass: &'static str, file: &str, func: &str, line: u32) -> Violation {
+        Violation {
+            pass,
+            file: file.into(),
+            func: func.into(),
+            line,
+            what: "x".into(),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let entries = vec![
+            BaselineEntry {
+                pass: "panic".into(),
+                file: "a.rs".into(),
+                function: "f".into(),
+                count: 3,
+            },
+            BaselineEntry {
+                pass: "hotpath".into(),
+                file: "b.rs".into(),
+                function: "<module>".into(),
+                count: 1,
+            },
+        ];
+        let text = render_baseline(&entries);
+        let mut back = parse_baseline(&text).expect("parse rendered baseline");
+        back.sort_by_key(|e| e.file.clone());
+        let mut want = entries;
+        want.sort_by_key(|e| e.file.clone());
+        assert_eq!(back, want);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_baseline("[[allow]]\npass = \"panic\"\n").is_err()); // missing fields
+        assert!(parse_baseline(
+            "[[allow]]\npass = \"nope\"\nfile = \"a\"\nfunction = \"f\"\ncount = 1"
+        )
+        .is_err());
+        assert!(parse_baseline("[general]\nx = 1").is_err());
+        assert!(parse_baseline("pass = \"panic\"").is_err()); // key outside table
+        assert!(parse_baseline(
+            "[[allow]]\npass = \"panic\"\nfile = \"a\"\nfunction = \"f\"\ncount = 0"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\n[[allow]]\npass = \"panic\" # trailing\nfile = \"a.rs\"\nfunction = \"f\"\ncount = 2\n";
+        let entries = parse_baseline(text).expect("parse");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].count, 2);
+    }
+
+    #[test]
+    fn diff_flags_only_exceeded_buckets() {
+        let baseline = vec![BaselineEntry {
+            pass: "panic".into(),
+            file: "a.rs".into(),
+            function: "f".into(),
+            count: 2,
+        }];
+        // Exactly at baseline: clean.
+        let d = diff(
+            &[v("panic", "a.rs", "f", 1), v("panic", "a.rs", "f", 2)],
+            &baseline,
+        );
+        assert!(d.is_clean());
+        // One more: exceeded.
+        let d = diff(
+            &[
+                v("panic", "a.rs", "f", 1),
+                v("panic", "a.rs", "f", 2),
+                v("panic", "a.rs", "f", 3),
+            ],
+            &baseline,
+        );
+        assert!(!d.is_clean());
+        assert_eq!(d.exceeded[0].allowed, 2);
+        assert_eq!(d.exceeded[0].sites.len(), 3);
+        // Fewer: clean but stale.
+        let d = diff(&[v("panic", "a.rs", "f", 1)], &baseline);
+        assert!(d.is_clean());
+        assert_eq!(d.stale.len(), 1);
+        assert_eq!(d.stale[0].1, 1);
+    }
+
+    #[test]
+    fn new_bucket_with_no_baseline_fails() {
+        let d = diff(&[v("determinism", "x.rs", "g", 9)], &[]);
+        assert!(!d.is_clean());
+        assert_eq!(d.exceeded[0].allowed, 0);
+    }
+
+    #[test]
+    fn summarize_groups_and_sorts() {
+        let s = summarize(&[
+            v("panic", "b.rs", "f", 1),
+            v("panic", "a.rs", "f", 1),
+            v("panic", "a.rs", "f", 7),
+        ]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].file, "a.rs");
+        assert_eq!(s[0].count, 2);
+    }
+}

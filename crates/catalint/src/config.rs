@@ -1,0 +1,112 @@
+//! Checker configuration.
+//!
+//! The *baseline* (pre-existing, tolerated debt) lives in `catalint.toml`
+//! at the workspace root and is meant to be edited. The *policy* — which
+//! files are parse modules, which functions root the restore hot path —
+//! lives here, in code, because changing policy should look like a code
+//! change and go through review.
+
+/// Which files each pass applies to, and where the restore path starts.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Path prefixes excluded from scanning entirely (vendored stand-ins,
+    /// build output).
+    pub scan_exempt: Vec<String>,
+    /// Path prefixes exempt from the determinism pass. `simtime` is the
+    /// one place allowed to define time; everyone else must consume it.
+    pub determinism_exempt: Vec<String>,
+    /// Files that parse untrusted bytes (func-images, checkpoints). The
+    /// panic-freedom pass applies only here.
+    pub parse_files: Vec<String>,
+    /// Bare names of the functions that root the restore critical path.
+    /// Everything name-reachable from these is held to hot-path discipline.
+    pub hot_roots: Vec<String>,
+    /// Bare names where hot-path traversal stops: work that is off the
+    /// restore critical path even though the restore entry points call it
+    /// (one-time image compilation).
+    pub hot_stops: Vec<String>,
+}
+
+impl Config {
+    /// The policy for this workspace.
+    pub fn workspace_default() -> Config {
+        Config {
+            scan_exempt: vec!["third_party/".into(), "target/".into()],
+            determinism_exempt: vec!["crates/simtime/".into()],
+            parse_files: vec![
+                "crates/imagefmt/src/flat.rs".into(),
+                "crates/imagefmt/src/classic.rs".into(),
+                "crates/imagefmt/src/varint.rs".into(),
+                "crates/imagefmt/src/lz.rs".into(),
+                "crates/imagefmt/src/record.rs".into(),
+                "crates/memsim/src/image.rs".into(),
+                "crates/guest-kernel/src/checkpoint.rs".into(),
+            ],
+            hot_roots: vec![
+                // Catalyzer restore (paper §3: separated state recovery,
+                // overlay memory, on-demand I/O).
+                "restore_boot".into(),
+                "restore_metadata".into(),
+                "build_base_layer".into(),
+                "app_mem_index".into(),
+                "read_io_manifest".into(),
+                // Overlay-memory demand paging.
+                "attach_base".into(),
+                "load_page".into(),
+                "load_range".into(),
+            ],
+            hot_stops: vec![
+                // One-time image preparation (checkpoint side). The paper
+                // measures restore with images already built; the builders
+                // may buffer and copy freely.
+                "ensure_compiled".into(),
+            ],
+        }
+    }
+
+    /// True when the path is excluded from all scanning.
+    pub fn is_scan_exempt(&self, path: &str) -> bool {
+        self.scan_exempt.iter().any(|p| path.starts_with(p))
+    }
+
+    /// True when the path is exempt from the determinism pass.
+    pub fn is_determinism_exempt(&self, path: &str) -> bool {
+        self.determinism_exempt.iter().any(|p| path.starts_with(p))
+    }
+
+    /// True when the path is one of the configured parse modules.
+    pub fn is_parse_file(&self, path: &str) -> bool {
+        self.parse_files.iter().any(|p| p == path)
+    }
+
+    /// True for test, bench, example, and binary targets — code that never
+    /// ships on the restore path and is allowed its own conventions.
+    pub fn is_non_library_path(&self, path: &str) -> bool {
+        const MARKERS: [&str; 4] = ["tests/", "examples/", "benches/", "bin/"];
+        MARKERS
+            .iter()
+            .any(|m| path.starts_with(m) || path.contains(&format!("/{m}")))
+            || path.ends_with("/main.rs")
+            || path == "src/main.rs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Config;
+
+    #[test]
+    fn path_classification() {
+        let c = Config::workspace_default();
+        assert!(c.is_scan_exempt("third_party/rand/src/lib.rs"));
+        assert!(!c.is_scan_exempt("crates/imagefmt/src/flat.rs"));
+        assert!(c.is_determinism_exempt("crates/simtime/src/clock.rs"));
+        assert!(c.is_parse_file("crates/imagefmt/src/flat.rs"));
+        assert!(!c.is_parse_file("crates/imagefmt/src/lib.rs"));
+        assert!(c.is_non_library_path("crates/imagefmt/tests/properties.rs"));
+        assert!(c.is_non_library_path("tests/determinism.rs"));
+        assert!(c.is_non_library_path("crates/bench/src/bin/repro.rs"));
+        assert!(c.is_non_library_path("examples/quickstart.rs"));
+        assert!(!c.is_non_library_path("crates/core/src/restore.rs"));
+    }
+}

@@ -1,0 +1,148 @@
+//! `cargo run -p catalint` — check the workspace against its invariants.
+//!
+//! Exit codes: 0 = clean (baseline respected), 1 = new violations,
+//! 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use catalint::baseline::{render_baseline, summarize};
+use catalint::{check_workspace, find_workspace_root, CatalintError};
+
+struct Args {
+    root: Option<PathBuf>,
+    baseline_out: bool,
+}
+
+const USAGE: &str = "usage: catalint [--root DIR] [--write-baseline]
+
+Checks the workspace against its mechanical invariants (determinism,
+panic-free image parsing, restore hot-path copy discipline, error
+hygiene) and diffs the findings against catalint.toml.
+
+  --root DIR          workspace root (default: walk up from the cwd)
+  --write-baseline    rewrite catalint.toml from the current findings
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        baseline_out: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a value")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--write-baseline" => args.baseline_out = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("catalint: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("catalint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Args) -> Result<ExitCode, CatalintError> {
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|err| CatalintError::Io {
+                path: PathBuf::from("."),
+                err,
+            })?;
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("catalint: no workspace root found above {}", cwd.display());
+                    return Ok(ExitCode::from(2));
+                }
+            }
+        }
+    };
+
+    // A bad --root (typo, CI misconfiguration) must not pass vacuously.
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "catalint: {} is not a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return Ok(ExitCode::from(2));
+    }
+
+    let outcome = check_workspace(&root)?;
+
+    if outcome.files_scanned == 0 {
+        eprintln!("catalint: no .rs files found under {}", root.display());
+        return Ok(ExitCode::from(2));
+    }
+
+    if args.baseline_out {
+        let path = root.join("catalint.toml");
+        let text = render_baseline(&summarize(&outcome.violations));
+        std::fs::write(&path, text).map_err(|err| CatalintError::Io { path, err })?;
+        println!(
+            "catalint: wrote baseline with {} finding(s) across {} file(s)",
+            outcome.violations.len(),
+            outcome.files_scanned
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    println!(
+        "catalint: scanned {} file(s), {} finding(s) total",
+        outcome.files_scanned,
+        outcome.violations.len()
+    );
+
+    for (entry, found) in &outcome.diff.stale {
+        println!(
+            "catalint: note: baseline allows {} x [{}] in {} fn {}, only {found} found — baseline can be tightened",
+            entry.count, entry.pass, entry.file, entry.function
+        );
+    }
+
+    if outcome.diff.is_clean() {
+        println!("catalint: OK — no new violations");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut new_sites = 0u32;
+    for ex in &outcome.diff.exceeded {
+        new_sites += ex.entry.count - ex.allowed;
+        eprintln!(
+            "catalint: [{}] {} fn {}: {} found, {} baselined:",
+            ex.entry.pass, ex.entry.file, ex.entry.function, ex.entry.count, ex.allowed
+        );
+        for site in &ex.sites {
+            eprintln!("    {site}");
+        }
+    }
+    eprintln!(
+        "catalint: FAIL — {new_sites} finding(s) above baseline. Fix them, or if \
+         genuinely intended, amend catalint.toml in the same change (see DESIGN.md)."
+    );
+    Ok(ExitCode::FAILURE)
+}

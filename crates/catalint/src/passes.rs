@@ -1,0 +1,514 @@
+//! The four invariant passes.
+//!
+//! Each pass is a pattern scan over token trees (see [`crate::lexer`]);
+//! none of them type-check. They are tuned so that false positives land in
+//! the reviewed baseline rather than blocking work, while regressions on
+//! the invariants the paper's numbers depend on fail loudly:
+//!
+//! - **determinism** — simulated time and seeded randomness only. A stray
+//!   `Instant::now()` silently turns reproducible latency figures into
+//!   noise.
+//! - **panic** — image parsing must return [`imagefmt::ImageError`]-style
+//!   errors, never panic: a func-image is untrusted input to the restore
+//!   path.
+//! - **hotpath** — functions reachable from the restore roots must not
+//!   eagerly copy full buffers; overlay memory exists precisely so that
+//!   Base-EPT pages are shared, not copied.
+//! - **hygiene** — public library functions return crate error types, not
+//!   `Box<dyn Error>`, so callers can match on failure modes.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::config::Config;
+use crate::lexer::{Delim, Tok};
+use crate::segment::is_keyword;
+use crate::{ParsedFile, Violation};
+
+/// Pass name: simulated-time / seeded-randomness discipline.
+pub const PASS_DETERMINISM: &str = "determinism";
+/// Pass name: panic-freedom in image-parsing modules.
+pub const PASS_PANIC: &str = "panic";
+/// Pass name: no eager copies on the restore hot path.
+pub const PASS_HOTPATH: &str = "hotpath";
+/// Pass name: public API error hygiene.
+pub const PASS_HYGIENE: &str = "hygiene";
+
+/// All pass names, for validating baselines and allow directives.
+pub const ALL_PASSES: [&str; 4] = [PASS_DETERMINISM, PASS_PANIC, PASS_HOTPATH, PASS_HYGIENE];
+
+/// Function name used for findings in top-level (non-fn) tokens.
+pub const MODULE_SCOPE: &str = "<module>";
+
+fn push(
+    out: &mut Vec<Violation>,
+    pass: &'static str,
+    file: &str,
+    func: &str,
+    line: u32,
+    what: String,
+) {
+    out.push(Violation {
+        pass,
+        file: file.to_string(),
+        func: func.to_string(),
+        line,
+        what,
+    });
+}
+
+fn next_is_paren(toks: &[Tok], i: usize) -> bool {
+    matches!(toks.get(i + 1), Some(Tok::Group(Delim::Paren, _, _)))
+}
+
+fn is_path_to(toks: &[Tok], i: usize, target: &str) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && matches!(toks.get(i + 3), Some(Tok::Ident(w, _)) if w == target)
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------------
+
+/// Flags ambient time and entropy sources outside `simtime`.
+pub(crate) fn determinism(parsed: &[ParsedFile], cfg: &Config, out: &mut Vec<Violation>) {
+    for pf in parsed {
+        if cfg.is_determinism_exempt(&pf.path) {
+            continue;
+        }
+        for f in &pf.items.fns {
+            scan_det(&f.body, &pf.path, &f.name, out);
+        }
+        scan_det(&pf.items.loose, &pf.path, MODULE_SCOPE, out);
+    }
+}
+
+fn scan_det(toks: &[Tok], file: &str, func: &str, out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        if let Tok::Ident(w, line) = &toks[i] {
+            match w.as_str() {
+                "SystemTime" | "Instant" if is_path_to(toks, i, "now") => push(
+                    out,
+                    PASS_DETERMINISM,
+                    file,
+                    func,
+                    *line,
+                    format!("wall-clock `{w}::now()`; use simtime::SimClock"),
+                ),
+                "thread" if is_path_to(toks, i, "sleep") => push(
+                    out,
+                    PASS_DETERMINISM,
+                    file,
+                    func,
+                    *line,
+                    "real `thread::sleep`; charge simulated time instead".to_string(),
+                ),
+                "sleep" if next_is_paren(toks, i) && !prev_blocks_bare_sleep(toks, i) => push(
+                    out,
+                    PASS_DETERMINISM,
+                    file,
+                    func,
+                    *line,
+                    "bare `sleep()` call; charge simulated time instead".to_string(),
+                ),
+                "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => push(
+                    out,
+                    PASS_DETERMINISM,
+                    file,
+                    func,
+                    *line,
+                    format!("ambient entropy `{w}`; seed an StdRng explicitly"),
+                ),
+                _ => {}
+            }
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            scan_det(inner, file, func, out);
+        }
+    }
+}
+
+/// `.sleep(…)` method calls, `fn sleep(…)` definitions, and the tail of a
+/// `thread::sleep` path (already reported) are not bare sleeps.
+fn prev_blocks_bare_sleep(toks: &[Tok], i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    match &toks[i - 1] {
+        Tok::Punct('.', _) | Tok::Punct(':', _) => true,
+        Tok::Ident(w, _) => w == "fn",
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// panic
+// ---------------------------------------------------------------------------
+
+/// Flags panic sources in the configured parse modules.
+pub(crate) fn panic_freedom(parsed: &[ParsedFile], cfg: &Config, out: &mut Vec<Violation>) {
+    for pf in parsed {
+        if !cfg.is_parse_file(&pf.path) {
+            continue;
+        }
+        for f in &pf.items.fns {
+            scan_panic(&f.body, &pf.path, &f.name, out);
+        }
+        scan_panic(&pf.items.loose, &pf.path, MODULE_SCOPE, out);
+    }
+}
+
+fn numeric_type(s: &str) -> bool {
+    matches!(
+        s,
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+            | "f32"
+            | "f64"
+    )
+}
+
+fn scan_panic(toks: &[Tok], file: &str, func: &str, out: &mut Vec<Violation>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i] {
+            // `use foo::bar as baz;` inside a body is not a cast.
+            Tok::Ident(w, _) if w == "use" => {
+                while i < toks.len() && !matches!(&toks[i], Tok::Punct(';', _)) {
+                    i += 1;
+                }
+            }
+            Tok::Ident(w, line)
+                if (w == "unwrap" || w == "expect")
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && next_is_paren(toks, i) =>
+            {
+                push(
+                    out,
+                    PASS_PANIC,
+                    file,
+                    func,
+                    *line,
+                    format!(".{w}() in an image-parsing module"),
+                );
+            }
+            Tok::Ident(w, line)
+                if matches!(
+                    w.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
+            {
+                push(
+                    out,
+                    PASS_PANIC,
+                    file,
+                    func,
+                    *line,
+                    format!("{w}! in an image-parsing module"),
+                );
+            }
+            Tok::Ident(w, line)
+                if w == "as"
+                    && matches!(toks.get(i + 1), Some(Tok::Ident(t, _)) if numeric_type(t)) =>
+            {
+                let ty = toks[i + 1].ident().unwrap_or("?");
+                push(
+                    out,
+                    PASS_PANIC,
+                    file,
+                    func,
+                    *line,
+                    format!("unchecked `as {ty}` cast; use try_into/From"),
+                );
+            }
+            Tok::Group(Delim::Bracket, inner, line)
+                if prev_is_indexable(toks, i) && !is_full_range(inner) =>
+            {
+                push(
+                    out,
+                    PASS_PANIC,
+                    file,
+                    func,
+                    *line,
+                    "unchecked slice/array indexing; use get()/split-based parsing".to_string(),
+                );
+            }
+            _ => {}
+        }
+        if let Some(Tok::Group(_, inner, _)) = toks.get(i) {
+            scan_panic(inner, file, func, out);
+        }
+        i += 1;
+    }
+}
+
+fn prev_is_indexable(toks: &[Tok], i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    match &toks[i - 1] {
+        Tok::Ident(w, _) => !is_keyword(w),
+        Tok::Group(Delim::Paren | Delim::Bracket, _, _) => true,
+        Tok::Punct('?', _) => true,
+        _ => false,
+    }
+}
+
+/// `[..]` — a full-range slice, which cannot panic.
+fn is_full_range(inner: &[Tok]) -> bool {
+    matches!(inner, [Tok::Punct('.', _), Tok::Punct('.', _)])
+}
+
+// ---------------------------------------------------------------------------
+// hygiene
+// ---------------------------------------------------------------------------
+
+/// Flags public library functions returning `Box<dyn …Error…>`.
+pub(crate) fn hygiene(parsed: &[ParsedFile], cfg: &Config, out: &mut Vec<Violation>) {
+    for pf in parsed {
+        if cfg.is_non_library_path(&pf.path) {
+            continue;
+        }
+        for f in &pf.items.fns {
+            if f.is_pub && ret_has_boxed_dyn_error(&f.sig) {
+                push(
+                    out,
+                    PASS_HYGIENE,
+                    &pf.path,
+                    &f.name,
+                    f.line,
+                    "public fn returns `Box<dyn Error>`; return the crate error type".to_string(),
+                );
+            }
+        }
+    }
+}
+
+fn ret_has_boxed_dyn_error(sig: &[Tok]) -> bool {
+    for i in 0..sig.len().saturating_sub(1) {
+        if sig[i].is_punct('-') && sig[i + 1].is_punct('>') {
+            let mut has_dyn = false;
+            let mut has_error = false;
+            dyn_error_scan(&sig[i + 2..], &mut has_dyn, &mut has_error);
+            return has_dyn && has_error;
+        }
+    }
+    false
+}
+
+fn dyn_error_scan(toks: &[Tok], has_dyn: &mut bool, has_error: &mut bool) {
+    for t in toks {
+        match t {
+            Tok::Ident(w, _) if w == "dyn" => *has_dyn = true,
+            Tok::Ident(w, _) if w.contains("Error") => *has_error = true,
+            Tok::Group(_, inner, _) => dyn_error_scan(inner, has_dyn, has_error),
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// hotpath
+// ---------------------------------------------------------------------------
+
+/// Method/function names too generic to follow as name-based call edges:
+/// following `.get(…)` to every `get` in the workspace would make
+/// "reachable from the restore path" mean "everything". Qualified calls
+/// (`Type::new(…)`) are still followed precisely.
+const STOP_EDGES: [&str; 29] = [
+    "new",
+    "default",
+    "clone",
+    "from",
+    "into",
+    "len",
+    "is_empty",
+    "get",
+    "push",
+    "insert",
+    "remove",
+    "contains",
+    "iter",
+    "next",
+    "collect",
+    "map",
+    "filter",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "hash",
+    "drop",
+    "deref",
+    "to_string",
+    "as_ref",
+    "as_mut",
+    "min",
+    // `write` collides across the workspace: `AddressSpace::write` (restore
+    // side, page-granular by design) vs. the checkpoint serializers
+    // (`flat::write`, `classic::write`), which buffer freely off the hot
+    // path. A name-based graph cannot split them, so the edge is dropped.
+    "write",
+];
+
+/// Flags eager full-buffer copies in functions name-reachable from the
+/// configured restore roots.
+pub(crate) fn hotpath(parsed: &[ParsedFile], cfg: &Config, out: &mut Vec<Violation>) {
+    // Index every library function by bare and qualified name.
+    let mut fns: Vec<(&str, &crate::segment::FnItem)> = Vec::new();
+    for pf in parsed {
+        if cfg.is_non_library_path(&pf.path) {
+            continue;
+        }
+        for f in &pf.items.fns {
+            fns.push((pf.path.as_str(), f));
+        }
+    }
+    let mut by_bare: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut by_qual: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (ix, (_, f)) in fns.iter().enumerate() {
+        by_bare.entry(f.name.as_str()).or_default().push(ix);
+        if let Some(q) = &f.qualified {
+            by_qual.entry(q.as_str()).or_default().push(ix);
+        }
+    }
+
+    // BFS over name-based call edges from the roots.
+    let mut reach = vec![false; fns.len()];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for root in &cfg.hot_roots {
+        for &ix in by_bare.get(root.as_str()).into_iter().flatten() {
+            if !reach[ix] {
+                reach[ix] = true;
+                queue.push_back(ix);
+            }
+        }
+    }
+    while let Some(ix) = queue.pop_front() {
+        let mut callees = Vec::new();
+        collect_callees(&fns[ix].1.body, &mut callees);
+        for c in &callees {
+            let bare = c.rsplit("::").next().unwrap_or(c);
+            if cfg.hot_stops.iter().any(|s| s == bare) {
+                continue;
+            }
+            let targets: &[usize] = if c.contains("::") {
+                by_qual.get(c.as_str()).map_or(&[], Vec::as_slice)
+            } else if STOP_EDGES.contains(&c.as_str()) {
+                &[]
+            } else {
+                by_bare.get(c.as_str()).map_or(&[], Vec::as_slice)
+            };
+            for &t in targets {
+                if !reach[t] {
+                    reach[t] = true;
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+
+    for (ix, (file, f)) in fns.iter().enumerate() {
+        if reach[ix] {
+            scan_copies(&f.body, file, &f.name, out);
+        }
+    }
+}
+
+/// Collects callee names from a body: `foo(…)` and `.foo(…)` as bare names,
+/// `Type::foo(…)` qualified when `Type` is capitalised.
+fn collect_callees(toks: &[Tok], out: &mut Vec<String>) {
+    for i in 0..toks.len() {
+        if let Tok::Ident(w, _) = &toks[i] {
+            let is_def = i >= 1 && matches!(&toks[i - 1], Tok::Ident(k, _) if k == "fn");
+            if !is_keyword(w) && !is_def && next_is_paren(toks, i) {
+                let qualified = i >= 3 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':');
+                if qualified {
+                    match toks.get(i - 3) {
+                        Some(Tok::Ident(q, _))
+                            if q.chars().next().is_some_and(char::is_uppercase) =>
+                        {
+                            out.push(format!("{q}::{w}"));
+                        }
+                        _ => out.push(w.clone()),
+                    }
+                } else {
+                    out.push(w.clone());
+                }
+            }
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            collect_callees(inner, out);
+        }
+    }
+}
+
+/// Receiver names treated as page/payload buffers for the `.clone()` check.
+const BUFFER_RECEIVERS: [&str; 2] = ["data", "page_data"];
+
+fn scan_copies(toks: &[Tok], file: &str, func: &str, out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        if let Tok::Ident(w, line) = &toks[i] {
+            let method = i > 0 && toks[i - 1].is_punct('.') && next_is_paren(toks, i);
+            let associated = i >= 2
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && next_is_paren(toks, i);
+            match w.as_str() {
+                "to_vec" | "to_owned" if method => push(
+                    out,
+                    PASS_HOTPATH,
+                    file,
+                    func,
+                    *line,
+                    format!("eager `{w}()` buffer copy on the restore path; slice/share instead"),
+                ),
+                "extend_from_slice" if method => push(
+                    out,
+                    PASS_HOTPATH,
+                    file,
+                    func,
+                    *line,
+                    "`extend_from_slice` bulk append on the restore path".to_string(),
+                ),
+                "copy_from_slice" if associated => push(
+                    out,
+                    PASS_HOTPATH,
+                    file,
+                    func,
+                    *line,
+                    "allocating `copy_from_slice` constructor on the restore path".to_string(),
+                ),
+                "clone"
+                    if method
+                        && i >= 2
+                        && matches!(&toks[i - 2], Tok::Ident(r, _)
+                            if BUFFER_RECEIVERS.contains(&r.as_str())) =>
+                {
+                    push(
+                        out,
+                        PASS_HOTPATH,
+                        file,
+                        func,
+                        *line,
+                        "clone of a page/payload buffer on the restore path".to_string(),
+                    )
+                }
+                _ => {}
+            }
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            scan_copies(inner, file, func, out);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! End-to-end checks against planted violations: the checker must catch a
+//! wall-clock read anywhere and a panic site inside a parse module, and the
+//! `catalint` binary must exit non-zero when findings exceed the baseline.
+
+use std::process::Command;
+
+use catalint::config::Config;
+use catalint::passes::{PASS_DETERMINISM, PASS_HOTPATH, PASS_HYGIENE, PASS_PANIC};
+use catalint::{analyze, SrcFile};
+
+fn run(path: &str, content: &str) -> Vec<catalint::Violation> {
+    let files = vec![SrcFile {
+        path: path.into(),
+        content: content.into(),
+    }];
+    analyze(&files, &Config::workspace_default())
+}
+
+#[test]
+fn planted_systemtime_now_is_caught() {
+    let v = run(
+        "crates/core/src/restore.rs",
+        r#"
+pub fn boot_stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+"#,
+    );
+    assert!(
+        v.iter()
+            .any(|v| v.pass == PASS_DETERMINISM && v.func == "boot_stamp"),
+        "expected a determinism finding, got: {v:?}"
+    );
+}
+
+#[test]
+fn planted_instant_and_sleep_are_caught() {
+    let v = run(
+        "crates/sandbox/src/lib.rs",
+        r#"
+fn wait_for_boot() {
+    let t0 = std::time::Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let _ = t0;
+}
+"#,
+    );
+    assert_eq!(
+        v.iter().filter(|v| v.pass == PASS_DETERMINISM).count(),
+        2,
+        "expected Instant::now and thread::sleep findings, got: {v:?}"
+    );
+}
+
+#[test]
+fn simtime_may_define_time() {
+    let v = run(
+        "crates/simtime/src/clock.rs",
+        "pub fn real_now() -> std::time::Instant { std::time::Instant::now() }",
+    );
+    assert!(
+        v.iter().all(|v| v.pass != PASS_DETERMINISM),
+        "simtime is exempt from the determinism pass, got: {v:?}"
+    );
+}
+
+#[test]
+fn planted_unwrap_in_parse_module_is_caught() {
+    let v = run(
+        "crates/imagefmt/src/flat.rs",
+        r#"
+pub fn parse_header(buf: &[u8]) -> u32 {
+    u32::from_le_bytes(buf[0..4].try_into().unwrap())
+}
+"#,
+    );
+    // Both the slice indexing and the unwrap must be flagged.
+    assert!(
+        v.iter()
+            .filter(|v| v.pass == PASS_PANIC && v.func == "parse_header")
+            .count()
+            >= 2,
+        "expected indexing + unwrap findings, got: {v:?}"
+    );
+}
+
+#[test]
+fn unwrap_outside_parse_modules_is_not_a_panic_finding() {
+    let v = run(
+        "crates/workloads/src/lib.rs",
+        "pub fn build() -> u32 { \"7\".parse().unwrap() }",
+    );
+    assert!(
+        v.iter().all(|v| v.pass != PASS_PANIC),
+        "panic pass is scoped to parse modules, got: {v:?}"
+    );
+}
+
+#[test]
+fn lossy_cast_in_parse_module_is_caught() {
+    let v = run(
+        "crates/imagefmt/src/record.rs",
+        "pub fn narrow(x: u64) -> u16 { x as u16 }",
+    );
+    assert!(
+        v.iter()
+            .any(|v| v.pass == PASS_PANIC && v.what.contains("cast")),
+        "expected a lossy-cast finding, got: {v:?}"
+    );
+}
+
+#[test]
+fn eager_copy_reachable_from_restore_root_is_caught() {
+    let v = run(
+        "crates/core/src/restore.rs",
+        r#"
+pub fn restore_boot(data: &[u8]) -> Vec<u8> {
+    stage_one(data)
+}
+fn stage_one(data: &[u8]) -> Vec<u8> {
+    data.to_vec()
+}
+"#,
+    );
+    assert!(
+        v.iter()
+            .any(|v| v.pass == PASS_HOTPATH && v.func == "stage_one"),
+        "expected a hot-path copy finding via the call graph, got: {v:?}"
+    );
+}
+
+#[test]
+fn copy_behind_ensure_compiled_is_off_the_hot_path() {
+    let v = run(
+        "crates/core/src/store.rs",
+        r#"
+pub fn restore_boot(data: &[u8]) -> Vec<u8> {
+    ensure_compiled(data)
+}
+fn ensure_compiled(data: &[u8]) -> Vec<u8> {
+    data.to_vec()
+}
+"#,
+    );
+    assert!(
+        v.iter().all(|v| v.pass != PASS_HOTPATH),
+        "one-time image compilation may buffer freely, got: {v:?}"
+    );
+}
+
+#[test]
+fn box_dyn_error_in_public_library_fn_is_caught() {
+    let v = run(
+        "crates/platform/src/lib.rs",
+        "pub fn start() -> Result<(), Box<dyn std::error::Error>> { Ok(()) }",
+    );
+    assert!(
+        v.iter()
+            .any(|v| v.pass == PASS_HYGIENE && v.func == "start"),
+        "expected an error-hygiene finding, got: {v:?}"
+    );
+}
+
+#[test]
+fn allow_comment_suppresses_a_finding() {
+    let v = run(
+        "crates/core/src/restore.rs",
+        r#"
+pub fn boot_stamp() -> std::time::SystemTime {
+    // catalint: allow(determinism)
+    std::time::SystemTime::now()
+}
+"#,
+    );
+    assert!(
+        v.iter().all(|v| v.pass != PASS_DETERMINISM),
+        "allow(determinism) on the line above must suppress, got: {v:?}"
+    );
+}
+
+#[test]
+fn binary_exits_zero_on_clean_tree_and_nonzero_on_violation() {
+    // The workspace root is two levels up from this crate.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let bin = env!("CARGO_BIN_EXE_catalint");
+
+    let clean = Command::new(bin)
+        .args(["--root", root.to_str().expect("utf-8 root")])
+        .output()
+        .expect("run catalint");
+    assert!(
+        clean.status.success(),
+        "catalint must pass on the checked-in tree:\n{}{}",
+        String::from_utf8_lossy(&clean.stdout),
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    // Plant a violation in a scratch copy of the workspace layout: a parse
+    // module with an unwrap, plus the real baseline.
+    let scratch = std::env::temp_dir().join(format!("catalint-fixture-{}", std::process::id()));
+    let parse_dir = scratch.join("crates/imagefmt/src");
+    std::fs::create_dir_all(&parse_dir).expect("mkdir");
+    std::fs::write(scratch.join("Cargo.toml"), "[workspace]\n").expect("write");
+    std::fs::create_dir_all(scratch.join("crates")).expect("mkdir");
+    std::fs::write(
+        parse_dir.join("flat.rs"),
+        "pub fn parse(b: &[u8]) -> u8 { *b.first().unwrap() }\n",
+    )
+    .expect("write fixture");
+
+    let dirty = Command::new(bin)
+        .args(["--root", scratch.to_str().expect("utf-8 scratch")])
+        .output()
+        .expect("run catalint");
+    assert!(
+        !dirty.status.success(),
+        "catalint must fail on a planted unwrap in a parse module:\n{}{}",
+        String::from_utf8_lossy(&dirty.stdout),
+        String::from_utf8_lossy(&dirty.stderr)
+    );
+
+    std::fs::remove_dir_all(&scratch).ok();
+}

@@ -90,10 +90,16 @@ mod tests {
             CatalyzerConfig::full(),
         ];
         let on = |c: &CatalyzerConfig| {
-            [c.overlay_memory, c.separated_state, c.lazy_io, c.io_cache, c.zygotes]
-                .iter()
-                .filter(|&&b| b)
-                .count()
+            [
+                c.overlay_memory,
+                c.separated_state,
+                c.lazy_io,
+                c.io_cache,
+                c.zygotes,
+            ]
+            .iter()
+            .filter(|&&b| b)
+            .count()
         };
         for pair in steps.windows(2) {
             assert!(on(&pair[0]) < on(&pair[1]));

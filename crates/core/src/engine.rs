@@ -81,7 +81,11 @@ impl Catalyzer {
     /// # Errors
     ///
     /// Substrate errors from the offline run.
-    pub fn prewarm_image(&mut self, profile: &AppProfile, model: &CostModel) -> Result<(), SandboxError> {
+    pub fn prewarm_image(
+        &mut self,
+        profile: &AppProfile,
+        model: &CostModel,
+    ) -> Result<(), SandboxError> {
         self.store.ensure_compiled(profile, model)?;
         Ok(())
     }
@@ -91,7 +95,11 @@ impl Catalyzer {
     /// # Errors
     ///
     /// Substrate errors from template generation.
-    pub fn ensure_template(&mut self, profile: &AppProfile, model: &CostModel) -> Result<(), SandboxError> {
+    pub fn ensure_template(
+        &mut self,
+        profile: &AppProfile,
+        model: &CostModel,
+    ) -> Result<(), SandboxError> {
         if !self.templates.contains_key(&profile.name) {
             self.templates
                 .insert(profile.name.clone(), Template::generate(profile, model)?);
@@ -134,22 +142,35 @@ impl Catalyzer {
     ) -> Result<BootOutcome, SandboxError> {
         match mode {
             BootMode::Cold => restore_boot(
-                mode, &self.config, &mut self.store, &mut self.zygotes, profile, clock, model,
+                mode,
+                &self.config,
+                &mut self.store,
+                &mut self.zygotes,
+                profile,
+                clock,
+                model,
             ),
             BootMode::Warm => {
                 if self.config.zygotes {
                     self.zygotes.refill(1, model)?; // maintained offline
                 }
                 restore_boot(
-                    mode, &self.config, &mut self.store, &mut self.zygotes, profile, clock, model,
+                    mode,
+                    &self.config,
+                    &mut self.store,
+                    &mut self.zygotes,
+                    profile,
+                    clock,
+                    model,
                 )
             }
             BootMode::Fork => {
-                let template = self.templates.get_mut(&profile.name).ok_or_else(|| {
-                    SandboxError::Config {
-                        detail: format!("no template sandbox for '{}'", profile.name),
-                    }
-                })?;
+                let template =
+                    self.templates
+                        .get_mut(&profile.name)
+                        .ok_or_else(|| SandboxError::Config {
+                            detail: format!("no template sandbox for '{}'", profile.name),
+                        })?;
                 template.fork_boot(&self.config, clock, model)
             }
         }
@@ -187,12 +208,13 @@ impl Catalyzer {
         function: &str,
         model: &CostModel,
     ) -> Result<(u64, u64), SandboxError> {
-        let stored = self.store.get(function).ok_or_else(|| SandboxError::Config {
-            detail: format!("func-image for '{function}' not compiled"),
-        })?;
-        let manifest = stored
-            .flat
-            .read_io_manifest(&SimClock::new(), model)?;
+        let stored = self
+            .store
+            .get(function)
+            .ok_or_else(|| SandboxError::Config {
+                detail: format!("func-image for '{function}' not compiled"),
+            })?;
+        let manifest = stored.flat.read_io_manifest(&SimClock::new(), model)?;
         let io_cache: u64 = manifest
             .iter()
             .filter(|c| c.used_immediately)
@@ -240,7 +262,9 @@ impl CatalyzerEngine {
 
 impl fmt::Debug for CatalyzerEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CatalyzerEngine").field("mode", &self.mode).finish()
+        f.debug_struct("CatalyzerEngine")
+            .field("mode", &self.mode)
+            .finish()
     }
 }
 
@@ -289,9 +313,11 @@ mod tests {
         let mut cat = Catalyzer::new();
 
         let cold_clock = SimClock::new();
-        cat.boot(BootMode::Cold, &profile, &cold_clock, &model).unwrap();
+        cat.boot(BootMode::Cold, &profile, &cold_clock, &model)
+            .unwrap();
         let warm_clock = SimClock::new();
-        cat.boot(BootMode::Warm, &profile, &warm_clock, &model).unwrap();
+        cat.boot(BootMode::Warm, &profile, &warm_clock, &model)
+            .unwrap();
 
         assert!(warm_clock.now() < cold_clock.now());
         // Paper: restore ≈ zygote + ~30 ms.
@@ -329,12 +355,22 @@ mod tests {
         let model = model();
         let mut cat = Catalyzer::new();
         let err = cat
-            .boot(BootMode::Fork, &AppProfile::c_hello(), &SimClock::new(), &model)
+            .boot(
+                BootMode::Fork,
+                &AppProfile::c_hello(),
+                &SimClock::new(),
+                &model,
+            )
             .unwrap_err();
         assert!(matches!(err, SandboxError::Config { .. }));
         cat.ensure_template(&AppProfile::c_hello(), &model).unwrap();
-        cat.boot(BootMode::Fork, &AppProfile::c_hello(), &SimClock::new(), &model)
-            .unwrap();
+        cat.boot(
+            BootMode::Fork,
+            &AppProfile::c_hello(),
+            &SimClock::new(),
+            &model,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -357,10 +393,15 @@ mod tests {
         let model = model();
         let profile = AppProfile::python_hello();
         let mut cat = Catalyzer::new();
-        cat.boot(BootMode::Cold, &profile, &SimClock::new(), &model).unwrap();
+        cat.boot(BootMode::Cold, &profile, &SimClock::new(), &model)
+            .unwrap();
 
-        let mut a = cat.boot(BootMode::Warm, &profile, &SimClock::new(), &model).unwrap();
-        let mut b = cat.boot(BootMode::Warm, &profile, &SimClock::new(), &model).unwrap();
+        let mut a = cat
+            .boot(BootMode::Warm, &profile, &SimClock::new(), &model)
+            .unwrap();
+        let mut b = cat
+            .boot(BootMode::Warm, &profile, &SimClock::new(), &model)
+            .unwrap();
         let clock = SimClock::new();
         a.program.invoke_handler(&clock, &model).unwrap();
         b.program.invoke_handler(&clock, &model).unwrap();

@@ -19,8 +19,8 @@ use runtimes::{AppProfile, WrappedProgram};
 use sandbox::config::OciConfig;
 use sandbox::host::{HostTweaks, KvmDevice};
 use sandbox::{
-    BootEngine, BootOutcome, IsolationLevel, SandboxError, PHASE_RESTORE_IO,
-    PHASE_RESTORE_KERNEL, PHASE_RESTORE_MEMORY,
+    BootEngine, BootOutcome, IsolationLevel, SandboxError, PHASE_RESTORE_IO, PHASE_RESTORE_KERNEL,
+    PHASE_RESTORE_MEMORY,
 };
 use simtime::{CostModel, PhaseRecorder, SimClock};
 
@@ -75,8 +75,12 @@ impl BootEngine for FirecrackerSnapshotEngine {
 
         // VMM process + KVM resources — unchanged from stock FireCracker.
         let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
-        let config = rec.phase("sandbox:parse-config", |clk| OciConfig::parse(&json, clk, model))?;
-        rec.phase("sandbox:vmm-process", |clk| clk.charge(model.host.process_spawn));
+        let config = rec.phase("sandbox:parse-config", |clk| {
+            OciConfig::parse(&json, clk, model)
+        })?;
+        rec.phase("sandbox:vmm-process", |clk| {
+            clk.charge(model.host.process_spawn)
+        });
         rec.phase("sandbox:kvm-setup", |clk| {
             let mut kvm = KvmDevice::create(self.tweaks, clk, model);
             for _ in 0..config.vcpus {
@@ -163,7 +167,10 @@ mod tests {
         let snap = {
             let clock = SimClock::new();
             let outcome = snap_engine.boot(&profile, &clock, &model).unwrap();
-            assert!(outcome.breakdown.total_for("sandbox:guest-linux-boot").is_zero());
+            assert!(outcome
+                .breakdown
+                .total_for("sandbox:guest-linux-boot")
+                .is_zero());
             clock.now()
         };
         // §5: stock FireCracker pays >100 ms of guest boot plus app init;
@@ -196,7 +203,9 @@ mod tests {
         let model = CostModel::experimental_machine();
         let clock = SimClock::new();
         let mut engine = FirecrackerSnapshotEngine::new();
-        let mut outcome = engine.boot(&AppProfile::node_hello(), &clock, &model).unwrap();
+        let mut outcome = engine
+            .boot(&AppProfile::node_hello(), &clock, &model)
+            .unwrap();
         let exec = outcome.program.invoke_handler(&clock, &model).unwrap();
         assert!(exec.pages_touched > 0);
         assert_eq!(outcome.system, "FireCracker-snapshot");

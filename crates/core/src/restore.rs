@@ -131,7 +131,12 @@ pub(crate) fn restore_boot(
             clk.charge(model.decompress(app_bytes)); // classic images are compressed
             clk.charge(model.memcpy(app_bytes));
             clk.charge(model.mem.page_fault.saturating_mul(index.len() as u64));
-            space.map_anonymous(profile.heap_range(), Perms::RW, ShareMode::Private, "app-heap")?;
+            space.map_anonymous(
+                profile.heap_range(),
+                Perms::RW,
+                ShareMode::Private,
+                "app-heap",
+            )?;
             for (vpn, page) in index {
                 let frame = image.load_page(page, clk, model)?;
                 space.install_page(vpn, frame.bytes())?;

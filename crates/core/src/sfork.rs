@@ -113,7 +113,9 @@ impl Template {
             self.program.space.sfork_clone(child_name.clone())
         })?;
         let mut kernel = rec.phase("sfork:kernel-state", |clk| {
-            self.program.kernel.sfork_clone(child_name.clone(), clk, model)
+            self.program
+                .kernel
+                .sfork_clone(child_name.clone(), clk, model)
         });
         // PID/USER namespaces keep getpid()/getuid()-derived state valid.
         rec.phase("sfork:namespaces", |clk| {
@@ -229,7 +231,10 @@ impl LanguageTemplate {
     /// # Errors
     ///
     /// Same as [`Template::generate`].
-    pub fn generate(runtime: RuntimeKind, model: &CostModel) -> Result<LanguageTemplate, SandboxError> {
+    pub fn generate(
+        runtime: RuntimeKind,
+        model: &CostModel,
+    ) -> Result<LanguageTemplate, SandboxError> {
         Ok(LanguageTemplate {
             runtime,
             template: Template::generate(&Self::base_profile(runtime), model)?,
@@ -323,7 +328,9 @@ mod tests {
         let model = model();
         let mut t = Template::generate(&AppProfile::c_hello(), &model).unwrap();
         let clock = SimClock::new();
-        let boot = t.fork_boot(&CatalyzerConfig::full(), &clock, &model).unwrap();
+        let boot = t
+            .fork_boot(&CatalyzerConfig::full(), &clock, &model)
+            .unwrap();
         // Paper §6.2: 0.97 ms for C-hello.
         let ms = boot.boot_latency.as_millis_f64();
         assert!(ms < 1.0, "sfork took {ms} ms");
@@ -336,7 +343,9 @@ mod tests {
         let model = model();
         let mut t = Template::generate(&AppProfile::java_specjbb(), &model).unwrap();
         let clock = SimClock::new();
-        let boot = t.fork_boot(&CatalyzerConfig::full(), &clock, &model).unwrap();
+        let boot = t
+            .fork_boot(&CatalyzerConfig::full(), &clock, &model)
+            .unwrap();
         // Paper abstract: <2 ms to boot Java SPECjbb.
         let ms = boot.boot_latency.as_millis_f64();
         assert!((0.8..2.0).contains(&ms), "sfork took {ms} ms");
@@ -347,14 +356,13 @@ mod tests {
         let model = model();
         let clock = SimClock::new();
         let mut t = Template::generate(&AppProfile::c_hello(), &model).unwrap();
-        let mut boot = t.fork_boot(&CatalyzerConfig::full(), &clock, &model).unwrap();
+        let mut boot = t
+            .fork_boot(&CatalyzerConfig::full(), &clock, &model)
+            .unwrap();
         let exec = boot.program.invoke_handler(&clock, &model).unwrap();
         assert!(exec.pages_touched > 0);
         // Children run multi-threaded; the template stays merged.
-        assert_eq!(
-            boot.program.kernel.sentry_threads.mode(),
-            ThreadMode::Multi
-        );
+        assert_eq!(boot.program.kernel.sentry_threads.mode(), ThreadMode::Multi);
         assert_eq!(
             t.program_mut().kernel.sentry_threads.mode(),
             ThreadMode::TransientSingle
@@ -368,7 +376,8 @@ mod tests {
         let mut latencies = Vec::new();
         for _ in 0..50 {
             let clock = SimClock::new();
-            t.fork_boot(&CatalyzerConfig::full(), &clock, &model).unwrap();
+            t.fork_boot(&CatalyzerConfig::full(), &clock, &model)
+                .unwrap();
             latencies.push(clock.now());
         }
         assert_eq!(t.forks(), 50);
@@ -385,9 +394,13 @@ mod tests {
         let mut a = t.fork_boot(&cfg, &clock, &model).unwrap().program;
         let mut b = t.fork_boot(&cfg, &clock, &model).unwrap().program;
         let heap = AppProfile::c_hello().heap_range();
-        a.space.write(heap.start, 0, b"AAAA", &clock, &model).unwrap();
+        a.space
+            .write(heap.start, 0, b"AAAA", &clock, &model)
+            .unwrap();
         let mut buf = [0u8; 4];
-        b.space.read(heap.start, 0, &mut buf, &clock, &model).unwrap();
+        b.space
+            .read(heap.start, 0, &mut buf, &clock, &model)
+            .unwrap();
         let expect = heap_page_byte(heap.start);
         assert_eq!(buf, [expect; 4], "sibling saw writer's bytes");
     }
@@ -401,7 +414,10 @@ mod tests {
             .kernel
             .check_syscall(guest_kernel::syscalls::SyscallName::Ptrace)
             .unwrap_err();
-        assert!(matches!(err, guest_kernel::KernelError::DeniedSyscall { .. }));
+        assert!(matches!(
+            err,
+            guest_kernel::KernelError::DeniedSyscall { .. }
+        ));
     }
 
     #[test]
@@ -431,7 +447,10 @@ mod tests {
         let (_, c2) = t.sfork(&fixed, &mut rec, &model).unwrap();
         assert_eq!(c1, c2, "without re-randomization the layout repeats");
 
-        let rerand = CatalyzerConfig { aslr_rerandomize: true, ..fixed };
+        let rerand = CatalyzerConfig {
+            aslr_rerandomize: true,
+            ..fixed
+        };
         let (_, c3) = t.sfork(&rerand, &mut rec, &model).unwrap();
         let (_, c4) = t.sfork(&rerand, &mut rec, &model).unwrap();
         assert_ne!(c3, c4, "re-randomization must change the layout");
@@ -443,7 +462,12 @@ mod tests {
         let mut lt = LanguageTemplate::generate(RuntimeKind::Java, &model).unwrap();
         let clock = SimClock::new();
         let boot = lt
-            .boot_function(&AppProfile::java_hello(), &CatalyzerConfig::full(), &clock, &model)
+            .boot_function(
+                &AppProfile::java_hello(),
+                &CatalyzerConfig::full(),
+                &clock,
+                &model,
+            )
             .unwrap();
         // Table 2: 29.3 ms (vs 659.1 ms gVisor cold boot).
         let ms = boot.boot_latency.as_millis_f64();
@@ -457,7 +481,12 @@ mod tests {
         let clock = SimClock::new();
         let mut lt = LanguageTemplate::generate(RuntimeKind::Python, &model).unwrap();
         let mut boot = lt
-            .boot_function(&AppProfile::python_hello(), &CatalyzerConfig::full(), &clock, &model)
+            .boot_function(
+                &AppProfile::python_hello(),
+                &CatalyzerConfig::full(),
+                &clock,
+                &model,
+            )
             .unwrap();
         let exec = boot.program.invoke_handler(&clock, &model).unwrap();
         assert!(exec.pages_touched > 0);

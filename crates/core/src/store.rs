@@ -94,7 +94,10 @@ impl FuncImageStore {
                 },
             );
         }
-        Ok(self.functions.get_mut(&profile.name).expect("just inserted"))
+        Ok(self
+            .functions
+            .get_mut(&profile.name)
+            .expect("just inserted"))
     }
 
     /// Looks up a compiled function.
@@ -145,16 +148,24 @@ mod tests {
         // Object graph within 10 % of the calibrated size; every heap page
         // captured.
         let objs = stored.flat.object_count();
-        assert!(objs.abs_diff(profile.kernel_objects) < profile.kernel_objects / 5, "{objs}");
+        assert!(
+            objs.abs_diff(profile.kernel_objects) < profile.kernel_objects / 5,
+            "{objs}"
+        );
         assert!(stored.flat.app_page_count() >= profile.init_heap_pages);
-        assert!(stored.base.is_none(), "base is built by the first cold boot");
+        assert!(
+            stored.base.is_none(),
+            "base is built by the first cold boot"
+        );
     }
 
     #[test]
     fn offline_compilation_includes_app_init() {
         let model = CostModel::experimental_machine();
         let mut store = FuncImageStore::new();
-        store.ensure_compiled(&AppProfile::python_hello(), &model).unwrap();
+        store
+            .ensure_compiled(&AppProfile::python_hello(), &model)
+            .unwrap();
         // Offline time covers interpreter start (~84 ms) + capture + write.
         assert!(store.offline_time() > SimNanos::from_millis(84));
     }

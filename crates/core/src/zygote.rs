@@ -171,7 +171,10 @@ mod tests {
         pool.take(&SimClock::new(), &model).unwrap();
         let miss_clock = SimClock::new();
         pool.take(&miss_clock, &model).unwrap();
-        assert!(miss_clock.now() > SimNanos::from_millis(2), "miss pays construction");
+        assert!(
+            miss_clock.now() > SimNanos::from_millis(2),
+            "miss pays construction"
+        );
         assert_eq!(pool.hits(), 2);
         assert_eq!(pool.misses(), 1);
     }

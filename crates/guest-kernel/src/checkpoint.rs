@@ -58,11 +58,8 @@ impl GuestKernel {
         let timer_ids: Vec<u64> = self.timers.iter().map(|_| id()).collect();
         let wq_ids: Vec<u64> = self.waitqueues.iter().map(|_| id()).collect();
         let misc_ids: Vec<u64> = self.misc.iter().map(|_| id()).collect();
-        let fds: Vec<(i32, crate::vfs::FileDesc)> = self
-            .vfs
-            .iter_fds()
-            .map(|(fd, d)| (fd, d.clone()))
-            .collect();
+        let fds: Vec<(i32, crate::vfs::FileDesc)> =
+            self.vfs.iter_fds().map(|(fd, d)| (fd, d.clone())).collect();
         let file_ids: Vec<u64> = fds.iter().map(|_| id()).collect();
         let fdslot_ids: Vec<u64> = fds.iter().map(|_| id()).collect();
         let mut fdslot_by_fd: HashMap<i32, u64> = HashMap::new();
@@ -80,7 +77,13 @@ impl GuestKernel {
             varint::put_u64(&mut payload, u64::from(task.sid));
             varint::put_bytes(&mut payload, task.name.as_bytes());
             let refs = task.threads.iter().map(|t| thread_ids[&t.tid]).collect();
-            out.push(ObjRecord::new(task_ids[&task.pid], ObjKind::Task, 0, refs, payload));
+            out.push(ObjRecord::new(
+                task_ids[&task.pid],
+                ObjKind::Task,
+                0,
+                refs,
+                payload,
+            ));
             for th in &task.threads {
                 let mut p = Vec::new();
                 varint::put_u64(&mut p, u64::from(th.tid));
@@ -157,7 +160,13 @@ impl GuestKernel {
         }
         // --- misc runtime objects ---
         for (blob, m_id) in self.misc.iter().zip(&misc_ids) {
-            out.push(ObjRecord::new(*m_id, ObjKind::Misc, 0, vec![], blob.clone()));
+            out.push(ObjRecord::new(
+                *m_id,
+                ObjKind::Misc,
+                0,
+                vec![],
+                blob.clone(),
+            ));
         }
         // --- files + fd slots (I/O state) ---
         for (((fd, desc), f_id), s_id) in fds.iter().zip(&file_ids).zip(&fdslot_ids) {
@@ -182,7 +191,13 @@ impl GuestKernel {
                     SockState::Connected => 2,
                 },
             );
-            out.push(ObjRecord::new(sock_ids[&sock.id], ObjKind::Socket, 0, vec![], p));
+            out.push(ObjRecord::new(
+                sock_ids[&sock.id],
+                ObjKind::Socket,
+                0,
+                vec![],
+                p,
+            ));
         }
         // --- epolls ---
         for (ep, e_id) in self.epolls.iter().zip(&epoll_ids) {
@@ -221,8 +236,9 @@ impl GuestKernel {
         model: &CostModel,
     ) -> Result<GuestKernel, KernelError> {
         let bad = |detail: String| KernelError::CorruptGraph { detail };
-        let imgerr =
-            |e: ImageError| KernelError::CorruptGraph { detail: format!("payload: {e}") };
+        let imgerr = |e: ImageError| KernelError::CorruptGraph {
+            detail: format!("payload: {e}"),
+        };
 
         let mut kernel = GuestKernel::empty_shell(name, fs);
         // The root mount is re-created by Vfs::new; drop it so the restored
@@ -244,10 +260,9 @@ impl GuestKernel {
                     let pid = varint::get_u64(p, &mut pos).map_err(imgerr)? as u32;
                     let ppid = varint::get_u64(p, &mut pos).map_err(imgerr)? as u32;
                     let sid = varint::get_u64(p, &mut pos).map_err(imgerr)? as u32;
-                    let name = String::from_utf8(
-                        varint::get_bytes(p, &mut pos).map_err(imgerr)?.to_vec(),
-                    )
-                    .map_err(|_| bad("task name not utf-8".into()))?;
+                    let name =
+                        String::from_utf8(varint::get_bytes(p, &mut pos).map_err(imgerr)?.to_vec())
+                            .map_err(|_| bad("task name not utf-8".into()))?;
                     tasks_by_pid.insert(
                         pid,
                         Task {
@@ -265,25 +280,30 @@ impl GuestKernel {
                     let context = varint::get_u64(p, &mut pos).map_err(imgerr)?;
                     let blocked = varint::get_u64(p, &mut pos).map_err(imgerr)?;
                     let task_pid = varint::get_u64(p, &mut pos).map_err(imgerr)? as u32;
-                    let task = tasks_by_pid
-                        .get_mut(&task_pid)
-                        .ok_or_else(|| bad(format!("thread {tid} references missing task {task_pid}")))?;
+                    let task = tasks_by_pid.get_mut(&task_pid).ok_or_else(|| {
+                        bad(format!("thread {tid} references missing task {task_pid}"))
+                    })?;
                     task.threads.push(GuestThread {
                         tid,
                         context,
-                        blocked_on: if blocked == 0 { None } else { Some(blocked - 1) },
+                        blocked_on: if blocked == 0 {
+                            None
+                        } else {
+                            Some(blocked - 1)
+                        },
                     });
                 }
                 ObjKind::Session => {
                     let sid = varint::get_u64(p, &mut pos).map_err(imgerr)? as u32;
                     let leader = varint::get_u64(p, &mut pos).map_err(imgerr)? as u32;
-                    kernel.tasks.install_restored_session(Session { sid, leader });
+                    kernel
+                        .tasks
+                        .install_restored_session(Session { sid, leader });
                 }
                 ObjKind::Namespace => {
-                    let kind = String::from_utf8(
-                        varint::get_bytes(p, &mut pos).map_err(imgerr)?.to_vec(),
-                    )
-                    .map_err(|_| bad("namespace kind not utf-8".into()))?;
+                    let kind =
+                        String::from_utf8(varint::get_bytes(p, &mut pos).map_err(imgerr)?.to_vec())
+                            .map_err(|_| bad("namespace kind not utf-8".into()))?;
                     let init_id = varint::get_u64(p, &mut pos).map_err(imgerr)? as u32;
                     kernel
                         .tasks
@@ -301,16 +321,19 @@ impl GuestKernel {
                     });
                 }
                 ObjKind::Dentry => {
-                    let path = String::from_utf8(
-                        varint::get_bytes(p, &mut pos).map_err(imgerr)?.to_vec(),
-                    )
-                    .map_err(|_| bad("dentry path not utf-8".into()))?;
+                    let path =
+                        String::from_utf8(varint::get_bytes(p, &mut pos).map_err(imgerr)?.to_vec())
+                            .map_err(|_| bad("dentry path not utf-8".into()))?;
                     let inode = varint::get_u64(p, &mut pos).map_err(imgerr)?;
                     let parent = varint::get_u64(p, &mut pos).map_err(imgerr)?;
                     kernel.dentries.push(Dentry {
                         path,
                         inode,
-                        parent: if parent == 0 { None } else { Some((parent - 1) as u32) },
+                        parent: if parent == 0 {
+                            None
+                        } else {
+                            Some((parent - 1) as u32)
+                        },
                     });
                 }
                 ObjKind::Timer => {
@@ -335,10 +358,9 @@ impl GuestKernel {
                     kernel.misc.push(rec.payload.clone());
                 }
                 ObjKind::File => {
-                    let path = String::from_utf8(
-                        varint::get_bytes(p, &mut pos).map_err(imgerr)?.to_vec(),
-                    )
-                    .map_err(|_| bad("file path not utf-8".into()))?;
+                    let path =
+                        String::from_utf8(varint::get_bytes(p, &mut pos).map_err(imgerr)?.to_vec())
+                            .map_err(|_| bad("file path not utf-8".into()))?;
                     let offset = varint::get_u64(p, &mut pos).map_err(imgerr)?;
                     let writable = rec.flags & 1 != 0;
                     let used = rec.flags & 2 != 0;
@@ -346,10 +368,9 @@ impl GuestKernel {
                 }
                 ObjKind::FdSlot => { /* slot numbering is restored via order */ }
                 ObjKind::Socket => {
-                    let addr = String::from_utf8(
-                        varint::get_bytes(p, &mut pos).map_err(imgerr)?.to_vec(),
-                    )
-                    .map_err(|_| bad("socket addr not utf-8".into()))?;
+                    let addr =
+                        String::from_utf8(varint::get_bytes(p, &mut pos).map_err(imgerr)?.to_vec())
+                            .map_err(|_| bad("socket addr not utf-8".into()))?;
                     let state = match varint::get_u64(p, &mut pos).map_err(imgerr)? {
                         0 => SockState::Created,
                         1 => SockState::Listening,
@@ -385,7 +406,12 @@ impl GuestKernel {
         }
 
         // Non-I/O system state re-establishment on the critical path.
-        clock.charge(model.obj.recover_per_object_non_io.saturating_mul(non_io_objects));
+        clock.charge(
+            model
+                .obj
+                .recover_per_object_non_io
+                .saturating_mul(non_io_objects),
+        );
 
         if eager_io {
             // gVisor-restore: re-do every I/O connection now.
@@ -468,10 +494,9 @@ mod tests {
     fn restore_round_trips_state() {
         let (clock, model, k) = build_kernel();
         let records = k.checkpoint_objects();
-        let restored = GuestKernel::restore_from_records(
-            "copy", &records, test_fs(), false, &clock, &model,
-        )
-        .unwrap();
+        let restored =
+            GuestKernel::restore_from_records("copy", &records, test_fs(), false, &clock, &model)
+                .unwrap();
         assert_eq!(restored.object_count(), k.object_count());
         assert_eq!(restored.tasks.tasks().len(), k.tasks.tasks().len());
         assert_eq!(restored.tasks.thread_count(), k.tasks.thread_count());
@@ -491,9 +516,15 @@ mod tests {
         let records = k.checkpoint_objects();
         let opens_before = {
             let fs = test_fs();
-            let restored =
-                GuestKernel::restore_from_records("c", &records, Arc::clone(&fs), false, &clock, &model)
-                    .unwrap();
+            let restored = GuestKernel::restore_from_records(
+                "c",
+                &records,
+                Arc::clone(&fs),
+                false,
+                &clock,
+                &model,
+            )
+            .unwrap();
             assert!(restored.vfs.iter_fds().all(|(_, d)| !d.connected));
             fs.opens_served()
         };
@@ -512,7 +543,12 @@ mod tests {
         let eager_clock = SimClock::new();
         let fs = test_fs();
         let restored = GuestKernel::restore_from_records(
-            "e", &records, Arc::clone(&fs), true, &eager_clock, &model,
+            "e",
+            &records,
+            Arc::clone(&fs),
+            true,
+            &eager_clock,
+            &model,
         )
         .unwrap();
         assert!(restored.vfs.iter_fds().all(|(_, d)| d.connected));
@@ -539,7 +575,7 @@ mod tests {
         varint::put_u64(&mut p, 0);
         varint::put_u64(&mut p, 0);
         varint::put_u64(&mut p, 4242); // missing task
-        thread.payload = p;
+        thread.payload = p.into();
         assert!(matches!(
             GuestKernel::restore_from_records("x", &records, test_fs(), false, &clock, &model),
             Err(KernelError::CorruptGraph { .. })

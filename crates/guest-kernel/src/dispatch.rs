@@ -199,8 +199,10 @@ impl GuestKernel {
                 self.tasks.setsid(pid).map(SyscallRet::Id)
             }
             SyscallInvocation::Ptrace => {
-                unreachable!("denied syscalls never pass the policy gate in template mode; \
-                              outside template mode ptrace is unimplemented")
+                unreachable!(
+                    "denied syscalls never pass the policy gate in template mode; \
+                              outside template mode ptrace is unimplemented"
+                )
             }
         }
     }
@@ -220,27 +222,44 @@ mod tests {
                 .file("/app/bin", b"payload".to_vec())
                 .build(),
         );
-        (clock.clone(), model.clone(), GuestKernel::boot("d", fs, &clock, &model))
+        (
+            clock.clone(),
+            model.clone(),
+            GuestKernel::boot("d", fs, &clock, &model),
+        )
     }
 
     #[test]
     fn file_lifecycle_through_the_dispatcher() {
         let (clock, model, mut k) = kernel();
         let fd = match k
-            .syscall(SyscallInvocation::Openat { path: "/app/bin", writable: false }, &clock, &model)
+            .syscall(
+                SyscallInvocation::Openat {
+                    path: "/app/bin",
+                    writable: false,
+                },
+                &clock,
+                &model,
+            )
             .unwrap()
         {
             SyscallRet::Fd(fd) => fd,
             other => panic!("{other:?}"),
         };
-        let data = match k.syscall(SyscallInvocation::Read { fd, len: 7 }, &clock, &model).unwrap() {
+        let data = match k
+            .syscall(SyscallInvocation::Read { fd, len: 7 }, &clock, &model)
+            .unwrap()
+        {
             SyscallRet::Data(d) => d,
             other => panic!("{other:?}"),
         };
         assert_eq!(&data[..], b"payload");
-        let dup = k.syscall(SyscallInvocation::Dup { fd }, &clock, &model).unwrap();
+        let dup = k
+            .syscall(SyscallInvocation::Dup { fd }, &clock, &model)
+            .unwrap();
         assert!(matches!(dup, SyscallRet::Fd(d) if d != fd));
-        k.syscall(SyscallInvocation::Close { fd }, &clock, &model).unwrap();
+        k.syscall(SyscallInvocation::Close { fd }, &clock, &model)
+            .unwrap();
         assert!(k
             .syscall(SyscallInvocation::Read { fd, len: 1 }, &clock, &model)
             .is_err());
@@ -249,29 +268,55 @@ mod tests {
     #[test]
     fn network_lifecycle_through_the_dispatcher() {
         let (clock, model, mut k) = kernel();
-        let sock = match k.syscall(SyscallInvocation::Socket, &clock, &model).unwrap() {
-            SyscallRet::Sock(s) => s,
-            other => panic!("{other:?}"),
-        };
-        k.syscall(SyscallInvocation::Listen { sock, addr: "0.0.0.0:80" }, &clock, &model)
-            .unwrap();
-        let conn = match k
-            .syscall(SyscallInvocation::Accept { sock, peer: "10.0.0.1:5" }, &clock, &model)
+        let sock = match k
+            .syscall(SyscallInvocation::Socket, &clock, &model)
             .unwrap()
         {
             SyscallRet::Sock(s) => s,
             other => panic!("{other:?}"),
         };
-        k.syscall(SyscallInvocation::Sendmsg { sock: conn, bytes: 64 }, &clock, &model)
+        k.syscall(
+            SyscallInvocation::Listen {
+                sock,
+                addr: "0.0.0.0:80",
+            },
+            &clock,
+            &model,
+        )
+        .unwrap();
+        let conn = match k
+            .syscall(
+                SyscallInvocation::Accept {
+                    sock,
+                    peer: "10.0.0.1:5",
+                },
+                &clock,
+                &model,
+            )
+            .unwrap()
+        {
+            SyscallRet::Sock(s) => s,
+            other => panic!("{other:?}"),
+        };
+        k.syscall(
+            SyscallInvocation::Sendmsg {
+                sock: conn,
+                bytes: 64,
+            },
+            &clock,
+            &model,
+        )
+        .unwrap();
+        k.syscall(SyscallInvocation::Shutdown { sock: conn }, &clock, &model)
             .unwrap();
-        k.syscall(SyscallInvocation::Shutdown { sock: conn }, &clock, &model).unwrap();
     }
 
     #[test]
     fn identity_and_time_calls() {
         let (clock, model, mut k) = kernel();
         assert_eq!(
-            k.syscall(SyscallInvocation::Getpid, &clock, &model).unwrap(),
+            k.syscall(SyscallInvocation::Getpid, &clock, &model)
+                .unwrap(),
             SyscallRet::Id(1)
         );
         let tid = k
@@ -280,13 +325,17 @@ mod tests {
         assert!(matches!(tid, SyscallRet::Id(t) if t > 1));
         let before = clock.now();
         k.syscall(
-            SyscallInvocation::Nanosleep { duration: SimNanos::from_millis(5) },
+            SyscallInvocation::Nanosleep {
+                duration: SimNanos::from_millis(5),
+            },
             &clock,
             &model,
         )
         .unwrap();
         assert!(clock.now() >= before + SimNanos::from_millis(5));
-        let sid = k.syscall(SyscallInvocation::Setsid { pid: 1 }, &clock, &model).unwrap();
+        let sid = k
+            .syscall(SyscallInvocation::Setsid { pid: 1 }, &clock, &model)
+            .unwrap();
         assert_eq!(sid, SyscallRet::Id(1));
     }
 
@@ -295,19 +344,23 @@ mod tests {
         let (clock, model, mut k) = kernel();
         k.set_template_mode(true);
         assert!(matches!(
-            k.syscall(SyscallInvocation::Ptrace, &clock, &model).unwrap_err(),
+            k.syscall(SyscallInvocation::Ptrace, &clock, &model)
+                .unwrap_err(),
             KernelError::DeniedSyscall { name: "ptrace" }
         ));
         // Allowed calls still work in template mode.
-        k.syscall(SyscallInvocation::Getpid, &clock, &model).unwrap();
+        k.syscall(SyscallInvocation::Getpid, &clock, &model)
+            .unwrap();
     }
 
     #[test]
     fn syscall_counter_tracks_dispatches() {
         let (clock, model, mut k) = kernel();
         let before = k.stats().syscalls;
-        k.syscall(SyscallInvocation::Getpid, &clock, &model).unwrap();
-        k.syscall(SyscallInvocation::Socket, &clock, &model).unwrap();
+        k.syscall(SyscallInvocation::Getpid, &clock, &model)
+            .unwrap();
+        k.syscall(SyscallInvocation::Socket, &clock, &model)
+            .unwrap();
         assert_eq!(k.stats().syscalls, before + 2);
     }
 }

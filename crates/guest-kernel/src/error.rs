@@ -76,11 +76,17 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(KernelError::NoEntry { path: "/x".into() }.to_string().contains("/x"));
-        assert!(KernelError::BadFd { fd: 7 }.to_string().contains('7'));
-        assert!(KernelError::DeniedSyscall { name: "ptrace" }.to_string().contains("ptrace"));
-        assert!(KernelError::ThreadMode { detail: "not merged" }
+        assert!(KernelError::NoEntry { path: "/x".into() }
             .to_string()
-            .contains("merged"));
+            .contains("/x"));
+        assert!(KernelError::BadFd { fd: 7 }.to_string().contains('7'));
+        assert!(KernelError::DeniedSyscall { name: "ptrace" }
+            .to_string()
+            .contains("ptrace"));
+        assert!(KernelError::ThreadMode {
+            detail: "not merged"
+        }
+        .to_string()
+        .contains("merged"));
     }
 }

@@ -190,9 +190,12 @@ impl FsServer {
         clock: &SimClock,
         model: &CostModel,
     ) -> Result<Bytes, KernelError> {
-        let data = self.files.get(&fd.path).ok_or_else(|| KernelError::NoEntry {
-            path: fd.path.clone(),
-        })?;
+        let data = self
+            .files
+            .get(&fd.path)
+            .ok_or_else(|| KernelError::NoEntry {
+                path: fd.path.clone(),
+            })?;
         clock.charge(model.io.gofer_rpc);
         let start = (offset as usize).min(data.len());
         let end = (start + len).min(data.len());
@@ -258,7 +261,9 @@ mod tests {
     fn persistent_grant_rules() {
         let (clock, model) = setup();
         let s = server();
-        let log = s.grant_persistent("/var/log/app.log", &clock, &model).unwrap();
+        let log = s
+            .grant_persistent("/var/log/app.log", &clock, &model)
+            .unwrap();
         assert!(log.writable);
         // Non-persistent paths cannot be granted writable.
         assert!(matches!(

@@ -1,6 +1,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use bytes::Bytes;
 use imagefmt::IoConn;
 use simtime::{CostModel, SimClock};
 
@@ -73,7 +74,7 @@ pub struct GuestKernel {
     /// Wait queues.
     pub waitqueues: Vec<WaitQueue>,
     /// Opaque runtime objects (language runtime internals etc.).
-    pub misc: Vec<Vec<u8>>,
+    pub misc: Vec<Bytes>,
     template_mode: bool,
     stats: KernelStats,
 }
@@ -325,9 +326,10 @@ mod tests {
         let before = k.object_count();
         let fd = k.vfs.open("/app/bin", false, &clock, &model).unwrap();
         k.net.socket(&clock, &model);
-        k.timers.arm(simtime::SimNanos::from_secs(1), simtime::SimNanos::ZERO, 1);
+        k.timers
+            .arm(simtime::SimNanos::from_secs(1), simtime::SimNanos::ZERO, 1);
         k.epolls.push(EpollInstance { watched: vec![fd] });
-        k.misc.push(vec![1, 2, 3]);
+        k.misc.push(vec![1, 2, 3].into());
         // fd contributes 2 (File + FdSlot); socket, timer, epoll, misc 1 each.
         assert_eq!(k.object_count(), before + 6);
         assert_eq!(k.io_object_count(), 2 + 1 + 1);
@@ -346,10 +348,18 @@ mod tests {
         k.vfs.read(fd, 1, &clock, &model).unwrap();
         let manifest = k.io_manifest();
         assert!(manifest[0].used_immediately);
-        assert!(!manifest[1].used_immediately, "client connections reconnect lazily");
+        assert!(
+            !manifest[1].used_immediately,
+            "client connections reconnect lazily"
+        );
         let listener = k.net.socket(&clock, &model);
-        k.net.listen(listener, "0.0.0.0:80", &clock, &model).unwrap();
-        assert!(k.io_manifest()[2].used_immediately, "listeners are needed immediately");
+        k.net
+            .listen(listener, "0.0.0.0:80", &clock, &model)
+            .unwrap();
+        assert!(
+            k.io_manifest()[2].used_immediately,
+            "listeners are needed immediately"
+        );
     }
 
     #[test]

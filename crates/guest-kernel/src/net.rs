@@ -215,7 +215,12 @@ impl SocketTable {
     /// # Errors
     ///
     /// [`KernelError::BadSocketState`] for a dead id.
-    pub fn shutdown(&mut self, id: u64, clock: &SimClock, model: &CostModel) -> Result<(), KernelError> {
+    pub fn shutdown(
+        &mut self,
+        id: u64,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<(), KernelError> {
         clock.charge(model.host.syscall_base + model.io.close_fd);
         let slot = self
             .socks
@@ -248,7 +253,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (SimClock, CostModel, SocketTable) {
-        (SimClock::new(), CostModel::experimental_machine(), SocketTable::new())
+        (
+            SimClock::new(),
+            CostModel::experimental_machine(),
+            SocketTable::new(),
+        )
     }
 
     #[test]

@@ -86,12 +86,7 @@ impl GraphSpec {
                 parent: if i == 0 { None } else { Some(i - 1) },
             });
         }
-        let paths: Vec<String> = kernel
-            .vfs
-            .server()
-            .paths()
-            .map(str::to_string)
-            .collect();
+        let paths: Vec<String> = kernel.vfs.server().paths().map(str::to_string).collect();
         let mut opened = Vec::new();
         for i in 0..self.open_files {
             let path = match paths.get(i as usize % paths.len().max(1)) {
@@ -109,7 +104,11 @@ impl GraphSpec {
         for i in 0..self.timers {
             kernel.timers.arm(
                 SimNanos::from_millis(10 + u64::from(i)),
-                if i % 2 == 0 { SimNanos::from_millis(50) } else { SimNanos::ZERO },
+                if i % 2 == 0 {
+                    SimNanos::from_millis(50)
+                } else {
+                    SimNanos::ZERO
+                },
                 init_pid,
             );
         }
@@ -138,7 +137,7 @@ impl GraphSpec {
             for (j, b) in blob.iter_mut().enumerate() {
                 *b = (i as usize + j) as u8;
             }
-            kernel.misc.push(blob);
+            kernel.misc.push(blob.into());
         }
         Ok(())
     }
@@ -153,7 +152,11 @@ mod tests {
     fn fresh_kernel() -> (SimClock, CostModel, GuestKernel) {
         let clock = SimClock::new();
         let model = CostModel::experimental_machine();
-        let fs = Arc::new(FsServer::builder("f").synthetic_tree("/lib", 16, 64).build());
+        let fs = Arc::new(
+            FsServer::builder("f")
+                .synthetic_tree("/lib", 16, 64)
+                .build(),
+        );
         let k = GuestKernel::boot("synth", fs, &clock, &model);
         (clock, model, k)
     }
@@ -163,7 +166,9 @@ mod tests {
         for target in [500u64, 5_000, 37_838] {
             let (clock, model, mut k) = fresh_kernel();
             let baseline = k.object_count();
-            GraphSpec::sized(target).populate(&mut k, &clock, &model).unwrap();
+            GraphSpec::sized(target)
+                .populate(&mut k, &clock, &model)
+                .unwrap();
             let total = k.object_count();
             let lo = (target as f64 * 0.9) as u64;
             let hi = (target as f64 * 1.1) as u64 + baseline + 64;
@@ -178,7 +183,9 @@ mod tests {
     #[test]
     fn populated_kernel_round_trips_through_checkpoint() {
         let (clock, model, mut k) = fresh_kernel();
-        GraphSpec::sized(2_000).populate(&mut k, &clock, &model).unwrap();
+        GraphSpec::sized(2_000)
+            .populate(&mut k, &clock, &model)
+            .unwrap();
         let records = k.checkpoint_objects();
         assert_eq!(records.len() as u64, k.object_count());
         let restored = GuestKernel::restore_from_records(
@@ -196,7 +203,9 @@ mod tests {
     #[test]
     fn io_fraction_is_minority() {
         let (clock, model, mut k) = fresh_kernel();
-        GraphSpec::sized(10_000).populate(&mut k, &clock, &model).unwrap();
+        GraphSpec::sized(10_000)
+            .populate(&mut k, &clock, &model)
+            .unwrap();
         let io = k.io_object_count() as f64;
         let total = k.object_count() as f64;
         assert!(io / total < 0.2, "io fraction {}", io / total);
@@ -207,7 +216,9 @@ mod tests {
     fn default_spec_adds_nothing() {
         let (clock, model, mut k) = fresh_kernel();
         let before = k.object_count();
-        GraphSpec::default().populate(&mut k, &clock, &model).unwrap();
+        GraphSpec::default()
+            .populate(&mut k, &clock, &model)
+            .unwrap();
         assert_eq!(k.object_count(), before);
     }
 }

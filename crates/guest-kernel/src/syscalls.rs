@@ -193,7 +193,10 @@ mod tests {
             Handled(H::TransientSingleThread)
         );
         assert_eq!(SyscallName::Openat.classify(), Handled(H::ReadOnlyFd));
-        assert_eq!(SyscallName::Write.classify(), Handled(H::StatelessOverlayFs));
+        assert_eq!(
+            SyscallName::Write.classify(),
+            Handled(H::StatelessOverlayFs)
+        );
         assert_eq!(SyscallName::Accept.classify(), Handled(H::Reconnect));
         assert_eq!(SyscallName::Mmap.classify(), Handled(H::HandledBySfork));
         assert_eq!(SyscallName::Setsid.classify(), Handled(H::Namespace));
@@ -223,17 +226,64 @@ mod tests {
     fn table_covers_every_paper_row() {
         // Spot-check the full Table 1 membership by name.
         for name in [
-            "capget", "clone", "getpid", "gettid", "arch_prctl", "prctl",
-            "rt_sigaction", "rt_sigprocmask", "rt_sigreturn", "seccomp",
-            "sigaltstack", "sched_getaffinity", "poll", "ioctl", "memfd_create",
-            "ftruncate", "mount", "pivot_root", "umount", "epoll_create1",
-            "epoll_ctl", "epoll_pwait", "eventfd2", "fcntl", "chdir", "close",
-            "dup", "dup2", "lseek", "openat", "newfstat", "newfstatat",
-            "mkdirat", "write", "read", "readlinkat", "pread64", "sendmsg",
-            "shutdown", "recvmsg", "getsockopt", "listen", "accept", "mmap",
-            "munmap", "setgid", "setuid", "getgid", "getuid", "getegid",
-            "geteuid", "getrandom", "nanosleep", "futex", "getgroups",
-            "clock_gettime", "getrlimit", "setsid",
+            "capget",
+            "clone",
+            "getpid",
+            "gettid",
+            "arch_prctl",
+            "prctl",
+            "rt_sigaction",
+            "rt_sigprocmask",
+            "rt_sigreturn",
+            "seccomp",
+            "sigaltstack",
+            "sched_getaffinity",
+            "poll",
+            "ioctl",
+            "memfd_create",
+            "ftruncate",
+            "mount",
+            "pivot_root",
+            "umount",
+            "epoll_create1",
+            "epoll_ctl",
+            "epoll_pwait",
+            "eventfd2",
+            "fcntl",
+            "chdir",
+            "close",
+            "dup",
+            "dup2",
+            "lseek",
+            "openat",
+            "newfstat",
+            "newfstatat",
+            "mkdirat",
+            "write",
+            "read",
+            "readlinkat",
+            "pread64",
+            "sendmsg",
+            "shutdown",
+            "recvmsg",
+            "getsockopt",
+            "listen",
+            "accept",
+            "mmap",
+            "munmap",
+            "setgid",
+            "setuid",
+            "getgid",
+            "getuid",
+            "getegid",
+            "geteuid",
+            "getrandom",
+            "nanosleep",
+            "futex",
+            "getgroups",
+            "clock_gettime",
+            "getrlimit",
+            "setsid",
         ] {
             assert!(classify(name).is_some(), "missing table entry for {name}");
             assert_ne!(classify(name), Some(Denied), "{name} must not be denied");

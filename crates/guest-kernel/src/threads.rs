@@ -214,7 +214,10 @@ mod tests {
         assert_eq!(t.mode(), ThreadMode::Multi);
         assert_eq!(t.live_count(), 4 + 3 + 2);
         assert_eq!(
-            t.live().iter().filter(|x| x.category == ThreadCategory::Runtime).count(),
+            t.live()
+                .iter()
+                .filter(|x| x.category == ThreadCategory::Runtime)
+                .count(),
             3
         );
     }
@@ -241,7 +244,10 @@ mod tests {
         let (clock, model) = setup();
         let mut t = SentryThreads::standard(2, 1);
         t.merge_to_single(&clock, &model).unwrap();
-        assert!(clock.now() >= SimNanos::from_millis(10), "blocking time-out dominates");
+        assert!(
+            clock.now() >= SimNanos::from_millis(10),
+            "blocking time-out dominates"
+        );
     }
 
     #[test]
@@ -259,7 +265,11 @@ mod tests {
         t.merge_to_single(&SimClock::new(), &model).unwrap();
         t.expand(&clock, &model).unwrap();
         // 8 threads × (spawn + ctx restore) must stay well under 1 ms.
-        assert!(clock.now() < SimNanos::from_micros(400), "expand cost {}", clock.now());
+        assert!(
+            clock.now() < SimNanos::from_micros(400),
+            "expand cost {}",
+            clock.now()
+        );
     }
 
     #[test]

@@ -91,7 +91,12 @@ impl TimerTable {
     }
 
     /// Installs a restored timer verbatim.
-    pub fn install_restored(&mut self, deadline: SimNanos, period: SimNanos, owner_pid: u32) -> u64 {
+    pub fn install_restored(
+        &mut self,
+        deadline: SimNanos,
+        period: SimNanos,
+        owner_pid: u32,
+    ) -> u64 {
         self.arm(deadline, period, owner_pid)
     }
 }

@@ -350,7 +350,12 @@ impl Vfs {
     /// # Errors
     ///
     /// [`KernelError::BadFd`]; [`KernelError::ResourceExhausted`].
-    pub fn dup(&mut self, fd: i32, clock: &SimClock, model: &CostModel) -> Result<i32, KernelError> {
+    pub fn dup(
+        &mut self,
+        fd: i32,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<i32, KernelError> {
         clock.charge(model.host.syscall_base + model.io.dup_fast);
         let desc = self.desc(fd)?.clone();
         self.alloc_fd(desc)
@@ -361,7 +366,12 @@ impl Vfs {
     /// # Errors
     ///
     /// [`KernelError::BadFd`].
-    pub fn close(&mut self, fd: i32, clock: &SimClock, model: &CostModel) -> Result<(), KernelError> {
+    pub fn close(
+        &mut self,
+        fd: i32,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<(), KernelError> {
         clock.charge(model.host.syscall_base + model.io.close_fd);
         let slot = self
             .fds
@@ -403,9 +413,7 @@ impl Vfs {
             }
         }
         // Upper-layer clone: CoW bookkeeping only.
-        clock.charge(
-            simtime::SimNanos::from_nanos(120).saturating_mul(self.upper.len() as u64),
-        );
+        clock.charge(simtime::SimNanos::from_nanos(120).saturating_mul(self.upper.len() as u64));
         Vfs {
             server: Arc::clone(&self.server),
             upper: self.upper.clone(),
@@ -573,7 +581,9 @@ mod tests {
     #[test]
     fn restored_fd_reconnects_on_first_use() {
         let (clock, model, mut vfs) = setup();
-        let fd = vfs.install_restored_fd("/app/config.json", false, 0).unwrap();
+        let fd = vfs
+            .install_restored_fd("/app/config.json", false, 0)
+            .unwrap();
         assert_eq!(vfs.reconnects(), 0);
         let before = vfs.server().opens_served();
         let data = vfs.read(fd, 2, &clock, &model).unwrap();

@@ -10,7 +10,10 @@ use bytes::Bytes;
 use simtime::{CostModel, SimClock};
 
 use crate::record::REF_PLACEHOLDER;
-use crate::{crc32, varint, CheckpointSource, ImageError, IoConn, IoConnKind, ObjKind, ObjRecord, PagePayload};
+use crate::{
+    crc32, varint, CheckpointSource, ImageError, IoConn, IoConnKind, ObjKind, ObjRecord,
+    PagePayload,
+};
 
 const MAGIC: &[u8; 4] = b"CLIM";
 const VERSION: u32 = 1;
@@ -26,7 +29,12 @@ pub fn write(src: &CheckpointSource, clock: &SimClock, model: &CostModel) -> Byt
     for obj in &src.objects {
         encode_record(&mut body, obj);
     }
-    clock.charge(model.obj.encode_per_object.saturating_mul(src.objects.len() as u64));
+    clock.charge(
+        model
+            .obj
+            .encode_per_object
+            .saturating_mul(src.objects.len() as u64),
+    );
 
     varint::put_u64(&mut body, src.io_conns.len() as u64);
     for conn in &src.io_conns {
@@ -92,42 +100,64 @@ pub fn read(
 /// Same as [`read`].
 pub fn read_uncharged(image: &Bytes) -> Result<(CheckpointSource, ClassicCounts), ImageError> {
     if image.len() < 20 {
-        return Err(ImageError::Truncated { what: "classic header" });
+        return Err(ImageError::Truncated {
+            what: "classic header",
+        });
     }
-    if &image[0..4] != MAGIC {
+    if image.get(0..4) != Some(MAGIC.as_slice()) {
         return Err(ImageError::BadMagic);
     }
-    let version = u32::from_le_bytes(image[4..8].try_into().expect("4 bytes"));
+    let mut hpos = 4usize;
+    let version = varint::read_u32_le(image, &mut hpos, "classic header")?;
     if version != VERSION {
         return Err(ImageError::BadVersion { found: version });
     }
-    let body_len = u64::from_le_bytes(image[8..16].try_into().expect("8 bytes")) as usize;
-    let crc_expected = u32::from_le_bytes(image[16..20].try_into().expect("4 bytes"));
-    let packed = &image[20..];
+    let body_len = usize::try_from(varint::read_u64_le(image, &mut hpos, "classic header")?)
+        .map_err(|_| ImageError::Malformed {
+            what: "classic body length",
+        })?;
+    let crc_expected = varint::read_u32_le(image, &mut hpos, "classic header")?;
+    let packed = image.get(20..).unwrap_or(&[]);
     if crc32(packed) != crc_expected {
-        return Err(ImageError::Checksum { section: "classic body" });
+        return Err(ImageError::Checksum {
+            section: "classic body",
+        });
     }
 
     let body = crate::lz::decompress(packed)?;
     if body.len() != body_len {
-        return Err(ImageError::Truncated { what: "classic body" });
+        return Err(ImageError::Truncated {
+            what: "classic body",
+        });
     }
 
     let mut pos = 0usize;
-    let n_objs = varint::get_u64(&body, &mut pos)?;
-    let mut objects = Vec::with_capacity(n_objs as usize);
+    // Counts are untrusted: convert checked and cap the pre-allocation by
+    // the body size (every element takes at least one byte) so a forged
+    // count cannot reserve unbounded memory.
+    let n_objs =
+        usize::try_from(varint::get_u64(&body, &mut pos)?).map_err(|_| ImageError::Malformed {
+            what: "object count",
+        })?;
+    let mut objects = Vec::with_capacity(n_objs.min(body.len()));
     for _ in 0..n_objs {
         objects.push(decode_record(&body, &mut pos)?);
     }
 
-    let n_conns = varint::get_u64(&body, &mut pos)?;
-    let mut io_conns = Vec::with_capacity(n_conns as usize);
+    let n_conns =
+        usize::try_from(varint::get_u64(&body, &mut pos)?).map_err(|_| ImageError::Malformed {
+            what: "io conn count",
+        })?;
+    let mut io_conns = Vec::with_capacity(n_conns.min(body.len()));
     for _ in 0..n_conns {
         io_conns.push(decode_conn(&body, &mut pos)?);
     }
 
-    let n_pages = varint::get_u64(&body, &mut pos)?;
-    let mut app_pages = Vec::with_capacity(n_pages as usize);
+    let n_pages =
+        usize::try_from(varint::get_u64(&body, &mut pos)?).map_err(|_| ImageError::Malformed {
+            what: "app page count",
+        })?;
+    let mut app_pages = Vec::with_capacity(n_pages.min(body.len()));
     for _ in 0..n_pages {
         let vpn = varint::get_u64(&body, &mut pos)?;
         let data = varint::get_bytes(&body, &mut pos)?;
@@ -143,7 +173,7 @@ pub fn read_uncharged(image: &Bytes) -> Result<(CheckpointSource, ClassicCounts)
     let counts = ClassicCounts {
         packed_bytes: packed.len() as u64,
         body_bytes: body.len() as u64,
-        objects: n_objs,
+        objects: u64::try_from(n_objs).unwrap_or(u64::MAX),
         app_bytes: (app_pages.len() * memsim::PAGE_SIZE) as u64,
     };
     Ok((
@@ -169,10 +199,15 @@ pub(crate) fn encode_record(out: &mut Vec<u8>, obj: &ObjRecord) {
 
 pub(crate) fn decode_record(buf: &[u8], pos: &mut usize) -> Result<ObjRecord, ImageError> {
     let id = varint::get_u64(buf, pos)?;
-    let code = varint::get_u64(buf, pos)? as u16;
+    let code = u16::try_from(varint::get_u64(buf, pos)?).map_err(|_| ImageError::Malformed {
+        what: "object kind code",
+    })?;
     let kind = ObjKind::from_code(code).ok_or(ImageError::BadObjKind { code })?;
-    let flags = varint::get_u64(buf, pos)? as u32;
-    let n_refs = varint::get_u64(buf, pos)? as usize;
+    let flags = u32::try_from(varint::get_u64(buf, pos)?).map_err(|_| ImageError::Malformed {
+        what: "object flags",
+    })?;
+    let n_refs = usize::try_from(varint::get_u64(buf, pos)?)
+        .map_err(|_| ImageError::Malformed { what: "ref count" })?;
     if n_refs > 1 << 20 {
         return Err(ImageError::Truncated { what: "refs" });
     }
@@ -180,11 +215,15 @@ pub(crate) fn decode_record(buf: &[u8], pos: &mut usize) -> Result<ObjRecord, Im
     for _ in 0..n_refs {
         let r = varint::get_u64(buf, pos)?;
         if r == REF_PLACEHOLDER {
-            return Err(ImageError::Truncated { what: "ref placeholder in classic image" });
+            return Err(ImageError::Truncated {
+                what: "ref placeholder in classic image",
+            });
         }
         refs.push(r);
     }
-    let payload = varint::get_bytes(buf, pos)?.to_vec();
+    // The classic format copies payloads out of the decompressed stream —
+    // that per-object cost is exactly what the flat format's arena avoids.
+    let payload = Bytes::copy_from_slice(varint::get_bytes(buf, pos)?);
     Ok(ObjRecord {
         id,
         kind,
@@ -206,19 +245,28 @@ pub(crate) fn encode_conn(out: &mut Vec<u8>, conn: &IoConn) {
 
 pub(crate) fn decode_conn(buf: &[u8], pos: &mut usize) -> Result<IoConn, ImageError> {
     let get_byte = |pos: &mut usize| -> Result<u8, ImageError> {
-        let b = *buf.get(*pos).ok_or(ImageError::Truncated { what: "io conn" })?;
+        let b = *buf
+            .get(*pos)
+            .ok_or(ImageError::Truncated { what: "io conn" })?;
         *pos += 1;
         Ok(b)
     };
     let kind = match get_byte(pos)? {
         0 => IoConnKind::File,
         1 => IoConnKind::Socket,
-        _ => return Err(ImageError::Truncated { what: "io conn kind" }),
+        _ => {
+            return Err(ImageError::Truncated {
+                what: "io conn kind",
+            })
+        }
     };
     let used_immediately = get_byte(pos)? != 0;
     let writable = get_byte(pos)? != 0;
-    let target = String::from_utf8(varint::get_bytes(buf, pos)?.to_vec())
-        .map_err(|_| ImageError::Truncated { what: "io conn target" })?;
+    let target = String::from_utf8(varint::get_bytes(buf, pos)?.to_vec()).map_err(|_| {
+        ImageError::Truncated {
+            what: "io conn target",
+        }
+    })?;
     Ok(IoConn {
         kind,
         target,
@@ -278,7 +326,10 @@ mod tests {
         let image = write(&src, &SimClock::new(), &model);
         let clock = SimClock::new();
         read(&image, &clock, &model).unwrap();
-        let floor = model.obj.decode_per_object.saturating_mul(src.objects.len() as u64);
+        let floor = model
+            .obj
+            .decode_per_object
+            .saturating_mul(src.objects.len() as u64);
         assert!(clock.now() >= floor, "decode cost must scale with objects");
     }
 

@@ -7,7 +7,7 @@ pub fn crc32(data: &[u8]) -> u32 {
     // dependency-free and is still far faster than the I/O it guards.
     let mut table = [0u32; 256];
     for (i, slot) in table.iter_mut().enumerate() {
-        let mut c = i as u32;
+        let mut c = u32::try_from(i).unwrap_or(0);
         for _ in 0..8 {
             c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
         }

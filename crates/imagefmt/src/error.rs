@@ -41,6 +41,12 @@ pub enum ImageError {
         /// Which section.
         section: &'static str,
     },
+    /// A structurally invalid field: a length or offset that cannot be
+    /// represented or that overflows when combined with its base.
+    Malformed {
+        /// What was being read.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ImageError {
@@ -55,10 +61,16 @@ impl fmt::Display for ImageError {
             ImageError::BadVarint => write!(f, "malformed varint"),
             ImageError::BadObjKind { code } => write!(f, "unknown object kind code {code}"),
             ImageError::BadRelation { record, slot } => {
-                write!(f, "relation entry references record {record} slot {slot} out of range")
+                write!(
+                    f,
+                    "relation entry references record {record} slot {slot} out of range"
+                )
             }
             ImageError::BadSection { section } => {
                 write!(f, "section '{section}' has out-of-bounds extent")
+            }
+            ImageError::Malformed { what } => {
+                write!(f, "malformed field while reading {what}")
             }
         }
     }
@@ -72,11 +84,26 @@ mod tests {
 
     #[test]
     fn display_mentions_context() {
-        assert!(ImageError::Truncated { what: "header" }.to_string().contains("header"));
-        assert!(ImageError::Checksum { section: "meta" }.to_string().contains("meta"));
-        assert!(ImageError::BadObjKind { code: 99 }.to_string().contains("99"));
-        assert!(ImageError::BadRelation { record: 1, slot: 2 }.to_string().contains("1"));
-        assert!(ImageError::BadVersion { found: 7 }.to_string().contains("7"));
-        assert!(ImageError::BadSection { section: "mem" }.to_string().contains("mem"));
+        assert!(ImageError::Truncated { what: "header" }
+            .to_string()
+            .contains("header"));
+        assert!(ImageError::Checksum { section: "meta" }
+            .to_string()
+            .contains("meta"));
+        assert!(ImageError::BadObjKind { code: 99 }
+            .to_string()
+            .contains("99"));
+        assert!(ImageError::BadRelation { record: 1, slot: 2 }
+            .to_string()
+            .contains("1"));
+        assert!(ImageError::BadVersion { found: 7 }
+            .to_string()
+            .contains("7"));
+        assert!(ImageError::BadSection { section: "mem" }
+            .to_string()
+            .contains("mem"));
+        assert!(ImageError::Malformed { what: "count" }
+            .to_string()
+            .contains("count"));
     }
 }

@@ -22,10 +22,11 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use memsim::{EptEntry, EptLayer, MappedImage, Vpn, PAGE_SIZE};
+use memsim::{EptEntry, EptLayer, MappedImage, Vpn, PAGE_SIZE, PAGE_SIZE_U64};
 use simtime::{CostModel, SimClock};
 
 use crate::record::REF_PLACEHOLDER;
+use crate::varint::{read_u16_le, read_u32_le, read_u64_le};
 use crate::{classic, crc32, CheckpointSource, ImageError, IoConn, ObjKind, ObjRecord};
 
 const MAGIC: &[u8; 4] = b"FUNC";
@@ -40,14 +41,44 @@ struct Section {
     crc: u32,
 }
 
-/// Section indices within the header.
-const SEC_META_INDEX: usize = 0;
-const SEC_META_ARENA: usize = 1;
-const SEC_REL_TABLE: usize = 2;
-const SEC_IO_MANIFEST: usize = 3;
-const SEC_APPMEM_INDEX: usize = 4;
-const SEC_APPMEM_PAGES: usize = 5;
-const N_SECTIONS: usize = 6;
+/// The six sections of a func-image, in on-disk header order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Sections {
+    meta_index: Section,
+    meta_arena: Section,
+    rel_table: Section,
+    io_manifest: Section,
+    appmem_index: Section,
+    appmem_pages: Section,
+}
+
+impl Sections {
+    /// Header serialization order.
+    fn in_order(&self) -> [Section; 6] {
+        [
+            self.meta_index,
+            self.meta_arena,
+            self.rel_table,
+            self.io_manifest,
+            self.appmem_index,
+            self.appmem_pages,
+        ]
+    }
+}
+
+// Writer-side narrowing helpers. Checkpoint structures live in memory, so
+// the saturating fallback is unreachable in practice; `try_from` keeps this
+// parse module free of lossy `as` casts without panicking (catalint bans
+// both file-wide).
+fn w64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+fn w32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+fn w16(n: usize) -> u16 {
+    u16::try_from(n).unwrap_or(u16::MAX)
+}
 
 /// Writes a func-image (the offline func-image *compilation* step, §5).
 ///
@@ -59,18 +90,22 @@ pub fn write(src: &CheckpointSource, clock: &SimClock, model: &CostModel) -> Byt
     let mut index = Vec::with_capacity(src.objects.len() * 8);
     let mut rel = Vec::new();
     for (rec_idx, obj) in src.objects.iter().enumerate() {
-        index.extend_from_slice(&(arena.len() as u64).to_le_bytes());
+        assert!(
+            obj.refs.len() <= usize::from(u16::MAX),
+            "too many pointer slots"
+        );
+        index.extend_from_slice(&w64(arena.len()).to_le_bytes());
         arena.extend_from_slice(&obj.id.to_le_bytes());
         arena.extend_from_slice(&obj.kind.code().to_le_bytes());
         arena.extend_from_slice(&obj.flags.to_le_bytes());
-        arena.extend_from_slice(&(obj.refs.len() as u16).to_le_bytes());
-        arena.extend_from_slice(&(obj.payload.len() as u32).to_le_bytes());
+        arena.extend_from_slice(&w16(obj.refs.len()).to_le_bytes());
+        arena.extend_from_slice(&w32(obj.payload.len()).to_le_bytes());
         for (slot, target) in obj.refs.iter().enumerate() {
             // Zeroed placeholder in the arena; the truth goes into the
             // relation table.
             arena.extend_from_slice(&REF_PLACEHOLDER.to_le_bytes());
-            rel.extend_from_slice(&(rec_idx as u32).to_le_bytes());
-            rel.extend_from_slice(&(slot as u16).to_le_bytes());
+            rel.extend_from_slice(&w32(rec_idx).to_le_bytes());
+            rel.extend_from_slice(&w16(slot).to_le_bytes());
             rel.extend_from_slice(&target.to_le_bytes());
         }
         arena.extend_from_slice(&obj.payload);
@@ -78,7 +113,7 @@ pub fn write(src: &CheckpointSource, clock: &SimClock, model: &CostModel) -> Byt
 
     // --- I/O manifest (same wire encoding as the classic format) ---
     let mut manifest = Vec::new();
-    crate::varint::put_u64(&mut manifest, src.io_conns.len() as u64);
+    crate::varint::put_u64(&mut manifest, w64(src.io_conns.len()));
     for conn in &src.io_conns {
         classic::encode_conn(&mut manifest, conn);
     }
@@ -93,27 +128,28 @@ pub fn write(src: &CheckpointSource, clock: &SimClock, model: &CostModel) -> Byt
     }
 
     // --- assemble, page-aligning the raw app pages ---
-    let mut sections = [Section { offset: 0, len: 0, crc: 0 }; N_SECTIONS];
     let mut body = vec![0u8; PAGE_SIZE]; // reserve the header page
     let place = |body: &mut Vec<u8>, bytes: &[u8], align_page: bool| -> Section {
         if align_page {
             let pad = body.len().next_multiple_of(PAGE_SIZE) - body.len();
             body.extend(std::iter::repeat_n(0, pad));
         }
-        let offset = body.len() as u64;
+        let offset = w64(body.len());
         body.extend_from_slice(bytes);
         Section {
             offset,
-            len: bytes.len() as u64,
+            len: w64(bytes.len()),
             crc: crc32(bytes),
         }
     };
-    sections[SEC_META_INDEX] = place(&mut body, &index, false);
-    sections[SEC_META_ARENA] = place(&mut body, &arena, false);
-    sections[SEC_REL_TABLE] = place(&mut body, &rel, false);
-    sections[SEC_IO_MANIFEST] = place(&mut body, &manifest, false);
-    sections[SEC_APPMEM_INDEX] = place(&mut body, &appmem_index, false);
-    sections[SEC_APPMEM_PAGES] = place(&mut body, &appmem, true);
+    let sections = Sections {
+        meta_index: place(&mut body, &index, false),
+        meta_arena: place(&mut body, &arena, false),
+        rel_table: place(&mut body, &rel, false),
+        io_manifest: place(&mut body, &manifest, false),
+        appmem_index: place(&mut body, &appmem_index, false),
+        appmem_pages: place(&mut body, &appmem, true),
+    };
     // Pad the tail to a whole page so the image itself is well-formed.
     let pad = body.len().next_multiple_of(PAGE_SIZE) - body.len();
     body.extend(std::iter::repeat_n(0, pad));
@@ -122,23 +158,25 @@ pub fn write(src: &CheckpointSource, clock: &SimClock, model: &CostModel) -> Byt
     let mut header = Vec::with_capacity(PAGE_SIZE);
     header.extend_from_slice(MAGIC);
     header.extend_from_slice(&VERSION.to_le_bytes());
-    header.extend_from_slice(&(src.objects.len() as u64).to_le_bytes());
-    header.extend_from_slice(&(src.app_pages.len() as u64).to_le_bytes());
-    for s in &sections {
+    header.extend_from_slice(&w64(src.objects.len()).to_le_bytes());
+    header.extend_from_slice(&w64(src.app_pages.len()).to_le_bytes());
+    for s in sections.in_order() {
         header.extend_from_slice(&s.offset.to_le_bytes());
         header.extend_from_slice(&s.len.to_le_bytes());
         header.extend_from_slice(&s.crc.to_le_bytes());
     }
     assert!(header.len() <= PAGE_SIZE, "header must fit one page");
-    body[..header.len()].copy_from_slice(&header);
+    if let Some(dst) = body.get_mut(..header.len()) {
+        dst.copy_from_slice(&header);
+    }
 
     clock.charge(
         model
             .obj
             .encode_per_object
-            .saturating_mul(src.objects.len() as u64),
+            .saturating_mul(w64(src.objects.len())),
     );
-    clock.charge(model.memcpy(body.len() as u64));
+    clock.charge(model.memcpy(w64(body.len())));
     Bytes::from(body)
 }
 
@@ -146,7 +184,7 @@ pub fn write(src: &CheckpointSource, clock: &SimClock, model: &CostModel) -> Byt
 #[derive(Debug)]
 pub struct FlatImage {
     image: Arc<MappedImage>,
-    sections: [Section; N_SECTIONS],
+    sections: Sections,
     n_objects: u64,
     n_pages: u64,
 }
@@ -166,28 +204,43 @@ impl FlatImage {
         clock.charge(model.mmap_region(image.len()));
         let header = image
             .load_page(0, clock, model)
-            .map_err(|_| ImageError::Truncated { what: "flat header" })?;
+            .map_err(|_| ImageError::Truncated {
+                what: "flat header",
+            })?;
         let buf = header.bytes();
-        if &buf[0..4] != MAGIC {
+        if buf.get(0..4) != Some(MAGIC.as_slice()) {
             return Err(ImageError::BadMagic);
         }
-        let version = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+        let mut pos = 4usize;
+        let version = read_u32_le(buf, &mut pos, "flat header")?;
         if version != VERSION {
             return Err(ImageError::BadVersion { found: version });
         }
-        let n_objects = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
-        let n_pages = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
-        let mut sections = [Section { offset: 0, len: 0, crc: 0 }; N_SECTIONS];
-        let mut pos = 24;
-        for s in &mut sections {
-            s.offset = u64::from_le_bytes(buf[pos..pos + 8].try_into().expect("8 bytes"));
-            s.len = u64::from_le_bytes(buf[pos + 8..pos + 16].try_into().expect("8 bytes"));
-            s.crc = u32::from_le_bytes(buf[pos + 16..pos + 20].try_into().expect("4 bytes"));
-            pos += 20;
-            if s.offset + s.len > image.len().next_multiple_of(PAGE_SIZE as u64) {
-                return Err(ImageError::BadSection { section: "flat section" });
+        let n_objects = read_u64_le(buf, &mut pos, "flat header")?;
+        let n_pages = read_u64_le(buf, &mut pos, "flat header")?;
+        let image_ceiling = image.len().next_multiple_of(PAGE_SIZE_U64);
+        let read_section = |pos: &mut usize| -> Result<Section, ImageError> {
+            let offset = read_u64_le(buf, pos, "flat section header")?;
+            let len = read_u64_le(buf, pos, "flat section header")?;
+            let crc = read_u32_le(buf, pos, "flat section header")?;
+            let end = offset.checked_add(len).ok_or(ImageError::BadSection {
+                section: "flat section",
+            })?;
+            if end > image_ceiling {
+                return Err(ImageError::BadSection {
+                    section: "flat section",
+                });
             }
-        }
+            Ok(Section { offset, len, crc })
+        };
+        let sections = Sections {
+            meta_index: read_section(&mut pos)?,
+            meta_arena: read_section(&mut pos)?,
+            rel_table: read_section(&mut pos)?,
+            io_manifest: read_section(&mut pos)?,
+            appmem_index: read_section(&mut pos)?,
+            appmem_pages: read_section(&mut pos)?,
+        };
         Ok(FlatImage {
             image: Arc::clone(image),
             sections,
@@ -214,43 +267,55 @@ impl FlatImage {
     /// Size of the metadata sections (index + arena + relation table), i.e.
     /// Table 3's "Metadata Objects" column.
     pub fn metadata_bytes(&self) -> u64 {
-        self.sections[SEC_META_INDEX].len
-            + self.sections[SEC_META_ARENA].len
-            + self.sections[SEC_REL_TABLE].len
+        self.sections.meta_index.len + self.sections.meta_arena.len + self.sections.rel_table.len
     }
 
     /// Size of the I/O manifest section.
     pub fn io_manifest_bytes(&self) -> u64 {
-        self.sections[SEC_IO_MANIFEST].len
+        self.sections.io_manifest.len
     }
 
     /// Reads a whole section through the page cache, charging page touches.
     fn section_bytes(
         &self,
-        idx: usize,
+        s: Section,
         name: &'static str,
         clock: &SimClock,
         model: &CostModel,
     ) -> Result<Bytes, ImageError> {
-        let s = self.sections[idx];
-        let start = s.offset as usize;
-        let end = (s.offset + s.len) as usize;
+        let end64 = s
+            .offset
+            .checked_add(s.len)
+            .ok_or(ImageError::BadSection { section: name })?;
+        let start =
+            usize::try_from(s.offset).map_err(|_| ImageError::BadSection { section: name })?;
+        let end = usize::try_from(end64).map_err(|_| ImageError::BadSection { section: name })?;
         if end > self.image.raw_bytes().len() {
             return Err(ImageError::BadSection { section: name });
         }
         // Touch the section via the shared page cache with readahead: disk
         // is charged once globally; the per-space fault cost is charged here.
-        let first_page = s.offset / PAGE_SIZE as u64;
-        let last_page = (s.offset + s.len).div_ceil(PAGE_SIZE as u64);
+        let first_page = s.offset / PAGE_SIZE_U64;
+        let last_page = end64.div_ceil(PAGE_SIZE_U64);
         self.image
-            .load_range(first_page, last_page - first_page, clock, model)
+            .load_range(
+                first_page,
+                last_page.saturating_sub(first_page),
+                clock,
+                model,
+            )
             .map_err(|_| ImageError::Truncated { what: name })?;
-        clock.charge(model.mem.page_fault.saturating_mul(last_page - first_page));
+        clock.charge(
+            model
+                .mem
+                .page_fault
+                .saturating_mul(last_page.saturating_sub(first_page)),
+        );
         let bytes = self.image.raw_bytes().slice(start..end);
         if crc32(&bytes) != s.crc {
             return Err(ImageError::Checksum { section: name });
         }
-        clock.charge(model.memcpy(bytes.len() as u64)); // checksum pass
+        clock.charge(model.memcpy(w64(bytes.len()))); // checksum pass
         Ok(bytes)
     }
 
@@ -269,41 +334,55 @@ impl FlatImage {
         model: &CostModel,
     ) -> Result<Vec<ObjRecord>, ImageError> {
         // Stage 1: map.
-        let index = self.section_bytes(SEC_META_INDEX, "meta index", clock, model)?;
-        let arena = self.section_bytes(SEC_META_ARENA, "meta arena", clock, model)?;
-        let rel = self.section_bytes(SEC_REL_TABLE, "relation table", clock, model)?;
+        let index = self.section_bytes(self.sections.meta_index, "meta index", clock, model)?;
+        let arena = self.section_bytes(self.sections.meta_arena, "meta arena", clock, model)?;
+        let rel = self.section_bytes(self.sections.rel_table, "relation table", clock, model)?;
 
-        if index.len() != self.n_objects as usize * 8 {
+        let n_objects = usize::try_from(self.n_objects).map_err(|_| ImageError::Malformed {
+            what: "object count",
+        })?;
+        let want = n_objects.checked_mul(8).ok_or(ImageError::Malformed {
+            what: "object count",
+        })?;
+        if index.len() != want {
             return Err(ImageError::Truncated { what: "meta index" });
         }
-        let mut objects = Vec::with_capacity(self.n_objects as usize);
-        for i in 0..self.n_objects as usize {
-            let off =
-                u64::from_le_bytes(index[i * 8..i * 8 + 8].try_into().expect("8 bytes")) as usize;
+        // Bounded by the (already size-checked) index section itself.
+        let mut objects = Vec::with_capacity(n_objects);
+        for entry in index.chunks_exact(8) {
+            let mut p = 0usize;
+            let off = usize::try_from(read_u64_le(entry, &mut p, "meta index")?).map_err(|_| {
+                ImageError::Malformed {
+                    what: "meta index entry",
+                }
+            })?;
             objects.push(parse_arena_record(&arena, off)?);
         }
 
         // Stage 2: parallel pointer re-establishment.
         if rel.len() % 14 != 0 {
-            return Err(ImageError::Truncated { what: "relation table" });
+            return Err(ImageError::Truncated {
+                what: "relation table",
+            });
         }
         let entries: Vec<(u32, u16, u64)> = rel
             .chunks_exact(14)
             .map(|c| {
-                (
-                    u32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
-                    u16::from_le_bytes(c[4..6].try_into().expect("2 bytes")),
-                    u64::from_le_bytes(c[6..14].try_into().expect("8 bytes")),
-                )
+                let mut p = 0usize;
+                Ok((
+                    read_u32_le(c, &mut p, "relation entry")?,
+                    read_u16_le(c, &mut p, "relation entry")?,
+                    read_u64_le(c, &mut p, "relation entry")?,
+                ))
             })
-            .collect();
+            .collect::<Result<_, ImageError>>()?;
         // Entries are ordered by record index (the writer emits them that
         // way), so contiguous record chunks get contiguous entry ranges.
         let workers = model.parallel_workers.max(1);
         let chunk_len = objects.len().div_ceil(workers).max(1);
         let mut failed = false;
         let mut worker_costs = Vec::with_capacity(workers);
-        crossbeam::thread::scope(|scope| {
+        let scope_result = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             let mut rest: &mut [ObjRecord] = &mut objects;
             let mut rec_base = 0usize;
@@ -314,37 +393,52 @@ impl FlatImage {
                 rest = tail;
                 let rec_end = rec_base + take;
                 let entry_start = entry_pos;
-                while entry_pos < entries.len() && (entries[entry_pos].0 as usize) < rec_end {
+                while entries
+                    .get(entry_pos)
+                    .is_some_and(|e| usize::try_from(e.0).is_ok_and(|r| r < rec_end))
+                {
                     entry_pos += 1;
                 }
-                let my_entries = &entries[entry_start..entry_pos];
+                let my_entries = entries.get(entry_start..entry_pos).unwrap_or(&[]);
                 let base = rec_base;
                 handles.push(scope.spawn(move |_| {
                     let mut ok = true;
                     for &(rec, slot, target) in my_entries {
-                        let rec = rec as usize;
-                        if rec < base || rec - base >= chunk.len() {
+                        let Ok(rec) = usize::try_from(rec) else {
+                            ok = false;
+                            continue;
+                        };
+                        if rec < base {
                             ok = false;
                             continue;
                         }
-                        match chunk[rec - base].refs.get_mut(slot as usize) {
+                        match chunk
+                            .get_mut(rec - base)
+                            .and_then(|r| r.refs.get_mut(usize::from(slot)))
+                        {
                             Some(r) => *r = target,
                             None => ok = false,
                         }
                     }
-                    (ok, my_entries.len() as u64)
+                    (ok, w64(my_entries.len()))
                 }));
                 rec_base = rec_end;
             }
             for h in handles {
-                let (ok, n) = h.join().expect("fixup worker panicked");
-                if !ok {
-                    failed = true;
+                match h.join() {
+                    Ok((ok, n)) => {
+                        if !ok {
+                            failed = true;
+                        }
+                        worker_costs.push(model.obj.fixup_per_pointer.saturating_mul(n));
+                    }
+                    Err(_) => failed = true,
                 }
-                worker_costs.push(model.obj.fixup_per_pointer.saturating_mul(n));
             }
-        })
-        .expect("crossbeam scope");
+        });
+        if scope_result.is_err() {
+            failed = true;
+        }
         clock.charge_parallel(worker_costs);
         if failed {
             return Err(ImageError::BadRelation { record: 0, slot: 0 });
@@ -353,8 +447,8 @@ impl FlatImage {
         for (i, obj) in objects.iter().enumerate() {
             if let Some(slot) = obj.refs.iter().position(|&r| r == REF_PLACEHOLDER) {
                 return Err(ImageError::BadRelation {
-                    record: i as u32,
-                    slot: slot as u16,
+                    record: u32::try_from(i).unwrap_or(u32::MAX),
+                    slot: u16::try_from(slot).unwrap_or(u16::MAX),
                 });
             }
         }
@@ -372,10 +466,17 @@ impl FlatImage {
         clock: &SimClock,
         model: &CostModel,
     ) -> Result<Vec<IoConn>, ImageError> {
-        let bytes = self.section_bytes(SEC_IO_MANIFEST, "io manifest", clock, model)?;
+        let bytes = self.section_bytes(self.sections.io_manifest, "io manifest", clock, model)?;
         let mut pos = 0usize;
-        let n = crate::varint::get_u64(&bytes, &mut pos)?;
-        let mut conns = Vec::with_capacity(n as usize);
+        let n = usize::try_from(crate::varint::get_u64(&bytes, &mut pos)?).map_err(|_| {
+            ImageError::Malformed {
+                what: "io manifest count",
+            }
+        })?;
+        // Every connection takes at least one byte, so a count larger than
+        // the section is already known-bad; the cap keeps a forged count
+        // from pre-allocating unbounded memory.
+        let mut conns = Vec::with_capacity(n.min(bytes.len()));
         for _ in 0..n {
             conns.push(classic::decode_conn(&bytes, &mut pos)?);
         }
@@ -392,21 +493,31 @@ impl FlatImage {
         clock: &SimClock,
         model: &CostModel,
     ) -> Result<Vec<(Vpn, u64)>, ImageError> {
-        let bytes = self.section_bytes(SEC_APPMEM_INDEX, "appmem index", clock, model)?;
-        if bytes.len() != self.n_pages as usize * 8 {
-            return Err(ImageError::Truncated { what: "appmem index" });
+        let bytes = self.section_bytes(self.sections.appmem_index, "appmem index", clock, model)?;
+        let n_pages = usize::try_from(self.n_pages).map_err(|_| ImageError::Malformed {
+            what: "appmem page count",
+        })?;
+        let want = n_pages.checked_mul(8).ok_or(ImageError::Malformed {
+            what: "appmem page count",
+        })?;
+        if bytes.len() != want {
+            return Err(ImageError::Truncated {
+                what: "appmem index",
+            });
         }
-        let pages_base = self.sections[SEC_APPMEM_PAGES].offset / PAGE_SIZE as u64;
-        Ok(bytes
-            .chunks_exact(8)
-            .enumerate()
-            .map(|(i, c)| {
-                (
-                    u64::from_le_bytes(c.try_into().expect("8 bytes")),
-                    pages_base + i as u64,
-                )
-            })
-            .collect())
+        let pages_base = self.sections.appmem_pages.offset / PAGE_SIZE_U64;
+        let mut out = Vec::with_capacity(n_pages);
+        for (i, c) in bytes.chunks_exact(8).enumerate() {
+            let mut p = 0usize;
+            let vpn = read_u64_le(c, &mut p, "appmem index")?;
+            let page = pages_base
+                .checked_add(w64(i))
+                .ok_or(ImageError::Malformed {
+                    what: "appmem page offset",
+                })?;
+            out.push((vpn, page));
+        }
+        Ok(out)
     }
 
     /// Builds the shared **Base-EPT** over this image's application memory:
@@ -422,7 +533,7 @@ impl FlatImage {
         model: &CostModel,
     ) -> Result<Arc<EptLayer>, ImageError> {
         let index = self.app_mem_index(clock, model)?;
-        clock.charge(model.mmap_region(self.n_pages * PAGE_SIZE as u64));
+        clock.charge(model.mmap_region(self.n_pages.saturating_mul(PAGE_SIZE_U64)));
         let layer = EptLayer::new();
         for (vpn, page) in index {
             layer.insert(
@@ -437,32 +548,57 @@ impl FlatImage {
     }
 }
 
-fn parse_arena_record(arena: &[u8], off: usize) -> Result<ObjRecord, ImageError> {
-    if off + REC_HEADER > arena.len() {
-        return Err(ImageError::Truncated { what: "arena record" });
-    }
-    let id = u64::from_le_bytes(arena[off..off + 8].try_into().expect("8 bytes"));
-    let code = u16::from_le_bytes(arena[off + 8..off + 10].try_into().expect("2 bytes"));
+/// Parses one record out of the mapped metadata arena. The payload is a
+/// zero-copy [`Bytes`] view into the arena — stage 1 of separated state
+/// recovery maps object fields, it never duplicates them (§3.2).
+fn parse_arena_record(arena: &Bytes, off: usize) -> Result<ObjRecord, ImageError> {
+    let mut pos = off;
+    let id = read_u64_le(arena, &mut pos, "arena record")?;
+    let code = read_u16_le(arena, &mut pos, "arena record")?;
     let kind = ObjKind::from_code(code).ok_or(ImageError::BadObjKind { code })?;
-    let flags = u32::from_le_bytes(arena[off + 10..off + 14].try_into().expect("4 bytes"));
-    let n_refs = u16::from_le_bytes(arena[off + 14..off + 16].try_into().expect("2 bytes")) as usize;
+    let flags = read_u32_le(arena, &mut pos, "arena record")?;
+    let n_refs = usize::from(read_u16_le(arena, &mut pos, "arena record")?);
     let payload_len =
-        u32::from_le_bytes(arena[off + 16..off + 20].try_into().expect("4 bytes")) as usize;
-    let refs_end = off + REC_HEADER + n_refs * 8;
-    let end = refs_end + payload_len;
+        usize::try_from(read_u32_le(arena, &mut pos, "arena record")?).map_err(|_| {
+            ImageError::Malformed {
+                what: "arena payload length",
+            }
+        })?;
+    debug_assert_eq!(pos, off + REC_HEADER);
+    let refs_end = pos
+        .checked_add(
+            n_refs
+                .checked_mul(8)
+                .ok_or(ImageError::Malformed { what: "arena refs" })?,
+        )
+        .ok_or(ImageError::Malformed { what: "arena refs" })?;
+    let end = refs_end
+        .checked_add(payload_len)
+        .ok_or(ImageError::Malformed {
+            what: "arena payload length",
+        })?;
     if end > arena.len() {
-        return Err(ImageError::Truncated { what: "arena record body" });
+        return Err(ImageError::Truncated {
+            what: "arena record body",
+        });
     }
-    let refs = arena[off + REC_HEADER..refs_end]
+    let refs = arena
+        .get(pos..refs_end)
+        .ok_or(ImageError::Truncated {
+            what: "arena record refs",
+        })?
         .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
-        .collect();
+        .map(|c| {
+            let mut p = 0usize;
+            read_u64_le(c, &mut p, "arena ref")
+        })
+        .collect::<Result<_, ImageError>>()?;
     Ok(ObjRecord {
         id,
         kind,
         flags,
         refs,
-        payload: arena[refs_end..end].to_vec(),
+        payload: arena.slice(refs_end..end),
     })
 }
 
@@ -572,8 +708,16 @@ mod tests {
         let clock = SimClock::new();
         let _flat = FlatImage::parse(&img, &clock, &model).unwrap();
         // Only the header page's readahead cluster (+ mmap) may be touched.
-        assert!(img.resident_pages() <= 8, "resident {}", img.resident_pages());
-        assert!(clock.now() < SimNanos::from_millis(2), "parse cost {}", clock.now());
+        assert!(
+            img.resident_pages() <= 8,
+            "resident {}",
+            img.resident_pages()
+        );
+        assert!(
+            clock.now() < SimNanos::from_millis(2),
+            "parse cost {}",
+            clock.now()
+        );
     }
 
     #[test]

@@ -41,6 +41,9 @@
 //! # Ok::<(), imagefmt::ImageError>(())
 //! ```
 
+// Tests may unwrap freely; the lint ban is about library code that
+// handles untrusted images.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 

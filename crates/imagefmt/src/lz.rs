@@ -12,7 +12,6 @@
 //! - `0x00, len(varint), bytes...` — literal run
 //! - `0x01, dist(varint), len(varint)` — back-reference (`dist ≥ 1`)
 
-
 use crate::varint;
 use crate::ImageError;
 
@@ -114,10 +113,20 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, ImageError> {
                 out.extend_from_slice(lits);
             }
             0x01 => {
-                let dist = varint::get_u64(input, &mut pos)? as usize;
-                let len = varint::get_u64(input, &mut pos)? as usize;
+                let dist = usize::try_from(varint::get_u64(input, &mut pos)?).map_err(|_| {
+                    ImageError::Malformed {
+                        what: "lz match distance",
+                    }
+                })?;
+                let len = usize::try_from(varint::get_u64(input, &mut pos)?).map_err(|_| {
+                    ImageError::Malformed {
+                        what: "lz match length",
+                    }
+                })?;
                 if dist == 0 || dist > out.len() || len > MAX_MATCH {
-                    return Err(ImageError::Truncated { what: "lz back-reference" });
+                    return Err(ImageError::Truncated {
+                        what: "lz back-reference",
+                    });
                 }
                 let start = out.len() - dist;
                 for k in 0..len {
@@ -125,7 +134,11 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, ImageError> {
                     out.push(byte);
                 }
             }
-            _ => return Err(ImageError::Truncated { what: "lz token tag" }),
+            _ => {
+                return Err(ImageError::Truncated {
+                    what: "lz token tag",
+                })
+            }
         }
     }
     Ok(out)
@@ -155,7 +168,11 @@ mod tests {
     fn repetitive_data_shrinks_a_lot() {
         let data = vec![7u8; 64 * 1024];
         let packed = compress(&data);
-        assert!(packed.len() < data.len() / 20, "packed {} bytes", packed.len());
+        assert!(
+            packed.len() < data.len() / 20,
+            "packed {} bytes",
+            packed.len()
+        );
         assert_eq!(decompress(&packed).unwrap(), data);
     }
 

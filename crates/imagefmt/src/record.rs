@@ -97,19 +97,28 @@ pub struct ObjRecord {
     pub flags: u32,
     /// Pointer fields: ids of referenced objects.
     pub refs: Vec<ObjId>,
-    /// Opaque serialized field data.
-    pub payload: Vec<u8>,
+    /// Opaque serialized field data. Held as [`Bytes`] so a record parsed
+    /// out of a mapped func-image arena is a zero-copy view of the image —
+    /// the restore path never duplicates payload bytes (§3.2).
+    pub payload: Bytes,
 }
 
 impl ObjRecord {
-    /// Convenience constructor.
-    pub fn new(id: ObjId, kind: ObjKind, flags: u32, refs: Vec<ObjId>, payload: Vec<u8>) -> Self {
+    /// Convenience constructor. Accepts anything convertible to [`Bytes`]
+    /// (`Vec<u8>`, `&[u8]`, or a `Bytes` view) for the payload.
+    pub fn new(
+        id: ObjId,
+        kind: ObjKind,
+        flags: u32,
+        refs: Vec<ObjId>,
+        payload: impl Into<Bytes>,
+    ) -> Self {
         ObjRecord {
             id,
             kind,
             flags,
             refs,
-            payload,
+            payload: payload.into(),
         }
     }
 
@@ -264,7 +273,10 @@ mod tests {
                 ObjRecord::new(2, ObjKind::Timer, 0, vec![1, 1], vec![1, 2, 3]),
             ],
             app_pages: vec![],
-            io_conns: vec![IoConn::file("/a", true), IoConn::socket("1.2.3.4:80", false)],
+            io_conns: vec![
+                IoConn::file("/a", true),
+                IoConn::socket("1.2.3.4:80", false),
+            ],
         };
         assert_eq!(src.pointer_count(), 3);
         assert_eq!(src.app_bytes(), 0);

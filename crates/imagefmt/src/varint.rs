@@ -1,12 +1,16 @@
-//! LEB128-style variable-length integer encoding used by the classic image
-//! format (gVisor's stream serializer uses a comparable wire encoding).
+//! Wire primitives shared by the image formats: LEB128-style varints (used
+//! by the classic format; gVisor's stream serializer uses a comparable wire
+//! encoding) and checked fixed-width little-endian readers (used by the flat
+//! func-image format).
 
 use crate::ImageError;
 
 /// Appends `value` to `out` as a little-endian base-128 varint.
 pub fn put_u64(out: &mut Vec<u8>, mut value: u64) {
     loop {
-        let byte = (value & 0x7F) as u8;
+        // The mask keeps the value in u8 range; try_from avoids a lossy
+        // `as` cast (this is a catalint parse module).
+        let byte = u8::try_from(value & 0x7F).unwrap_or(0);
         value >>= 7;
         if value == 0 {
             out.push(byte);
@@ -26,7 +30,9 @@ pub fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64, ImageError> {
     let mut value: u64 = 0;
     let mut shift = 0u32;
     loop {
-        let byte = *buf.get(*pos).ok_or(ImageError::Truncated { what: "varint" })?;
+        let byte = *buf
+            .get(*pos)
+            .ok_or(ImageError::Truncated { what: "varint" })?;
         *pos += 1;
         if shift == 63 && byte > 1 {
             return Err(ImageError::BadVarint);
@@ -44,7 +50,7 @@ pub fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64, ImageError> {
 
 /// Appends a length-prefixed byte slice.
 pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
-    put_u64(out, bytes.len() as u64);
+    put_u64(out, u64::try_from(bytes.len()).unwrap_or(u64::MAX));
     out.extend_from_slice(bytes);
 }
 
@@ -52,18 +58,62 @@ pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
 ///
 /// # Errors
 ///
-/// [`ImageError::Truncated`] if fewer bytes remain than the prefix declares.
+/// [`ImageError::Truncated`] if fewer bytes remain than the prefix declares,
+/// or [`ImageError::Malformed`] if the declared length cannot be addressed.
 pub fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8], ImageError> {
-    let len = get_u64(buf, pos)? as usize;
-    let end = pos
-        .checked_add(len)
+    let len = usize::try_from(get_u64(buf, pos)?).map_err(|_| ImageError::Malformed {
+        what: "byte slice length",
+    })?;
+    let end = pos.checked_add(len).ok_or(ImageError::Malformed {
+        what: "byte slice length",
+    })?;
+    let out = buf
+        .get(*pos..end)
         .ok_or(ImageError::Truncated { what: "byte slice" })?;
-    if end > buf.len() {
-        return Err(ImageError::Truncated { what: "byte slice" });
-    }
-    let out = &buf[*pos..end];
     *pos = end;
     Ok(out)
+}
+
+/// Reads `N` bytes at `*pos`, advancing `*pos`.
+fn read_array<const N: usize>(
+    buf: &[u8],
+    pos: &mut usize,
+    what: &'static str,
+) -> Result<[u8; N], ImageError> {
+    let end = pos.checked_add(N).ok_or(ImageError::Malformed { what })?;
+    let slice = buf.get(*pos..end).ok_or(ImageError::Truncated { what })?;
+    let arr: [u8; N] = slice
+        .try_into()
+        .map_err(|_| ImageError::Truncated { what })?;
+    *pos = end;
+    Ok(arr)
+}
+
+/// Reads a fixed-width little-endian `u16`, advancing `*pos`.
+///
+/// # Errors
+///
+/// [`ImageError::Truncated`] if the buffer is too short.
+pub fn read_u16_le(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u16, ImageError> {
+    Ok(u16::from_le_bytes(read_array::<2>(buf, pos, what)?))
+}
+
+/// Reads a fixed-width little-endian `u32`, advancing `*pos`.
+///
+/// # Errors
+///
+/// [`ImageError::Truncated`] if the buffer is too short.
+pub fn read_u32_le(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u32, ImageError> {
+    Ok(u32::from_le_bytes(read_array::<4>(buf, pos, what)?))
+}
+
+/// Reads a fixed-width little-endian `u64`, advancing `*pos`.
+///
+/// # Errors
+///
+/// [`ImageError::Truncated`] if the buffer is too short.
+pub fn read_u64_le(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, ImageError> {
+    Ok(u64::from_le_bytes(read_array::<8>(buf, pos, what)?))
 }
 
 #[cfg(test)]
@@ -114,6 +164,25 @@ mod tests {
         assert_eq!(get_bytes(&buf, &mut pos).unwrap(), b"hello");
         assert_eq!(get_bytes(&buf, &mut pos).unwrap(), b"");
         assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn fixed_width_readers_advance_and_bound_check() {
+        let buf = [1u8, 0, 2, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0];
+        let mut pos = 0;
+        assert_eq!(read_u16_le(&buf, &mut pos, "t").unwrap(), 1);
+        assert_eq!(read_u32_le(&buf, &mut pos, "t").unwrap(), 2);
+        assert_eq!(read_u64_le(&buf, &mut pos, "t").unwrap(), 3);
+        assert_eq!(pos, 14);
+        assert_eq!(
+            read_u16_le(&buf, &mut pos, "tail").unwrap_err(),
+            ImageError::Truncated { what: "tail" }
+        );
+        let mut huge = usize::MAX;
+        assert_eq!(
+            read_u64_le(&buf, &mut huge, "wrap").unwrap_err(),
+            ImageError::Malformed { what: "wrap" }
+        );
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Adversarial corruption tests for the flat func-image reader.
+//!
+//! A func-image is untrusted input to the restore path, so the contract is
+//! total: for *any* byte sequence — truncated, bit-flipped, or with a
+//! mangled section table — every reader returns `Err(ImageError)`, and
+//! nothing panics, over-allocates, or loops. Panics (including index and
+//! arithmetic-overflow panics) fail these tests; proptest shrinks to the
+//! offending image.
+
+use bytes::Bytes;
+use imagefmt::{flat, CheckpointSource, ImageError, IoConn, ObjKind, ObjRecord, PagePayload};
+use memsim::{MappedImage, PAGE_SIZE};
+use proptest::prelude::*;
+use simtime::{CostModel, SimClock};
+
+fn arb_source() -> impl Strategy<Value = CheckpointSource> {
+    (
+        proptest::collection::vec(
+            (
+                1u64..=500,
+                0usize..14,
+                any::<u32>(),
+                proptest::collection::vec(1u64..=500, 0..5),
+                proptest::collection::vec(any::<u8>(), 0..48),
+            ),
+            1..40,
+        ),
+        proptest::collection::vec(any::<u8>(), 0..3),
+        0u64..4,
+    )
+        .prop_map(|(recs, conn_seed, n_pages)| CheckpointSource {
+            objects: recs
+                .into_iter()
+                .map(|(id, kind, flags, refs, payload)| {
+                    ObjRecord::new(id, ObjKind::ALL[kind], flags, refs, payload)
+                })
+                .collect(),
+            app_pages: (0..n_pages)
+                .map(|i| PagePayload {
+                    vpn: 0x1000 + i,
+                    data: Bytes::from(vec![u8::try_from(i % 251).unwrap_or(0); PAGE_SIZE]),
+                })
+                .collect(),
+            io_conns: conn_seed
+                .iter()
+                .map(|s| IoConn::file(format!("/f/{s}"), s % 2 == 0))
+                .collect(),
+        })
+}
+
+/// Runs the entire flat read path; the first error wins.
+fn full_read(image: Bytes) -> Result<(), ImageError> {
+    let clock = SimClock::new();
+    let model = CostModel::experimental_machine();
+    let img = MappedImage::new("corrupt.img", image);
+    let flat = flat::FlatImage::parse(&img, &clock, &model)?;
+    flat.restore_metadata(&clock, &model)?;
+    flat.read_io_manifest(&clock, &model)?;
+    flat.app_mem_index(&clock, &model)?;
+    flat.build_base_layer(&clock, &model)?;
+    Ok(())
+}
+
+fn write_image(src: &CheckpointSource) -> Vec<u8> {
+    flat::write(src, &SimClock::new(), &CostModel::experimental_machine()).to_vec()
+}
+
+proptest! {
+    /// Cutting the image anywhere must never panic, and cutting into the
+    /// header page must always be rejected.
+    #[test]
+    fn truncation_never_panics(src in arb_source(), cut_seed in any::<u64>()) {
+        let full = write_image(&src);
+        let len = full.len() as u64;
+        let cut = usize::try_from(cut_seed % len).unwrap_or(0);
+        let result = full_read(Bytes::from(full[..cut].to_vec()));
+        if cut < PAGE_SIZE {
+            prop_assert!(result.is_err(), "truncated header accepted at cut {cut}");
+        }
+    }
+
+    /// A bit flip anywhere inside the CRC-guarded metadata sections must be
+    /// detected — restore must fail, not silently produce wrong objects.
+    #[test]
+    fn metadata_bit_flips_always_error(
+        src in arb_source(),
+        pos_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = write_image(&src);
+        let clock = SimClock::new();
+        let model = CostModel::experimental_machine();
+        let img = MappedImage::new("probe.img", Bytes::from(bytes.clone()));
+        let meta_len = flat::FlatImage::parse(&img, &clock, &model)
+            .expect("pristine image parses")
+            .metadata_bytes();
+        prop_assume!(meta_len > 0);
+        // The writer lays the metadata sections down contiguously starting
+        // right after the header page.
+        let pos = PAGE_SIZE + usize::try_from(pos_seed % meta_len).unwrap_or(0);
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(
+            full_read(Bytes::from(bytes)).is_err(),
+            "flipped bit {bit} at {pos} went undetected"
+        );
+    }
+
+    /// Pointing a section past the end of the image must be rejected for
+    /// every one of the six sections.
+    #[test]
+    fn out_of_bounds_section_offsets_always_error(
+        src in arb_source(),
+        section in 0usize..6,
+        delta in 1u64..0x1_0000,
+    ) {
+        let mut bytes = write_image(&src);
+        let bogus = u64::try_from(bytes.len()).unwrap_or(0) + PAGE_SIZE as u64 + delta;
+        let at = 24 + section * 20; // header: magic(4) ver(4) counts(16), then 20 B/section
+        bytes[at..at + 8].copy_from_slice(&bogus.to_le_bytes());
+        prop_assert!(
+            full_read(Bytes::from(bytes)).is_err(),
+            "section {section} offset past EOF accepted"
+        );
+    }
+
+    /// Arbitrary garbage in a section-table entry (offset, length, or CRC)
+    /// must never panic, whatever it decodes to.
+    #[test]
+    fn mangled_section_table_never_panics(
+        src in arb_source(),
+        section in 0usize..6,
+        field in 0usize..3,
+        garbage in any::<u64>(),
+    ) {
+        let mut bytes = write_image(&src);
+        let at = 24 + section * 20 + field * 8;
+        let end = (at + 8).min(24 + section * 20 + 20);
+        let le = garbage.to_le_bytes();
+        bytes[at..end].copy_from_slice(&le[..end - at]);
+        let _ = full_read(Bytes::from(bytes));
+    }
+
+    /// Corrupting the header's object/page counts must never panic and must
+    /// never pre-allocate unbounded memory on the strength of a forged count.
+    #[test]
+    fn forged_counts_always_error(src in arb_source(), count in any::<u64>()) {
+        prop_assume!(count != 0);
+        let mut bytes = write_image(&src);
+        // n_objects at 8, n_pages at 16; forge both.
+        bytes[8..16].copy_from_slice(&count.to_le_bytes());
+        bytes[16..24].copy_from_slice(&count.to_le_bytes());
+        let changed = count != u64::try_from(src.objects.len()).unwrap_or(u64::MAX)
+            || count != u64::try_from(src.app_pages.len()).unwrap_or(u64::MAX);
+        prop_assume!(changed);
+        prop_assert!(full_read(Bytes::from(bytes)).is_err(), "forged count {count} accepted");
+    }
+
+    /// Complete byte soup — with or without a valid magic — never panics.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        mut soup in proptest::collection::vec(any::<u8>(), 0..3 * PAGE_SIZE),
+        plant_magic in any::<bool>(),
+    ) {
+        if plant_magic && soup.len() >= 4 {
+            soup[0..4].copy_from_slice(b"FUNC");
+        }
+        let _ = full_read(Bytes::from(soup));
+    }
+}

@@ -115,7 +115,8 @@ mod tests {
         let mut s = AddressSpace::new("solo");
         s.map_anonymous(VpnRange::new(0, 16), Perms::RW, ShareMode::Private, "m")
             .unwrap();
-        s.touch_range(VpnRange::new(0, 16), true, &clock, &model).unwrap();
+        s.touch_range(VpnRange::new(0, 16), true, &clock, &model)
+            .unwrap();
         let u = usage(&[&s]);
         assert_eq!(u[0].rss_bytes, 16 * PAGE_SIZE as u64);
         assert_eq!(u[0].pss_bytes, u[0].rss_bytes);
@@ -133,7 +134,8 @@ mod tests {
             let mut s = AddressSpace::new(format!("s{i}"));
             s.attach_base(Arc::clone(&base), VpnRange::new(0, 8), "f", &clock, &model)
                 .unwrap();
-            s.touch_range(VpnRange::new(0, 8), false, &clock, &model).unwrap();
+            s.touch_range(VpnRange::new(0, 8), false, &clock, &model)
+                .unwrap();
             spaces.push(s);
         }
         let refs: Vec<&AddressSpace> = spaces.iter().collect();
@@ -151,7 +153,8 @@ mod tests {
         let mut t = AddressSpace::new("t");
         t.map_anonymous(VpnRange::new(0, 4), Perms::RW, ShareMode::Private, "m")
             .unwrap();
-        t.touch_range(VpnRange::new(0, 4), true, &clock, &model).unwrap();
+        t.touch_range(VpnRange::new(0, 4), true, &clock, &model)
+            .unwrap();
         let mut c = t.sfork_clone("c").unwrap();
         c.write(0, 0, &[9], &clock, &model).unwrap(); // CoW one page
 
@@ -165,8 +168,14 @@ mod tests {
 
     #[test]
     fn average_is_elementwise_mean() {
-        let a = MemoryUsage { rss_bytes: 100, pss_bytes: 60 };
-        let b = MemoryUsage { rss_bytes: 300, pss_bytes: 80 };
+        let a = MemoryUsage {
+            rss_bytes: 100,
+            pss_bytes: 60,
+        };
+        let b = MemoryUsage {
+            rss_bytes: 300,
+            pss_bytes: 80,
+        };
         let avg = average(&[a, b]);
         assert_eq!(avg.rss_bytes, 200);
         assert_eq!(avg.pss_bytes, 70);

@@ -57,7 +57,10 @@ impl fmt::Display for MemError {
                 write!(f, "mapping [{start:#x},{end:#x}) overlaps an existing vma")
             }
             MemError::PageCross { offset, len } => {
-                write!(f, "access of {len} bytes at offset {offset} crosses a page boundary")
+                write!(
+                    f,
+                    "access of {len} bytes at offset {offset} crosses a page boundary"
+                )
             }
             MemError::ImageBounds { page, pages } => {
                 write!(f, "image page {page} out of bounds ({pages} pages)")
@@ -77,12 +80,23 @@ mod tests {
 
     #[test]
     fn display_is_descriptive() {
-        assert!(MemError::Unmapped { vpn: 0x10 }.to_string().contains("0x10"));
-        assert!(MemError::Protection { vpn: 1 }.to_string().contains("writable"));
-        assert!(MemError::Overlap { start: 0, end: 4 }.to_string().contains("overlaps"));
-        assert!(MemError::PageCross { offset: 4000, len: 200 }
+        assert!(MemError::Unmapped { vpn: 0x10 }
             .to_string()
-            .contains("crosses"));
-        assert!(MemError::ImageBounds { page: 9, pages: 4 }.to_string().contains("bounds"));
+            .contains("0x10"));
+        assert!(MemError::Protection { vpn: 1 }
+            .to_string()
+            .contains("writable"));
+        assert!(MemError::Overlap { start: 0, end: 4 }
+            .to_string()
+            .contains("overlaps"));
+        assert!(MemError::PageCross {
+            offset: 4000,
+            len: 200
+        }
+        .to_string()
+        .contains("crosses"));
+        assert!(MemError::ImageBounds { page: 9, pages: 4 }
+            .to_string()
+            .contains("bounds"));
     }
 }

@@ -5,7 +5,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use simtime::{CostModel, SimClock};
 
-use crate::{Frame, MemError, PAGE_SIZE};
+use crate::{Frame, MemError, PAGE_SIZE, PAGE_SIZE_U64};
 
 /// A page-aligned image file mapped into memory, with a shared page cache.
 ///
@@ -45,12 +45,13 @@ impl MappedImage {
     /// Wraps `bytes` as a mapped image. The length is padded *logically* to a
     /// whole number of pages (a trailing partial page reads as zero-filled).
     pub fn new(name: impl Into<String>, bytes: Bytes) -> Arc<MappedImage> {
-        let pages = (bytes.len() as u64).div_ceil(PAGE_SIZE as u64);
+        let page_slots = bytes.len().div_ceil(PAGE_SIZE);
+        let pages = u64::try_from(page_slots).unwrap_or(u64::MAX);
         Arc::new(MappedImage {
             name: name.into(),
             bytes,
             pages,
-            resident: Mutex::new(vec![false; pages as usize]),
+            resident: Mutex::new(vec![false; page_slots]),
         })
     }
 
@@ -66,7 +67,7 @@ impl MappedImage {
 
     /// Image length in bytes (unpadded).
     pub fn len(&self) -> u64 {
-        self.bytes.len() as u64
+        u64::try_from(self.bytes.len()).unwrap_or(u64::MAX)
     }
 
     /// True if the image holds no bytes.
@@ -76,7 +77,7 @@ impl MappedImage {
 
     /// Number of pages currently resident in the shared page cache.
     pub fn resident_pages(&self) -> u64 {
-        self.resident.lock().iter().filter(|&&r| r).count() as u64
+        u64::try_from(self.resident.lock().iter().filter(|&&r| r).count()).unwrap_or(u64::MAX)
     }
 
     /// Loads page `index`, charging a disk read on the first touch only.
@@ -99,29 +100,37 @@ impl MappedImage {
                 pages: self.pages,
             });
         }
+        // `index < self.pages`, and the resident table was sized in usize,
+        // so this conversion cannot lose range on any supported target.
+        let index_us = usize::try_from(index).map_err(|_| MemError::ImageBounds {
+            page: index,
+            pages: self.pages,
+        })?;
         {
             // Fault-around: a miss reads a small cluster ahead, the way host
             // kernels do readahead under mmap. One seek covers the cluster.
             let mut resident = self.resident.lock();
-            if !resident[index as usize] {
-                let cluster_end = (index + 8).min(self.pages);
+            if resident.get(index_us).is_some_and(|r| !*r) {
+                let cluster_end = index_us.saturating_add(8).min(resident.len());
                 let mut loaded = 0u64;
-                for slot in resident[index as usize..cluster_end as usize].iter_mut() {
-                    if !*slot {
-                        *slot = true;
-                        loaded += 1;
+                if let Some(cluster) = resident.get_mut(index_us..cluster_end) {
+                    for slot in cluster.iter_mut() {
+                        if !*slot {
+                            *slot = true;
+                            loaded += 1;
+                        }
                     }
                 }
                 drop(resident);
-                clock.charge(model.disk_read(loaded * PAGE_SIZE as u64));
+                clock.charge(model.disk_read(loaded.saturating_mul(PAGE_SIZE_U64)));
             }
         }
-        let start = index as usize * PAGE_SIZE;
-        let end = (start + PAGE_SIZE).min(self.bytes.len());
-        if end - start == PAGE_SIZE {
+        let start = index_us.saturating_mul(PAGE_SIZE);
+        let end = start.saturating_add(PAGE_SIZE).min(self.bytes.len());
+        if end.saturating_sub(start) == PAGE_SIZE {
             Ok(Frame::from_image_slice(self.bytes.slice(start..end)))
         } else {
-            Ok(Frame::from_bytes(&self.bytes[start..end]))
+            Ok(Frame::from_bytes(self.bytes.get(start..end).unwrap_or(&[])))
         }
     }
 
@@ -147,16 +156,22 @@ impl MappedImage {
             });
         }
         let mut resident = self.resident.lock();
+        let first_us = usize::try_from(first).unwrap_or(usize::MAX);
+        let end_us = usize::try_from(end)
+            .unwrap_or(usize::MAX)
+            .min(resident.len());
         let mut missing = 0u64;
-        for slot in resident[first as usize..end as usize].iter_mut() {
-            if !*slot {
-                *slot = true;
-                missing += 1;
+        if let Some(range) = resident.get_mut(first_us..end_us) {
+            for slot in range.iter_mut() {
+                if !*slot {
+                    *slot = true;
+                    missing += 1;
+                }
             }
         }
         drop(resident);
         if missing > 0 {
-            clock.charge(model.disk_read(missing * PAGE_SIZE as u64));
+            clock.charge(model.disk_read(missing.saturating_mul(PAGE_SIZE_U64)));
         }
         Ok(())
     }
@@ -166,7 +181,7 @@ impl MappedImage {
     /// charging one bulk disk read.
     pub fn prefetch_all(&self, clock: &SimClock, model: &CostModel) {
         let mut resident = self.resident.lock();
-        let missing = resident.iter().filter(|&&r| !r).count() as u64;
+        let missing = u64::try_from(resident.iter().filter(|&&r| !r).count()).unwrap_or(u64::MAX);
         if missing == 0 {
             return;
         }
@@ -174,7 +189,7 @@ impl MappedImage {
             *slot = true;
         }
         drop(resident);
-        clock.charge(model.disk_read(missing * PAGE_SIZE as u64));
+        clock.charge(model.disk_read(missing.saturating_mul(PAGE_SIZE_U64)));
     }
 
     /// Raw access to the underlying buffer (used by the image format parser;

@@ -159,7 +159,9 @@ impl EptLayer {
 
     /// Removes every entry in `[start, end)`.
     pub fn remove_range(&self, start: Vpn, end: Vpn) {
-        self.entries.write().retain(|vpn, _| !(start..end).contains(vpn));
+        self.entries
+            .write()
+            .retain(|vpn, _| !(start..end).contains(vpn));
     }
 }
 
@@ -225,15 +227,26 @@ mod tests {
         let layer = EptLayer::new();
         layer.insert(5, EptEntry::LazyZero);
         let model = CostModel::experimental_machine();
-        assert!(layer.materialize(5, &SimClock::new(), &model).unwrap().is_none());
-        assert!(layer.materialize(6, &SimClock::new(), &model).unwrap().is_none());
+        assert!(layer
+            .materialize(5, &SimClock::new(), &model)
+            .unwrap()
+            .is_none());
+        assert!(layer
+            .materialize(6, &SimClock::new(), &model)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn clone_entries_shares_frames() {
         let layer = EptLayer::new();
         let frame: FrameRef = Arc::new(Frame::from_bytes(b"x"));
-        layer.insert(1, EptEntry::Present { frame: Arc::clone(&frame) });
+        layer.insert(
+            1,
+            EptEntry::Present {
+                frame: Arc::clone(&frame),
+            },
+        );
         let cloned = layer.clone_entries();
         match cloned.get(1) {
             Some(EptEntry::Present { frame: f }) => assert!(Arc::ptr_eq(&f, &frame)),

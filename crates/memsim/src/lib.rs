@@ -40,6 +40,9 @@
 //! # Ok::<(), memsim::MemError>(())
 //! ```
 
+// Tests may unwrap freely; the lint ban is about library code that
+// handles untrusted images.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
@@ -55,5 +58,5 @@ pub use error::MemError;
 pub use frame::{Frame, FrameRef};
 pub use image::MappedImage;
 pub use layer::{EptEntry, EptLayer};
-pub use page::{pages_for_bytes, Perms, Vpn, VpnRange, PAGE_SIZE};
+pub use page::{pages_for_bytes, Perms, Vpn, VpnRange, PAGE_SIZE, PAGE_SIZE_U64};
 pub use space::{AddressSpace, ShareMode, SpaceStats, Vma};

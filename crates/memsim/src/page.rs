@@ -5,6 +5,9 @@ use serde::{Deserialize, Serialize};
 /// Guest page size, in bytes (x86-64 base pages).
 pub const PAGE_SIZE: usize = 4096;
 
+/// [`PAGE_SIZE`] as a `u64`, for page-number arithmetic on wire offsets.
+pub const PAGE_SIZE_U64: u64 = 4096;
+
 /// A virtual page number in a sandbox's guest-physical address space.
 pub type Vpn = u64;
 

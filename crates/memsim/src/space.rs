@@ -267,10 +267,14 @@ impl AddressSpace {
                 // Counts: the layer's reference plus our local clone.
                 drop(frame);
                 if let Some(EptEntry::Present { frame }) = self.private.remove(vpn) {
-                    let mut owned =
-                        Arc::try_unwrap(frame).unwrap_or_else(|arc| (*arc).clone());
+                    let mut owned = Arc::try_unwrap(frame).unwrap_or_else(|arc| (*arc).clone());
                     owned.write_in_place(offset, src);
-                    self.private.insert(vpn, EptEntry::Present { frame: Arc::new(owned) });
+                    self.private.insert(
+                        vpn,
+                        EptEntry::Present {
+                            frame: Arc::new(owned),
+                        },
+                    );
                     return Ok(());
                 }
                 unreachable!("entry vanished between get and remove");
@@ -336,8 +340,12 @@ impl AddressSpace {
                 }
                 clock.charge(model.mem.page_fault);
                 self.stats.minor_faults += 1;
-                self.private
-                    .insert(vpn, EptEntry::Present { frame: Arc::clone(&frame) });
+                self.private.insert(
+                    vpn,
+                    EptEntry::Present {
+                        frame: Arc::clone(&frame),
+                    },
+                );
                 return Ok(frame);
             }
             Some(EptEntry::LazyZero) | None => {}
@@ -360,8 +368,12 @@ impl AddressSpace {
         }
         // Demand-zero: first touch of anonymous memory.
         let frame: FrameRef = Arc::new(Frame::zeroed());
-        self.private
-            .insert(vpn, EptEntry::Present { frame: Arc::clone(&frame) });
+        self.private.insert(
+            vpn,
+            EptEntry::Present {
+                frame: Arc::clone(&frame),
+            },
+        );
         clock.charge(model.mem.page_fault);
         self.stats.minor_faults += 1;
         Ok(frame)
@@ -573,7 +585,9 @@ mod tests {
         let mut s = AddressSpace::new("s");
         s.map_anonymous(VpnRange::new(0, 1), Perms::RW, ShareMode::Private, "m")
             .unwrap();
-        let err = s.write(0, PAGE_SIZE - 2, &[0; 4], &clock, &model).unwrap_err();
+        let err = s
+            .write(0, PAGE_SIZE - 2, &[0; 4], &clock, &model)
+            .unwrap_err();
         assert!(matches!(err, MemError::PageCross { .. }));
     }
 
@@ -596,8 +610,14 @@ mod tests {
 
         let mut a = AddressSpace::new("a");
         let mut b = AddressSpace::new("b");
-        a.attach_base(Arc::clone(&base), VpnRange::new(0, 2), "fimg", &clock, &model)
-            .unwrap();
+        a.attach_base(
+            Arc::clone(&base),
+            VpnRange::new(0, 2),
+            "fimg",
+            &clock,
+            &model,
+        )
+        .unwrap();
         b.attach_base(base, VpnRange::new(0, 2), "fimg", &clock, &model)
             .unwrap();
 
@@ -630,7 +650,8 @@ mod tests {
         // Second sandbox: no disk read, just the EPT merge.
         let warm = SimClock::new();
         let mut b = AddressSpace::new("b");
-        b.attach_base(base, VpnRange::new(0, 1), "f", &warm, &model).unwrap();
+        b.attach_base(base, VpnRange::new(0, 1), "f", &warm, &model)
+            .unwrap();
         b.read(0, 0, &mut buf, &warm, &model).unwrap();
         assert_eq!(b.stats().image_pages_loaded, 0);
         assert_eq!(b.stats().ept_merges, 1);
@@ -691,7 +712,8 @@ mod tests {
         s.map_anonymous(VpnRange::new(0, 100), Perms::RW, ShareMode::Private, "big")
             .unwrap();
         assert_eq!(s.rss_bytes(), 0, "mapping alone is not resident");
-        s.touch_range(VpnRange::new(0, 10), true, &clock, &model).unwrap();
+        s.touch_range(VpnRange::new(0, 10), true, &clock, &model)
+            .unwrap();
         assert_eq!(s.rss_bytes(), 10 * PAGE_SIZE as u64);
     }
 
@@ -700,7 +722,8 @@ mod tests {
         let (clock, model) = setup();
         let mut s = AddressSpace::new("s");
         let range = VpnRange::new(0, 4);
-        s.map_anonymous(range, Perms::RW, ShareMode::Private, "m").unwrap();
+        s.map_anonymous(range, Perms::RW, ShareMode::Private, "m")
+            .unwrap();
         s.touch_range(range, true, &clock, &model).unwrap();
         assert!(s.rss_bytes() > 0);
         s.unmap(range, &clock, &model).unwrap();
@@ -714,7 +737,8 @@ mod tests {
         let (clock, model) = setup();
         let mut s = AddressSpace::new("s");
         let range = VpnRange::new(0, 1);
-        s.map_anonymous(range, Perms::RW, ShareMode::Private, "m").unwrap();
+        s.map_anonymous(range, Perms::RW, ShareMode::Private, "m")
+            .unwrap();
         s.write(0, 0, &[1], &clock, &model).unwrap();
         s.protect(range, Perms::RO).unwrap();
         assert!(matches!(
@@ -749,13 +773,16 @@ mod tests {
         let mut a = AddressSpace::new("cold");
         a.attach_base(Arc::clone(&base), VpnRange::new(0, 64), "f", &cold, &model)
             .unwrap();
-        a.touch_range(VpnRange::new(0, 64), false, &cold, &model).unwrap();
+        a.touch_range(VpnRange::new(0, 64), false, &cold, &model)
+            .unwrap();
         let cold_cost = cold.now();
 
         let warm = SimClock::new();
         let mut b = AddressSpace::new("warm");
-        b.attach_base(base, VpnRange::new(0, 64), "f", &warm, &model).unwrap();
-        b.touch_range(VpnRange::new(0, 64), false, &warm, &model).unwrap();
+        b.attach_base(base, VpnRange::new(0, 64), "f", &warm, &model)
+            .unwrap();
+        b.touch_range(VpnRange::new(0, 64), false, &warm, &model)
+            .unwrap();
         let warm_cost = warm.now();
 
         assert!(

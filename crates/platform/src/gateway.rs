@@ -169,7 +169,10 @@ mod tests {
         };
         assert_eq!(r.total(), SimNanos::from_millis(40));
         assert_eq!(r.execution_ratio(), 0.25);
-        let zero = InvocationReport { boot: SimNanos::ZERO, exec: SimNanos::ZERO };
+        let zero = InvocationReport {
+            boot: SimNanos::ZERO,
+            exec: SimNanos::ZERO,
+        };
         assert_eq!(zero.execution_ratio(), 0.0);
     }
 }

@@ -40,8 +40,8 @@ pub mod memory;
 pub mod policy;
 pub mod pool;
 mod registry;
-pub mod simulate;
 pub mod scaling;
+pub mod simulate;
 
 pub use error::PlatformError;
 pub use gateway::{Gateway, InvocationReport};

@@ -32,8 +32,7 @@ pub fn concurrent_usage<E: BootEngine>(
         outcome.program.invoke_handler(&clock, model)?;
         instances.push(outcome);
     }
-    let spaces: Vec<&memsim::AddressSpace> =
-        instances.iter().map(|i| &i.program.space).collect();
+    let spaces: Vec<&memsim::AddressSpace> = instances.iter().map(|i| &i.program.space).collect();
     let usages = accounting::usage(&spaces);
     Ok(accounting::average(&usages))
 }

@@ -125,8 +125,16 @@ mod tests {
             simulate_trace(&mut fork, &functions, 24, BootPolicy::AlwaysBoot, &model).unwrap();
 
         // §6.9: caching cannot fix the tail; fork boot can.
-        assert!(cached.startup.p99 > SimNanos::from_millis(50), "{:?}", cached.startup);
-        assert!(forked.startup.p99 < SimNanos::from_millis(5), "{:?}", forked.startup);
+        assert!(
+            cached.startup.p99 > SimNanos::from_millis(50),
+            "{:?}",
+            cached.startup
+        );
+        assert!(
+            forked.startup.p99 < SimNanos::from_millis(5),
+            "{:?}",
+            forked.startup
+        );
         assert_eq!(cached.hit_rate, 0.0, "working set exceeds the cache");
         assert_eq!(forked.hit_rate, 0.0, "fork boot has no cache to hit");
     }
@@ -145,7 +153,11 @@ mod tests {
         )
         .unwrap();
         // 4 cold boots, 36 hits.
-        assert!((outcome.hit_rate - 0.9).abs() < 1e-9, "{}", outcome.hit_rate);
+        assert!(
+            (outcome.hit_rate - 0.9).abs() < 1e-9,
+            "{}",
+            outcome.hit_rate
+        );
         // Median is a hit, p99 is still a cold boot.
         assert!(outcome.startup.p50 < SimNanos::from_millis(1));
         assert!(outcome.startup.p99 > SimNanos::from_millis(50));

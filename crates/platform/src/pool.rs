@@ -164,9 +164,7 @@ mod tests {
             0, // nothing is ever parked: every request "misses"
         );
         for i in 0..10 {
-            let (startup, _, reused) = pool
-                .serve(SimNanos::from_millis(i * 10), &model)
-                .unwrap();
+            let (startup, _, reused) = pool.serve(SimNanos::from_millis(i * 10), &model).unwrap();
             assert!(!reused);
             assert!(
                 startup < SimNanos::from_millis(1),

@@ -73,7 +73,10 @@ pub fn sweep<E: BootEngine>(
         drop(outcome); // the measured instance exits after serving
         let factor = contention_factor(n, model, &mut jitter);
         let startup = raw.now().scale(factor);
-        out.push(ScalePoint { running: n, startup });
+        out.push(ScalePoint {
+            running: n,
+            startup,
+        });
     }
     Ok(out)
 }
@@ -103,7 +106,10 @@ mod tests {
         // Compare without noise by averaging many draws.
         let avg = |model: &CostModel| -> f64 {
             let mut j = Jitter::seeded(1);
-            (0..64).map(|_| contention_factor(512, model, &mut j)).sum::<f64>() / 64.0
+            (0..64)
+                .map(|_| contention_factor(512, model, &mut j))
+                .sum::<f64>()
+                / 64.0
         };
         assert!(avg(&srv) < avg(&exp));
     }

@@ -147,7 +147,11 @@ mod tests {
         .unwrap();
         // 2 cold boots (one per function), 18 reuses.
         assert_eq!(outcome.pools.boots, 2);
-        assert!((outcome.reuse_rate - 0.9).abs() < 1e-9, "{}", outcome.reuse_rate);
+        assert!(
+            (outcome.reuse_rate - 0.9).abs() < 1e-9,
+            "{}",
+            outcome.reuse_rate
+        );
         // The p99 startup is still a cold boot: caching can't fix the tail.
         assert!(outcome.startup.p99 > SimNanos::from_millis(50));
         assert!(outcome.startup.p50 < SimNanos::from_millis(1));
@@ -220,8 +224,14 @@ mod tests {
     fn unsorted_trace_rejected() {
         let model = CostModel::experimental_machine();
         let bad = vec![
-            TraceRequest { arrival: SimNanos::from_secs(1), function: 0 },
-            TraceRequest { arrival: SimNanos::ZERO, function: 0 },
+            TraceRequest {
+                arrival: SimNanos::from_secs(1),
+                function: 0,
+            },
+            TraceRequest {
+                arrival: SimNanos::ZERO,
+                function: 0,
+            },
         ];
         let _ = run(
             &[AppProfile::c_hello()],

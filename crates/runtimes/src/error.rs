@@ -58,7 +58,9 @@ mod tests {
         assert!(k.to_string().contains("kernel"));
         let m: RuntimeError = memsim::MemError::Unmapped { vpn: 5 }.into();
         assert!(m.to_string().contains("memory"));
-        assert!(RuntimeError::Phase { detail: "x" }.to_string().contains("phase"));
+        assert!(RuntimeError::Phase { detail: "x" }
+            .to_string()
+            .contains("phase"));
         assert!(Error::source(&k).is_some());
     }
 }

@@ -97,7 +97,16 @@ impl AppProfile {
 
     /// Nginx web server (the paper's real C application, v1.11.3).
     pub fn c_nginx() -> AppProfile {
-        let mut p = Self::base("C-Nginx", RuntimeKind::C, 24.0, 30, 4_000.0, 512, 7_000, 1.2);
+        let mut p = Self::base(
+            "C-Nginx",
+            RuntimeKind::C,
+            24.0,
+            30,
+            4_000.0,
+            512,
+            7_000,
+            1.2,
+        );
         p.rootfs_files = 40;
         p
     }
@@ -105,7 +114,14 @@ impl AppProfile {
     /// Java "helloworld" (Table 2's lightweight Java function).
     pub fn java_hello() -> AppProfile {
         let mut p = Self::base(
-            "Java-hello", RuntimeKind::Java, 505.0, 420, 280.0, 12_800, 29_500, 0.5,
+            "Java-hello",
+            RuntimeKind::Java,
+            505.0,
+            420,
+            280.0,
+            12_800,
+            29_500,
+            0.5,
         );
         p.rootfs_files = 64;
         p.rootfs_file_size = 32 << 10;
@@ -116,7 +132,14 @@ impl AppProfile {
     /// start, 200 MB app memory, 37 838 kernel objects).
     pub fn java_specjbb() -> AppProfile {
         let mut p = Self::base(
-            "Java-SPECjbb", RuntimeKind::Java, 1_796.0, 460, 280.0, 51_200, 37_838, 2_643.8,
+            "Java-SPECjbb",
+            RuntimeKind::Java,
+            1_796.0,
+            460,
+            280.0,
+            51_200,
+            37_838,
+            2_643.8,
         );
         p.exec_touch_fraction = 0.30;
         p.exec_alloc_pages = 512;
@@ -128,13 +151,29 @@ impl AppProfile {
 
     /// Python "helloworld".
     pub fn python_hello() -> AppProfile {
-        Self::base("Python-hello", RuntimeKind::Python, 84.0, 40, 800.0, 1_536, 16_500, 0.3)
+        Self::base(
+            "Python-hello",
+            RuntimeKind::Python,
+            84.0,
+            40,
+            800.0,
+            1_536,
+            16_500,
+            0.3,
+        )
     }
 
     /// Django web framework (the paper's real Python application).
     pub fn python_django() -> AppProfile {
         let mut p = Self::base(
-            "Python-Django", RuntimeKind::Python, 84.0, 310, 800.0, 10_240, 15_000, 25.0,
+            "Python-Django",
+            RuntimeKind::Python,
+            84.0,
+            310,
+            800.0,
+            10_240,
+            15_000,
+            25.0,
         );
         p.rootfs_files = 80;
         p
@@ -142,22 +181,58 @@ impl AppProfile {
 
     /// Ruby "helloworld".
     pub fn ruby_hello() -> AppProfile {
-        Self::base("Ruby-hello", RuntimeKind::Ruby, 94.0, 30, 1_000.0, 1_024, 24_000, 0.3)
+        Self::base(
+            "Ruby-hello",
+            RuntimeKind::Ruby,
+            94.0,
+            30,
+            1_000.0,
+            1_024,
+            24_000,
+            0.3,
+        )
     }
 
     /// Sinatra web library (the paper's real Ruby application).
     pub fn ruby_sinatra() -> AppProfile {
-        Self::base("Ruby-Sinatra", RuntimeKind::Ruby, 94.0, 230, 1_000.0, 6_144, 12_000, 18.0)
+        Self::base(
+            "Ruby-Sinatra",
+            RuntimeKind::Ruby,
+            94.0,
+            230,
+            1_000.0,
+            6_144,
+            12_000,
+            18.0,
+        )
     }
 
     /// Node.js "helloworld".
     pub fn node_hello() -> AppProfile {
-        Self::base("Node.js-hello", RuntimeKind::Node, 108.0, 40, 900.0, 2_048, 16_500, 0.3)
+        Self::base(
+            "Node.js-hello",
+            RuntimeKind::Node,
+            108.0,
+            40,
+            900.0,
+            2_048,
+            16_500,
+            0.3,
+        )
     }
 
     /// Node.js web server (the paper's real Node application).
     pub fn node_web() -> AppProfile {
-        Self::base("Node.js-Web", RuntimeKind::Node, 108.0, 260, 900.0, 6_144, 9_000, 8.0)
+        Self::base(
+            "Node.js-Web",
+            RuntimeKind::Node,
+            108.0,
+            260,
+            900.0,
+            6_144,
+            9_000,
+            8.0,
+        )
     }
 
     /// The ten micro/real applications of Figure 11, in figure order.
@@ -196,9 +271,19 @@ impl AppProfile {
     pub fn build_fs_server(&self) -> Arc<FsServer> {
         Arc::new(
             FsServer::builder(self.name.clone())
-                .file("/app/handler.bin", format!("handler:{}", self.name).into_bytes())
-                .file("/app/config.json", vec![b'{'; (self.config_kib as usize) << 10])
-                .synthetic_tree("/lib", self.rootfs_files as usize, self.rootfs_file_size as usize)
+                .file(
+                    "/app/handler.bin",
+                    format!("handler:{}", self.name).into_bytes(),
+                )
+                .file(
+                    "/app/config.json",
+                    vec![b'{'; (self.config_kib as usize) << 10],
+                )
+                .synthetic_tree(
+                    "/lib",
+                    self.rootfs_files as usize,
+                    self.rootfs_file_size as usize,
+                )
                 .persistent("/var/log/function.log")
                 .build(),
         )
@@ -238,8 +323,8 @@ mod tests {
         let p = AppProfile::java_specjbb();
         assert_eq!(p.kernel_objects, 37_838);
         assert_eq!(p.init_heap_pages * 4096, 200 << 20); // 200 MB
-        // JVM start + class load ≈ 1.98 s (Fig. 2's 1 850 ms JVM start plus
-        // class loading; heap-touch faults add the remainder in simulation).
+                                                         // JVM start + class load ≈ 1.98 s (Fig. 2's 1 850 ms JVM start plus
+                                                         // class loading; heap-touch faults add the remainder in simulation).
         let est = p.app_init_estimate().as_millis_f64();
         assert!((1_900.0..2_000.0).contains(&est), "est {est}");
         assert_eq!(p.exec_time, SimNanos::from_micros(2_643_800));
@@ -247,12 +332,20 @@ mod tests {
 
     #[test]
     fn hello_apps_are_light() {
-        for p in [AppProfile::c_hello(), AppProfile::python_hello(), AppProfile::ruby_hello()] {
+        for p in [
+            AppProfile::c_hello(),
+            AppProfile::python_hello(),
+            AppProfile::ruby_hello(),
+        ] {
             // Light in memory and handler work; the kernel-object counts are
             // calibrated against the paper's §6.2 warm-boot latencies.
             assert!(p.init_heap_pages <= 2_048, "{}", p.name);
             assert!(p.exec_time < SimNanos::from_millis(1), "{}", p.name);
-            assert!(p.kernel_objects < AppProfile::java_specjbb().kernel_objects, "{}", p.name);
+            assert!(
+                p.kernel_objects < AppProfile::java_specjbb().kernel_objects,
+                "{}",
+                p.name
+            );
         }
     }
 
@@ -261,7 +354,11 @@ mod tests {
         // The VM/interpreter start itself dominates for high-level languages
         // (paper §2.2); C pays only loader work.
         let c = AppProfile::c_hello().runtime_start;
-        for p in [AppProfile::java_hello(), AppProfile::python_hello(), AppProfile::node_hello()] {
+        for p in [
+            AppProfile::java_hello(),
+            AppProfile::python_hello(),
+            AppProfile::node_hello(),
+        ] {
             assert!(p.runtime_start > c, "{} VM start not slower than C", p.name);
             assert!(p.runtime.needs_vm());
         }

@@ -196,7 +196,9 @@ impl WrappedProgram {
         }
 
         // 4. Leave behind the kernel object graph the paper counts.
-        self.profile.graph_spec().populate(&mut self.kernel, clock, model)?;
+        self.profile
+            .graph_spec()
+            .populate(&mut self.kernel, clock, model)?;
 
         // 5. Fine-grained entry point: hoisted fraction of handler prep runs
         //    before the checkpoint (§6.7).
@@ -233,14 +235,22 @@ impl WrappedProgram {
         // Touch a deterministic, strided subset of the initialized heap.
         let heap = self.profile.heap_range();
         let touch = ((heap.len() as f64 * self.profile.exec_touch_fraction) as u64).min(heap.len());
-        let stride = if touch == 0 { 1 } else { (heap.len() / touch.max(1)).max(1) };
+        let stride = if touch == 0 {
+            1
+        } else {
+            (heap.len() / touch.max(1)).max(1)
+        };
         let mut touched = 0u64;
         let mut written = 0u64;
         let mut buf = [0u8; 4];
         let mut vpn = heap.start;
         while vpn < heap.end && touched < touch {
             self.space.read(vpn, 0, &mut buf, clock, model)?;
-            debug_assert_eq!(buf[0], heap_page_byte(vpn), "restored heap corrupt at {vpn:#x}");
+            debug_assert_eq!(
+                buf[0],
+                heap_page_byte(vpn),
+                "restored heap corrupt at {vpn:#x}"
+            );
             touched += 1;
             if (written as f64) < touched as f64 * self.profile.exec_write_fraction {
                 self.space.write(vpn, 8, &buf, clock, model)?;
@@ -267,7 +277,10 @@ impl WrappedProgram {
         use guest_kernel::{SyscallInvocation, SyscallRet};
         if self.profile.exec_io {
             let fd = match self.kernel.syscall(
-                SyscallInvocation::Openat { path: "/app/handler.bin", writable: false },
+                SyscallInvocation::Openat {
+                    path: "/app/handler.bin",
+                    writable: false,
+                },
                 clock,
                 model,
             )? {
@@ -279,7 +292,10 @@ impl WrappedProgram {
             self.kernel
                 .syscall(SyscallInvocation::Close { fd }, clock, model)?;
             let log = match self.kernel.syscall(
-                SyscallInvocation::Openat { path: "/var/log/function.log", writable: true },
+                SyscallInvocation::Openat {
+                    path: "/var/log/function.log",
+                    writable: true,
+                },
                 clock,
                 model,
             )? {
@@ -287,7 +303,10 @@ impl WrappedProgram {
                 other => unreachable!("openat returned {other:?}"),
             };
             self.kernel.syscall(
-                SyscallInvocation::Write { fd: log, data: b"request served\n" },
+                SyscallInvocation::Write {
+                    fd: log,
+                    data: b"request served\n",
+                },
                 clock,
                 model,
             )?;
@@ -390,7 +409,11 @@ mod tests {
         let ms = report.init_time.as_millis_f64();
         assert!((1_900.0..2_100.0).contains(&ms), "init {ms} ms");
         // Object graph within 10% of the paper's 37 838.
-        assert!((34_000..42_000).contains(&report.kernel_objects), "{}", report.kernel_objects);
+        assert!(
+            (34_000..42_000).contains(&report.kernel_objects),
+            "{}",
+            report.kernel_objects
+        );
     }
 
     #[test]
@@ -462,7 +485,10 @@ mod tests {
     fn checkpoint_source_captures_everything() {
         let (clock, model) = setup();
         let mut p = WrappedProgram::start(&AppProfile::c_hello(), &clock, &model).unwrap();
-        assert!(p.checkpoint_source(&clock, &model).is_err(), "must be at entry point");
+        assert!(
+            p.checkpoint_source(&clock, &model).is_err(),
+            "must be at entry point"
+        );
         p.run_to_entry_point(&clock, &model).unwrap();
         let src = p.checkpoint_source(&SimClock::new(), &model).unwrap();
         assert_eq!(src.objects.len() as u64, p.kernel.object_count());

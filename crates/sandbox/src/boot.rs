@@ -45,7 +45,8 @@ pub struct BootOutcome {
 impl BootOutcome {
     /// Latency attributed to sandbox initialization (Fig. 4).
     pub fn sandbox_time(&self) -> SimNanos {
-        self.breakdown.total_matching(|n| n.starts_with(PHASE_SANDBOX))
+        self.breakdown
+            .total_matching(|n| n.starts_with(PHASE_SANDBOX))
     }
 
     /// Latency attributed to application initialization (Fig. 4). Restore

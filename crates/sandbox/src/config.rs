@@ -34,7 +34,8 @@ pub struct OciConfig {
 impl OciConfig {
     /// A bundle for `function` with the catalogue defaults.
     pub fn for_function(function: &str, pad_to_kib: u32) -> OciConfig {
-        let padding = "x".repeat((usize::try_from(pad_to_kib).expect("small") << 10).saturating_sub(256));
+        let padding =
+            "x".repeat((usize::try_from(pad_to_kib).expect("small") << 10).saturating_sub(256));
         OciConfig {
             oci_version: "1.0.2".into(),
             id: function.into(),
@@ -60,9 +61,15 @@ impl OciConfig {
     /// # Errors
     ///
     /// [`SandboxError::Config`] on malformed JSON.
-    pub fn parse(json: &str, clock: &SimClock, model: &CostModel) -> Result<OciConfig, SandboxError> {
+    pub fn parse(
+        json: &str,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<OciConfig, SandboxError> {
         let kib = (json.len() as u64) >> 10;
-        clock.charge(model.host.config_parse_base + model.host.config_parse_per_kib.saturating_mul(kib));
+        clock.charge(
+            model.host.config_parse_base + model.host.config_parse_per_kib.saturating_mul(kib),
+        );
         serde_json::from_str(json).map_err(|e| SandboxError::Config {
             detail: e.to_string(),
         })

@@ -46,7 +46,9 @@ impl BootEngine for DockerEngine {
         let mut rec = PhaseRecorder::new(clock);
 
         let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
-        rec.phase("sandbox:parse-config", |clk| OciConfig::parse(&json, clk, model))?;
+        rec.phase("sandbox:parse-config", |clk| {
+            OciConfig::parse(&json, clk, model)
+        })?;
         rec.phase("sandbox:container-runtime", |clk| {
             clk.charge(model.host.container_runtime_overhead);
         });
@@ -90,7 +92,9 @@ mod tests {
         let model = CostModel::experimental_machine();
         let clock = SimClock::new();
         let mut engine = DockerEngine::new();
-        let boot = engine.boot(&AppProfile::python_hello(), &clock, &model).unwrap();
+        let boot = engine
+            .boot(&AppProfile::python_hello(), &clock, &model)
+            .unwrap();
         assert_eq!(boot.system, "Docker");
         // Paper: Docker startup > 100 ms; Python-hello is sandbox-dominated.
         let total = boot.boot_latency.as_millis_f64();

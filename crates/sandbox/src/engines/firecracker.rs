@@ -54,8 +54,12 @@ impl BootEngine for FirecrackerEngine {
         let mut rec = PhaseRecorder::new(clock);
 
         let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
-        let config = rec.phase("sandbox:parse-config", |clk| OciConfig::parse(&json, clk, model))?;
-        rec.phase("sandbox:vmm-process", |clk| clk.charge(model.host.process_spawn));
+        let config = rec.phase("sandbox:parse-config", |clk| {
+            OciConfig::parse(&json, clk, model)
+        })?;
+        rec.phase("sandbox:vmm-process", |clk| {
+            clk.charge(model.host.process_spawn)
+        });
         rec.phase("sandbox:kvm-setup", |clk| {
             virtualization_setup(self.tweaks, config.vcpus, 4, clk, model)
         });
@@ -91,7 +95,12 @@ mod tests {
         // before application init.
         let sandbox = boot.sandbox_time().as_millis_f64();
         assert!((100.0..140.0).contains(&sandbox), "sandbox {sandbox} ms");
-        assert!(boot.breakdown.total_for("sandbox:guest-linux-boot").as_millis_f64() > 90.0);
+        assert!(
+            boot.breakdown
+                .total_for("sandbox:guest-linux-boot")
+                .as_millis_f64()
+                > 90.0
+        );
     }
 
     #[test]
@@ -100,7 +109,9 @@ mod tests {
         let profile = AppProfile::c_hello();
 
         let base = SimClock::new();
-        FirecrackerEngine::new().boot(&profile, &base, &model).unwrap();
+        FirecrackerEngine::new()
+            .boot(&profile, &base, &model)
+            .unwrap();
         let pml = SimClock::new();
         FirecrackerEngine::with_tweaks(HostTweaks::upstream())
             .boot(&profile, &pml, &model)

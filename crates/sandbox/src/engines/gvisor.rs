@@ -43,7 +43,9 @@ impl GvisorEngine {
         model: &CostModel,
     ) -> Result<WrappedProgram, SandboxError> {
         let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
-        let config = rec.phase("sandbox:parse-config", |clk| OciConfig::parse(&json, clk, model))?;
+        let config = rec.phase("sandbox:parse-config", |clk| {
+            OciConfig::parse(&json, clk, model)
+        })?;
         rec.phase("sandbox:boot-sandbox-process", |clk| {
             clk.charge(model.host.process_spawn); // the Sentry
             clk.charge(model.host.gofer_spawn); // the I/O (gofer) process
@@ -122,17 +124,14 @@ mod tests {
         let sandbox = boot.sandbox_time().as_millis_f64();
         assert!((20.0..28.0).contains(&sandbox), "sandbox {sandbox} ms");
         assert!(
-            boot.breakdown.total_for("sandbox:parse-config")
-                >= SimNanos::from_millis_f64(1.369)
+            boot.breakdown.total_for("sandbox:parse-config") >= SimNanos::from_millis_f64(1.369)
         );
-        assert!(
-            (19.0..21.0).contains(
-                &boot
-                    .breakdown
-                    .total_for("sandbox:load-task-image")
-                    .as_millis_f64()
-            )
-        );
+        assert!((19.0..21.0).contains(
+            &boot
+                .breakdown
+                .total_for("sandbox:load-task-image")
+                .as_millis_f64()
+        ));
     }
 
     #[test]

@@ -56,20 +56,18 @@ impl GvisorRestoreEngine {
     /// # Errors
     ///
     /// Substrate errors from the offline initialization run.
-    pub fn prepare(
-        &mut self,
-        profile: &AppProfile,
-        model: &CostModel,
-    ) -> Result<(), SandboxError> {
+    pub fn prepare(&mut self, profile: &AppProfile, model: &CostModel) -> Result<(), SandboxError> {
         if self.prepared.contains_key(&profile.name) {
             return Ok(());
         }
         let fs = profile.build_fs_server();
-        let mut program = WrappedProgram::start_with(profile, Arc::clone(&fs), &self.offline, model)?;
+        let mut program =
+            WrappedProgram::start_with(profile, Arc::clone(&fs), &self.offline, model)?;
         program.run_to_entry_point(&self.offline, model)?;
         let src = program.checkpoint_source(&self.offline, model)?;
         let image = classic::write(&src, &self.offline, model);
-        self.prepared.insert(profile.name.clone(), Prepared { image, fs });
+        self.prepared
+            .insert(profile.name.clone(), Prepared { image, fs });
         Ok(())
     }
 }
@@ -99,13 +97,8 @@ impl BootEngine for GvisorRestoreEngine {
 
         // Sandbox preparation (Fig. 2's restore path re-uses the boot
         // pipeline minus the task-image load).
-        let shell = GvisorEngine::prepare_sandbox(
-            HostTweaks::baseline(),
-            profile,
-            false,
-            &mut rec,
-            model,
-        )?;
+        let shell =
+            GvisorEngine::prepare_sandbox(HostTweaks::baseline(), profile, false, &mut rec, model)?;
         let mut space = shell.space;
 
         // Read the checkpoint: the C/R machinery's fixed cost plus the
@@ -131,13 +124,22 @@ impl BootEngine for GvisorRestoreEngine {
         // Eager memory load: disk read of the compressed stream, full
         // decompression, then copying every page into guest frames.
         rec.phase(PHASE_RESTORE_MEMORY, |clk| {
-            let on_disk =
-                (counts.body_bytes as f64 * model.mem.assumed_image_compression) as u64;
+            let on_disk = (counts.body_bytes as f64 * model.mem.assumed_image_compression) as u64;
             clk.charge(model.disk_read(on_disk));
             clk.charge(model.decompress(counts.body_bytes));
             clk.charge(model.memcpy(counts.app_bytes));
-            clk.charge(model.mem.page_fault.saturating_mul(src.app_pages.len() as u64));
-            space.map_anonymous(profile.heap_range(), Perms::RW, ShareMode::Private, "app-heap")?;
+            clk.charge(
+                model
+                    .mem
+                    .page_fault
+                    .saturating_mul(src.app_pages.len() as u64),
+            );
+            space.map_anonymous(
+                profile.heap_range(),
+                Perms::RW,
+                ShareMode::Private,
+                "app-heap",
+            )?;
             for page in &src.app_pages {
                 space.install_page(page.vpn, &page.data)?;
             }
@@ -177,13 +179,21 @@ mod tests {
         let model = CostModel::experimental_machine();
         let profile = AppProfile::python_django();
 
-        let gv = GvisorEngine::new().boot(&profile, &SimClock::new(), &model).unwrap();
+        let gv = GvisorEngine::new()
+            .boot(&profile, &SimClock::new(), &model)
+            .unwrap();
         let clock = SimClock::new();
-        let rs = GvisorRestoreEngine::new().boot(&profile, &clock, &model).unwrap();
+        let rs = GvisorRestoreEngine::new()
+            .boot(&profile, &clock, &model)
+            .unwrap();
         let speedup = gv.boot_latency.as_nanos() as f64 / rs.boot_latency.as_nanos() as f64;
         // Paper Fig. 6: 2–5× over gVisor, but still >100 ms.
         assert!(speedup > 1.8, "speedup {speedup}");
-        assert!(rs.boot_latency > SimNanos::from_millis(100), "{}", rs.boot_latency);
+        assert!(
+            rs.boot_latency > SimNanos::from_millis(100),
+            "{}",
+            rs.boot_latency
+        );
     }
 
     #[test]
@@ -197,8 +207,14 @@ mod tests {
         let (kernel, memory, io) = boot.restore_split();
         // Fig. 2: recover kernel 56.7 ms (+ fixed machinery), memory 128.8–
         // 261 ms, reconnect I/O 79.2 ms.
-        assert!((120.0..170.0).contains(&kernel.as_millis_f64()), "kernel {kernel}");
-        assert!((200.0..290.0).contains(&memory.as_millis_f64()), "memory {memory}");
+        assert!(
+            (120.0..170.0).contains(&kernel.as_millis_f64()),
+            "kernel {kernel}"
+        );
+        assert!(
+            (200.0..290.0).contains(&memory.as_millis_f64()),
+            "memory {memory}"
+        );
         assert!((45.0..95.0).contains(&io.as_millis_f64()), "io {io}");
     }
 

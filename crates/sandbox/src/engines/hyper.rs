@@ -39,7 +39,9 @@ impl BootEngine for HyperContainerEngine {
         let mut rec = PhaseRecorder::new(clock);
 
         let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
-        let config = rec.phase("sandbox:parse-config", |clk| OciConfig::parse(&json, clk, model))?;
+        let config = rec.phase("sandbox:parse-config", |clk| {
+            OciConfig::parse(&json, clk, model)
+        })?;
         rec.phase("sandbox:hyperd", |clk| {
             clk.charge(model.host.hyper_runtime_overhead);
         });

@@ -80,7 +80,9 @@ mod tests {
         assert!(e.to_string().contains("image"));
         let e: SandboxError = memsim::MemError::Unmapped { vpn: 0 }.into();
         assert!(e.to_string().contains("memory"));
-        let e = SandboxError::Config { detail: "bad json".into() };
+        let e = SandboxError::Config {
+            detail: "bad json".into(),
+        };
         assert!(e.to_string().contains("bad json"));
         assert!(Error::source(&e).is_none());
     }

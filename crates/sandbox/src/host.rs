@@ -101,7 +101,10 @@ impl KvmDevice {
             model.kvm.kvcalloc_cached
         } else {
             model.kvm.kvcalloc_base
-                + model.kvm.kvcalloc_growth.saturating_mul(self.kvcalloc_count)
+                + model
+                    .kvm
+                    .kvcalloc_growth
+                    .saturating_mul(self.kvcalloc_count)
         };
         self.kvcalloc_count += 1;
         clock.charge(latency);
@@ -117,8 +120,7 @@ impl KvmDevice {
         } else {
             model.kvm.set_memory_region_pml_extra
         };
-        let latency =
-            model.kvm.set_memory_region_base + per_region.saturating_mul(self.regions);
+        let latency = model.kvm.set_memory_region_base + per_region.saturating_mul(self.regions);
         self.regions += 1;
         clock.charge(latency);
         latency
@@ -209,10 +211,14 @@ mod tests {
             }
             kvm.kvcalloc(&clock, &model)
         };
-        assert!(sixth > first.saturating_mul(3), "no growth: {first} → {sixth}");
+        assert!(
+            sixth > first.saturating_mul(3),
+            "no growth: {first} → {sixth}"
+        );
         // Paper: ~1.6 ms total over the boot's kvcalloc invocations.
-        let total: SimNanos = (0..6).map(|i| model.kvm.kvcalloc_base
-            + model.kvm.kvcalloc_growth.saturating_mul(i)).sum();
+        let total: SimNanos = (0..6)
+            .map(|i| model.kvm.kvcalloc_base + model.kvm.kvcalloc_growth.saturating_mul(i))
+            .sum();
         assert!((1.0..2.2).contains(&total.as_millis_f64()), "{total}");
     }
 
@@ -264,7 +270,10 @@ mod tests {
         let mut table = HostFdTable::new(HostTweaks::catalyzer(), &model);
         for _ in 0..200 {
             let l = table.dup(&clock, &model);
-            assert!(l < SimNanos::from_millis(1), "burst leaked to critical path");
+            assert!(
+                l < SimNanos::from_millis(1),
+                "burst leaked to critical path"
+            );
         }
         assert_eq!(table.bursts_taken(), 0);
         assert_eq!(table.bursts_deferred(), 2);

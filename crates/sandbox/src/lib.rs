@@ -46,7 +46,10 @@ mod error;
 pub mod host;
 pub mod taxonomy;
 
-pub use boot::{BootEngine, BootOutcome, IsolationLevel, PHASE_APP, PHASE_RESTORE_IO, PHASE_RESTORE_KERNEL, PHASE_RESTORE_MEMORY, PHASE_SANDBOX};
+pub use boot::{
+    BootEngine, BootOutcome, IsolationLevel, PHASE_APP, PHASE_RESTORE_IO, PHASE_RESTORE_KERNEL,
+    PHASE_RESTORE_MEMORY, PHASE_SANDBOX,
+};
 pub use engines::docker::DockerEngine;
 pub use engines::firecracker::FirecrackerEngine;
 pub use engines::gvisor::GvisorEngine;

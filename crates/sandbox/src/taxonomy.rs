@@ -32,15 +32,60 @@ pub fn design_space() -> Vec<DesignPoint> {
     use IsolationLevel::*;
     use StartupClass::*;
     vec![
-        DesignPoint { system: "HyperContainer", isolation: High, startup: Slow, implemented: true },
-        DesignPoint { system: "gVisor", isolation: High, startup: Slow, implemented: true },
-        DesignPoint { system: "Docker", isolation: Medium, startup: Fast, implemented: true },
-        DesignPoint { system: "FireCracker", isolation: High, startup: Fast, implemented: true },
-        DesignPoint { system: "gVisor-restore", isolation: High, startup: Fast, implemented: true },
-        DesignPoint { system: "SOCK", isolation: Medium, startup: Fast, implemented: false },
-        DesignPoint { system: "SAND", isolation: Medium, startup: Fast, implemented: false },
-        DesignPoint { system: "Replayable-Execution", isolation: Medium, startup: Extreme, implemented: false },
-        DesignPoint { system: "Catalyzer", isolation: High, startup: Extreme, implemented: true },
+        DesignPoint {
+            system: "HyperContainer",
+            isolation: High,
+            startup: Slow,
+            implemented: true,
+        },
+        DesignPoint {
+            system: "gVisor",
+            isolation: High,
+            startup: Slow,
+            implemented: true,
+        },
+        DesignPoint {
+            system: "Docker",
+            isolation: Medium,
+            startup: Fast,
+            implemented: true,
+        },
+        DesignPoint {
+            system: "FireCracker",
+            isolation: High,
+            startup: Fast,
+            implemented: true,
+        },
+        DesignPoint {
+            system: "gVisor-restore",
+            isolation: High,
+            startup: Fast,
+            implemented: true,
+        },
+        DesignPoint {
+            system: "SOCK",
+            isolation: Medium,
+            startup: Fast,
+            implemented: false,
+        },
+        DesignPoint {
+            system: "SAND",
+            isolation: Medium,
+            startup: Fast,
+            implemented: false,
+        },
+        DesignPoint {
+            system: "Replayable-Execution",
+            isolation: Medium,
+            startup: Extreme,
+            implemented: false,
+        },
+        DesignPoint {
+            system: "Catalyzer",
+            isolation: High,
+            startup: Extreme,
+            implemented: true,
+        },
     ]
 }
 
@@ -62,7 +107,14 @@ mod tests {
     #[test]
     fn every_engine_in_this_repo_is_placed() {
         let points = design_space();
-        for name in ["Docker", "FireCracker", "gVisor", "gVisor-restore", "HyperContainer", "Catalyzer"] {
+        for name in [
+            "Docker",
+            "FireCracker",
+            "gVisor",
+            "gVisor-restore",
+            "HyperContainer",
+            "Catalyzer",
+        ] {
             assert!(
                 points.iter().any(|p| p.system == name && p.implemented),
                 "{name} missing from design space"

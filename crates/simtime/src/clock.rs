@@ -68,9 +68,7 @@ impl SimClock {
     where
         I: IntoIterator<Item = SimNanos>,
     {
-        let critical = worker_costs
-            .into_iter()
-            .fold(SimNanos::ZERO, SimNanos::max);
+        let critical = worker_costs.into_iter().fold(SimNanos::ZERO, SimNanos::max);
         self.charge(critical);
         critical
     }
@@ -100,7 +98,9 @@ impl SimClock {
 
 impl fmt::Debug for SimClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SimClock").field("now", &self.now()).finish()
+        f.debug_struct("SimClock")
+            .field("now", &self.now())
+            .finish()
     }
 }
 

@@ -229,7 +229,10 @@ mod tests {
         assert_eq!(SimNanos::from_micros(1), SimNanos::from_nanos(1_000));
         assert_eq!(SimNanos::from_millis(1), SimNanos::from_micros(1_000));
         assert_eq!(SimNanos::from_secs(1), SimNanos::from_millis(1_000));
-        assert_eq!(SimNanos::from_millis_f64(1.369), SimNanos::from_nanos(1_369_000));
+        assert_eq!(
+            SimNanos::from_millis_f64(1.369),
+            SimNanos::from_nanos(1_369_000)
+        );
         assert_eq!(SimNanos::from_micros_f64(0.5), SimNanos::from_nanos(500));
     }
 
@@ -257,8 +260,14 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(SimNanos::MAX.saturating_add(SimNanos::from_nanos(1)), SimNanos::MAX);
-        assert_eq!(SimNanos::ZERO.saturating_sub(SimNanos::from_nanos(1)), SimNanos::ZERO);
+        assert_eq!(
+            SimNanos::MAX.saturating_add(SimNanos::from_nanos(1)),
+            SimNanos::MAX
+        );
+        assert_eq!(
+            SimNanos::ZERO.saturating_sub(SimNanos::from_nanos(1)),
+            SimNanos::ZERO
+        );
         assert_eq!(SimNanos::MAX.saturating_mul(2), SimNanos::MAX);
     }
 
@@ -291,7 +300,13 @@ mod tests {
 
     #[test]
     fn scale_rounds() {
-        assert_eq!(SimNanos::from_nanos(10).scale(0.25), SimNanos::from_nanos(3));
-        assert_eq!(SimNanos::from_millis(100).scale(1.5), SimNanos::from_millis(150));
+        assert_eq!(
+            SimNanos::from_nanos(10).scale(0.25),
+            SimNanos::from_nanos(3)
+        );
+        assert_eq!(
+            SimNanos::from_millis(100).scale(1.5),
+            SimNanos::from_millis(150)
+        );
     }
 }

@@ -42,8 +42,8 @@
 mod clock;
 mod cost;
 mod duration;
-mod phase;
 pub mod jitter;
+mod phase;
 pub mod stats;
 
 pub use clock::SimClock;

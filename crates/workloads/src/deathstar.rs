@@ -94,7 +94,10 @@ pub fn text_service(body: &str) -> (Vec<String>, Vec<String>) {
     for token in body.split_whitespace() {
         if let Some(name) = token.strip_prefix('@') {
             if !name.is_empty() {
-                mentions.push(name.trim_end_matches(|c: char| !c.is_alphanumeric()).to_string());
+                mentions.push(
+                    name.trim_end_matches(|c: char| !c.is_alphanumeric())
+                        .to_string(),
+                );
             }
         } else if token.starts_with("http://") || token.starts_with("https://") {
             urls.push(token.to_string());
@@ -168,8 +171,7 @@ mod tests {
 
     #[test]
     fn text_extracts_mentions_and_urls() {
-        let (mentions, urls) =
-            text_service("hi @alice check https://example.com and @bob! thanks");
+        let (mentions, urls) = text_service("hi @alice check https://example.com and @bob! thanks");
         assert_eq!(mentions, vec!["alice", "bob"]);
         assert_eq!(urls, vec!["https://example.com"]);
         let (m, u) = text_service("");

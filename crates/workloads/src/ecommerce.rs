@@ -156,7 +156,12 @@ impl Store {
     /// # Errors
     ///
     /// [`StoreError::NoSuchProduct`] or [`StoreError::OutOfStock`].
-    pub fn purchase(&mut self, user: u32, product: u32, quantity: u32) -> Result<Order, StoreError> {
+    pub fn purchase(
+        &mut self,
+        user: u32,
+        product: u32,
+        quantity: u32,
+    ) -> Result<Order, StoreError> {
         let p = self
             .products
             .get_mut(&product)
@@ -242,7 +247,11 @@ mod tests {
         for op in EcommerceOp::ALL {
             let p = op.profile();
             assert_eq!(p.runtime, RuntimeKind::Java);
-            assert!(p.app_init_estimate() > SimNanos::from_millis(500), "{}", p.name);
+            assert!(
+                p.app_init_estimate() > SimNanos::from_millis(500),
+                "{}",
+                p.name
+            );
         }
         assert!(EcommerceOp::Purchase.profile().exec_time > SimNanos::from_secs(1));
         assert!(EcommerceOp::Report.profile().exec_time < SimNanos::from_millis(500));
@@ -261,7 +270,10 @@ mod tests {
     #[test]
     fn purchase_failures() {
         let mut s = Store::with_catalogue(5);
-        assert_eq!(s.purchase(1, 99, 1).unwrap_err(), StoreError::NoSuchProduct(99));
+        assert_eq!(
+            s.purchase(1, 99, 1).unwrap_err(),
+            StoreError::NoSuchProduct(99)
+        );
         let stock = s.product(0).unwrap().stock;
         assert!(matches!(
             s.purchase(1, 0, stock + 1).unwrap_err(),
@@ -283,7 +295,10 @@ mod tests {
             assert!(![1, 5].contains(id), "already owned");
         }
         // Cheapest first.
-        let prices: Vec<u64> = ads.iter().map(|id| s.product(*id).unwrap().price_cents).collect();
+        let prices: Vec<u64> = ads
+            .iter()
+            .map(|id| s.product(*id).unwrap().price_cents)
+            .collect();
         assert!(prices.windows(2).all(|w| w[0] <= w[1]));
     }
 

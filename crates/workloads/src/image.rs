@@ -100,7 +100,11 @@ impl Image {
                     for dx in -1i64..=1 {
                         let nx = x as i64 + dx;
                         let ny = y as i64 + dy;
-                        if nx >= 0 && ny >= 0 && (nx as usize) < self.width && (ny as usize) < self.height {
+                        if nx >= 0
+                            && ny >= 0
+                            && (nx as usize) < self.width
+                            && (ny as usize) < self.height
+                        {
                             let p = self.pixel(nx as usize, ny as usize);
                             for c in 0..4 {
                                 acc[c] += u32::from(p[c]);
@@ -120,7 +124,11 @@ impl Image {
 
     /// Horizontal roll by `delta` pixels (the Pillow tutorial's `roll`).
     pub fn roll(&self, delta: usize) -> Image {
-        let delta = if self.width == 0 { 0 } else { delta % self.width };
+        let delta = if self.width == 0 {
+            0
+        } else {
+            delta % self.width
+        };
         let mut out = Image::new(self.width, self.height);
         for y in 0..self.height {
             for x in 0..self.width {

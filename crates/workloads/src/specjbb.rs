@@ -153,8 +153,7 @@ mod tests {
         assert!(report.new_orders > 500, "{report:?}");
         assert!(report.payments_cents > 0);
         assert!(report.status_queries > 100);
-        let processed =
-            report.new_orders + report.status_queries / 2 + report.rejected;
+        let processed = report.new_orders + report.status_queries / 2 + report.rejected;
         assert!(processed > 1_000);
     }
 
@@ -169,9 +168,13 @@ mod tests {
     #[test]
     fn inventory_only_decreases_or_restocks() {
         let mut agent = BackendAgent::new(20, 5);
-        let initial: u32 = (0..20).map(|i| agent.store().product(i).unwrap().stock).sum();
+        let initial: u32 = (0..20)
+            .map(|i| agent.store().product(i).unwrap().stock)
+            .sum();
         agent.run_mix(800);
-        let after: u32 = (0..20).map(|i| agent.store().product(i).unwrap().stock).sum();
+        let after: u32 = (0..20)
+            .map(|i| agent.store().product(i).unwrap().stock)
+            .sum();
         assert!(after <= initial, "stock must be consumed by orders");
     }
 }

@@ -21,7 +21,13 @@ fn serve_trace<E: BootEngine>(
         gateway.register(s.clone());
     }
 
-    let requests = trace(services.len(), 40, 200.0, Popularity::Zipf { exponent: 1.1 }, 7);
+    let requests = trace(
+        services.len(),
+        40,
+        200.0,
+        Popularity::Zipf { exponent: 1.1 },
+        7,
+    );
     let mut boot_total = SimNanos::ZERO;
     let mut exec_total = SimNanos::ZERO;
     let mut worst = SimNanos::ZERO;

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(GvisorEngine::new()),
         Box::new(GvisorRestoreEngine::new()),
     ];
-    println!("{:<20} {:>12} {:>12} {:>14}", "system", "startup", "sandbox", "app/restore");
+    println!(
+        "{:<20} {:>12} {:>12} {:>14}",
+        "system", "startup", "sandbox", "app/restore"
+    );
     for engine in &mut baselines {
         let clock = SimClock::new();
         let outcome = engine.boot(&profile, &clock, &model)?;

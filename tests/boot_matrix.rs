@@ -12,8 +12,15 @@ fn boot_and_serve(engine: &mut dyn BootEngine, profile: &AppProfile) -> (SimNano
     let clock = SimClock::new();
     let mut outcome = engine.boot(profile, &clock, &model).expect("boot");
     let boot = clock.now();
-    let exec = outcome.program.invoke_handler(&clock, &model).expect("handler");
-    assert!(exec.pages_touched > 0, "{}: handler touched nothing", outcome.system);
+    let exec = outcome
+        .program
+        .invoke_handler(&clock, &model)
+        .expect("handler");
+    assert!(
+        exec.pages_touched > 0,
+        "{}: handler touched nothing",
+        outcome.system
+    );
     (boot, clock.now() - boot)
 }
 
@@ -83,8 +90,14 @@ fn latency_ordering_matches_the_paper() {
 
     assert!(fork < warm, "fork {fork} !< warm {warm}");
     assert!(warm < cold, "warm {warm} !< cold {cold}");
-    assert!(cold < gv_restore, "cold {cold} !< gvisor-restore {gv_restore}");
-    assert!(gv_restore < gvisor, "gvisor-restore {gv_restore} !< gvisor {gvisor}");
+    assert!(
+        cold < gv_restore,
+        "cold {cold} !< gvisor-restore {gv_restore}"
+    );
+    assert!(
+        gv_restore < gvisor,
+        "gvisor-restore {gv_restore} !< gvisor {gvisor}"
+    );
     assert!(gvisor < hyper, "gvisor {gvisor} !< hyper {hyper}");
     // Headline: orders of magnitude between fork boot and gVisor.
     assert!(gvisor.as_nanos() / fork.as_nanos() > 100);
@@ -141,6 +154,10 @@ fn warm_boot_follows_cold_boot_within_the_papers_gap() {
         let gap = (cold - warm).as_millis_f64();
         // §6.2: "Catalyzer-restore usually needs extra 30ms over
         // Catalyzer-Zygote" — accept a 15–45 ms band.
-        assert!((15.0..45.0).contains(&gap), "{}: gap {gap} ms", profile.name);
+        assert!(
+            (15.0..45.0).contains(&gap),
+            "{}: gap {gap} ms",
+            profile.name
+        );
     }
 }

@@ -1,0 +1,29 @@
+//! Tier-1 gate: the workspace invariant checker must pass.
+//!
+//! This is `cargo run -p catalint` wired into the ordinary test suite, so
+//! plain `cargo test` refuses new determinism, panic-safety, hot-path-copy,
+//! or error-hygiene debt even when nobody invokes the binary. The tolerated
+//! pre-existing debt lives in `catalint.toml` at the workspace root.
+
+#[test]
+fn workspace_invariants_hold() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let outcome = catalint::check_workspace(root).expect("catalint scans the workspace");
+    if outcome.diff.is_clean() {
+        return;
+    }
+    let mut report = String::new();
+    for ex in &outcome.diff.exceeded {
+        report.push_str(&format!(
+            "[{}] {} fn {}: {} found, {} baselined\n",
+            ex.entry.pass, ex.entry.file, ex.entry.function, ex.entry.count, ex.allowed
+        ));
+        for site in &ex.sites {
+            report.push_str(&format!("    {site}\n"));
+        }
+    }
+    panic!(
+        "catalint found violations above the baseline — fix them or amend \
+         catalint.toml in the same change (see DESIGN.md):\n{report}"
+    );
+}

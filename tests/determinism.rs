@@ -19,7 +19,10 @@ fn full_boot_fingerprint() -> Vec<(String, u64)> {
             let clock = SimClock::new();
             let mut boot = cat.boot(mode, &profile, &clock, &model).unwrap();
             boot.program.invoke_handler(&clock, &model).unwrap();
-            out.push((format!("{}/{}", profile.name, mode.label()), clock.now().as_nanos()));
+            out.push((
+                format!("{}/{}", profile.name, mode.label()),
+                clock.now().as_nanos(),
+            ));
         }
     }
     out
@@ -59,7 +62,10 @@ fn traces_and_jitter_are_seed_stable() {
     let mut j1 = Jitter::seeded(77);
     let mut j2 = Jitter::seeded(77);
     for _ in 0..128 {
-        assert_eq!(j1.lognormal_factor(0.2).to_bits(), j2.lognormal_factor(0.2).to_bits());
+        assert_eq!(
+            j1.lognormal_factor(0.2).to_bits(),
+            j2.lognormal_factor(0.2).to_bits()
+        );
     }
 }
 
@@ -68,7 +74,8 @@ fn offline_work_is_deterministic_as_well() {
     let model = model();
     let offline = |_: u32| {
         let mut cat = Catalyzer::new();
-        cat.prewarm_image(&AppProfile::node_hello(), &model).unwrap();
+        cat.prewarm_image(&AppProfile::node_hello(), &model)
+            .unwrap();
         cat.offline_time().as_nanos()
     };
     assert_eq!(offline(0), offline(1));

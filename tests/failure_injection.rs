@@ -47,7 +47,12 @@ fn catalyzer_cannot_compile_an_image_for_a_broken_function() {
 fn fork_boot_without_template_is_a_config_error() {
     let model = model();
     let mut cat = Catalyzer::new();
-    match cat.boot(BootMode::Fork, &AppProfile::c_hello(), &SimClock::new(), &model) {
+    match cat.boot(
+        BootMode::Fork,
+        &AppProfile::c_hello(),
+        &SimClock::new(),
+        &model,
+    ) {
         Err(SandboxError::Config { detail }) => {
             assert!(detail.contains("template"), "{detail}");
         }

@@ -76,10 +76,20 @@ fn fig1_execution_ratio_distribution() {
     }
     let gv_cdf = Cdf::from_samples(gv_ratios.clone());
     let under_30 = gv_ratios.iter().filter(|&&r| r < 0.30).count();
-    assert!(under_30 >= 11, "only {under_30}/14 gVisor functions under 30%");
-    assert!(gv_cdf.max().unwrap() < 0.70, "max gVisor ratio {}", gv_cdf.max().unwrap());
+    assert!(
+        under_30 >= 11,
+        "only {under_30}/14 gVisor functions under 30%"
+    );
+    assert!(
+        gv_cdf.max().unwrap() < 0.70,
+        "max gVisor ratio {}",
+        gv_cdf.max().unwrap()
+    );
     let cat_over_70 = cat_ratios.iter().filter(|&&r| r > 0.70).count();
-    assert!(cat_over_70 >= 10, "only {cat_over_70}/14 Catalyzer functions over 70%");
+    assert!(
+        cat_over_70 >= 10,
+        "only {cat_over_70}/14 Catalyzer functions over 70%"
+    );
 }
 
 /// Fig. 13a: fork boot reduces DeathStar end-to-end latency 35–67x.
@@ -118,7 +128,10 @@ fn ecommerce_boot_share() {
         let name = op.profile().name;
         let g = gv.invoke(&name).unwrap();
         let share = g.boot.as_nanos() as f64 / g.total().as_nanos() as f64;
-        assert!((0.30..0.92).contains(&share), "{name}: gVisor boot share {share}");
+        assert!(
+            (0.30..0.92).contains(&share),
+            "{name}: gVisor boot share {share}"
+        );
         let c = fork.invoke(&name).unwrap();
         let share = c.boot.as_nanos() as f64 / c.total().as_nanos() as f64;
         assert!(share < 0.05, "{name}: Catalyzer boot share {share}");
@@ -161,7 +174,12 @@ fn scalability_under_concurrency() {
     let cat_pts =
         catalyzer_suite::platform::scaling::sweep(&mut cat, &profile, &points, &model, 5).unwrap();
     for p in &cat_pts {
-        assert!(p.startup < SimNanos::from_millis(10), "{}@{}", p.startup, p.running);
+        assert!(
+            p.startup < SimNanos::from_millis(10),
+            "{}@{}",
+            p.startup,
+            p.running
+        );
     }
 
     let mut rst = GvisorRestoreEngine::new();

@@ -63,9 +63,15 @@ fn every_boot_path_serves_the_same_initialized_heap() {
     };
 
     let mut gvisor = GvisorEngine::new();
-    check(gvisor.boot(&profile, &SimClock::new(), &model).unwrap(), "gVisor");
+    check(
+        gvisor.boot(&profile, &SimClock::new(), &model).unwrap(),
+        "gVisor",
+    );
     let mut restore = GvisorRestoreEngine::new();
-    check(restore.boot(&profile, &SimClock::new(), &model).unwrap(), "gVisor-restore");
+    check(
+        restore.boot(&profile, &SimClock::new(), &model).unwrap(),
+        "gVisor-restore",
+    );
 
     let mut cat = Catalyzer::new();
     cat.ensure_template(&profile, &model).unwrap();
@@ -99,7 +105,8 @@ fn catalyzer_restored_kernel_matches_checkpointed_graph() {
     assert_eq!(a.timers.len(), b.timers.len());
     assert_eq!(a.net.len(), b.net.len());
     assert_eq!(a.vfs.open_fds(), b.vfs.open_fds());
-    b.validate().expect("restored kernel must be self-consistent");
+    b.validate()
+        .expect("restored kernel must be self-consistent");
 }
 
 #[test]
@@ -163,7 +170,19 @@ fn sfork_children_share_fs_server_but_not_writes() {
     ));
 
     // Divergent overlay writes stay private.
-    let fd_a = a.program.kernel.vfs.create("/tmp/who", &clock, &model).unwrap();
-    a.program.kernel.vfs.write(fd_a, b"sandbox-a", &clock, &model).unwrap();
-    assert!(b.program.kernel.vfs.stat("/tmp/who").is_err(), "overlay leaked across sfork");
+    let fd_a = a
+        .program
+        .kernel
+        .vfs
+        .create("/tmp/who", &clock, &model)
+        .unwrap();
+    a.program
+        .kernel
+        .vfs
+        .write(fd_a, b"sandbox-a", &clock, &model)
+        .unwrap();
+    assert!(
+        b.program.kernel.vfs.stat("/tmp/who").is_err(),
+        "overlay leaked across sfork"
+    );
 }

@@ -48,7 +48,9 @@ fn pillow_ops_preserve_content_invariants_across_boot_paths() {
         let mut cat = Catalyzer::new();
         cat.ensure_template(&profile, &model).unwrap();
         let mut boot = cat.boot(mode, &profile, &SimClock::new(), &model).unwrap();
-        boot.program.invoke_handler(&SimClock::new(), &model).unwrap();
+        boot.program
+            .invoke_handler(&SimClock::new(), &model)
+            .unwrap();
         outputs.push(ImageOp::Transpose.apply(&input));
     }
     assert_eq!(outputs[0], outputs[1]);
@@ -85,6 +87,10 @@ fn ecommerce_invariants_hold_under_load() {
     let units: u64 = report.values().map(|(_, n)| *n).sum();
     assert_eq!(
         units,
-        store.orders().iter().map(|o| u64::from(o.quantity)).sum::<u64>()
+        store
+            .orders()
+            .iter()
+            .map(|o| u64::from(o.quantity))
+            .sum::<u64>()
     );
 }

@@ -1,0 +1,85 @@
+//! Minimal offline stand-in for `crossbeam`, covering only scoped threads.
+//!
+//! `crossbeam::thread::scope` is implemented on top of `std::thread::scope`
+//! (stable since Rust 1.63), preserving the crossbeam calling convention:
+//! the scope closure receives a scope handle, `spawn` passes an (ignored)
+//! argument to the worker closure, and both `scope` and `join` return
+//! `Result`s carrying panics as `Box<dyn Any + Send>`.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread support.
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// Result alias matching `crossbeam::thread`.
+    pub type ScopeResult<T> = std_thread::Result<T>;
+
+    /// Handle to a scope, through which worker threads are spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or panic.
+        pub fn join(self) -> ScopeResult<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives a placeholder
+        /// argument (crossbeam passes the scope; every caller in this
+        /// workspace ignores it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Creates a scope in which borrowed-data threads can be spawned.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` in this stand-in: `std::thread::scope` resumes
+    /// unwinding if a worker panicked, so panics propagate instead of being
+    /// captured. Callers that `.expect()` the result behave identically.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut data = vec![0u64; 8];
+        crate::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, slot) in data.iter_mut().enumerate() {
+                handles.push(scope.spawn(move |_| {
+                    *slot = i as u64 + 1;
+                    i
+                }));
+            }
+            for h in handles {
+                h.join().expect("worker");
+            }
+        })
+        .expect("scope");
+        assert_eq!(data, (1..=8).collect::<Vec<_>>());
+    }
+}

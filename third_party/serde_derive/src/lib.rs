@@ -1,0 +1,327 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-tree serde stand-in.
+//!
+//! The container this repo builds in has no crates.io access, so `syn` and
+//! `quote` are unavailable; the input is parsed directly from the
+//! `proc_macro::TokenStream`. Supported shapes — the only ones this
+//! workspace uses:
+//!
+//! - structs with named fields,
+//! - tuple structs (newtype structs serialize transparently, like serde),
+//! - enums whose variants are all unit variants (with or without explicit
+//!   discriminants).
+//!
+//! Unsupported shapes produce a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    let code = match parse(input) {
+        Ok(parsed) => gen(&parsed),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Parses a struct/enum item into the shapes we support.
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the `[...]` group
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1; // optional `(crate)` etc.
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde stand-in derive: expected struct/enum, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde stand-in derive: expected type name, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive: `{name}` is generic, which is unsupported"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                shape: Shape::Named(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Input {
+                name,
+                shape: Shape::Tuple(count_tuple_fields(g.stream())),
+            }),
+            other => Err(format!(
+                "serde stand-in derive: unsupported struct body {other:?}"
+            )),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                shape: Shape::UnitEnum(parse_unit_variants(g.stream())?),
+            }),
+            other => Err(format!(
+                "serde stand-in derive: unsupported enum body {other:?}"
+            )),
+        },
+        kw => Err(format!(
+            "serde stand-in derive: unsupported item kind `{kw}`"
+        )),
+    }
+}
+
+/// Extracts field names from `{ vis name: Type, ... }`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility before the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                // Expect `:` then the type; skip type tokens up to the next
+                // top-level comma, tracking `<...>` nesting (commas inside
+                // angle brackets belong to the type).
+                let mut angle_depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => {
+                return Err(format!(
+                    "serde stand-in derive: unexpected token in fields: {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts fields of a tuple struct `( Type, Type, ... )`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_any = false;
+    let mut angle_depth = 0i32;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+/// Extracts variant names from `{ A, B = 3, ... }`, rejecting data variants.
+fn parse_unit_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                let variant = id.to_string();
+                i += 1;
+                match tokens.get(i) {
+                    None => variants.push(variant),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        variants.push(variant);
+                        i += 1;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        // Skip the discriminant expression.
+                        i += 1;
+                        while i < tokens.len()
+                            && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+                        {
+                            i += 1;
+                        }
+                        i += 1; // past the comma (or end)
+                        variants.push(variant);
+                    }
+                    Some(TokenTree::Group(_)) => {
+                        return Err(format!(
+                            "serde stand-in derive: variant `{variant}` carries data, which is unsupported"
+                        ));
+                    }
+                    other => {
+                        return Err(format!(
+                            "serde stand-in derive: unexpected token after variant `{variant}`: {other:?}"
+                        ));
+                    }
+                }
+            }
+            other => {
+                return Err(format!(
+                    "serde stand-in derive: unexpected token in enum body: {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(String::from({f:?}), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Obj(vec![{}])", pairs.join(", "))
+        }
+        Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::Str(String::from({v:?}))"))
+                .collect();
+            format!("match *self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(v.get({f:?}).ok_or_else(|| \
+                         serde::DeError::new(concat!(\"missing field `\", {f:?}, \"`\")))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{ serde::Value::Obj(_) => Ok({name} {{ {} }}), \
+                 _ => Err(serde::DeError::new(\"expected object\")) }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => format!("Ok({name}(serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{ serde::Value::Arr(items) if items.len() == {n} => \
+                 Ok({name}({})), _ => Err(serde::DeError::new(\"expected {n}-element array\")) }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("Some({v:?}) => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match v.as_str() {{ {}, _ => Err(serde::DeError::new(\"unknown variant\")) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> Result<{name}, serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}

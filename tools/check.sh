@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# One-shot local gate: everything CI runs, in the order it runs it.
+# Fails fast; run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+# No --all-targets on purpose: test code may unwrap/expect freely (the
+# parse crates re-allow those lints under cfg(test)); the deny lints are
+# aimed at library code handling untrusted images.
+echo "==> cargo clippy (workspace, -D warnings)"
+cargo clippy --workspace -- -D warnings
+
+echo "==> catalint (workspace invariants vs catalint.toml baseline)"
+cargo run -q -p catalint
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "All checks passed."
