@@ -8,8 +8,8 @@
 use catalyzer::{BootMode, Catalyzer, CatalyzerConfig, CatalyzerEngine};
 use criterion::{criterion_group, criterion_main, Criterion};
 use runtimes::AppProfile;
-use sandbox::BootEngine;
-use simtime::{CostModel, SimClock};
+use sandbox::{BootCtx, BootEngine};
+use simtime::CostModel;
 use std::hint::black_box;
 
 fn model() -> CostModel {
@@ -23,13 +23,13 @@ fn fig01_fig13_e2e(c: &mut Criterion) {
     let profile = workloads::deathstar::Service::Text.profile();
     let mut engine = CatalyzerEngine::standalone(BootMode::Fork);
     // Warm the template outside the measurement.
-    engine.boot(&profile, &SimClock::new(), &model).unwrap();
+    engine.boot(&profile, &mut BootCtx::fresh(&model)).unwrap();
     c.bench_function("fig01_13/e2e_fork_boot_deathstar_text", |b| {
         b.iter(|| {
-            let clock = SimClock::new();
-            let mut outcome = engine.boot(&profile, &clock, &model).unwrap();
-            outcome.program.invoke_handler(&clock, &model).unwrap();
-            black_box(clock.now())
+            let mut ctx = BootCtx::fresh(&model);
+            let mut outcome = engine.boot(&profile, &mut ctx).unwrap();
+            outcome.program.invoke_handler(ctx.clock(), &model).unwrap();
+            black_box(ctx.now())
         })
     });
 }
@@ -45,7 +45,7 @@ fn fig02_06_gvisor_paths(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 engine
-                    .boot(&profile, &SimClock::new(), &model)
+                    .boot(&profile, &mut BootCtx::fresh(&model))
                     .unwrap()
                     .boot_latency,
             )
@@ -53,11 +53,11 @@ fn fig02_06_gvisor_paths(c: &mut Criterion) {
     });
     group.bench_function("gvisor_restore_boot_python_hello", |b| {
         let mut engine = sandbox::GvisorRestoreEngine::new();
-        engine.boot(&profile, &SimClock::new(), &model).unwrap(); // compile image
+        engine.boot(&profile, &mut BootCtx::fresh(&model)).unwrap(); // compile image
         b.iter(|| {
             black_box(
                 engine
-                    .boot(&profile, &SimClock::new(), &model)
+                    .boot(&profile, &mut BootCtx::fresh(&model))
                     .unwrap()
                     .boot_latency,
             )
@@ -76,7 +76,7 @@ fn fig04_baselines(c: &mut Criterion) {
         let mut e = sandbox::DockerEngine::new();
         b.iter(|| {
             black_box(
-                e.boot(&profile, &SimClock::new(), &model)
+                e.boot(&profile, &mut BootCtx::fresh(&model))
                     .unwrap()
                     .boot_latency,
             )
@@ -86,7 +86,7 @@ fn fig04_baselines(c: &mut Criterion) {
         let mut e = sandbox::FirecrackerEngine::new();
         b.iter(|| {
             black_box(
-                e.boot(&profile, &SimClock::new(), &model)
+                e.boot(&profile, &mut BootCtx::fresh(&model))
                     .unwrap()
                     .boot_latency,
             )
@@ -96,7 +96,7 @@ fn fig04_baselines(c: &mut Criterion) {
         let mut e = sandbox::HyperContainerEngine::new();
         b.iter(|| {
             black_box(
-                e.boot(&profile, &SimClock::new(), &model)
+                e.boot(&profile, &mut BootCtx::fresh(&model))
                     .unwrap()
                     .boot_latency,
             )
@@ -115,35 +115,29 @@ fn fig07_11_catalyzer_modes(c: &mut Criterion) {
         let mut system = Catalyzer::new();
         system.prewarm_image(&profile, &model).unwrap();
         b.iter(|| {
-            let clock = SimClock::new();
-            system
-                .boot(BootMode::Cold, &profile, &clock, &model)
-                .unwrap();
-            black_box(clock.now())
+            let mut ctx = BootCtx::fresh(&model);
+            system.boot(BootMode::Cold, &profile, &mut ctx).unwrap();
+            black_box(ctx.now())
         })
     });
     group.bench_function("warm_boot_c_hello", |b| {
         let mut system = Catalyzer::new();
         system
-            .boot(BootMode::Cold, &profile, &SimClock::new(), &model)
+            .boot(BootMode::Cold, &profile, &mut BootCtx::fresh(&model))
             .unwrap();
         b.iter(|| {
-            let clock = SimClock::new();
-            system
-                .boot(BootMode::Warm, &profile, &clock, &model)
-                .unwrap();
-            black_box(clock.now())
+            let mut ctx = BootCtx::fresh(&model);
+            system.boot(BootMode::Warm, &profile, &mut ctx).unwrap();
+            black_box(ctx.now())
         })
     });
     group.bench_function("fork_boot_c_hello", |b| {
         let mut system = Catalyzer::new();
         system.ensure_template(&profile, &model).unwrap();
         b.iter(|| {
-            let clock = SimClock::new();
-            system
-                .boot(BootMode::Fork, &profile, &clock, &model)
-                .unwrap();
-            black_box(clock.now())
+            let mut ctx = BootCtx::fresh(&model);
+            system.boot(BootMode::Fork, &profile, &mut ctx).unwrap();
+            black_box(ctx.now())
         })
     });
     group.finish();
@@ -170,11 +164,9 @@ fn fig12_ablation(c: &mut Criterion) {
             let mut system = Catalyzer::with_config(config);
             system.prewarm_image(&profile, &model).unwrap();
             b.iter(|| {
-                let clock = SimClock::new();
-                system
-                    .boot(BootMode::Cold, &profile, &clock, &model)
-                    .unwrap();
-                black_box(clock.now())
+                let mut ctx = BootCtx::fresh(&model);
+                system.boot(BootMode::Cold, &profile, &mut ctx).unwrap();
+                black_box(ctx.now())
             })
         });
     }
@@ -187,7 +179,7 @@ fn fig14_memory(c: &mut Criterion) {
     let profile = workloads::deathstar::Service::ComposePost.profile();
     c.bench_function("fig14/usage_4_forked_sandboxes", |b| {
         let mut engine = CatalyzerEngine::standalone(BootMode::Fork);
-        engine.boot(&profile, &SimClock::new(), &model).unwrap();
+        engine.boot(&profile, &mut BootCtx::fresh(&model)).unwrap();
         b.iter(|| {
             black_box(platform::memory::concurrent_usage(&mut engine, &profile, 4, &model).unwrap())
         })
@@ -232,11 +224,9 @@ fn table2_language_template(c: &mut Criterion) {
             .ensure_language_template(runtimes::RuntimeKind::Java, &model)
             .unwrap();
         b.iter(|| {
-            let clock = SimClock::new();
-            system
-                .language_template_boot(&profile, &clock, &model)
-                .unwrap();
-            black_box(clock.now())
+            let mut ctx = BootCtx::fresh(&model);
+            system.language_template_boot(&profile, &mut ctx).unwrap();
+            black_box(ctx.now())
         })
     });
 }

@@ -128,6 +128,36 @@ fn csv(id: &str) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Writes the observability export (span trees + latency histograms per
+/// Fig. 11 engine) to `path`, or with `check = true` re-generates it and
+/// verifies `path` is valid and byte-identical (determinism gate).
+fn export(path: &str, check: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let model = CostModel::experimental_machine();
+    let fresh = bench::export::generate(&model)?;
+    bench::export::validate(&fresh)?;
+    let text = bench::export::to_json(&fresh)?;
+    if check {
+        let on_disk = std::fs::read_to_string(path)?;
+        let parsed = bench::export::from_json(&on_disk)?;
+        bench::export::validate(&parsed)?;
+        if on_disk != text {
+            return Err(format!("{path} is stale: regenerate with 'repro export {path}'").into());
+        }
+        println!(
+            "{path}: valid, {} engines, up to date",
+            parsed.engines.len()
+        );
+    } else {
+        std::fs::write(path, &text)?;
+        println!(
+            "wrote {path} ({} engines, {} bytes)",
+            fresh.engines.len(),
+            text.len()
+        );
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("all");
@@ -137,6 +167,16 @@ fn main() {
                 println!("{id}");
             }
             Ok(())
+        }
+        "export" => {
+            let check = args.iter().any(|a| a == "--check");
+            let path = args
+                .iter()
+                .skip(1)
+                .find(|a| *a != "--check")
+                .map(String::as_str)
+                .unwrap_or("BENCH_pr2.json");
+            export(path, check)
         }
         "csv" => match args.get(1) {
             Some(id) => csv(id),

@@ -2,8 +2,8 @@
 
 use catalyzer::{BootMode, Catalyzer, CatalyzerConfig};
 use runtimes::AppProfile;
-use sandbox::SandboxError;
-use simtime::{CostModel, SimClock, SimNanos};
+use sandbox::{BootCtx, SandboxError};
+use simtime::{CostModel, SimNanos};
 
 use super::rule;
 use crate::ms;
@@ -49,15 +49,15 @@ pub fn fig12(model: &CostModel) -> Result<Vec<AblationRow>, SandboxError> {
     let mut rows = Vec::new();
     for app in &apps {
         for (label, config) in &ladder {
-            let clock = SimClock::new();
+            let mut ctx = BootCtx::fresh(model);
             let outcome = match config {
                 None => {
                     let mut engine = sandbox::GvisorRestoreEngine::new();
-                    sandbox::BootEngine::boot(&mut engine, app, &clock, model)?
+                    sandbox::BootEngine::boot(&mut engine, app, &mut ctx)?
                 }
                 Some(cfg) => {
                     let mut system = Catalyzer::with_config(*cfg);
-                    system.boot(BootMode::Cold, app, &clock, model)?
+                    system.boot(BootMode::Cold, app, &mut ctx)?
                 }
             };
             let (kernel, memory, io) = outcome.restore_split();
@@ -67,7 +67,7 @@ pub fn fig12(model: &CostModel) -> Result<Vec<AblationRow>, SandboxError> {
                 kernel,
                 memory,
                 io,
-                total: clock.now(),
+                total: ctx.now(),
             });
         }
     }

@@ -4,8 +4,8 @@
 
 use catalyzer::{BootMode, Catalyzer, FirecrackerSnapshotEngine};
 use runtimes::AppProfile;
-use sandbox::{BootEngine, FirecrackerEngine, GvisorEngine, SandboxError};
-use simtime::{CostModel, SimClock, SimNanos};
+use sandbox::{BootCtx, BootEngine, FirecrackerEngine, GvisorEngine, SandboxError};
+use simtime::{CostModel, SimNanos};
 
 use super::rule;
 use crate::ms;
@@ -32,32 +32,32 @@ pub fn generality(model: &CostModel) -> Result<Vec<GeneralityRow>, SandboxError>
     let mut rows = Vec::new();
     for app in &apps {
         let mut stock = FirecrackerEngine::new();
-        let clock = SimClock::new();
-        stock.boot(app, &clock, model)?;
+        let mut ctx = BootCtx::fresh(model);
+        stock.boot(app, &mut ctx)?;
         rows.push(GeneralityRow {
             system: "FireCracker (stock)",
             app: app.name.clone(),
-            startup: clock.now(),
+            startup: ctx.now(),
         });
 
         let mut snap = FirecrackerSnapshotEngine::new();
-        snap.boot(app, &SimClock::new(), model)?; // cold: builds the base
-        let clock = SimClock::new();
-        snap.boot(app, &clock, model)?;
+        snap.boot(app, &mut BootCtx::fresh(model))?; // cold: builds the base
+        let mut ctx = BootCtx::fresh(model);
+        snap.boot(app, &mut ctx)?;
         rows.push(GeneralityRow {
             system: "FireCracker-snapshot",
             app: app.name.clone(),
-            startup: clock.now(),
+            startup: ctx.now(),
         });
 
         let mut cat = Catalyzer::new();
-        cat.boot(BootMode::Cold, app, &SimClock::new(), model)?;
-        let clock = SimClock::new();
-        cat.boot(BootMode::Warm, app, &clock, model)?;
+        cat.boot(BootMode::Cold, app, &mut BootCtx::fresh(model))?;
+        let mut ctx = BootCtx::fresh(model);
+        cat.boot(BootMode::Warm, app, &mut ctx)?;
         rows.push(GeneralityRow {
             system: "Catalyzer/gVisor (warm)",
             app: app.name.clone(),
-            startup: clock.now(),
+            startup: ctx.now(),
         });
     }
     Ok(rows)
@@ -131,21 +131,21 @@ pub fn sensitivity() -> Result<Vec<SensitivityRow>, SandboxError> {
     let mut rows = Vec::new();
     for (label, model) in scenarios {
         let gvisor = {
-            let clock = SimClock::new();
-            GvisorEngine::new().boot(&profile, &clock, &model)?;
-            clock.now()
+            let mut ctx = BootCtx::fresh(&model);
+            GvisorEngine::new().boot(&profile, &mut ctx)?;
+            ctx.now()
         };
         let mut cat = Catalyzer::new();
         cat.ensure_template(&profile, &model)?;
         let fork = {
-            let clock = SimClock::new();
-            cat.boot(BootMode::Fork, &profile, &clock, &model)?;
-            clock.now()
+            let mut ctx = BootCtx::fresh(&model);
+            cat.boot(BootMode::Fork, &profile, &mut ctx)?;
+            ctx.now()
         };
         let warm = {
-            let clock = SimClock::new();
-            cat.boot(BootMode::Warm, &profile, &clock, &model)?;
-            clock.now()
+            let mut ctx = BootCtx::fresh(&model);
+            cat.boot(BootMode::Warm, &profile, &mut ctx)?;
+            ctx.now()
         };
         rows.push(SensitivityRow {
             scenario: label,

@@ -34,13 +34,13 @@ pub fn fig16a(model: &CostModel) -> Result<Vec<(String, SimNanos, SimNanos)>, Sa
         let run = |profile: &AppProfile| -> Result<SimNanos, SandboxError> {
             let mut system = catalyzer::Catalyzer::new();
             system.ensure_template(profile, model)?;
-            let clock = SimClock::new();
-            let mut boot = system.boot(catalyzer::BootMode::Fork, profile, &clock, model)?;
-            let before = clock.now();
+            let mut ctx = sandbox::BootCtx::fresh(model);
+            let mut boot = system.boot(catalyzer::BootMode::Fork, profile, &mut ctx)?;
+            let before = ctx.now();
             boot.program
-                .invoke_handler(&clock, model)
+                .invoke_handler(ctx.clock(), model)
                 .map_err(sandbox::SandboxError::Runtime)?;
-            Ok(clock.now() - before)
+            Ok(ctx.now() - before)
         };
         let baseline = run(&base)?;
         let optimized = run(&shifted)?;

@@ -12,8 +12,8 @@ pub mod startup;
 
 use catalyzer::{BootMode, Catalyzer, CatalyzerEngine};
 use runtimes::AppProfile;
-use sandbox::{BootEngine, BootOutcome, SandboxError};
-use simtime::{CostModel, SimClock, SimNanos};
+use sandbox::{BootCtx, BootEngine, BootOutcome, SandboxError};
+use simtime::{CostModel, SimNanos};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -78,9 +78,9 @@ pub fn boot_once(
     profile: &AppProfile,
     model: &CostModel,
 ) -> Result<(SimNanos, BootOutcome), SandboxError> {
-    let clock = SimClock::new();
-    let outcome = engine.boot(profile, &clock, model)?;
-    Ok((clock.now(), outcome))
+    let mut ctx = BootCtx::fresh(model);
+    let outcome = engine.boot(profile, &mut ctx)?;
+    Ok((ctx.now(), outcome))
 }
 
 /// Prints a rule line for tables.

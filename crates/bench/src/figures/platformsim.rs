@@ -4,8 +4,8 @@
 use catalyzer::{BootMode, Catalyzer, CatalyzerEngine};
 use platform::simulate::{self, SimulationOutcome, TraceRequest};
 use runtimes::AppProfile;
-use sandbox::{GvisorRestoreEngine, SandboxError};
-use simtime::{Breakdown, CostModel, SimClock, SimNanos};
+use sandbox::{BootCtx, GvisorRestoreEngine, SandboxError};
+use simtime::{Breakdown, CostModel, SimNanos};
 use workloads::generator::{trace, Popularity};
 
 use super::rule;
@@ -107,8 +107,8 @@ pub fn warm_breakdown(model: &CostModel) -> Result<Vec<(String, Breakdown)>, San
     let mut out = Vec::new();
     for app in apps {
         let mut system = Catalyzer::new();
-        system.boot(BootMode::Cold, &app, &SimClock::new(), model)?;
-        let outcome = system.boot(BootMode::Warm, &app, &SimClock::new(), model)?;
+        system.boot(BootMode::Cold, &app, &mut BootCtx::fresh(model))?;
+        let outcome = system.boot(BootMode::Warm, &app, &mut BootCtx::fresh(model))?;
         out.push((app.name, outcome.breakdown));
     }
     Ok(out)

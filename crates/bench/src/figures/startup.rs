@@ -2,8 +2,8 @@
 
 use catalyzer::{BootMode, Catalyzer, CatalyzerEngine};
 use runtimes::{AppProfile, RuntimeKind};
-use sandbox::{BootEngine, SandboxError};
-use simtime::{CostModel, SimClock, SimNanos};
+use sandbox::{BootCtx, BootEngine, SandboxError};
+use simtime::{CostModel, SimNanos};
 
 use super::{boot_once, rule, System};
 use crate::ms;
@@ -157,20 +157,20 @@ pub fn fig07(model: &CostModel) -> Result<[(&'static str, SimNanos); 3], Sandbox
     let profile = AppProfile::c_nginx();
     let mut system = Catalyzer::new();
     let cold = {
-        let clock = SimClock::new();
-        system.boot(BootMode::Cold, &profile, &clock, model)?;
-        clock.now()
+        let mut ctx = BootCtx::fresh(model);
+        system.boot(BootMode::Cold, &profile, &mut ctx)?;
+        ctx.now()
     };
     let warm = {
-        let clock = SimClock::new();
-        system.boot(BootMode::Warm, &profile, &clock, model)?;
-        clock.now()
+        let mut ctx = BootCtx::fresh(model);
+        system.boot(BootMode::Warm, &profile, &mut ctx)?;
+        ctx.now()
     };
     system.ensure_template(&profile, model)?;
     let fork = {
-        let clock = SimClock::new();
-        system.boot(BootMode::Fork, &profile, &clock, model)?;
-        clock.now()
+        let mut ctx = BootCtx::fresh(model);
+        system.boot(BootMode::Fork, &profile, &mut ctx)?;
+        ctx.now()
     };
     Ok([
         ("cold boot", cold),
@@ -280,12 +280,12 @@ pub fn table2(model: &CostModel) -> Result<Table2, SandboxError> {
     let (gvisor, _) = boot_once(&mut sandbox::GvisorEngine::new(), &profile, model)?;
     let mut cat = Catalyzer::new();
     cat.ensure_language_template(RuntimeKind::Java, model)?;
-    let clock = SimClock::new();
-    cat.language_template_boot(&profile, &clock, model)?;
+    let mut ctx = BootCtx::fresh(model);
+    cat.language_template_boot(&profile, &mut ctx)?;
     Ok(Table2 {
         native,
         gvisor,
-        template: clock.now(),
+        template: ctx.now(),
     })
 }
 
@@ -319,9 +319,9 @@ pub fn zygote_warm_boots(model: &CostModel) -> Result<Vec<(String, SimNanos)>, S
     let mut out = Vec::new();
     for app in apps {
         let mut engine = CatalyzerEngine::standalone(BootMode::Warm);
-        let clock = SimClock::new();
-        engine.boot(&app, &clock, model)?;
-        out.push((app.name, clock.now()));
+        let mut ctx = BootCtx::fresh(model);
+        engine.boot(&app, &mut ctx)?;
+        out.push((app.name, ctx.now()));
     }
     Ok(out)
 }

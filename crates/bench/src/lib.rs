@@ -15,6 +15,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod export;
 pub mod figures;
 
 /// Formats a `SimNanos` latency as the paper prints them (ms with 2–3

@@ -8,7 +8,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use runtimes::{AppProfile, RuntimeKind};
-use sandbox::{BootEngine, BootOutcome, IsolationLevel, SandboxError};
+use sandbox::{BootCtx, BootEngine, BootOutcome, IsolationLevel, SandboxError};
 use simtime::{CostModel, SimClock, SimNanos};
 
 use crate::restore::restore_boot;
@@ -137,8 +137,7 @@ impl Catalyzer {
         &mut self,
         mode: BootMode,
         profile: &AppProfile,
-        clock: &SimClock,
-        model: &CostModel,
+        ctx: &mut BootCtx,
     ) -> Result<BootOutcome, SandboxError> {
         match mode {
             BootMode::Cold => restore_boot(
@@ -147,12 +146,11 @@ impl Catalyzer {
                 &mut self.store,
                 &mut self.zygotes,
                 profile,
-                clock,
-                model,
+                ctx,
             ),
             BootMode::Warm => {
                 if self.config.zygotes {
-                    self.zygotes.refill(1, model)?; // maintained offline
+                    self.zygotes.refill(1, ctx.model())?; // maintained offline
                 }
                 restore_boot(
                     mode,
@@ -160,8 +158,7 @@ impl Catalyzer {
                     &mut self.store,
                     &mut self.zygotes,
                     profile,
-                    clock,
-                    model,
+                    ctx,
                 )
             }
             BootMode::Fork => {
@@ -171,7 +168,7 @@ impl Catalyzer {
                         .ok_or_else(|| SandboxError::Config {
                             detail: format!("no template sandbox for '{}'", profile.name),
                         })?;
-                template.fork_boot(&self.config, clock, model)
+                template.fork_boot(&self.config, ctx)
             }
         }
     }
@@ -184,8 +181,7 @@ impl Catalyzer {
     pub fn language_template_boot(
         &mut self,
         profile: &AppProfile,
-        clock: &SimClock,
-        model: &CostModel,
+        ctx: &mut BootCtx,
     ) -> Result<BootOutcome, SandboxError> {
         let config = self.config;
         let lt = self
@@ -194,7 +190,7 @@ impl Catalyzer {
             .ok_or_else(|| SandboxError::Config {
                 detail: format!("no language template for {}", profile.runtime),
             })?;
-        lt.boot_function(profile, &config, clock, model)
+        lt.boot_function(profile, &config, ctx)
     }
 
     /// Table 3: per-function warm-boot memory costs, `(metadata bytes,
@@ -277,24 +273,32 @@ impl BootEngine for CatalyzerEngine {
         IsolationLevel::High
     }
 
+    fn warm(&mut self, profile: &AppProfile, model: &CostModel) -> Result<(), SandboxError> {
+        let mut system = self.inner.borrow_mut();
+        match self.mode {
+            BootMode::Fork => system.ensure_template(profile, model),
+            BootMode::Warm => {
+                if !system.store.contains(&profile.name) {
+                    // Warm boot presumes running instances: simulate the
+                    // pre-existing cold boot off the critical path.
+                    system.prewarm_image(profile, model)?;
+                    let mut warmup = BootCtx::fresh(model);
+                    system.boot(BootMode::Cold, profile, &mut warmup)?;
+                }
+                Ok(())
+            }
+            BootMode::Cold => system.prewarm_image(profile, model),
+        }
+    }
+
     fn boot(
         &mut self,
         profile: &AppProfile,
-        clock: &SimClock,
-        model: &CostModel,
+        ctx: &mut BootCtx,
     ) -> Result<BootOutcome, SandboxError> {
+        self.warm(profile, ctx.model())?;
         let mut system = self.inner.borrow_mut();
-        if self.mode == BootMode::Fork {
-            system.ensure_template(profile, model)?;
-        }
-        if self.mode == BootMode::Warm && !system.store.contains(&profile.name) {
-            // Warm boot presumes running instances: simulate the pre-existing
-            // cold boot off the critical path.
-            system.prewarm_image(profile, model)?;
-            let warmup = SimClock::new();
-            system.boot(BootMode::Cold, profile, &warmup, model)?;
-        }
-        system.boot(self.mode, profile, clock, model)
+        system.boot(self.mode, profile, ctx)
     }
 }
 
@@ -312,16 +316,14 @@ mod tests {
         let profile = AppProfile::python_django();
         let mut cat = Catalyzer::new();
 
-        let cold_clock = SimClock::new();
-        cat.boot(BootMode::Cold, &profile, &cold_clock, &model)
-            .unwrap();
-        let warm_clock = SimClock::new();
-        cat.boot(BootMode::Warm, &profile, &warm_clock, &model)
-            .unwrap();
+        let mut cold_ctx = BootCtx::fresh(&model);
+        cat.boot(BootMode::Cold, &profile, &mut cold_ctx).unwrap();
+        let mut warm_ctx = BootCtx::fresh(&model);
+        cat.boot(BootMode::Warm, &profile, &mut warm_ctx).unwrap();
 
-        assert!(warm_clock.now() < cold_clock.now());
+        assert!(warm_ctx.now() < cold_ctx.now());
         // Paper: restore ≈ zygote + ~30 ms.
-        let gap = (cold_clock.now() - warm_clock.now()).as_millis_f64();
+        let gap = (cold_ctx.now() - warm_ctx.now()).as_millis_f64();
         assert!((15.0..45.0).contains(&gap), "cold-warm gap {gap} ms");
     }
 
@@ -339,9 +341,9 @@ mod tests {
         ];
         for (profile, expect_ms) in cases {
             let mut engine = CatalyzerEngine::standalone(BootMode::Warm);
-            let clock = SimClock::new();
-            engine.boot(&profile, &clock, &model).unwrap();
-            let ms = clock.now().as_millis_f64();
+            let mut ctx = BootCtx::fresh(&model);
+            engine.boot(&profile, &mut ctx).unwrap();
+            let ms = ctx.now().as_millis_f64();
             assert!(
                 (expect_ms * 0.4..expect_ms * 1.6).contains(&ms),
                 "{}: warm boot {ms} ms (paper {expect_ms})",
@@ -358,8 +360,7 @@ mod tests {
             .boot(
                 BootMode::Fork,
                 &AppProfile::c_hello(),
-                &SimClock::new(),
-                &model,
+                &mut BootCtx::fresh(&model),
             )
             .unwrap_err();
         assert!(matches!(err, SandboxError::Config { .. }));
@@ -367,8 +368,7 @@ mod tests {
         cat.boot(
             BootMode::Fork,
             &AppProfile::c_hello(),
-            &SimClock::new(),
-            &model,
+            &mut BootCtx::fresh(&model),
         )
         .unwrap();
     }
@@ -376,14 +376,14 @@ mod tests {
     #[test]
     fn restored_instance_serves_correct_state() {
         let model = model();
-        let clock = SimClock::new();
+        let mut ctx = BootCtx::fresh(&model);
         let mut cat = Catalyzer::new();
         let mut boot = cat
-            .boot(BootMode::Cold, &AppProfile::c_nginx(), &clock, &model)
+            .boot(BootMode::Cold, &AppProfile::c_nginx(), &mut ctx)
             .unwrap();
         // The handler's internal debug_assert verifies the restored heap
         // pattern byte-for-byte.
-        let exec = boot.program.invoke_handler(&clock, &model).unwrap();
+        let exec = boot.program.invoke_handler(ctx.clock(), &model).unwrap();
         assert!(exec.pages_touched > 0);
         assert!(exec.syscalls > 0);
     }
@@ -393,14 +393,14 @@ mod tests {
         let model = model();
         let profile = AppProfile::python_hello();
         let mut cat = Catalyzer::new();
-        cat.boot(BootMode::Cold, &profile, &SimClock::new(), &model)
+        cat.boot(BootMode::Cold, &profile, &mut BootCtx::fresh(&model))
             .unwrap();
 
         let mut a = cat
-            .boot(BootMode::Warm, &profile, &SimClock::new(), &model)
+            .boot(BootMode::Warm, &profile, &mut BootCtx::fresh(&model))
             .unwrap();
         let mut b = cat
-            .boot(BootMode::Warm, &profile, &SimClock::new(), &model)
+            .boot(BootMode::Warm, &profile, &mut BootCtx::fresh(&model))
             .unwrap();
         let clock = SimClock::new();
         a.program.invoke_handler(&clock, &model).unwrap();
@@ -434,9 +434,9 @@ mod tests {
             CatalyzerConfig::overlay_separated_lazy(),
         ] {
             let mut cat = Catalyzer::with_config(config);
-            let clock = SimClock::new();
-            cat.boot(BootMode::Cold, &profile, &clock, &model).unwrap();
-            latencies.push(clock.now());
+            let mut ctx = BootCtx::fresh(&model);
+            cat.boot(BootMode::Cold, &profile, &mut ctx).unwrap();
+            latencies.push(ctx.now());
         }
         assert!(latencies[0] > latencies[1], "{latencies:?}");
         assert!(latencies[1] > latencies[2], "{latencies:?}");

@@ -19,10 +19,10 @@ use runtimes::{AppProfile, WrappedProgram};
 use sandbox::config::OciConfig;
 use sandbox::host::{HostTweaks, KvmDevice};
 use sandbox::{
-    BootEngine, BootOutcome, IsolationLevel, SandboxError, PHASE_RESTORE_IO, PHASE_RESTORE_KERNEL,
-    PHASE_RESTORE_MEMORY,
+    traced_boot, BootCtx, BootEngine, BootOutcome, IsolationLevel, SandboxError, PHASE_RESTORE_IO,
+    PHASE_RESTORE_KERNEL, PHASE_RESTORE_MEMORY,
 };
-use simtime::{CostModel, PhaseRecorder, SimClock};
+use simtime::{CostModel, SimClock};
 
 use crate::store::FuncImageStore;
 
@@ -63,85 +63,102 @@ impl BootEngine for FirecrackerSnapshotEngine {
         IsolationLevel::High
     }
 
+    fn warm(&mut self, profile: &AppProfile, model: &CostModel) -> Result<(), SandboxError> {
+        self.store.ensure_compiled(profile, model)?;
+        Ok(())
+    }
+
     fn boot(
         &mut self,
         profile: &AppProfile,
-        clock: &SimClock,
-        model: &CostModel,
+        ctx: &mut BootCtx,
     ) -> Result<BootOutcome, SandboxError> {
-        self.store.ensure_compiled(profile, model)?;
-        let start = clock.now();
-        let mut rec = PhaseRecorder::new(clock);
-
-        // VMM process + KVM resources — unchanged from stock FireCracker.
-        let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
-        let config = rec.phase("sandbox:parse-config", |clk| {
-            OciConfig::parse(&json, clk, model)
-        })?;
-        rec.phase("sandbox:vmm-process", |clk| {
-            clk.charge(model.host.process_spawn)
-        });
-        rec.phase("sandbox:kvm-setup", |clk| {
-            let mut kvm = KvmDevice::create(self.tweaks, clk, model);
-            for _ in 0..config.vcpus {
-                kvm.create_vcpu(clk, model);
-            }
-            kvm.kvcalloc(clk, model);
-            kvm.set_memory_region(clk, model);
-        });
-
-        // NO guest-Linux boot: the snapshot already contains the booted
-        // guest; on-demand restore recovers it.
+        self.store.ensure_compiled(profile, ctx.model())?;
+        let tweaks = self.tweaks;
         let stored = self.store.get_mut(&profile.name).expect("compiled above");
         let fs = Arc::clone(&stored.fs);
-        let records = rec.phase(PHASE_RESTORE_KERNEL, |clk| {
-            stored.flat.restore_metadata(clk, model)
-        })?;
-        let mut kernel = rec.phase(PHASE_RESTORE_KERNEL, |clk| {
-            GuestKernel::restore_from_records(
-                profile.name.clone(),
-                &records,
-                Arc::clone(&fs),
-                false,
-                clk,
-                model,
-            )
-        })?;
-        let mut space = memsim::AddressSpace::new(profile.name.clone());
-        rec.phase(PHASE_RESTORE_MEMORY, |clk| {
-            let base = match &stored.base {
-                Some(base) => Arc::clone(base),
-                None => {
-                    let base = stored.flat.build_base_layer(clk, model)?;
-                    stored.base = Some(Arc::clone(&base));
-                    base
-                }
-            };
-            space.attach_base(base, profile.heap_range(), "snapshot", clk, model)?;
-            Ok::<_, SandboxError>(())
-        })?;
-        rec.phase(PHASE_RESTORE_IO, |clk| {
-            // Lazy I/O: replay listeners only, as in the gVisor implementation.
-            let socks: Vec<(u64, bool)> = kernel
-                .net
-                .iter()
-                .map(|s| (s.id, s.state == guest_kernel::net::SockState::Listening))
-                .collect();
-            for (id, listening) in socks {
-                if listening {
-                    clk.charge(model.io.io_cache_replay);
-                    kernel.net.ensure_connected(id, &SimClock::new(), model)?;
-                }
-            }
-            Ok::<_, SandboxError>(())
-        })?;
 
-        stored.boots += 1;
-        Ok(BootOutcome {
-            system: self.name(),
-            boot_latency: clock.since(start),
-            breakdown: rec.finish(),
-            program: WrappedProgram::from_restored(profile, kernel, space),
+        traced_boot("FireCracker-snapshot", ctx, |ctx| {
+            // VMM process + KVM resources — unchanged from stock FireCracker.
+            let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
+            let config = ctx.span("sandbox:parse-config", |ctx| {
+                OciConfig::parse(&json, ctx.clock(), ctx.model())
+            })?;
+            ctx.span("sandbox:vmm-process", |ctx| {
+                ctx.charge(ctx.model().host.process_spawn)
+            });
+            ctx.span("sandbox:kvm-setup", |ctx| {
+                let mut kvm = KvmDevice::create(tweaks, ctx.clock(), ctx.model());
+                for _ in 0..config.vcpus {
+                    kvm.create_vcpu(ctx.clock(), ctx.model());
+                }
+                kvm.kvcalloc(ctx.clock(), ctx.model());
+                kvm.set_memory_region(ctx.clock(), ctx.model());
+            });
+
+            // NO guest-Linux boot: the snapshot already contains the booted
+            // guest; on-demand restore recovers it.
+            let records = ctx.span(PHASE_RESTORE_KERNEL, |ctx| {
+                ctx.span("separated-state", |ctx| {
+                    stored.flat.restore_metadata(ctx.clock(), ctx.model())
+                })
+            })?;
+            let mut kernel = ctx.span(PHASE_RESTORE_KERNEL, |ctx| {
+                GuestKernel::restore_from_records(
+                    profile.name.clone(),
+                    &records,
+                    Arc::clone(&fs),
+                    false,
+                    ctx.clock(),
+                    ctx.model(),
+                )
+            })?;
+            let mut space = memsim::AddressSpace::new(profile.name.clone());
+            ctx.span(PHASE_RESTORE_MEMORY, |ctx| {
+                let (base, step) = match &stored.base {
+                    Some(base) => (Arc::clone(base), "share-mapping"),
+                    None => {
+                        let base = ctx.span("map-file:build-base", |ctx| {
+                            stored.flat.build_base_layer(ctx.clock(), ctx.model())
+                        })?;
+                        stored.base = Some(Arc::clone(&base));
+                        (base, "map-file")
+                    }
+                };
+                ctx.span(step, |ctx| {
+                    space.attach_base(
+                        base,
+                        profile.heap_range(),
+                        "snapshot",
+                        ctx.clock(),
+                        ctx.model(),
+                    )
+                })?;
+                Ok::<_, SandboxError>(())
+            })?;
+            ctx.span(PHASE_RESTORE_IO, |ctx| {
+                // Lazy I/O: replay listeners only, as in the gVisor
+                // implementation.
+                ctx.span("io-cache-replay", |ctx| {
+                    let socks: Vec<(u64, bool)> = kernel
+                        .net
+                        .iter()
+                        .map(|s| (s.id, s.state == guest_kernel::net::SockState::Listening))
+                        .collect();
+                    for (id, listening) in socks {
+                        if listening {
+                            ctx.charge(ctx.model().io.io_cache_replay);
+                            kernel
+                                .net
+                                .ensure_connected(id, &SimClock::new(), ctx.model())?;
+                        }
+                    }
+                    Ok::<_, SandboxError>(())
+                })
+            })?;
+
+            stored.boots += 1;
+            Ok(WrappedProgram::from_restored(profile, kernel, space))
         })
     }
 }
@@ -157,21 +174,21 @@ mod tests {
         let profile = AppProfile::python_hello();
 
         let stock = {
-            let clock = SimClock::new();
+            let mut ctx = BootCtx::fresh(&model);
             sandbox::FirecrackerEngine::new()
-                .boot(&profile, &clock, &model)
+                .boot(&profile, &mut ctx)
                 .unwrap();
-            clock.now()
+            ctx.now()
         };
         let mut snap_engine = FirecrackerSnapshotEngine::new();
         let snap = {
-            let clock = SimClock::new();
-            let outcome = snap_engine.boot(&profile, &clock, &model).unwrap();
+            let mut ctx = BootCtx::fresh(&model);
+            let outcome = snap_engine.boot(&profile, &mut ctx).unwrap();
             assert!(outcome
                 .breakdown
                 .total_for("sandbox:guest-linux-boot")
                 .is_zero());
-            clock.now()
+            ctx.now()
         };
         // §5: stock FireCracker pays >100 ms of guest boot plus app init;
         // the snapshot path drops both.
@@ -186,14 +203,14 @@ mod tests {
         let profile = AppProfile::c_hello();
         let mut engine = FirecrackerSnapshotEngine::new();
         let cold = {
-            let clock = SimClock::new();
-            engine.boot(&profile, &clock, &model).unwrap();
-            clock.now()
+            let mut ctx = BootCtx::fresh(&model);
+            engine.boot(&profile, &mut ctx).unwrap();
+            ctx.now()
         };
         let warm = {
-            let clock = SimClock::new();
-            engine.boot(&profile, &clock, &model).unwrap();
-            clock.now()
+            let mut ctx = BootCtx::fresh(&model);
+            engine.boot(&profile, &mut ctx).unwrap();
+            ctx.now()
         };
         assert!(warm < cold, "warm {warm} !< cold {cold} (shared Base-EPT)");
     }
@@ -201,12 +218,10 @@ mod tests {
     #[test]
     fn restored_microvm_serves_requests() {
         let model = CostModel::experimental_machine();
-        let clock = SimClock::new();
+        let mut ctx = BootCtx::fresh(&model);
         let mut engine = FirecrackerSnapshotEngine::new();
-        let mut outcome = engine
-            .boot(&AppProfile::node_hello(), &clock, &model)
-            .unwrap();
-        let exec = outcome.program.invoke_handler(&clock, &model).unwrap();
+        let mut outcome = engine.boot(&AppProfile::node_hello(), &mut ctx).unwrap();
+        let exec = outcome.program.invoke_handler(ctx.clock(), &model).unwrap();
         assert!(exec.pages_touched > 0);
         assert_eq!(outcome.system, "FireCracker-snapshot");
     }

@@ -25,8 +25,8 @@
 //! ```
 //! use catalyzer::{BootMode, Catalyzer};
 //! use runtimes::AppProfile;
-//! use sandbox::BootEngine;
-//! use simtime::{CostModel, SimClock};
+//! use sandbox::{BootCtx, BootEngine};
+//! use simtime::CostModel;
 //!
 //! let model = CostModel::experimental_machine();
 //! let mut catalyzer = Catalyzer::new();
@@ -34,9 +34,11 @@
 //!
 //! // Fork boot from a template sandbox: sub-millisecond startup.
 //! catalyzer.ensure_template(&profile, &model)?;
-//! let clock = SimClock::new();
-//! let boot = catalyzer.boot(BootMode::Fork, &profile, &clock, &model)?;
+//! let mut ctx = BootCtx::fresh(&model);
+//! let boot = catalyzer.boot(BootMode::Fork, &profile, &mut ctx)?;
 //! assert!(boot.boot_latency.as_millis_f64() < 1.0, "{}", boot.boot_latency);
+//! // The boot emitted a nested span trace alongside the flat breakdown.
+//! assert_eq!(boot.trace.name, sandbox::SPAN_BOOT);
 //! # Ok::<(), sandbox::SandboxError>(())
 //! ```
 

@@ -15,6 +15,13 @@
 //! Each technique can be disabled via [`CatalyzerConfig`], in which case the
 //! engine falls back to the corresponding gVisor-restore behaviour — that is
 //! exactly the Fig. 12 ablation ladder.
+//!
+//! Every step runs under a [`sandbox::BootCtx`] span, so the emitted trace
+//! carries the Fig. 8 sub-phases (`restore:kernel` → `separated-state` /
+//! `decode-objects`, `restore:memory` → `share-mapping` / `map-file`, …)
+//! nested beneath the restore phases that the flat [`Breakdown`] reports.
+//!
+//! [`Breakdown`]: simtime::Breakdown
 
 use std::sync::Arc;
 
@@ -23,10 +30,10 @@ use imagefmt::IoConnKind;
 use memsim::{AddressSpace, Perms, ShareMode};
 use runtimes::{AppProfile, WrappedProgram};
 use sandbox::{
-    BootOutcome, GvisorEngine, SandboxError, PHASE_RESTORE_IO, PHASE_RESTORE_KERNEL,
-    PHASE_RESTORE_MEMORY,
+    traced_boot, BootCtx, BootOutcome, GvisorEngine, SandboxError, PHASE_RESTORE_IO,
+    PHASE_RESTORE_KERNEL, PHASE_RESTORE_MEMORY,
 };
-use simtime::{CostModel, PhaseRecorder, SimClock};
+use simtime::SimClock;
 
 use crate::engine::BootMode;
 use crate::store::FuncImageStore;
@@ -39,172 +46,192 @@ pub(crate) fn restore_boot(
     store: &mut FuncImageStore,
     zygotes: &mut ZygotePool,
     profile: &AppProfile,
-    clock: &SimClock,
-    model: &CostModel,
+    ctx: &mut BootCtx,
 ) -> Result<BootOutcome, SandboxError> {
     debug_assert!(matches!(mode, BootMode::Cold | BootMode::Warm));
-    store.ensure_compiled(profile, model)?;
+    store.ensure_compiled(profile, ctx.model())?;
 
-    let start = clock.now();
-    let mut rec = PhaseRecorder::new(clock);
-
-    // --- 1. sandbox acquisition -----------------------------------------
-    let mut space = match mode {
-        BootMode::Cold => {
-            // Cold boot builds the full sandbox (including importing the
-            // function binaries) — this is the ~30 ms the paper reports
-            // cold boot pays over warm boot (§6.2).
-            let shell =
-                GvisorEngine::prepare_sandbox(config.tweaks, profile, true, &mut rec, model)?;
-            shell.space
-        }
-        BootMode::Warm if config.zygotes => rec.phase("sandbox:zygote-specialize", |clk| {
-            let zygote = zygotes.take(clk, model)?;
-            zygote.specialize(&profile.name, clk, model)?;
-            Ok::<_, SandboxError>(AddressSpace::new(profile.name.clone()))
-        })?,
-        BootMode::Warm => {
-            // Zygotes disabled: warm boot still shares memory, but pays
-            // full sandbox construction.
-            let shell =
-                GvisorEngine::prepare_sandbox(config.tweaks, profile, false, &mut rec, model)?;
-            shell.space
-        }
-        BootMode::Fork => unreachable!("fork boot handled by sfork"),
-    };
-
-    let stored = store.get_mut(&profile.name).expect("compiled above");
-    let fs = Arc::clone(&stored.fs);
-
-    // --- 2. guest-kernel metadata ----------------------------------------
-    let records = if config.separated_state {
-        rec.phase(PHASE_RESTORE_KERNEL, |clk| {
-            stored.flat.restore_metadata(clk, model)
-        })?
-    } else {
-        // Ablation: charge the classic one-by-one deserialization costs
-        // (fixed C/R machinery + per-object decode); the recovered data is
-        // identical.
-        rec.phase(PHASE_RESTORE_KERNEL, |clk| {
-            clk.charge(model.obj.classic_restore_fixed);
-            clk.charge(
-                model
-                    .obj
-                    .decode_per_object
-                    .saturating_mul(stored.flat.object_count()),
-            );
-            stored.flat.restore_metadata(&SimClock::new(), model)
-        })?
-    };
-    let mut kernel = rec.phase(PHASE_RESTORE_KERNEL, |clk| {
-        GuestKernel::restore_from_records(
-            profile.name.clone(),
-            &records,
-            Arc::clone(&fs),
-            false,
-            clk,
-            model,
-        )
-    })?;
-
-    // --- 3. application memory -------------------------------------------
-    if config.overlay_memory {
-        rec.phase(PHASE_RESTORE_MEMORY, |clk| {
-            let base = match &stored.base {
-                Some(base) => Arc::clone(base), // share-mapping (warm)
-                None => {
-                    // map-file (first cold boot builds the Base-EPT)
-                    let base = stored.flat.build_base_layer(clk, model)?;
-                    stored.base = Some(Arc::clone(&base));
-                    base
-                }
-            };
-            space.attach_base(base, profile.heap_range(), "func-image", clk, model)?;
-            Ok::<_, SandboxError>(())
-        })?;
-    } else {
-        // Ablation: eager loading of every page, gVisor-restore style.
-        rec.phase(PHASE_RESTORE_MEMORY, |clk| {
-            let index = stored.flat.app_mem_index(clk, model)?;
-            let image = Arc::clone(stored.flat.image());
-            let app_bytes = index.len() as u64 * memsim::PAGE_SIZE as u64;
-            clk.charge(model.decompress(app_bytes)); // classic images are compressed
-            clk.charge(model.memcpy(app_bytes));
-            clk.charge(model.mem.page_fault.saturating_mul(index.len() as u64));
-            space.map_anonymous(
-                profile.heap_range(),
-                Perms::RW,
-                ShareMode::Private,
-                "app-heap",
-            )?;
-            for (vpn, page) in index {
-                let frame = image.load_page(page, clk, model)?;
-                space.install_page(vpn, frame.bytes())?;
+    traced_boot(mode.label(), ctx, |ctx| {
+        // --- 1. sandbox acquisition -------------------------------------
+        let mut space = match mode {
+            BootMode::Cold => {
+                // Cold boot builds the full sandbox (including importing the
+                // function binaries) — this is the ~30 ms the paper reports
+                // cold boot pays over warm boot (§6.2).
+                let shell = GvisorEngine::prepare_sandbox(config.tweaks, profile, true, ctx)?;
+                shell.space
             }
-            Ok::<_, SandboxError>(())
-        })?;
-    }
-
-    // --- 4. I/O reconnection ----------------------------------------------
-    let manifest = stored.flat.read_io_manifest(&SimClock::new(), model)?;
-    rec.phase(PHASE_RESTORE_IO, |clk| {
-        if config.lazy_io {
-            if config.io_cache {
-                // Replay only the deterministic prefix (the cache hits);
-                // everything else reconnects on first use. The gofer batches
-                // the hinted re-opens into one RPC burst, so the critical
-                // path pays the per-entry replay constant, not a full
-                // open() round trip each — the real reconnection work still
-                // happens (scratch clock), only its latency is overlapped.
-                let scratch = SimClock::new();
-                let fds: Vec<i32> = kernel.vfs.iter_fds().map(|(fd, _)| fd).collect();
-                let files: Vec<&imagefmt::IoConn> = manifest
-                    .iter()
-                    .filter(|c| c.kind == IoConnKind::File)
-                    .collect();
-                for (fd, conn) in fds.iter().zip(&files) {
-                    if conn.used_immediately {
-                        clk.charge(model.io.io_cache_replay);
-                        kernel.vfs.ensure_connected(*fd, &scratch, model)?;
-                    }
-                }
-                let socks: Vec<(u64, bool)> = kernel
-                    .net
-                    .iter()
-                    .map(|s| (s.id, s.state == guest_kernel::net::SockState::Listening))
-                    .collect();
-                for (id, listening) in socks {
-                    if listening {
-                        clk.charge(model.io.io_cache_replay);
-                        kernel.net.ensure_connected(id, &scratch, model)?;
-                    }
-                }
+            BootMode::Warm if config.zygotes => ctx.span("sandbox:zygote-specialize", |ctx| {
+                let zygote = zygotes.take(ctx.clock(), ctx.model())?;
+                zygote.specialize(&profile.name, ctx.clock(), ctx.model())?;
+                Ok::<_, SandboxError>(AddressSpace::new(profile.name.clone()))
+            })?,
+            BootMode::Warm => {
+                // Zygotes disabled: warm boot still shares memory, but pays
+                // full sandbox construction.
+                let shell = GvisorEngine::prepare_sandbox(config.tweaks, profile, false, ctx)?;
+                shell.space
             }
-            // Pure lazy (no cache): nothing on the critical path.
+            BootMode::Fork => unreachable!("fork boot handled by sfork"),
+        };
+
+        let stored = store.get_mut(&profile.name).expect("compiled above");
+        let fs = Arc::clone(&stored.fs);
+
+        // --- 2. guest-kernel metadata ------------------------------------
+        let records = if config.separated_state {
+            ctx.span(PHASE_RESTORE_KERNEL, |ctx| {
+                ctx.span("separated-state", |ctx| {
+                    stored.flat.restore_metadata(ctx.clock(), ctx.model())
+                })
+            })?
         } else {
-            // Ablation: eager reconnection of everything.
-            let fds: Vec<i32> = kernel.vfs.iter_fds().map(|(fd, _)| fd).collect();
-            for fd in fds {
-                kernel.vfs.ensure_connected(fd, clk, model)?;
-            }
-            let socks: Vec<u64> = kernel.net.iter().map(|s| s.id).collect();
-            for s in socks {
-                kernel.net.ensure_connected(s, clk, model)?;
-            }
-        }
-        Ok::<_, SandboxError>(())
-    })?;
+            // Ablation: charge the classic one-by-one deserialization costs
+            // (fixed C/R machinery + per-object decode); the recovered data
+            // is identical.
+            ctx.span(PHASE_RESTORE_KERNEL, |ctx| {
+                ctx.charge_span("decode-objects", {
+                    let model = ctx.model();
+                    model.obj.classic_restore_fixed
+                        + model
+                            .obj
+                            .decode_per_object
+                            .saturating_mul(stored.flat.object_count())
+                });
+                stored.flat.restore_metadata(&SimClock::new(), ctx.model())
+            })?
+        };
+        let mut kernel = ctx.span(PHASE_RESTORE_KERNEL, |ctx| {
+            GuestKernel::restore_from_records(
+                profile.name.clone(),
+                &records,
+                Arc::clone(&fs),
+                false,
+                ctx.clock(),
+                ctx.model(),
+            )
+        })?;
 
-    stored.boots += 1;
-    let program = WrappedProgram::from_restored(profile, kernel, space);
-    Ok(BootOutcome {
-        system: match mode {
-            BootMode::Cold => "Catalyzer-restore",
-            BootMode::Warm => "Catalyzer-Zygote",
-            BootMode::Fork => unreachable!(),
-        },
-        boot_latency: clock.since(start),
-        breakdown: rec.finish(),
-        program,
+        // --- 3. application memory ---------------------------------------
+        if config.overlay_memory {
+            ctx.span(PHASE_RESTORE_MEMORY, |ctx| {
+                let (base, step) = match &stored.base {
+                    Some(base) => (Arc::clone(base), "share-mapping"), // warm
+                    None => {
+                        // map-file (first cold boot builds the Base-EPT)
+                        let base = ctx.span("map-file:build-base", |ctx| {
+                            stored.flat.build_base_layer(ctx.clock(), ctx.model())
+                        })?;
+                        stored.base = Some(Arc::clone(&base));
+                        (base, "map-file")
+                    }
+                };
+                ctx.span(step, |ctx| {
+                    space.attach_base(
+                        base,
+                        profile.heap_range(),
+                        "func-image",
+                        ctx.clock(),
+                        ctx.model(),
+                    )
+                })?;
+                Ok::<_, SandboxError>(())
+            })?;
+        } else {
+            // Ablation: eager loading of every page, gVisor-restore style.
+            ctx.span(PHASE_RESTORE_MEMORY, |ctx| {
+                let index = ctx.span("page-index", |ctx| {
+                    stored.flat.app_mem_index(ctx.clock(), ctx.model())
+                })?;
+                let image = Arc::clone(stored.flat.image());
+                let app_bytes = index.len() as u64 * memsim::PAGE_SIZE as u64;
+                ctx.charge_span("decompress", ctx.model().decompress(app_bytes)); // classic images are compressed
+                ctx.span("install-pages", |ctx| {
+                    ctx.charge(ctx.model().memcpy(app_bytes));
+                    ctx.charge(
+                        ctx.model()
+                            .mem
+                            .page_fault
+                            .saturating_mul(index.len() as u64),
+                    );
+                    space.map_anonymous(
+                        profile.heap_range(),
+                        Perms::RW,
+                        ShareMode::Private,
+                        "app-heap",
+                    )?;
+                    for (vpn, page) in index {
+                        let frame = image.load_page(page, ctx.clock(), ctx.model())?;
+                        space.install_page(vpn, frame.bytes())?;
+                    }
+                    Ok::<_, SandboxError>(())
+                })
+            })?;
+        }
+
+        // --- 4. I/O reconnection -----------------------------------------
+        let manifest = stored
+            .flat
+            .read_io_manifest(&SimClock::new(), ctx.model())?;
+        ctx.span(PHASE_RESTORE_IO, |ctx| {
+            if config.lazy_io {
+                if config.io_cache {
+                    // Replay only the deterministic prefix (the cache hits);
+                    // everything else reconnects on first use. The gofer
+                    // batches the hinted re-opens into one RPC burst, so the
+                    // critical path pays the per-entry replay constant, not a
+                    // full open() round trip each — the real reconnection
+                    // work still happens (scratch clock), only its latency is
+                    // overlapped.
+                    ctx.span("io-cache-replay", |ctx| {
+                        let scratch = SimClock::new();
+                        let fds: Vec<i32> = kernel.vfs.iter_fds().map(|(fd, _)| fd).collect();
+                        let files: Vec<&imagefmt::IoConn> = manifest
+                            .iter()
+                            .filter(|c| c.kind == IoConnKind::File)
+                            .collect();
+                        for (fd, conn) in fds.iter().zip(&files) {
+                            if conn.used_immediately {
+                                ctx.charge(ctx.model().io.io_cache_replay);
+                                kernel.vfs.ensure_connected(*fd, &scratch, ctx.model())?;
+                            }
+                        }
+                        let socks: Vec<(u64, bool)> = kernel
+                            .net
+                            .iter()
+                            .map(|s| (s.id, s.state == guest_kernel::net::SockState::Listening))
+                            .collect();
+                        for (id, listening) in socks {
+                            if listening {
+                                ctx.charge(ctx.model().io.io_cache_replay);
+                                kernel.net.ensure_connected(id, &scratch, ctx.model())?;
+                            }
+                        }
+                        Ok::<_, SandboxError>(())
+                    })?;
+                }
+                // Pure lazy (no cache): nothing on the critical path.
+            } else {
+                // Ablation: eager reconnection of everything.
+                ctx.span("reconnect-fds", |ctx| {
+                    let fds: Vec<i32> = kernel.vfs.iter_fds().map(|(fd, _)| fd).collect();
+                    for fd in fds {
+                        kernel.vfs.ensure_connected(fd, ctx.clock(), ctx.model())?;
+                    }
+                    Ok::<_, SandboxError>(())
+                })?;
+                ctx.span("reconnect-sockets", |ctx| {
+                    let socks: Vec<u64> = kernel.net.iter().map(|s| s.id).collect();
+                    for s in socks {
+                        kernel.net.ensure_connected(s, ctx.clock(), ctx.model())?;
+                    }
+                    Ok::<_, SandboxError>(())
+                })?;
+            }
+            Ok::<_, SandboxError>(())
+        })?;
+
+        stored.boots += 1;
+        Ok(WrappedProgram::from_restored(profile, kernel, space))
     })
 }

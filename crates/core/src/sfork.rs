@@ -20,8 +20,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use runtimes::{heap_page_byte, AppProfile, RuntimeKind, WrappedProgram};
-use sandbox::{BootOutcome, SandboxError};
-use simtime::{CostModel, PhaseRecorder, SimClock, SimNanos};
+use sandbox::{traced_boot, BootCtx, BootOutcome, SandboxError};
+use simtime::{CostModel, SimClock, SimNanos};
 
 use crate::CatalyzerConfig;
 
@@ -99,35 +99,37 @@ impl Template {
     pub fn sfork(
         &mut self,
         config: &CatalyzerConfig,
-        rec: &mut PhaseRecorder,
-        model: &CostModel,
+        ctx: &mut BootCtx,
     ) -> Result<(WrappedProgram, u64), SandboxError> {
         let child_name = format!("{}#{}", self.profile.name, self.forks + 1);
 
         // The sfork syscall: CoW-duplicate the address space (page-table
         // granularity) and the guest-kernel bookkeeping.
-        let space = rec.phase("sfork:syscall", |clk| {
-            clk.charge(model.host.sfork_syscall);
+        let space = ctx.span("sfork:syscall", |ctx| {
+            ctx.charge_span("trap", ctx.model().host.sfork_syscall);
             let tables = self.program.space.private_pages().div_ceil(PTE_TABLE_SPAN);
-            clk.charge(SimNanos::from_micros(2).saturating_mul(tables));
+            ctx.charge_span(
+                "copy-page-tables",
+                SimNanos::from_micros(2).saturating_mul(tables),
+            );
             self.program.space.sfork_clone(child_name.clone())
         })?;
-        let mut kernel = rec.phase("sfork:kernel-state", |clk| {
+        let mut kernel = ctx.span("sfork:kernel-state", |ctx| {
             self.program
                 .kernel
-                .sfork_clone(child_name.clone(), clk, model)
+                .sfork_clone(child_name.clone(), ctx.clock(), ctx.model())
         });
         // PID/USER namespaces keep getpid()/getuid()-derived state valid.
-        rec.phase("sfork:namespaces", |clk| {
-            clk.charge(model.host.namespace_setup.saturating_mul(2));
+        ctx.span("sfork:namespaces", |ctx| {
+            ctx.charge(ctx.model().host.namespace_setup.saturating_mul(2));
         });
         // Child expands back to the full thread set.
-        rec.phase("sfork:expand-threads", |clk| {
-            kernel.sentry_threads.expand(clk, model)
+        ctx.span("sfork:expand-threads", |ctx| {
+            kernel.sentry_threads.expand(ctx.clock(), ctx.model())
         })?;
-        let cookie = rec.phase("sfork:aslr", |clk| {
+        let cookie = ctx.span("sfork:aslr", |ctx| {
             if config.aslr_rerandomize {
-                clk.charge(SimNanos::from_micros(80));
+                ctx.charge(SimNanos::from_micros(80));
                 self.layout_cookie = self.layout_cookie.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
             }
             self.layout_cookie
@@ -169,17 +171,11 @@ impl Template {
     pub fn fork_boot(
         &mut self,
         config: &CatalyzerConfig,
-        clock: &SimClock,
-        model: &CostModel,
+        ctx: &mut BootCtx,
     ) -> Result<BootOutcome, SandboxError> {
-        let start = clock.now();
-        let mut rec = PhaseRecorder::new(clock);
-        let (program, _) = self.sfork(config, &mut rec, model)?;
-        Ok(BootOutcome {
-            system: "Catalyzer-sfork",
-            boot_latency: clock.since(start),
-            breakdown: rec.finish(),
-            program,
+        traced_boot("Catalyzer-sfork", ctx, |ctx| {
+            let (program, _) = self.sfork(config, ctx)?;
+            Ok(program)
         })
     }
 
@@ -256,51 +252,47 @@ impl LanguageTemplate {
         &mut self,
         profile: &AppProfile,
         config: &CatalyzerConfig,
-        clock: &SimClock,
-        model: &CostModel,
+        ctx: &mut BootCtx,
     ) -> Result<BootOutcome, SandboxError> {
         assert_eq!(profile.runtime, self.runtime, "language template mismatch");
-        let start = clock.now();
-        let mut rec = PhaseRecorder::new(clock);
-        let (mut program, _) = self.template.sfork(config, &mut rec, model)?;
+        traced_boot("Catalyzer-JavaTemplate", ctx, |ctx| {
+            let (mut program, _) = self.template.sfork(config, ctx)?;
 
-        // Load the function's own classes/modules (the paper: "the major
-        // overhead ... is caused by loading Java class files of requested
-        // functions").
-        rec.phase("app:load-function-units", |clk| {
-            clk.charge(
-                profile
-                    .unit_cost
-                    .saturating_mul(u64::from(profile.app_only_units())),
-            );
-        });
-        // Extend the heap to the function's footprint, really filling the
-        // delta pages so the handler finds its initialized state.
-        rec.phase("app:function-heap", |clk| {
-            let base = Self::base_profile(self.runtime);
-            let from = base.heap_range().end;
-            let to = profile.heap_range().end;
-            if to > from {
-                let delta = memsim::VpnRange::new(from, to);
-                program.space.map_anonymous(
-                    delta,
-                    memsim::Perms::RW,
-                    memsim::ShareMode::Private,
-                    "function-heap",
-                )?;
-                for vpn in delta.iter() {
-                    let b = heap_page_byte(vpn);
-                    program.space.write(vpn, 0, &[b, b, b, b], clk, model)?;
+            // Load the function's own classes/modules (the paper: "the major
+            // overhead ... is caused by loading Java class files of requested
+            // functions").
+            ctx.span("app:load-function-units", |ctx| {
+                ctx.charge(
+                    profile
+                        .unit_cost
+                        .saturating_mul(u64::from(profile.app_only_units())),
+                );
+            });
+            // Extend the heap to the function's footprint, really filling the
+            // delta pages so the handler finds its initialized state.
+            ctx.span("app:function-heap", |ctx| {
+                let base = Self::base_profile(self.runtime);
+                let from = base.heap_range().end;
+                let to = profile.heap_range().end;
+                if to > from {
+                    let delta = memsim::VpnRange::new(from, to);
+                    program.space.map_anonymous(
+                        delta,
+                        memsim::Perms::RW,
+                        memsim::ShareMode::Private,
+                        "function-heap",
+                    )?;
+                    for vpn in delta.iter() {
+                        let b = heap_page_byte(vpn);
+                        program
+                            .space
+                            .write(vpn, 0, &[b, b, b, b], ctx.clock(), ctx.model())?;
+                    }
                 }
-            }
-            Ok::<_, SandboxError>(())
-        })?;
+                Ok::<_, SandboxError>(())
+            })?;
 
-        Ok(BootOutcome {
-            system: "Catalyzer-JavaTemplate",
-            boot_latency: clock.since(start),
-            breakdown: rec.finish(),
-            program,
+            Ok(program)
         })
     }
 }
@@ -329,7 +321,7 @@ mod tests {
         let mut t = Template::generate(&AppProfile::c_hello(), &model).unwrap();
         let clock = SimClock::new();
         let boot = t
-            .fork_boot(&CatalyzerConfig::full(), &clock, &model)
+            .fork_boot(&CatalyzerConfig::full(), &mut BootCtx::new(&clock, &model))
             .unwrap();
         // Paper §6.2: 0.97 ms for C-hello.
         let ms = boot.boot_latency.as_millis_f64();
@@ -344,7 +336,7 @@ mod tests {
         let mut t = Template::generate(&AppProfile::java_specjbb(), &model).unwrap();
         let clock = SimClock::new();
         let boot = t
-            .fork_boot(&CatalyzerConfig::full(), &clock, &model)
+            .fork_boot(&CatalyzerConfig::full(), &mut BootCtx::new(&clock, &model))
             .unwrap();
         // Paper abstract: <2 ms to boot Java SPECjbb.
         let ms = boot.boot_latency.as_millis_f64();
@@ -357,7 +349,7 @@ mod tests {
         let clock = SimClock::new();
         let mut t = Template::generate(&AppProfile::c_hello(), &model).unwrap();
         let mut boot = t
-            .fork_boot(&CatalyzerConfig::full(), &clock, &model)
+            .fork_boot(&CatalyzerConfig::full(), &mut BootCtx::new(&clock, &model))
             .unwrap();
         let exec = boot.program.invoke_handler(&clock, &model).unwrap();
         assert!(exec.pages_touched > 0);
@@ -375,10 +367,9 @@ mod tests {
         let mut t = Template::generate(&AppProfile::c_hello(), &model).unwrap();
         let mut latencies = Vec::new();
         for _ in 0..50 {
-            let clock = SimClock::new();
-            t.fork_boot(&CatalyzerConfig::full(), &clock, &model)
-                .unwrap();
-            latencies.push(clock.now());
+            let mut ctx = BootCtx::fresh(&model);
+            t.fork_boot(&CatalyzerConfig::full(), &mut ctx).unwrap();
+            latencies.push(ctx.now());
         }
         assert_eq!(t.forks(), 50);
         // Sustainable hot boot: the 50th fork is as fast as the 1st.
@@ -391,8 +382,14 @@ mod tests {
         let clock = SimClock::new();
         let mut t = Template::generate(&AppProfile::c_hello(), &model).unwrap();
         let cfg = CatalyzerConfig::full();
-        let mut a = t.fork_boot(&cfg, &clock, &model).unwrap().program;
-        let mut b = t.fork_boot(&cfg, &clock, &model).unwrap().program;
+        let mut a = t
+            .fork_boot(&cfg, &mut BootCtx::new(&clock, &model))
+            .unwrap()
+            .program;
+        let mut b = t
+            .fork_boot(&cfg, &mut BootCtx::new(&clock, &model))
+            .unwrap()
+            .program;
         let heap = AppProfile::c_hello().heap_range();
         a.space
             .write(heap.start, 0, b"AAAA", &clock, &model)
@@ -427,11 +424,14 @@ mod tests {
         let clock = SimClock::new();
         let cfg = CatalyzerConfig::full();
         let before = t.layout_cookie();
-        t.fork_boot(&cfg, &clock, &model).unwrap();
+        t.fork_boot(&cfg, &mut BootCtx::new(&clock, &model))
+            .unwrap();
         t.refresh(&model).unwrap();
         assert_ne!(t.layout_cookie(), before, "refresh must re-randomize");
         assert_eq!(t.forks(), 1, "fork count survives the refresh");
-        let mut boot = t.fork_boot(&cfg, &clock, &model).unwrap();
+        let mut boot = t
+            .fork_boot(&cfg, &mut BootCtx::new(&clock, &model))
+            .unwrap();
         boot.program.invoke_handler(&clock, &model).unwrap();
     }
 
@@ -439,20 +439,19 @@ mod tests {
     fn aslr_rerandomization_changes_layout_cookie() {
         let model = model();
         let mut t = Template::generate(&AppProfile::c_hello(), &model).unwrap();
-        let clock = SimClock::new();
-        let mut rec = PhaseRecorder::new(&clock);
+        let mut ctx = BootCtx::fresh(&model);
 
         let fixed = CatalyzerConfig::full();
-        let (_, c1) = t.sfork(&fixed, &mut rec, &model).unwrap();
-        let (_, c2) = t.sfork(&fixed, &mut rec, &model).unwrap();
+        let (_, c1) = t.sfork(&fixed, &mut ctx).unwrap();
+        let (_, c2) = t.sfork(&fixed, &mut ctx).unwrap();
         assert_eq!(c1, c2, "without re-randomization the layout repeats");
 
         let rerand = CatalyzerConfig {
             aslr_rerandomize: true,
             ..fixed
         };
-        let (_, c3) = t.sfork(&rerand, &mut rec, &model).unwrap();
-        let (_, c4) = t.sfork(&rerand, &mut rec, &model).unwrap();
+        let (_, c3) = t.sfork(&rerand, &mut ctx).unwrap();
+        let (_, c4) = t.sfork(&rerand, &mut ctx).unwrap();
         assert_ne!(c3, c4, "re-randomization must change the layout");
     }
 
@@ -465,8 +464,7 @@ mod tests {
             .boot_function(
                 &AppProfile::java_hello(),
                 &CatalyzerConfig::full(),
-                &clock,
-                &model,
+                &mut BootCtx::new(&clock, &model),
             )
             .unwrap();
         // Table 2: 29.3 ms (vs 659.1 ms gVisor cold boot).
@@ -484,8 +482,7 @@ mod tests {
             .boot_function(
                 &AppProfile::python_hello(),
                 &CatalyzerConfig::full(),
-                &clock,
-                &model,
+                &mut BootCtx::new(&clock, &model),
             )
             .unwrap();
         let exec = boot.program.invoke_handler(&clock, &model).unwrap();
@@ -500,8 +497,7 @@ mod tests {
         let _ = lt.boot_function(
             &AppProfile::python_hello(),
             &CatalyzerConfig::full(),
-            &SimClock::new(),
-            &model,
+            &mut BootCtx::fresh(&model),
         );
     }
 }

@@ -4,6 +4,7 @@
 use catalyzer::{BootMode, Catalyzer, CatalyzerConfig, Template};
 use proptest::prelude::*;
 use runtimes::{heap_page_byte, AppProfile};
+use sandbox::BootCtx;
 use simtime::{CostModel, SimClock, SimNanos};
 
 /// A randomized (small) application profile built on the C baseline.
@@ -38,13 +39,13 @@ proptest! {
 
         let mut latencies = Vec::new();
         for mode in [BootMode::Cold, BootMode::Warm, BootMode::Fork] {
-            let clock = SimClock::new();
-            let mut outcome = cat.boot(mode, &profile, &clock, &model).unwrap();
-            latencies.push(clock.now());
+            let mut ctx = BootCtx::fresh(&model);
+            let mut outcome = cat.boot(mode, &profile, &mut ctx).unwrap();
+            latencies.push(ctx.now());
 
             let probe = profile.heap_range().start + profile.init_heap_pages / 2;
             let mut buf = [0u8; 1];
-            outcome.program.space.read(probe, 0, &mut buf, &clock, &model).unwrap();
+            outcome.program.space.read(probe, 0, &mut buf, ctx.clock(), &model).unwrap();
             prop_assert_eq!(buf[0], heap_page_byte(probe), "{} heap corrupt", mode.label());
         }
         prop_assert!(latencies[2] < latencies[1], "fork !< warm: {latencies:?}");
@@ -63,10 +64,10 @@ proptest! {
             CatalyzerConfig::overlay_separated_lazy(),
         ] {
             let mut cat = Catalyzer::with_config(config);
-            let clock = SimClock::new();
-            cat.boot(BootMode::Cold, &profile, &clock, &model).unwrap();
-            prop_assert!(clock.now() <= last, "ladder regressed at {config:?}");
-            last = clock.now();
+            let mut ctx = BootCtx::fresh(&model);
+            cat.boot(BootMode::Cold, &profile, &mut ctx).unwrap();
+            prop_assert!(ctx.now() <= last, "ladder regressed at {config:?}");
+            last = ctx.now();
         }
     }
 
@@ -81,13 +82,13 @@ proptest! {
         let mut programs = Vec::new();
         let mut first_latency = None;
         for _ in 0..children {
-            let boot_clock = SimClock::new();
+            let mut boot_ctx = BootCtx::fresh(&model);
             let outcome = template
-                .fork_boot(&CatalyzerConfig::full(), &boot_clock, &model)
+                .fork_boot(&CatalyzerConfig::full(), &mut boot_ctx)
                 .unwrap();
             match first_latency {
-                None => first_latency = Some(boot_clock.now()),
-                Some(expect) => prop_assert_eq!(boot_clock.now(), expect),
+                None => first_latency = Some(boot_ctx.now()),
+                Some(expect) => prop_assert_eq!(boot_ctx.now(), expect),
             }
             programs.push(outcome.program);
         }

@@ -1,8 +1,13 @@
+//! The per-server gateway daemon (paper §2.1): accepts "invoke function"
+//! requests and starts sandboxes through a pluggable [`BootEngine`],
+//! recording per-function latency histograms and a span tree per request.
+
 use std::fmt;
 
 use runtimes::ExecReport;
-use sandbox::{BootEngine, BootOutcome};
-use simtime::{CostModel, SimClock, SimNanos};
+use sandbox::{BootCtx, BootEngine, BootOutcome, SPAN_EXEC};
+use simtime::trace::Span;
+use simtime::{CostModel, MetricsRegistry, SimNanos};
 
 use crate::{FunctionRegistry, PlatformError};
 
@@ -30,6 +35,22 @@ impl InvocationReport {
     }
 }
 
+/// Everything one request produced: the latency split, the boot outcome
+/// (live sandbox plus its boot trace), the handler's execution report, and
+/// the invocation span tree.
+#[derive(Debug)]
+pub struct Invocation {
+    /// The latency split. Both legs are derived from the span tree, so they
+    /// always agree with [`Invocation::trace`].
+    pub report: InvocationReport,
+    /// The boot outcome (breakdown, boot span, live sandbox).
+    pub outcome: BootOutcome,
+    /// The handler execution report.
+    pub exec: ExecReport,
+    /// The request's span tree: `invoke:<fn>` → `[boot, exec]`.
+    pub trace: Span,
+}
+
 /// The per-server gateway daemon (paper §2.1): accepts "invoke function"
 /// requests and starts sandboxes through a pluggable [`BootEngine`].
 pub struct Gateway<E: BootEngine> {
@@ -37,6 +58,7 @@ pub struct Gateway<E: BootEngine> {
     registry: FunctionRegistry,
     model: CostModel,
     invocations: u64,
+    metrics: MetricsRegistry,
 }
 
 impl<E: BootEngine> Gateway<E> {
@@ -47,6 +69,7 @@ impl<E: BootEngine> Gateway<E> {
             registry: FunctionRegistry::new(),
             model,
             invocations: 0,
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -60,14 +83,36 @@ impl<E: BootEngine> Gateway<E> {
         &self.registry
     }
 
-    /// The engine (for engine-specific preparation).
-    pub fn engine_mut(&mut self) -> &mut E {
-        &mut self.engine
-    }
-
     /// Requests served.
     pub fn invocations(&self) -> u64 {
         self.invocations
+    }
+
+    /// Gateway metrics: per-function `boot.<fn>` / `exec.<fn>` latency
+    /// histograms and `invoke.*` counters, all on the virtual timeline.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Prepares `function` off the critical path: templates, zygotes, or
+    /// snapshot images, depending on the engine (engines with no offline
+    /// work treat this as a no-op). The engine-specific preparation that
+    /// used to require reaching into the engine directly.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownFunction`]; engine preparation errors.
+    pub fn warm(&mut self, function: &str) -> Result<(), PlatformError> {
+        let profile = self
+            .registry
+            .get(function)
+            .ok_or_else(|| PlatformError::UnknownFunction {
+                name: function.to_string(),
+            })?
+            .clone();
+        self.engine.warm(&profile, &self.model)?;
+        self.metrics.inc("warm.count");
+        Ok(())
     }
 
     /// Serves one request end to end: boot an ephemeral sandbox, run the
@@ -77,20 +122,16 @@ impl<E: BootEngine> Gateway<E> {
     ///
     /// [`PlatformError::UnknownFunction`]; engine and handler errors.
     pub fn invoke(&mut self, function: &str) -> Result<InvocationReport, PlatformError> {
-        let (report, _, _) = self.invoke_detailed(function)?;
-        Ok(report)
+        Ok(self.invoke_detailed(function)?.report)
     }
 
-    /// [`Gateway::invoke`], also returning the boot outcome and exec report
-    /// for experiments that need breakdowns or the live sandbox.
+    /// [`Gateway::invoke`], returning the full [`Invocation`] for
+    /// experiments that need breakdowns, the span tree, or the live sandbox.
     ///
     /// # Errors
     ///
     /// Same as [`Gateway::invoke`].
-    pub fn invoke_detailed(
-        &mut self,
-        function: &str,
-    ) -> Result<(InvocationReport, BootOutcome, ExecReport), PlatformError> {
+    pub fn invoke_detailed(&mut self, function: &str) -> Result<Invocation, PlatformError> {
         let profile = self
             .registry
             .get(function)
@@ -98,19 +139,48 @@ impl<E: BootEngine> Gateway<E> {
                 name: function.to_string(),
             })?
             .clone();
-        let clock = SimClock::new();
-        let mut outcome = self.engine.boot(&profile, &clock, &self.model)?;
-        let boot = clock.now();
-        let exec_report = outcome.program.invoke_handler(&clock, &self.model)?;
+        let mut ctx = BootCtx::fresh(&self.model);
+        ctx.tracer_mut().begin(format!("invoke:{function}"));
+
+        let mut outcome = match self.engine.boot(&profile, &mut ctx) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.metrics.inc("invoke.errors");
+                ctx.tracer_mut().end();
+                return Err(e.into());
+            }
+        };
+        let (exec_result, exec_span) = ctx.span_out(SPAN_EXEC, |ctx| {
+            outcome.program.invoke_handler(ctx.clock(), ctx.model())
+        });
+        let trace = ctx.tracer_mut().end();
+        let exec = match exec_result {
+            Ok(report) => report,
+            Err(e) => {
+                self.metrics.inc("invoke.errors");
+                return Err(e.into());
+            }
+        };
+
+        // Both latency legs come from the span tree itself — the report can
+        // never drift from the trace.
+        let report = InvocationReport {
+            boot: outcome.trace.duration(),
+            exec: exec_span.duration(),
+        };
         self.invocations += 1;
-        Ok((
-            InvocationReport {
-                boot,
-                exec: clock.now() - boot,
-            },
+        self.metrics.inc("invoke.count");
+        self.metrics.inc(&format!("invoke.{function}.count"));
+        self.metrics
+            .observe(&format!("boot.{function}"), report.boot);
+        self.metrics
+            .observe(&format!("exec.{function}"), report.exec);
+        Ok(Invocation {
+            report,
             outcome,
-            exec_report,
-        ))
+            exec,
+            trace,
+        })
     }
 }
 
@@ -129,7 +199,7 @@ mod tests {
     use super::*;
     use catalyzer::{BootMode, CatalyzerEngine};
     use runtimes::AppProfile;
-    use sandbox::GvisorEngine;
+    use sandbox::{GvisorEngine, SPAN_BOOT};
 
     #[test]
     fn unknown_function_is_an_error() {
@@ -137,6 +207,10 @@ mod tests {
         let mut gw = Gateway::new(GvisorEngine::new(), model);
         assert!(matches!(
             gw.invoke("ghost").unwrap_err(),
+            PlatformError::UnknownFunction { .. }
+        ));
+        assert!(matches!(
+            gw.warm("ghost").unwrap_err(),
             PlatformError::UnknownFunction { .. }
         ));
     }
@@ -159,6 +233,57 @@ mod tests {
         gw.register(AppProfile::python_django());
         let r = gw.invoke("Python-Django").unwrap();
         assert!(r.execution_ratio() > 0.9, "ratio {}", r.execution_ratio());
+    }
+
+    #[test]
+    fn report_legs_equal_span_durations() {
+        let model = CostModel::experimental_machine();
+        let mut gw = Gateway::new(GvisorEngine::new(), model);
+        gw.register(AppProfile::c_hello());
+        let inv = gw.invoke_detailed("C-hello").unwrap();
+
+        // The invoke root holds exactly [boot, exec], contiguous in time.
+        assert_eq!(inv.trace.name, "invoke:C-hello");
+        assert_eq!(inv.trace.children.len(), 2);
+        let boot_span = &inv.trace.children[0];
+        let exec_span = &inv.trace.children[1];
+        assert_eq!(boot_span.name, SPAN_BOOT);
+        assert_eq!(exec_span.name, SPAN_EXEC);
+        assert_eq!(inv.report.boot, boot_span.duration());
+        assert_eq!(inv.report.exec, exec_span.duration());
+        assert_eq!(inv.report.total(), inv.trace.duration());
+        assert_eq!(inv.report.boot, inv.outcome.boot_latency);
+        inv.trace.validate_nesting().unwrap();
+    }
+
+    #[test]
+    fn warm_prepares_the_template_off_path() {
+        let model = CostModel::experimental_machine();
+        let mut gw = Gateway::new(CatalyzerEngine::standalone(BootMode::Fork), model);
+        gw.register(AppProfile::c_hello());
+        gw.warm("C-hello").unwrap();
+        let r = gw.invoke("C-hello").unwrap();
+        assert!(r.boot < SimNanos::from_millis(1), "fork boot {}", r.boot);
+        assert_eq!(gw.metrics().counter("warm.count"), 1);
+    }
+
+    #[test]
+    fn gateway_metrics_accumulate() {
+        let model = CostModel::experimental_machine();
+        let mut gw = Gateway::new(GvisorEngine::new(), model);
+        gw.register(AppProfile::c_hello());
+        gw.register(AppProfile::python_hello());
+        for _ in 0..3 {
+            gw.invoke("C-hello").unwrap();
+        }
+        gw.invoke("Python-hello").unwrap();
+        assert_eq!(gw.metrics().counter("invoke.count"), 4);
+        assert_eq!(gw.metrics().counter("invoke.C-hello.count"), 3);
+        let h = gw.metrics().histogram("boot.C-hello").unwrap();
+        assert_eq!(h.count(), 3);
+        assert!(h.p99().unwrap() >= h.p50().unwrap());
+        assert!(gw.metrics().histogram("exec.Python-hello").is_some());
+        assert_eq!(gw.metrics().counter("invoke.errors"), 0);
     }
 
     #[test]

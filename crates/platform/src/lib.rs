@@ -44,5 +44,5 @@ pub mod scaling;
 pub mod simulate;
 
 pub use error::PlatformError;
-pub use gateway::{Gateway, InvocationReport};
+pub use gateway::{Gateway, Invocation, InvocationReport};
 pub use registry::FunctionRegistry;

@@ -8,7 +8,7 @@
 
 use memsim::accounting::{self, MemoryUsage};
 use runtimes::AppProfile;
-use sandbox::BootEngine;
+use sandbox::{BootCtx, BootEngine};
 use simtime::{CostModel, SimClock};
 
 use crate::PlatformError;
@@ -28,7 +28,8 @@ pub fn concurrent_usage<E: BootEngine>(
     let clock = SimClock::new();
     let mut instances = Vec::with_capacity(n as usize);
     for _ in 0..n {
-        let mut outcome = engine.boot(profile, &clock, model)?;
+        let mut ctx = BootCtx::new(&clock, model);
+        let mut outcome = engine.boot(profile, &mut ctx)?;
         outcome.program.invoke_handler(&clock, model)?;
         instances.push(outcome);
     }

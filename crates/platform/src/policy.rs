@@ -9,9 +9,9 @@
 use std::collections::VecDeque;
 
 use runtimes::AppProfile;
-use sandbox::{BootEngine, SandboxError};
+use sandbox::{BootCtx, BootEngine, SandboxError};
 use simtime::stats::{summarize, Summary};
-use simtime::{CostModel, SimClock, SimNanos};
+use simtime::{CostModel, SimNanos};
 
 /// How the platform picks a boot path for each request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,9 +67,9 @@ pub fn simulate_trace<E: BootEngine>(
                     hits += 1;
                     latencies.push(SimNanos::from_micros(150));
                 } else {
-                    let clock = SimClock::new();
-                    engine.boot(profile, &clock, model)?;
-                    latencies.push(clock.now());
+                    let mut ctx = BootCtx::fresh(model);
+                    engine.boot(profile, &mut ctx)?;
+                    latencies.push(ctx.now());
                     cache.push_back(profile.name.clone());
                     while cache.len() > capacity {
                         cache.pop_front();
@@ -77,9 +77,9 @@ pub fn simulate_trace<E: BootEngine>(
                 }
             }
             BootPolicy::AlwaysBoot => {
-                let clock = SimClock::new();
-                engine.boot(profile, &clock, model)?;
-                latencies.push(clock.now());
+                let mut ctx = BootCtx::fresh(model);
+                engine.boot(profile, &mut ctx)?;
+                latencies.push(ctx.now());
             }
         }
     }

@@ -10,8 +10,8 @@
 use std::collections::VecDeque;
 
 use runtimes::AppProfile;
-use sandbox::{BootEngine, BootOutcome};
-use simtime::{CostModel, SimClock, SimNanos};
+use sandbox::{BootCtx, BootEngine, BootOutcome};
+use simtime::{CostModel, MetricsRegistry, SimNanos};
 
 use crate::PlatformError;
 
@@ -45,6 +45,7 @@ pub struct InstancePool<E: BootEngine> {
     max_idle: usize,
     idle: VecDeque<IdleInstance>,
     stats: PoolStats,
+    metrics: MetricsRegistry,
 }
 
 impl<E: BootEngine> InstancePool<E> {
@@ -57,12 +58,19 @@ impl<E: BootEngine> InstancePool<E> {
             max_idle,
             idle: VecDeque::new(),
             stats: PoolStats::default(),
+            metrics: MetricsRegistry::new(),
         }
     }
 
     /// Pool statistics so far.
     pub fn stats(&self) -> PoolStats {
         self.stats
+    }
+
+    /// Pool metrics: `pool.reuse` / `pool.boot` / `pool.expire` counters, a
+    /// `pool.idle` gauge, and the `pool.startup` latency histogram.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Idle instances currently held.
@@ -76,7 +84,10 @@ impl<E: BootEngine> InstancePool<E> {
         let before = self.idle.len();
         self.idle
             .retain(|i| now.saturating_sub(i.idle_since) < keep_alive);
-        self.stats.expirations += (before - self.idle.len()) as u64;
+        let expired = (before - self.idle.len()) as u64;
+        self.stats.expirations += expired;
+        self.metrics.add("pool.expire", expired);
+        self.metrics.set_gauge("pool.idle", self.idle.len() as i64);
     }
 
     /// Serves one request arriving at `now`: reuse an idle instance or boot
@@ -95,24 +106,28 @@ impl<E: BootEngine> InstancePool<E> {
         let (mut outcome, startup, reused) = match self.idle.pop_front() {
             Some(instance) => {
                 self.stats.reuses += 1;
+                self.metrics.inc("pool.reuse");
                 // Reuse: scheduler hand-off only.
                 (instance.outcome, SimNanos::from_micros(150), true)
             }
             None => {
                 self.stats.boots += 1;
-                let clock = SimClock::new();
-                let outcome = self.engine.boot(&self.profile, &clock, model)?;
-                (outcome, clock.now(), false)
+                self.metrics.inc("pool.boot");
+                let mut ctx = BootCtx::fresh(model);
+                let outcome = self.engine.boot(&self.profile, &mut ctx)?;
+                (outcome, ctx.now(), false)
             }
         };
-        let clock = SimClock::new();
-        outcome.program.invoke_handler(&clock, model)?;
-        let exec = clock.now();
+        self.metrics.observe("pool.startup", startup);
+        let ctx = BootCtx::fresh(model);
+        outcome.program.invoke_handler(ctx.clock(), ctx.model())?;
+        let exec = ctx.now();
         if self.idle.len() < self.max_idle {
             self.idle.push_back(IdleInstance {
                 outcome,
                 idle_since: now + startup + exec,
             });
+            self.metrics.set_gauge("pool.idle", self.idle.len() as i64);
         }
         Ok((startup, exec, reused))
     }

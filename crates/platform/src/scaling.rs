@@ -9,9 +9,9 @@
 //! magnitude higher, as in the figure.
 
 use runtimes::AppProfile;
-use sandbox::{BootEngine, SandboxError};
+use sandbox::{BootCtx, BootEngine, SandboxError};
 use simtime::jitter::Jitter;
-use simtime::{CostModel, MachineKind, SimClock, SimNanos};
+use simtime::{CostModel, MachineKind, MetricsRegistry, SimNanos};
 
 /// One measured point of Fig. 15.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +57,24 @@ pub fn sweep<E: BootEngine>(
     model: &CostModel,
     seed: u64,
 ) -> Result<Vec<ScalePoint>, SandboxError> {
+    let mut metrics = MetricsRegistry::new();
+    sweep_with_metrics(engine, profile, points, model, seed, &mut metrics)
+}
+
+/// [`sweep`], also accumulating `scaling.*` counters and the
+/// `scaling.startup` histogram into `metrics`.
+///
+/// # Errors
+///
+/// Engine errors from any boot.
+pub fn sweep_with_metrics<E: BootEngine>(
+    engine: &mut E,
+    profile: &AppProfile,
+    points: &[u32],
+    model: &CostModel,
+    seed: u64,
+    metrics: &mut MetricsRegistry,
+) -> Result<Vec<ScalePoint>, SandboxError> {
     let mut jitter = Jitter::seeded(seed);
     let mut out = Vec::with_capacity(points.len());
     let mut running: Vec<sandbox::BootOutcome> = Vec::new();
@@ -64,15 +82,19 @@ pub fn sweep<E: BootEngine>(
     for &n in points {
         // Top up the background population to n running instances.
         while (running.len() as u32) < n {
-            let scrap = SimClock::new();
-            running.push(engine.boot(profile, &scrap, model)?);
+            let mut scrap = BootCtx::fresh(model);
+            running.push(engine.boot(profile, &mut scrap)?);
+            metrics.inc("scaling.background-boots");
         }
         // Measure one boot under contention.
-        let raw = SimClock::new();
-        let outcome = engine.boot(profile, &raw, model)?;
+        let mut ctx = BootCtx::fresh(model);
+        let outcome = engine.boot(profile, &mut ctx)?;
         drop(outcome); // the measured instance exits after serving
         let factor = contention_factor(n, model, &mut jitter);
-        let startup = raw.now().scale(factor);
+        let startup = ctx.now().scale(factor);
+        metrics.inc("scaling.measured-boots");
+        metrics.observe("scaling.startup", startup);
+        metrics.set_gauge("scaling.running", n as i64);
         out.push(ScalePoint {
             running: n,
             startup,

@@ -1,10 +1,16 @@
 //! The common boot-engine interface and phase conventions.
 
 use runtimes::{AppProfile, WrappedProgram};
+use simtime::trace::{Span, Tracer};
 use simtime::{Breakdown, CostModel, SimClock, SimNanos};
 
 use crate::host::{HostTweaks, KvmDevice};
 use crate::SandboxError;
+
+/// Name of the root span every engine wraps around one boot.
+pub const SPAN_BOOT: &str = "boot";
+/// Name of the span the gateway wraps around handler execution.
+pub const SPAN_EXEC: &str = "exec";
 
 /// Phase-name prefix for sandbox-initialization work (Fig. 4's "Sandbox").
 pub const PHASE_SANDBOX: &str = "sandbox:";
@@ -28,6 +34,108 @@ pub enum IsolationLevel {
     High,
 }
 
+/// Everything a boot engine needs from its caller: the virtual clock being
+/// charged, the calibrated cost model, and the span tracer recording where
+/// the nanoseconds go.
+///
+/// A `BootCtx` owns clone *handles*: the clock shares its timeline with the
+/// caller's clock, so charges made through the context are visible outside
+/// it, and the tracer stamps spans from that same timeline.
+///
+/// # Example
+///
+/// ```
+/// use sandbox::BootCtx;
+/// use simtime::{CostModel, SimClock, SimNanos};
+///
+/// let clock = SimClock::new();
+/// let mut ctx = BootCtx::new(&clock, &CostModel::experimental_machine());
+/// ctx.span("sandbox:spawn", |ctx| {
+///     let cost = ctx.model().host.process_spawn;
+///     ctx.charge(cost);
+/// });
+/// assert_eq!(clock.now(), ctx.now());
+/// ```
+#[derive(Debug)]
+pub struct BootCtx {
+    clock: SimClock,
+    model: CostModel,
+    tracer: Tracer,
+}
+
+impl BootCtx {
+    /// Creates a context charging `clock` under `model`.
+    pub fn new(clock: &SimClock, model: &CostModel) -> BootCtx {
+        BootCtx {
+            clock: clock.clone(),
+            model: model.clone(),
+            tracer: Tracer::new(clock),
+        }
+    }
+
+    /// Creates a context with its own clock at time zero — the common case
+    /// for one-shot boots where only the outcome matters.
+    pub fn fresh(model: &CostModel) -> BootCtx {
+        BootCtx::new(&SimClock::new(), model)
+    }
+
+    /// The clock being charged.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The cost model in effect.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimNanos {
+        self.clock.now()
+    }
+
+    /// Advances the clock by `cost`.
+    pub fn charge(&self, cost: SimNanos) {
+        self.clock.charge(cost);
+    }
+
+    /// Runs `f` inside a span named `name`: every charge and nested span
+    /// lands inside it.
+    pub fn span<T>(&mut self, name: impl Into<String>, f: impl FnOnce(&mut BootCtx) -> T) -> T {
+        self.tracer.begin(name);
+        let out = f(self);
+        self.tracer.end();
+        out
+    }
+
+    /// Like [`BootCtx::span`], but also returns the completed [`Span`].
+    pub fn span_out<T>(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut BootCtx) -> T,
+    ) -> (T, Span) {
+        self.tracer.begin(name);
+        let out = f(self);
+        let span = self.tracer.end();
+        (out, span)
+    }
+
+    /// Records a leaf span with an already-known cost, charging the clock.
+    pub fn charge_span(&mut self, name: impl Into<String>, cost: SimNanos) {
+        self.tracer.charge_span(name, cost);
+    }
+
+    /// The tracer, for callers that need raw begin/end control.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Completed top-level spans recorded so far.
+    pub fn spans(&self) -> &[Span] {
+        self.tracer.roots()
+    }
+}
+
 /// The result of booting one sandbox: a program parked at its handler,
 /// ready to serve, plus full latency accounting.
 #[derive(Debug)]
@@ -36,8 +144,10 @@ pub struct BootOutcome {
     pub system: &'static str,
     /// Total startup latency (gateway request → handler ready).
     pub boot_latency: SimNanos,
-    /// Ordered phase breakdown.
+    /// Ordered phase breakdown (the root span's direct children).
     pub breakdown: Breakdown,
+    /// The full nested span tree for this boot, rooted at [`SPAN_BOOT`].
+    pub trace: Span,
     /// The booted program (invoke its handler to serve requests).
     pub program: WrappedProgram,
 }
@@ -79,8 +189,9 @@ pub trait BootEngine {
     /// Where the design sits in Fig. 3.
     fn isolation(&self) -> IsolationLevel;
 
-    /// Boots one instance of `profile`, charging `clock` for everything on
-    /// the startup critical path.
+    /// Boots one instance of `profile`, charging the context's clock for
+    /// everything on the startup critical path and recording a nested span
+    /// tree rooted at [`SPAN_BOOT`] (use [`traced_boot`]).
     ///
     /// # Errors
     ///
@@ -88,9 +199,44 @@ pub trait BootEngine {
     fn boot(
         &mut self,
         profile: &AppProfile,
-        clock: &SimClock,
-        model: &CostModel,
+        ctx: &mut BootCtx,
     ) -> Result<BootOutcome, SandboxError>;
+
+    /// Prepares `profile` off the boot critical path — templates, zygotes,
+    /// compiled snapshot images. Engines with no offline work accept the
+    /// default no-op; the platform exposes this as `Gateway::warm`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SandboxError`] from the preparation work.
+    fn warm(&mut self, profile: &AppProfile, model: &CostModel) -> Result<(), SandboxError> {
+        let _ = (profile, model);
+        Ok(())
+    }
+}
+
+/// Wraps an engine's boot body in the [`SPAN_BOOT`] root span and assembles
+/// the [`BootOutcome`] from the finished span: `boot_latency` is the span's
+/// duration and `breakdown` its direct children, so the flat report and the
+/// tree can never disagree.
+///
+/// # Errors
+///
+/// Propagates the closure's error (the root span still closes, keeping the
+/// tracer balanced).
+pub fn traced_boot(
+    system: &'static str,
+    ctx: &mut BootCtx,
+    f: impl FnOnce(&mut BootCtx) -> Result<WrappedProgram, SandboxError>,
+) -> Result<BootOutcome, SandboxError> {
+    let (program, span) = ctx.span_out(SPAN_BOOT, f);
+    Ok(BootOutcome {
+        system,
+        boot_latency: span.duration(),
+        breakdown: span.to_breakdown(),
+        trace: span,
+        program: program?,
+    })
 }
 
 /// Shared helper: hardware-virtualization setup (KVM VM, VCPUs, memory

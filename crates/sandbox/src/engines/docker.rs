@@ -1,10 +1,10 @@
 //! Docker (runc-style) containers: fast-ish sandbox setup, shared host
 //! kernel (medium isolation), full application initialization on every boot.
 
-use runtimes::{AppProfile, WrappedProgram};
-use simtime::{CostModel, PhaseRecorder, SimClock};
+use runtimes::AppProfile;
+use runtimes::WrappedProgram;
 
-use crate::boot::{BootEngine, BootOutcome, IsolationLevel, PHASE_APP};
+use crate::boot::{traced_boot, BootCtx, BootEngine, BootOutcome, IsolationLevel, PHASE_APP};
 use crate::config::OciConfig;
 use crate::SandboxError;
 
@@ -38,47 +38,44 @@ impl BootEngine for DockerEngine {
     fn boot(
         &mut self,
         profile: &AppProfile,
-        clock: &SimClock,
-        model: &CostModel,
+        ctx: &mut BootCtx,
     ) -> Result<BootOutcome, SandboxError> {
         self.boots += 1;
-        let start = clock.now();
-        let mut rec = PhaseRecorder::new(clock);
-
-        let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
-        rec.phase("sandbox:parse-config", |clk| {
-            OciConfig::parse(&json, clk, model)
-        })?;
-        rec.phase("sandbox:container-runtime", |clk| {
-            clk.charge(model.host.container_runtime_overhead);
-        });
-        let mut program = rec.phase("sandbox:namespaces+process", |clk| {
-            let mut program = WrappedProgram::start(profile, clk, model)?;
-            // runc sets up pid/user/net/mnt namespaces and cgroups.
-            for ns in ["mnt", "cgroup"] {
-                program.kernel.tasks.add_namespace(ns, 0, clk, model);
-            }
-            clk.charge(model.host.process_spawn);
-            Ok::<_, SandboxError>(program)
-        })?;
-        rec.phase("sandbox:rootfs-mounts", |clk| {
-            program.kernel.vfs.mount(
-                guest_kernel::vfs::MountInfo {
-                    source: "proc".into(),
-                    target: "/proc".into(),
-                    fs_type: "proc".into(),
-                },
-                clk,
-                model,
-            );
-        });
-        rec.phase(PHASE_APP, |clk| program.run_to_entry_point(clk, model))?;
-
-        Ok(BootOutcome {
-            system: self.name(),
-            boot_latency: clock.since(start),
-            breakdown: rec.finish(),
-            program,
+        traced_boot(self.name(), ctx, |ctx| {
+            let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
+            ctx.span("sandbox:parse-config", |ctx| {
+                OciConfig::parse(&json, ctx.clock(), ctx.model())
+            })?;
+            ctx.span("sandbox:container-runtime", |ctx| {
+                ctx.charge(ctx.model().host.container_runtime_overhead);
+            });
+            let mut program = ctx.span("sandbox:namespaces+process", |ctx| {
+                let mut program = WrappedProgram::start(profile, ctx.clock(), ctx.model())?;
+                // runc sets up pid/user/net/mnt namespaces and cgroups.
+                for ns in ["mnt", "cgroup"] {
+                    program
+                        .kernel
+                        .tasks
+                        .add_namespace(ns, 0, ctx.clock(), ctx.model());
+                }
+                ctx.charge(ctx.model().host.process_spawn);
+                Ok::<_, SandboxError>(program)
+            })?;
+            ctx.span("sandbox:rootfs-mounts", |ctx| {
+                program.kernel.vfs.mount(
+                    guest_kernel::vfs::MountInfo {
+                        source: "proc".into(),
+                        target: "/proc".into(),
+                        fs_type: "proc".into(),
+                    },
+                    ctx.clock(),
+                    ctx.model(),
+                );
+            });
+            ctx.span(PHASE_APP, |ctx| {
+                program.run_to_entry_point(ctx.clock(), ctx.model())
+            })?;
+            Ok(program)
         })
     }
 }
@@ -86,14 +83,14 @@ impl BootEngine for DockerEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simtime::CostModel;
 
     #[test]
     fn docker_boot_shape() {
         let model = CostModel::experimental_machine();
-        let clock = SimClock::new();
         let mut engine = DockerEngine::new();
         let boot = engine
-            .boot(&AppProfile::python_hello(), &clock, &model)
+            .boot(&AppProfile::python_hello(), &mut BootCtx::fresh(&model))
             .unwrap();
         assert_eq!(boot.system, "Docker");
         // Paper: Docker startup > 100 ms; Python-hello is sandbox-dominated.
@@ -110,7 +107,7 @@ mod tests {
         let model = CostModel::experimental_machine();
         let mut engine = DockerEngine::new();
         let boot = engine
-            .boot(&AppProfile::java_specjbb(), &SimClock::new(), &model)
+            .boot(&AppProfile::java_specjbb(), &mut BootCtx::fresh(&model))
             .unwrap();
         assert!(boot.app_time() > boot.sandbox_time().saturating_mul(10));
     }

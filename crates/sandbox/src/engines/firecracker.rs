@@ -2,9 +2,10 @@
 //! (paper §2.2), then the application initializes from scratch.
 
 use runtimes::{AppProfile, WrappedProgram};
-use simtime::{CostModel, PhaseRecorder, SimClock};
 
-use crate::boot::{virtualization_setup, BootEngine, BootOutcome, IsolationLevel, PHASE_APP};
+use crate::boot::{
+    traced_boot, virtualization_setup, BootCtx, BootEngine, BootOutcome, IsolationLevel, PHASE_APP,
+};
 use crate::config::OciConfig;
 use crate::host::HostTweaks;
 use crate::SandboxError;
@@ -47,35 +48,30 @@ impl BootEngine for FirecrackerEngine {
     fn boot(
         &mut self,
         profile: &AppProfile,
-        clock: &SimClock,
-        model: &CostModel,
+        ctx: &mut BootCtx,
     ) -> Result<BootOutcome, SandboxError> {
-        let start = clock.now();
-        let mut rec = PhaseRecorder::new(clock);
-
-        let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
-        let config = rec.phase("sandbox:parse-config", |clk| {
-            OciConfig::parse(&json, clk, model)
-        })?;
-        rec.phase("sandbox:vmm-process", |clk| {
-            clk.charge(model.host.process_spawn)
-        });
-        rec.phase("sandbox:kvm-setup", |clk| {
-            virtualization_setup(self.tweaks, config.vcpus, 4, clk, model)
-        });
-        rec.phase("sandbox:guest-linux-boot", |clk| {
-            clk.charge(model.kvm.guest_linux_boot);
-        });
-        let mut program = rec.phase("sandbox:guest-userspace", |clk| {
-            WrappedProgram::start(profile, clk, model)
-        })?;
-        rec.phase(PHASE_APP, |clk| program.run_to_entry_point(clk, model))?;
-
-        Ok(BootOutcome {
-            system: self.name(),
-            boot_latency: clock.since(start),
-            breakdown: rec.finish(),
-            program,
+        let tweaks = self.tweaks;
+        traced_boot(self.name(), ctx, |ctx| {
+            let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
+            let config = ctx.span("sandbox:parse-config", |ctx| {
+                OciConfig::parse(&json, ctx.clock(), ctx.model())
+            })?;
+            ctx.span("sandbox:vmm-process", |ctx| {
+                ctx.charge(ctx.model().host.process_spawn)
+            });
+            ctx.span("sandbox:kvm-setup", |ctx| {
+                virtualization_setup(tweaks, config.vcpus, 4, ctx.clock(), ctx.model())
+            });
+            ctx.span("sandbox:guest-linux-boot", |ctx| {
+                ctx.charge(ctx.model().kvm.guest_linux_boot);
+            });
+            let mut program = ctx.span("sandbox:guest-userspace", |ctx| {
+                WrappedProgram::start(profile, ctx.clock(), ctx.model())
+            })?;
+            ctx.span(PHASE_APP, |ctx| {
+                program.run_to_entry_point(ctx.clock(), ctx.model())
+            })?;
+            Ok(program)
         })
     }
 }
@@ -83,13 +79,14 @@ impl BootEngine for FirecrackerEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simtime::CostModel;
 
     #[test]
     fn microvm_boot_pays_guest_kernel() {
         let model = CostModel::experimental_machine();
         let mut engine = FirecrackerEngine::new();
         let boot = engine
-            .boot(&AppProfile::python_hello(), &SimClock::new(), &model)
+            .boot(&AppProfile::python_hello(), &mut BootCtx::fresh(&model))
             .unwrap();
         // Paper: FireCracker boots a microVM + minimized kernel in ~100 ms,
         // before application init.
@@ -108,13 +105,11 @@ mod tests {
         let model = CostModel::experimental_machine();
         let profile = AppProfile::c_hello();
 
-        let base = SimClock::new();
-        FirecrackerEngine::new()
-            .boot(&profile, &base, &model)
-            .unwrap();
-        let pml = SimClock::new();
+        let mut base = BootCtx::fresh(&model);
+        FirecrackerEngine::new().boot(&profile, &mut base).unwrap();
+        let mut pml = BootCtx::fresh(&model);
         FirecrackerEngine::with_tweaks(HostTweaks::upstream())
-            .boot(&profile, &pml, &model)
+            .boot(&profile, &mut pml)
             .unwrap();
         assert!(pml.now() > base.now(), "PML must add region-setup latency");
     }

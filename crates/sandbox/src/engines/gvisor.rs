@@ -3,9 +3,10 @@
 //! upper ("Boot") path.
 
 use runtimes::{AppProfile, WrappedProgram};
-use simtime::{CostModel, PhaseRecorder, SimClock};
 
-use crate::boot::{virtualization_setup, BootEngine, BootOutcome, IsolationLevel, PHASE_APP};
+use crate::boot::{
+    traced_boot, virtualization_setup, BootCtx, BootEngine, BootOutcome, IsolationLevel, PHASE_APP,
+};
 use crate::config::OciConfig;
 use crate::host::HostTweaks;
 use crate::SandboxError;
@@ -39,35 +40,34 @@ impl GvisorEngine {
         tweaks: HostTweaks,
         profile: &AppProfile,
         load_task_image: bool,
-        rec: &mut PhaseRecorder,
-        model: &CostModel,
+        ctx: &mut BootCtx,
     ) -> Result<WrappedProgram, SandboxError> {
         let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
-        let config = rec.phase("sandbox:parse-config", |clk| {
-            OciConfig::parse(&json, clk, model)
+        let config = ctx.span("sandbox:parse-config", |ctx| {
+            OciConfig::parse(&json, ctx.clock(), ctx.model())
         })?;
-        rec.phase("sandbox:boot-sandbox-process", |clk| {
-            clk.charge(model.host.process_spawn); // the Sentry
-            clk.charge(model.host.gofer_spawn); // the I/O (gofer) process
+        ctx.span("sandbox:boot-sandbox-process", |ctx| {
+            ctx.charge(ctx.model().host.process_spawn); // the Sentry
+            ctx.charge(ctx.model().host.gofer_spawn); // the I/O (gofer) process
         });
-        let mut program = rec.phase("sandbox:init-kernel-platform", |clk| {
-            virtualization_setup(tweaks, config.vcpus, 3, clk, model);
-            WrappedProgram::start(profile, clk, model)
+        let mut program = ctx.span("sandbox:init-kernel-platform", |ctx| {
+            virtualization_setup(tweaks, config.vcpus, 3, ctx.clock(), ctx.model());
+            WrappedProgram::start(profile, ctx.clock(), ctx.model())
         })?;
-        rec.phase("sandbox:mount-rootfs", |clk| {
+        ctx.span("sandbox:mount-rootfs", |ctx| {
             program.kernel.vfs.mount(
                 guest_kernel::vfs::MountInfo {
                     source: "proc".into(),
                     target: "/proc".into(),
                     fs_type: "procfs".into(),
                 },
-                clk,
-                model,
+                ctx.clock(),
+                ctx.model(),
             );
         });
         if load_task_image {
-            rec.phase("sandbox:load-task-image", |clk| {
-                clk.charge(model.host.task_image_load);
+            ctx.span("sandbox:load-task-image", |ctx| {
+                ctx.charge(ctx.model().host.task_image_load);
             });
         }
         Ok(program)
@@ -92,18 +92,15 @@ impl BootEngine for GvisorEngine {
     fn boot(
         &mut self,
         profile: &AppProfile,
-        clock: &SimClock,
-        model: &CostModel,
+        ctx: &mut BootCtx,
     ) -> Result<BootOutcome, SandboxError> {
-        let start = clock.now();
-        let mut rec = PhaseRecorder::new(clock);
-        let mut program = Self::prepare_sandbox(self.tweaks, profile, true, &mut rec, model)?;
-        rec.phase(PHASE_APP, |clk| program.run_to_entry_point(clk, model))?;
-        Ok(BootOutcome {
-            system: self.name(),
-            boot_latency: clock.since(start),
-            breakdown: rec.finish(),
-            program,
+        let tweaks = self.tweaks;
+        traced_boot(self.name(), ctx, |ctx| {
+            let mut program = Self::prepare_sandbox(tweaks, profile, true, ctx)?;
+            ctx.span(PHASE_APP, |ctx| {
+                program.run_to_entry_point(ctx.clock(), ctx.model())
+            })?;
+            Ok(program)
         })
     }
 }
@@ -111,14 +108,14 @@ impl BootEngine for GvisorEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simtime::SimNanos;
+    use simtime::{CostModel, SimNanos};
 
     #[test]
     fn fig2_sandbox_pipeline_near_22ms() {
         let model = CostModel::experimental_machine();
         let mut engine = GvisorEngine::new();
         let boot = engine
-            .boot(&AppProfile::java_specjbb(), &SimClock::new(), &model)
+            .boot(&AppProfile::java_specjbb(), &mut BootCtx::fresh(&model))
             .unwrap();
         // Fig. 2: 1.369 + 0.319 + 0.757 + 19.889 ≈ 22.3 ms of sandbox init.
         let sandbox = boot.sandbox_time().as_millis_f64();
@@ -138,7 +135,7 @@ mod tests {
     fn specjbb_total_near_two_seconds() {
         let model = CostModel::experimental_machine();
         let boot = GvisorEngine::new()
-            .boot(&AppProfile::java_specjbb(), &SimClock::new(), &model)
+            .boot(&AppProfile::java_specjbb(), &mut BootCtx::fresh(&model))
             .unwrap();
         let total = boot.boot_latency.as_millis_f64();
         // Fig. 6: gVisor Java-SPECjbb startup ≈ 2 s.
@@ -149,7 +146,7 @@ mod tests {
     fn c_hello_near_142ms() {
         let model = CostModel::experimental_machine();
         let boot = GvisorEngine::new()
-            .boot(&AppProfile::c_hello(), &SimClock::new(), &model)
+            .boot(&AppProfile::c_hello(), &mut BootCtx::fresh(&model))
             .unwrap();
         let total = boot.boot_latency.as_millis_f64();
         // Paper §6.2: 142 ms startup latency for C in gVisor.
@@ -159,11 +156,11 @@ mod tests {
     #[test]
     fn booted_program_serves_requests() {
         let model = CostModel::experimental_machine();
-        let clock = SimClock::new();
+        let mut ctx = BootCtx::fresh(&model);
         let mut boot = GvisorEngine::new()
-            .boot(&AppProfile::c_hello(), &clock, &model)
+            .boot(&AppProfile::c_hello(), &mut ctx)
             .unwrap();
-        let exec = boot.program.invoke_handler(&clock, &model).unwrap();
+        let exec = boot.program.invoke_handler(ctx.clock(), &model).unwrap();
         assert!(exec.pages_touched > 0);
     }
 }

@@ -15,11 +15,11 @@ use guest_kernel::GuestKernel;
 use imagefmt::classic;
 use memsim::{Perms, ShareMode};
 use runtimes::{AppProfile, WrappedProgram};
-use simtime::{CostModel, PhaseRecorder, SimClock, SimNanos};
+use simtime::{CostModel, SimClock, SimNanos};
 
 use crate::boot::{
-    BootEngine, BootOutcome, IsolationLevel, PHASE_RESTORE_IO, PHASE_RESTORE_KERNEL,
-    PHASE_RESTORE_MEMORY,
+    traced_boot, BootCtx, BootEngine, BootOutcome, IsolationLevel, PHASE_RESTORE_IO,
+    PHASE_RESTORE_KERNEL, PHASE_RESTORE_MEMORY,
 };
 use crate::engines::gvisor::GvisorEngine;
 use crate::host::HostTweaks;
@@ -81,90 +81,95 @@ impl BootEngine for GvisorRestoreEngine {
         IsolationLevel::High
     }
 
+    fn warm(&mut self, profile: &AppProfile, model: &CostModel) -> Result<(), SandboxError> {
+        self.prepare(profile, model)
+    }
+
     fn boot(
         &mut self,
         profile: &AppProfile,
-        clock: &SimClock,
-        model: &CostModel,
+        ctx: &mut BootCtx,
     ) -> Result<BootOutcome, SandboxError> {
-        self.prepare(profile, model)?;
+        self.prepare(profile, ctx.model())?;
         let prepared = &self.prepared[&profile.name];
         let image = prepared.image.clone();
         let fs = Arc::clone(&prepared.fs);
 
-        let start = clock.now();
-        let mut rec = PhaseRecorder::new(clock);
+        traced_boot(self.name(), ctx, |ctx| {
+            // Sandbox preparation (Fig. 2's restore path re-uses the boot
+            // pipeline minus the task-image load).
+            let shell = GvisorEngine::prepare_sandbox(HostTweaks::baseline(), profile, false, ctx)?;
+            let mut space = shell.space;
 
-        // Sandbox preparation (Fig. 2's restore path re-uses the boot
-        // pipeline minus the task-image load).
-        let shell =
-            GvisorEngine::prepare_sandbox(HostTweaks::baseline(), profile, false, &mut rec, model)?;
-        let mut space = shell.space;
+            // Read the checkpoint: the C/R machinery's fixed cost plus the
+            // one-by-one deserialization of every object.
+            let (src, counts) = classic::read_uncharged(&image)?;
+            ctx.span(PHASE_RESTORE_KERNEL, |ctx| {
+                ctx.charge_span("decode-objects", {
+                    let model = ctx.model();
+                    model.obj.classic_restore_fixed
+                        + model.obj.decode_per_object.saturating_mul(counts.objects)
+                });
+            });
+            // Non-I/O state redo (recover_per_object charged inside restore).
+            let mut kernel = ctx.span(PHASE_RESTORE_KERNEL, |ctx| {
+                GuestKernel::restore_from_records(
+                    profile.name.clone(),
+                    &src.objects,
+                    Arc::clone(&fs),
+                    false,
+                    ctx.clock(),
+                    ctx.model(),
+                )
+            })?;
 
-        // Read the checkpoint: the C/R machinery's fixed cost plus the
-        // one-by-one deserialization of every object.
-        let (src, counts) = classic::read_uncharged(&image)?;
-        rec.phase(PHASE_RESTORE_KERNEL, |clk| {
-            clk.charge(model.obj.classic_restore_fixed);
-            clk.charge(model.obj.decode_per_object.saturating_mul(counts.objects));
-        });
-        // Non-I/O state redo (recover_per_object charged inside restore).
-        let kernel = rec.phase(PHASE_RESTORE_KERNEL, |clk| {
-            GuestKernel::restore_from_records(
-                profile.name.clone(),
-                &src.objects,
-                Arc::clone(&fs),
-                false,
-                clk,
-                model,
-            )
-        })?;
-        let mut kernel = kernel;
+            // Eager memory load: disk read of the compressed stream, full
+            // decompression, then copying every page into guest frames.
+            ctx.span(PHASE_RESTORE_MEMORY, |ctx| {
+                let on_disk =
+                    (counts.body_bytes as f64 * ctx.model().mem.assumed_image_compression) as u64;
+                ctx.charge_span("disk-read", ctx.model().disk_read(on_disk));
+                ctx.charge_span("decompress", ctx.model().decompress(counts.body_bytes));
+                ctx.span("install-pages", |ctx| {
+                    ctx.charge(ctx.model().memcpy(counts.app_bytes));
+                    ctx.charge(
+                        ctx.model()
+                            .mem
+                            .page_fault
+                            .saturating_mul(src.app_pages.len() as u64),
+                    );
+                    space.map_anonymous(
+                        profile.heap_range(),
+                        Perms::RW,
+                        ShareMode::Private,
+                        "app-heap",
+                    )?;
+                    for page in &src.app_pages {
+                        space.install_page(page.vpn, &page.data)?;
+                    }
+                    Ok::<_, SandboxError>(())
+                })
+            })?;
 
-        // Eager memory load: disk read of the compressed stream, full
-        // decompression, then copying every page into guest frames.
-        rec.phase(PHASE_RESTORE_MEMORY, |clk| {
-            let on_disk = (counts.body_bytes as f64 * model.mem.assumed_image_compression) as u64;
-            clk.charge(model.disk_read(on_disk));
-            clk.charge(model.decompress(counts.body_bytes));
-            clk.charge(model.memcpy(counts.app_bytes));
-            clk.charge(
-                model
-                    .mem
-                    .page_fault
-                    .saturating_mul(src.app_pages.len() as u64),
-            );
-            space.map_anonymous(
-                profile.heap_range(),
-                Perms::RW,
-                ShareMode::Private,
-                "app-heap",
-            )?;
-            for page in &src.app_pages {
-                space.install_page(page.vpn, &page.data)?;
-            }
-            Ok::<_, SandboxError>(())
-        })?;
+            // Eager I/O reconnection: re-do every connection now.
+            ctx.span(PHASE_RESTORE_IO, |ctx| {
+                ctx.span("reconnect-fds", |ctx| {
+                    let fds: Vec<i32> = kernel.vfs.iter_fds().map(|(fd, _)| fd).collect();
+                    for fd in fds {
+                        kernel.vfs.ensure_connected(fd, ctx.clock(), ctx.model())?;
+                    }
+                    Ok::<_, SandboxError>(())
+                })?;
+                ctx.span("reconnect-sockets", |ctx| {
+                    let socks: Vec<u64> = kernel.net.iter().map(|s| s.id).collect();
+                    for s in socks {
+                        kernel.net.ensure_connected(s, ctx.clock(), ctx.model())?;
+                    }
+                    Ok::<_, SandboxError>(())
+                })
+            })?;
 
-        // Eager I/O reconnection: re-do every connection now.
-        rec.phase(PHASE_RESTORE_IO, |clk| {
-            let fds: Vec<i32> = kernel.vfs.iter_fds().map(|(fd, _)| fd).collect();
-            for fd in fds {
-                kernel.vfs.ensure_connected(fd, clk, model)?;
-            }
-            let socks: Vec<u64> = kernel.net.iter().map(|s| s.id).collect();
-            for s in socks {
-                kernel.net.ensure_connected(s, clk, model)?;
-            }
-            Ok::<_, SandboxError>(())
-        })?;
-
-        let program = WrappedProgram::from_restored(profile, kernel, space);
-        Ok(BootOutcome {
-            system: self.name(),
-            boot_latency: clock.since(start),
-            breakdown: rec.finish(),
-            program,
+            Ok(WrappedProgram::from_restored(profile, kernel, space))
         })
     }
 }
@@ -180,11 +185,10 @@ mod tests {
         let profile = AppProfile::python_django();
 
         let gv = GvisorEngine::new()
-            .boot(&profile, &SimClock::new(), &model)
+            .boot(&profile, &mut BootCtx::fresh(&model))
             .unwrap();
-        let clock = SimClock::new();
         let rs = GvisorRestoreEngine::new()
-            .boot(&profile, &clock, &model)
+            .boot(&profile, &mut BootCtx::fresh(&model))
             .unwrap();
         let speedup = gv.boot_latency.as_nanos() as f64 / rs.boot_latency.as_nanos() as f64;
         // Paper Fig. 6: 2–5× over gVisor, but still >100 ms.
@@ -200,7 +204,7 @@ mod tests {
     fn specjbb_restore_near_400ms() {
         let model = CostModel::experimental_machine();
         let boot = GvisorRestoreEngine::new()
-            .boot(&AppProfile::java_specjbb(), &SimClock::new(), &model)
+            .boot(&AppProfile::java_specjbb(), &mut BootCtx::fresh(&model))
             .unwrap();
         let ms = boot.boot_latency.as_millis_f64();
         assert!((330.0..520.0).contains(&ms), "total {ms} ms");
@@ -221,11 +225,11 @@ mod tests {
     #[test]
     fn restored_program_behaves_like_booted_one() {
         let model = CostModel::experimental_machine();
-        let clock = SimClock::new();
+        let mut ctx = BootCtx::fresh(&model);
         let mut boot = GvisorRestoreEngine::new()
-            .boot(&AppProfile::c_hello(), &clock, &model)
+            .boot(&AppProfile::c_hello(), &mut ctx)
             .unwrap();
-        let exec = boot.program.invoke_handler(&clock, &model).unwrap();
+        let exec = boot.program.invoke_handler(ctx.clock(), &model).unwrap();
         assert!(exec.pages_touched > 0);
         // The restored heap carries the init pattern (checked by the
         // handler's debug_assert) and open fds reconnect on demand.
@@ -237,9 +241,9 @@ mod tests {
         let model = CostModel::experimental_machine();
         let mut engine = GvisorRestoreEngine::new();
         let profile = AppProfile::c_hello();
-        engine.boot(&profile, &SimClock::new(), &model).unwrap();
+        engine.boot(&profile, &mut BootCtx::fresh(&model)).unwrap();
         let offline_after_first = engine.offline_time();
-        engine.boot(&profile, &SimClock::new(), &model).unwrap();
+        engine.boot(&profile, &mut BootCtx::fresh(&model)).unwrap();
         assert_eq!(engine.offline_time(), offline_after_first);
     }
 }

@@ -2,9 +2,10 @@
 //! the heaviest baseline in Fig. 11.
 
 use runtimes::{AppProfile, WrappedProgram};
-use simtime::{CostModel, PhaseRecorder, SimClock};
 
-use crate::boot::{virtualization_setup, BootEngine, BootOutcome, IsolationLevel, PHASE_APP};
+use crate::boot::{
+    traced_boot, virtualization_setup, BootCtx, BootEngine, BootOutcome, IsolationLevel, PHASE_APP,
+};
 use crate::config::OciConfig;
 use crate::host::HostTweaks;
 use crate::SandboxError;
@@ -32,38 +33,40 @@ impl BootEngine for HyperContainerEngine {
     fn boot(
         &mut self,
         profile: &AppProfile,
-        clock: &SimClock,
-        model: &CostModel,
+        ctx: &mut BootCtx,
     ) -> Result<BootOutcome, SandboxError> {
-        let start = clock.now();
-        let mut rec = PhaseRecorder::new(clock);
-
-        let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
-        let config = rec.phase("sandbox:parse-config", |clk| {
-            OciConfig::parse(&json, clk, model)
-        })?;
-        rec.phase("sandbox:hyperd", |clk| {
-            clk.charge(model.host.hyper_runtime_overhead);
-        });
-        rec.phase("sandbox:kvm-setup", |clk| {
-            virtualization_setup(HostTweaks::baseline(), config.vcpus, 5, clk, model)
-        });
-        rec.phase("sandbox:guest-linux-boot", |clk| {
-            // A full (not minimized) guest kernel plus the hyperstart agent.
-            clk.charge(model.kvm.guest_linux_boot.saturating_mul(2));
-        });
-        let mut program = rec.phase("sandbox:guest-userspace", |clk| {
-            let mut p = WrappedProgram::start(profile, clk, model)?;
-            p.kernel.tasks.add_namespace("mnt", 0, clk, model);
-            Ok::<_, SandboxError>(p)
-        })?;
-        rec.phase(PHASE_APP, |clk| program.run_to_entry_point(clk, model))?;
-
-        Ok(BootOutcome {
-            system: self.name(),
-            boot_latency: clock.since(start),
-            breakdown: rec.finish(),
-            program,
+        traced_boot(self.name(), ctx, |ctx| {
+            let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
+            let config = ctx.span("sandbox:parse-config", |ctx| {
+                OciConfig::parse(&json, ctx.clock(), ctx.model())
+            })?;
+            ctx.span("sandbox:hyperd", |ctx| {
+                ctx.charge(ctx.model().host.hyper_runtime_overhead);
+            });
+            ctx.span("sandbox:kvm-setup", |ctx| {
+                virtualization_setup(
+                    HostTweaks::baseline(),
+                    config.vcpus,
+                    5,
+                    ctx.clock(),
+                    ctx.model(),
+                )
+            });
+            ctx.span("sandbox:guest-linux-boot", |ctx| {
+                // A full (not minimized) guest kernel plus the hyperstart agent.
+                ctx.charge(ctx.model().kvm.guest_linux_boot.saturating_mul(2));
+            });
+            let mut program = ctx.span("sandbox:guest-userspace", |ctx| {
+                let mut p = WrappedProgram::start(profile, ctx.clock(), ctx.model())?;
+                p.kernel
+                    .tasks
+                    .add_namespace("mnt", 0, ctx.clock(), ctx.model());
+                Ok::<_, SandboxError>(p)
+            })?;
+            ctx.span(PHASE_APP, |ctx| {
+                program.run_to_entry_point(ctx.clock(), ctx.model())
+            })?;
+            Ok(program)
         })
     }
 }
@@ -73,19 +76,20 @@ mod tests {
     use super::*;
     use crate::engines::docker::DockerEngine;
     use crate::engines::firecracker::FirecrackerEngine;
+    use simtime::CostModel;
 
     #[test]
     fn hyper_is_the_slowest_sandbox() {
         let model = CostModel::experimental_machine();
         let profile = AppProfile::python_hello();
         let hyper = HyperContainerEngine::new()
-            .boot(&profile, &SimClock::new(), &model)
+            .boot(&profile, &mut BootCtx::fresh(&model))
             .unwrap();
         let fc = FirecrackerEngine::new()
-            .boot(&profile, &SimClock::new(), &model)
+            .boot(&profile, &mut BootCtx::fresh(&model))
             .unwrap();
         let docker = DockerEngine::new()
-            .boot(&profile, &SimClock::new(), &model)
+            .boot(&profile, &mut BootCtx::fresh(&model))
             .unwrap();
         assert!(hyper.sandbox_time() > fc.sandbox_time());
         assert!(hyper.sandbox_time() > docker.sandbox_time());

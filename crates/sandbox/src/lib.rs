@@ -8,8 +8,10 @@
 //! - [`config`]: OCI-style configuration bundles and their parse cost
 //!   (Fig. 2's first phase);
 //! - [`BootEngine`]: the common interface every sandbox design implements,
-//!   producing a ready-to-invoke [`runtimes::WrappedProgram`] plus a phase
-//!   [`simtime::Breakdown`];
+//!   producing a ready-to-invoke [`runtimes::WrappedProgram`] plus full
+//!   latency accounting (a flat [`simtime::Breakdown`] and a nested
+//!   [`simtime::trace::Span`] tree), driven through a [`BootCtx`] that
+//!   bundles clock, cost model, and tracer;
 //! - the baseline engines of §2.2 and Fig. 11: [`DockerEngine`],
 //!   [`HyperContainerEngine`], [`FirecrackerEngine`], [`GvisorEngine`], and
 //!   [`GvisorRestoreEngine`] (C/R with eager, on-critical-path recovery);
@@ -22,17 +24,18 @@
 //!
 //! ```
 //! use runtimes::AppProfile;
-//! use sandbox::{BootEngine, GvisorEngine};
-//! use simtime::{CostModel, SimClock};
+//! use sandbox::{BootCtx, BootEngine, GvisorEngine};
+//! use simtime::CostModel;
 //!
 //! let model = CostModel::experimental_machine();
 //! let mut engine = GvisorEngine::new();
-//! let clock = SimClock::new();
-//! let mut boot = engine.boot(&AppProfile::c_hello(), &clock, &model)?;
+//! let mut ctx = BootCtx::fresh(&model);
+//! let mut boot = engine.boot(&AppProfile::c_hello(), &mut ctx)?;
 //! // gVisor cold boot of C-hello ≈ 142 ms in the paper.
 //! let ms = boot.boot_latency.as_millis_f64();
 //! assert!((120.0..165.0).contains(&ms));
-//! boot.program.invoke_handler(&clock, &model)?;
+//! assert_eq!(boot.trace.duration(), boot.boot_latency);
+//! boot.program.invoke_handler(ctx.clock(), ctx.model())?;
 //! # Ok::<(), sandbox::SandboxError>(())
 //! ```
 
@@ -47,8 +50,8 @@ pub mod host;
 pub mod taxonomy;
 
 pub use boot::{
-    BootEngine, BootOutcome, IsolationLevel, PHASE_APP, PHASE_RESTORE_IO, PHASE_RESTORE_KERNEL,
-    PHASE_RESTORE_MEMORY, PHASE_SANDBOX,
+    traced_boot, BootCtx, BootEngine, BootOutcome, IsolationLevel, PHASE_APP, PHASE_RESTORE_IO,
+    PHASE_RESTORE_KERNEL, PHASE_RESTORE_MEMORY, PHASE_SANDBOX, SPAN_BOOT, SPAN_EXEC,
 };
 pub use engines::docker::DockerEngine;
 pub use engines::firecracker::FirecrackerEngine;

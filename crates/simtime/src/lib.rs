@@ -15,6 +15,10 @@
 //! - [`CostModel`]: every machine-level unit cost, with presets calibrated
 //!   against the numbers printed in the paper (see `DESIGN.md` §6).
 //! - [`PhaseRecorder`]: named-phase breakdowns matching the paper's Figure 2.
+//! - [`trace`]: nested span trees stamped with virtual time, the structured
+//!   successor to flat breakdowns.
+//! - [`metrics`]: deterministic counters, gauges, and fixed-bucket latency
+//!   histograms for the platform layer.
 //! - [`stats`]: summary statistics and CDFs used by the figure regenerators.
 //!
 //! # Example
@@ -43,10 +47,14 @@ mod clock;
 mod cost;
 mod duration;
 pub mod jitter;
+pub mod metrics;
 mod phase;
 pub mod stats;
+pub mod trace;
 
 pub use clock::SimClock;
 pub use cost::{CostModel, HostCosts, IoCosts, KvmCosts, MachineKind, MemCosts, ObjectCosts};
 pub use duration::SimNanos;
+pub use metrics::{LatencyHistogram, MetricsRegistry};
 pub use phase::{Breakdown, PhaseRecorder};
+pub use trace::{Span, Tracer};

@@ -14,19 +14,15 @@ use catalyzer_suite::workloads::deathstar::Service;
 
 const STORM: usize = 200;
 
-fn storm<E: BootEngine>(
-    label: &str,
-    mut engine: E,
-    model: &CostModel,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn storm<E: BootEngine>(label: &str, mut engine: E, model: &CostModel) -> Result<(), SuiteError> {
     let profile = Service::Text.profile();
     let mut running = Vec::with_capacity(STORM);
     let mut latencies = Vec::with_capacity(STORM);
     for _ in 0..STORM {
-        let clock = SimClock::new();
-        let mut outcome = engine.boot(&profile, &clock, model)?;
-        latencies.push(clock.now()); // startup latency the user waits for
-        outcome.program.invoke_handler(&clock, model)?;
+        let mut ctx = BootCtx::fresh(model);
+        let mut outcome = engine.boot(&profile, &mut ctx)?;
+        latencies.push(outcome.boot_latency); // startup latency the user waits for
+        outcome.program.invoke_handler(ctx.clock(), ctx.model())?;
         running.push(outcome); // instances stay alive through the storm
     }
 
@@ -45,7 +41,7 @@ fn storm<E: BootEngine>(
     Ok(())
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SuiteError> {
     let model = CostModel::experimental_machine();
     println!(
         "storm: boot {STORM} instances of {} back-to-back, keep them running\n",

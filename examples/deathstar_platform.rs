@@ -10,15 +10,13 @@ use catalyzer_suite::prelude::*;
 use catalyzer_suite::workloads::deathstar::{self, Service};
 use catalyzer_suite::workloads::generator::{trace, Popularity};
 
-fn serve_trace<E: BootEngine>(
-    label: &str,
-    engine: E,
-    model: &CostModel,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn serve_trace<E: BootEngine>(label: &str, engine: E, model: &CostModel) -> Result<(), SuiteError> {
     let mut gateway = Gateway::new(engine, model.clone());
     let services: Vec<_> = Service::ALL.iter().map(|s| s.profile()).collect();
     for s in &services {
         gateway.register(s.clone());
+        // Offline preparation: templates/images are built before traffic.
+        gateway.warm(&s.name)?;
     }
 
     let requests = trace(
@@ -28,27 +26,36 @@ fn serve_trace<E: BootEngine>(
         Popularity::Zipf { exponent: 1.1 },
         7,
     );
-    let mut boot_total = SimNanos::ZERO;
-    let mut exec_total = SimNanos::ZERO;
     let mut worst = SimNanos::ZERO;
     for req in &requests {
         let report = gateway.invoke(&services[req.function].name)?;
-        boot_total += report.boot;
-        exec_total += report.exec;
         worst = worst.max(report.total());
     }
-    let n = requests.len() as u64;
+    // The gateway's own metrics carry the per-function latency histograms.
+    let boot_p99 = services
+        .iter()
+        .filter_map(|s| gateway.metrics().histogram(&format!("boot.{}", s.name)))
+        .filter_map(|h| h.p99())
+        .max()
+        .unwrap_or(SimNanos::ZERO);
+    let exec_p99 = services
+        .iter()
+        .filter_map(|s| gateway.metrics().histogram(&format!("exec.{}", s.name)))
+        .filter_map(|h| h.p99())
+        .max()
+        .unwrap_or(SimNanos::ZERO);
     println!(
-        "{:<18} mean boot {:>10}  mean exec {:>10}  worst request {:>10}",
+        "{:<18} requests {:>3}  boot p99 {:>10}  exec p99 {:>10}  worst request {:>10}",
         label,
-        boot_total / n,
-        exec_total / n,
+        gateway.metrics().counter("invoke.count"),
+        boot_p99,
+        exec_p99,
         worst
     );
     Ok(())
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SuiteError> {
     let model = CostModel::experimental_machine();
 
     // The application logic itself is real: compose a post, read a timeline.

@@ -11,7 +11,7 @@ use catalyzer_suite::prelude::*;
 use catalyzer_suite::workloads::image::Image;
 use catalyzer_suite::workloads::pillow::ImageOp;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SuiteError> {
     let model = CostModel::experimental_machine();
     let mut system = Catalyzer::new();
 
@@ -35,19 +35,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut pipeline_total = SimNanos::ZERO;
     for op in ImageOp::ALL {
         let profile = op.profile();
-        let clock = SimClock::new();
-        let mut outcome = system.boot(BootMode::Fork, &profile, &clock, &model)?;
-        let boot = clock.now();
-        let exec = outcome.program.invoke_handler(&clock, &model)?;
+        let mut ctx = BootCtx::fresh(&model);
+        let mut outcome = system.boot(BootMode::Fork, &profile, &mut ctx)?;
+        let boot = outcome.boot_latency;
+        let exec = outcome.program.invoke_handler(ctx.clock(), ctx.model())?;
         // The handler's real work: transform the image.
         img = op.apply(&img);
-        pipeline_total += clock.now();
+        pipeline_total += ctx.now();
         println!(
             "{:<14} {:>10} {:>12} {:>12} {:>7}x{}",
             op.label(),
             boot,
             exec.exec_time,
-            clock.now(),
+            ctx.now(),
             img.width(),
             img.height()
         );
@@ -63,10 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut gvisor = GvisorEngine::new();
     let mut gv_total = SimNanos::ZERO;
     for op in ImageOp::ALL {
-        let clock = SimClock::new();
-        let mut outcome = gvisor.boot(&op.profile(), &clock, &model)?;
-        outcome.program.invoke_handler(&clock, &model)?;
-        gv_total += clock.now();
+        let mut ctx = BootCtx::fresh(&model);
+        let mut outcome = gvisor.boot(&op.profile(), &mut ctx)?;
+        outcome.program.invoke_handler(ctx.clock(), ctx.model())?;
+        gv_total += ctx.now();
     }
     println!(
         "same pipeline on gVisor: {} ({}x slower end to end)",

@@ -1,5 +1,6 @@
 //! Quickstart: boot one serverless function on every sandbox design and
-//! compare startup latencies, ending with Catalyzer's three boot kinds.
+//! compare startup latencies, ending with Catalyzer's three boot kinds and
+//! the span trace of the fastest one.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -7,7 +8,7 @@
 
 use catalyzer_suite::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), SuiteError> {
     let model = CostModel::experimental_machine();
     let profile = AppProfile::python_hello();
     println!("function: {} ({} runtime)", profile.name, profile.runtime);
@@ -26,12 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "system", "startup", "sandbox", "app/restore"
     );
     for engine in &mut baselines {
-        let clock = SimClock::new();
-        let outcome = engine.boot(&profile, &clock, &model)?;
+        let mut ctx = BootCtx::fresh(&model);
+        let outcome = engine.boot(&profile, &mut ctx)?;
         println!(
             "{:<20} {:>12} {:>12} {:>14}",
             outcome.system,
-            clock.now(),
+            ctx.now(),
             outcome.sandbox_time(),
             outcome.app_time()
         );
@@ -40,11 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Catalyzer: cold, warm, fork -------------------------------------
     let mut system = Catalyzer::new();
     system.ensure_template(&profile, &model)?;
+    let mut fork_trace = None;
     for mode in [BootMode::Cold, BootMode::Warm, BootMode::Fork] {
-        let clock = SimClock::new();
-        let mut outcome = system.boot(mode, &profile, &clock, &model)?;
-        let boot = clock.now();
-        let exec = outcome.program.invoke_handler(&clock, &model)?;
+        let mut ctx = BootCtx::fresh(&model);
+        let mut outcome = system.boot(mode, &profile, &mut ctx)?;
+        let boot = outcome.boot_latency;
+        let exec = outcome.program.invoke_handler(ctx.clock(), ctx.model())?;
         println!(
             "{:<20} {:>12} {:>12} {:>14}   (handler ran {} touching {} pages)",
             outcome.system,
@@ -54,10 +56,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             exec.exec_time,
             exec.pages_touched,
         );
+        if mode == BootMode::Fork {
+            fork_trace = Some(outcome.trace);
+        }
     }
 
+    if let Some(trace) = fork_trace {
+        println!("\nfork-boot span tree (virtual time):\n{trace}");
+    }
     println!(
-        "\noffline work Catalyzer did once (image compilation + zygotes): {}",
+        "offline work Catalyzer did once (image compilation + zygotes): {}",
         system.offline_time()
     );
     Ok(())

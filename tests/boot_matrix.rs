@@ -9,19 +9,19 @@ fn model() -> CostModel {
 
 fn boot_and_serve(engine: &mut dyn BootEngine, profile: &AppProfile) -> (SimNanos, SimNanos) {
     let model = model();
-    let clock = SimClock::new();
-    let mut outcome = engine.boot(profile, &clock, &model).expect("boot");
-    let boot = clock.now();
+    let mut ctx = BootCtx::fresh(&model);
+    let mut outcome = engine.boot(profile, &mut ctx).expect("boot");
+    let boot = ctx.now();
     let exec = outcome
         .program
-        .invoke_handler(&clock, &model)
+        .invoke_handler(ctx.clock(), &model)
         .expect("handler");
     assert!(
         exec.pages_touched > 0,
         "{}: handler touched nothing",
         outcome.system
     );
-    (boot, clock.now() - boot)
+    (boot, ctx.now() - boot)
 }
 
 #[test]
@@ -61,31 +61,31 @@ fn latency_ordering_matches_the_paper() {
     let mut cat = Catalyzer::new();
     cat.ensure_template(&profile, &model).unwrap();
     let latency = |mode: BootMode, cat: &mut Catalyzer| {
-        let clock = SimClock::new();
-        cat.boot(mode, &profile, &clock, &model).unwrap();
-        clock.now()
+        let mut ctx = BootCtx::fresh(&model);
+        cat.boot(mode, &profile, &mut ctx).unwrap();
+        ctx.now()
     };
     let cold = latency(BootMode::Cold, &mut cat);
     let warm = latency(BootMode::Warm, &mut cat);
     let fork = latency(BootMode::Fork, &mut cat);
 
     let (gv_restore, _) = {
-        let clock = SimClock::new();
+        let mut ctx = BootCtx::fresh(&model);
         let mut e = GvisorRestoreEngine::new();
-        let o = e.boot(&profile, &clock, &model).unwrap();
-        (clock.now(), o)
+        let o = e.boot(&profile, &mut ctx).unwrap();
+        (ctx.now(), o)
     };
     let (gvisor, _) = {
-        let clock = SimClock::new();
+        let mut ctx = BootCtx::fresh(&model);
         let mut e = GvisorEngine::new();
-        let o = e.boot(&profile, &clock, &model).unwrap();
-        (clock.now(), o)
+        let o = e.boot(&profile, &mut ctx).unwrap();
+        (ctx.now(), o)
     };
     let (hyper, _) = {
-        let clock = SimClock::new();
+        let mut ctx = BootCtx::fresh(&model);
         let mut e = HyperContainerEngine::new();
-        let o = e.boot(&profile, &clock, &model).unwrap();
-        (clock.now(), o)
+        let o = e.boot(&profile, &mut ctx).unwrap();
+        (ctx.now(), o)
     };
 
     assert!(fork < warm, "fork {fork} !< warm {warm}");
@@ -112,9 +112,9 @@ fn sfork_is_sub_millisecond_for_c_and_under_2ms_for_specjbb() {
         (AppProfile::java_specjbb(), 2.0),
     ] {
         cat.ensure_template(&profile, &model).unwrap();
-        let clock = SimClock::new();
-        cat.boot(BootMode::Fork, &profile, &clock, &model).unwrap();
-        let ms = clock.now().as_millis_f64();
+        let mut ctx = BootCtx::fresh(&model);
+        cat.boot(BootMode::Fork, &profile, &mut ctx).unwrap();
+        let ms = ctx.now().as_millis_f64();
         assert!(ms < limit_ms, "{}: {ms} ms", profile.name);
     }
 }
@@ -127,11 +127,11 @@ fn repeated_boots_are_deterministic() {
     cat.ensure_template(&profile, &model).unwrap();
     let mut first = None;
     for _ in 0..5 {
-        let clock = SimClock::new();
-        cat.boot(BootMode::Fork, &profile, &clock, &model).unwrap();
+        let mut ctx = BootCtx::fresh(&model);
+        cat.boot(BootMode::Fork, &profile, &mut ctx).unwrap();
         match first {
-            None => first = Some(clock.now()),
-            Some(expect) => assert_eq!(clock.now(), expect, "fork boot latency drifted"),
+            None => first = Some(ctx.now()),
+            Some(expect) => assert_eq!(ctx.now(), expect, "fork boot latency drifted"),
         }
     }
 }
@@ -142,14 +142,14 @@ fn warm_boot_follows_cold_boot_within_the_papers_gap() {
     for profile in [AppProfile::c_hello(), AppProfile::java_hello()] {
         let mut cat = Catalyzer::new();
         let cold = {
-            let clock = SimClock::new();
-            cat.boot(BootMode::Cold, &profile, &clock, &model).unwrap();
-            clock.now()
+            let mut ctx = BootCtx::fresh(&model);
+            cat.boot(BootMode::Cold, &profile, &mut ctx).unwrap();
+            ctx.now()
         };
         let warm = {
-            let clock = SimClock::new();
-            cat.boot(BootMode::Warm, &profile, &clock, &model).unwrap();
-            clock.now()
+            let mut ctx = BootCtx::fresh(&model);
+            cat.boot(BootMode::Warm, &profile, &mut ctx).unwrap();
+            ctx.now()
         };
         let gap = (cold - warm).as_millis_f64();
         // §6.2: "Catalyzer-restore usually needs extra 30ms over

@@ -16,12 +16,12 @@ fn full_boot_fingerprint() -> Vec<(String, u64)> {
         let mut cat = Catalyzer::new();
         cat.ensure_template(&profile, &model).unwrap();
         for mode in [BootMode::Cold, BootMode::Warm, BootMode::Fork] {
-            let clock = SimClock::new();
-            let mut boot = cat.boot(mode, &profile, &clock, &model).unwrap();
-            boot.program.invoke_handler(&clock, &model).unwrap();
+            let mut ctx = BootCtx::fresh(&model);
+            let mut boot = cat.boot(mode, &profile, &mut ctx).unwrap();
+            boot.program.invoke_handler(ctx.clock(), &model).unwrap();
             out.push((
                 format!("{}/{}", profile.name, mode.label()),
-                clock.now().as_nanos(),
+                ctx.now().as_nanos(),
             ));
         }
     }
@@ -42,9 +42,9 @@ fn baseline_engines_are_repeatable_too() {
         let mut rs = GvisorRestoreEngine::new();
         for profile in [AppProfile::c_nginx(), AppProfile::ruby_hello()] {
             for engine in [&mut gv as &mut dyn BootEngine, &mut rs] {
-                let clock = SimClock::new();
-                engine.boot(&profile, &clock, &model).unwrap();
-                out.push(clock.now().as_nanos());
+                let mut ctx = BootCtx::fresh(&model);
+                engine.boot(&profile, &mut ctx).unwrap();
+                out.push(ctx.now().as_nanos());
             }
         }
         out
@@ -66,6 +66,48 @@ fn traces_and_jitter_are_seed_stable() {
             j1.lognormal_factor(0.2).to_bits(),
             j2.lognormal_factor(0.2).to_bits()
         );
+    }
+}
+
+/// One full run of every Fig. 11 engine over one profile, returning the
+/// serialized span tree of each boot. Identical inputs must yield
+/// byte-identical traces — the observability layer runs on virtual time
+/// only, so two runs can differ in nothing.
+fn serialized_traces() -> Vec<String> {
+    let model = model();
+    let profile = AppProfile::python_hello();
+    let mut traces = Vec::new();
+
+    let mut baselines: Vec<Box<dyn BootEngine>> = vec![
+        Box::new(GvisorEngine::new()),
+        Box::new(GvisorRestoreEngine::new()),
+        Box::new(FirecrackerEngine::new()),
+    ];
+    for engine in &mut baselines {
+        let mut ctx = BootCtx::fresh(&model);
+        let outcome = engine.boot(&profile, &mut ctx).unwrap();
+        traces.push(serde_json::to_string(&outcome.trace).unwrap());
+    }
+
+    let mut cat = Catalyzer::new();
+    cat.ensure_template(&profile, &model).unwrap();
+    for mode in [BootMode::Cold, BootMode::Warm, BootMode::Fork] {
+        let mut ctx = BootCtx::fresh(&model);
+        let outcome = cat.boot(mode, &profile, &mut ctx).unwrap();
+        traces.push(serde_json::to_string(&outcome.trace).unwrap());
+    }
+    traces
+}
+
+#[test]
+fn span_trees_are_byte_identical_across_runs() {
+    let first = serialized_traces();
+    let second = serialized_traces();
+    assert_eq!(first, second, "serialized span trees drifted between runs");
+    for text in &first {
+        let span: Span = serde_json::from_str(text).unwrap();
+        span.validate_nesting().unwrap();
+        assert_eq!(span.name, SPAN_BOOT);
     }
 }
 

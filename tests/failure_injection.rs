@@ -28,7 +28,7 @@ fn fd_exhaustion_fails_the_boot_cleanly() {
     let model = model();
     let mut engine = GvisorEngine::new();
     let err = engine
-        .boot(&fd_hungry_profile(), &SimClock::new(), &model)
+        .boot(&fd_hungry_profile(), &mut BootCtx::fresh(&model))
         .expect_err("boot must fail when the fd table runs out");
     let text = err.to_string();
     assert!(text.contains("exhausted"), "unexpected error: {text}");
@@ -50,8 +50,7 @@ fn fork_boot_without_template_is_a_config_error() {
     match cat.boot(
         BootMode::Fork,
         &AppProfile::c_hello(),
-        &SimClock::new(),
-        &model,
+        &mut BootCtx::fresh(&model),
     ) {
         Err(SandboxError::Config { detail }) => {
             assert!(detail.contains("template"), "{detail}");
@@ -65,7 +64,7 @@ fn language_template_boot_without_generation_is_a_config_error() {
     let model = model();
     let mut cat = Catalyzer::new();
     assert!(matches!(
-        cat.language_template_boot(&AppProfile::java_hello(), &SimClock::new(), &model),
+        cat.language_template_boot(&AppProfile::java_hello(), &mut BootCtx::fresh(&model)),
         Err(SandboxError::Config { .. })
     ));
 }
@@ -89,7 +88,7 @@ fn template_sandboxes_reject_denied_syscalls_but_children_do_not() {
     // Children leave template mode: getpid etc. work, and the namespace
     // keeps its value identical to the template's.
     let mut boot = template
-        .fork_boot(&CatalyzerConfig::full(), &clock, &model)
+        .fork_boot(&CatalyzerConfig::full(), &mut BootCtx::new(&clock, &model))
         .unwrap();
     assert!(!boot.program.kernel.is_template());
     assert_eq!(boot.program.kernel.tasks.getpid(), 1);
@@ -130,7 +129,7 @@ fn plain_shared_mapping_blocks_sfork_until_cow_flagged() {
         .unwrap();
     let clock = SimClock::new();
     let err = template
-        .fork_boot(&CatalyzerConfig::full(), &clock, &model)
+        .fork_boot(&CatalyzerConfig::full(), &mut BootCtx::new(&clock, &model))
         .expect_err("plain MAP_SHARED must block sfork");
     assert!(err.to_string().contains("CoW"), "{err}");
 }

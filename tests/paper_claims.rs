@@ -18,16 +18,16 @@ fn headline_sub_millisecond_best_case() {
     let profile = AppProfile::c_hello();
     let mut cat = Catalyzer::new();
     cat.ensure_template(&profile, &model).unwrap();
-    let clock = SimClock::new();
-    cat.boot(BootMode::Fork, &profile, &clock, &model).unwrap();
-    assert!(clock.now() < SimNanos::from_millis(1), "{}", clock.now());
+    let mut ctx = BootCtx::fresh(&model);
+    cat.boot(BootMode::Fork, &profile, &mut ctx).unwrap();
+    assert!(ctx.now() < SimNanos::from_millis(1), "{}", ctx.now());
 
     let gv = {
-        let clock = SimClock::new();
-        GvisorEngine::new().boot(&profile, &clock, &model).unwrap();
-        clock.now()
+        let mut gctx = BootCtx::fresh(&model);
+        GvisorEngine::new().boot(&profile, &mut gctx).unwrap();
+        gctx.now()
     };
-    let speedup = gv.as_nanos() as f64 / clock.now().as_nanos() as f64;
+    let speedup = gv.as_nanos() as f64 / ctx.now().as_nanos() as f64;
     assert!(speedup > 100.0, "only {speedup}x over gVisor");
 }
 
@@ -38,16 +38,16 @@ fn specjbb_three_orders_of_magnitude() {
     let model = model();
     let profile = AppProfile::java_specjbb();
     let gv = {
-        let clock = SimClock::new();
-        GvisorEngine::new().boot(&profile, &clock, &model).unwrap();
-        clock.now()
+        let mut ctx = BootCtx::fresh(&model);
+        GvisorEngine::new().boot(&profile, &mut ctx).unwrap();
+        ctx.now()
     };
     let mut cat = Catalyzer::new();
     cat.ensure_template(&profile, &model).unwrap();
     let fork = {
-        let clock = SimClock::new();
-        cat.boot(BootMode::Fork, &profile, &clock, &model).unwrap();
-        clock.now()
+        let mut ctx = BootCtx::fresh(&model);
+        cat.boot(BootMode::Fork, &profile, &mut ctx).unwrap();
+        ctx.now()
     };
     let speedup = gv.as_nanos() as f64 / fork.as_nanos() as f64;
     assert!(speedup > 900.0, "only {speedup}x");
@@ -151,9 +151,9 @@ fn zygote_warm_boot_anchors() {
         (AppProfile::node_hello(), 9.0),
     ] {
         let mut engine = CatalyzerEngine::standalone(BootMode::Warm);
-        let clock = SimClock::new();
-        engine.boot(&profile, &clock, &model).unwrap();
-        let ms = clock.now().as_millis_f64();
+        let mut ctx = BootCtx::fresh(&model);
+        engine.boot(&profile, &mut ctx).unwrap();
+        let ms = ctx.now().as_millis_f64();
         assert!(
             (expect * 0.6..expect * 1.4).contains(&ms),
             "{}: {ms} ms (paper {expect} ms)",

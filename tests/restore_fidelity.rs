@@ -64,19 +64,21 @@ fn every_boot_path_serves_the_same_initialized_heap() {
 
     let mut gvisor = GvisorEngine::new();
     check(
-        gvisor.boot(&profile, &SimClock::new(), &model).unwrap(),
+        gvisor.boot(&profile, &mut BootCtx::fresh(&model)).unwrap(),
         "gVisor",
     );
     let mut restore = GvisorRestoreEngine::new();
     check(
-        restore.boot(&profile, &SimClock::new(), &model).unwrap(),
+        restore.boot(&profile, &mut BootCtx::fresh(&model)).unwrap(),
         "gVisor-restore",
     );
 
     let mut cat = Catalyzer::new();
     cat.ensure_template(&profile, &model).unwrap();
     for mode in [BootMode::Cold, BootMode::Warm, BootMode::Fork] {
-        let outcome = cat.boot(mode, &profile, &SimClock::new(), &model).unwrap();
+        let outcome = cat
+            .boot(mode, &profile, &mut BootCtx::fresh(&model))
+            .unwrap();
         check(outcome, mode.label());
     }
 }
@@ -93,7 +95,7 @@ fn catalyzer_restored_kernel_matches_checkpointed_graph() {
 
     let mut cat = Catalyzer::new();
     let restored = cat
-        .boot(BootMode::Cold, &profile, &SimClock::new(), &model)
+        .boot(BootMode::Cold, &profile, &mut BootCtx::fresh(&model))
         .unwrap();
 
     let a = &reference.kernel;
@@ -115,7 +117,7 @@ fn lazy_io_reconnects_exactly_what_the_handler_uses() {
     let profile = AppProfile::python_hello();
     let mut cat = Catalyzer::new();
     let mut outcome = cat
-        .boot(BootMode::Cold, &profile, &SimClock::new(), &model)
+        .boot(BootMode::Cold, &profile, &mut BootCtx::fresh(&model))
         .unwrap();
 
     let before = outcome.program.kernel.vfs.reconnects();
@@ -162,8 +164,12 @@ fn sfork_children_share_fs_server_but_not_writes() {
     cat.ensure_template(&profile, &model).unwrap();
 
     let clock = SimClock::new();
-    let mut a = cat.boot(BootMode::Fork, &profile, &clock, &model).unwrap();
-    let b = cat.boot(BootMode::Fork, &profile, &clock, &model).unwrap();
+    let mut a = cat
+        .boot(BootMode::Fork, &profile, &mut BootCtx::new(&clock, &model))
+        .unwrap();
+    let b = cat
+        .boot(BootMode::Fork, &profile, &mut BootCtx::new(&clock, &model))
+        .unwrap();
     assert!(Arc::ptr_eq(
         a.program.kernel.vfs.server(),
         b.program.kernel.vfs.server()

@@ -19,10 +19,10 @@ fn specjbb_mix_runs_in_a_forked_sandbox() {
     let mut cat = Catalyzer::new();
     cat.ensure_template(&profile, &model).unwrap();
 
-    let clock = SimClock::new();
-    let mut boot = cat.boot(BootMode::Fork, &profile, &clock, &model).unwrap();
-    let boot_latency = clock.now();
-    boot.program.invoke_handler(&clock, &model).unwrap();
+    let mut ctx = BootCtx::fresh(&model);
+    let mut boot = cat.boot(BootMode::Fork, &profile, &mut ctx).unwrap();
+    let boot_latency = ctx.now();
+    boot.program.invoke_handler(ctx.clock(), &model).unwrap();
 
     // The handler's business logic: the SPECjbb transaction mix.
     let mut agent = BackendAgent::new(60, 42);
@@ -47,7 +47,9 @@ fn pillow_ops_preserve_content_invariants_across_boot_paths() {
         let profile = ImageOp::Transpose.profile();
         let mut cat = Catalyzer::new();
         cat.ensure_template(&profile, &model).unwrap();
-        let mut boot = cat.boot(mode, &profile, &SimClock::new(), &model).unwrap();
+        let mut boot = cat
+            .boot(mode, &profile, &mut BootCtx::fresh(&model))
+            .unwrap();
         boot.program
             .invoke_handler(&SimClock::new(), &model)
             .unwrap();

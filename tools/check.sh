@@ -22,4 +22,11 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+# Regenerates the observability export in-memory and verifies the checked-in
+# BENCH_pr2.json is valid (every Fig. 11 engine present, monotone span
+# nesting, non-empty histograms, phase attribution sums to the boot total)
+# and byte-identical — i.e. the tracing layer is still deterministic.
+echo "==> bench export (BENCH_pr2.json valid + up to date)"
+cargo run -q -p bench --bin repro -- export --check BENCH_pr2.json
+
 echo "All checks passed."
