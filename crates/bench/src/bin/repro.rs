@@ -5,6 +5,7 @@
 //! repro quick          # everything, with Fig. 15 capped at 100 instances
 //! repro fig11          # one experiment
 //! repro list           # available experiment ids
+//! repro faults         # fault-injection sweep -> BENCH_pr3.json
 //! ```
 
 use bench::figures::{
@@ -158,6 +159,37 @@ fn export(path: &str, check: bool) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Writes the fault-injection sweep (availability, degraded counts, and
+/// recovery latency per fault-rate × policy cell, plus the storm run) to
+/// `path`, or with `check = true` re-generates it and verifies `path` is
+/// valid and byte-identical (determinism gate).
+fn faults(path: &str, check: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let model = CostModel::experimental_machine();
+    let fresh = bench::faultbench::generate(&model);
+    bench::faultbench::validate(&fresh)?;
+    let text = bench::faultbench::to_json(&fresh)?;
+    if check {
+        let on_disk = std::fs::read_to_string(path)?;
+        let parsed = bench::faultbench::from_json(&on_disk)?;
+        bench::faultbench::validate(&parsed)?;
+        if on_disk != text {
+            return Err(format!("{path} is stale: regenerate with 'repro faults {path}'").into());
+        }
+        println!(
+            "{path}: valid, {} cells + storm, up to date",
+            parsed.cells.len()
+        );
+    } else {
+        std::fs::write(path, &text)?;
+        println!(
+            "wrote {path} ({} cells + storm, {} bytes)",
+            fresh.cells.len(),
+            text.len()
+        );
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("all");
@@ -177,6 +209,16 @@ fn main() {
                 .map(String::as_str)
                 .unwrap_or("BENCH_pr2.json");
             export(path, check)
+        }
+        "faults" => {
+            let check = args.iter().any(|a| a == "--check");
+            let path = args
+                .iter()
+                .skip(1)
+                .find(|a| *a != "--check")
+                .map(String::as_str)
+                .unwrap_or("BENCH_pr3.json");
+            faults(path, check)
         }
         "csv" => match args.get(1) {
             Some(id) => csv(id),

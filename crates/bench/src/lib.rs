@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 
 pub mod export;
+pub mod faultbench;
 pub mod figures;
 
 /// Formats a `SimNanos` latency as the paper prints them (ms with 2–3

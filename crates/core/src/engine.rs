@@ -224,6 +224,30 @@ impl Catalyzer {
     pub fn offline_time(&self) -> SimNanos {
         self.store.offline_time() + self.zygotes.offline_time()
     }
+
+    /// Quarantines prepared state after a poison fault: every pooled Zygote
+    /// is discarded (they share the base the poisoned specialization came
+    /// from) and `profile`'s template sandbox, if any, is regenerated from
+    /// scratch with the rebuild time charged to `clock` — quarantine is on
+    /// the recovery critical path, unlike routine offline template work.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors from template regeneration.
+    pub fn quarantine(
+        &mut self,
+        profile: &AppProfile,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<(), SandboxError> {
+        self.zygotes.drain();
+        if self.templates.remove(&profile.name).is_some() {
+            let rebuilt = Template::generate(profile, model)?;
+            clock.charge(rebuilt.offline_time());
+            self.templates.insert(profile.name.clone(), rebuilt);
+        }
+        Ok(())
+    }
 }
 
 impl Default for Catalyzer {
@@ -232,17 +256,27 @@ impl Default for Catalyzer {
     }
 }
 
-/// A [`BootEngine`] adapter pinning one [`BootMode`], so Catalyzer variants
-/// slot into the same harnesses as the baseline engines.
+/// A [`BootEngine`] adapter preferring one [`BootMode`], so Catalyzer
+/// variants slot into the same harnesses as the baseline engines.
+///
+/// The preferred mode is also the top of the engine's *fallback ladder*
+/// (fork → warm → cold): [`BootEngine::degrade`] steps the active mode one
+/// rung down after a failed boot, and [`BootEngine::reset_path`] restores
+/// the preferred mode so one request's degradation is not permanent.
 pub struct CatalyzerEngine {
     inner: Rc<RefCell<Catalyzer>>,
-    mode: BootMode,
+    preferred: BootMode,
+    current: BootMode,
 }
 
 impl CatalyzerEngine {
-    /// Wraps a shared Catalyzer with a fixed boot mode.
+    /// Wraps a shared Catalyzer with a preferred boot mode.
     pub fn new(inner: Rc<RefCell<Catalyzer>>, mode: BootMode) -> CatalyzerEngine {
-        CatalyzerEngine { inner, mode }
+        CatalyzerEngine {
+            inner,
+            preferred: mode,
+            current: mode,
+        }
     }
 
     /// Convenience: a standalone engine with its own Catalyzer instance.
@@ -254,19 +288,26 @@ impl CatalyzerEngine {
     pub fn system(&self) -> Rc<RefCell<Catalyzer>> {
         Rc::clone(&self.inner)
     }
+
+    /// The boot mode the next [`BootEngine::boot`] call will use (equal to
+    /// the preferred mode unless [`BootEngine::degrade`] moved it).
+    pub fn active_mode(&self) -> BootMode {
+        self.current
+    }
 }
 
 impl fmt::Debug for CatalyzerEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CatalyzerEngine")
-            .field("mode", &self.mode)
+            .field("preferred", &self.preferred)
+            .field("current", &self.current)
             .finish()
     }
 }
 
 impl BootEngine for CatalyzerEngine {
     fn name(&self) -> &'static str {
-        self.mode.label()
+        self.preferred.label()
     }
 
     fn isolation(&self) -> IsolationLevel {
@@ -275,7 +316,7 @@ impl BootEngine for CatalyzerEngine {
 
     fn warm(&mut self, profile: &AppProfile, model: &CostModel) -> Result<(), SandboxError> {
         let mut system = self.inner.borrow_mut();
-        match self.mode {
+        match self.current {
             BootMode::Fork => system.ensure_template(profile, model),
             BootMode::Warm => {
                 if !system.store.contains(&profile.name) {
@@ -298,7 +339,33 @@ impl BootEngine for CatalyzerEngine {
     ) -> Result<BootOutcome, SandboxError> {
         self.warm(profile, ctx.model())?;
         let mut system = self.inner.borrow_mut();
-        system.boot(self.mode, profile, ctx)
+        system.boot(self.current, profile, ctx)
+    }
+
+    fn degrade(&mut self) -> Option<&'static str> {
+        let next = match self.current {
+            BootMode::Fork => BootMode::Warm,
+            BootMode::Warm => BootMode::Cold,
+            BootMode::Cold => return None,
+        };
+        self.current = next;
+        Some(match next {
+            BootMode::Warm => "warm",
+            _ => "cold",
+        })
+    }
+
+    fn reset_path(&mut self) {
+        self.current = self.preferred;
+    }
+
+    fn quarantine(
+        &mut self,
+        profile: &AppProfile,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<(), SandboxError> {
+        self.inner.borrow_mut().quarantine(profile, clock, model)
     }
 }
 

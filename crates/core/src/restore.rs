@@ -25,6 +25,7 @@
 
 use std::sync::Arc;
 
+use faultsim::InjectionPoint;
 use guest_kernel::GuestKernel;
 use imagefmt::IoConnKind;
 use memsim::{AddressSpace, Perms, ShareMode};
@@ -61,11 +62,14 @@ pub(crate) fn restore_boot(
                 let shell = GvisorEngine::prepare_sandbox(config.tweaks, profile, true, ctx)?;
                 shell.space
             }
-            BootMode::Warm if config.zygotes => ctx.span("sandbox:zygote-specialize", |ctx| {
-                let zygote = zygotes.take(ctx.clock(), ctx.model())?;
-                zygote.specialize(&profile.name, ctx.clock(), ctx.model())?;
-                Ok::<_, SandboxError>(AddressSpace::new(profile.name.clone()))
-            })?,
+            BootMode::Warm if config.zygotes => {
+                ctx.fault(InjectionPoint::ZygoteSpecialize)?;
+                ctx.span("sandbox:zygote-specialize", |ctx| {
+                    let zygote = zygotes.take(ctx.clock(), ctx.model())?;
+                    zygote.specialize(&profile.name, ctx.clock(), ctx.model())?;
+                    Ok::<_, SandboxError>(AddressSpace::new(profile.name.clone()))
+                })?
+            }
             BootMode::Warm => {
                 // Zygotes disabled: warm boot still shares memory, but pays
                 // full sandbox construction.
@@ -79,6 +83,7 @@ pub(crate) fn restore_boot(
         let fs = Arc::clone(&stored.fs);
 
         // --- 2. guest-kernel metadata ------------------------------------
+        ctx.fault(InjectionPoint::ArenaMap)?;
         let records = if config.separated_state {
             ctx.span(PHASE_RESTORE_KERNEL, |ctx| {
                 ctx.span("separated-state", |ctx| {
@@ -101,6 +106,7 @@ pub(crate) fn restore_boot(
                 stored.flat.restore_metadata(&SimClock::new(), ctx.model())
             })?
         };
+        ctx.fault(InjectionPoint::Relink)?;
         let mut kernel = ctx.span(PHASE_RESTORE_KERNEL, |ctx| {
             GuestKernel::restore_from_records(
                 profile.name.clone(),
@@ -113,6 +119,7 @@ pub(crate) fn restore_boot(
         })?;
 
         // --- 3. application memory ---------------------------------------
+        ctx.fault(InjectionPoint::ImageMmap)?;
         if config.overlay_memory {
             ctx.span(PHASE_RESTORE_MEMORY, |ctx| {
                 let (base, step) = match &stored.base {
@@ -170,6 +177,7 @@ pub(crate) fn restore_boot(
         }
 
         // --- 4. I/O reconnection -----------------------------------------
+        ctx.fault(InjectionPoint::IoReconnect)?;
         let manifest = stored
             .flat
             .read_io_manifest(&SimClock::new(), ctx.model())?;

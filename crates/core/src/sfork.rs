@@ -19,6 +19,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use faultsim::InjectionPoint;
 use runtimes::{heap_page_byte, AppProfile, RuntimeKind, WrappedProgram};
 use sandbox::{traced_boot, BootCtx, BootOutcome, SandboxError};
 use simtime::{CostModel, SimClock, SimNanos};
@@ -123,7 +124,10 @@ impl Template {
         ctx.span("sfork:namespaces", |ctx| {
             ctx.charge(ctx.model().host.namespace_setup.saturating_mul(2));
         });
-        // Child expands back to the full thread set.
+        // Child expands back to the full thread set (the single-thread merge
+        // discipline is what makes this the fragile step: a fault here means
+        // the template's merged thread state is corrupt).
+        ctx.fault(InjectionPoint::SforkMerge)?;
         ctx.span("sfork:expand-threads", |ctx| {
             kernel.sentry_threads.expand(ctx.clock(), ctx.model())
         })?;

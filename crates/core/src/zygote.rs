@@ -128,6 +128,15 @@ impl ZygotePool {
         Zygote::construct(self.tweaks, clock, model)
     }
 
+    /// Discards every ready Zygote, returning how many were dropped. Used
+    /// by quarantine when a poisoned specialization means the pooled bases
+    /// can no longer be trusted; the next refill rebuilds them offline.
+    pub fn drain(&mut self) -> usize {
+        let dropped = self.ready.len();
+        self.ready.clear();
+        dropped
+    }
+
     /// Ready Zygotes available.
     pub fn available(&self) -> usize {
         self.ready.len()

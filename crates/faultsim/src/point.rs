@@ -1,0 +1,151 @@
+//! The named injection points of the boot pipeline, and the kinds of fault
+//! that can fire at them.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A place in the boot pipeline where the host can fail.
+///
+/// Each variant names one concrete operation an engine performs on the boot
+/// critical path; engines consult the injector immediately before doing the
+/// real work, so a fault aborts the operation exactly where the real system
+/// would observe the failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum InjectionPoint {
+    /// `mmap` of the func-image / Base-EPT (overlay memory, §3.1): the
+    /// host rejects or loses the mapping.
+    ImageMmap,
+    /// Stage 1 of separated state recovery (§3.2): mapping the metadata
+    /// arenas fails.
+    ArenaMap,
+    /// Stage 2 of separated state recovery: relation-table pointer
+    /// re-establishment hits a corrupt arena.
+    Relink,
+    /// Re-establishing an fd or socket connection (§3.3): the peer times
+    /// out or refuses.
+    IoReconnect,
+    /// Specializing a Zygote sandbox for the function (§3.4): the imported
+    /// bundle is bad, poisoning the zygote.
+    ZygoteSpecialize,
+    /// The sfork single-thread merge/expand discipline (§4.2): the template
+    /// cannot re-expand its thread set, poisoning the template.
+    SforkMerge,
+}
+
+impl InjectionPoint {
+    /// Every injection point, in pipeline order.
+    pub const ALL: [InjectionPoint; 6] = [
+        InjectionPoint::ImageMmap,
+        InjectionPoint::ArenaMap,
+        InjectionPoint::Relink,
+        InjectionPoint::IoReconnect,
+        InjectionPoint::ZygoteSpecialize,
+        InjectionPoint::SforkMerge,
+    ];
+
+    /// Stable metric/label name (`fault.<label>` counters, span names).
+    pub fn label(self) -> &'static str {
+        match self {
+            InjectionPoint::ImageMmap => "image-mmap",
+            InjectionPoint::ArenaMap => "arena-map",
+            InjectionPoint::Relink => "relink",
+            InjectionPoint::IoReconnect => "io-reconnect",
+            InjectionPoint::ZygoteSpecialize => "zygote-specialize",
+            InjectionPoint::SforkMerge => "sfork-merge",
+        }
+    }
+
+    /// Dense index into per-point tables (`0..ALL.len()`).
+    pub fn index(self) -> usize {
+        match self {
+            InjectionPoint::ImageMmap => 0,
+            InjectionPoint::ArenaMap => 1,
+            InjectionPoint::Relink => 2,
+            InjectionPoint::IoReconnect => 3,
+            InjectionPoint::ZygoteSpecialize => 4,
+            InjectionPoint::SforkMerge => 5,
+        }
+    }
+
+    /// True when a fault here corrupts *prepared* state (a zygote or a
+    /// template sandbox) rather than the attempt alone: recovery requires
+    /// quarantining and rebuilding that state, not merely retrying.
+    pub fn poisons_prepared_state(self) -> bool {
+        matches!(
+            self,
+            InjectionPoint::ZygoteSpecialize | InjectionPoint::SforkMerge
+        )
+    }
+}
+
+impl fmt::Display for InjectionPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How an injected fault behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The operation fails once (or for a short burst) and then clears:
+    /// retrying the same path recovers.
+    Transient,
+    /// The operation hangs and is only detected by timeout: like a
+    /// transient, but the detection latency is the configured stall
+    /// timeout rather than a fast error return.
+    Stall,
+    /// The prepared state backing the operation (template, zygote) is
+    /// corrupt: every retry against it fails until the state is
+    /// quarantined and rebuilt.
+    Poison,
+}
+
+impl FaultKind {
+    /// Stable label for logs and serialized fault sequences.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::Stall => "stall",
+            FaultKind::Poison => "poison",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_match_all_order() {
+        for (i, p) in InjectionPoint::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = InjectionPoint::ALL.iter().map(|p| p.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), InjectionPoint::ALL.len());
+    }
+
+    #[test]
+    fn poisoning_points_are_the_prepared_state_ones() {
+        let poisoning: Vec<InjectionPoint> = InjectionPoint::ALL
+            .into_iter()
+            .filter(|p| p.poisons_prepared_state())
+            .collect();
+        assert_eq!(
+            poisoning,
+            [InjectionPoint::ZygoteSpecialize, InjectionPoint::SforkMerge]
+        );
+    }
+}

@@ -1,14 +1,25 @@
 //! The per-server gateway daemon (paper §2.1): accepts "invoke function"
 //! requests and starts sandboxes through a pluggable [`BootEngine`],
 //! recording per-function latency histograms and a span tree per request.
+//!
+//! Boots go through [`resilience::resilient_boot`](crate::resilience), so a
+//! gateway configured with a [`FaultPlan`] absorbs injected host faults by
+//! retrying, falling back along the engine's boot ladder, and quarantining
+//! poisoned prepared state — surfacing every recovery in its metrics
+//! (`fault.<point>`, `invoke.retries`, `invoke.degraded`, the
+//! `invoke.recovery` histogram) and in the request's span tree.
 
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 
+use faultsim::{FaultInjector, FaultPlan};
 use runtimes::ExecReport;
 use sandbox::{BootCtx, BootEngine, BootOutcome, SPAN_EXEC};
 use simtime::trace::Span;
 use simtime::{CostModel, MetricsRegistry, SimNanos};
 
+use crate::resilience::{resilient_boot, ResiliencePolicy};
 use crate::{FunctionRegistry, PlatformError};
 
 /// One end-to-end invocation: boot + handler execution.
@@ -59,6 +70,8 @@ pub struct Gateway<E: BootEngine> {
     model: CostModel,
     invocations: u64,
     metrics: MetricsRegistry,
+    policy: ResiliencePolicy,
+    injector: Option<Rc<RefCell<FaultInjector>>>,
 }
 
 impl<E: BootEngine> Gateway<E> {
@@ -70,7 +83,35 @@ impl<E: BootEngine> Gateway<E> {
             model,
             invocations: 0,
             metrics: MetricsRegistry::new(),
+            policy: ResiliencePolicy::full(),
+            injector: None,
         }
+    }
+
+    /// Sets the recovery policy, builder-style. Without a fault plan the
+    /// policy is moot — no faults ever fire.
+    pub fn with_policy(mut self, policy: ResiliencePolicy) -> Gateway<E> {
+        self.policy = policy;
+        self
+    }
+
+    /// Arms deterministic fault injection with `plan`, builder-style. Every
+    /// boot from then on consults the same seeded injector, so the whole
+    /// request history is a pure function of `(trace, plan)`.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Gateway<E> {
+        self.injector = Some(Rc::new(RefCell::new(FaultInjector::new(plan))));
+        self
+    }
+
+    /// The active recovery policy.
+    pub fn policy(&self) -> &ResiliencePolicy {
+        &self.policy
+    }
+
+    /// The armed fault injector, if any — its log is the ground truth for
+    /// determinism checks.
+    pub fn injector(&self) -> Option<&Rc<RefCell<FaultInjector>>> {
+        self.injector.as_ref()
     }
 
     /// Deploys a function.
@@ -140,10 +181,20 @@ impl<E: BootEngine> Gateway<E> {
             })?
             .clone();
         let mut ctx = BootCtx::fresh(&self.model);
+        if let Some(injector) = &self.injector {
+            ctx = ctx.with_injector(Rc::clone(injector));
+        }
         ctx.tracer_mut().begin(format!("invoke:{function}"));
 
-        let mut outcome = match self.engine.boot(&profile, &mut ctx) {
-            Ok(outcome) => outcome,
+        let booted = resilient_boot(
+            &mut self.engine,
+            &profile,
+            &self.policy,
+            &mut ctx,
+            &mut self.metrics,
+        );
+        let mut booted = match booted {
+            Ok(booted) => booted,
             Err(e) => {
                 self.metrics.inc("invoke.errors");
                 ctx.tracer_mut().end();
@@ -151,7 +202,10 @@ impl<E: BootEngine> Gateway<E> {
             }
         };
         let (exec_result, exec_span) = ctx.span_out(SPAN_EXEC, |ctx| {
-            outcome.program.invoke_handler(ctx.clock(), ctx.model())
+            booted
+                .outcome
+                .program
+                .invoke_handler(ctx.clock(), ctx.model())
         });
         let trace = ctx.tracer_mut().end();
         let exec = match exec_result {
@@ -163,9 +217,11 @@ impl<E: BootEngine> Gateway<E> {
         };
 
         // Both latency legs come from the span tree itself — the report can
-        // never drift from the trace.
+        // never drift from the trace. The boot leg is everything before the
+        // handler ran: failed attempts, backoff, and quarantine included
+        // (equal to the winning boot span's duration when nothing faulted).
         let report = InvocationReport {
-            boot: outcome.trace.duration(),
+            boot: trace.duration() - exec_span.duration(),
             exec: exec_span.duration(),
         };
         self.invocations += 1;
@@ -175,9 +231,16 @@ impl<E: BootEngine> Gateway<E> {
             .observe(&format!("boot.{function}"), report.boot);
         self.metrics
             .observe(&format!("exec.{function}"), report.exec);
+        if booted.degraded() {
+            self.metrics.inc("invoke.degraded");
+            self.metrics.observe("invoke.recovery", booted.recovery);
+            if let Some(rung) = booted.fallback_path {
+                self.metrics.inc(&format!("invoke.degraded.{rung}"));
+            }
+        }
         Ok(Invocation {
             report,
-            outcome,
+            outcome: booted.outcome,
             exec,
             trace,
         })

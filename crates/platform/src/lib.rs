@@ -13,7 +13,10 @@
 //! - [`policy`]: boot-mode selection and the cache-vs-fork tail-latency
 //!   experiment (§6.9 "sustainable hot boot");
 //! - [`pool`]: an autoscaling instance pool with keep-alive expiry, showing
-//!   where cold starts come from in the first place.
+//!   where cold starts come from in the first place;
+//! - [`resilience`]: retry with simulated-time backoff, fallback along the
+//!   boot ladder (sfork → warm → cold), and quarantine of poisoned
+//!   zygote/template state, driven by `faultsim` fault plans.
 //!
 //! # Example
 //!
@@ -40,9 +43,11 @@ pub mod memory;
 pub mod policy;
 pub mod pool;
 mod registry;
+pub mod resilience;
 pub mod scaling;
 pub mod simulate;
 
 pub use error::PlatformError;
 pub use gateway::{Gateway, Invocation, InvocationReport};
 pub use registry::FunctionRegistry;
+pub use resilience::{resilient_boot, ResiliencePolicy, ResilientBoot};

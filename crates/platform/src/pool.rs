@@ -7,12 +7,16 @@
 //! the classic keep-alive policy whose cold-start tail Catalyzer's fork boot
 //! eliminates (paper §2.2 "caching does not help with the tail latency").
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
+use faultsim::FaultInjector;
 use runtimes::AppProfile;
 use sandbox::{BootCtx, BootEngine, BootOutcome};
 use simtime::{CostModel, MetricsRegistry, SimNanos};
 
+use crate::resilience::{resilient_boot, ResiliencePolicy};
 use crate::PlatformError;
 
 /// One pooled, idle instance.
@@ -46,6 +50,8 @@ pub struct InstancePool<E: BootEngine> {
     idle: VecDeque<IdleInstance>,
     stats: PoolStats,
     metrics: MetricsRegistry,
+    policy: ResiliencePolicy,
+    injector: Option<Rc<RefCell<FaultInjector>>>,
 }
 
 impl<E: BootEngine> InstancePool<E> {
@@ -59,7 +65,23 @@ impl<E: BootEngine> InstancePool<E> {
             idle: VecDeque::new(),
             stats: PoolStats::default(),
             metrics: MetricsRegistry::new(),
+            policy: ResiliencePolicy::full(),
+            injector: None,
         }
+    }
+
+    /// Sets the recovery policy, builder-style.
+    pub fn with_policy(mut self, policy: ResiliencePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches a (possibly shared) fault injector, builder-style: scale-up
+    /// boots then consult its schedule. Sharing one injector across a
+    /// fleet's pools keeps the whole simulation one seeded sequence.
+    pub fn with_injector(mut self, injector: Rc<RefCell<FaultInjector>>) -> Self {
+        self.injector = Some(injector);
+        self
     }
 
     /// Pool statistics so far.
@@ -68,7 +90,9 @@ impl<E: BootEngine> InstancePool<E> {
     }
 
     /// Pool metrics: `pool.reuse` / `pool.boot` / `pool.expire` counters, a
-    /// `pool.idle` gauge, and the `pool.startup` latency histogram.
+    /// `pool.idle` gauge, and the `pool.startup` latency histogram; under
+    /// fault injection also `fault.<point>` / `pool.degraded` counters and
+    /// the `pool.recovery` histogram.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
     }
@@ -114,8 +138,21 @@ impl<E: BootEngine> InstancePool<E> {
                 self.stats.boots += 1;
                 self.metrics.inc("pool.boot");
                 let mut ctx = BootCtx::fresh(model);
-                let outcome = self.engine.boot(&self.profile, &mut ctx)?;
-                (outcome, ctx.now(), false)
+                if let Some(injector) = &self.injector {
+                    ctx = ctx.with_injector(Rc::clone(injector));
+                }
+                let booted = resilient_boot(
+                    &mut self.engine,
+                    &self.profile,
+                    &self.policy,
+                    &mut ctx,
+                    &mut self.metrics,
+                )?;
+                if booted.degraded() {
+                    self.metrics.inc("pool.degraded");
+                    self.metrics.observe("pool.recovery", booted.recovery);
+                }
+                (booted.outcome, ctx.now(), false)
             }
         };
         self.metrics.observe("pool.startup", startup);

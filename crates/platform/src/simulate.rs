@@ -8,12 +8,17 @@
 //! with keep-alive caching, tail latency tracks the *miss* pattern of the
 //! trace; with fork boot, the trace shape stops mattering.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use faultsim::{FaultInjector, FaultPlan};
 use runtimes::AppProfile;
 use sandbox::BootEngine;
 use simtime::stats::{summarize, Summary};
 use simtime::{CostModel, SimNanos};
 
 use crate::pool::{InstancePool, PoolStats};
+use crate::resilience::ResiliencePolicy;
 use crate::PlatformError;
 
 /// A request against the simulated platform.
@@ -38,6 +43,10 @@ pub struct SimulationOutcome {
     pub pools: PoolStats,
     /// Maximum requests in flight at any instant.
     pub peak_concurrency: usize,
+    /// Injected faults absorbed across all pools (0 without a fault plan).
+    pub faults: u64,
+    /// Boots that succeeded only after recovering from at least one fault.
+    pub degraded: u64,
 }
 
 /// Drives `requests` (sorted by arrival) through one pool per function.
@@ -58,16 +67,63 @@ pub fn run<E, F>(
     requests: &[TraceRequest],
     keep_alive: SimNanos,
     max_idle: usize,
-    mut make_engine: F,
+    make_engine: F,
     model: &CostModel,
 ) -> Result<SimulationOutcome, PlatformError>
 where
     E: BootEngine,
     F: FnMut(&AppProfile) -> E,
 {
+    run_with_faults(
+        functions,
+        requests,
+        keep_alive,
+        max_idle,
+        make_engine,
+        model,
+        None,
+        ResiliencePolicy::full(),
+    )
+}
+
+/// [`run`], with deterministic fault injection: all pools share one seeded
+/// injector built from `plan` (when given), and scale-up boots recover
+/// through `policy`. [`SimulationOutcome::faults`] / `degraded` report what
+/// the fleet absorbed.
+///
+/// # Errors
+///
+/// Engine or handler errors; unrecovered injected faults.
+///
+/// # Panics
+///
+/// Same as [`run`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_faults<E, F>(
+    functions: &[AppProfile],
+    requests: &[TraceRequest],
+    keep_alive: SimNanos,
+    max_idle: usize,
+    mut make_engine: F,
+    model: &CostModel,
+    plan: Option<FaultPlan>,
+    policy: ResiliencePolicy,
+) -> Result<SimulationOutcome, PlatformError>
+where
+    E: BootEngine,
+    F: FnMut(&AppProfile) -> E,
+{
+    let injector = plan.map(|p| Rc::new(RefCell::new(FaultInjector::new(p))));
     let mut pools: Vec<InstancePool<E>> = functions
         .iter()
-        .map(|p| InstancePool::new(make_engine(p), p.clone(), keep_alive, max_idle))
+        .map(|p| {
+            let mut pool = InstancePool::new(make_engine(p), p.clone(), keep_alive, max_idle)
+                .with_policy(policy);
+            if let Some(injector) = &injector {
+                pool = pool.with_injector(Rc::clone(injector));
+            }
+            pool
+        })
         .collect();
 
     let mut startups = Vec::with_capacity(requests.len());
@@ -105,12 +161,19 @@ where
             expirations: acc.expirations + s.expirations,
         }
     });
+    let degraded = pools
+        .iter()
+        .map(|p| p.metrics().counter("pool.degraded"))
+        .sum();
+    let faults = injector.map_or(0, |i| i.borrow().total_fired());
     Ok(SimulationOutcome {
         startup: summarize(&startups).expect("non-empty trace"),
         end_to_end: summarize(&totals).expect("non-empty trace"),
         reuse_rate: reuses as f64 / requests.len() as f64,
         pools: pools_stats,
         peak_concurrency: peak,
+        faults,
+        degraded,
     })
 }
 

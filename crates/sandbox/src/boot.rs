@@ -1,5 +1,9 @@
 //! The common boot-engine interface and phase conventions.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use faultsim::{FaultInjector, InjectionPoint};
 use runtimes::{AppProfile, WrappedProgram};
 use simtime::trace::{Span, Tracer};
 use simtime::{Breakdown, CostModel, SimClock, SimNanos};
@@ -61,6 +65,7 @@ pub struct BootCtx {
     clock: SimClock,
     model: CostModel,
     tracer: Tracer,
+    injector: Option<Rc<RefCell<FaultInjector>>>,
 }
 
 impl BootCtx {
@@ -70,6 +75,7 @@ impl BootCtx {
             clock: clock.clone(),
             model: model.clone(),
             tracer: Tracer::new(clock),
+            injector: None,
         }
     }
 
@@ -123,6 +129,47 @@ impl BootCtx {
     /// Records a leaf span with an already-known cost, charging the clock.
     pub fn charge_span(&mut self, name: impl Into<String>, cost: SimNanos) {
         self.tracer.charge_span(name, cost);
+    }
+
+    /// Attaches a fault injector, builder-style. Engines consult it through
+    /// [`BootCtx::fault`] at the named injection points; without one, every
+    /// consultation is free and the context behaves exactly as before.
+    pub fn with_injector(mut self, injector: Rc<RefCell<FaultInjector>>) -> BootCtx {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// The attached fault injector, if any.
+    pub fn injector(&self) -> Option<&Rc<RefCell<FaultInjector>>> {
+        self.injector.as_ref()
+    }
+
+    /// Consults the fault schedule at `point` immediately before the real
+    /// operation.
+    ///
+    /// With no injector attached — or when the schedule does not fire — this
+    /// returns `Ok(())` at zero cost: no clock charge, no span, leaving the
+    /// boot byte-identical to a run without faultsim. When a fault fires,
+    /// the failing operation's detection latency is charged inside a
+    /// `fault:<point>` span (so the failure is visible in the trace exactly
+    /// where it happened) and the typed fault comes back as
+    /// [`SandboxError::Fault`].
+    ///
+    /// # Errors
+    ///
+    /// [`SandboxError::Fault`] when the schedule fires at this consultation.
+    pub fn fault(&mut self, point: InjectionPoint) -> Result<(), SandboxError> {
+        let Some(injector) = &self.injector else {
+            return Ok(());
+        };
+        let fired = injector.borrow_mut().check(point, self.clock.now());
+        match fired {
+            None => Ok(()),
+            Some(fault) => {
+                self.charge_span(format!("fault:{point}"), fault.delay);
+                Err(SandboxError::Fault(fault))
+            }
+        }
     }
 
     /// The tracer, for callers that need raw begin/end control.
@@ -211,6 +258,37 @@ pub trait BootEngine {
     /// Any [`SandboxError`] from the preparation work.
     fn warm(&mut self, profile: &AppProfile, model: &CostModel) -> Result<(), SandboxError> {
         let _ = (profile, model);
+        Ok(())
+    }
+
+    /// Steps the engine one rung down its boot ladder after a failed boot,
+    /// returning a label for the new path (e.g. `"warm"`, `"cold"`) or
+    /// `None` when there is nothing cheaper-but-slower left to try.
+    ///
+    /// Single-path engines have no ladder; the default declines.
+    fn degrade(&mut self) -> Option<&'static str> {
+        None
+    }
+
+    /// Restores the engine's preferred boot path after
+    /// [`degrade`](BootEngine::degrade) moved it, so one request's
+    /// degradation does not become permanent. No-op for single-path engines.
+    fn reset_path(&mut self) {}
+
+    /// Discards and rebuilds prepared state (zygote, template) that a
+    /// poison fault corrupted, charging `clock` for the rebuild. Engines
+    /// without prepared state accept the no-op default.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SandboxError`] from the rebuild.
+    fn quarantine(
+        &mut self,
+        profile: &AppProfile,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<(), SandboxError> {
+        let _ = (profile, clock, model);
         Ok(())
     }
 }

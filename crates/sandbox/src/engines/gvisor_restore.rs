@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use faultsim::InjectionPoint;
 use guest_kernel::gofer::FsServer;
 use guest_kernel::GuestKernel;
 use imagefmt::classic;
@@ -112,6 +113,7 @@ impl BootEngine for GvisorRestoreEngine {
                 });
             });
             // Non-I/O state redo (recover_per_object charged inside restore).
+            ctx.fault(InjectionPoint::Relink)?;
             let mut kernel = ctx.span(PHASE_RESTORE_KERNEL, |ctx| {
                 GuestKernel::restore_from_records(
                     profile.name.clone(),
@@ -125,6 +127,7 @@ impl BootEngine for GvisorRestoreEngine {
 
             // Eager memory load: disk read of the compressed stream, full
             // decompression, then copying every page into guest frames.
+            ctx.fault(InjectionPoint::ImageMmap)?;
             ctx.span(PHASE_RESTORE_MEMORY, |ctx| {
                 let on_disk =
                     (counts.body_bytes as f64 * ctx.model().mem.assumed_image_compression) as u64;
@@ -152,6 +155,7 @@ impl BootEngine for GvisorRestoreEngine {
             })?;
 
             // Eager I/O reconnection: re-do every connection now.
+            ctx.fault(InjectionPoint::IoReconnect)?;
             ctx.span(PHASE_RESTORE_IO, |ctx| {
                 ctx.span("reconnect-fds", |ctx| {
                     let fds: Vec<i32> = kernel.vfs.iter_fds().map(|(fd, _)| fd).collect();

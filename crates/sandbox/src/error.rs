@@ -18,6 +18,20 @@ pub enum SandboxError {
         /// Parser diagnostic.
         detail: String,
     },
+    /// A host fault injected by the faultsim schedule fired on the boot
+    /// critical path. Carries the full typed fault so the resilience layer
+    /// can pick retry vs. fallback vs. quarantine from `kind` and `point`.
+    Fault(faultsim::InjectedFault),
+}
+
+impl SandboxError {
+    /// The injected fault behind this error, when there is one.
+    pub fn injected(&self) -> Option<&faultsim::InjectedFault> {
+        match self {
+            SandboxError::Fault(fault) => Some(fault),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SandboxError {
@@ -28,6 +42,11 @@ impl fmt::Display for SandboxError {
             SandboxError::Image(e) => write!(f, "image: {e}"),
             SandboxError::Mem(e) => write!(f, "memory: {e}"),
             SandboxError::Config { detail } => write!(f, "config: {detail}"),
+            SandboxError::Fault(fault) => write!(
+                f,
+                "injected fault: {} at {} (detected after {})",
+                fault.kind, fault.point, fault.delay
+            ),
         }
     }
 }
@@ -39,7 +58,7 @@ impl Error for SandboxError {
             SandboxError::Runtime(e) => Some(e),
             SandboxError::Image(e) => Some(e),
             SandboxError::Mem(e) => Some(e),
-            SandboxError::Config { .. } => None,
+            SandboxError::Config { .. } | SandboxError::Fault(..) => None,
         }
     }
 }

@@ -30,6 +30,7 @@ use std::error::Error;
 use std::fmt;
 
 pub use catalyzer;
+pub use faultsim;
 pub use guest_kernel;
 pub use imagefmt;
 pub use memsim;

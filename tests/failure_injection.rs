@@ -3,7 +3,10 @@
 //! corrupted state.
 
 use catalyzer_suite::guest_kernel::vfs::MAX_FDS;
+use catalyzer_suite::guest_kernel::KernelError;
+use catalyzer_suite::memsim::MemError;
 use catalyzer_suite::prelude::*;
+use catalyzer_suite::runtimes::RuntimeError;
 use catalyzer_suite::sandbox::SandboxError;
 use catalyzer_suite::simtime::SimClock;
 
@@ -30,8 +33,15 @@ fn fd_exhaustion_fails_the_boot_cleanly() {
     let err = engine
         .boot(&fd_hungry_profile(), &mut BootCtx::fresh(&model))
         .expect_err("boot must fail when the fd table runs out");
-    let text = err.to_string();
-    assert!(text.contains("exhausted"), "unexpected error: {text}");
+    // Typed, not textual: the exhaustion surfaces as a kernel error whether
+    // the boot path hit the fd table directly or through the runtime layer.
+    match err {
+        SandboxError::Kernel(KernelError::ResourceExhausted { what })
+        | SandboxError::Runtime(RuntimeError::Kernel(KernelError::ResourceExhausted { what })) => {
+            assert_eq!(what, "guest fds");
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
 }
 
 #[test]
@@ -131,5 +141,11 @@ fn plain_shared_mapping_blocks_sfork_until_cow_flagged() {
     let err = template
         .fork_boot(&CatalyzerConfig::full(), &mut BootCtx::new(&clock, &model))
         .expect_err("plain MAP_SHARED must block sfork");
-    assert!(err.to_string().contains("CoW"), "{err}");
+    match err {
+        SandboxError::Mem(MemError::SharedMappingRequiresCow { vma })
+        | SandboxError::Runtime(RuntimeError::Mem(MemError::SharedMappingRequiresCow { vma })) => {
+            assert_eq!(vma, "shm-no-cow");
+        }
+        other => panic!("expected SharedMappingRequiresCow, got {other:?}"),
+    }
 }

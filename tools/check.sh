@@ -22,11 +22,26 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+# The fault-injection crate and its cross-layer integration suite: typed
+# surfacing, recovery ladder, zero-overhead-when-inactive, and replay
+# determinism (proptests included).
+echo "==> faultsim suite"
+cargo test -q -p faultsim
+cargo test -q --test faultsim
+
 # Regenerates the observability export in-memory and verifies the checked-in
 # BENCH_pr2.json is valid (every Fig. 11 engine present, monotone span
 # nesting, non-empty histograms, phase attribution sums to the boot total)
 # and byte-identical — i.e. the tracing layer is still deterministic.
 echo "==> bench export (BENCH_pr2.json valid + up to date)"
 cargo run -q -p bench --bin repro -- export --check BENCH_pr2.json
+
+# Same staleness gate for the fault sweep: regenerates the rate × policy
+# grid in-memory and verifies the checked-in BENCH_pr3.json is valid
+# (zero-rate and full-ladder rows at availability 1.0, the no-recovery
+# baseline losing requests, storm recovery visible in the p99) and
+# byte-identical — i.e. fault injection and recovery are deterministic.
+echo "==> fault sweep (BENCH_pr3.json valid + up to date)"
+cargo run -q -p bench --bin repro -- faults --check BENCH_pr3.json
 
 echo "All checks passed."
