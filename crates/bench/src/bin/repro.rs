@@ -6,6 +6,8 @@
 //! repro fig11          # one experiment
 //! repro list           # available experiment ids
 //! repro faults         # fault-injection sweep -> BENCH_pr3.json
+//! repro overload       # admission/overload sweep -> BENCH_pr4.json
+//! repro all --check    # validate all three checked-in bench exports
 //! ```
 
 use bench::figures::{
@@ -190,6 +192,36 @@ fn faults(path: &str, check: bool) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Writes the overload sweep (admission grid + baseline-vs-full storm
+/// comparison) to `path`, or with `check = true` re-generates it and
+/// verifies `path` is valid and byte-identical (determinism gate).
+fn overload(path: &str, check: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let model = CostModel::experimental_machine();
+    let fresh = bench::admitbench::generate(&model);
+    bench::admitbench::validate(&fresh)?;
+    let text = bench::admitbench::to_json(&fresh)?;
+    if check {
+        let on_disk = std::fs::read_to_string(path)?;
+        let parsed = bench::admitbench::from_json(&on_disk)?;
+        bench::admitbench::validate(&parsed)?;
+        if on_disk != text {
+            return Err(format!("{path} is stale: regenerate with 'repro overload {path}'").into());
+        }
+        println!(
+            "{path}: valid, {} cells + storm, up to date",
+            parsed.cells.len()
+        );
+    } else {
+        std::fs::write(path, &text)?;
+        println!(
+            "wrote {path} ({} cells + storm, {} bytes)",
+            fresh.cells.len(),
+            text.len()
+        );
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("all");
@@ -220,6 +252,16 @@ fn main() {
                 .unwrap_or("BENCH_pr3.json");
             faults(path, check)
         }
+        "overload" => {
+            let check = args.iter().any(|a| a == "--check");
+            let path = args
+                .iter()
+                .skip(1)
+                .find(|a| *a != "--check")
+                .map(String::as_str)
+                .unwrap_or("BENCH_pr4.json");
+            overload(path, check)
+        }
         "csv" => match args.get(1) {
             Some(id) => csv(id),
             None => {
@@ -227,6 +269,13 @@ fn main() {
                 std::process::exit(2);
             }
         },
+        "all" | "quick" if args.iter().any(|a| a == "--check") => {
+            // The one-stop determinism gate: every checked-in bench export
+            // regenerated in-memory and verified byte-identical.
+            export("BENCH_pr2.json", true)
+                .and_then(|()| faults("BENCH_pr3.json", true))
+                .and_then(|()| overload("BENCH_pr4.json", true))
+        }
         "all" | "quick" => {
             let fig15_max = if command == "quick" { 100 } else { 1000 };
             println!("Catalyzer reproduction — regenerating every table and figure");

@@ -15,6 +15,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod admitbench;
 pub mod export;
 pub mod faultbench;
 pub mod figures;

@@ -3,10 +3,11 @@
 //! Fig. 7.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::rc::Rc;
 
+use faultsim::InjectionPoint;
 use runtimes::{AppProfile, RuntimeKind};
 use sandbox::{BootCtx, BootEngine, BootOutcome, IsolationLevel, SandboxError};
 use simtime::{CostModel, SimClock, SimNanos};
@@ -47,6 +48,7 @@ pub struct Catalyzer {
     zygotes: ZygotePool,
     templates: HashMap<String, Template>,
     lang_templates: HashMap<RuntimeKind, LanguageTemplate>,
+    suspect_templates: BTreeSet<String>,
 }
 
 impl Catalyzer {
@@ -63,6 +65,7 @@ impl Catalyzer {
             zygotes: ZygotePool::new(config.tweaks),
             templates: HashMap::new(),
             lang_templates: HashMap::new(),
+            suspect_templates: BTreeSet::new(),
         }
     }
 
@@ -225,11 +228,15 @@ impl Catalyzer {
         self.store.offline_time() + self.zygotes.offline_time()
     }
 
-    /// Quarantines prepared state after a poison fault: every pooled Zygote
-    /// is discarded (they share the base the poisoned specialization came
-    /// from) and `profile`'s template sandbox, if any, is regenerated from
+    /// Quarantines the prepared state a poison fault at `point` corrupted,
+    /// *and only that state*: a zygote-specialize poison discards the pooled
+    /// Zygotes (they share the base the poisoned specialization came from),
+    /// an sfork-merge poison regenerates `profile`'s template sandbox from
     /// scratch with the rebuild time charged to `clock` — quarantine is on
     /// the recovery critical path, unlike routine offline template work.
+    /// Scoping the rebuild to the poisoned point matters on the fallback
+    /// ladder: a zygote poison absorbed on the warm rung must not re-charge
+    /// a template rebuild the fork rung already paid for.
     ///
     /// # Errors
     ///
@@ -237,16 +244,65 @@ impl Catalyzer {
     pub fn quarantine(
         &mut self,
         profile: &AppProfile,
+        point: InjectionPoint,
         clock: &SimClock,
         model: &CostModel,
     ) -> Result<(), SandboxError> {
-        self.zygotes.drain();
-        if self.templates.remove(&profile.name).is_some() {
-            let rebuilt = Template::generate(profile, model)?;
-            clock.charge(rebuilt.offline_time());
-            self.templates.insert(profile.name.clone(), rebuilt);
+        match point {
+            InjectionPoint::ZygoteSpecialize => {
+                self.zygotes.drain();
+            }
+            InjectionPoint::SforkMerge if self.templates.remove(&profile.name).is_some() => {
+                let rebuilt = Template::generate(profile, model)?;
+                clock.charge(rebuilt.offline_time());
+                self.templates.insert(profile.name.clone(), rebuilt);
+            }
+            // Other points fault I/O or mappings, not prepared state.
+            _ => {}
         }
         Ok(())
+    }
+
+    /// Records (for free) that the prepared state at `point` is suspect —
+    /// the deferred-quarantine entry point. [`Catalyzer::repair_suspect`]
+    /// later rebuilds everything recorded here, off the request path.
+    pub fn mark_suspect(&mut self, profile: &AppProfile, point: InjectionPoint) {
+        match point {
+            InjectionPoint::ZygoteSpecialize => self.zygotes.mark_suspect(),
+            InjectionPoint::SforkMerge => {
+                self.suspect_templates.insert(profile.name.clone());
+            }
+            _ => {}
+        }
+    }
+
+    /// True when any prepared state is awaiting repair.
+    pub fn has_suspect_state(&self) -> bool {
+        self.zygotes.is_suspect() || !self.suspect_templates.is_empty()
+    }
+
+    /// Rebuilds every suspect template and the zygote pool (when suspect)
+    /// offline, returning the total virtual repair time. The asynchronous
+    /// half of deferred quarantine: a background daemon pays this, not the
+    /// request that tripped the poison.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors from the rebuilds.
+    pub fn repair_suspect(&mut self, model: &CostModel) -> Result<SimNanos, SandboxError> {
+        let mut spent = SimNanos::ZERO;
+        let names = std::mem::take(&mut self.suspect_templates);
+        for name in names {
+            let Some(template) = self.templates.remove(&name) else {
+                continue;
+            };
+            let profile = template.profile().clone();
+            let rebuilt = Template::generate(&profile, model)?;
+            spent += rebuilt.offline_time();
+            self.templates.insert(name, rebuilt);
+        }
+        let (_evicted, zygote_spent) = self.zygotes.repair(model)?;
+        Ok(spent + zygote_spent)
     }
 }
 
@@ -362,10 +418,26 @@ impl BootEngine for CatalyzerEngine {
     fn quarantine(
         &mut self,
         profile: &AppProfile,
+        point: InjectionPoint,
         clock: &SimClock,
         model: &CostModel,
     ) -> Result<(), SandboxError> {
-        self.inner.borrow_mut().quarantine(profile, clock, model)
+        self.inner
+            .borrow_mut()
+            .quarantine(profile, point, clock, model)
+    }
+
+    fn mark_suspect(&mut self, profile: &AppProfile, point: InjectionPoint) {
+        self.inner.borrow_mut().mark_suspect(profile, point);
+    }
+
+    fn repair(
+        &mut self,
+        profile: &AppProfile,
+        model: &CostModel,
+    ) -> Result<SimNanos, SandboxError> {
+        let _ = profile;
+        self.inner.borrow_mut().repair_suspect(model)
     }
 }
 
@@ -438,6 +510,53 @@ mod tests {
             &mut BootCtx::fresh(&model),
         )
         .unwrap();
+    }
+
+    #[test]
+    fn quarantine_scopes_rebuild_to_the_poisoned_point() {
+        let model = model();
+        let profile = AppProfile::c_hello();
+        let mut cat = Catalyzer::new();
+        cat.ensure_template(&profile, &model).unwrap();
+
+        // A zygote poison drains the pooled bases but must not re-charge a
+        // template rebuild: the request clock stays untouched.
+        let clock = SimClock::new();
+        cat.quarantine(&profile, InjectionPoint::ZygoteSpecialize, &clock, &model)
+            .unwrap();
+        assert_eq!(clock.now(), SimNanos::ZERO, "zygote drain is free");
+
+        // A template poison pays the rebuild on the request clock.
+        let clock = SimClock::new();
+        cat.quarantine(&profile, InjectionPoint::SforkMerge, &clock, &model)
+            .unwrap();
+        assert!(clock.now() > SimNanos::from_millis(1), "rebuild is charged");
+
+        // Non-prepared-state points quarantine nothing.
+        let clock = SimClock::new();
+        cat.quarantine(&profile, InjectionPoint::Relink, &clock, &model)
+            .unwrap();
+        assert_eq!(clock.now(), SimNanos::ZERO);
+    }
+
+    #[test]
+    fn deferred_repair_runs_off_the_request_path() {
+        let model = model();
+        let profile = AppProfile::c_hello();
+        let mut cat = Catalyzer::new();
+        cat.ensure_template(&profile, &model).unwrap();
+
+        cat.mark_suspect(&profile, InjectionPoint::SforkMerge);
+        cat.mark_suspect(&profile, InjectionPoint::ZygoteSpecialize);
+        assert!(cat.has_suspect_state());
+
+        let spent = cat.repair_suspect(&model).unwrap();
+        assert!(spent > SimNanos::from_millis(1), "repair did real work");
+        assert!(!cat.has_suspect_state());
+        // Repaired state still boots.
+        cat.boot(BootMode::Fork, &profile, &mut BootCtx::fresh(&model))
+            .unwrap();
+        assert_eq!(cat.repair_suspect(&model).unwrap(), SimNanos::ZERO);
     }
 
     #[test]

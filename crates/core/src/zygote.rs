@@ -86,6 +86,7 @@ pub struct ZygotePool {
     offline: SimClock,
     misses: u64,
     hits: u64,
+    suspect: bool,
 }
 
 impl ZygotePool {
@@ -97,6 +98,7 @@ impl ZygotePool {
             offline: SimClock::new(),
             misses: 0,
             hits: 0,
+            suspect: false,
         }
     }
 
@@ -135,6 +137,40 @@ impl ZygotePool {
         let dropped = self.ready.len();
         self.ready.clear();
         dropped
+    }
+
+    /// Flags the pooled bases as suspect after a poisoned specialization,
+    /// *without* draining or rebuilding anything — the cheap half of
+    /// deferred quarantine. A later [`ZygotePool::repair`] pays the rebuild
+    /// off the request path.
+    pub fn mark_suspect(&mut self) {
+        self.suspect = true;
+    }
+
+    /// True when a poisoned specialization has implicated the pooled bases
+    /// and [`ZygotePool::repair`] has not yet run.
+    pub fn is_suspect(&self) -> bool {
+        self.suspect
+    }
+
+    /// Repairs a suspect pool offline: evicts every (possibly corrupt)
+    /// ready Zygote and reconstructs the same number — at least one — on
+    /// the pool's offline clock. Returns `(evicted, virtual repair time)`;
+    /// `(0, ZERO)` when the pool is not suspect.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from the rebuild.
+    pub fn repair(&mut self, model: &CostModel) -> Result<(usize, SimNanos), SandboxError> {
+        if !self.suspect {
+            return Ok((0, SimNanos::ZERO));
+        }
+        let target = self.ready.len().max(1);
+        let evicted = self.drain();
+        let before = self.offline.now();
+        self.refill(target, model)?;
+        self.suspect = false;
+        Ok((evicted, self.offline.now().saturating_sub(before)))
     }
 
     /// Ready Zygotes available.
@@ -186,6 +222,28 @@ mod tests {
         );
         assert_eq!(pool.hits(), 2);
         assert_eq!(pool.misses(), 1);
+    }
+
+    #[test]
+    fn repair_evicts_and_rebuilds_suspect_bases() {
+        let model = model();
+        let mut pool = ZygotePool::new(HostTweaks::catalyzer());
+        pool.refill(3, &model).unwrap();
+        // Not suspect: repair is free and touches nothing.
+        assert_eq!(pool.repair(&model).unwrap(), (0, SimNanos::ZERO));
+        assert_eq!(pool.available(), 3);
+
+        pool.mark_suspect();
+        assert!(pool.is_suspect());
+        assert_eq!(pool.available(), 3, "marking is free — no drain yet");
+        let (evicted, spent) = pool.repair(&model).unwrap();
+        assert_eq!(evicted, 3);
+        assert!(
+            spent > SimNanos::from_millis(5),
+            "3 rebuilds offline: {spent}"
+        );
+        assert!(!pool.is_suspect());
+        assert_eq!(pool.available(), 3, "repair restores capacity");
     }
 
     #[test]

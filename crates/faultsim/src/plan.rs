@@ -92,6 +92,14 @@ impl FaultPlan {
         }
     }
 
+    /// A fault *storm*: every point fires at `rate`, but only inside the
+    /// virtual-time window `[start, end)` — the canonical overload scenario
+    /// (a host incident striking a running fleet, then clearing). Shorthand
+    /// for `uniform(seed, rate).with_window(start, end)`.
+    pub fn storm(seed: u64, rate: f64, start: SimNanos, end: SimNanos) -> FaultPlan {
+        FaultPlan::uniform(seed, rate).with_window(start, end)
+    }
+
     /// Sets one point's schedule, builder-style.
     pub fn with_point(mut self, point: InjectionPoint, plan: PointPlan) -> FaultPlan {
         if self.points.len() < InjectionPoint::ALL.len() {
@@ -155,6 +163,16 @@ mod tests {
         assert_eq!(plan.point(InjectionPoint::Relink).rate, 0.5);
         assert_eq!(plan.point(InjectionPoint::ImageMmap).rate, 0.0);
         assert!(!plan.is_zero());
+    }
+
+    #[test]
+    fn storm_is_windowed_uniform() {
+        let storm = FaultPlan::storm(9, 0.8, SimNanos::from_millis(3), SimNanos::from_millis(7));
+        let by_hand = FaultPlan::uniform(9, 0.8)
+            .with_window(SimNanos::from_millis(3), SimNanos::from_millis(7));
+        assert_eq!(storm, by_hand);
+        assert!(!storm.active_at(SimNanos::ZERO));
+        assert!(storm.active_at(SimNanos::from_millis(5)));
     }
 
     #[test]

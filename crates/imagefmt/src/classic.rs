@@ -18,6 +18,11 @@ use crate::{
 const MAGIC: &[u8; 4] = b"CLIM";
 const VERSION: u32 = 1;
 
+/// Lossless `usize` → `u64` (usize is at most 64 bits on supported targets).
+fn len64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
 /// Serializes and compresses a checkpoint (the offline `checkpoint` step).
 ///
 /// Charges per-object encode costs plus compression throughput; this runs
@@ -25,7 +30,7 @@ const VERSION: u32 = 1;
 pub fn write(src: &CheckpointSource, clock: &SimClock, model: &CostModel) -> Bytes {
     let mut body = Vec::new();
 
-    varint::put_u64(&mut body, src.objects.len() as u64);
+    varint::put_u64(&mut body, len64(src.objects.len()));
     for obj in &src.objects {
         encode_record(&mut body, obj);
     }
@@ -33,27 +38,27 @@ pub fn write(src: &CheckpointSource, clock: &SimClock, model: &CostModel) -> Byt
         model
             .obj
             .encode_per_object
-            .saturating_mul(src.objects.len() as u64),
+            .saturating_mul(len64(src.objects.len())),
     );
 
-    varint::put_u64(&mut body, src.io_conns.len() as u64);
+    varint::put_u64(&mut body, len64(src.io_conns.len()));
     for conn in &src.io_conns {
         encode_conn(&mut body, conn);
     }
 
-    varint::put_u64(&mut body, src.app_pages.len() as u64);
+    varint::put_u64(&mut body, len64(src.app_pages.len()));
     for page in &src.app_pages {
         varint::put_u64(&mut body, page.vpn);
         varint::put_bytes(&mut body, &page.data);
     }
 
     let packed = crate::lz::compress(&body);
-    clock.charge(model.compress(body.len() as u64));
+    clock.charge(model.compress(len64(body.len())));
 
     let mut out = Vec::with_capacity(packed.len() + 24);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
-    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&len64(body.len()).to_le_bytes());
     out.extend_from_slice(&crc32(&packed).to_le_bytes());
     out.extend_from_slice(&packed);
     Bytes::from(out)
@@ -171,10 +176,10 @@ pub fn read_uncharged(image: &Bytes) -> Result<(CheckpointSource, ClassicCounts)
     }
 
     let counts = ClassicCounts {
-        packed_bytes: packed.len() as u64,
-        body_bytes: body.len() as u64,
-        objects: u64::try_from(n_objs).unwrap_or(u64::MAX),
-        app_bytes: (app_pages.len() * memsim::PAGE_SIZE) as u64,
+        packed_bytes: len64(packed.len()),
+        body_bytes: len64(body.len()),
+        objects: len64(n_objs),
+        app_bytes: len64(app_pages.len() * memsim::PAGE_SIZE),
     };
     Ok((
         CheckpointSource {
@@ -190,7 +195,7 @@ pub(crate) fn encode_record(out: &mut Vec<u8>, obj: &ObjRecord) {
     varint::put_u64(out, obj.id);
     varint::put_u64(out, u64::from(obj.kind.code()));
     varint::put_u64(out, u64::from(obj.flags));
-    varint::put_u64(out, obj.refs.len() as u64);
+    varint::put_u64(out, len64(obj.refs.len()));
     for r in &obj.refs {
         varint::put_u64(out, *r);
     }

@@ -33,9 +33,12 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
     const TABLE_BITS: u32 = 15;
     const TABLE_SIZE: usize = 1 << TABLE_BITS;
     #[inline]
-    fn hash3(a: u8, b: u8, c: u8) -> usize {
-        let key = (u32::from(a) << 16) | (u32::from(b) << 8) | u32::from(c);
-        (key.wrapping_mul(2654435761) >> (32 - TABLE_BITS)) as usize
+    fn hash3(tri: &[u8]) -> usize {
+        let mut key = 0u32;
+        for &b in tri.iter().take(3) {
+            key = (key << 8) | u32::from(b);
+        }
+        usize::try_from(key.wrapping_mul(2654435761) >> (32 - TABLE_BITS)).unwrap_or(0)
     }
 
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
@@ -45,25 +48,29 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut i = 0usize;
 
     let flush_literals = |out: &mut Vec<u8>, input: &[u8], from: usize, to: usize| {
-        if to > from {
-            out.push(0x00);
-            varint::put_bytes(out, &input[from..to]);
+        if let Some(run) = input.get(from..to) {
+            if !run.is_empty() {
+                out.push(0x00);
+                varint::put_bytes(out, run);
+            }
         }
     };
 
     while i < input.len() {
         let mut matched = 0usize;
         let mut dist = 0usize;
-        if i + 3 <= input.len() {
-            let slot = hash3(input[i], input[i + 1], input[i + 2]);
-            let cand = table[slot];
-            table[slot] = i + 1;
+        if let Some(head) = input.get(i..i + 3) {
+            let slot = hash3(head);
+            let cand = table.get(slot).copied().unwrap_or(0);
+            if let Some(entry) = table.get_mut(slot) {
+                *entry = i + 1;
+            }
             if cand != 0 {
                 let cand = cand - 1;
-                if i - cand <= WINDOW && input[cand..cand + 3] == input[i..i + 3] {
+                if i - cand <= WINDOW && input.get(cand..cand + 3) == Some(head) {
                     let mut len = 3usize;
                     let max = MAX_MATCH.min(input.len() - i);
-                    while len < max && input[cand + len] == input[i + len] {
+                    while len < max && input.get(cand + len) == input.get(i + len) {
                         len += 1;
                     }
                     if len >= MIN_MATCH {
@@ -76,13 +83,18 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
         if matched > 0 {
             flush_literals(&mut out, input, literals_start, i);
             out.push(0x01);
-            varint::put_u64(&mut out, dist as u64);
-            varint::put_u64(&mut out, matched as u64);
+            varint::put_u64(&mut out, u64::try_from(dist).unwrap_or(u64::MAX));
+            varint::put_u64(&mut out, u64::try_from(matched).unwrap_or(u64::MAX));
             // Seed the table sparsely inside the match for future hits.
             let end = i + matched;
             let mut j = i + 1;
-            while j + 3 <= input.len() && j < end {
-                table[hash3(input[j], input[j + 1], input[j + 2])] = j + 1;
+            while j < end {
+                let Some(tri) = input.get(j..j + 3) else {
+                    break;
+                };
+                if let Some(entry) = table.get_mut(hash3(tri)) {
+                    *entry = j + 1;
+                }
                 j += 3;
             }
             i = end;
@@ -104,8 +116,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, ImageError> {
     let mut out = Vec::with_capacity(input.len() * 2);
     let mut pos = 0usize;
-    while pos < input.len() {
-        let tag = input[pos];
+    while let Some(&tag) = input.get(pos) {
         pos += 1;
         match tag {
             0x00 => {
@@ -129,8 +140,12 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, ImageError> {
                     });
                 }
                 let start = out.len() - dist;
+                // Overlapping copies (dist < len) must read bytes produced
+                // earlier in this same loop, so copy byte-by-byte via get().
                 for k in 0..len {
-                    let byte = out[start + k];
+                    let byte = out.get(start + k).copied().ok_or(ImageError::Truncated {
+                        what: "lz back-reference",
+                    })?;
                     out.push(byte);
                 }
             }

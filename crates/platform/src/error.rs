@@ -1,6 +1,8 @@
 use std::error::Error;
 use std::fmt;
 
+use simtime::SimNanos;
+
 /// Platform-layer errors.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -14,6 +16,49 @@ pub enum PlatformError {
     Sandbox(sandbox::SandboxError),
     /// A handler execution failed.
     Runtime(runtimes::RuntimeError),
+    /// Admission shed the request: the function's concurrency limit and
+    /// bounded queue were both full at arrival.
+    Overload {
+        /// The function whose capacity was exhausted.
+        function: String,
+        /// Requests in flight at arrival.
+        in_flight: usize,
+        /// The per-function concurrency limit.
+        limit: usize,
+    },
+    /// Admission shed the request: its queue slot would not free before the
+    /// deadline, so running it could only waste capacity.
+    DeadlineExceeded {
+        /// The function the request targeted.
+        function: String,
+        /// The absolute virtual-time deadline the request carried.
+        deadline: SimNanos,
+        /// When the queue would first have let the request start.
+        would_start: SimNanos,
+    },
+    /// Admission shed the request: the function's circuit breaker is open
+    /// after repeated failures/poisons, fast-failing until the cooldown
+    /// elapses and a half-open probe proves the path healthy again.
+    CircuitOpen {
+        /// The function whose breaker is open.
+        function: String,
+        /// Virtual time at which the breaker will admit a probe.
+        until: SimNanos,
+    },
+}
+
+impl PlatformError {
+    /// True for the admission-control rejections (`Overload`,
+    /// `DeadlineExceeded`, `CircuitOpen`): the request was never served,
+    /// by policy — a *shed*, not a failure of the boot or the handler.
+    pub fn is_shed(&self) -> bool {
+        matches!(
+            self,
+            PlatformError::Overload { .. }
+                | PlatformError::DeadlineExceeded { .. }
+                | PlatformError::CircuitOpen { .. }
+        )
+    }
 }
 
 impl fmt::Display for PlatformError {
@@ -22,6 +67,25 @@ impl fmt::Display for PlatformError {
             PlatformError::UnknownFunction { name } => write!(f, "unknown function '{name}'"),
             PlatformError::Sandbox(e) => write!(f, "sandbox: {e}"),
             PlatformError::Runtime(e) => write!(f, "runtime: {e}"),
+            PlatformError::Overload {
+                function,
+                in_flight,
+                limit,
+            } => write!(
+                f,
+                "overload: '{function}' at {in_flight} in flight (limit {limit}), queue full"
+            ),
+            PlatformError::DeadlineExceeded {
+                function,
+                deadline,
+                would_start,
+            } => write!(
+                f,
+                "deadline exceeded: '{function}' could not start before {deadline} (earliest {would_start})"
+            ),
+            PlatformError::CircuitOpen { function, until } => {
+                write!(f, "circuit open: '{function}' fast-fails until {until}")
+            }
         }
     }
 }
@@ -29,9 +93,9 @@ impl fmt::Display for PlatformError {
 impl Error for PlatformError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            PlatformError::UnknownFunction { .. } => None,
             PlatformError::Sandbox(e) => Some(e),
             PlatformError::Runtime(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -59,5 +123,27 @@ mod tests {
         assert!(Error::source(&e).is_none());
         let e: PlatformError = sandbox::SandboxError::Config { detail: "x".into() }.into();
         assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn shed_classification() {
+        assert!(PlatformError::Overload {
+            function: "f".into(),
+            in_flight: 4,
+            limit: 4,
+        }
+        .is_shed());
+        assert!(PlatformError::DeadlineExceeded {
+            function: "f".into(),
+            deadline: SimNanos::from_millis(1),
+            would_start: SimNanos::from_millis(2),
+        }
+        .is_shed());
+        assert!(PlatformError::CircuitOpen {
+            function: "f".into(),
+            until: SimNanos::from_millis(5),
+        }
+        .is_shed());
+        assert!(!PlatformError::UnknownFunction { name: "f".into() }.is_shed());
     }
 }

@@ -10,6 +10,7 @@
 //! `invoke.recovery` histogram) and in the request's span tree.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -17,8 +18,9 @@ use faultsim::{FaultInjector, FaultPlan};
 use runtimes::ExecReport;
 use sandbox::{BootCtx, BootEngine, BootOutcome, SPAN_EXEC};
 use simtime::trace::Span;
-use simtime::{CostModel, MetricsRegistry, SimNanos};
+use simtime::{CostModel, MetricsRegistry, SimClock, SimNanos};
 
+use crate::admission::{AdmissionController, AdmissionPolicy, HealthSignal, SPAN_ADMISSION};
 use crate::resilience::{resilient_boot, ResiliencePolicy};
 use crate::{FunctionRegistry, PlatformError};
 
@@ -54,12 +56,23 @@ pub struct Invocation {
     /// The latency split. Both legs are derived from the span tree, so they
     /// always agree with [`Invocation::trace`].
     pub report: InvocationReport,
+    /// Virtual time spent queued at admission before the boot began
+    /// ([`SimNanos::ZERO`] on a gateway without admission control).
+    pub queued: SimNanos,
     /// The boot outcome (breakdown, boot span, live sandbox).
     pub outcome: BootOutcome,
     /// The handler execution report.
     pub exec: ExecReport,
-    /// The request's span tree: `invoke:<fn>` → `[boot, exec]`.
+    /// The request's span tree: `invoke:<fn>` → `[boot, exec]` (with an
+    /// `admission` span first on admission-controlled gateways).
     pub trace: Span,
+}
+
+impl Invocation {
+    /// End-to-end user-visible latency: queue wait + boot + execution.
+    pub fn end_to_end(&self) -> SimNanos {
+        self.queued + self.report.total()
+    }
 }
 
 /// The per-server gateway daemon (paper §2.1): accepts "invoke function"
@@ -72,6 +85,9 @@ pub struct Gateway<E: BootEngine> {
     metrics: MetricsRegistry,
     policy: ResiliencePolicy,
     injector: Option<Rc<RefCell<FaultInjector>>>,
+    admission: Option<AdmissionController>,
+    /// Breaker transitions per function already turned into metrics.
+    breaker_seen: BTreeMap<String, usize>,
 }
 
 impl<E: BootEngine> Gateway<E> {
@@ -85,6 +101,8 @@ impl<E: BootEngine> Gateway<E> {
             metrics: MetricsRegistry::new(),
             policy: ResiliencePolicy::full(),
             injector: None,
+            admission: None,
+            breaker_seen: BTreeMap::new(),
         }
     }
 
@@ -101,6 +119,23 @@ impl<E: BootEngine> Gateway<E> {
     pub fn with_faults(mut self, plan: FaultPlan) -> Gateway<E> {
         self.injector = Some(Rc::new(RefCell::new(FaultInjector::new(plan))));
         self
+    }
+
+    /// Arms admission control with `policy`, builder-style. An
+    /// admission-controlled gateway is driven through
+    /// [`Gateway::invoke_at`] with time-sorted arrivals; sheds surface as
+    /// the typed [`PlatformError::Overload`] /
+    /// [`PlatformError::DeadlineExceeded`] / [`PlatformError::CircuitOpen`]
+    /// and land in the `shed.*` counters.
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Gateway<E> {
+        self.admission = Some(AdmissionController::new(policy));
+        self
+    }
+
+    /// The admission controller, if armed — its decision log and breaker
+    /// transitions are the ground truth for determinism checks.
+    pub fn admission(&self) -> Option<&AdmissionController> {
+        self.admission.as_ref()
     }
 
     /// The active recovery policy.
@@ -240,10 +275,164 @@ impl<E: BootEngine> Gateway<E> {
         }
         Ok(Invocation {
             report,
+            queued: SimNanos::ZERO,
             outcome: booted.outcome,
             exec,
             trace,
         })
+    }
+
+    /// Serves one request arriving at `arrival` on the *platform* timeline:
+    /// the boot context's clock starts at the admitted start time, so fault
+    /// windows ([`FaultPlan::storm`](faultsim::FaultPlan::storm)) and span
+    /// stamps line up with arrivals instead of being request-local.
+    ///
+    /// On an admission-controlled gateway the request is first gated: the
+    /// queue wait appears as an `admission` span inside the invoke root and
+    /// in [`Invocation::queued`], and the completion feeds the function's
+    /// circuit breaker. Arrivals must be time-sorted.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownFunction`]; typed admission sheds
+    /// (`Overload`, `DeadlineExceeded`, `CircuitOpen`); engine and handler
+    /// errors.
+    pub fn invoke_at(
+        &mut self,
+        function: &str,
+        arrival: SimNanos,
+    ) -> Result<Invocation, PlatformError> {
+        let profile = self
+            .registry
+            .get(function)
+            .ok_or_else(|| PlatformError::UnknownFunction {
+                name: function.to_string(),
+            })?
+            .clone();
+
+        let (queued, _deadline) = match &mut self.admission {
+            Some(ctrl) => match ctrl.admit(function, arrival) {
+                Ok(admitted) => {
+                    self.metrics.inc("admit.count");
+                    if !admitted.queued.is_zero() {
+                        self.metrics.inc("admit.queued");
+                        self.metrics.observe("admit.wait", admitted.queued);
+                    }
+                    (admitted.queued, admitted.deadline)
+                }
+                Err(err) => {
+                    self.metrics.inc(match &err {
+                        PlatformError::Overload { .. } => "shed.overload",
+                        PlatformError::DeadlineExceeded { .. } => "shed.deadline",
+                        _ => "shed.breaker",
+                    });
+                    self.sync_breaker_metrics(function);
+                    return Err(err);
+                }
+            },
+            None => (SimNanos::ZERO, None),
+        };
+
+        let clock = SimClock::starting_at(arrival);
+        let mut ctx = BootCtx::new(&clock, &self.model);
+        if let Some(injector) = &self.injector {
+            ctx = ctx.with_injector(Rc::clone(injector));
+        }
+        ctx.tracer_mut().begin(format!("invoke:{function}"));
+        if self.admission.is_some() {
+            // Always present on admitted requests (zero when unqueued), so
+            // the span shape is stable: [admission, boot, exec].
+            ctx.charge_span(SPAN_ADMISSION, queued);
+        }
+
+        let booted = resilient_boot(
+            &mut self.engine,
+            &profile,
+            &self.policy,
+            &mut ctx,
+            &mut self.metrics,
+        );
+        let mut booted = match booted {
+            Ok(booted) => booted,
+            Err(e) => {
+                self.metrics.inc("invoke.errors");
+                ctx.tracer_mut().end();
+                self.finish_admitted(function, ctx.now(), HealthSignal::Failed);
+                return Err(e.into());
+            }
+        };
+        let (exec_result, exec_span) = ctx.span_out(SPAN_EXEC, |ctx| {
+            booted
+                .outcome
+                .program
+                .invoke_handler(ctx.clock(), ctx.model())
+        });
+        let trace = ctx.tracer_mut().end();
+        let exec = match exec_result {
+            Ok(report) => report,
+            Err(e) => {
+                self.metrics.inc("invoke.errors");
+                self.finish_admitted(function, ctx.now(), HealthSignal::Failed);
+                return Err(e.into());
+            }
+        };
+
+        // Same trace-derived accounting as `invoke_detailed`, minus the
+        // admission wait: the boot leg is what the *platform* spent, the
+        // queue wait is reported separately.
+        let report = InvocationReport {
+            boot: trace.duration() - exec_span.duration() - queued,
+            exec: exec_span.duration(),
+        };
+        self.invocations += 1;
+        self.metrics.inc("invoke.count");
+        self.metrics.inc(&format!("invoke.{function}.count"));
+        self.metrics
+            .observe(&format!("boot.{function}"), report.boot);
+        self.metrics
+            .observe(&format!("exec.{function}"), report.exec);
+        if booted.degraded() {
+            self.metrics.inc("invoke.degraded");
+            self.metrics.observe("invoke.recovery", booted.recovery);
+            if let Some(rung) = booted.fallback_path {
+                self.metrics.inc(&format!("invoke.degraded.{rung}"));
+            }
+        }
+        let signal = if !booted.poisoned.is_empty() || booted.quarantines > 0 {
+            HealthSignal::Poisoned
+        } else {
+            HealthSignal::Healthy
+        };
+        self.finish_admitted(function, ctx.now(), signal);
+        Ok(Invocation {
+            report,
+            queued,
+            outcome: booted.outcome,
+            exec,
+            trace,
+        })
+    }
+
+    /// Feeds a completion back into admission control (slot release +
+    /// breaker signal) and rolls new breaker transitions into metrics.
+    fn finish_admitted(&mut self, function: &str, finish: SimNanos, signal: HealthSignal) {
+        if let Some(ctrl) = &mut self.admission {
+            ctrl.complete(function, finish, signal);
+        }
+        self.sync_breaker_metrics(function);
+    }
+
+    fn sync_breaker_metrics(&mut self, function: &str) {
+        let Some(ctrl) = &self.admission else {
+            return;
+        };
+        let transitions = ctrl.transitions(function);
+        let seen = self.breaker_seen.entry(function.to_owned()).or_insert(0);
+        for transition in transitions.iter().skip(*seen) {
+            self.metrics
+                .inc(&format!("breaker.{}", transition.to.label()));
+        }
+        *seen = transitions.len();
     }
 }
 

@@ -16,7 +16,12 @@
 //!   where cold starts come from in the first place;
 //! - [`resilience`]: retry with simulated-time backoff, fallback along the
 //!   boot ladder (sfork → warm → cold), and quarantine of poisoned
-//!   zygote/template state, driven by `faultsim` fault plans.
+//!   zygote/template state, driven by `faultsim` fault plans;
+//! - [`admission`]: deterministic overload protection in front of all of
+//!   the above — deadline-aware admission queues with per-function
+//!   concurrency limits, circuit breakers driven by the fault signals, and
+//!   self-healing capacity pools that repair poisoned prepared state off
+//!   the request path.
 //!
 //! # Example
 //!
@@ -37,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod admission;
 mod error;
 mod gateway;
 pub mod memory;
@@ -47,7 +53,12 @@ pub mod resilience;
 pub mod scaling;
 pub mod simulate;
 
+pub use admission::{
+    AdmissionController, AdmissionPolicy, BreakerPolicy, BreakerState, CircuitBreaker, HealthSignal,
+};
 pub use error::PlatformError;
 pub use gateway::{Gateway, Invocation, InvocationReport};
+pub use pool::{InstancePool, PoolServe, RepairStats};
 pub use registry::FunctionRegistry;
 pub use resilience::{resilient_boot, ResiliencePolicy, ResilientBoot};
+pub use simulate::{run_admitted, AdmittedOutcome};

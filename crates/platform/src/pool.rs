@@ -6,16 +6,27 @@
 //! instances expire after `keep_alive` of virtual inactivity (scale-down) —
 //! the classic keep-alive policy whose cold-start tail Catalyzer's fork boot
 //! eliminates (paper §2.2 "caching does not help with the tail latency").
+//!
+//! A pool can additionally be **self-healing**
+//! ([`InstancePool::with_self_healing`]): poisons reported by the boot
+//! ladder are only *marked* on the request path (deferred quarantine), and
+//! a background repair loop ([`InstancePool::tick`], driven on the platform
+//! clock between requests) evicts the quarantined idle capacity, rebuilds
+//! the engine's suspect prepared state on its own offline clock, heals the
+//! injector, and replenishes the pool back to its ready floor — so the
+//! rebuild cost never lands on a request's latency.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::rc::Rc;
 
-use faultsim::FaultInjector;
+use faultsim::{FaultInjector, FaultKind, InjectionPoint};
 use runtimes::AppProfile;
-use sandbox::{BootCtx, BootEngine, BootOutcome};
-use simtime::{CostModel, MetricsRegistry, SimNanos};
+use sandbox::{BootCtx, BootEngine, BootOutcome, SandboxError};
+use simtime::trace::Span;
+use simtime::{CostModel, MetricsRegistry, SimClock, SimNanos};
 
+use crate::admission::SPAN_REPAIR;
 use crate::resilience::{resilient_boot, ResiliencePolicy};
 use crate::PlatformError;
 
@@ -37,6 +48,36 @@ pub struct PoolStats {
     pub expirations: u64,
 }
 
+/// Background repair-loop statistics for a self-healing pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Repair passes that rebuilt suspect prepared state.
+    pub repairs: u64,
+    /// Quarantined idle instances evicted by repair passes.
+    pub evicted: u64,
+    /// Instances booted by background replenishment.
+    pub replenished: u64,
+    /// Virtual time spent rebuilding, all off the request path.
+    pub repair_time: SimNanos,
+}
+
+/// One request served by the pool, with the health signals admission
+/// control needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolServe {
+    /// Startup latency (reuse hand-off or boot).
+    pub startup: SimNanos,
+    /// Handler execution latency.
+    pub exec: SimNanos,
+    /// Served from an idle instance.
+    pub reused: bool,
+    /// The boot absorbed at least one injected fault.
+    pub degraded: bool,
+    /// The boot absorbed a poison — prepared state is suspect until the
+    /// repair loop runs.
+    pub poisoned: bool,
+}
+
 /// An autoscaling pool for one function over one boot engine.
 ///
 /// Time is the *platform's* virtual timeline: pass the arrival clock reading
@@ -52,6 +93,17 @@ pub struct InstancePool<E: BootEngine> {
     metrics: MetricsRegistry,
     policy: ResiliencePolicy,
     injector: Option<Rc<RefCell<FaultInjector>>>,
+    /// Ready floor the repair loop replenishes to (0 = no replenishment).
+    min_ready: usize,
+    /// Injection points owed a background repair + injector heal.
+    pending_repair: BTreeSet<InjectionPoint>,
+    repair_stats: RepairStats,
+    /// The repair daemon's own offline timeline.
+    repair_clock: SimClock,
+    /// Span tree per repair pass.
+    repair_trace: Vec<Span>,
+    /// Integer health score, 0–100 (deterministic: no float drift).
+    health_points: u32,
 }
 
 impl<E: BootEngine> InstancePool<E> {
@@ -67,12 +119,30 @@ impl<E: BootEngine> InstancePool<E> {
             metrics: MetricsRegistry::new(),
             policy: ResiliencePolicy::full(),
             injector: None,
+            min_ready: 0,
+            pending_repair: BTreeSet::new(),
+            repair_stats: RepairStats::default(),
+            repair_clock: SimClock::new(),
+            repair_trace: Vec::new(),
+            health_points: 100,
         }
     }
 
     /// Sets the recovery policy, builder-style.
     pub fn with_policy(mut self, policy: ResiliencePolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Makes the pool self-healing, builder-style: quarantine rebuilds are
+    /// *deferred* off the request path (a poison only marks state suspect
+    /// and falls back one rung), and [`InstancePool::tick`] repairs the
+    /// capacity in the background, keeping at least `min_ready` instances
+    /// warm.
+    pub fn with_self_healing(mut self, min_ready: usize) -> Self {
+        self.policy.quarantine = true;
+        self.policy.defer_quarantine = true;
+        self.min_ready = min_ready;
         self
     }
 
@@ -102,6 +172,29 @@ impl<E: BootEngine> InstancePool<E> {
         self.idle.len()
     }
 
+    /// Background repair-loop statistics.
+    pub fn repair_stats(&self) -> RepairStats {
+        self.repair_stats
+    }
+
+    /// Span tree of every repair pass, in order, on the repair daemon's
+    /// offline timeline.
+    pub fn repair_trace(&self) -> &[Span] {
+        &self.repair_trace
+    }
+
+    /// Injection points currently owed a background repair.
+    pub fn pending_repairs(&self) -> usize {
+        self.pending_repair.len()
+    }
+
+    /// Deterministic health score in `[0, 1]`: clean serves recover it,
+    /// degraded serves dent it, poisons crater it until the repair loop
+    /// runs.
+    pub fn health(&self) -> f64 {
+        f64::from(self.health_points) / 100.0
+    }
+
     /// Expires idle instances older than the keep-alive window at `now`.
     pub fn reap(&mut self, now: SimNanos) {
         let keep_alive = self.keep_alive;
@@ -126,39 +219,106 @@ impl<E: BootEngine> InstancePool<E> {
         now: SimNanos,
         model: &CostModel,
     ) -> Result<(SimNanos, SimNanos, bool), PlatformError> {
+        let served = self.serve_inner(now, model, false)?;
+        Ok((served.startup, served.exec, served.reused))
+    }
+
+    /// [`InstancePool::serve`] on the *platform* timeline: the boot
+    /// context's clock starts at `now`, so fault windows
+    /// ([`FaultPlan::storm`](faultsim::FaultPlan::storm)) and span stamps
+    /// line up with arrivals. Returns the full [`PoolServe`], including the
+    /// health signals ([`PoolServe::degraded`], [`PoolServe::poisoned`])
+    /// that drive circuit breakers.
+    ///
+    /// # Errors
+    ///
+    /// Engine or handler errors.
+    pub fn serve_at(
+        &mut self,
+        now: SimNanos,
+        model: &CostModel,
+    ) -> Result<PoolServe, PlatformError> {
+        self.serve_inner(now, model, true)
+    }
+
+    fn serve_inner(
+        &mut self,
+        now: SimNanos,
+        model: &CostModel,
+        platform_time: bool,
+    ) -> Result<PoolServe, PlatformError> {
         self.reap(now);
-        let (mut outcome, startup, reused) = match self.idle.pop_front() {
+        let (mut outcome, startup, reused, degraded, poisoned) = match self.idle.pop_front() {
             Some(instance) => {
                 self.stats.reuses += 1;
                 self.metrics.inc("pool.reuse");
                 // Reuse: scheduler hand-off only.
-                (instance.outcome, SimNanos::from_micros(150), true)
+                (
+                    instance.outcome,
+                    SimNanos::from_micros(150),
+                    true,
+                    false,
+                    false,
+                )
             }
             None => {
                 self.stats.boots += 1;
                 self.metrics.inc("pool.boot");
-                let mut ctx = BootCtx::fresh(model);
+                let mut ctx = if platform_time {
+                    BootCtx::new(&SimClock::starting_at(now), model)
+                } else {
+                    BootCtx::fresh(model)
+                };
                 if let Some(injector) = &self.injector {
                     ctx = ctx.with_injector(Rc::clone(injector));
                 }
-                let booted = resilient_boot(
+                let booted = match resilient_boot(
                     &mut self.engine,
                     &self.profile,
                     &self.policy,
                     &mut ctx,
                     &mut self.metrics,
-                )?;
+                ) {
+                    Ok(booted) => booted,
+                    Err(err) => {
+                        // A deferred poison on a failed boot still owes the
+                        // repair loop a rebuild and an injector heal.
+                        if self.policy.defer_quarantine {
+                            if let SandboxError::Fault(fault) = &err {
+                                if fault.kind == FaultKind::Poison {
+                                    self.note_poison(fault.point);
+                                }
+                            }
+                        }
+                        return Err(err.into());
+                    }
+                };
+                let poisoned = !booted.poisoned.is_empty();
+                for &point in &booted.poisoned {
+                    self.note_poison(point);
+                }
                 if booted.degraded() {
                     self.metrics.inc("pool.degraded");
                     self.metrics.observe("pool.recovery", booted.recovery);
                 }
-                (booted.outcome, ctx.now(), false)
+                let startup = if platform_time {
+                    ctx.now().saturating_sub(now)
+                } else {
+                    ctx.now()
+                };
+                let degraded = booted.degraded();
+                (booted.outcome, startup, false, degraded, poisoned)
             }
         };
         self.metrics.observe("pool.startup", startup);
         let ctx = BootCtx::fresh(model);
         outcome.program.invoke_handler(ctx.clock(), ctx.model())?;
         let exec = ctx.now();
+        if degraded {
+            self.health_points = self.health_points.saturating_sub(25);
+        } else if !poisoned {
+            self.health_points = (self.health_points + 10).min(100);
+        }
         if self.idle.len() < self.max_idle {
             self.idle.push_back(IdleInstance {
                 outcome,
@@ -166,7 +326,104 @@ impl<E: BootEngine> InstancePool<E> {
             });
             self.metrics.set_gauge("pool.idle", self.idle.len() as i64);
         }
-        Ok((startup, exec, reused))
+        Ok(PoolServe {
+            startup,
+            exec,
+            reused,
+            degraded,
+            poisoned,
+        })
+    }
+
+    fn note_poison(&mut self, point: InjectionPoint) {
+        if self.pending_repair.insert(point) {
+            self.metrics.inc("pool.poisoned");
+        }
+        self.health_points = self.health_points.saturating_sub(50);
+    }
+
+    /// One pass of the background repair/replenish loop, run on the
+    /// platform clock between requests (`now` is only used to reap
+    /// keep-alive expiry; all rebuild work is charged to the daemon's own
+    /// offline clock and traced under a `repair` span).
+    ///
+    /// When poisons are pending: evicts every quarantined idle instance
+    /// (they were specialized from suspect prepared state), rebuilds the
+    /// engine's suspect templates/zygotes ([`BootEngine::repair`]), and
+    /// heals the injector so the poison stops firing. Then replenishes the
+    /// pool back to its `min_ready` floor.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors from the rebuild or replenishment boots.
+    pub fn tick(&mut self, now: SimNanos, model: &CostModel) -> Result<(), PlatformError> {
+        self.reap(now);
+        let needs_repair = !self.pending_repair.is_empty();
+        if needs_repair {
+            let evicted = u64::try_from(self.idle.len()).unwrap_or(u64::MAX);
+            self.idle.clear();
+            self.metrics.set_gauge("pool.idle", 0);
+            self.repair_stats.evicted += evicted;
+            self.metrics.add("pool.repair.evicted", evicted);
+        }
+        if !needs_repair && self.idle.len() >= self.min_ready {
+            return Ok(());
+        }
+
+        // The daemon's boots are not injected: it runs *after* the heal,
+        // off the request path, on its own offline timeline — consulting a
+        // platform-time fault window against the daemon's clock would be
+        // meaningless.
+        let mut ctx = BootCtx::new(&self.repair_clock, model);
+        ctx.tracer_mut().begin(SPAN_REPAIR);
+        if needs_repair {
+            let spent = match self.engine.repair(&self.profile, model) {
+                Ok(spent) => spent,
+                Err(err) => {
+                    self.metrics.inc("pool.repair.failed");
+                    ctx.tracer_mut().end();
+                    return Err(err.into());
+                }
+            };
+            ctx.charge_span("rebuild", spent);
+            if let Some(injector) = &self.injector {
+                let mut injector = injector.borrow_mut();
+                for &point in &self.pending_repair {
+                    injector.heal(point);
+                }
+            }
+            self.pending_repair.clear();
+            self.repair_stats.repairs += 1;
+            self.repair_stats.repair_time += spent;
+            self.metrics.inc("pool.repair.count");
+            self.metrics.observe("pool.repair.time", spent);
+            self.health_points = self.health_points.max(75);
+        }
+        while self.idle.len() < self.min_ready.min(self.max_idle) {
+            let booted = match resilient_boot(
+                &mut self.engine,
+                &self.profile,
+                &self.policy,
+                &mut ctx,
+                &mut self.metrics,
+            ) {
+                Ok(booted) => booted,
+                Err(err) => {
+                    self.metrics.inc("pool.repair.failed");
+                    ctx.tracer_mut().end();
+                    return Err(err.into());
+                }
+            };
+            self.idle.push_back(IdleInstance {
+                outcome: booted.outcome,
+                idle_since: now,
+            });
+            self.repair_stats.replenished += 1;
+            self.metrics.inc("pool.repair.replenish");
+        }
+        self.metrics.set_gauge("pool.idle", self.idle.len() as i64);
+        self.repair_trace.push(ctx.tracer_mut().end());
+        Ok(())
     }
 }
 
@@ -224,6 +481,95 @@ mod tests {
             );
         }
         assert_eq!(pool.stats().boots, 10);
+    }
+
+    #[test]
+    fn self_healing_pool_repairs_off_the_request_path() {
+        use faultsim::{FaultPlan, PointPlan};
+
+        let model = model();
+        // One poison fires at sfork-merge inside a [0, 1 ms) window on the
+        // platform timeline; nothing else ever faults.
+        let plan = FaultPlan::zero(7)
+            .with_poison_ratio(1.0)
+            .with_point(
+                InjectionPoint::SforkMerge,
+                PointPlan {
+                    rate: 1.0,
+                    stall_ratio: 0.0,
+                    max_burst: 1,
+                },
+            )
+            .with_window(SimNanos::ZERO, SimNanos::from_millis(1));
+        let injector = Rc::new(RefCell::new(FaultInjector::new(plan)));
+        let mut pool = InstancePool::new(
+            CatalyzerEngine::standalone(BootMode::Fork),
+            AppProfile::c_hello(),
+            SimNanos::from_secs(10),
+            4,
+        )
+        .with_self_healing(2)
+        .with_injector(Rc::clone(&injector));
+
+        // Request path: the poison is only *marked* — no rebuild charged.
+        let served = pool.serve_at(SimNanos::ZERO, &model).unwrap();
+        assert!(served.poisoned, "poison absorbed and reported");
+        assert!(served.degraded);
+        assert!(!served.reused);
+        assert!(
+            served.startup < SimNanos::from_millis(10),
+            "no inline template rebuild on the request: {}",
+            served.startup
+        );
+        assert_eq!(pool.pending_repairs(), 1);
+        assert!(pool.health() < 1.0);
+        assert!(injector.borrow().is_poisoned(InjectionPoint::SforkMerge));
+
+        // Background pass: evict quarantined capacity, rebuild, heal,
+        // replenish to the ready floor.
+        pool.tick(SimNanos::from_millis(10), &model).unwrap();
+        assert_eq!(pool.pending_repairs(), 0);
+        assert!(!injector.borrow().is_poisoned(InjectionPoint::SforkMerge));
+        let stats = pool.repair_stats();
+        assert_eq!(stats.repairs, 1);
+        assert_eq!(stats.evicted, 1, "the parked suspect instance");
+        assert_eq!(stats.replenished, 2);
+        assert!(stats.repair_time > SimNanos::ZERO, "rebuild paid offline");
+        assert_eq!(pool.idle_count(), 2);
+        assert_eq!(pool.repair_trace().len(), 1);
+        assert_eq!(pool.repair_trace()[0].name, "repair");
+        assert_eq!(pool.metrics().counter("pool.repair.count"), 1);
+        assert_eq!(pool.metrics().counter("pool.repair.replenish"), 2);
+
+        // The next request reuses replenished capacity, clean and warm.
+        let served = pool.serve_at(SimNanos::from_millis(20), &model).unwrap();
+        assert!(served.reused);
+        assert!(!served.poisoned);
+        assert!(!served.degraded);
+        // A quiet follow-up tick is a no-op.
+        pool.tick(SimNanos::from_millis(30), &model).unwrap();
+        assert_eq!(pool.repair_stats().repairs, 1);
+    }
+
+    #[test]
+    fn serve_and_serve_at_agree_on_latency() {
+        let model = model();
+        let mut a = InstancePool::new(
+            CatalyzerEngine::standalone(BootMode::Fork),
+            AppProfile::c_hello(),
+            SimNanos::from_secs(10),
+            4,
+        );
+        let mut b = InstancePool::new(
+            CatalyzerEngine::standalone(BootMode::Fork),
+            AppProfile::c_hello(),
+            SimNanos::from_secs(10),
+            4,
+        );
+        let (s1, e1, _) = a.serve(SimNanos::from_millis(5), &model).unwrap();
+        let served = b.serve_at(SimNanos::from_millis(5), &model).unwrap();
+        assert_eq!(s1, served.startup, "offset clock must not change costs");
+        assert_eq!(e1, served.exec);
     }
 
     #[test]

@@ -18,13 +18,17 @@
 //! A `Poison` fault additionally **quarantines** the corrupt prepared state
 //! ([`BootEngine::quarantine`] rebuilds it, charged to the request's clock)
 //! before the retry — without quarantine the poisoned path would fail every
-//! retry and burn straight down the ladder.
+//! retry and burn straight down the ladder. Under
+//! [`ResiliencePolicy::defer_quarantine`] the rebuild moves *off* the
+//! request path: the poison only marks the state suspect and the request
+//! falls back one rung immediately; a self-healing pool repairs the
+//! capacity in the background ([`InstancePool::tick`](crate::pool::InstancePool::tick)).
 //!
 //! Only injected host faults ([`SandboxError::Fault`]) are recovered;
 //! genuine program errors (bad config, missing template) propagate
 //! immediately — retrying those would mask real bugs.
 
-use faultsim::FaultKind;
+use faultsim::{FaultKind, InjectionPoint};
 use runtimes::AppProfile;
 use sandbox::{BootCtx, BootEngine, BootOutcome, SandboxError};
 use simtime::{MetricsRegistry, SimNanos};
@@ -40,6 +44,12 @@ pub struct ResiliencePolicy {
     pub fallback: bool,
     /// Rebuild poisoned zygote/template state before retrying.
     pub quarantine: bool,
+    /// Defer the quarantine rebuild off the request path: a poison only
+    /// *marks* the prepared state suspect ([`BootEngine::mark_suspect`]) and
+    /// falls straight back one rung; a background repair loop (the
+    /// self-healing [`InstancePool`](crate::pool::InstancePool)) later pays
+    /// the rebuild. Only meaningful when `quarantine` is set.
+    pub defer_quarantine: bool,
 }
 
 impl ResiliencePolicy {
@@ -51,6 +61,7 @@ impl ResiliencePolicy {
             backoff_base: SimNanos::ZERO,
             fallback: false,
             quarantine: false,
+            defer_quarantine: false,
         }
     }
 
@@ -61,6 +72,7 @@ impl ResiliencePolicy {
             backoff_base: SimNanos::from_micros(200),
             fallback: false,
             quarantine: false,
+            defer_quarantine: false,
         }
     }
 
@@ -71,6 +83,7 @@ impl ResiliencePolicy {
             backoff_base: SimNanos::from_micros(200),
             fallback: true,
             quarantine: true,
+            defer_quarantine: false,
         }
     }
 
@@ -105,6 +118,11 @@ pub struct ResilientBoot {
     /// Deepest fallback rung used, when the boot did not succeed on the
     /// preferred path (e.g. `"warm"`, `"cold"`).
     pub fallback_path: Option<&'static str>,
+    /// Injection points whose poison was *deferred* rather than rebuilt
+    /// inline (only populated under
+    /// [`ResiliencePolicy::defer_quarantine`]); the caller's repair loop
+    /// owes these a background rebuild and an injector heal.
+    pub poisoned: Vec<InjectionPoint>,
     /// Virtual time spent on failed attempts, backoff, and quarantine —
     /// everything before the successful attempt began.
     pub recovery: SimNanos,
@@ -144,6 +162,7 @@ pub fn resilient_boot<E: BootEngine>(
     let mut retries = 0u64;
     let mut quarantines = 0u64;
     let mut fallback_path = None;
+    let mut poisoned: Vec<InjectionPoint> = Vec::new();
     let mut retries_here = 0u32;
 
     loop {
@@ -156,6 +175,7 @@ pub fn resilient_boot<E: BootEngine>(
                     retries,
                     quarantines,
                     fallback_path,
+                    poisoned,
                     // Everything charged before the winning attempt began.
                     recovery: attempt_start.saturating_sub(started),
                 });
@@ -168,8 +188,29 @@ pub fn resilient_boot<E: BootEngine>(
                 metrics.inc(&format!("fault.{}", fault.point));
 
                 if fault.kind == FaultKind::Poison && policy.quarantine {
+                    if policy.defer_quarantine {
+                        // Cheap half only: mark the state suspect and leave
+                        // the rebuild (and the injector heal) to the
+                        // caller's background repair loop. Retrying this
+                        // rung is futile while the poison persists, so fall
+                        // back immediately instead of burning the budget.
+                        engine.mark_suspect(profile, fault.point);
+                        if !poisoned.contains(&fault.point) {
+                            poisoned.push(fault.point);
+                        }
+                        metrics.inc("quarantine.deferred");
+                        if policy.fallback {
+                            if let Some(rung) = engine.degrade() {
+                                fallback_path = Some(rung);
+                                metrics.inc(&format!("fallback.{rung}"));
+                                retries_here = 0;
+                                continue;
+                            }
+                        }
+                        return Err(err);
+                    }
                     ctx.span("quarantine", |ctx| {
-                        engine.quarantine(profile, ctx.clock(), ctx.model())
+                        engine.quarantine(profile, fault.point, ctx.clock(), ctx.model())
                     })?;
                     if let Some(injector) = ctx.injector() {
                         injector.borrow_mut().heal(fault.point);
@@ -314,6 +355,41 @@ mod tests {
         // ...but the full ladder still saves the request via fallback.
         let (result, _, _) = boot_with(plan, ResiliencePolicy::full());
         assert!(result.unwrap().degraded());
+    }
+
+    #[test]
+    fn deferred_quarantine_marks_and_falls_back_without_rebuilding() {
+        let plan = FaultPlan::zero(6).with_poison_ratio(1.0).with_point(
+            InjectionPoint::SforkMerge,
+            PointPlan {
+                rate: 1.0,
+                stall_ratio: 0.0,
+                max_burst: 1,
+            },
+        );
+        let policy = ResiliencePolicy {
+            defer_quarantine: true,
+            ..ResiliencePolicy::full()
+        };
+        let (result, injector, metrics) = boot_with(plan, policy);
+        let boot = result.unwrap();
+        assert_eq!(boot.quarantines, 0, "no inline rebuild");
+        assert_eq!(boot.poisoned, vec![InjectionPoint::SforkMerge]);
+        assert!(
+            injector.borrow().is_poisoned(InjectionPoint::SforkMerge),
+            "the heal is the repair loop's job, not ours"
+        );
+        assert!(metrics.counter("quarantine.deferred") >= 1);
+        assert_eq!(metrics.counter("quarantine.count"), 0);
+        assert!(
+            boot.fallback_path.is_some(),
+            "fell back instead of retrying"
+        );
+        assert_eq!(
+            metrics.counter("invoke.retries"),
+            0,
+            "retrying a persisting poison would be wasted budget"
+        );
     }
 
     #[test]

@@ -15,9 +15,12 @@ use faultsim::{FaultInjector, FaultPlan};
 use runtimes::AppProfile;
 use sandbox::BootEngine;
 use simtime::stats::{summarize, Summary};
-use simtime::{CostModel, SimNanos};
+use simtime::{CostModel, MetricsRegistry, SimNanos};
 
-use crate::pool::{InstancePool, PoolStats};
+use crate::admission::{
+    AdmissionController, AdmissionPolicy, AdmissionRecord, BreakerTransition, HealthSignal,
+};
+use crate::pool::{InstancePool, PoolStats, RepairStats};
 use crate::resilience::ResiliencePolicy;
 use crate::PlatformError;
 
@@ -177,6 +180,245 @@ where
     })
 }
 
+/// The outcome of driving a trace through admission-controlled,
+/// self-healing pools.
+#[derive(Debug, Clone)]
+pub struct AdmittedOutcome {
+    /// Requests in the trace.
+    pub requests: u64,
+    /// Requests admission let through.
+    pub admitted: u64,
+    /// Admitted requests that served successfully.
+    pub completed: u64,
+    /// Admitted requests that surfaced an error (availability loss).
+    pub failed: u64,
+    /// Requests shed typed as [`PlatformError::Overload`].
+    pub shed_overload: u64,
+    /// Requests shed typed as [`PlatformError::DeadlineExceeded`].
+    pub shed_deadline: u64,
+    /// Requests shed typed as [`PlatformError::CircuitOpen`].
+    pub shed_breaker: u64,
+    /// Completed requests that finished within their deadline (all of them
+    /// when the policy stamps no deadline). The denominator for goodput is
+    /// the *whole* trace, sheds included.
+    pub goodput: u64,
+    /// End-to-end latency (queue wait + startup + execution) of completed
+    /// requests; `None` when nothing completed.
+    pub e2e: Option<Summary>,
+    /// Startup-latency distribution of completed requests.
+    pub startup: Option<Summary>,
+    /// Fraction of completed requests served by reuse.
+    pub reuse_rate: f64,
+    /// Injected faults absorbed across the fleet.
+    pub faults: u64,
+    /// Boots that succeeded only after recovering from at least one fault.
+    pub degraded: u64,
+    /// Breaker trips (transitions into Open) across all functions.
+    pub breaker_opens: u64,
+    /// Background repair-loop work, summed over pools.
+    pub repairs: RepairStats,
+    /// The full admission decision log — byte-identical across runs of the
+    /// same seed.
+    pub admission_log: Vec<AdmissionRecord>,
+    /// Every breaker transition, `(function, transition)`.
+    pub transitions: Vec<(String, BreakerTransition)>,
+    /// Fleet-wide metrics rollup (pool metrics merged, plus `admit.*`,
+    /// `shed.*`, and `breaker.<state>` counters).
+    pub metrics: MetricsRegistry,
+}
+
+impl AdmittedOutcome {
+    /// `completed / admitted` — 1.0 means no admitted request was lost.
+    pub fn availability(&self) -> f64 {
+        fraction(self.completed, self.admitted)
+    }
+
+    /// `goodput / requests` — the fraction of *offered* load answered
+    /// within its deadline.
+    pub fn goodput_rate(&self) -> f64 {
+        fraction(self.goodput, self.requests)
+    }
+
+    /// Total sheds of any type.
+    pub fn shed(&self) -> u64 {
+        self.shed_overload + self.shed_deadline + self.shed_breaker
+    }
+}
+
+/// Exact for the request counts involved (< 2^32) without numeric casts.
+fn fraction(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        return 0.0;
+    }
+    f64::from(u32::try_from(part).unwrap_or(u32::MAX))
+        / f64::from(u32::try_from(whole).unwrap_or(u32::MAX))
+}
+
+/// Drives `requests` (sorted by arrival) through per-function self-healing
+/// pools behind an [`AdmissionController`] — the full overload-protection
+/// pipeline: tick the pool's repair loop, gate the arrival (typed sheds,
+/// never panics, never drops silently), serve at the admitted start time on
+/// the platform clock, and feed the completion back into the breaker.
+///
+/// Unlike [`run_with_faults`], a failed *admitted* request does not abort
+/// the simulation: it is counted as availability loss (the subject under
+/// measurement) and reported in [`AdmittedOutcome::failed`].
+///
+/// Pools are always self-healing here (deferred quarantine + background
+/// repair to a `min_ready` floor); `policy`'s retry/fallback knobs still
+/// apply.
+///
+/// # Errors
+///
+/// Non-fault engine errors from the background repair loop.
+///
+/// # Panics
+///
+/// Panics if any request indexes past `functions`, or arrivals go
+/// backwards.
+#[allow(clippy::too_many_arguments)]
+pub fn run_admitted<E, F>(
+    functions: &[AppProfile],
+    requests: &[TraceRequest],
+    keep_alive: SimNanos,
+    max_idle: usize,
+    min_ready: usize,
+    mut make_engine: F,
+    model: &CostModel,
+    plan: Option<FaultPlan>,
+    policy: ResiliencePolicy,
+    admission: AdmissionPolicy,
+) -> Result<AdmittedOutcome, PlatformError>
+where
+    E: BootEngine,
+    F: FnMut(&AppProfile) -> E,
+{
+    let injector = plan.map(|p| Rc::new(RefCell::new(FaultInjector::new(p))));
+    let mut pools: Vec<InstancePool<E>> = functions
+        .iter()
+        .map(|p| {
+            let mut pool = InstancePool::new(make_engine(p), p.clone(), keep_alive, max_idle)
+                .with_policy(policy)
+                .with_self_healing(min_ready);
+            if let Some(injector) = &injector {
+                pool = pool.with_injector(Rc::clone(injector));
+            }
+            pool
+        })
+        .collect();
+    let mut ctrl = AdmissionController::new(admission);
+
+    let mut admitted = 0u64;
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut shed_overload = 0u64;
+    let mut shed_deadline = 0u64;
+    let mut shed_breaker = 0u64;
+    let mut goodput = 0u64;
+    let mut reuses = 0u64;
+    let mut startups = Vec::new();
+    let mut e2es = Vec::new();
+    let mut last_arrival = SimNanos::ZERO;
+
+    for req in requests {
+        assert!(req.arrival >= last_arrival, "trace must be time-sorted");
+        last_arrival = req.arrival;
+        let pool = pools
+            .get_mut(req.function)
+            .unwrap_or_else(|| panic!("request for unknown function {}", req.function));
+        let name = functions[req.function].name.as_str();
+
+        // The repair daemon wakes between arrivals: anything poisoned by an
+        // earlier request is rebuilt and healed here, off the request path.
+        pool.tick(req.arrival, model)?;
+
+        let slot = match ctrl.admit(name, req.arrival) {
+            Ok(slot) => slot,
+            Err(err) => {
+                // Every shed is typed; nothing is silently dropped.
+                match err {
+                    PlatformError::Overload { .. } => shed_overload += 1,
+                    PlatformError::DeadlineExceeded { .. } => shed_deadline += 1,
+                    PlatformError::CircuitOpen { .. } => shed_breaker += 1,
+                    other => return Err(other),
+                }
+                continue;
+            }
+        };
+        admitted += 1;
+        match pool.serve_at(slot.start, model) {
+            Ok(served) => {
+                completed += 1;
+                if served.reused {
+                    reuses += 1;
+                }
+                let finish = slot.start + served.startup + served.exec;
+                let signal = if served.poisoned {
+                    HealthSignal::Poisoned
+                } else {
+                    HealthSignal::Healthy
+                };
+                ctrl.complete(name, finish, signal);
+                startups.push(served.startup);
+                e2es.push(slot.queued + served.startup + served.exec);
+                if slot.deadline.is_none_or(|d| finish <= d) {
+                    goodput += 1;
+                }
+            }
+            Err(_) => {
+                // Availability loss: the admitted request died. The slot
+                // frees at its start time (the failure's own duration is
+                // not modeled) and the breaker hears about it.
+                failed += 1;
+                ctrl.complete(name, slot.start, HealthSignal::Failed);
+            }
+        }
+    }
+
+    let mut metrics = MetricsRegistry::new();
+    let mut repairs = RepairStats::default();
+    let mut degraded = 0u64;
+    for pool in &pools {
+        metrics.merge_from(pool.metrics());
+        degraded += pool.metrics().counter("pool.degraded");
+        let r = pool.repair_stats();
+        repairs.repairs += r.repairs;
+        repairs.evicted += r.evicted;
+        repairs.replenished += r.replenished;
+        repairs.repair_time += r.repair_time;
+    }
+    metrics.add("admit.count", admitted);
+    metrics.add("shed.overload", shed_overload);
+    metrics.add("shed.deadline", shed_deadline);
+    metrics.add("shed.breaker", shed_breaker);
+    let transitions = ctrl.all_transitions();
+    for (_, transition) in &transitions {
+        metrics.inc(&format!("breaker.{}", transition.to.label()));
+    }
+    let faults = injector.map_or(0, |i| i.borrow().total_fired());
+
+    Ok(AdmittedOutcome {
+        requests: u64::try_from(requests.len()).unwrap_or(u64::MAX),
+        admitted,
+        completed,
+        failed,
+        shed_overload,
+        shed_deadline,
+        shed_breaker,
+        goodput,
+        e2e: summarize(&e2es),
+        startup: summarize(&startups),
+        reuse_rate: fraction(reuses, completed),
+        faults,
+        degraded,
+        breaker_opens: ctrl.breaker_opens(),
+        repairs,
+        admission_log: ctrl.log().to_vec(),
+        transitions,
+        metrics,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +522,104 @@ mod tests {
         .unwrap();
         assert!(outcome.peak_concurrency > 1, "{}", outcome.peak_concurrency);
         assert_eq!(outcome.pools.boots, 10);
+    }
+
+    #[test]
+    fn admitted_zero_load_sheds_nothing() {
+        let model = CostModel::experimental_machine();
+        // Sparse arrivals, generous limit: admission must be invisible.
+        let outcome = run_admitted(
+            &[AppProfile::c_hello()],
+            &steady_trace(12, SimNanos::from_millis(50))
+                .into_iter()
+                .map(|mut r| {
+                    r.function = 0;
+                    r
+                })
+                .collect::<Vec<_>>(),
+            SimNanos::from_secs(5),
+            4,
+            1,
+            |_| CatalyzerEngine::standalone(BootMode::Fork),
+            &model,
+            None,
+            ResiliencePolicy::full(),
+            crate::AdmissionPolicy::standard(4, SimNanos::from_millis(100)),
+        )
+        .unwrap();
+        assert_eq!(outcome.requests, 12);
+        assert_eq!(outcome.admitted, 12);
+        assert_eq!(outcome.completed, 12);
+        assert_eq!(outcome.shed(), 0, "zero load must shed nothing");
+        assert_eq!(outcome.breaker_opens, 0, "no false breaker trips");
+        assert_eq!(outcome.failed, 0);
+        assert_eq!(outcome.goodput, 12);
+        assert!((outcome.availability() - 1.0).abs() < 1e-12);
+        assert!(outcome.repairs.repairs == 0, "nothing to repair");
+        assert!(outcome.repairs.replenished >= 1, "floor kept warm");
+    }
+
+    #[test]
+    fn admitted_burst_sheds_typed_and_bounds_the_queue() {
+        let model = CostModel::experimental_machine();
+        // Same-instant burst far beyond limit+queue: overload sheds.
+        let burst: Vec<TraceRequest> = (0..24)
+            .map(|i| TraceRequest {
+                arrival: SimNanos::from_micros(i * 10),
+                function: 0,
+            })
+            .collect();
+        let outcome = run_admitted(
+            &[AppProfile::c_nginx()],
+            &burst,
+            SimNanos::from_secs(5),
+            4,
+            0,
+            |_| CatalyzerEngine::standalone(BootMode::Fork),
+            &model,
+            None,
+            ResiliencePolicy::full(),
+            crate::AdmissionPolicy::standard(2, SimNanos::from_secs(10)),
+        )
+        .unwrap();
+        assert!(outcome.shed_overload > 0, "queue is bounded");
+        assert_eq!(
+            outcome.admitted + outcome.shed(),
+            outcome.requests,
+            "every request is admitted or shed typed — none dropped"
+        );
+        assert_eq!(outcome.failed, 0);
+        assert_eq!(outcome.completed, outcome.admitted);
+        // The decision log records every arrival.
+        assert_eq!(outcome.admission_log.len(), burst.len());
+    }
+
+    #[test]
+    fn admitted_is_deterministic() {
+        let model = CostModel::experimental_machine();
+        let trace = steady_trace(16, SimNanos::from_millis(2));
+        let run_once = || {
+            let outcome = run_admitted(
+                &functions(),
+                &trace,
+                SimNanos::from_secs(5),
+                4,
+                1,
+                |_| CatalyzerEngine::standalone(BootMode::Fork),
+                &model,
+                Some(FaultPlan::storm(
+                    11,
+                    0.8,
+                    SimNanos::from_millis(4),
+                    SimNanos::from_millis(20),
+                )),
+                ResiliencePolicy::full(),
+                crate::AdmissionPolicy::standard(2, SimNanos::from_millis(50)),
+            )
+            .unwrap();
+            serde_json::to_string(&outcome.admission_log).unwrap()
+        };
+        assert_eq!(run_once(), run_once(), "same seed, same decision history");
     }
 
     #[test]

@@ -275,9 +275,13 @@ pub trait BootEngine {
     /// degradation does not become permanent. No-op for single-path engines.
     fn reset_path(&mut self) {}
 
-    /// Discards and rebuilds prepared state (zygote, template) that a
-    /// poison fault corrupted, charging `clock` for the rebuild. Engines
-    /// without prepared state accept the no-op default.
+    /// Discards and rebuilds the prepared state that a poison fault at
+    /// `point` corrupted, charging `clock` for the rebuild. The point names
+    /// *which* prepared state is poisoned — a zygote-specialize poison
+    /// implicates the pooled zygote bases, an sfork-merge poison the
+    /// function's template sandbox — so engines rebuild only what the fault
+    /// actually touched. Engines without prepared state accept the no-op
+    /// default.
     ///
     /// # Errors
     ///
@@ -285,11 +289,38 @@ pub trait BootEngine {
     fn quarantine(
         &mut self,
         profile: &AppProfile,
+        point: InjectionPoint,
         clock: &SimClock,
         model: &CostModel,
     ) -> Result<(), SandboxError> {
-        let _ = (profile, clock, model);
+        let _ = (profile, point, clock, model);
         Ok(())
+    }
+
+    /// Marks the prepared state poisoned at `point` as *suspect* without
+    /// rebuilding anything — the deferred-quarantine half of the self-healing
+    /// pool protocol: the request path records the damage for free, and a
+    /// background [`repair`](BootEngine::repair) pass later pays the rebuild
+    /// off the critical path. No-op for engines without prepared state.
+    fn mark_suspect(&mut self, profile: &AppProfile, point: InjectionPoint) {
+        let _ = (profile, point);
+    }
+
+    /// Rebuilds every piece of prepared state previously
+    /// [`mark_suspect`](BootEngine::mark_suspect)ed, off the request path,
+    /// returning the virtual repair time spent (`ZERO` when nothing was
+    /// suspect). Engines without prepared state accept the default.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SandboxError`] from the rebuild.
+    fn repair(
+        &mut self,
+        profile: &AppProfile,
+        model: &CostModel,
+    ) -> Result<SimNanos, SandboxError> {
+        let _ = (profile, model);
+        Ok(SimNanos::ZERO)
     }
 }
 

@@ -149,6 +149,27 @@ impl LatencyHistogram {
         self.quantile(0.99)
     }
 
+    /// Folds `other` into `self`, as if every sample recorded into `other`
+    /// had been recorded here instead. Because the bucket ladder is fixed
+    /// and shared, merging is exact: counts add bucket-wise and min/max/sum
+    /// combine, so `a.merge(&b)` equals recording the union in any order.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
     /// Iterates the non-empty buckets as `(inclusive upper bound, count)`;
     /// the overflow bucket reports the recorded maximum as its bound.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (SimNanos, u64)> + '_ {
@@ -261,6 +282,25 @@ impl MetricsRegistry {
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
+
+    /// Folds `other` into `self`: counters add, histograms
+    /// [`merge`](LatencyHistogram::merge) bucket-wise, and gauges (which are
+    /// point-in-time readings, not accumulations) take `other`'s value.
+    /// Used to roll per-pool registries up into one fleet view.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (name, value) in other.counters() {
+            self.add(name, value);
+        }
+        for (name, value) in other.gauges() {
+            self.set_gauge(name, value);
+        }
+        for (name, hist) in other.histograms() {
+            self.histograms
+                .entry(name.to_owned())
+                .or_default()
+                .merge(hist);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +383,49 @@ mod tests {
         m.inc("m");
         let names: Vec<&str> = m.counters().map(|(n, _)| n).collect();
         assert_eq!(names, ["a", "m", "z"]);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union() {
+        let samples_a = [3u64, 900, 40_000];
+        let samples_b = [1u64, 25_000_000_000];
+        let mut a: LatencyHistogram = samples_a
+            .iter()
+            .map(|&us| SimNanos::from_micros(us))
+            .collect();
+        let b: LatencyHistogram = samples_b
+            .iter()
+            .map(|&us| SimNanos::from_micros(us))
+            .collect();
+        a.merge(&b);
+        let union: LatencyHistogram = samples_a
+            .iter()
+            .chain(&samples_b)
+            .map(|&us| SimNanos::from_micros(us))
+            .collect();
+        assert_eq!(a, union);
+        // Merging an empty histogram changes nothing, in either direction.
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&union);
+        assert_eq!(empty, union);
+        let mut merged = union.clone();
+        merged.merge(&LatencyHistogram::new());
+        assert_eq!(merged, union);
+    }
+
+    #[test]
+    fn registry_merge_rolls_up() {
+        let mut fleet = MetricsRegistry::new();
+        fleet.inc("pool.boot");
+        fleet.observe("startup", SimNanos::from_millis(2));
+        let mut pool = MetricsRegistry::new();
+        pool.add("pool.boot", 2);
+        pool.set_gauge("pool.idle", 3);
+        pool.observe("startup", SimNanos::from_micros(5));
+        fleet.merge_from(&pool);
+        assert_eq!(fleet.counter("pool.boot"), 3);
+        assert_eq!(fleet.gauge("pool.idle"), Some(3));
+        assert_eq!(fleet.histogram("startup").unwrap().count(), 2);
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Property tests for the fixed-bucket latency histogram.
+//!
+//! The two claims every `BENCH_*.json` export leans on:
+//!
+//! 1. **Quantiles are conservative within one 1-2-5 bucket** — the reported
+//!    quantile is exactly the inclusive upper bound of the bucket holding
+//!    the true nearest-rank sample (the recorded maximum for the overflow
+//!    bucket). It never under-reports the true quantile and never skips to
+//!    a higher bucket.
+//! 2. **Recording and merging are order-free** — recording the same samples
+//!    in any order yields equal histograms, and merging shards equals
+//!    recording the union, so per-function shards combine without changing
+//!    any exported number.
+
+use proptest::prelude::*;
+use simtime::metrics::BUCKET_BOUNDS_NS;
+use simtime::{LatencyHistogram, SimNanos};
+
+fn from_samples(samples: &[u64]) -> LatencyHistogram {
+    let mut hist = LatencyHistogram::new();
+    for &ns in samples {
+        hist.record(SimNanos::from_nanos(ns));
+    }
+    hist
+}
+
+/// The true nearest-rank quantile of `samples` (which must be non-empty).
+fn true_quantile(samples: &[u64], q: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil().max(1.0);
+    let idx = usize::try_from(rank as u64).unwrap_or(usize::MAX) - 1;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Samples spanning the whole ladder: sub-µs, every 1-2-5 decade, and
+/// past the 10 s overflow bound.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..30_000_000_000, 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The histogram quantile equals the upper bound of the 1-2-5 bucket
+    /// holding the true nearest-rank sample — an upper estimate that is
+    /// never below the true quantile and never a whole bucket above it.
+    #[test]
+    fn quantile_brackets_the_true_quantile_within_one_bucket(
+        samples in samples(),
+        q_pct in 0u32..=100,
+    ) {
+        let hist = from_samples(&samples);
+        let q = f64::from(q_pct) / 100.0;
+        let truth = true_quantile(&samples, q);
+        let reported = hist.quantile(q).unwrap().as_nanos();
+
+        prop_assert!(
+            reported >= truth,
+            "quantile must never under-report: reported {reported} < true {truth}"
+        );
+        let expected = match BUCKET_BOUNDS_NS.iter().find(|&&b| b >= truth) {
+            Some(&bound) => bound,
+            // Overflow bucket: the recorded maximum stands in for a bound.
+            None => hist.max().unwrap().as_nanos(),
+        };
+        prop_assert_eq!(
+            reported, expected,
+            "quantile must report the bound of the bucket holding the true \
+             nearest-rank sample ({})", truth
+        );
+    }
+
+    /// min/max/count are exact and the mean is the true mean rounded down —
+    /// only quantiles pay the bucket quantization.
+    #[test]
+    fn summary_stats_are_exact(samples in samples()) {
+        let hist = from_samples(&samples);
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+        prop_assert_eq!(
+            hist.min().unwrap().as_nanos(),
+            *samples.iter().min().unwrap()
+        );
+        prop_assert_eq!(
+            hist.max().unwrap().as_nanos(),
+            *samples.iter().max().unwrap()
+        );
+        let sum: u64 = samples.iter().sum();
+        prop_assert_eq!(
+            hist.mean().unwrap().as_nanos(),
+            sum / samples.len() as u64
+        );
+    }
+
+    /// Recording order is invisible: any permutation (reversal stands in
+    /// for all of them) serializes to byte-identical JSON.
+    #[test]
+    fn recording_order_is_invisible(samples in samples()) {
+        let forward = from_samples(&samples);
+        let mut reversed_samples = samples.clone();
+        reversed_samples.reverse();
+        let reversed = from_samples(&reversed_samples);
+        prop_assert_eq!(&forward, &reversed);
+        prop_assert_eq!(
+            serde_json::to_string(&forward).unwrap(),
+            serde_json::to_string(&reversed).unwrap()
+        );
+    }
+
+    /// Merging shards equals recording the union, whichever shard folds
+    /// into which — histograms are conflict-free aggregates.
+    #[test]
+    fn merge_equals_recording_the_union(
+        samples in samples(),
+        split_pct in 0u32..=100,
+    ) {
+        let split = samples.len() * usize::try_from(split_pct).unwrap() / 100;
+        let (left, right) = samples.split_at(split);
+        let whole = from_samples(&samples);
+
+        let mut left_into_right = from_samples(right);
+        left_into_right.merge(&from_samples(left));
+        prop_assert_eq!(&left_into_right, &whole);
+
+        let mut right_into_left = from_samples(left);
+        right_into_left.merge(&from_samples(right));
+        prop_assert_eq!(&right_into_left, &whole);
+
+        // Merging an empty shard is a no-op.
+        let mut with_empty = whole.clone();
+        with_empty.merge(&LatencyHistogram::new());
+        prop_assert_eq!(&with_empty, &whole);
+    }
+}

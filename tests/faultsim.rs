@@ -166,6 +166,57 @@ proptest! {
     }
 }
 
+/// Collects every span named `name`, depth-first.
+fn spans_named<'a>(span: &'a Span, name: &str, out: &mut Vec<&'a Span>) {
+    if span.name == name {
+        out.push(span);
+    }
+    for child in &span.children {
+        spans_named(child, name, out);
+    }
+}
+
+/// Point-scoped quarantine: a zygote poison absorbed on the warm fallback
+/// rung drains the pooled zygotes only — it must not re-charge the template
+/// rebuild the fork rung's own quarantine already paid for.
+#[test]
+fn fallback_rung_poison_does_not_recharge_the_template_rebuild() {
+    // Both prepared-state points poison deterministically; a zero retry
+    // budget walks the ladder with one quarantine per poisoned rung:
+    // sfork (template rebuild, charged) → warm (zygote drain, free) →
+    // cold (no prepared state, clean).
+    let plan = FaultPlan::zero(0xD0B1)
+        .with_poison_ratio(1.0)
+        .with_point(InjectionPoint::SforkMerge, PointPlan::at_rate(1.0))
+        .with_point(InjectionPoint::ZygoteSpecialize, PointPlan::at_rate(1.0));
+    let mut gateway = faulted_gateway(
+        plan,
+        ResiliencePolicy {
+            max_retries: 0,
+            backoff_base: SimNanos::ZERO,
+            ..ResiliencePolicy::full()
+        },
+    );
+
+    let invocation = gateway.invoke_detailed("C-hello").unwrap();
+    assert_eq!(gateway.metrics().counter("quarantine.count"), 2);
+    assert_eq!(gateway.metrics().counter("fallback.warm"), 1);
+    assert_eq!(gateway.metrics().counter("fallback.cold"), 1);
+
+    let mut quarantines = Vec::new();
+    spans_named(&invocation.trace, "quarantine", &mut quarantines);
+    assert_eq!(quarantines.len(), 2, "one quarantine per poisoned rung");
+    assert!(
+        quarantines[0].duration() > SimNanos::ZERO,
+        "the sfork-merge poison pays the template rebuild inline"
+    );
+    assert_eq!(
+        quarantines[1].duration(),
+        SimNanos::ZERO,
+        "the warm rung's zygote poison must not re-charge a template rebuild"
+    );
+}
+
 /// The fixed-seed smoke the acceptance criteria name: a nonzero plan under
 /// the full ladder keeps availability at 100% while the degraded counters
 /// and recovery histogram are nonzero and exactly reproducible.

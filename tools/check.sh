@@ -44,4 +44,15 @@ cargo run -q -p bench --bin repro -- export --check BENCH_pr2.json
 echo "==> fault sweep (BENCH_pr3.json valid + up to date)"
 cargo run -q -p bench --bin repro -- faults --check BENCH_pr3.json
 
+# And for the overload sweep: regenerates the admission grid and the
+# baseline-vs-full storm comparison in-memory and verifies the checked-in
+# BENCH_pr4.json is valid (admission invisible at zero load, typed overload
+# sheds past saturation, a fault-free breaker changing nothing, zero
+# availability loss for admitted requests under the storm, the baseline's
+# goodput collapsing while the full policy bounds its p99) and
+# byte-identical — i.e. admission, breakers, and the repair loop are
+# deterministic. `repro all --check` runs all three gates in one shot.
+echo "==> overload sweep (BENCH_pr4.json valid + up to date)"
+cargo run -q -p bench --bin repro -- overload --check BENCH_pr4.json
+
 echo "All checks passed."
