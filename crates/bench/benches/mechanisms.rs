@@ -42,7 +42,7 @@ fn lz_codec(c: &mut Criterion) {
             }
         })
         .collect();
-    let packed = imagefmt::lz::compress(&data);
+    let packed = bytes::Bytes::from(imagefmt::lz::compress(&data));
     let mut group = c.benchmark_group("lz");
     group.throughput(Throughput::Bytes(data.len() as u64));
     group.bench_function("compress_1MiB", |b| {

@@ -15,6 +15,7 @@ use faultsim::{FaultPlan, InjectionPoint};
 use platform::{Gateway, ResiliencePolicy};
 use runtimes::AppProfile;
 use serde::{Deserialize, Serialize};
+use simtime::names;
 use simtime::{CostModel, LatencyHistogram, SimNanos};
 
 /// Schema tag so downstream tooling can reject stale files.
@@ -176,7 +177,7 @@ fn drive(
             Err(_) => failed += 1,
         }
     }
-    let degraded = gateway.metrics().counter("invoke.degraded");
+    let degraded = gateway.metrics().counter(names::INVOKE_DEGRADED);
     (ok, failed, degraded, totals, gateway)
 }
 
@@ -199,7 +200,7 @@ fn run_cell(rate: f64, policy: ResiliencePolicy, model: &CostModel) -> FaultCell
         .iter()
         .map(|rung| RungCount {
             rung: (*rung).to_string(),
-            count: metrics.counter(&format!("fallback.{rung}")),
+            count: metrics.counter(&names::fallback_rung(rung)),
         })
         .collect();
     FaultCell {
@@ -213,11 +214,11 @@ fn run_cell(rate: f64, policy: ResiliencePolicy, model: &CostModel) -> FaultCell
         p50: totals.p50().unwrap_or(SimNanos::ZERO),
         p99: totals.p99().unwrap_or(SimNanos::ZERO),
         recovery_p99: metrics
-            .histogram("invoke.recovery")
+            .histogram(names::INVOKE_RECOVERY)
             .and_then(LatencyHistogram::p99)
             .unwrap_or(SimNanos::ZERO),
-        retries: metrics.counter("invoke.retries"),
-        quarantines: metrics.counter("quarantine.count"),
+        retries: metrics.counter(names::INVOKE_RETRIES),
+        quarantines: metrics.counter(names::QUARANTINE_COUNT),
         faults,
         fallbacks,
     }

@@ -254,6 +254,7 @@ mod tests {
             func: func.into(),
             line,
             what: "x".into(),
+            chain: Vec::new(),
         }
     }
 

@@ -25,6 +25,10 @@ pub struct Config {
     /// restore critical path even though the restore entry points call it
     /// (one-time image compilation).
     pub hot_stops: Vec<String>,
+    /// Path prefixes exempt from the namereg pass: the registry itself
+    /// (where the names are defined) and the checker (which defines the
+    /// grammar it polices).
+    pub namereg_exempt: Vec<String>,
 }
 
 impl Config {
@@ -61,6 +65,10 @@ impl Config {
                 // may buffer and copy freely.
                 "ensure_compiled".into(),
             ],
+            namereg_exempt: vec![
+                "crates/simtime/src/names.rs".into(),
+                "crates/catalint/".into(),
+            ],
         }
     }
 
@@ -77,6 +85,11 @@ impl Config {
     /// True when the path is one of the configured parse modules.
     pub fn is_parse_file(&self, path: &str) -> bool {
         self.parse_files.iter().any(|p| p == path)
+    }
+
+    /// True when the path is exempt from the namereg pass.
+    pub fn is_namereg_exempt(&self, path: &str) -> bool {
+        self.namereg_exempt.iter().any(|p| path.starts_with(p))
     }
 
     /// True for test, bench, example, and binary targets — code that never

@@ -33,8 +33,13 @@ pub enum Tok {
     Ident(String, u32),
     /// A single punctuation character (`::` arrives as two `:` tokens).
     Punct(char, u32),
-    /// Any literal (string, raw string, char, number). Contents are opaque.
+    /// A non-string literal (char, number). Contents are opaque.
     Lit(u32),
+    /// A string literal (normal, raw, or byte). The content is carried —
+    /// escapes unprocessed, delimiters stripped — so passes that police
+    /// string *values* (the namereg pass) can inspect it. Code inside a
+    /// string is still never tokenised.
+    Str(String, u32),
     /// A delimiter-matched group; the line is the opening delimiter's.
     Group(Delim, Vec<Tok>, u32),
 }
@@ -43,7 +48,11 @@ impl Tok {
     /// The source line this token starts on.
     pub fn line(&self) -> u32 {
         match self {
-            Tok::Ident(_, l) | Tok::Punct(_, l) | Tok::Lit(l) | Tok::Group(_, _, l) => *l,
+            Tok::Ident(_, l)
+            | Tok::Punct(_, l)
+            | Tok::Lit(l)
+            | Tok::Str(_, l)
+            | Tok::Group(_, _, l) => *l,
         }
     }
 
@@ -128,8 +137,9 @@ pub fn lex(src: &str) -> Lexed {
             }
             '"' => {
                 let l = line;
-                i = skip_string(&b, i, &mut line);
-                cur.push(Tok::Lit(l));
+                let end = skip_string(&b, i, &mut line);
+                cur.push(Tok::Str(string_content(&b, i + 1, end, 1), l));
+                i = end;
             }
             '\'' => {
                 let l = line;
@@ -154,9 +164,21 @@ pub fn lex(src: &str) -> Lexed {
                         i = j + 1;
                         cur.push(Tok::Lit(l));
                     } else if j == i + 1 {
-                        // A bare quote (macro token position) — keep as punct.
-                        i += 1;
-                        cur.push(Tok::Punct('\'', l));
+                        if b.get(i + 2) == Some(&'\'') && b.get(i + 1) != Some(&'\'') {
+                            // '"', '.', '(' — a single-char literal whose char
+                            // is not alphanumeric. Must be consumed as a unit
+                            // or the inner char (a quote, a delimiter) would
+                            // desynchronise the lexer.
+                            if b.get(i + 1) == Some(&'\n') {
+                                line += 1;
+                            }
+                            i += 3;
+                            cur.push(Tok::Lit(l));
+                        } else {
+                            // A bare quote (macro token position) — keep as punct.
+                            i += 1;
+                            cur.push(Tok::Punct('\'', l));
+                        }
                     } else {
                         // 'lifetime — skipped entirely.
                         i = j;
@@ -195,15 +217,17 @@ pub fn lex(src: &str) -> Lexed {
                         k += 1;
                     }
                     if k < b.len() && b[k] == '"' {
-                        if word.contains('r') {
-                            i = skip_raw_string(&b, k, hashes, &mut line);
+                        let end = if word.contains('r') {
+                            skip_raw_string(&b, k, hashes, &mut line)
                         } else if hashes == 0 {
-                            i = skip_string(&b, k, &mut line);
+                            skip_string(&b, k, &mut line)
                         } else {
                             cur.push(Tok::Ident(word, l));
                             continue;
-                        }
-                        cur.push(Tok::Lit(l));
+                        };
+                        let close = 1 + hashes;
+                        cur.push(Tok::Str(string_content(&b, k + 1, end, close), l));
+                        i = end;
                         continue;
                     }
                 }
@@ -237,6 +261,15 @@ pub fn lex(src: &str) -> Lexed {
     }
 
     Lexed { toks: cur, allows }
+}
+
+/// Extracts string content between `start` (just past the opening quote)
+/// and `end` (one past the closing delimiter, which is `close` chars long).
+/// On unterminated strings `end` may be the input end; the subtraction
+/// saturates so the lexer still never fails.
+fn string_content(b: &[char], start: usize, end: usize, close: usize) -> String {
+    let stop = end.saturating_sub(close).max(start).min(b.len());
+    b[start.min(stop)..stop].iter().collect()
 }
 
 /// Skips a normal (escape-honouring) string starting at the opening quote;

@@ -1,28 +1,39 @@
 //! catalint — the workspace invariant checker.
 //!
-//! The Catalyzer reproduction rests on three properties that rustc cannot
+//! The Catalyzer reproduction rests on properties that rustc cannot
 //! enforce and that regress silently under ordinary refactoring:
 //!
 //! 1. **Determinism.** Every latency figure is simulated (`simtime`);
 //!    one `Instant::now()` or ambient RNG makes runs non-reproducible.
 //! 2. **Panic-free parsing.** Func-images and checkpoints are untrusted
 //!    input to the restore path; parsers must return `ImageError`-style
-//!    results, never panic.
+//!    results, never panic — including through the helpers they call.
 //! 3. **Hot-path copy discipline.** Overlay memory (paper §3.1) exists so
-//!    Base-EPT pages are *shared*; an eager full-buffer copy on the
-//!    restore path quietly re-introduces the cost the design removes.
+//!    Base-EPT pages are *shared*; an eager full-buffer copy anywhere
+//!    reachable from a restore root quietly re-introduces the cost the
+//!    design removes.
+//! 4. **Borrow discipline.** A `RefCell` guard held across `?` (or a
+//!    re-entrant `borrow_mut` through a call chain) turns an error return
+//!    into a runtime borrow panic.
 //!
-//! Plus one API convention: public library functions return crate error
-//! types, not `Box<dyn Error>`.
+//! Plus three conventions: metric/span name literals come from the
+//! `simtime::names` registry (`namereg`), results never depend on
+//! `HashMap`/`HashSet` iteration order (`hashorder`), and public library
+//! functions return crate error types, not `Box<dyn Error>` (`hygiene`).
 //!
-//! The checker lexes the workspace (no rustc, no dependencies), runs four
-//! pattern passes, and diffs the findings against the reviewed baseline in
-//! `catalint.toml`. Pre-existing debt is visible and capped; new debt
-//! fails the build. Run it as `cargo run -p catalint`; it also runs inside
-//! the tier-1 test suite.
+//! The checker lexes the workspace (no rustc, no dependencies), segments
+//! it into functions, builds an approximate call graph, and runs seven
+//! passes; the interprocedural ones (`panic`, `hotpath`, `borrowcell`)
+//! attach the root → sink call chain to each finding. Findings are diffed
+//! against `catalint.toml`, which is intentionally empty: the workspace
+//! carries zero lint debt, and any finding fails the build. Run it as
+//! `cargo run -p catalint` (`--emit json` for machine-readable output,
+//! `--explain <pass>` for rationale); it also runs inside the tier-1 test
+//! suite.
 
 pub mod baseline;
 pub mod config;
+pub mod graph;
 pub mod lexer;
 pub mod passes;
 pub mod segment;
@@ -60,15 +71,30 @@ pub struct Violation {
     pub line: u32,
     /// Human-readable description.
     pub what: String,
+    /// Root→sink call chain for interprocedural findings (bare function
+    /// names, the sink last). Empty for intra-function findings.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{} [{}] fn {}: {}",
-            self.file, self.line, self.pass, self.func, self.what
-        )
+        if self.chain.len() > 1 {
+            write!(
+                f,
+                "{}:{} [{}] {}: {}",
+                self.file,
+                self.line,
+                self.pass,
+                self.chain.join(" → "),
+                self.what
+            )
+        } else {
+            write!(
+                f,
+                "{}:{} [{}] fn {}: {}",
+                self.file, self.line, self.pass, self.func, self.what
+            )
+        }
     }
 }
 
@@ -108,7 +134,7 @@ pub struct ParsedFile {
     pub allows: Vec<Allow>,
 }
 
-/// Runs all four passes over the given files and returns findings sorted
+/// Runs all seven passes over the given files and returns findings sorted
 /// by `(file, line, pass)`, with `catalint: allow(...)` suppressions
 /// already applied.
 pub fn analyze(files: &[SrcFile], cfg: &Config) -> Vec<Violation> {
@@ -125,11 +151,18 @@ pub fn analyze(files: &[SrcFile], cfg: &Config) -> Vec<Violation> {
         })
         .collect();
 
+    // One call graph over library code, shared by the interprocedural
+    // passes. Tests, benches, and binaries never join the graph.
+    let graph = graph::CallGraph::build(&parsed, |p| cfg.is_non_library_path(p));
+
     let mut out = Vec::new();
     passes::determinism(&parsed, cfg, &mut out);
-    passes::panic_freedom(&parsed, cfg, &mut out);
+    passes::panic_freedom(&parsed, cfg, &graph, &mut out);
     passes::hygiene(&parsed, cfg, &mut out);
-    passes::hotpath(&parsed, cfg, &mut out);
+    passes::hotpath(cfg, &graph, &mut out);
+    passes::borrowcell(cfg, &graph, &mut out);
+    passes::namereg(&parsed, cfg, &mut out);
+    passes::hashorder(&parsed, cfg, &mut out);
 
     let allows: HashMap<&str, &[Allow]> = parsed
         .iter()

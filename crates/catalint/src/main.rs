@@ -3,31 +3,49 @@
 //! Exit codes: 0 = clean (baseline respected), 1 = new violations,
 //! 2 = usage or I/O error.
 
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use catalint::baseline::{render_baseline, summarize};
-use catalint::{check_workspace, find_workspace_root, CatalintError};
+use catalint::passes::{severity, ALL_PASSES};
+use catalint::{check_workspace, find_workspace_root, CatalintError, CheckOutcome, Violation};
 
 struct Args {
     root: Option<PathBuf>,
     baseline_out: bool,
+    emit: Emit,
+    explain: Option<String>,
 }
 
-const USAGE: &str = "usage: catalint [--root DIR] [--write-baseline]
+#[derive(PartialEq)]
+enum Emit {
+    Text,
+    Json,
+    Schema,
+}
+
+const USAGE: &str = "usage: catalint [--root DIR] [--write-baseline] [--emit text|json|schema]
+                [--explain PASS]
 
 Checks the workspace against its mechanical invariants (determinism,
-panic-free image parsing, restore hot-path copy discipline, error
-hygiene) and diffs the findings against catalint.toml.
+panic-free image parsing, restore hot-path copy discipline, RefCell guard
+discipline, metric-name registry use, hash-order hygiene, error hygiene)
+and diffs the findings against catalint.toml.
 
   --root DIR          workspace root (default: walk up from the cwd)
   --write-baseline    rewrite catalint.toml from the current findings
+  --emit json         machine-readable findings on stdout (stable schema)
+  --emit schema       print the JSON output schema and exit
+  --explain PASS      print what a pass checks, why, and how to fix findings
 ";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
         baseline_out: false,
+        emit: Emit::Text,
+        explain: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -37,6 +55,19 @@ fn parse_args() -> Result<Args, String> {
                 args.root = Some(PathBuf::from(v));
             }
             "--write-baseline" => args.baseline_out = true,
+            "--emit" => {
+                let v = it.next().ok_or("--emit needs a value (text|json|schema)")?;
+                args.emit = match v.as_str() {
+                    "text" => Emit::Text,
+                    "json" => Emit::Json,
+                    "schema" => Emit::Schema,
+                    other => return Err(format!("unknown --emit format `{other}`")),
+                };
+            }
+            "--explain" => {
+                let v = it.next().ok_or("--explain needs a pass name")?;
+                args.explain = Some(v);
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -66,6 +97,26 @@ fn main() -> ExitCode {
 }
 
 fn run(args: Args) -> Result<ExitCode, CatalintError> {
+    if let Some(pass) = &args.explain {
+        return Ok(match explain(pass) {
+            Some(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "catalint: unknown pass `{pass}` (passes: {})",
+                    ALL_PASSES.join(", ")
+                );
+                ExitCode::from(2)
+            }
+        });
+    }
+    if args.emit == Emit::Schema {
+        print!("{}", JSON_SCHEMA);
+        return Ok(ExitCode::SUCCESS);
+    }
+
     let root = match args.root {
         Some(r) => r,
         None => {
@@ -111,6 +162,15 @@ fn run(args: Args) -> Result<ExitCode, CatalintError> {
         return Ok(ExitCode::SUCCESS);
     }
 
+    if args.emit == Emit::Json {
+        print!("{}", render_json(&outcome));
+        return Ok(if outcome.diff.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+
     println!(
         "catalint: scanned {} file(s), {} finding(s) total",
         outcome.files_scanned,
@@ -145,4 +205,193 @@ fn run(args: Args) -> Result<ExitCode, CatalintError> {
          genuinely intended, amend catalint.toml in the same change (see DESIGN.md)."
     );
     Ok(ExitCode::FAILURE)
+}
+
+// ---------------------------------------------------------------------------
+// --emit json
+// ---------------------------------------------------------------------------
+
+/// The stable shape of `--emit json` output, printed by `--emit schema`
+/// and pinned by `tools/catalint-schema.json`. Bump `version` on any
+/// incompatible change.
+const JSON_SCHEMA: &str = r#"{
+  "$comment": "catalint --emit json output schema, version 1",
+  "type": "object",
+  "properties": {
+    "version": { "type": "integer", "const": 1 },
+    "findings": {
+      "type": "array",
+      "items": {
+        "type": "object",
+        "properties": {
+          "pass": { "type": "string" },
+          "severity": { "enum": ["error", "warning"] },
+          "file": { "type": "string" },
+          "line": { "type": "integer" },
+          "function": { "type": "string" },
+          "chain": { "type": "array", "items": { "type": "string" } },
+          "message": { "type": "string" }
+        },
+        "required": ["pass", "severity", "file", "line", "function", "chain", "message"]
+      }
+    },
+    "summary": {
+      "type": "object",
+      "properties": {
+        "files_scanned": { "type": "integer" },
+        "findings": { "type": "integer" },
+        "above_baseline": { "type": "integer" },
+        "clean": { "type": "boolean" }
+      },
+      "required": ["files_scanned", "findings", "above_baseline", "clean"]
+    }
+  },
+  "required": ["version", "findings", "summary"]
+}
+"#;
+
+fn render_json(outcome: &CheckOutcome) -> String {
+    let mut s = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, v) in outcome.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    ");
+        s.push_str(&finding_json(v));
+    }
+    if !outcome.violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    let above: u32 = outcome
+        .diff
+        .exceeded
+        .iter()
+        .map(|ex| ex.entry.count.saturating_sub(ex.allowed))
+        .sum();
+    let _ = write!(
+        s,
+        "],\n  \"summary\": {{ \"files_scanned\": {}, \"findings\": {}, \
+         \"above_baseline\": {}, \"clean\": {} }}\n}}\n",
+        outcome.files_scanned,
+        outcome.violations.len(),
+        above,
+        outcome.diff.is_clean()
+    );
+    s
+}
+
+fn finding_json(v: &Violation) -> String {
+    let chain = v
+        .chain
+        .iter()
+        .map(|c| json_str(c))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{ \"pass\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \
+         \"function\": {}, \"chain\": [{}], \"message\": {} }}",
+        json_str(v.pass),
+        json_str(severity(v.pass)),
+        json_str(&v.file),
+        v.line,
+        json_str(&v.func),
+        chain,
+        json_str(&v.what),
+    )
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// --explain
+// ---------------------------------------------------------------------------
+
+fn explain(pass: &str) -> Option<&'static str> {
+    Some(match pass {
+        "determinism" => {
+            "determinism — simulated time and seeded randomness only.\n\n\
+             Every latency figure this repo reports is virtual (simtime); one\n\
+             `Instant::now()`, `thread::sleep`, or ambient RNG makes runs\n\
+             non-reproducible and the BENCH_*.json byte-identity gates\n\
+             meaningless.\n\n\
+             Fix: take a `&SimClock` and charge costs; seed `StdRng` explicitly.\n"
+        }
+        "panic" => {
+            "panic — panic-freedom in (and reachable from) image parsing.\n\n\
+             Func-images and checkpoints are untrusted input to the restore\n\
+             path. The configured parse modules must return ImageError-style\n\
+             results: no unwrap/expect, no panicking macros, no lossy `as`\n\
+             casts, no unchecked indexing. Interprocedurally, a parse function\n\
+             whose precise call chain reaches `.unwrap()`/`panic!` in a helper\n\
+             outside the parse set is flagged with the full call chain.\n\n\
+             Fix: return typed errors (`try_into`, `get()`, `ok_or`); findings\n\
+             print the root → … → sink chain to follow.\n"
+        }
+        "hotpath" => {
+            "hotpath — no eager full-buffer copies on the restore path.\n\n\
+             Overlay memory (paper §3.1) exists so Base-EPT pages are shared,\n\
+             not copied; an eager `to_vec()`/`extend_from_slice` anywhere\n\
+             reachable from the restore roots quietly re-introduces the cost\n\
+             the design removes. Reachability is computed on the workspace\n\
+             call graph from the configured roots (restore_boot, load_page, …)\n\
+             and each finding carries its root → … → sink call chain.\n\n\
+             Fix: slice shared buffers (`Bytes::slice`), share instead of\n\
+             copy, or — if genuinely off the hot path — adjust the stop list\n\
+             in catalint's config with a review.\n"
+        }
+        "borrowcell" => {
+            "borrowcell — RefCell borrow guards must stay short-lived.\n\n\
+             A `borrow_mut()` guard held across `?` keeps the cell locked on\n\
+             early return; held across a call that can reach another\n\
+             `borrow_mut()` it is one refactor away from a runtime\n\
+             double-borrow panic (the Rc<RefCell<FaultInjector>> threading\n\
+             through engine/gateway/pool/resilience/boot is the live hazard).\n\n\
+             Fix: end the borrow before `?` (bind the result, drop the guard),\n\
+             or move the logic into a method on the cell's owner so the borrow\n\
+             spans a single statement.\n"
+        }
+        "namereg" => {
+            "namereg — metric/span names come from simtime::names.\n\n\
+             Bench validators match emitter names byte-for-byte; a typo in a\n\
+             string literal silently zeroes a metric. String literals with a\n\
+             registry prefix (boot., invoke., pool., fault:, sandbox:, …) in\n\
+             library code must be the `simtime::names` constant or helper.\n\n\
+             Fix: use (or add) the constant in crates/simtime/src/names.rs.\n"
+        }
+        "hashorder" => {
+            "hashorder — no hash-order leaks into consumed iteration.\n\n\
+             Iterating a HashMap/HashSet yields platform/seed-dependent order;\n\
+             feeding that into serialized output or exported data breaks\n\
+             byte-identical reproduction. Order-insensitive reductions\n\
+             (sum/count/any/…) and statements that sort or collect into BTree\n\
+             collections are fine.\n\n\
+             Fix: use BTreeMap/BTreeSet for iterated collections, or sort\n\
+             before the order escapes.\n"
+        }
+        "hygiene" => {
+            "hygiene — public library functions return crate error types.\n\n\
+             `Box<dyn Error>` erases the failure mode; callers (the fallback\n\
+             ladder, the breaker) match on typed errors to decide recovery.\n\n\
+             Fix: return the crate's error enum and convert with `From`.\n"
+        }
+        _ => return None,
+    })
 }

@@ -1,40 +1,79 @@
-//! The four invariant passes.
+//! The seven invariant passes.
 //!
 //! Each pass is a pattern scan over token trees (see [`crate::lexer`]);
-//! none of them type-check. They are tuned so that false positives land in
-//! the reviewed baseline rather than blocking work, while regressions on
-//! the invariants the paper's numbers depend on fail loudly:
+//! the interprocedural ones additionally consult the approximate call
+//! graph (see [`crate::graph`]). None of them type-check. They are tuned
+//! so that false positives stay rare enough to fix on the spot — the
+//! baseline is empty and must stay empty — while regressions on the
+//! invariants the paper's numbers depend on fail loudly:
 //!
 //! - **determinism** — simulated time and seeded randomness only. A stray
 //!   `Instant::now()` silently turns reproducible latency figures into
 //!   noise.
 //! - **panic** — image parsing must return [`imagefmt::ImageError`]-style
 //!   errors, never panic: a func-image is untrusted input to the restore
-//!   path.
-//! - **hotpath** — functions reachable from the restore roots must not
-//!   eagerly copy full buffers; overlay memory exists precisely so that
-//!   Base-EPT pages are shared, not copied.
+//!   path. Interprocedural: a checked parse function calling a panicking
+//!   helper *outside* the hand-listed parse files is flagged with the full
+//!   call chain.
+//! - **hotpath** — functions graph-reachable from the restore roots must
+//!   not eagerly copy full buffers; overlay memory exists precisely so
+//!   that Base-EPT pages are shared, not copied. Findings carry their
+//!   root→sink call chain.
+//! - **borrowcell** — a `RefCell::borrow_mut()` guard held across `?` or
+//!   across a call that can re-enter a cell is one refactor away from a
+//!   runtime double-borrow panic.
+//! - **namereg** — metric/span name literals must come from the
+//!   `simtime::names` registry so emitters and bench validators cannot
+//!   drift apart.
+//! - **hashorder** — iterating a `HashMap`/`HashSet` leaks hash order into
+//!   whatever consumes the loop; exported output must use ordered
+//!   collections or sort first.
 //! - **hygiene** — public library functions return crate error types, not
 //!   `Box<dyn Error>`, so callers can match on failure modes.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::config::Config;
+use crate::graph::{CallGraph, EdgeKind};
 use crate::lexer::{Delim, Tok};
 use crate::segment::is_keyword;
 use crate::{ParsedFile, Violation};
 
 /// Pass name: simulated-time / seeded-randomness discipline.
 pub const PASS_DETERMINISM: &str = "determinism";
-/// Pass name: panic-freedom in image-parsing modules.
+/// Pass name: panic-freedom in (and reachable from) image-parsing modules.
 pub const PASS_PANIC: &str = "panic";
 /// Pass name: no eager copies on the restore hot path.
 pub const PASS_HOTPATH: &str = "hotpath";
+/// Pass name: `RefCell` guard discipline.
+pub const PASS_BORROWCELL: &str = "borrowcell";
+/// Pass name: metric/span names come from the `simtime::names` registry.
+pub const PASS_NAMEREG: &str = "namereg";
+/// Pass name: no hash-order leaks into consumed iteration.
+pub const PASS_HASHORDER: &str = "hashorder";
 /// Pass name: public API error hygiene.
 pub const PASS_HYGIENE: &str = "hygiene";
 
 /// All pass names, for validating baselines and allow directives.
-pub const ALL_PASSES: [&str; 4] = [PASS_DETERMINISM, PASS_PANIC, PASS_HOTPATH, PASS_HYGIENE];
+pub const ALL_PASSES: [&str; 7] = [
+    PASS_DETERMINISM,
+    PASS_PANIC,
+    PASS_HOTPATH,
+    PASS_BORROWCELL,
+    PASS_NAMEREG,
+    PASS_HASHORDER,
+    PASS_HYGIENE,
+];
+
+/// Severity of a pass's findings, for machine-readable output. `error`
+/// passes guard properties whose violation breaks the paper's claims or
+/// panics at runtime; `warning` passes guard conventions. Both gate.
+pub fn severity(pass: &str) -> &'static str {
+    match pass {
+        PASS_DETERMINISM | PASS_PANIC | PASS_HOTPATH | PASS_BORROWCELL => "error",
+        _ => "warning",
+    }
+}
 
 /// Function name used for findings in top-level (non-fn) tokens.
 pub const MODULE_SCOPE: &str = "<module>";
@@ -53,6 +92,7 @@ fn push(
         func: func.to_string(),
         line,
         what,
+        chain: Vec::new(),
     });
 }
 
@@ -145,8 +185,15 @@ fn prev_blocks_bare_sleep(toks: &[Tok], i: usize) -> bool {
 // panic
 // ---------------------------------------------------------------------------
 
-/// Flags panic sources in the configured parse modules.
-pub(crate) fn panic_freedom(parsed: &[ParsedFile], cfg: &Config, out: &mut Vec<Violation>) {
+/// Flags panic sources in the configured parse modules, plus — via the
+/// call graph — parse functions whose precise call chains reach a
+/// hard-panicking helper outside the parse set.
+pub(crate) fn panic_freedom(
+    parsed: &[ParsedFile],
+    cfg: &Config,
+    graph: &CallGraph<'_>,
+    out: &mut Vec<Violation>,
+) {
     for pf in parsed {
         if !cfg.is_parse_file(&pf.path) {
             continue;
@@ -155,6 +202,116 @@ pub(crate) fn panic_freedom(parsed: &[ParsedFile], cfg: &Config, out: &mut Vec<V
             scan_panic(&f.body, &pf.path, &f.name, out);
         }
         scan_panic(&pf.items.loose, &pf.path, MODULE_SCOPE, out);
+    }
+    panic_interprocedural(cfg, graph, out);
+}
+
+/// Maximum chain length followed from a parse function. Beyond this the
+/// chain is too indirect to act on and too fuzzy to trust.
+const PANIC_CHAIN_DEPTH: usize = 5;
+
+fn panic_interprocedural(cfg: &Config, graph: &CallGraph<'_>, out: &mut Vec<Violation>) {
+    // Hard-panic sites (unwrap/expect/panic!/…) per node. Lossy casts and
+    // indexing are *not* propagated interprocedurally: they are style
+    // requirements for parse modules themselves, and following them across
+    // the workspace would flag nearly every helper.
+    let hard: Vec<Vec<(u32, String)>> = graph
+        .items
+        .iter()
+        .map(|f| {
+            let mut sites = Vec::new();
+            scan_hard_panics(&f.body, &mut sites);
+            sites
+        })
+        .collect();
+
+    for root in 0..graph.nodes.len() {
+        if !cfg.is_parse_file(&graph.nodes[root].file) {
+            continue;
+        }
+        // Depth-capped BFS over precise edges only: a fuzzy panic edge
+        // would tie every parser to every `get` in the workspace.
+        let mut parent: Vec<Option<(usize, u32)>> = vec![None; graph.nodes.len()];
+        let mut depth = vec![0usize; graph.nodes.len()];
+        let mut seen = vec![false; graph.nodes.len()];
+        seen[root] = true;
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        queue.push_back(root);
+        while let Some(ix) = queue.pop_front() {
+            if depth[ix] >= PANIC_CHAIN_DEPTH {
+                continue;
+            }
+            for site in &graph.calls[ix] {
+                for &(t, kind) in &site.targets {
+                    if kind != EdgeKind::Precise || seen[t] {
+                        continue;
+                    }
+                    seen[t] = true;
+                    parent[t] = Some((ix, site.line));
+                    depth[t] = depth[ix] + 1;
+                    queue.push_back(t);
+                }
+            }
+        }
+        for ix in 0..graph.nodes.len() {
+            if !seen[ix] || ix == root || cfg.is_parse_file(&graph.nodes[ix].file) {
+                continue;
+            }
+            let Some((_, first_panic)) = hard[ix].first().map(|(l, w)| (l, w.clone())) else {
+                continue;
+            };
+            // Reconstruct root→sink chain and the call-site line in `root`.
+            let mut rev = vec![graph.nodes[ix].name.clone()];
+            let mut cur = ix;
+            let mut call_line = graph.nodes[root].line;
+            while let Some((p, line)) = parent[cur] {
+                if p == root {
+                    call_line = line;
+                }
+                rev.push(graph.nodes[p].name.clone());
+                cur = p;
+            }
+            rev.reverse();
+            out.push(Violation {
+                pass: PASS_PANIC,
+                file: graph.nodes[root].file.clone(),
+                func: graph.nodes[root].name.clone(),
+                line: call_line,
+                what: format!(
+                    "calls `{}` ({}) which can panic: {first_panic}",
+                    graph.nodes[ix].name, graph.nodes[ix].file,
+                ),
+                chain: rev,
+            });
+        }
+    }
+}
+
+/// Collects genuine panic constructs (not casts or indexing).
+fn scan_hard_panics(toks: &[Tok], out: &mut Vec<(u32, String)>) {
+    for i in 0..toks.len() {
+        match &toks[i] {
+            Tok::Ident(w, line)
+                if (w == "unwrap" || w == "expect")
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && next_is_paren(toks, i) =>
+            {
+                out.push((*line, format!(".{w}()")));
+            }
+            Tok::Ident(w, line)
+                if matches!(
+                    w.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
+            {
+                out.push((*line, format!("{w}!")));
+            }
+            _ => {}
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            scan_hard_panics(inner, out);
+        }
     }
 }
 
@@ -321,134 +478,30 @@ fn dyn_error_scan(toks: &[Tok], has_dyn: &mut bool, has_error: &mut bool) {
 // hotpath
 // ---------------------------------------------------------------------------
 
-/// Method/function names too generic to follow as name-based call edges:
-/// following `.get(…)` to every `get` in the workspace would make
-/// "reachable from the restore path" mean "everything". Qualified calls
-/// (`Type::new(…)`) are still followed precisely.
-const STOP_EDGES: [&str; 29] = [
-    "new",
-    "default",
-    "clone",
-    "from",
-    "into",
-    "len",
-    "is_empty",
-    "get",
-    "push",
-    "insert",
-    "remove",
-    "contains",
-    "iter",
-    "next",
-    "collect",
-    "map",
-    "filter",
-    "fmt",
-    "eq",
-    "ne",
-    "cmp",
-    "hash",
-    "drop",
-    "deref",
-    "to_string",
-    "as_ref",
-    "as_mut",
-    "min",
-    // `write` collides across the workspace: `AddressSpace::write` (restore
-    // side, page-granular by design) vs. the checkpoint serializers
-    // (`flat::write`, `classic::write`), which buffer freely off the hot
-    // path. A name-based graph cannot split them, so the edge is dropped.
-    "write",
-];
-
-/// Flags eager full-buffer copies in functions name-reachable from the
-/// configured restore roots.
-pub(crate) fn hotpath(parsed: &[ParsedFile], cfg: &Config, out: &mut Vec<Violation>) {
-    // Index every library function by bare and qualified name.
-    let mut fns: Vec<(&str, &crate::segment::FnItem)> = Vec::new();
-    for pf in parsed {
-        if cfg.is_non_library_path(&pf.path) {
+/// Flags eager full-buffer copies in functions graph-reachable from the
+/// configured restore roots. Every finding carries its root→sink chain.
+pub(crate) fn hotpath(cfg: &Config, graph: &CallGraph<'_>, out: &mut Vec<Violation>) {
+    let mut roots: Vec<usize> = Vec::new();
+    for name in &cfg.hot_roots {
+        roots.extend(graph.by_name(name));
+    }
+    // Missing a copy on the restore path is worse than over-reporting, so
+    // reachability follows fuzzy edges too; the stop list in graph.rs
+    // already prunes the meaningless ones.
+    let reach = graph.reach(&roots, |site, _| {
+        !cfg.hot_stops.iter().any(|s| s == &site.bare)
+    });
+    for ix in 0..graph.nodes.len() {
+        if !reach.seen[ix] {
             continue;
         }
-        for f in &pf.items.fns {
-            fns.push((pf.path.as_str(), f));
-        }
-    }
-    let mut by_bare: HashMap<&str, Vec<usize>> = HashMap::new();
-    let mut by_qual: HashMap<&str, Vec<usize>> = HashMap::new();
-    for (ix, (_, f)) in fns.iter().enumerate() {
-        by_bare.entry(f.name.as_str()).or_default().push(ix);
-        if let Some(q) = &f.qualified {
-            by_qual.entry(q.as_str()).or_default().push(ix);
-        }
-    }
-
-    // BFS over name-based call edges from the roots.
-    let mut reach = vec![false; fns.len()];
-    let mut queue: VecDeque<usize> = VecDeque::new();
-    for root in &cfg.hot_roots {
-        for &ix in by_bare.get(root.as_str()).into_iter().flatten() {
-            if !reach[ix] {
-                reach[ix] = true;
-                queue.push_back(ix);
-            }
-        }
-    }
-    while let Some(ix) = queue.pop_front() {
-        let mut callees = Vec::new();
-        collect_callees(&fns[ix].1.body, &mut callees);
-        for c in &callees {
-            let bare = c.rsplit("::").next().unwrap_or(c);
-            if cfg.hot_stops.iter().any(|s| s == bare) {
-                continue;
-            }
-            let targets: &[usize] = if c.contains("::") {
-                by_qual.get(c.as_str()).map_or(&[], Vec::as_slice)
-            } else if STOP_EDGES.contains(&c.as_str()) {
-                &[]
-            } else {
-                by_bare.get(c.as_str()).map_or(&[], Vec::as_slice)
-            };
-            for &t in targets {
-                if !reach[t] {
-                    reach[t] = true;
-                    queue.push_back(t);
-                }
-            }
-        }
-    }
-
-    for (ix, (file, f)) in fns.iter().enumerate() {
-        if reach[ix] {
-            scan_copies(&f.body, file, &f.name, out);
-        }
-    }
-}
-
-/// Collects callee names from a body: `foo(…)` and `.foo(…)` as bare names,
-/// `Type::foo(…)` qualified when `Type` is capitalised.
-fn collect_callees(toks: &[Tok], out: &mut Vec<String>) {
-    for i in 0..toks.len() {
-        if let Tok::Ident(w, _) = &toks[i] {
-            let is_def = i >= 1 && matches!(&toks[i - 1], Tok::Ident(k, _) if k == "fn");
-            if !is_keyword(w) && !is_def && next_is_paren(toks, i) {
-                let qualified = i >= 3 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':');
-                if qualified {
-                    match toks.get(i - 3) {
-                        Some(Tok::Ident(q, _))
-                            if q.chars().next().is_some_and(char::is_uppercase) =>
-                        {
-                            out.push(format!("{q}::{w}"));
-                        }
-                        _ => out.push(w.clone()),
-                    }
-                } else {
-                    out.push(w.clone());
-                }
-            }
-        }
-        if let Tok::Group(_, inner, _) = &toks[i] {
-            collect_callees(inner, out);
+        let chain = graph.chain(&reach, ix);
+        let node = &graph.nodes[ix];
+        let mut found = Vec::new();
+        scan_copies(&graph.items[ix].body, &node.file, &node.name, &mut found);
+        for mut v in found {
+            v.chain.clone_from(&chain);
+            out.push(v);
         }
     }
 }
@@ -511,4 +564,629 @@ fn scan_copies(toks: &[Tok], file: &str, func: &str, out: &mut Vec<Violation>) {
             scan_copies(inner, file, func, out);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// borrowcell
+// ---------------------------------------------------------------------------
+
+/// Flags `RefCell` borrow guards held too long: across a `?` (early return
+/// with the cell still locked) or across a call that can — via precise
+/// edges — reach another `borrow_mut()` (a latent double-borrow panic).
+pub(crate) fn borrowcell(_cfg: &Config, graph: &CallGraph<'_>, out: &mut Vec<Violation>) {
+    // Which nodes can reach a `.borrow_mut()` through precise edges.
+    let mut reaches_borrow: Vec<bool> = graph
+        .items
+        .iter()
+        .map(|f| body_has_borrow_mut(&f.body))
+        .collect();
+    // Fixpoint propagation backwards over precise edges. The graph is
+    // small; the loop terminates once no new node flips.
+    loop {
+        let mut changed = false;
+        for ix in 0..graph.nodes.len() {
+            if reaches_borrow[ix] {
+                continue;
+            }
+            let hit = graph.calls[ix].iter().any(|site| {
+                site.targets
+                    .iter()
+                    .any(|&(t, k)| k == EdgeKind::Precise && reaches_borrow[t])
+            });
+            if hit {
+                reaches_borrow[ix] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for ix in 0..graph.nodes.len() {
+        let node = &graph.nodes[ix];
+        scan_borrow_scope(
+            &graph.items[ix].body,
+            ix,
+            graph,
+            &reaches_borrow,
+            &node.file,
+            &node.name,
+            out,
+        );
+    }
+}
+
+fn body_has_borrow_mut(toks: &[Tok]) -> bool {
+    for i in 0..toks.len() {
+        if let Tok::Ident(w, _) = &toks[i] {
+            if w == "borrow_mut" && i > 0 && toks[i - 1].is_punct('.') && next_is_paren(toks, i) {
+                return true;
+            }
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            if body_has_borrow_mut(inner) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Scans one brace-scope's tokens; recurses into nested scopes.
+#[allow(clippy::too_many_arguments)]
+fn scan_borrow_scope(
+    toks: &[Tok],
+    node_ix: usize,
+    graph: &CallGraph<'_>,
+    reaches_borrow: &[bool],
+    file: &str,
+    func: &str,
+    out: &mut Vec<Violation>,
+) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Statement bounds at this level.
+        let stmt_end = toks[i..]
+            .iter()
+            .position(|t| t.is_punct(';'))
+            .map_or(toks.len(), |p| i + p);
+        let stmt = &toks[i..stmt_end];
+
+        if let Some((name, recv, line)) = named_guard(stmt) {
+            // Guard lives until `drop(name)` at this level or scope end.
+            let after = stmt_end.saturating_add(1).min(toks.len());
+            let live_end = find_drop(&toks[after..], &name).map_or(toks.len(), |p| after + p);
+            check_live_range(
+                &toks[after..live_end],
+                &recv,
+                &format!("guard `{name}`"),
+                line,
+                node_ix,
+                graph,
+                reaches_borrow,
+                file,
+                func,
+                out,
+            );
+        } else {
+            // Temporary borrows: the guard lives to the statement's end.
+            for (off, recv, line) in temp_borrows(stmt) {
+                check_live_range(
+                    &stmt[off..],
+                    &recv,
+                    "temporary guard",
+                    line,
+                    node_ix,
+                    graph,
+                    reaches_borrow,
+                    file,
+                    func,
+                    out,
+                );
+            }
+        }
+
+        // Recurse into nested scopes inside this statement.
+        for t in stmt {
+            if let Tok::Group(_, inner, _) = t {
+                scan_borrow_scope(inner, node_ix, graph, reaches_borrow, file, func, out);
+            }
+        }
+        i = stmt_end.saturating_add(1);
+    }
+}
+
+/// Matches exactly `let [mut] name = <recv-chain>.borrow_mut();` — the
+/// binding *is* the guard. Returns (name, receiver text, line).
+fn named_guard(stmt: &[Tok]) -> Option<(String, String, u32)> {
+    let mut i = 0;
+    if stmt.first()?.ident()? != "let" {
+        return None;
+    }
+    i += 1;
+    if stmt.get(i)?.ident() == Some("mut") {
+        i += 1;
+    }
+    let name = stmt.get(i)?.ident()?.to_string();
+    i += 1;
+    if !stmt.get(i)?.is_punct('=') {
+        return None;
+    }
+    i += 1;
+    // Receiver chain: idents and dots up to `borrow_mut`.
+    let recv_start = i;
+    while let Some(t) = stmt.get(i) {
+        match t {
+            Tok::Ident(w, line) if w == "borrow_mut" => {
+                // Must be `.borrow_mut()` and the final expression.
+                let dotted = i > recv_start && stmt[i - 1].is_punct('.');
+                let call = matches!(stmt.get(i + 1), Some(Tok::Group(Delim::Paren, _, _)));
+                let last = i + 2 == stmt.len();
+                if dotted && call && last {
+                    let recv = render_chain(&stmt[recv_start..i - 1]);
+                    return Some((name, recv, *line));
+                }
+                return None;
+            }
+            Tok::Ident(_, _) | Tok::Punct('.', _) => i += 1,
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Finds `drop ( name )` at this token level.
+fn find_drop(toks: &[Tok], name: &str) -> Option<usize> {
+    for i in 0..toks.len() {
+        if toks[i].ident() == Some("drop") {
+            if let Some(Tok::Group(Delim::Paren, inner, _)) = toks.get(i + 1) {
+                if matches!(inner.as_slice(), [Tok::Ident(n, _)] if n == name) {
+                    return Some(i);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `.borrow_mut()` calls at this statement level that are *not* the final
+/// expression of a `let` guard; returns (index after the call, receiver,
+/// line) for each.
+fn temp_borrows(stmt: &[Tok]) -> Vec<(usize, String, u32)> {
+    let mut found = Vec::new();
+    for i in 0..stmt.len() {
+        if let Tok::Ident(w, line) = &stmt[i] {
+            if w == "borrow_mut" && i > 0 && stmt[i - 1].is_punct('.') && next_is_paren(stmt, i) {
+                let recv_start = chain_start(stmt, i - 1);
+                let recv = render_chain(&stmt[recv_start..i - 1]);
+                found.push((i + 2, recv, *line));
+            }
+        }
+    }
+    found
+}
+
+/// Walks backwards over `ident . ident . …` to the start of the receiver.
+fn chain_start(toks: &[Tok], dot: usize) -> usize {
+    let mut i = dot;
+    while i > 0 {
+        match &toks[i - 1] {
+            Tok::Ident(_, _) | Tok::Punct('.', _) => i -= 1,
+            _ => break,
+        }
+    }
+    i
+}
+
+fn render_chain(toks: &[Tok]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        match t {
+            Tok::Ident(w, _) => s.push_str(w),
+            Tok::Punct('.', _) => s.push('.'),
+            _ => {}
+        }
+    }
+    s
+}
+
+/// Scans a live range (recursively, nested groups included) for hazards
+/// while a `borrow_mut` guard on `recv` is held.
+#[allow(clippy::too_many_arguments)]
+fn check_live_range(
+    toks: &[Tok],
+    recv: &str,
+    guard_desc: &str,
+    guard_line: u32,
+    node_ix: usize,
+    graph: &CallGraph<'_>,
+    reaches_borrow: &[bool],
+    file: &str,
+    func: &str,
+    out: &mut Vec<Violation>,
+) {
+    for i in 0..toks.len() {
+        match &toks[i] {
+            Tok::Punct('?', line) => {
+                push(
+                    out,
+                    PASS_BORROWCELL,
+                    file,
+                    func,
+                    *line,
+                    format!(
+                        "{guard_desc} from `{recv}.borrow_mut()` (line {guard_line}) held \
+                         across `?`; end the borrow before propagating errors"
+                    ),
+                );
+                // One finding per guard is enough.
+                return;
+            }
+            Tok::Ident(w, line)
+                if (w == "borrow" || w == "borrow_mut")
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && next_is_paren(toks, i) =>
+            {
+                let rs = chain_start(toks, i - 1);
+                if render_chain(&toks[rs..i - 1]) == recv {
+                    push(
+                        out,
+                        PASS_BORROWCELL,
+                        file,
+                        func,
+                        *line,
+                        format!(
+                            "`{recv}.{w}()` while {guard_desc} from `{recv}.borrow_mut()` \
+                             (line {guard_line}) is live — guaranteed double-borrow panic"
+                        ),
+                    );
+                    return;
+                }
+            }
+            Tok::Ident(w, line) if !is_keyword(w) && next_is_paren(toks, i) => {
+                // A call that can re-enter a RefCell. Only precise edges:
+                // a fuzzy match would tie every method name to every cell.
+                let reenters = graph.calls[node_ix].iter().any(|site| {
+                    site.line == *line
+                        && site.bare == *w
+                        && site
+                            .targets
+                            .iter()
+                            .any(|&(t, k)| k == EdgeKind::Precise && reaches_borrow[t])
+                });
+                if reenters {
+                    push(
+                        out,
+                        PASS_BORROWCELL,
+                        file,
+                        func,
+                        *line,
+                        format!(
+                            "call to `{w}` while {guard_desc} from `{recv}.borrow_mut()` \
+                             (line {guard_line}) is live; `{w}` can reach another \
+                             `borrow_mut()`"
+                        ),
+                    );
+                    return;
+                }
+            }
+            _ => {}
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            check_live_range(
+                inner,
+                recv,
+                guard_desc,
+                guard_line,
+                node_ix,
+                graph,
+                reaches_borrow,
+                file,
+                func,
+                out,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// namereg
+// ---------------------------------------------------------------------------
+
+/// Metric/span name prefixes owned by the `simtime::names` registry. A
+/// string literal starting with one of these, anywhere in library code
+/// outside the registry itself, must be replaced by the registry constant
+/// (or helper) so emitters and bench validators cannot drift.
+pub const NAME_PREFIXES: [&str; 21] = [
+    "boot.",
+    "exec.",
+    "invoke.",
+    "invoke:",
+    "fault.",
+    "fault:",
+    "pool.",
+    "breaker.",
+    "admit.",
+    "shed.",
+    "fallback.",
+    "quarantine.",
+    "scaling.",
+    "warm.",
+    "sandbox:",
+    "sfork:",
+    "app:",
+    "restore:",
+    "map-file:",
+    "mem:",
+    "io:",
+];
+
+/// Flags registry-grammar string literals outside `simtime::names`.
+pub(crate) fn namereg(parsed: &[ParsedFile], cfg: &Config, out: &mut Vec<Violation>) {
+    for pf in parsed {
+        if cfg.is_non_library_path(&pf.path) || cfg.is_namereg_exempt(&pf.path) {
+            continue;
+        }
+        for f in &pf.items.fns {
+            scan_names(&f.body, &pf.path, &f.name, out);
+        }
+        scan_names(&pf.items.loose, &pf.path, MODULE_SCOPE, out);
+    }
+}
+
+fn scan_names(toks: &[Tok], file: &str, func: &str, out: &mut Vec<Violation>) {
+    for t in toks {
+        match t {
+            Tok::Str(s, line) => {
+                // Metric/span names never contain spaces; a literal with one
+                // is prose (an error message) that merely shares a prefix.
+                if s.contains(' ') {
+                    continue;
+                }
+                if let Some(prefix) = NAME_PREFIXES.iter().find(|p| s.starts_with(*p)) {
+                    push(
+                        out,
+                        PASS_NAMEREG,
+                        file,
+                        func,
+                        *line,
+                        format!(
+                            "metric/span name literal \"{s}\" (registry prefix `{prefix}`); \
+                             use the simtime::names constant or helper"
+                        ),
+                    );
+                }
+            }
+            Tok::Group(_, inner, _) => scan_names(inner, file, func, out),
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// hashorder
+// ---------------------------------------------------------------------------
+
+/// Names of order-insensitive reductions: iterating a hash collection into
+/// one of these cannot leak hash order into output.
+const ORDER_FREE: [&str; 8] = [
+    "sum", "count", "any", "all", "max", "min", "contains", "fold",
+];
+
+/// Names that impose an order before the iteration escapes.
+const ORDERERS: [&str; 6] = [
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "BTreeMap",
+    "BTreeSet",
+];
+
+/// Flags iteration over `HashMap`/`HashSet` locals, params, and same-file
+/// struct fields, unless the statement reduces order-insensitively or
+/// re-orders (sort / BTree collect).
+pub(crate) fn hashorder(parsed: &[ParsedFile], cfg: &Config, out: &mut Vec<Violation>) {
+    for pf in parsed {
+        if cfg.is_non_library_path(&pf.path) {
+            continue;
+        }
+        // Struct fields of hash-collection type anywhere in this file.
+        let mut fields: Vec<String> = Vec::new();
+        collect_hash_fields(&pf.items.loose, &mut fields);
+        for f in &pf.items.fns {
+            let mut tracked = fields.clone();
+            collect_hash_params(&f.sig, &mut tracked);
+            scan_hash_iter(&f.body, &mut tracked, &pf.path, &f.name, out);
+        }
+    }
+}
+
+/// Field declarations `name: …HashMap…,` inside struct brace groups.
+fn collect_hash_fields(toks: &[Tok], out: &mut Vec<String>) {
+    for i in 0..toks.len() {
+        if toks[i].ident() == Some("struct") {
+            if let Some(Tok::Group(Delim::Brace, inner, _)) = toks
+                .iter()
+                .skip(i + 1)
+                .find(|t| matches!(t, Tok::Group(Delim::Brace, _, _) | Tok::Punct(';', _)))
+            {
+                collect_typed_names(inner, out);
+            }
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            collect_hash_fields(inner, out);
+        }
+    }
+}
+
+/// `name: …Hash{Map,Set}…` declarations up to the next `,` at this level.
+fn collect_typed_names(toks: &[Tok], out: &mut Vec<String>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let (Some(Tok::Ident(name, _)), Some(t)) = (toks.get(i), toks.get(i + 1)) {
+            if t.is_punct(':') && !is_keyword(name) {
+                let end = toks[i + 2..]
+                    .iter()
+                    .position(|t| t.is_punct(','))
+                    .map_or(toks.len(), |p| i + 2 + p);
+                let is_hash = toks[i + 2..end]
+                    .iter()
+                    .any(|t| matches!(t.ident(), Some("HashMap" | "HashSet")));
+                if is_hash {
+                    out.push(name.clone());
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+fn collect_hash_params(sig: &[Tok], out: &mut Vec<String>) {
+    if let Some(Tok::Group(Delim::Paren, inner, _)) = sig.first() {
+        collect_typed_names(inner, out);
+    }
+}
+
+fn scan_hash_iter(
+    toks: &[Tok],
+    tracked: &mut Vec<String>,
+    file: &str,
+    func: &str,
+    out: &mut Vec<Violation>,
+) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        let stmt_end = toks[i..]
+            .iter()
+            .position(|t| t.is_punct(';'))
+            .map_or(toks.len(), |p| i + p);
+        let stmt = &toks[i..stmt_end];
+
+        // `let [mut] name` whose statement mentions HashMap/HashSet.
+        if stmt.first().and_then(Tok::ident) == Some("let") {
+            let mut j = 1;
+            if stmt.get(j).and_then(Tok::ident) == Some("mut") {
+                j += 1;
+            }
+            if let Some(Tok::Ident(name, _)) = stmt.get(j) {
+                let mentions_hash = stmt
+                    .iter()
+                    .any(|t| flat_has(t, &["HashMap", "HashSet"][..]));
+                if mentions_hash {
+                    tracked.push(name.clone());
+                }
+            }
+        }
+
+        check_hash_stmt(stmt, tracked, file, func, out);
+
+        for t in stmt {
+            if let Tok::Group(_, inner, _) = t {
+                scan_hash_iter(inner, tracked, file, func, out);
+            }
+        }
+        i = stmt_end.saturating_add(1);
+    }
+}
+
+fn flat_has(t: &Tok, names: &[&str]) -> bool {
+    match t {
+        Tok::Ident(w, _) => names.contains(&w.as_str()),
+        Tok::Group(_, inner, _) => inner.iter().any(|t| flat_has(t, names)),
+        _ => false,
+    }
+}
+
+/// Iteration methods whose results carry hash order.
+const ITER_METHODS: [&str; 5] = ["iter", "keys", "values", "drain", "into_iter"];
+
+fn check_hash_stmt(
+    stmt: &[Tok],
+    tracked: &[String],
+    file: &str,
+    func: &str,
+    out: &mut Vec<Violation>,
+) {
+    for i in 0..stmt.len() {
+        let Tok::Ident(w, line) = &stmt[i] else {
+            continue;
+        };
+        // `name.iter()` / `self.field.keys()` / …
+        let method_on_tracked = ITER_METHODS.contains(&w.as_str())
+            && i > 0
+            && stmt[i - 1].is_punct('.')
+            && next_is_paren(stmt, i)
+            && receiver_is_tracked(stmt, i - 1, tracked);
+        // `for x in name` / `for x in &name`.
+        let for_over_tracked = w == "in"
+            && stmt.iter().take(i).any(|t| t.ident() == Some("for"))
+            && matches!(
+                next_non_amp(stmt, i + 1),
+                Some(Tok::Ident(n, _)) if tracked.contains(n)
+                    || (n == "self" && self_field_tracked(stmt, i + 1, tracked))
+            );
+        if !(method_on_tracked || for_over_tracked) {
+            continue;
+        }
+        // Order-insensitive or re-ordered in the same statement?
+        let rest = &stmt[i..];
+        let excused = rest.iter().any(|t| flat_has(t, &ORDER_FREE[..]))
+            || stmt.iter().any(|t| flat_has(t, &ORDERERS[..]));
+        if excused {
+            continue;
+        }
+        push(
+            out,
+            PASS_HASHORDER,
+            file,
+            func,
+            *line,
+            "HashMap/HashSet iteration leaks hash order; use BTreeMap/BTreeSet, \
+             sort first, or reduce order-insensitively"
+                .to_string(),
+        );
+    }
+}
+
+/// The receiver chain before `dot` ends in a tracked name (`counts` or
+/// `self.counts`).
+fn receiver_is_tracked(stmt: &[Tok], dot: usize, tracked: &[String]) -> bool {
+    let start = chain_start(stmt, dot);
+    let chain = render_chain(&stmt[start..dot]);
+    let last = chain.rsplit('.').next().unwrap_or(&chain);
+    tracked.iter().any(|t| t == last)
+}
+
+fn next_non_amp(stmt: &[Tok], mut i: usize) -> Option<&Tok> {
+    while stmt
+        .get(i)
+        .is_some_and(|t| t.is_punct('&') || matches!(t.ident(), Some("mut")))
+    {
+        i += 1;
+    }
+    stmt.get(i)
+}
+
+/// `for x in self.field` / `for x in &self.field` with `field` tracked.
+fn self_field_tracked(stmt: &[Tok], from: usize, tracked: &[String]) -> bool {
+    // Find `self` then `. field`.
+    let mut i = from;
+    while stmt
+        .get(i)
+        .is_some_and(|t| t.is_punct('&') || matches!(t.ident(), Some("mut")))
+    {
+        i += 1;
+    }
+    if stmt.get(i).and_then(Tok::ident) != Some("self") {
+        return false;
+    }
+    if !stmt.get(i + 1).is_some_and(|t| t.is_punct('.')) {
+        return false;
+    }
+    matches!(stmt.get(i + 2), Some(Tok::Ident(f, _)) if tracked.iter().any(|t| t == f))
 }

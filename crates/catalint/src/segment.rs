@@ -237,7 +237,7 @@ fn visibility_is_pub(toks: &[Tok], i: usize) -> bool {
             Tok::Ident(m, _) if matches!(m.as_str(), "async" | "unsafe" | "const" | "extern") => {
                 k -= 1
             }
-            Tok::Lit(_) => k -= 1, // the "C" in extern "C"
+            Tok::Lit(_) | Tok::Str(_, _) => k -= 1, // the "C" in extern "C"
             Tok::Ident(m, _) if m == "pub" => return true,
             Tok::Group(Delim::Paren, _, _) => {
                 // pub(crate)/pub(super)/pub(in …): restricted, not public API.

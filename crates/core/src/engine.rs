@@ -126,6 +126,35 @@ impl Catalyzer {
         Ok(())
     }
 
+    /// Performs the offline preparation `mode` requires: template
+    /// generation for fork boot, a simulated pre-existing instance for warm
+    /// boot, image compilation for cold boot.
+    ///
+    /// # Errors
+    ///
+    /// Substrate errors from template generation or the warm-up boot.
+    pub fn warm_for(
+        &mut self,
+        mode: BootMode,
+        profile: &AppProfile,
+        model: &CostModel,
+    ) -> Result<(), SandboxError> {
+        match mode {
+            BootMode::Fork => self.ensure_template(profile, model),
+            BootMode::Warm => {
+                if !self.store.contains(&profile.name) {
+                    // Warm boot presumes running instances: simulate the
+                    // pre-existing cold boot off the critical path.
+                    self.prewarm_image(profile, model)?;
+                    let mut warmup = BootCtx::fresh(model);
+                    self.boot(BootMode::Cold, profile, &mut warmup)?;
+                }
+                Ok(())
+            }
+            BootMode::Cold => self.prewarm_image(profile, model),
+        }
+    }
+
     /// Boots one instance with the requested mode.
     ///
     /// Warm boot keeps the Zygote pool topped up offline (a background
@@ -371,21 +400,11 @@ impl BootEngine for CatalyzerEngine {
     }
 
     fn warm(&mut self, profile: &AppProfile, model: &CostModel) -> Result<(), SandboxError> {
-        let mut system = self.inner.borrow_mut();
-        match self.current {
-            BootMode::Fork => system.ensure_template(profile, model),
-            BootMode::Warm => {
-                if !system.store.contains(&profile.name) {
-                    // Warm boot presumes running instances: simulate the
-                    // pre-existing cold boot off the critical path.
-                    system.prewarm_image(profile, model)?;
-                    let mut warmup = BootCtx::fresh(model);
-                    system.boot(BootMode::Cold, profile, &mut warmup)?;
-                }
-                Ok(())
-            }
-            BootMode::Cold => system.prewarm_image(profile, model),
-        }
+        // Single-statement borrow: the guard drops before the Result
+        // propagates, so no `?` ever fires while the cell is held.
+        self.inner
+            .borrow_mut()
+            .warm_for(self.current, profile, model)
     }
 
     fn boot(

@@ -22,6 +22,7 @@ use sandbox::{
     traced_boot, BootCtx, BootEngine, BootOutcome, IsolationLevel, SandboxError, PHASE_RESTORE_IO,
     PHASE_RESTORE_KERNEL, PHASE_RESTORE_MEMORY,
 };
+use simtime::names;
 use simtime::{CostModel, SimClock};
 
 use crate::store::FuncImageStore;
@@ -81,13 +82,13 @@ impl BootEngine for FirecrackerSnapshotEngine {
         traced_boot("FireCracker-snapshot", ctx, |ctx| {
             // VMM process + KVM resources — unchanged from stock FireCracker.
             let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
-            let config = ctx.span("sandbox:parse-config", |ctx| {
+            let config = ctx.span(names::PHASE_SANDBOX_PARSE_CONFIG, |ctx| {
                 OciConfig::parse(&json, ctx.clock(), ctx.model())
             })?;
-            ctx.span("sandbox:vmm-process", |ctx| {
+            ctx.span(names::PHASE_SANDBOX_VMM_PROCESS, |ctx| {
                 ctx.charge(ctx.model().host.process_spawn)
             });
-            ctx.span("sandbox:kvm-setup", |ctx| {
+            ctx.span(names::PHASE_SANDBOX_KVM_SETUP, |ctx| {
                 let mut kvm = KvmDevice::create(tweaks, ctx.clock(), ctx.model());
                 for _ in 0..config.vcpus {
                     kvm.create_vcpu(ctx.clock(), ctx.model());
@@ -118,7 +119,7 @@ impl BootEngine for FirecrackerSnapshotEngine {
                 let (base, step) = match &stored.base {
                     Some(base) => (Arc::clone(base), "share-mapping"),
                     None => {
-                        let base = ctx.span("map-file:build-base", |ctx| {
+                        let base = ctx.span(names::PHASE_MAP_FILE_BUILD_BASE, |ctx| {
                             stored.flat.build_base_layer(ctx.clock(), ctx.model())
                         })?;
                         stored.base = Some(Arc::clone(&base));
@@ -186,7 +187,7 @@ mod tests {
             let outcome = snap_engine.boot(&profile, &mut ctx).unwrap();
             assert!(outcome
                 .breakdown
-                .total_for("sandbox:guest-linux-boot")
+                .total_for(names::PHASE_SANDBOX_GUEST_LINUX_BOOT)
                 .is_zero());
             ctx.now()
         };

@@ -34,6 +34,7 @@ use sandbox::{
     traced_boot, BootCtx, BootOutcome, GvisorEngine, SandboxError, PHASE_RESTORE_IO,
     PHASE_RESTORE_KERNEL, PHASE_RESTORE_MEMORY,
 };
+use simtime::names;
 use simtime::SimClock;
 
 use crate::engine::BootMode;
@@ -64,7 +65,7 @@ pub(crate) fn restore_boot(
             }
             BootMode::Warm if config.zygotes => {
                 ctx.fault(InjectionPoint::ZygoteSpecialize)?;
-                ctx.span("sandbox:zygote-specialize", |ctx| {
+                ctx.span(names::PHASE_SANDBOX_ZYGOTE_SPECIALIZE, |ctx| {
                     let zygote = zygotes.take(ctx.clock(), ctx.model())?;
                     zygote.specialize(&profile.name, ctx.clock(), ctx.model())?;
                     Ok::<_, SandboxError>(AddressSpace::new(profile.name.clone()))
@@ -126,7 +127,7 @@ pub(crate) fn restore_boot(
                     Some(base) => (Arc::clone(base), "share-mapping"), // warm
                     None => {
                         // map-file (first cold boot builds the Base-EPT)
-                        let base = ctx.span("map-file:build-base", |ctx| {
+                        let base = ctx.span(names::PHASE_MAP_FILE_BUILD_BASE, |ctx| {
                             stored.flat.build_base_layer(ctx.clock(), ctx.model())
                         })?;
                         stored.base = Some(Arc::clone(&base));

@@ -22,6 +22,7 @@ use std::sync::Arc;
 use faultsim::InjectionPoint;
 use runtimes::{heap_page_byte, AppProfile, RuntimeKind, WrappedProgram};
 use sandbox::{traced_boot, BootCtx, BootOutcome, SandboxError};
+use simtime::names;
 use simtime::{CostModel, SimClock, SimNanos};
 
 use crate::CatalyzerConfig;
@@ -106,7 +107,7 @@ impl Template {
 
         // The sfork syscall: CoW-duplicate the address space (page-table
         // granularity) and the guest-kernel bookkeeping.
-        let space = ctx.span("sfork:syscall", |ctx| {
+        let space = ctx.span(names::PHASE_SFORK_SYSCALL, |ctx| {
             ctx.charge_span("trap", ctx.model().host.sfork_syscall);
             let tables = self.program.space.private_pages().div_ceil(PTE_TABLE_SPAN);
             ctx.charge_span(
@@ -115,23 +116,23 @@ impl Template {
             );
             self.program.space.sfork_clone(child_name.clone())
         })?;
-        let mut kernel = ctx.span("sfork:kernel-state", |ctx| {
+        let mut kernel = ctx.span(names::PHASE_SFORK_KERNEL_STATE, |ctx| {
             self.program
                 .kernel
                 .sfork_clone(child_name.clone(), ctx.clock(), ctx.model())
         });
         // PID/USER namespaces keep getpid()/getuid()-derived state valid.
-        ctx.span("sfork:namespaces", |ctx| {
+        ctx.span(names::PHASE_SFORK_NAMESPACES, |ctx| {
             ctx.charge(ctx.model().host.namespace_setup.saturating_mul(2));
         });
         // Child expands back to the full thread set (the single-thread merge
         // discipline is what makes this the fragile step: a fault here means
         // the template's merged thread state is corrupt).
         ctx.fault(InjectionPoint::SforkMerge)?;
-        ctx.span("sfork:expand-threads", |ctx| {
+        ctx.span(names::PHASE_SFORK_EXPAND_THREADS, |ctx| {
             kernel.sentry_threads.expand(ctx.clock(), ctx.model())
         })?;
-        let cookie = ctx.span("sfork:aslr", |ctx| {
+        let cookie = ctx.span(names::PHASE_SFORK_ASLR, |ctx| {
             if config.aslr_rerandomize {
                 ctx.charge(SimNanos::from_micros(80));
                 self.layout_cookie = self.layout_cookie.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
@@ -265,7 +266,7 @@ impl LanguageTemplate {
             // Load the function's own classes/modules (the paper: "the major
             // overhead ... is caused by loading Java class files of requested
             // functions").
-            ctx.span("app:load-function-units", |ctx| {
+            ctx.span(names::PHASE_APP_LOAD_FUNCTION_UNITS, |ctx| {
                 ctx.charge(
                     profile
                         .unit_cost
@@ -274,7 +275,7 @@ impl LanguageTemplate {
             });
             // Extend the heap to the function's footprint, really filling the
             // delta pages so the handler finds its initialized state.
-            ctx.span("app:function-heap", |ctx| {
+            ctx.span(names::PHASE_APP_FUNCTION_HEAP, |ctx| {
                 let base = Self::base_profile(self.runtime);
                 let from = base.heap_range().end;
                 let to = profile.heap_range().end;

@@ -27,6 +27,19 @@ use crate::net::SockState;
 use crate::tasks::{GuestThread, NamespaceInfo, Session, Task};
 use crate::KernelError;
 
+/// Length prefix for a collection. `usize` → `u64` cannot truncate on any
+/// supported target; saturate rather than panic if it ever could.
+fn len_u64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
+/// Encodes a guest fd for a checkpoint payload. Guest fds are never
+/// negative; a hypothetical negative one encodes as 0 rather than
+/// sign-extending into a huge u64.
+fn fd_u64(fd: i32) -> u64 {
+    u64::try_from(fd).unwrap_or(0)
+}
+
 impl GuestKernel {
     /// Serializes the kernel object graph into checkpoint records.
     ///
@@ -34,7 +47,7 @@ impl GuestKernel {
     /// sandbox's [`memsim::AddressSpace`]); combine both into an
     /// [`imagefmt::CheckpointSource`] at the sandbox layer.
     pub fn checkpoint_objects(&self) -> Vec<ObjRecord> {
-        let mut out = Vec::with_capacity(self.object_count() as usize);
+        let mut out = Vec::with_capacity(usize::try_from(self.object_count()).unwrap_or(0));
         let mut next_id: u64 = 1;
         let mut id = || {
             let v = next_id;
@@ -71,30 +84,36 @@ impl GuestKernel {
 
         // --- tasks + threads ---
         for task in self.tasks.tasks() {
+            // Ids were assigned from this same iteration just above; a miss
+            // is impossible, but the checkpoint writer must not panic.
+            let Some(&task_id) = task_ids.get(&task.pid) else {
+                continue;
+            };
             let mut payload = Vec::new();
             varint::put_u64(&mut payload, u64::from(task.pid));
             varint::put_u64(&mut payload, u64::from(task.ppid));
             varint::put_u64(&mut payload, u64::from(task.sid));
             varint::put_bytes(&mut payload, task.name.as_bytes());
-            let refs = task.threads.iter().map(|t| thread_ids[&t.tid]).collect();
-            out.push(ObjRecord::new(
-                task_ids[&task.pid],
-                ObjKind::Task,
-                0,
-                refs,
-                payload,
-            ));
+            let refs = task
+                .threads
+                .iter()
+                .filter_map(|t| thread_ids.get(&t.tid).copied())
+                .collect();
+            out.push(ObjRecord::new(task_id, ObjKind::Task, 0, refs, payload));
             for th in &task.threads {
+                let Some(&thread_id) = thread_ids.get(&th.tid) else {
+                    continue;
+                };
                 let mut p = Vec::new();
                 varint::put_u64(&mut p, u64::from(th.tid));
                 varint::put_u64(&mut p, th.context);
                 varint::put_u64(&mut p, th.blocked_on.map(|b| b + 1).unwrap_or(0));
                 varint::put_u64(&mut p, u64::from(task.pid));
                 out.push(ObjRecord::new(
-                    thread_ids[&th.tid],
+                    thread_id,
                     ObjKind::Thread,
                     0,
-                    vec![task_ids[&task.pid]],
+                    vec![task_id],
                     p,
                 ));
             }
@@ -130,7 +149,8 @@ impl GuestKernel {
             varint::put_u64(&mut p, d.parent.map(|x| u64::from(x) + 1).unwrap_or(0));
             let refs = d
                 .parent
-                .and_then(|i| dentry_ids.get(i as usize).copied())
+                .and_then(|i| usize::try_from(i).ok())
+                .and_then(|i| dentry_ids.get(i).copied())
                 .into_iter()
                 .collect();
             out.push(ObjRecord::new(*d_id, ObjKind::Dentry, 0, refs, p));
@@ -147,7 +167,7 @@ impl GuestKernel {
         // --- wait queues ---
         for (wq, wq_id) in self.waitqueues.iter().zip(&wq_ids) {
             let mut p = Vec::new();
-            varint::put_u64(&mut p, wq.waiters.len() as u64);
+            varint::put_u64(&mut p, len_u64(wq.waiters.len()));
             for w in &wq.waiters {
                 varint::put_u64(&mut p, u64::from(*w));
             }
@@ -176,11 +196,14 @@ impl GuestKernel {
             let flags = u32::from(desc.writable) | (u32::from(desc.used) << 1);
             out.push(ObjRecord::new(*f_id, ObjKind::File, flags, vec![], p));
             let mut sp = Vec::new();
-            varint::put_u64(&mut sp, *fd as u64);
+            varint::put_u64(&mut sp, fd_u64(*fd));
             out.push(ObjRecord::new(*s_id, ObjKind::FdSlot, 0, vec![*f_id], sp));
         }
         // --- sockets ---
         for sock in self.net.iter() {
+            let Some(&sock_id) = sock_ids.get(&sock.id) else {
+                continue;
+            };
             let mut p = Vec::new();
             varint::put_bytes(&mut p, sock.addr.as_bytes());
             varint::put_u64(
@@ -191,21 +214,15 @@ impl GuestKernel {
                     SockState::Connected => 2,
                 },
             );
-            out.push(ObjRecord::new(
-                sock_ids[&sock.id],
-                ObjKind::Socket,
-                0,
-                vec![],
-                p,
-            ));
+            out.push(ObjRecord::new(sock_id, ObjKind::Socket, 0, vec![], p));
         }
         // --- epolls ---
         for (ep, e_id) in self.epolls.iter().zip(&epoll_ids) {
             let mut p = Vec::new();
-            varint::put_u64(&mut p, ep.watched.len() as u64);
+            varint::put_u64(&mut p, len_u64(ep.watched.len()));
             let mut refs = Vec::new();
             for fd in &ep.watched {
-                varint::put_u64(&mut p, *fd as u64);
+                varint::put_u64(&mut p, fd_u64(*fd));
                 if let Some(slot) = fdslot_by_fd.get(fd) {
                     refs.push(*slot);
                 }
@@ -239,6 +256,24 @@ impl GuestKernel {
         let imgerr = |e: ImageError| KernelError::CorruptGraph {
             detail: format!("payload: {e}"),
         };
+        // Typed narrowing for untrusted payload fields: out-of-range values
+        // are corrupt input, not a reason to panic.
+        let u32_of = |v: u64, what: &str| {
+            u32::try_from(v).map_err(|_| bad(format!("{what} {v} out of u32 range")))
+        };
+        let usize_of = |v: u64, what: &str| {
+            usize::try_from(v).map_err(|_| bad(format!("{what} {v} out of usize range")))
+        };
+        let i32_of = |v: u64, what: &str| {
+            i32::try_from(v).map_err(|_| bad(format!("{what} {v} out of i32 range")))
+        };
+        // Validates in place; the single unavoidable copy builds the owned
+        // String, with no intermediate Vec.
+        let str_of = |b: &[u8], what: &str| {
+            std::str::from_utf8(b)
+                .map(str::to_string)
+                .map_err(|_| bad(format!("{what} not utf-8")))
+        };
 
         let mut kernel = GuestKernel::empty_shell(name, fs);
         // The root mount is re-created by Vfs::new; drop it so the restored
@@ -257,12 +292,11 @@ impl GuestKernel {
             }
             match rec.kind {
                 ObjKind::Task => {
-                    let pid = varint::get_u64(p, &mut pos).map_err(imgerr)? as u32;
-                    let ppid = varint::get_u64(p, &mut pos).map_err(imgerr)? as u32;
-                    let sid = varint::get_u64(p, &mut pos).map_err(imgerr)? as u32;
+                    let pid = u32_of(varint::get_u64(p, &mut pos).map_err(imgerr)?, "task pid")?;
+                    let ppid = u32_of(varint::get_u64(p, &mut pos).map_err(imgerr)?, "task ppid")?;
+                    let sid = u32_of(varint::get_u64(p, &mut pos).map_err(imgerr)?, "task sid")?;
                     let name =
-                        String::from_utf8(varint::get_bytes(p, &mut pos).map_err(imgerr)?.to_vec())
-                            .map_err(|_| bad("task name not utf-8".into()))?;
+                        str_of(varint::get_bytes(p, &mut pos).map_err(imgerr)?, "task name")?;
                     tasks_by_pid.insert(
                         pid,
                         Task {
@@ -276,10 +310,11 @@ impl GuestKernel {
                     task_order.push(pid);
                 }
                 ObjKind::Thread => {
-                    let tid = varint::get_u64(p, &mut pos).map_err(imgerr)? as u32;
+                    let tid = u32_of(varint::get_u64(p, &mut pos).map_err(imgerr)?, "thread tid")?;
                     let context = varint::get_u64(p, &mut pos).map_err(imgerr)?;
                     let blocked = varint::get_u64(p, &mut pos).map_err(imgerr)?;
-                    let task_pid = varint::get_u64(p, &mut pos).map_err(imgerr)? as u32;
+                    let task_pid =
+                        u32_of(varint::get_u64(p, &mut pos).map_err(imgerr)?, "thread task")?;
                     let task = tasks_by_pid.get_mut(&task_pid).ok_or_else(|| {
                         bad(format!("thread {tid} references missing task {task_pid}"))
                     })?;
@@ -294,25 +329,26 @@ impl GuestKernel {
                     });
                 }
                 ObjKind::Session => {
-                    let sid = varint::get_u64(p, &mut pos).map_err(imgerr)? as u32;
-                    let leader = varint::get_u64(p, &mut pos).map_err(imgerr)? as u32;
+                    let sid = u32_of(varint::get_u64(p, &mut pos).map_err(imgerr)?, "session sid")?;
+                    let leader = u32_of(
+                        varint::get_u64(p, &mut pos).map_err(imgerr)?,
+                        "session leader",
+                    )?;
                     kernel
                         .tasks
                         .install_restored_session(Session { sid, leader });
                 }
                 ObjKind::Namespace => {
-                    let kind =
-                        String::from_utf8(varint::get_bytes(p, &mut pos).map_err(imgerr)?.to_vec())
-                            .map_err(|_| bad("namespace kind not utf-8".into()))?;
-                    let init_id = varint::get_u64(p, &mut pos).map_err(imgerr)? as u32;
+                    let kind = str_of(varint::get_bytes(p, &mut pos).map_err(imgerr)?, "ns kind")?;
+                    let init_id =
+                        u32_of(varint::get_u64(p, &mut pos).map_err(imgerr)?, "ns init id")?;
                     kernel
                         .tasks
                         .install_restored_namespace(NamespaceInfo { kind, init_id });
                 }
                 ObjKind::Mount => {
                     let read = |pos: &mut usize| -> Result<String, KernelError> {
-                        String::from_utf8(varint::get_bytes(p, pos).map_err(imgerr)?.to_vec())
-                            .map_err(|_| bad("mount field not utf-8".into()))
+                        str_of(varint::get_bytes(p, pos).map_err(imgerr)?, "mount field")
                     };
                     restored_mounts.push(crate::vfs::MountInfo {
                         source: read(&mut pos)?,
@@ -321,9 +357,10 @@ impl GuestKernel {
                     });
                 }
                 ObjKind::Dentry => {
-                    let path =
-                        String::from_utf8(varint::get_bytes(p, &mut pos).map_err(imgerr)?.to_vec())
-                            .map_err(|_| bad("dentry path not utf-8".into()))?;
+                    let path = str_of(
+                        varint::get_bytes(p, &mut pos).map_err(imgerr)?,
+                        "dentry path",
+                    )?;
                     let inode = varint::get_u64(p, &mut pos).map_err(imgerr)?;
                     let parent = varint::get_u64(p, &mut pos).map_err(imgerr)?;
                     kernel.dentries.push(Dentry {
@@ -332,14 +369,15 @@ impl GuestKernel {
                         parent: if parent == 0 {
                             None
                         } else {
-                            Some((parent - 1) as u32)
+                            Some(u32_of(parent - 1, "dentry parent")?)
                         },
                     });
                 }
                 ObjKind::Timer => {
                     let deadline = varint::get_u64(p, &mut pos).map_err(imgerr)?;
                     let period = varint::get_u64(p, &mut pos).map_err(imgerr)?;
-                    let owner = varint::get_u64(p, &mut pos).map_err(imgerr)? as u32;
+                    let owner =
+                        u32_of(varint::get_u64(p, &mut pos).map_err(imgerr)?, "timer owner")?;
                     kernel.timers.install_restored(
                         simtime::SimNanos::from_nanos(deadline),
                         simtime::SimNanos::from_nanos(period),
@@ -347,10 +385,15 @@ impl GuestKernel {
                     );
                 }
                 ObjKind::WaitQueue => {
-                    let n = varint::get_u64(p, &mut pos).map_err(imgerr)? as usize;
-                    let mut waiters = Vec::with_capacity(n);
+                    let n = usize_of(varint::get_u64(p, &mut pos).map_err(imgerr)?, "wq count")?;
+                    // Capacity is clamped: a corrupt count fails at the first
+                    // missing varint instead of reserving gigabytes.
+                    let mut waiters = Vec::with_capacity(n.min(1024));
                     for _ in 0..n {
-                        waiters.push(varint::get_u64(p, &mut pos).map_err(imgerr)? as u32);
+                        waiters.push(u32_of(
+                            varint::get_u64(p, &mut pos).map_err(imgerr)?,
+                            "wq waiter",
+                        )?);
                     }
                     kernel.waitqueues.push(WaitQueue { waiters });
                 }
@@ -359,8 +402,7 @@ impl GuestKernel {
                 }
                 ObjKind::File => {
                     let path =
-                        String::from_utf8(varint::get_bytes(p, &mut pos).map_err(imgerr)?.to_vec())
-                            .map_err(|_| bad("file path not utf-8".into()))?;
+                        str_of(varint::get_bytes(p, &mut pos).map_err(imgerr)?, "file path")?;
                     let offset = varint::get_u64(p, &mut pos).map_err(imgerr)?;
                     let writable = rec.flags & 1 != 0;
                     let used = rec.flags & 2 != 0;
@@ -368,9 +410,10 @@ impl GuestKernel {
                 }
                 ObjKind::FdSlot => { /* slot numbering is restored via order */ }
                 ObjKind::Socket => {
-                    let addr =
-                        String::from_utf8(varint::get_bytes(p, &mut pos).map_err(imgerr)?.to_vec())
-                            .map_err(|_| bad("socket addr not utf-8".into()))?;
+                    let addr = str_of(
+                        varint::get_bytes(p, &mut pos).map_err(imgerr)?,
+                        "socket addr",
+                    )?;
                     let state = match varint::get_u64(p, &mut pos).map_err(imgerr)? {
                         0 => SockState::Created,
                         1 => SockState::Listening,
@@ -380,10 +423,13 @@ impl GuestKernel {
                     kernel.net.install_restored(&addr, state);
                 }
                 ObjKind::Epoll => {
-                    let n = varint::get_u64(p, &mut pos).map_err(imgerr)? as usize;
-                    let mut watched = Vec::with_capacity(n);
+                    let n = usize_of(varint::get_u64(p, &mut pos).map_err(imgerr)?, "epoll count")?;
+                    let mut watched = Vec::with_capacity(n.min(1024));
                     for _ in 0..n {
-                        watched.push(varint::get_u64(p, &mut pos).map_err(imgerr)? as i32);
+                        watched.push(i32_of(
+                            varint::get_u64(p, &mut pos).map_err(imgerr)?,
+                            "epoll fd",
+                        )?);
                     }
                     kernel.epolls.push(EpollInstance { watched });
                 }
@@ -392,7 +438,9 @@ impl GuestKernel {
         }
 
         for pid in task_order {
-            let task = tasks_by_pid.remove(&pid).expect("collected above");
+            let task = tasks_by_pid
+                .remove(&pid)
+                .ok_or_else(|| bad(format!("task {pid} appears twice in the checkpoint")))?;
             kernel.tasks.install_restored_task(task);
         }
         if !restored_mounts.is_empty() {

@@ -73,7 +73,11 @@ pub struct MountInfo {
 #[derive(Debug)]
 pub struct Vfs {
     server: Arc<FsServer>,
-    upper: BTreeMap<String, Vec<u8>>,
+    /// Upper-layer contents are held as [`Bytes`]: copy-up shares the
+    /// server's buffer, `sfork` clones are reference bumps, and reads
+    /// return zero-copy slices. Writes (off the restore hot path) rebuild
+    /// the buffer — classic copy-on-write.
+    upper: BTreeMap<String, Bytes>,
     fds: Vec<Option<FileDesc>>,
     mounts: Vec<MountInfo>,
     /// Count of on-demand reconnections performed (Fig. 12 I/O accounting).
@@ -193,11 +197,13 @@ impl Vfs {
                     used: false,
                 });
             }
-            // Copy-up: pull lower contents into the overlay, then open there.
+            // Copy-up: adopt the lower contents into the overlay. The server
+            // hands back a `Bytes` view, so no bytes are duplicated until a
+            // write actually lands.
             let gfd = self.server.open(path, clock, model)?;
-            let len = self.server.size_of(path).unwrap_or(0) as usize;
+            let len = usize::try_from(self.server.size_of(path).unwrap_or(0)).unwrap_or(usize::MAX);
             let data = self.server.read(&gfd, 0, len, clock, model)?;
-            self.upper.insert(path.to_string(), data.to_vec());
+            self.upper.insert(path.to_string(), data);
             return self.alloc_fd(FileDesc {
                 path: path.into(),
                 offset: 0,
@@ -230,7 +236,7 @@ impl Vfs {
         model: &CostModel,
     ) -> Result<i32, KernelError> {
         clock.charge(model.host.syscall_base);
-        self.upper.insert(path.to_string(), Vec::new());
+        self.upper.insert(path.to_string(), Bytes::new());
         self.alloc_fd(FileDesc {
             path: path.into(),
             offset: 0,
@@ -288,11 +294,15 @@ impl Vfs {
         let desc = self.desc(fd)?.clone();
         let data = match &desc.backend {
             Backend::Upper => {
+                // `cloned()` bumps a refcount; `slice()` is a zero-copy view.
+                // Only the simulated guest→user copy is charged.
                 let content = self.upper.get(&desc.path).cloned().unwrap_or_default();
-                let start = (desc.offset as usize).min(content.len());
-                let end = (start + len).min(content.len());
+                let start = usize::try_from(desc.offset)
+                    .unwrap_or(usize::MAX)
+                    .min(content.len());
+                let end = start.saturating_add(len).min(content.len());
                 clock.charge(model.memcpy((end - start) as u64));
-                Bytes::copy_from_slice(&content[start..end])
+                content.slice(start..end)
             }
             Backend::Gofer(g) | Backend::Persistent(g) => {
                 self.server.read(g, desc.offset, len, clock, model)?
@@ -326,12 +336,16 @@ impl Vfs {
         }
         match &desc.backend {
             Backend::Upper => {
-                let content = self.upper.entry(desc.path.clone()).or_default();
+                // Copy-on-write: materialize a private buffer (cheap if this
+                // sandbox is the sole owner), mutate, and store the new view.
+                let entry = self.upper.entry(desc.path.clone()).or_default();
+                let mut content = Vec::from(std::mem::take(entry));
                 let off = desc.offset as usize;
                 if content.len() < off + data.len() {
                     content.resize(off + data.len(), 0);
                 }
                 content[off..off + data.len()].copy_from_slice(data);
+                *entry = Bytes::from(content);
                 clock.charge(model.memcpy(data.len() as u64));
             }
             Backend::Persistent(_) => {

@@ -122,14 +122,14 @@ pub fn read_uncharged(image: &Bytes) -> Result<(CheckpointSource, ClassicCounts)
             what: "classic body length",
         })?;
     let crc_expected = varint::read_u32_le(image, &mut hpos, "classic header")?;
-    let packed = image.get(20..).unwrap_or(&[]);
-    if crc32(packed) != crc_expected {
+    let packed = image.slice(20..);
+    if crc32(&packed) != crc_expected {
         return Err(ImageError::Checksum {
             section: "classic body",
         });
     }
 
-    let body = crate::lz::decompress(packed)?;
+    let body = crate::lz::decompress(&packed)?;
     if body.len() != body_len {
         return Err(ImageError::Truncated {
             what: "classic body",
@@ -165,14 +165,13 @@ pub fn read_uncharged(image: &Bytes) -> Result<(CheckpointSource, ClassicCounts)
     let mut app_pages = Vec::with_capacity(n_pages.min(body.len()));
     for _ in 0..n_pages {
         let vpn = varint::get_u64(&body, &mut pos)?;
-        let data = varint::get_bytes(&body, &mut pos)?;
+        // Zero-copy: each page payload is a view into the decompressed body
+        // (or, for stored streams, into the mapped image itself).
+        let data = varint::get_bytes_view(&body, &mut pos)?;
         if data.len() != memsim::PAGE_SIZE {
             return Err(ImageError::Truncated { what: "app page" });
         }
-        app_pages.push(PagePayload {
-            vpn,
-            data: Bytes::copy_from_slice(data),
-        });
+        app_pages.push(PagePayload { vpn, data });
     }
 
     let counts = ClassicCounts {
@@ -202,7 +201,7 @@ pub(crate) fn encode_record(out: &mut Vec<u8>, obj: &ObjRecord) {
     varint::put_bytes(out, &obj.payload);
 }
 
-pub(crate) fn decode_record(buf: &[u8], pos: &mut usize) -> Result<ObjRecord, ImageError> {
+pub(crate) fn decode_record(buf: &Bytes, pos: &mut usize) -> Result<ObjRecord, ImageError> {
     let id = varint::get_u64(buf, pos)?;
     let code = u16::try_from(varint::get_u64(buf, pos)?).map_err(|_| ImageError::Malformed {
         what: "object kind code",
@@ -226,9 +225,9 @@ pub(crate) fn decode_record(buf: &[u8], pos: &mut usize) -> Result<ObjRecord, Im
         }
         refs.push(r);
     }
-    // The classic format copies payloads out of the decompressed stream —
-    // that per-object cost is exactly what the flat format's arena avoids.
-    let payload = Bytes::copy_from_slice(varint::get_bytes(buf, pos)?);
+    // The payload is a zero-copy view of the decompressed stream; the
+    // stream-level decompression cost is still the classic format's tax.
+    let payload = varint::get_bytes_view(buf, pos)?;
     Ok(ObjRecord {
         id,
         kind,
@@ -267,11 +266,11 @@ pub(crate) fn decode_conn(buf: &[u8], pos: &mut usize) -> Result<IoConn, ImageEr
     };
     let used_immediately = get_byte(pos)? != 0;
     let writable = get_byte(pos)? != 0;
-    let target = String::from_utf8(varint::get_bytes(buf, pos)?.to_vec()).map_err(|_| {
-        ImageError::Truncated {
+    let target = std::str::from_utf8(varint::get_bytes(buf, pos)?)
+        .map(str::to_string)
+        .map_err(|_| ImageError::Truncated {
             what: "io conn target",
-        }
-    })?;
+        })?;
     Ok(IoConn {
         kind,
         target,

@@ -12,6 +12,8 @@
 //! - `0x00, len(varint), bytes...` — literal run
 //! - `0x01, dist(varint), len(varint)` — back-reference (`dist ≥ 1`)
 
+use bytes::Bytes;
+
 use crate::varint;
 use crate::ImageError;
 
@@ -25,7 +27,7 @@ const MAX_MATCH: usize = 258;
 ///
 /// ```
 /// let data = b"abcabcabcabcabcabc".repeat(10);
-/// let packed = imagefmt::lz::compress(&data);
+/// let packed = bytes::Bytes::from(imagefmt::lz::compress(&data));
 /// assert!(packed.len() < data.len());
 /// assert_eq!(imagefmt::lz::decompress(&packed).unwrap(), data);
 /// ```
@@ -109,19 +111,29 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 
 /// Decompresses a stream produced by [`compress`].
 ///
+/// A stream that is one literal run spanning the whole input — what
+/// [`compress`] emits for incompressible data such as high-entropy memory
+/// pages — decodes as a zero-copy [`Bytes`] view of `input`. Only streams
+/// with back-references materialize an output buffer.
+///
 /// # Errors
 ///
 /// [`ImageError::Truncated`] or [`ImageError::BadVarint`] on malformed input,
 /// including back-references pointing before the start of the output.
-pub fn decompress(input: &[u8]) -> Result<Vec<u8>, ImageError> {
+pub fn decompress(input: &Bytes) -> Result<Bytes, ImageError> {
+    if let Some(stored) = stored_run(input)? {
+        return Ok(stored);
+    }
     let mut out = Vec::with_capacity(input.len() * 2);
     let mut pos = 0usize;
     while let Some(&tag) = input.get(pos) {
         pos += 1;
         match tag {
             0x00 => {
+                // Mixed streams must materialize — inherent to LZ decode,
+                // and the cost the classic format pays by design (§2.2).
                 let lits = varint::get_bytes(input, &mut pos)?;
-                out.extend_from_slice(lits);
+                out.extend(lits.iter().copied());
             }
             0x01 => {
                 let dist = usize::try_from(varint::get_u64(input, &mut pos)?).map_err(|_| {
@@ -156,17 +168,36 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, ImageError> {
             }
         }
     }
-    Ok(out)
+    Ok(Bytes::from(out))
+}
+
+/// Detects the stored-stream fast path: exactly one literal token covering
+/// the remainder of `input`. Returns the literal run as a zero-copy view.
+fn stored_run(input: &Bytes) -> Result<Option<Bytes>, ImageError> {
+    if input.first() != Some(&0x00) {
+        return Ok(None);
+    }
+    let mut pos = 1usize;
+    let len = usize::try_from(varint::get_u64(input, &mut pos)?)
+        .map_err(|_| ImageError::Malformed { what: "lz run" })?;
+    match pos.checked_add(len) {
+        Some(end) if end == input.len() => Ok(Some(input.slice(pos..end))),
+        _ => Ok(None),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn dec(packed: &[u8]) -> Result<Bytes, ImageError> {
+        decompress(&Bytes::copy_from_slice(packed))
+    }
+
     #[test]
     fn empty_round_trip() {
         let packed = compress(&[]);
-        assert_eq!(decompress(&packed).unwrap(), Vec::<u8>::new());
+        assert_eq!(dec(&packed).unwrap(), Vec::<u8>::new());
     }
 
     #[test]
@@ -176,7 +207,7 @@ mod tests {
             .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
             .collect();
         let packed = compress(&data);
-        assert_eq!(decompress(&packed).unwrap(), data);
+        assert_eq!(dec(&packed).unwrap(), data);
     }
 
     #[test]
@@ -188,7 +219,7 @@ mod tests {
             "packed {} bytes",
             packed.len()
         );
-        assert_eq!(decompress(&packed).unwrap(), data);
+        assert_eq!(dec(&packed).unwrap(), data);
     }
 
     #[test]
@@ -200,7 +231,7 @@ mod tests {
         }
         let packed = compress(&data);
         assert!(packed.len() < data.len());
-        assert_eq!(decompress(&packed).unwrap(), data);
+        assert_eq!(dec(&packed).unwrap(), data);
     }
 
     #[test]
@@ -208,12 +239,12 @@ mod tests {
         // "aaaa..." forces dist=1 overlapping copies.
         let data = vec![b'a'; 1000];
         let packed = compress(&data);
-        assert_eq!(decompress(&packed).unwrap(), data);
+        assert_eq!(dec(&packed).unwrap(), data);
     }
 
     #[test]
     fn corrupt_tag_rejected() {
-        assert!(decompress(&[0xFF]).is_err());
+        assert!(dec(&[0xFF]).is_err());
     }
 
     #[test]
@@ -221,13 +252,13 @@ mod tests {
         let mut stream = vec![0x01];
         varint::put_u64(&mut stream, 5); // dist 5 with empty output
         varint::put_u64(&mut stream, 4);
-        assert!(decompress(&stream).is_err());
+        assert!(dec(&stream).is_err());
     }
 
     #[test]
     fn truncated_literal_rejected() {
         let mut stream = vec![0x00];
         varint::put_u64(&mut stream, 10); // declares 10 literal bytes, has 0
-        assert!(decompress(&stream).is_err());
+        assert!(dec(&stream).is_err());
     }
 }

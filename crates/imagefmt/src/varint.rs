@@ -74,6 +74,28 @@ pub fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8], ImageEr
     Ok(out)
 }
 
+/// Reads a length-prefixed byte run as a zero-copy [`Bytes`] view sharing
+/// `buf`'s backing allocation — the restore-path counterpart of
+/// [`get_bytes`] for callers that keep the bytes.
+///
+/// # Errors
+///
+/// Same as [`get_bytes`].
+pub fn get_bytes_view(buf: &bytes::Bytes, pos: &mut usize) -> Result<bytes::Bytes, ImageError> {
+    let len = usize::try_from(get_u64(buf, pos)?).map_err(|_| ImageError::Malformed {
+        what: "byte slice length",
+    })?;
+    let end = pos.checked_add(len).ok_or(ImageError::Malformed {
+        what: "byte slice length",
+    })?;
+    if end > buf.len() {
+        return Err(ImageError::Truncated { what: "byte slice" });
+    }
+    let view = buf.slice(*pos..end);
+    *pos = end;
+    Ok(view)
+}
+
 /// Reads `N` bytes at `*pos`, advancing `*pos`.
 fn read_array<const N: usize>(
     buf: &[u8],

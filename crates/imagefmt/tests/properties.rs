@@ -48,7 +48,7 @@ proptest! {
     /// The LZ codec round-trips arbitrary byte strings.
     #[test]
     fn lz_round_trip(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
-        let packed = imagefmt::lz::compress(&data);
+        let packed = bytes::Bytes::from(imagefmt::lz::compress(&data));
         prop_assert_eq!(imagefmt::lz::decompress(&packed).unwrap(), data);
     }
 
@@ -56,7 +56,7 @@ proptest! {
     #[test]
     fn lz_compresses_repetition(byte in any::<u8>(), reps in 256usize..8192) {
         let data = vec![byte; reps];
-        let packed = imagefmt::lz::compress(&data);
+        let packed = bytes::Bytes::from(imagefmt::lz::compress(&data));
         prop_assert!(packed.len() < data.len() / 4, "{} -> {}", data.len(), packed.len());
         prop_assert_eq!(imagefmt::lz::decompress(&packed).unwrap(), data);
     }

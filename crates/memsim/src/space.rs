@@ -1,4 +1,4 @@
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
@@ -64,7 +64,7 @@ pub struct AddressSpace {
     private: EptLayer,
     base: Option<Arc<EptLayer>>,
     /// Base pages whose merged hardware EPT entry this space has built.
-    hw_merged: HashSet<Vpn>,
+    hw_merged: BTreeSet<Vpn>,
     stats: SpaceStats,
 }
 
@@ -76,7 +76,7 @@ impl AddressSpace {
             vmas: Vec::new(),
             private: EptLayer::new(),
             base: None,
-            hw_merged: HashSet::new(),
+            hw_merged: BTreeSet::new(),
             stats: SpaceStats::default(),
         }
     }

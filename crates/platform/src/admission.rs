@@ -32,6 +32,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
+use simtime::names;
 use simtime::SimNanos;
 
 use crate::PlatformError;
@@ -332,10 +333,10 @@ impl AdmitDecision {
     /// The metric counter this decision increments.
     pub fn metric_key(&self) -> &'static str {
         match self {
-            AdmitDecision::Admitted { .. } => "admit.count",
-            AdmitDecision::ShedOverload { .. } => "shed.overload",
-            AdmitDecision::ShedDeadline { .. } => "shed.deadline",
-            AdmitDecision::ShedBreaker { .. } => "shed.breaker",
+            AdmitDecision::Admitted { .. } => names::ADMIT_COUNT,
+            AdmitDecision::ShedOverload { .. } => names::SHED_OVERLOAD,
+            AdmitDecision::ShedDeadline { .. } => names::SHED_DEADLINE,
+            AdmitDecision::ShedBreaker { .. } => names::SHED_BREAKER,
         }
     }
 }

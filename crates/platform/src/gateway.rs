@@ -17,6 +17,7 @@ use std::rc::Rc;
 use faultsim::{FaultInjector, FaultPlan};
 use runtimes::ExecReport;
 use sandbox::{BootCtx, BootEngine, BootOutcome, SPAN_EXEC};
+use simtime::names;
 use simtime::trace::Span;
 use simtime::{CostModel, MetricsRegistry, SimClock, SimNanos};
 
@@ -187,7 +188,7 @@ impl<E: BootEngine> Gateway<E> {
             })?
             .clone();
         self.engine.warm(&profile, &self.model)?;
-        self.metrics.inc("warm.count");
+        self.metrics.inc(names::WARM_COUNT);
         Ok(())
     }
 
@@ -219,7 +220,7 @@ impl<E: BootEngine> Gateway<E> {
         if let Some(injector) = &self.injector {
             ctx = ctx.with_injector(Rc::clone(injector));
         }
-        ctx.tracer_mut().begin(format!("invoke:{function}"));
+        ctx.tracer_mut().begin(names::invoke_span(function));
 
         let booted = resilient_boot(
             &mut self.engine,
@@ -231,7 +232,7 @@ impl<E: BootEngine> Gateway<E> {
         let mut booted = match booted {
             Ok(booted) => booted,
             Err(e) => {
-                self.metrics.inc("invoke.errors");
+                self.metrics.inc(names::INVOKE_ERRORS);
                 ctx.tracer_mut().end();
                 return Err(e.into());
             }
@@ -246,7 +247,7 @@ impl<E: BootEngine> Gateway<E> {
         let exec = match exec_result {
             Ok(report) => report,
             Err(e) => {
-                self.metrics.inc("invoke.errors");
+                self.metrics.inc(names::INVOKE_ERRORS);
                 return Err(e.into());
             }
         };
@@ -260,17 +261,18 @@ impl<E: BootEngine> Gateway<E> {
             exec: exec_span.duration(),
         };
         self.invocations += 1;
-        self.metrics.inc("invoke.count");
-        self.metrics.inc(&format!("invoke.{function}.count"));
+        self.metrics.inc(names::INVOKE_COUNT);
+        self.metrics.inc(&names::invoke_fn_count(function));
         self.metrics
-            .observe(&format!("boot.{function}"), report.boot);
+            .observe(&names::boot_hist(function), report.boot);
         self.metrics
-            .observe(&format!("exec.{function}"), report.exec);
+            .observe(&names::exec_hist(function), report.exec);
         if booted.degraded() {
-            self.metrics.inc("invoke.degraded");
-            self.metrics.observe("invoke.recovery", booted.recovery);
+            self.metrics.inc(names::INVOKE_DEGRADED);
+            self.metrics
+                .observe(names::INVOKE_RECOVERY, booted.recovery);
             if let Some(rung) = booted.fallback_path {
-                self.metrics.inc(&format!("invoke.degraded.{rung}"));
+                self.metrics.inc(&names::invoke_degraded_rung(rung));
             }
         }
         Ok(Invocation {
@@ -313,18 +315,18 @@ impl<E: BootEngine> Gateway<E> {
         let (queued, _deadline) = match &mut self.admission {
             Some(ctrl) => match ctrl.admit(function, arrival) {
                 Ok(admitted) => {
-                    self.metrics.inc("admit.count");
+                    self.metrics.inc(names::ADMIT_COUNT);
                     if !admitted.queued.is_zero() {
-                        self.metrics.inc("admit.queued");
-                        self.metrics.observe("admit.wait", admitted.queued);
+                        self.metrics.inc(names::ADMIT_QUEUED);
+                        self.metrics.observe(names::ADMIT_WAIT, admitted.queued);
                     }
                     (admitted.queued, admitted.deadline)
                 }
                 Err(err) => {
                     self.metrics.inc(match &err {
-                        PlatformError::Overload { .. } => "shed.overload",
-                        PlatformError::DeadlineExceeded { .. } => "shed.deadline",
-                        _ => "shed.breaker",
+                        PlatformError::Overload { .. } => names::SHED_OVERLOAD,
+                        PlatformError::DeadlineExceeded { .. } => names::SHED_DEADLINE,
+                        _ => names::SHED_BREAKER,
                     });
                     self.sync_breaker_metrics(function);
                     return Err(err);
@@ -338,7 +340,7 @@ impl<E: BootEngine> Gateway<E> {
         if let Some(injector) = &self.injector {
             ctx = ctx.with_injector(Rc::clone(injector));
         }
-        ctx.tracer_mut().begin(format!("invoke:{function}"));
+        ctx.tracer_mut().begin(names::invoke_span(function));
         if self.admission.is_some() {
             // Always present on admitted requests (zero when unqueued), so
             // the span shape is stable: [admission, boot, exec].
@@ -355,7 +357,7 @@ impl<E: BootEngine> Gateway<E> {
         let mut booted = match booted {
             Ok(booted) => booted,
             Err(e) => {
-                self.metrics.inc("invoke.errors");
+                self.metrics.inc(names::INVOKE_ERRORS);
                 ctx.tracer_mut().end();
                 self.finish_admitted(function, ctx.now(), HealthSignal::Failed);
                 return Err(e.into());
@@ -371,7 +373,7 @@ impl<E: BootEngine> Gateway<E> {
         let exec = match exec_result {
             Ok(report) => report,
             Err(e) => {
-                self.metrics.inc("invoke.errors");
+                self.metrics.inc(names::INVOKE_ERRORS);
                 self.finish_admitted(function, ctx.now(), HealthSignal::Failed);
                 return Err(e.into());
             }
@@ -385,17 +387,18 @@ impl<E: BootEngine> Gateway<E> {
             exec: exec_span.duration(),
         };
         self.invocations += 1;
-        self.metrics.inc("invoke.count");
-        self.metrics.inc(&format!("invoke.{function}.count"));
+        self.metrics.inc(names::INVOKE_COUNT);
+        self.metrics.inc(&names::invoke_fn_count(function));
         self.metrics
-            .observe(&format!("boot.{function}"), report.boot);
+            .observe(&names::boot_hist(function), report.boot);
         self.metrics
-            .observe(&format!("exec.{function}"), report.exec);
+            .observe(&names::exec_hist(function), report.exec);
         if booted.degraded() {
-            self.metrics.inc("invoke.degraded");
-            self.metrics.observe("invoke.recovery", booted.recovery);
+            self.metrics.inc(names::INVOKE_DEGRADED);
+            self.metrics
+                .observe(names::INVOKE_RECOVERY, booted.recovery);
             if let Some(rung) = booted.fallback_path {
-                self.metrics.inc(&format!("invoke.degraded.{rung}"));
+                self.metrics.inc(&names::invoke_degraded_rung(rung));
             }
         }
         let signal = if !booted.poisoned.is_empty() || booted.quarantines > 0 {
@@ -430,7 +433,7 @@ impl<E: BootEngine> Gateway<E> {
         let seen = self.breaker_seen.entry(function.to_owned()).or_insert(0);
         for transition in transitions.iter().skip(*seen) {
             self.metrics
-                .inc(&format!("breaker.{}", transition.to.label()));
+                .inc(&names::breaker_gauge(transition.to.label()));
         }
         *seen = transitions.len();
     }

@@ -23,6 +23,7 @@ use std::rc::Rc;
 use faultsim::{FaultInjector, FaultKind, InjectionPoint};
 use runtimes::AppProfile;
 use sandbox::{BootCtx, BootEngine, BootOutcome, SandboxError};
+use simtime::names;
 use simtime::trace::Span;
 use simtime::{CostModel, MetricsRegistry, SimClock, SimNanos};
 
@@ -203,8 +204,9 @@ impl<E: BootEngine> InstancePool<E> {
             .retain(|i| now.saturating_sub(i.idle_since) < keep_alive);
         let expired = (before - self.idle.len()) as u64;
         self.stats.expirations += expired;
-        self.metrics.add("pool.expire", expired);
-        self.metrics.set_gauge("pool.idle", self.idle.len() as i64);
+        self.metrics.add(names::POOL_EXPIRE, expired);
+        self.metrics
+            .set_gauge(names::POOL_IDLE, self.idle.len() as i64);
     }
 
     /// Serves one request arriving at `now`: reuse an idle instance or boot
@@ -251,7 +253,7 @@ impl<E: BootEngine> InstancePool<E> {
         let (mut outcome, startup, reused, degraded, poisoned) = match self.idle.pop_front() {
             Some(instance) => {
                 self.stats.reuses += 1;
-                self.metrics.inc("pool.reuse");
+                self.metrics.inc(names::POOL_REUSE);
                 // Reuse: scheduler hand-off only.
                 (
                     instance.outcome,
@@ -263,7 +265,7 @@ impl<E: BootEngine> InstancePool<E> {
             }
             None => {
                 self.stats.boots += 1;
-                self.metrics.inc("pool.boot");
+                self.metrics.inc(names::POOL_BOOT);
                 let mut ctx = if platform_time {
                     BootCtx::new(&SimClock::starting_at(now), model)
                 } else {
@@ -298,8 +300,8 @@ impl<E: BootEngine> InstancePool<E> {
                     self.note_poison(point);
                 }
                 if booted.degraded() {
-                    self.metrics.inc("pool.degraded");
-                    self.metrics.observe("pool.recovery", booted.recovery);
+                    self.metrics.inc(names::POOL_DEGRADED);
+                    self.metrics.observe(names::POOL_RECOVERY, booted.recovery);
                 }
                 let startup = if platform_time {
                     ctx.now().saturating_sub(now)
@@ -310,7 +312,7 @@ impl<E: BootEngine> InstancePool<E> {
                 (booted.outcome, startup, false, degraded, poisoned)
             }
         };
-        self.metrics.observe("pool.startup", startup);
+        self.metrics.observe(names::POOL_STARTUP, startup);
         let ctx = BootCtx::fresh(model);
         outcome.program.invoke_handler(ctx.clock(), ctx.model())?;
         let exec = ctx.now();
@@ -324,7 +326,8 @@ impl<E: BootEngine> InstancePool<E> {
                 outcome,
                 idle_since: now + startup + exec,
             });
-            self.metrics.set_gauge("pool.idle", self.idle.len() as i64);
+            self.metrics
+                .set_gauge(names::POOL_IDLE, self.idle.len() as i64);
         }
         Ok(PoolServe {
             startup,
@@ -337,7 +340,7 @@ impl<E: BootEngine> InstancePool<E> {
 
     fn note_poison(&mut self, point: InjectionPoint) {
         if self.pending_repair.insert(point) {
-            self.metrics.inc("pool.poisoned");
+            self.metrics.inc(names::POOL_POISONED);
         }
         self.health_points = self.health_points.saturating_sub(50);
     }
@@ -362,9 +365,9 @@ impl<E: BootEngine> InstancePool<E> {
         if needs_repair {
             let evicted = u64::try_from(self.idle.len()).unwrap_or(u64::MAX);
             self.idle.clear();
-            self.metrics.set_gauge("pool.idle", 0);
+            self.metrics.set_gauge(names::POOL_IDLE, 0);
             self.repair_stats.evicted += evicted;
-            self.metrics.add("pool.repair.evicted", evicted);
+            self.metrics.add(names::POOL_REPAIR_EVICTED, evicted);
         }
         if !needs_repair && self.idle.len() >= self.min_ready {
             return Ok(());
@@ -380,7 +383,7 @@ impl<E: BootEngine> InstancePool<E> {
             let spent = match self.engine.repair(&self.profile, model) {
                 Ok(spent) => spent,
                 Err(err) => {
-                    self.metrics.inc("pool.repair.failed");
+                    self.metrics.inc(names::POOL_REPAIR_FAILED);
                     ctx.tracer_mut().end();
                     return Err(err.into());
                 }
@@ -395,8 +398,8 @@ impl<E: BootEngine> InstancePool<E> {
             self.pending_repair.clear();
             self.repair_stats.repairs += 1;
             self.repair_stats.repair_time += spent;
-            self.metrics.inc("pool.repair.count");
-            self.metrics.observe("pool.repair.time", spent);
+            self.metrics.inc(names::POOL_REPAIR_COUNT);
+            self.metrics.observe(names::POOL_REPAIR_TIME, spent);
             self.health_points = self.health_points.max(75);
         }
         while self.idle.len() < self.min_ready.min(self.max_idle) {
@@ -409,7 +412,7 @@ impl<E: BootEngine> InstancePool<E> {
             ) {
                 Ok(booted) => booted,
                 Err(err) => {
-                    self.metrics.inc("pool.repair.failed");
+                    self.metrics.inc(names::POOL_REPAIR_FAILED);
                     ctx.tracer_mut().end();
                     return Err(err.into());
                 }
@@ -419,9 +422,10 @@ impl<E: BootEngine> InstancePool<E> {
                 idle_since: now,
             });
             self.repair_stats.replenished += 1;
-            self.metrics.inc("pool.repair.replenish");
+            self.metrics.inc(names::POOL_REPAIR_REPLENISH);
         }
-        self.metrics.set_gauge("pool.idle", self.idle.len() as i64);
+        self.metrics
+            .set_gauge(names::POOL_IDLE, self.idle.len() as i64);
         self.repair_trace.push(ctx.tracer_mut().end());
         Ok(())
     }

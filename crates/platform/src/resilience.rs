@@ -31,6 +31,7 @@
 use faultsim::{FaultKind, InjectionPoint};
 use runtimes::AppProfile;
 use sandbox::{BootCtx, BootEngine, BootOutcome, SandboxError};
+use simtime::names;
 use simtime::{MetricsRegistry, SimNanos};
 
 /// How hard the platform works to keep a request alive through host faults.
@@ -185,7 +186,7 @@ pub fn resilient_boot<E: BootEngine>(
                     return Err(err);
                 };
                 faults += 1;
-                metrics.inc(&format!("fault.{}", fault.point));
+                metrics.inc(&names::fault_metric(&fault.point.to_string()));
 
                 if fault.kind == FaultKind::Poison && policy.quarantine {
                     if policy.defer_quarantine {
@@ -198,11 +199,11 @@ pub fn resilient_boot<E: BootEngine>(
                         if !poisoned.contains(&fault.point) {
                             poisoned.push(fault.point);
                         }
-                        metrics.inc("quarantine.deferred");
+                        metrics.inc(names::QUARANTINE_DEFERRED);
                         if policy.fallback {
                             if let Some(rung) = engine.degrade() {
                                 fallback_path = Some(rung);
-                                metrics.inc(&format!("fallback.{rung}"));
+                                metrics.inc(&names::fallback_rung(rung));
                                 retries_here = 0;
                                 continue;
                             }
@@ -216,13 +217,13 @@ pub fn resilient_boot<E: BootEngine>(
                         injector.borrow_mut().heal(fault.point);
                     }
                     quarantines += 1;
-                    metrics.inc("quarantine.count");
+                    metrics.inc(names::QUARANTINE_COUNT);
                 }
 
                 if retries_here < policy.max_retries {
                     retries_here += 1;
                     retries += 1;
-                    metrics.inc("invoke.retries");
+                    metrics.inc(names::INVOKE_RETRIES);
                     if !policy.backoff_base.is_zero() {
                         let backoff = policy
                             .backoff_base
@@ -234,7 +235,7 @@ pub fn resilient_boot<E: BootEngine>(
                 if policy.fallback {
                     if let Some(rung) = engine.degrade() {
                         fallback_path = Some(rung);
-                        metrics.inc(&format!("fallback.{rung}"));
+                        metrics.inc(&names::fallback_rung(rung));
                         retries_here = 0;
                         continue;
                     }

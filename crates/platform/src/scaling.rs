@@ -11,6 +11,7 @@
 use runtimes::AppProfile;
 use sandbox::{BootCtx, BootEngine, SandboxError};
 use simtime::jitter::Jitter;
+use simtime::names;
 use simtime::{CostModel, MachineKind, MetricsRegistry, SimNanos};
 
 /// One measured point of Fig. 15.
@@ -84,7 +85,7 @@ pub fn sweep_with_metrics<E: BootEngine>(
         while (running.len() as u32) < n {
             let mut scrap = BootCtx::fresh(model);
             running.push(engine.boot(profile, &mut scrap)?);
-            metrics.inc("scaling.background-boots");
+            metrics.inc(names::SCALING_BACKGROUND_BOOTS);
         }
         // Measure one boot under contention.
         let mut ctx = BootCtx::fresh(model);
@@ -92,9 +93,9 @@ pub fn sweep_with_metrics<E: BootEngine>(
         drop(outcome); // the measured instance exits after serving
         let factor = contention_factor(n, model, &mut jitter);
         let startup = ctx.now().scale(factor);
-        metrics.inc("scaling.measured-boots");
-        metrics.observe("scaling.startup", startup);
-        metrics.set_gauge("scaling.running", n as i64);
+        metrics.inc(names::SCALING_MEASURED_BOOTS);
+        metrics.observe(names::SCALING_STARTUP, startup);
+        metrics.set_gauge(names::SCALING_RUNNING, n as i64);
         out.push(ScalePoint {
             running: n,
             startup,

@@ -14,6 +14,7 @@ use std::rc::Rc;
 use faultsim::{FaultInjector, FaultPlan};
 use runtimes::AppProfile;
 use sandbox::BootEngine;
+use simtime::names;
 use simtime::stats::{summarize, Summary};
 use simtime::{CostModel, MetricsRegistry, SimNanos};
 
@@ -166,7 +167,7 @@ where
     });
     let degraded = pools
         .iter()
-        .map(|p| p.metrics().counter("pool.degraded"))
+        .map(|p| p.metrics().counter(names::POOL_DEGRADED))
         .sum();
     let faults = injector.map_or(0, |i| i.borrow().total_fired());
     Ok(SimulationOutcome {
@@ -380,20 +381,20 @@ where
     let mut degraded = 0u64;
     for pool in &pools {
         metrics.merge_from(pool.metrics());
-        degraded += pool.metrics().counter("pool.degraded");
+        degraded += pool.metrics().counter(names::POOL_DEGRADED);
         let r = pool.repair_stats();
         repairs.repairs += r.repairs;
         repairs.evicted += r.evicted;
         repairs.replenished += r.replenished;
         repairs.repair_time += r.repair_time;
     }
-    metrics.add("admit.count", admitted);
-    metrics.add("shed.overload", shed_overload);
-    metrics.add("shed.deadline", shed_deadline);
-    metrics.add("shed.breaker", shed_breaker);
+    metrics.add(names::ADMIT_COUNT, admitted);
+    metrics.add(names::SHED_OVERLOAD, shed_overload);
+    metrics.add(names::SHED_DEADLINE, shed_deadline);
+    metrics.add(names::SHED_BREAKER, shed_breaker);
     let transitions = ctrl.all_transitions();
     for (_, transition) in &transitions {
-        metrics.inc(&format!("breaker.{}", transition.to.label()));
+        metrics.inc(&names::breaker_gauge(transition.to.label()));
     }
     let faults = injector.map_or(0, |i| i.borrow().total_fired());
 

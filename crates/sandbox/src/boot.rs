@@ -11,21 +11,13 @@ use simtime::{Breakdown, CostModel, SimClock, SimNanos};
 use crate::host::{HostTweaks, KvmDevice};
 use crate::SandboxError;
 
-/// Name of the root span every engine wraps around one boot.
-pub const SPAN_BOOT: &str = "boot";
-/// Name of the span the gateway wraps around handler execution.
-pub const SPAN_EXEC: &str = "exec";
-
-/// Phase-name prefix for sandbox-initialization work (Fig. 4's "Sandbox").
-pub const PHASE_SANDBOX: &str = "sandbox:";
-/// Phase name for application initialization (Fig. 4's "Application").
-pub const PHASE_APP: &str = "app:init";
-/// Phase name for guest-kernel (non-I/O) state recovery (Fig. 12 "Kernel").
-pub const PHASE_RESTORE_KERNEL: &str = "restore:kernel";
-/// Phase name for application-memory loading (Fig. 12 "Memory").
-pub const PHASE_RESTORE_MEMORY: &str = "restore:memory";
-/// Phase name for I/O reconnection (Fig. 12 "I/O").
-pub const PHASE_RESTORE_IO: &str = "restore:io";
+// The span and phase names themselves live in the workspace-wide registry
+// (`simtime::names`); these re-exports keep the historical import path that
+// every engine uses.
+pub use simtime::names::{
+    PHASE_APP, PHASE_RESTORE_IO, PHASE_RESTORE_KERNEL, PHASE_RESTORE_MEMORY, PHASE_SANDBOX,
+    SPAN_BOOT, SPAN_EXEC,
+};
 
 /// Isolation strength, for the Fig. 3 design-space chart.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -166,7 +158,7 @@ impl BootCtx {
         match fired {
             None => Ok(()),
             Some(fault) => {
-                self.charge_span(format!("fault:{point}"), fault.delay);
+                self.charge_span(simtime::names::fault_span(&point.to_string()), fault.delay);
                 Err(SandboxError::Fault(fault))
             }
         }
@@ -209,8 +201,9 @@ impl BootOutcome {
     /// Latency attributed to application initialization (Fig. 4). Restore
     /// phases count here: they are the *transformed* application-init cost.
     pub fn app_time(&self) -> SimNanos {
-        self.breakdown
-            .total_matching(|n| n == PHASE_APP || n.starts_with("restore:"))
+        self.breakdown.total_matching(|n| {
+            n == PHASE_APP || n.starts_with(simtime::names::PHASE_RESTORE_PREFIX)
+        })
     }
 
     /// The Fig. 12 three-way split: (kernel, memory, io) restore costs.

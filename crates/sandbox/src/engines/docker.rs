@@ -3,6 +3,7 @@
 
 use runtimes::AppProfile;
 use runtimes::WrappedProgram;
+use simtime::names;
 
 use crate::boot::{traced_boot, BootCtx, BootEngine, BootOutcome, IsolationLevel, PHASE_APP};
 use crate::config::OciConfig;
@@ -43,13 +44,13 @@ impl BootEngine for DockerEngine {
         self.boots += 1;
         traced_boot(self.name(), ctx, |ctx| {
             let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
-            ctx.span("sandbox:parse-config", |ctx| {
+            ctx.span(names::PHASE_SANDBOX_PARSE_CONFIG, |ctx| {
                 OciConfig::parse(&json, ctx.clock(), ctx.model())
             })?;
-            ctx.span("sandbox:container-runtime", |ctx| {
+            ctx.span(names::PHASE_SANDBOX_CONTAINER_RUNTIME, |ctx| {
                 ctx.charge(ctx.model().host.container_runtime_overhead);
             });
-            let mut program = ctx.span("sandbox:namespaces+process", |ctx| {
+            let mut program = ctx.span(names::PHASE_SANDBOX_NAMESPACES_PROCESS, |ctx| {
                 let mut program = WrappedProgram::start(profile, ctx.clock(), ctx.model())?;
                 // runc sets up pid/user/net/mnt namespaces and cgroups.
                 for ns in ["mnt", "cgroup"] {
@@ -61,7 +62,7 @@ impl BootEngine for DockerEngine {
                 ctx.charge(ctx.model().host.process_spawn);
                 Ok::<_, SandboxError>(program)
             })?;
-            ctx.span("sandbox:rootfs-mounts", |ctx| {
+            ctx.span(names::PHASE_SANDBOX_ROOTFS_MOUNTS, |ctx| {
                 program.kernel.vfs.mount(
                     guest_kernel::vfs::MountInfo {
                         source: "proc".into(),

@@ -2,6 +2,7 @@
 //! (paper §2.2), then the application initializes from scratch.
 
 use runtimes::{AppProfile, WrappedProgram};
+use simtime::names;
 
 use crate::boot::{
     traced_boot, virtualization_setup, BootCtx, BootEngine, BootOutcome, IsolationLevel, PHASE_APP,
@@ -53,19 +54,19 @@ impl BootEngine for FirecrackerEngine {
         let tweaks = self.tweaks;
         traced_boot(self.name(), ctx, |ctx| {
             let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
-            let config = ctx.span("sandbox:parse-config", |ctx| {
+            let config = ctx.span(names::PHASE_SANDBOX_PARSE_CONFIG, |ctx| {
                 OciConfig::parse(&json, ctx.clock(), ctx.model())
             })?;
-            ctx.span("sandbox:vmm-process", |ctx| {
+            ctx.span(names::PHASE_SANDBOX_VMM_PROCESS, |ctx| {
                 ctx.charge(ctx.model().host.process_spawn)
             });
-            ctx.span("sandbox:kvm-setup", |ctx| {
+            ctx.span(names::PHASE_SANDBOX_KVM_SETUP, |ctx| {
                 virtualization_setup(tweaks, config.vcpus, 4, ctx.clock(), ctx.model())
             });
-            ctx.span("sandbox:guest-linux-boot", |ctx| {
+            ctx.span(names::PHASE_SANDBOX_GUEST_LINUX_BOOT, |ctx| {
                 ctx.charge(ctx.model().kvm.guest_linux_boot);
             });
-            let mut program = ctx.span("sandbox:guest-userspace", |ctx| {
+            let mut program = ctx.span(names::PHASE_SANDBOX_GUEST_USERSPACE, |ctx| {
                 WrappedProgram::start(profile, ctx.clock(), ctx.model())
             })?;
             ctx.span(PHASE_APP, |ctx| {

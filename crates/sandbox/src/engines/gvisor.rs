@@ -3,6 +3,7 @@
 //! upper ("Boot") path.
 
 use runtimes::{AppProfile, WrappedProgram};
+use simtime::names;
 
 use crate::boot::{
     traced_boot, virtualization_setup, BootCtx, BootEngine, BootOutcome, IsolationLevel, PHASE_APP,
@@ -43,18 +44,18 @@ impl GvisorEngine {
         ctx: &mut BootCtx,
     ) -> Result<WrappedProgram, SandboxError> {
         let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
-        let config = ctx.span("sandbox:parse-config", |ctx| {
+        let config = ctx.span(names::PHASE_SANDBOX_PARSE_CONFIG, |ctx| {
             OciConfig::parse(&json, ctx.clock(), ctx.model())
         })?;
-        ctx.span("sandbox:boot-sandbox-process", |ctx| {
+        ctx.span(names::PHASE_SANDBOX_BOOT_SANDBOX_PROCESS, |ctx| {
             ctx.charge(ctx.model().host.process_spawn); // the Sentry
             ctx.charge(ctx.model().host.gofer_spawn); // the I/O (gofer) process
         });
-        let mut program = ctx.span("sandbox:init-kernel-platform", |ctx| {
+        let mut program = ctx.span(names::PHASE_SANDBOX_INIT_KERNEL_PLATFORM, |ctx| {
             virtualization_setup(tweaks, config.vcpus, 3, ctx.clock(), ctx.model());
             WrappedProgram::start(profile, ctx.clock(), ctx.model())
         })?;
-        ctx.span("sandbox:mount-rootfs", |ctx| {
+        ctx.span(names::PHASE_SANDBOX_MOUNT_ROOTFS, |ctx| {
             program.kernel.vfs.mount(
                 guest_kernel::vfs::MountInfo {
                     source: "proc".into(),
@@ -66,7 +67,7 @@ impl GvisorEngine {
             );
         });
         if load_task_image {
-            ctx.span("sandbox:load-task-image", |ctx| {
+            ctx.span(names::PHASE_SANDBOX_LOAD_TASK_IMAGE, |ctx| {
                 ctx.charge(ctx.model().host.task_image_load);
             });
         }

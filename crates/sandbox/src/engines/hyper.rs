@@ -2,6 +2,7 @@
 //! the heaviest baseline in Fig. 11.
 
 use runtimes::{AppProfile, WrappedProgram};
+use simtime::names;
 
 use crate::boot::{
     traced_boot, virtualization_setup, BootCtx, BootEngine, BootOutcome, IsolationLevel, PHASE_APP,
@@ -37,13 +38,13 @@ impl BootEngine for HyperContainerEngine {
     ) -> Result<BootOutcome, SandboxError> {
         traced_boot(self.name(), ctx, |ctx| {
             let json = OciConfig::for_function(&profile.name, profile.config_kib).to_json();
-            let config = ctx.span("sandbox:parse-config", |ctx| {
+            let config = ctx.span(names::PHASE_SANDBOX_PARSE_CONFIG, |ctx| {
                 OciConfig::parse(&json, ctx.clock(), ctx.model())
             })?;
-            ctx.span("sandbox:hyperd", |ctx| {
+            ctx.span(names::PHASE_SANDBOX_HYPERD, |ctx| {
                 ctx.charge(ctx.model().host.hyper_runtime_overhead);
             });
-            ctx.span("sandbox:kvm-setup", |ctx| {
+            ctx.span(names::PHASE_SANDBOX_KVM_SETUP, |ctx| {
                 virtualization_setup(
                     HostTweaks::baseline(),
                     config.vcpus,
@@ -52,11 +53,11 @@ impl BootEngine for HyperContainerEngine {
                     ctx.model(),
                 )
             });
-            ctx.span("sandbox:guest-linux-boot", |ctx| {
+            ctx.span(names::PHASE_SANDBOX_GUEST_LINUX_BOOT, |ctx| {
                 // A full (not minimized) guest kernel plus the hyperstart agent.
                 ctx.charge(ctx.model().kvm.guest_linux_boot.saturating_mul(2));
             });
-            let mut program = ctx.span("sandbox:guest-userspace", |ctx| {
+            let mut program = ctx.span(names::PHASE_SANDBOX_GUEST_USERSPACE, |ctx| {
                 let mut p = WrappedProgram::start(profile, ctx.clock(), ctx.model())?;
                 p.kernel
                     .tasks

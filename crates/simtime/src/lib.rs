@@ -48,6 +48,7 @@ mod cost;
 mod duration;
 pub mod jitter;
 pub mod metrics;
+pub mod names;
 mod phase;
 pub mod stats;
 pub mod trace;

@@ -94,6 +94,15 @@ impl From<Vec<u8>> for Bytes {
     }
 }
 
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Vec<u8> {
+        // The real crate reclaims the allocation when uniquely owned;
+        // `Arc<[u8]>` cannot be unwrapped, so the stub always copies. Fine
+        // for a stand-in: wall-clock cost is never what this repo measures.
+        b.as_slice().to_vec()
+    }
+}
+
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Bytes {
         Bytes::copy_from_slice(v)

@@ -13,8 +13,15 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, -D warnings)"
 cargo clippy --workspace -- -D warnings
 
-echo "==> catalint (workspace invariants vs catalint.toml baseline)"
+echo "==> catalint (workspace invariants, zero-debt)"
 cargo run -q -p catalint
+
+# Machine-readable output must stay both parseable and schema-stable:
+# downstream tooling pins tools/catalint-schema.json, so a field rename or
+# removal has to land together with a fixture update (and a version bump).
+echo "==> catalint --emit json (valid) + schema fixture (up to date)"
+cargo run -q -p catalint -- --emit json | python3 -m json.tool >/dev/null
+cargo run -q -p catalint -- --emit schema | diff -u tools/catalint-schema.json -
 
 echo "==> cargo build --release"
 cargo build --release
