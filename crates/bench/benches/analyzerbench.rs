@@ -1,0 +1,54 @@
+//! Criterion benchmark of catalint itself: full-workspace scan
+//! throughput, cold vs. warm.
+//!
+//! The checker runs inside the tier-1 test suite and `tools/check.sh`,
+//! so its wall-clock cost is paid on every push. Two cases over the real
+//! workspace source (bytes/sec throughput so the numbers survive the
+//! repo growing):
+//!
+//! - **cold** — a fresh [`AnalysisCache`] per iteration: every file is
+//!   lexed and segmented from scratch. This is what one-shot
+//!   `cargo run -p catalint` pays.
+//! - **warm** — a cache pre-warmed with the same content: every file
+//!   hash-hits and the scan rebuilds only the call graph, dataflow
+//!   summaries, and passes. This is the rescans-after-one-edit regime
+//!   the cache exists for; it must be measurably faster than cold.
+
+use std::hint::black_box;
+use std::path::Path;
+
+use catalint::cache::AnalysisCache;
+use catalint::config::Config;
+use catalint::{analyze_with_cache, collect_workspace, find_workspace_root};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn analyzer_scan(c: &mut Criterion) {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("bench runs inside the workspace");
+    let files = collect_workspace(&root).expect("workspace sources readable");
+    let cfg = Config::workspace_default();
+    let bytes: u64 = files.iter().map(|f| f.content.len() as u64).sum();
+
+    let mut group = c.benchmark_group("analyzer");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes));
+
+    group.bench_function("scan-cold", |b| {
+        b.iter(|| {
+            let mut cache = AnalysisCache::new();
+            black_box(analyze_with_cache(black_box(&files), &cfg, &mut cache))
+        })
+    });
+
+    group.bench_function("scan-warm", |b| {
+        let mut cache = AnalysisCache::new();
+        // Prime the cache outside the measured region.
+        let _ = analyze_with_cache(&files, &cfg, &mut cache);
+        b.iter(|| black_box(analyze_with_cache(black_box(&files), &cfg, &mut cache)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, analyzer_scan);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Content-hash incremental cache for per-file analysis results.
+//!
+//! Lexing and segmentation dominate a workspace scan, and both are pure
+//! functions of one file's bytes. The cache keys each path to an FNV-1a
+//! hash of its content and the [`ParsedFile`] produced from it; a rescan
+//! where the content hash matches reuses the parsed result via
+//! `Rc::clone` instead of re-lexing. The cross-file call graph is *not*
+//! cached — name resolution is global, so it is rebuilt from the (mostly
+//! cached) per-file items on every scan.
+//!
+//! The cache is in-process only (no on-disk state): it exists for
+//! long-lived embedders — `analyzerbench`'s warm rescans, future
+//! watch-mode runs — and deliberately has no invalidation story beyond
+//! the content hash. One-shot `cargo run -p catalint` invocations pay
+//! the cold cost once, like before.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::lexer::lex;
+use crate::segment::segment;
+use crate::{ParsedFile, SrcFile};
+
+/// 64-bit FNV-1a. Dependency-free, stable across platforms, and good
+/// enough for content fingerprinting where an adversarial collision is
+/// not in the threat model (the input is this repo's own source).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Per-file parse cache keyed by path, validated by content hash.
+#[derive(Default)]
+pub struct AnalysisCache {
+    entries: HashMap<String, (u64, Rc<ParsedFile>)>,
+    /// Files served from cache since construction.
+    pub hits: u64,
+    /// Files lexed and segmented since construction.
+    pub misses: u64,
+}
+
+impl AnalysisCache {
+    /// An empty cache.
+    pub fn new() -> AnalysisCache {
+        AnalysisCache::default()
+    }
+
+    /// Returns the parsed form of `file`, reusing the cached result when
+    /// the content hash matches the last scan.
+    pub fn parse(&mut self, file: &SrcFile) -> Rc<ParsedFile> {
+        let hash = fnv1a(file.content.as_bytes());
+        if let Some((stored, parsed)) = self.entries.get(&file.path) {
+            if *stored == hash {
+                self.hits += 1;
+                return Rc::clone(parsed);
+            }
+        }
+        self.misses += 1;
+        let lexed = lex(&file.content);
+        let parsed = Rc::new(ParsedFile {
+            path: file.path.clone(),
+            items: segment(&lexed.toks),
+            allows: lexed.allows,
+        });
+        self.entries
+            .insert(file.path.clone(), (hash, Rc::clone(&parsed)));
+        parsed
+    }
+
+    /// Number of cached files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(path: &str, content: &str) -> SrcFile {
+        SrcFile {
+            path: path.to_string(),
+            content: content.to_string(),
+        }
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn unchanged_content_hits_changed_content_misses() {
+        let mut cache = AnalysisCache::new();
+        let a = cache.parse(&src("crates/x/src/lib.rs", "fn f() {}"));
+        let b = cache.parse(&src("crates/x/src/lib.rs", "fn f() {}"));
+        assert!(Rc::ptr_eq(&a, &b), "identical content must be shared");
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+
+        let c = cache.parse(&src("crates/x/src/lib.rs", "fn g() {}"));
+        assert!(!Rc::ptr_eq(&a, &c), "edited content must re-parse");
+        assert_eq!((cache.hits, cache.misses), (1, 2));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(c.items.fns[0].name, "g");
+    }
+}

@@ -29,6 +29,28 @@ pub struct Config {
     /// (where the names are defined) and the checker (which defines the
     /// grammar it polices).
     pub namereg_exempt: Vec<String>,
+    /// Bare names of the engine boot entry points. Everything reachable
+    /// from these is the seam-coverage (`seamcover`) and duration-
+    /// arithmetic (`simarith`) scope.
+    pub seam_roots: Vec<String>,
+    /// Additional roots for the simarith pass: the platform-facing
+    /// invocation paths where latency accounting happens.
+    pub sim_roots: Vec<String>,
+    /// The seam registry: each `InjectionPoint` variant mapped to the
+    /// bare names of the operations it guards in `core`/`sandbox`. A
+    /// boot-path function calling one of these operations must consult
+    /// `ctx.fault(<point>)` first.
+    pub seam_ops: Vec<(String, Vec<String>)>,
+    /// Path prefixes exempt from the simarith pass: `simtime` itself
+    /// implements the arithmetic being policed.
+    pub simarith_exempt: Vec<String>,
+    /// Path prefixes exempt from the spanflow guard scan: `simtime`
+    /// implements the tracer whose raw begin/end the pass polices.
+    pub spanflow_exempt: Vec<String>,
+    /// The span/metric name registry file. The spanflow pass checks that
+    /// every public entry in it is emitted somewhere in the workspace
+    /// (namereg checks the other direction: every literal is registered).
+    pub registry_file: String,
 }
 
 impl Config {
@@ -69,6 +91,45 @@ impl Config {
                 "crates/simtime/src/names.rs".into(),
                 "crates/catalint/".into(),
             ],
+            seam_roots: vec![
+                // Every `BootEngine::boot` implementation plus the
+                // Catalyzer-specific entry points that bypass the trait.
+                "boot".into(),
+                "restore_boot".into(),
+                "sfork".into(),
+                "fork_boot".into(),
+                "boot_function".into(),
+            ],
+            sim_roots: vec![
+                // Latency accounting happens where boots are driven:
+                // the gateway/pool invocation paths and the resilience
+                // ladder, on top of the seam roots above.
+                "invoke".into(),
+                "invoke_detailed".into(),
+                "invoke_at".into(),
+                "run_admitted".into(),
+                "resilient_boot".into(),
+            ],
+            seam_ops: vec![
+                // Paper §3: each restore mechanism sits behind its fault
+                // seam. The operation names are the `core`/`sandbox`
+                // functions that *perform* the seam's work.
+                (
+                    "ImageMmap".into(),
+                    vec!["build_base_layer".into(), "attach_base".into()],
+                ),
+                ("ArenaMap".into(), vec!["restore_metadata".into()]),
+                ("Relink".into(), vec!["restore_from_records".into()]),
+                (
+                    "IoReconnect".into(),
+                    vec!["read_io_manifest".into(), "ensure_connected".into()],
+                ),
+                ("ZygoteSpecialize".into(), vec!["specialize".into()]),
+                ("SforkMerge".into(), vec!["expand".into()]),
+            ],
+            simarith_exempt: vec!["crates/simtime/".into()],
+            spanflow_exempt: vec!["crates/simtime/".into()],
+            registry_file: "crates/simtime/src/names.rs".into(),
         }
     }
 
@@ -90,6 +151,24 @@ impl Config {
     /// True when the path is exempt from the namereg pass.
     pub fn is_namereg_exempt(&self, path: &str) -> bool {
         self.namereg_exempt.iter().any(|p| path.starts_with(p))
+    }
+
+    /// The `InjectionPoint` variant guarding `op`, per the seam registry.
+    pub fn seam_point_for(&self, op: &str) -> Option<&str> {
+        self.seam_ops
+            .iter()
+            .find(|(_, ops)| ops.iter().any(|o| o == op))
+            .map(|(point, _)| point.as_str())
+    }
+
+    /// True when the path is exempt from the simarith pass.
+    pub fn is_simarith_exempt(&self, path: &str) -> bool {
+        self.simarith_exempt.iter().any(|p| path.starts_with(p))
+    }
+
+    /// True when the path is exempt from the spanflow guard scan.
+    pub fn is_spanflow_exempt(&self, path: &str) -> bool {
+        self.spanflow_exempt.iter().any(|p| path.starts_with(p))
     }
 
     /// True for test, bench, example, and binary targets — code that never
@@ -121,5 +200,17 @@ mod tests {
         assert!(c.is_non_library_path("crates/bench/src/bin/repro.rs"));
         assert!(c.is_non_library_path("examples/quickstart.rs"));
         assert!(!c.is_non_library_path("crates/core/src/restore.rs"));
+    }
+
+    #[test]
+    fn seam_registry_lookup() {
+        let c = Config::workspace_default();
+        assert_eq!(c.seam_point_for("restore_metadata"), Some("ArenaMap"));
+        assert_eq!(c.seam_point_for("ensure_connected"), Some("IoReconnect"));
+        assert_eq!(c.seam_point_for("specialize"), Some("ZygoteSpecialize"));
+        assert_eq!(c.seam_point_for("unrelated_op"), None);
+        assert!(c.is_simarith_exempt("crates/simtime/src/duration.rs"));
+        assert!(!c.is_simarith_exempt("crates/platform/src/gateway.rs"));
+        assert!(c.is_spanflow_exempt("crates/simtime/src/trace.rs"));
     }
 }

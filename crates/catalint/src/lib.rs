@@ -21,9 +21,15 @@
 //! `HashMap`/`HashSet` iteration order (`hashorder`), and public library
 //! functions return crate error types, not `Box<dyn Error>` (`hygiene`).
 //!
+//! Plus three dataflow-backed contracts (PR 6): every `InjectionPoint`
+//! fault seam is consulted on the boot paths (`seamcover`), span guards
+//! and the name registry balance (`spanflow`), and `SimNanos` arithmetic
+//! on boot-reachable paths is saturating/checked (`simarith`).
+//!
 //! The checker lexes the workspace (no rustc, no dependencies), segments
-//! it into functions, builds an approximate call graph, and runs seven
-//! passes; the interprocedural ones (`panic`, `hotpath`, `borrowcell`)
+//! it into functions, builds an approximate call graph plus def-use
+//! dataflow summaries, and runs ten passes; the interprocedural ones
+//! (`panic`, `hotpath`, `borrowcell`, `seamcover`, `simarith`)
 //! attach the root → sink call chain to each finding. Findings are diffed
 //! against `catalint.toml`, which is intentionally empty: the workspace
 //! carries zero lint debt, and any finding fails the build. Run it as
@@ -32,7 +38,9 @@
 //! suite.
 
 pub mod baseline;
+pub mod cache;
 pub mod config;
+pub mod dataflow;
 pub mod graph;
 pub mod lexer;
 pub mod passes;
@@ -42,11 +50,13 @@ use std::collections::HashMap;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::rc::Rc;
 
 use baseline::{diff, parse_baseline, Diff};
+use cache::AnalysisCache;
 use config::Config;
-use lexer::{lex, Allow};
-use segment::{segment, FileItems};
+use lexer::Allow;
+use segment::FileItems;
 
 /// One source file presented to the checker. Paths are workspace-relative
 /// with `/` separators (`crates/imagefmt/src/flat.rs`).
@@ -134,26 +144,33 @@ pub struct ParsedFile {
     pub allows: Vec<Allow>,
 }
 
-/// Runs all seven passes over the given files and returns findings sorted
+/// Runs all ten passes over the given files and returns findings sorted
 /// by `(file, line, pass)`, with `catalint: allow(...)` suppressions
-/// already applied.
+/// already applied. One-shot entry point: parses into a throwaway cache.
 pub fn analyze(files: &[SrcFile], cfg: &Config) -> Vec<Violation> {
-    let parsed: Vec<ParsedFile> = files
+    let mut cache = AnalysisCache::new();
+    analyze_with_cache(files, cfg, &mut cache)
+}
+
+/// Like [`analyze`], but reuses per-file lex/segment results from `cache`
+/// when content hashes match — the entry point for long-lived embedders
+/// (warm rescans in `analyzerbench`, future watch modes).
+pub fn analyze_with_cache(
+    files: &[SrcFile],
+    cfg: &Config,
+    cache: &mut AnalysisCache,
+) -> Vec<Violation> {
+    let parsed: Vec<Rc<ParsedFile>> = files
         .iter()
         .filter(|f| !cfg.is_scan_exempt(&f.path))
-        .map(|f| {
-            let lexed = lex(&f.content);
-            ParsedFile {
-                path: f.path.clone(),
-                items: segment(&lexed.toks),
-                allows: lexed.allows,
-            }
-        })
+        .map(|f| cache.parse(f))
         .collect();
 
     // One call graph over library code, shared by the interprocedural
     // passes. Tests, benches, and binaries never join the graph.
     let graph = graph::CallGraph::build(&parsed, |p| cfg.is_non_library_path(p));
+    // Dataflow summaries for the contract passes.
+    let sums = dataflow::Summaries::compute(&graph);
 
     let mut out = Vec::new();
     passes::determinism(&parsed, cfg, &mut out);
@@ -163,6 +180,9 @@ pub fn analyze(files: &[SrcFile], cfg: &Config) -> Vec<Violation> {
     passes::borrowcell(cfg, &graph, &mut out);
     passes::namereg(&parsed, cfg, &mut out);
     passes::hashorder(&parsed, cfg, &mut out);
+    passes::seamcover(&parsed, cfg, &graph, &sums, &mut out);
+    passes::spanflow(&parsed, cfg, &mut out);
+    passes::simarith(&parsed, cfg, &graph, &sums, &mut out);
 
     let allows: HashMap<&str, &[Allow]> = parsed
         .iter()

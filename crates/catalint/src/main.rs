@@ -22,20 +22,23 @@ struct Args {
 enum Emit {
     Text,
     Json,
+    Sarif,
     Schema,
 }
 
-const USAGE: &str = "usage: catalint [--root DIR] [--write-baseline] [--emit text|json|schema]
-                [--explain PASS]
+const USAGE: &str = "usage: catalint [--root DIR] [--write-baseline]
+                [--emit text|json|sarif|schema] [--explain PASS]
 
 Checks the workspace against its mechanical invariants (determinism,
 panic-free image parsing, restore hot-path copy discipline, RefCell guard
 discipline, metric-name registry use, hash-order hygiene, error hygiene)
-and diffs the findings against catalint.toml.
+and its dataflow contracts (fault-seam coverage, span/registry balance,
+SimNanos arithmetic safety), then diffs the findings against catalint.toml.
 
   --root DIR          workspace root (default: walk up from the cwd)
   --write-baseline    rewrite catalint.toml from the current findings
   --emit json         machine-readable findings on stdout (stable schema)
+  --emit sarif        SARIF 2.1.0 findings on stdout (for code-scanning UIs)
   --emit schema       print the JSON output schema and exit
   --explain PASS      print what a pass checks, why, and how to fix findings
 ";
@@ -56,10 +59,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--write-baseline" => args.baseline_out = true,
             "--emit" => {
-                let v = it.next().ok_or("--emit needs a value (text|json|schema)")?;
+                let v = it
+                    .next()
+                    .ok_or("--emit needs a value (text|json|sarif|schema)")?;
                 args.emit = match v.as_str() {
                     "text" => Emit::Text,
                     "json" => Emit::Json,
+                    "sarif" => Emit::Sarif,
                     "schema" => Emit::Schema,
                     other => return Err(format!("unknown --emit format `{other}`")),
                 };
@@ -162,8 +168,12 @@ fn run(args: Args) -> Result<ExitCode, CatalintError> {
         return Ok(ExitCode::SUCCESS);
     }
 
-    if args.emit == Emit::Json {
-        print!("{}", render_json(&outcome));
+    if args.emit == Emit::Json || args.emit == Emit::Sarif {
+        if args.emit == Emit::Json {
+            print!("{}", render_json(&outcome));
+        } else {
+            print!("{}", render_sarif(&outcome));
+        }
         return Ok(if outcome.diff.is_clean() {
             ExitCode::SUCCESS
         } else {
@@ -214,11 +224,26 @@ fn run(args: Args) -> Result<ExitCode, CatalintError> {
 /// The stable shape of `--emit json` output, printed by `--emit schema`
 /// and pinned by `tools/catalint-schema.json`. Bump `version` on any
 /// incompatible change.
+///
+/// Version history: 1 = seven passes, findings + summary. 2 = adds the
+/// top-level `passes` array (name + severity of every registered pass,
+/// so consumers can render empty reports without hard-coding the list).
 const JSON_SCHEMA: &str = r#"{
-  "$comment": "catalint --emit json output schema, version 1",
+  "$comment": "catalint --emit json output schema, version 2",
   "type": "object",
   "properties": {
-    "version": { "type": "integer", "const": 1 },
+    "version": { "type": "integer", "const": 2 },
+    "passes": {
+      "type": "array",
+      "items": {
+        "type": "object",
+        "properties": {
+          "name": { "type": "string" },
+          "severity": { "enum": ["error", "warning"] }
+        },
+        "required": ["name", "severity"]
+      }
+    },
     "findings": {
       "type": "array",
       "items": {
@@ -246,12 +271,24 @@ const JSON_SCHEMA: &str = r#"{
       "required": ["files_scanned", "findings", "above_baseline", "clean"]
     }
   },
-  "required": ["version", "findings", "summary"]
+  "required": ["version", "passes", "findings", "summary"]
 }
 "#;
 
 fn render_json(outcome: &CheckOutcome) -> String {
-    let mut s = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    let mut s = String::from("{\n  \"version\": 2,\n  \"passes\": [");
+    for (i, p) in ALL_PASSES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{ \"name\": {}, \"severity\": {} }}",
+            json_str(p),
+            json_str(severity(p))
+        );
+    }
+    s.push_str("\n  ],\n  \"findings\": [");
     for (i, v) in outcome.violations.iter().enumerate() {
         if i > 0 {
             s.push(',');
@@ -298,6 +335,65 @@ fn finding_json(v: &Violation) -> String {
         chain,
         json_str(&v.what),
     )
+}
+
+// ---------------------------------------------------------------------------
+// --emit sarif
+// ---------------------------------------------------------------------------
+
+/// SARIF 2.1.0 rendering for code-scanning UIs. One run, one rule per
+/// pass, one result per finding; the call chain (when present) rides in
+/// the message like the text renderer. Hand-rolled like the JSON emitter:
+/// catalint stays dependency-free.
+fn render_sarif(outcome: &CheckOutcome) -> String {
+    let mut s = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"catalint\",\n          \"rules\": [",
+    );
+    for (i, p) in ALL_PASSES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n            {{ \"id\": {}, \"defaultConfiguration\": {{ \"level\": {} }} }}",
+            json_str(p),
+            json_str(sarif_level(p))
+        );
+    }
+    s.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, v) in outcome.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let message = if v.chain.len() > 1 {
+            format!("{}: {}", v.chain.join(" → "), v.what)
+        } else {
+            format!("fn {}: {}", v.func, v.what)
+        };
+        let _ = write!(
+            s,
+            "\n        {{ \"ruleId\": {}, \"level\": {}, \"message\": {{ \"text\": {} }}, \
+             \"locations\": [{{ \"physicalLocation\": {{ \"artifactLocation\": \
+             {{ \"uri\": {} }}, \"region\": {{ \"startLine\": {} }} }} }}] }}",
+            json_str(v.pass),
+            json_str(sarif_level(v.pass)),
+            json_str(&message),
+            json_str(&v.file),
+            v.line
+        );
+    }
+    if !outcome.violations.is_empty() {
+        s.push_str("\n      ");
+    }
+    s.push_str("]\n    }\n  ]\n}\n");
+    s
+}
+
+/// catalint severities map 1:1 onto SARIF levels.
+fn sarif_level(pass: &str) -> &'static str {
+    severity(pass)
 }
 
 fn json_str(s: &str) -> String {
@@ -385,6 +481,50 @@ fn explain(pass: &str) -> Option<&'static str> {
              collections are fine.\n\n\
              Fix: use BTreeMap/BTreeSet for iterated collections, or sort\n\
              before the order escapes.\n"
+        }
+        "seamcover" => {
+            "seamcover — every fault seam is consulted on the boot paths.\n\n\
+             faultsim's InjectionPoint enum names the seams where the boot\n\
+             pipeline can be made to fail (ImageMmap, ArenaMap, Relink,\n\
+             IoReconnect, ZygoteSpecialize, SforkMerge). The resilience\n\
+             ladder, the breaker, and the fault-injection tests only cover\n\
+             what the engines actually consult: a seam-class operation that\n\
+             skips its `ctx.fault(...)` call is invisible to all of them.\n\
+             Two directions, both dataflow-backed: (a) every InjectionPoint\n\
+             variant must be consulted somewhere reachable from the boot\n\
+             roots (directly or through precise callees); (b) every\n\
+             boot-path function that performs a registered seam operation\n\
+             (see seam_ops in catalint's config) must consult that seam\n\
+             before the operation.\n\n\
+             Fix: add `ctx.fault(InjectionPoint::<Point>)?;` before the\n\
+             operation, as the gVisor engines do; or if the operation is\n\
+             genuinely off the boot path, adjust the seam registry with a\n\
+             review.\n"
+        }
+        "spanflow" => {
+            "spanflow — span guards balance, and so does the name registry.\n\n\
+             A raw `tracer().begin(...)` without a matching `end()` on every\n\
+             path (a `?` or `return` between them) leaves the span open and\n\
+             skews every Fig. 8 attribution after it. Separately, a\n\
+             simtime::names registry entry that nothing emits is a stale\n\
+             name the bench validators silently accept (namereg checks the\n\
+             other direction: every literal is registered).\n\n\
+             Fix: use the closure-scoped `ctx.span(...)` (it cannot leak),\n\
+             or close the raw span on every early-return path; delete or\n\
+             wire up unused registry entries.\n"
+        }
+        "simarith" => {
+            "simarith — SimNanos arithmetic on boot paths is overflow-safe.\n\n\
+             SimNanos operators panic on overflow in debug builds and wrap\n\
+             in release; a wrapped duration silently corrupts every latency\n\
+             percentile downstream. On paths reachable from the boot and\n\
+             invocation roots, `+`, `-`, `*` (and the compound forms) on\n\
+             values the dataflow layer can see are durations — SimNanos\n\
+             fields/params, bindings from duration-returning calls — must\n\
+             use the saturating_* or checked_* forms.\n\n\
+             Fix: `a.saturating_add(b)` / `saturating_sub` / `saturating_mul`\n\
+             when clamping is the right answer (accumulators, cost models),\n\
+             or the checked_* form when overflow should be an error.\n"
         }
         "hygiene" => {
             "hygiene — public library functions return crate error types.\n\n\

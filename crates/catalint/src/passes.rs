@@ -1,4 +1,4 @@
-//! The seven invariant passes.
+//! The ten invariant passes.
 //!
 //! Each pass is a pattern scan over token trees (see [`crate::lexer`]);
 //! the interprocedural ones additionally consult the approximate call
@@ -30,10 +30,30 @@
 //!   collections or sort first.
 //! - **hygiene** — public library functions return crate error types, not
 //!   `Box<dyn Error>`, so callers can match on failure modes.
+//!
+//! The contract passes (PR 6) add a def-use dataflow layer (see
+//! [`crate::dataflow`]) on top of the graph:
+//!
+//! - **seamcover** — every `InjectionPoint` variant must be consulted via
+//!   `ctx.fault(...)` somewhere reachable from the engine boot roots, and
+//!   every boot-path function performing a seam-class operation (per the
+//!   seam registry in [`Config`]) must consult its point first. A boot
+//!   path that skips a seam silently deflates the availability numbers
+//!   faultsim exists to produce.
+//! - **spanflow** — raw `tracer begin()` guards must not leak across
+//!   `?`/`return` before a matching `end()`, and the `simtime::names`
+//!   registry must balance in both directions (namereg checks literals →
+//!   registry; spanflow checks registry → emission sites).
+//! - **simarith** — unchecked `+`/`-`/`*` on `SimNanos`/duration values
+//!   in functions reachable from the boot/simulate roots must use the
+//!   saturating/checked forms; a latency underflow panics or wraps into
+//!   a 500-year duration, either of which corrupts exported figures.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::rc::Rc;
 
 use crate::config::Config;
+use crate::dataflow::{self, Summaries};
 use crate::graph::{CallGraph, EdgeKind};
 use crate::lexer::{Delim, Tok};
 use crate::segment::is_keyword;
@@ -53,9 +73,16 @@ pub const PASS_NAMEREG: &str = "namereg";
 pub const PASS_HASHORDER: &str = "hashorder";
 /// Pass name: public API error hygiene.
 pub const PASS_HYGIENE: &str = "hygiene";
+/// Pass name: fault-seam exhaustiveness (every `InjectionPoint` variant
+/// consulted; every boot-path seam operation behind its consult).
+pub const PASS_SEAMCOVER: &str = "seamcover";
+/// Pass name: span-guard leak discipline and registry balance.
+pub const PASS_SPANFLOW: &str = "spanflow";
+/// Pass name: checked/saturating `SimNanos` arithmetic on boot paths.
+pub const PASS_SIMARITH: &str = "simarith";
 
 /// All pass names, for validating baselines and allow directives.
-pub const ALL_PASSES: [&str; 7] = [
+pub const ALL_PASSES: [&str; 10] = [
     PASS_DETERMINISM,
     PASS_PANIC,
     PASS_HOTPATH,
@@ -63,6 +90,9 @@ pub const ALL_PASSES: [&str; 7] = [
     PASS_NAMEREG,
     PASS_HASHORDER,
     PASS_HYGIENE,
+    PASS_SEAMCOVER,
+    PASS_SPANFLOW,
+    PASS_SIMARITH,
 ];
 
 /// Severity of a pass's findings, for machine-readable output. `error`
@@ -70,7 +100,8 @@ pub const ALL_PASSES: [&str; 7] = [
 /// panics at runtime; `warning` passes guard conventions. Both gate.
 pub fn severity(pass: &str) -> &'static str {
     match pass {
-        PASS_DETERMINISM | PASS_PANIC | PASS_HOTPATH | PASS_BORROWCELL => "error",
+        PASS_DETERMINISM | PASS_PANIC | PASS_HOTPATH | PASS_BORROWCELL | PASS_SEAMCOVER
+        | PASS_SIMARITH => "error",
         _ => "warning",
     }
 }
@@ -111,7 +142,7 @@ fn is_path_to(toks: &[Tok], i: usize, target: &str) -> bool {
 // ---------------------------------------------------------------------------
 
 /// Flags ambient time and entropy sources outside `simtime`.
-pub(crate) fn determinism(parsed: &[ParsedFile], cfg: &Config, out: &mut Vec<Violation>) {
+pub(crate) fn determinism(parsed: &[Rc<ParsedFile>], cfg: &Config, out: &mut Vec<Violation>) {
     for pf in parsed {
         if cfg.is_determinism_exempt(&pf.path) {
             continue;
@@ -189,7 +220,7 @@ fn prev_blocks_bare_sleep(toks: &[Tok], i: usize) -> bool {
 /// call graph — parse functions whose precise call chains reach a
 /// hard-panicking helper outside the parse set.
 pub(crate) fn panic_freedom(
-    parsed: &[ParsedFile],
+    parsed: &[Rc<ParsedFile>],
     cfg: &Config,
     graph: &CallGraph<'_>,
     out: &mut Vec<Violation>,
@@ -431,7 +462,7 @@ fn is_full_range(inner: &[Tok]) -> bool {
 // ---------------------------------------------------------------------------
 
 /// Flags public library functions returning `Box<dyn …Error…>`.
-pub(crate) fn hygiene(parsed: &[ParsedFile], cfg: &Config, out: &mut Vec<Violation>) {
+pub(crate) fn hygiene(parsed: &[Rc<ParsedFile>], cfg: &Config, out: &mut Vec<Violation>) {
     for pf in parsed {
         if cfg.is_non_library_path(&pf.path) {
             continue;
@@ -924,7 +955,7 @@ pub const NAME_PREFIXES: [&str; 21] = [
 ];
 
 /// Flags registry-grammar string literals outside `simtime::names`.
-pub(crate) fn namereg(parsed: &[ParsedFile], cfg: &Config, out: &mut Vec<Violation>) {
+pub(crate) fn namereg(parsed: &[Rc<ParsedFile>], cfg: &Config, out: &mut Vec<Violation>) {
     for pf in parsed {
         if cfg.is_non_library_path(&pf.path) || cfg.is_namereg_exempt(&pf.path) {
             continue;
@@ -988,7 +1019,7 @@ const ORDERERS: [&str; 6] = [
 /// Flags iteration over `HashMap`/`HashSet` locals, params, and same-file
 /// struct fields, unless the statement reduces order-insensitively or
 /// re-orders (sort / BTree collect).
-pub(crate) fn hashorder(parsed: &[ParsedFile], cfg: &Config, out: &mut Vec<Violation>) {
+pub(crate) fn hashorder(parsed: &[Rc<ParsedFile>], cfg: &Config, out: &mut Vec<Violation>) {
     for pf in parsed {
         if cfg.is_non_library_path(&pf.path) {
             continue;
@@ -1189,4 +1220,460 @@ fn self_field_tracked(stmt: &[Tok], from: usize, tracked: &[String]) -> bool {
         return false;
     }
     matches!(stmt.get(i + 2), Some(Tok::Ident(f, _)) if tracked.iter().any(|t| t == f))
+}
+
+// ---------------------------------------------------------------------------
+// seamcover
+// ---------------------------------------------------------------------------
+
+/// Fault-seam exhaustiveness, in two directions.
+///
+/// (a) *Variant coverage*: the `InjectionPoint` enum is discovered by
+/// parsing its declaration (so new variants are policed without touching
+/// the checker), and every variant must be consulted via
+/// `ctx.fault(InjectionPoint::V)` in some function reachable from the
+/// boot roots.
+///
+/// (b) *Operation coverage*: a boot-reachable function whose signature
+/// carries a `BootCtx` and which calls a seam-class operation (per the
+/// seam registry) must consult that operation's point first — directly at
+/// an earlier line, or through an earlier call whose precise callee's
+/// summary consults it. Functions without a `BootCtx` in their signature
+/// (guest-kernel internals doing on-demand work, cost estimators) are out
+/// of scope: they *cannot* consult a seam and are reached behind one.
+pub(crate) fn seamcover(
+    parsed: &[Rc<ParsedFile>],
+    cfg: &Config,
+    graph: &CallGraph<'_>,
+    sums: &Summaries,
+    out: &mut Vec<Violation>,
+) {
+    let mut variants: Vec<(String, String, u32)> = Vec::new();
+    for pf in parsed.iter() {
+        if cfg.is_non_library_path(&pf.path) {
+            continue;
+        }
+        collect_injection_variants(&pf.items.loose, &pf.path, &mut variants);
+    }
+
+    let roots: Vec<usize> = cfg
+        .seam_roots
+        .iter()
+        .flat_map(|n| graph.by_name(n))
+        .collect();
+    let reach = graph.reach(&roots, |site, _| {
+        !cfg.hot_stops.iter().any(|s| s == &site.bare)
+    });
+
+    // (a) Every declared variant is consulted on some boot path.
+    let mut consulted: BTreeSet<&str> = BTreeSet::new();
+    for ix in 0..graph.nodes.len() {
+        if reach.seen[ix] {
+            for v in &sums.direct_consults[ix] {
+                consulted.insert(v);
+            }
+        }
+    }
+    for (file, variant, line) in &variants {
+        if !consulted.contains(variant.as_str()) {
+            push(
+                out,
+                PASS_SEAMCOVER,
+                file,
+                MODULE_SCOPE,
+                *line,
+                format!(
+                    "fault seam `InjectionPoint::{variant}` is never consulted: no function \
+                     reachable from the boot roots calls `ctx.fault(InjectionPoint::{variant})`"
+                ),
+            );
+        }
+    }
+
+    // (b) Every boot-path seam operation sits behind its consult.
+    for ix in 0..graph.nodes.len() {
+        if !reach.seen[ix] {
+            continue;
+        }
+        let item = graph.items[ix];
+        if !item.sig.iter().any(|t| dataflow::mentions(t, "BootCtx")) {
+            continue;
+        }
+        let node = &graph.nodes[ix];
+        let direct = dataflow::consult_sites(&item.body);
+        for site in &graph.calls[ix] {
+            let Some(point) = cfg.seam_point_for(&site.bare) else {
+                continue;
+            };
+            // The operation's own (wrapper) definition is not a use site.
+            if node.name == site.bare {
+                continue;
+            }
+            let consulted_here = direct.iter().any(|(v, l)| v == point && *l <= site.line);
+            let consulted_via_helper = graph.calls[ix].iter().any(|s| {
+                s.line <= site.line
+                    && s.targets.iter().any(|&(t, kind)| {
+                        kind == EdgeKind::Precise && sums.consults[t].contains(point)
+                    })
+            });
+            if !(consulted_here || consulted_via_helper) {
+                out.push(Violation {
+                    pass: PASS_SEAMCOVER,
+                    file: node.file.clone(),
+                    func: node.name.clone(),
+                    line: site.line,
+                    what: format!(
+                        "seam operation `{}` runs without consulting \
+                         `ctx.fault(InjectionPoint::{point})` first; every boot-path `{}` \
+                         must sit behind its fault seam",
+                        site.bare, site.bare
+                    ),
+                    chain: graph.chain(&reach, ix),
+                });
+            }
+        }
+    }
+}
+
+/// Parses `enum InjectionPoint { … }` declarations, collecting each
+/// variant's name and line. Attributes and payload groups are skipped;
+/// doc comments never produce tokens.
+fn collect_injection_variants(toks: &[Tok], file: &str, out: &mut Vec<(String, String, u32)>) {
+    for i in 0..toks.len() {
+        if toks[i].ident() == Some("enum")
+            && matches!(toks.get(i + 1), Some(Tok::Ident(w, _)) if w == "InjectionPoint")
+        {
+            if let Some(Tok::Group(Delim::Brace, inner, _)) = toks
+                .iter()
+                .skip(i + 2)
+                .find(|t| matches!(t, Tok::Group(Delim::Brace, _, _)))
+            {
+                let mut expect = true;
+                for t in inner {
+                    match t {
+                        Tok::Punct(',', _) => expect = true,
+                        Tok::Punct('#', _) | Tok::Group(..) => {}
+                        Tok::Ident(w, line) if expect => {
+                            out.push((file.to_string(), w.clone(), *line));
+                            expect = false;
+                        }
+                        _ => expect = false,
+                    }
+                }
+            }
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            collect_injection_variants(inner, file, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// spanflow
+// ---------------------------------------------------------------------------
+
+/// Span-guard leak discipline plus registry balance.
+///
+/// A raw `tracer_mut().begin(…)` opens a span that only `end()` closes;
+/// a `?` or `return` before any `end()` leaks the open span into the
+/// caller's trace (the closure-scoped `ctx.span(…)` API cannot leak and
+/// is never flagged). Events are compared in flattened source order — an
+/// `end()` in an early-return arm counts for the hazards after it, which
+/// trades path-sensitivity for zero false positives on the match-heavy
+/// gateway/pool code.
+///
+/// Registry balance: namereg checks that emitted literals are registered;
+/// this direction checks that every public `simtime::names` entry is
+/// emitted (or referenced) somewhere outside the registry file.
+pub(crate) fn spanflow(parsed: &[Rc<ParsedFile>], cfg: &Config, out: &mut Vec<Violation>) {
+    for pf in parsed.iter() {
+        if cfg.is_non_library_path(&pf.path) || cfg.is_spanflow_exempt(&pf.path) {
+            continue;
+        }
+        for f in &pf.items.fns {
+            scan_span_guards(&f.body, &pf.path, &f.name, out);
+        }
+    }
+    registry_balance(parsed, cfg, out);
+}
+
+enum SpanEvent {
+    End,
+    Hazard(&'static str, u32),
+}
+
+fn scan_span_guards(toks: &[Tok], file: &str, func: &str, out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        if let Tok::Ident(w, line) = &toks[i] {
+            if w == "begin"
+                && i > 0
+                && toks[i - 1].is_punct('.')
+                && next_is_paren(toks, i)
+                && tracer_receiver(toks, i - 1)
+            {
+                let mut events: Vec<SpanEvent> = Vec::new();
+                flatten_span_events(&toks[i + 2..], &mut events);
+                // Only the first event matters: an `End` first means the
+                // guard closes before any hazard; a `Hazard` first is the
+                // leak.
+                if let Some(SpanEvent::Hazard(kind, hline)) = events.first() {
+                    push(
+                        out,
+                        PASS_SPANFLOW,
+                        file,
+                        func,
+                        *hline,
+                        format!(
+                            "span guard opened by raw `tracer begin` on line {line} \
+                             leaks across {kind} before any `end()`; close the span on \
+                             every path or use the closure-scoped `ctx.span(..)`"
+                        ),
+                    );
+                }
+            }
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            scan_span_guards(inner, file, func, out);
+        }
+    }
+}
+
+/// Depth-first, source-order flattening of span events after a `begin`.
+fn flatten_span_events(toks: &[Tok], out: &mut Vec<SpanEvent>) {
+    for i in 0..toks.len() {
+        match &toks[i] {
+            Tok::Ident(w, line) => {
+                if w == "end"
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && next_is_paren(toks, i)
+                    && tracer_receiver(toks, i - 1)
+                {
+                    out.push(SpanEvent::End);
+                } else if w == "return" {
+                    out.push(SpanEvent::Hazard("`return`", *line));
+                }
+            }
+            Tok::Punct('?', line) => out.push(SpanEvent::Hazard("`?`", *line)),
+            Tok::Group(_, inner, _) => flatten_span_events(inner, out),
+            _ => {}
+        }
+    }
+}
+
+/// The receiver chain before `dot` runs through a `tracer`/`tracer_mut`
+/// access (`ctx.tracer_mut().begin`, `self.tracer.end`).
+fn tracer_receiver(toks: &[Tok], dot: usize) -> bool {
+    let mut j = dot;
+    while j > 0 {
+        j -= 1;
+        match &toks[j] {
+            Tok::Ident(w, _) => {
+                if w == "tracer" || w == "tracer_mut" {
+                    return true;
+                }
+                if is_keyword(w) && w != "self" {
+                    return false;
+                }
+            }
+            Tok::Punct('.', _) => {}
+            Tok::Group(Delim::Paren, _, _) => {}
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Every public const and fn in the registry file must be referenced
+/// somewhere outside it. `use` re-exports are dropped during
+/// segmentation, so a re-export alone does not count as an emission.
+fn registry_balance(parsed: &[Rc<ParsedFile>], cfg: &Config, out: &mut Vec<Violation>) {
+    let Some(reg) = parsed.iter().find(|p| p.path == cfg.registry_file) else {
+        return;
+    };
+    let mut declared: Vec<(String, u32)> = Vec::new();
+    collect_pub_consts(&reg.items.loose, &mut declared);
+    for f in &reg.items.fns {
+        if f.is_pub {
+            declared.push((f.name.clone(), f.line));
+        }
+    }
+
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+    for pf in parsed.iter() {
+        if pf.path == cfg.registry_file {
+            continue;
+        }
+        collect_used_idents(&pf.items.loose, &mut used);
+        for f in &pf.items.fns {
+            collect_used_idents(&f.sig, &mut used);
+            collect_used_idents(&f.body, &mut used);
+        }
+    }
+
+    for (name, line) in &declared {
+        if !used.contains(name.as_str()) {
+            push(
+                out,
+                PASS_SPANFLOW,
+                &cfg.registry_file,
+                MODULE_SCOPE,
+                *line,
+                format!(
+                    "registry entry `{name}` has no emission site outside the registry; every \
+                     `simtime::names` entry must be emitted somewhere (or retired)"
+                ),
+            );
+        }
+    }
+}
+
+/// `pub const NAME` / `pub(crate) const NAME` declarations.
+fn collect_pub_consts(toks: &[Tok], out: &mut Vec<(String, u32)>) {
+    for i in 0..toks.len() {
+        if toks[i].ident() == Some("const") {
+            let vis = i >= 1 && toks[i - 1].ident() == Some("pub")
+                || i >= 2
+                    && matches!(toks.get(i - 1), Some(Tok::Group(Delim::Paren, _, _)))
+                    && toks[i - 2].ident() == Some("pub");
+            if vis {
+                if let Some(Tok::Ident(name, line)) = toks.get(i + 1) {
+                    out.push((name.clone(), *line));
+                }
+            }
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            collect_pub_consts(inner, out);
+        }
+    }
+}
+
+fn collect_used_idents<'a>(toks: &'a [Tok], out: &mut BTreeSet<&'a str>) {
+    for t in toks {
+        match t {
+            Tok::Ident(w, _) => {
+                out.insert(w.as_str());
+            }
+            Tok::Group(_, inner, _) => collect_used_idents(inner, out),
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// simarith
+// ---------------------------------------------------------------------------
+
+/// Unchecked `+`/`-`/`*` (and `+=`/`-=`) on `SimNanos`/duration values in
+/// functions reachable from the boot/simulate roots. The operator impls
+/// panic on overflow in debug builds and wrap in release; on an
+/// accounting path either silently corrupts exported latency figures.
+/// Findings carry the root → sink chain like the other graph passes.
+pub(crate) fn simarith(
+    parsed: &[Rc<ParsedFile>],
+    cfg: &Config,
+    graph: &CallGraph<'_>,
+    sums: &Summaries,
+    out: &mut Vec<Violation>,
+) {
+    let roots: Vec<usize> = cfg
+        .seam_roots
+        .iter()
+        .chain(cfg.sim_roots.iter())
+        .flat_map(|n| graph.by_name(n))
+        .collect();
+    let reach = graph.reach(&roots, |site, _| {
+        !cfg.hot_stops.iter().any(|s| s == &site.bare)
+    });
+
+    // Same-file `SimNanos` struct fields, by path.
+    let mut fields: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    for pf in parsed.iter() {
+        let mut set = BTreeSet::new();
+        dataflow::collect_duration_fields(&pf.items.loose, &mut set);
+        fields.insert(pf.path.as_str(), set);
+    }
+    let empty = BTreeSet::new();
+
+    for ix in 0..graph.nodes.len() {
+        if !reach.seen[ix] {
+            continue;
+        }
+        let node = &graph.nodes[ix];
+        if cfg.is_simarith_exempt(&node.file) {
+            continue;
+        }
+        let item = graph.items[ix];
+        let file_fields = fields.get(node.file.as_str()).unwrap_or(&empty);
+        let taint = dataflow::duration_taint(item, file_fields, &sums.duration_fns);
+        let mut sites: BTreeMap<u32, (&'static str, &'static str)> = BTreeMap::new();
+        scan_unchecked_arith(&item.body, &taint, &sums.duration_fns, &mut sites);
+        for (line, (op, fix)) in sites {
+            out.push(Violation {
+                pass: PASS_SIMARITH,
+                file: node.file.clone(),
+                func: node.name.clone(),
+                line,
+                what: format!(
+                    "unchecked `{op}` on a SimNanos/duration value on a boot-reachable path; \
+                     use `{fix}` (or the checked_* form)"
+                ),
+                chain: graph.chain(&reach, ix),
+            });
+        }
+    }
+}
+
+/// Flags binary `+`/`-`/`*` (and compound `+=`/`-=`) where either operand
+/// carries a duration, deduplicated per line.
+fn scan_unchecked_arith(
+    toks: &[Tok],
+    taint: &BTreeSet<String>,
+    duration_fns: &BTreeSet<String>,
+    out: &mut BTreeMap<u32, (&'static str, &'static str)>,
+) {
+    for i in 0..toks.len() {
+        if let Tok::Punct(op @ ('+' | '-' | '*'), line) = &toks[i] {
+            // `->` return-type arrows.
+            if *op == '-' && toks.get(i + 1).is_some_and(|t| t.is_punct('>')) {
+                continue;
+            }
+            if i == 0 {
+                continue;
+            }
+            // Binary operators follow an operand; unary minus/deref/ref
+            // follow another operator or a delimiter and are skipped.
+            let prev_is_operand = match &toks[i - 1] {
+                Tok::Ident(w, _) => !is_keyword(w),
+                Tok::Lit(_) => true,
+                Tok::Group(Delim::Paren | Delim::Bracket, _, _) => true,
+                Tok::Punct('?', _) => true,
+                _ => false,
+            };
+            if !prev_is_operand {
+                continue;
+            }
+            let mut k = i + 1;
+            let compound = toks.get(k).is_some_and(|t| t.is_punct('='));
+            if compound {
+                k += 1;
+            }
+            let tainted = dataflow::left_operand_tainted(toks, i - 1, duration_fns, taint)
+                || dataflow::right_operand_tainted(toks, k, duration_fns, taint);
+            if tainted {
+                let (op_str, fix) = match (*op, compound) {
+                    ('+', false) => ("+", "saturating_add"),
+                    ('+', true) => ("+=", "saturating_add"),
+                    ('-', false) => ("-", "saturating_sub"),
+                    ('-', true) => ("-=", "saturating_sub"),
+                    ('*', _) => ("*", "saturating_mul"),
+                    _ => unreachable!(),
+                };
+                out.entry(*line).or_insert((op_str, fix));
+            }
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            scan_unchecked_arith(inner, taint, duration_fns, out);
+        }
+    }
 }

@@ -5,14 +5,24 @@
 use std::process::Command;
 
 use catalint::config::Config;
-use catalint::passes::{PASS_DETERMINISM, PASS_HOTPATH, PASS_HYGIENE, PASS_PANIC};
+use catalint::passes::{
+    PASS_DETERMINISM, PASS_HOTPATH, PASS_HYGIENE, PASS_PANIC, PASS_SEAMCOVER, PASS_SIMARITH,
+    PASS_SPANFLOW,
+};
 use catalint::{analyze, SrcFile};
 
 fn run(path: &str, content: &str) -> Vec<catalint::Violation> {
-    let files = vec![SrcFile {
-        path: path.into(),
-        content: content.into(),
-    }];
+    run_files(&[(path, content)])
+}
+
+fn run_files(files: &[(&str, &str)]) -> Vec<catalint::Violation> {
+    let files: Vec<SrcFile> = files
+        .iter()
+        .map(|(p, c)| SrcFile {
+            path: (*p).into(),
+            content: (*c).into(),
+        })
+        .collect();
     analyze(&files, &Config::workspace_default())
 }
 
@@ -224,4 +234,260 @@ fn binary_exits_zero_on_clean_tree_and_nonzero_on_violation() {
     );
 
     std::fs::remove_dir_all(&scratch).ok();
+}
+
+// ---------------------------------------------------------------------------
+// PR 6: the dataflow contract passes
+// ---------------------------------------------------------------------------
+
+/// A gVisor-style engine body with every seam consulted. The seamcover
+/// acceptance test edits this: deleting one `ctx.fault(...)` line must
+/// produce a finding at the now-unguarded operation.
+const GUARDED_ENGINE: &str = r#"
+pub fn boot(profile: &AppProfile, ctx: &mut BootCtx) -> Result<(), SandboxError> {
+    ctx.fault(InjectionPoint::ArenaMap)?;
+    let records = store.restore_metadata(ctx.clock(), ctx.model())?;
+    ctx.fault(InjectionPoint::ImageMmap)?;
+    let base = store.build_base_layer(ctx.clock(), ctx.model())?;
+    Ok(())
+}
+"#;
+
+#[test]
+fn guarded_engine_is_clean() {
+    let v = run("crates/core/src/scratch_engine.rs", GUARDED_ENGINE);
+    assert!(
+        v.iter().all(|v| v.pass != PASS_SEAMCOVER),
+        "every seam op sits behind its consult, got: {v:?}"
+    );
+}
+
+#[test]
+fn deleting_a_fault_consult_is_caught() {
+    // Exactly GUARDED_ENGINE minus the ArenaMap consult: the
+    // restore_metadata call is now unguarded and must be flagged.
+    let stripped: String = GUARDED_ENGINE
+        .lines()
+        .filter(|l| !l.contains("InjectionPoint::ArenaMap"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let v = run("crates/core/src/scratch_engine.rs", &stripped);
+    assert!(
+        v.iter().any(|v| v.pass == PASS_SEAMCOVER
+            && v.func == "boot"
+            && v.what.contains("restore_metadata")
+            && v.what.contains("InjectionPoint::ArenaMap")),
+        "deleting a ctx.fault(...) must produce a seamcover finding, got: {v:?}"
+    );
+    // The still-guarded build_base_layer stays clean.
+    assert!(
+        v.iter()
+            .all(|v| v.pass != PASS_SEAMCOVER || !v.what.contains("build_base_layer")),
+        "the ImageMmap consult still guards build_base_layer, got: {v:?}"
+    );
+}
+
+#[test]
+fn consult_through_a_precise_helper_counts() {
+    // The consult may live in a same-file helper called before the
+    // operation — the fixpoint summary carries it to the caller.
+    let v = run(
+        "crates/core/src/scratch_engine.rs",
+        r#"
+fn arm_seams(ctx: &mut BootCtx) -> Result<(), SandboxError> {
+    ctx.fault(InjectionPoint::ArenaMap)?;
+    Ok(())
+}
+pub fn boot(profile: &AppProfile, ctx: &mut BootCtx) -> Result<(), SandboxError> {
+    arm_seams(ctx)?;
+    let records = store.restore_metadata(ctx.clock(), ctx.model())?;
+    Ok(())
+}
+"#,
+    );
+    assert!(
+        v.iter().all(|v| v.pass != PASS_SEAMCOVER),
+        "a precise callee's consult covers the caller, got: {v:?}"
+    );
+}
+
+#[test]
+fn unconsulted_enum_variant_is_caught() {
+    // Variant coverage: the enum declaration is parsed from source, and a
+    // variant no boot-reachable function consults is flagged at its line.
+    let v = run_files(&[
+        (
+            "crates/faultsim/src/point.rs",
+            "pub enum InjectionPoint {\n    ArenaMap,\n    GhostSeam,\n}\n",
+        ),
+        (
+            "crates/core/src/scratch_engine.rs",
+            "pub fn boot(ctx: &mut BootCtx) -> Result<(), E> {\n    \
+             ctx.fault(InjectionPoint::ArenaMap)?;\n    Ok(())\n}\n",
+        ),
+    ]);
+    assert!(
+        v.iter().any(|v| v.pass == PASS_SEAMCOVER
+            && v.file == "crates/faultsim/src/point.rs"
+            && v.line == 3
+            && v.what.contains("GhostSeam")),
+        "expected a variant-coverage finding for GhostSeam, got: {v:?}"
+    );
+    assert!(
+        v.iter().all(|v| !v
+            .what
+            .contains("`InjectionPoint::ArenaMap` is never consulted")),
+        "the consulted variant is covered, got: {v:?}"
+    );
+}
+
+#[test]
+fn span_guard_leak_across_try_is_caught() {
+    let v = run(
+        "crates/platform/src/scratch_gw.rs",
+        r#"
+pub fn measure(&mut self) -> Result<(), PlatformError> {
+    let h = self.tracer_mut().begin("queue-wait");
+    self.step()?;
+    self.tracer_mut().end(h);
+    Ok(())
+}
+"#,
+    );
+    assert!(
+        v.iter()
+            .any(|v| v.pass == PASS_SPANFLOW && v.func == "measure" && v.line == 4),
+        "expected a span-leak finding at the `?`, got: {v:?}"
+    );
+}
+
+#[test]
+fn balanced_span_guard_is_clean() {
+    let v = run(
+        "crates/platform/src/scratch_gw.rs",
+        r#"
+pub fn measure(&mut self) -> Result<(), PlatformError> {
+    let h = self.tracer_mut().begin("queue-wait");
+    let step = self.step();
+    self.tracer_mut().end(h);
+    step?;
+    Ok(())
+}
+"#,
+    );
+    assert!(
+        v.iter().all(|v| v.pass != PASS_SPANFLOW),
+        "the span closes before the `?`, got: {v:?}"
+    );
+}
+
+#[test]
+fn unreferenced_registry_entry_is_caught() {
+    let v = run_files(&[
+        (
+            "crates/simtime/src/names.rs",
+            "pub const BOOT_TOTAL: &str = \"boot.total\";\n\
+             pub const GHOST_METRIC: &str = \"boot.ghost\";\n",
+        ),
+        (
+            "crates/platform/src/scratch_gw.rs",
+            "pub fn emit(m: &Metrics) {\n    m.observe(names::BOOT_TOTAL, 1);\n}\n",
+        ),
+    ]);
+    assert!(
+        v.iter().any(|v| v.pass == PASS_SPANFLOW
+            && v.file == "crates/simtime/src/names.rs"
+            && v.what.contains("GHOST_METRIC")),
+        "expected an unreferenced-registry finding, got: {v:?}"
+    );
+    assert!(
+        v.iter().all(|v| !v.what.contains("BOOT_TOTAL")),
+        "the referenced entry is balanced, got: {v:?}"
+    );
+}
+
+#[test]
+fn unchecked_duration_arithmetic_is_caught_and_saturating_is_clean() {
+    let v = run(
+        "crates/core/src/scratch_acct.rs",
+        "pub fn restore_boot(spent: SimNanos, extra: SimNanos) -> SimNanos {\n    \
+         spent + extra\n}\n",
+    );
+    assert!(
+        v.iter().any(|v| v.pass == PASS_SIMARITH
+            && v.func == "restore_boot"
+            && v.what.contains("saturating_add")),
+        "expected an unchecked-add finding, got: {v:?}"
+    );
+
+    let v = run(
+        "crates/core/src/scratch_acct.rs",
+        "pub fn restore_boot(spent: SimNanos, extra: SimNanos) -> SimNanos {\n    \
+         spent.saturating_add(extra)\n}\n",
+    );
+    assert!(
+        v.iter().all(|v| v.pass != PASS_SIMARITH),
+        "the saturating form is the fix, got: {v:?}"
+    );
+}
+
+#[test]
+fn integer_arithmetic_off_the_duration_flow_is_clean() {
+    // Plain counters next to duration code must not be flagged: `.len()`
+    // of a Vec<SimNanos> field is a count, and u64 offsets stay u64.
+    let v = run(
+        "crates/platform/src/scratch_adm.rs",
+        r#"
+pub struct State {
+    completions: Vec<SimNanos>,
+}
+pub fn run_admitted(state: &State, limit: usize) -> usize {
+    let in_flight = state.completions.len();
+    let waiting = in_flight - limit + 1;
+    waiting
+}
+"#,
+    );
+    assert!(
+        v.iter().all(|v| v.pass != PASS_SIMARITH),
+        "counter arithmetic is not duration arithmetic, got: {v:?}"
+    );
+}
+
+#[test]
+fn finding_order_is_deterministic_and_sorted() {
+    // Satellite: the JSON consumers (CI artifacts, the schema gate) rely
+    // on findings arriving sorted by (file, line, pass) regardless of
+    // input order. Feed files in reverse order and mix passes per file.
+    let files = [
+        (
+            "crates/platform/src/scratch_z.rs",
+            "pub fn run_admitted(spent: SimNanos, extra: SimNanos) -> SimNanos {\n    \
+             let x = spent + extra;\n    let y = spent - extra;\n    x\n}\n",
+        ),
+        (
+            "crates/core/src/scratch_a.rs",
+            "pub fn restore_boot(spent: SimNanos, extra: SimNanos) -> SimNanos {\n    \
+             spent * 2 + extra\n}\n",
+        ),
+    ];
+    let mut reversed = files;
+    reversed.reverse();
+    let a = run_files(&files);
+    let b = run_files(&reversed);
+    assert_eq!(a, b, "finding order must not depend on input order");
+    let keys: Vec<(&str, u32, &str)> = a
+        .iter()
+        .map(|v| (v.file.as_str(), v.line, v.pass))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(
+        keys, sorted,
+        "findings must be sorted by (file, line, pass)"
+    );
+    assert!(
+        keys.len() >= 3,
+        "fixture must produce findings in both files, got: {a:?}"
+    );
 }

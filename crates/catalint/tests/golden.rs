@@ -158,3 +158,60 @@ fn golden_hygiene() {
           public fn returns `Box<dyn Error>`; return the crate error type"]
     );
 }
+
+#[test]
+fn golden_seamcover_unguarded_operation() {
+    let got = render(&[(
+        "crates/core/src/scratch_engine.rs",
+        "pub fn boot(profile: &AppProfile, ctx: &mut BootCtx) -> Result<(), SandboxError> {\n    \
+         let records = store.restore_metadata(ctx.clock(), ctx.model())?;\n    Ok(())\n}\n",
+    )]);
+    assert_eq!(
+        got,
+        [
+            "crates/core/src/scratch_engine.rs:2 [seamcover] fn boot: seam operation \
+          `restore_metadata` runs without consulting `ctx.fault(InjectionPoint::ArenaMap)` \
+          first; every boot-path `restore_metadata` must sit behind its fault seam"
+        ]
+    );
+}
+
+#[test]
+fn golden_spanflow_guard_leak() {
+    let got = render(&[(
+        "crates/platform/src/scratch_gw.rs",
+        "pub fn measure(&mut self) -> Result<(), PlatformError> {\n    \
+         let h = self.tracer_mut().begin(\"queue-wait\");\n    \
+         self.step()?;\n    \
+         self.tracer_mut().end(h);\n    Ok(())\n}\n",
+    )]);
+    assert_eq!(
+        got,
+        [
+            "crates/platform/src/scratch_gw.rs:3 [spanflow] fn measure: span guard opened by \
+          raw `tracer begin` on line 2 leaks across `?` before any `end()`; close the span \
+          on every path or use the closure-scoped `ctx.span(..)`"
+        ]
+    );
+}
+
+#[test]
+fn golden_simarith_interprocedural_chain() {
+    // The unchecked add sits in a helper; the finding lands there and
+    // carries the boot-root chain.
+    let got = render(&[(
+        "crates/core/src/scratch_acct.rs",
+        "pub fn restore_boot(spent: SimNanos, extra: SimNanos) -> SimNanos {\n    \
+         tally(spent, extra)\n}\n\
+         fn tally(spent: SimNanos, extra: SimNanos) -> SimNanos {\n    \
+         spent + extra\n}\n",
+    )]);
+    assert_eq!(
+        got,
+        [
+            "crates/core/src/scratch_acct.rs:5 [simarith] restore_boot → tally: unchecked `+` \
+          on a SimNanos/duration value on a boot-reachable path; use `saturating_add` (or \
+          the checked_* form)"
+        ]
+    );
+}

@@ -254,7 +254,9 @@ impl Catalyzer {
     /// Total offline virtual time spent (image compilation + zygote refills;
     /// template generation is tracked per template).
     pub fn offline_time(&self) -> SimNanos {
-        self.store.offline_time() + self.zygotes.offline_time()
+        self.store
+            .offline_time()
+            .saturating_add(self.zygotes.offline_time())
     }
 
     /// Quarantines the prepared state a poison fault at `point` corrupted,
@@ -327,11 +329,11 @@ impl Catalyzer {
             };
             let profile = template.profile().clone();
             let rebuilt = Template::generate(&profile, model)?;
-            spent += rebuilt.offline_time();
+            spent = spent.saturating_add(rebuilt.offline_time());
             self.templates.insert(name, rebuilt);
         }
         let (_evicted, zygote_spent) = self.zygotes.repair(model)?;
-        Ok(spent + zygote_spent)
+        Ok(spent.saturating_add(zygote_spent))
     }
 }
 

@@ -14,6 +14,7 @@
 
 use std::sync::Arc;
 
+use faultsim::InjectionPoint;
 use guest_kernel::GuestKernel;
 use runtimes::{AppProfile, WrappedProgram};
 use sandbox::config::OciConfig;
@@ -98,12 +99,15 @@ impl BootEngine for FirecrackerSnapshotEngine {
             });
 
             // NO guest-Linux boot: the snapshot already contains the booted
-            // guest; on-demand restore recovers it.
+            // guest; on-demand restore recovers it. Each restore mechanism
+            // consults its fault seam first, like the gVisor engines.
+            ctx.fault(InjectionPoint::ArenaMap)?;
             let records = ctx.span(PHASE_RESTORE_KERNEL, |ctx| {
                 ctx.span("separated-state", |ctx| {
                     stored.flat.restore_metadata(ctx.clock(), ctx.model())
                 })
             })?;
+            ctx.fault(InjectionPoint::Relink)?;
             let mut kernel = ctx.span(PHASE_RESTORE_KERNEL, |ctx| {
                 GuestKernel::restore_from_records(
                     profile.name.clone(),
@@ -115,6 +119,7 @@ impl BootEngine for FirecrackerSnapshotEngine {
                 )
             })?;
             let mut space = memsim::AddressSpace::new(profile.name.clone());
+            ctx.fault(InjectionPoint::ImageMmap)?;
             ctx.span(PHASE_RESTORE_MEMORY, |ctx| {
                 let (base, step) = match &stored.base {
                     Some(base) => (Arc::clone(base), "share-mapping"),
@@ -137,6 +142,7 @@ impl BootEngine for FirecrackerSnapshotEngine {
                 })?;
                 Ok::<_, SandboxError>(())
             })?;
+            ctx.fault(InjectionPoint::IoReconnect)?;
             ctx.span(PHASE_RESTORE_IO, |ctx| {
                 // Lazy I/O: replay listeners only, as in the gVisor
                 // implementation.

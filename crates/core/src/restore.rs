@@ -98,11 +98,12 @@ pub(crate) fn restore_boot(
             ctx.span(PHASE_RESTORE_KERNEL, |ctx| {
                 ctx.charge_span("decode-objects", {
                     let model = ctx.model();
-                    model.obj.classic_restore_fixed
-                        + model
+                    model.obj.classic_restore_fixed.saturating_add(
+                        model
                             .obj
                             .decode_per_object
-                            .saturating_mul(stored.flat.object_count())
+                            .saturating_mul(stored.flat.object_count()),
+                    )
                 });
                 stored.flat.restore_metadata(&SimClock::new(), ctx.model())
             })?

@@ -547,7 +547,8 @@ impl AdmissionController {
             }
         }
 
-        let deadline = (!policy.deadline.is_zero()).then(|| arrival + policy.deadline);
+        let deadline =
+            (!policy.deadline.is_zero()).then(|| arrival.saturating_add(policy.deadline));
         let in_flight = state.completions.len();
         let limit = policy.max_in_flight;
         let (start, queued) = if limit == 0 || in_flight < limit {

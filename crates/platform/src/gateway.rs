@@ -257,7 +257,7 @@ impl<E: BootEngine> Gateway<E> {
         // handler ran: failed attempts, backoff, and quarantine included
         // (equal to the winning boot span's duration when nothing faulted).
         let report = InvocationReport {
-            boot: trace.duration() - exec_span.duration(),
+            boot: trace.duration().saturating_sub(exec_span.duration()),
             exec: exec_span.duration(),
         };
         self.invocations += 1;
@@ -383,7 +383,10 @@ impl<E: BootEngine> Gateway<E> {
         // admission wait: the boot leg is what the *platform* spent, the
         // queue wait is reported separately.
         let report = InvocationReport {
-            boot: trace.duration() - exec_span.duration() - queued,
+            boot: trace
+                .duration()
+                .saturating_sub(exec_span.duration())
+                .saturating_sub(queued),
             exec: exec_span.duration(),
         };
         self.invocations += 1;

@@ -324,7 +324,7 @@ impl<E: BootEngine> InstancePool<E> {
         if self.idle.len() < self.max_idle {
             self.idle.push_back(IdleInstance {
                 outcome,
-                idle_since: now + startup + exec,
+                idle_since: now.saturating_add(startup).saturating_add(exec),
             });
             self.metrics
                 .set_gauge(names::POOL_IDLE, self.idle.len() as i64);
@@ -397,7 +397,7 @@ impl<E: BootEngine> InstancePool<E> {
             }
             self.pending_repair.clear();
             self.repair_stats.repairs += 1;
-            self.repair_stats.repair_time += spent;
+            self.repair_stats.repair_time = self.repair_stats.repair_time.saturating_add(spent);
             self.metrics.inc(names::POOL_REPAIR_COUNT);
             self.metrics.observe(names::POOL_REPAIR_TIME, spent);
             self.health_points = self.health_points.max(75);

@@ -68,7 +68,10 @@ impl OciConfig {
     ) -> Result<OciConfig, SandboxError> {
         let kib = (json.len() as u64) >> 10;
         clock.charge(
-            model.host.config_parse_base + model.host.config_parse_per_kib.saturating_mul(kib),
+            model
+                .host
+                .config_parse_base
+                .saturating_add(model.host.config_parse_per_kib.saturating_mul(kib)),
         );
         serde_json::from_str(json).map_err(|e| SandboxError::Config {
             detail: e.to_string(),

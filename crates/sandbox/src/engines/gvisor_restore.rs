@@ -108,8 +108,10 @@ impl BootEngine for GvisorRestoreEngine {
             ctx.span(PHASE_RESTORE_KERNEL, |ctx| {
                 ctx.charge_span("decode-objects", {
                     let model = ctx.model();
-                    model.obj.classic_restore_fixed
-                        + model.obj.decode_per_object.saturating_mul(counts.objects)
+                    model
+                        .obj
+                        .classic_restore_fixed
+                        .saturating_add(model.obj.decode_per_object.saturating_mul(counts.objects))
                 });
             });
             // Non-I/O state redo (recover_per_object charged inside restore).

@@ -100,11 +100,12 @@ impl KvmDevice {
         let latency = if self.tweaks.kvm_alloc_cache {
             model.kvm.kvcalloc_cached
         } else {
-            model.kvm.kvcalloc_base
-                + model
+            model.kvm.kvcalloc_base.saturating_add(
+                model
                     .kvm
                     .kvcalloc_growth
-                    .saturating_mul(self.kvcalloc_count)
+                    .saturating_mul(self.kvcalloc_count),
+            )
         };
         self.kvcalloc_count += 1;
         clock.charge(latency);
@@ -120,7 +121,10 @@ impl KvmDevice {
         } else {
             model.kvm.set_memory_region_pml_extra
         };
-        let latency = model.kvm.set_memory_region_base + per_region.saturating_mul(self.regions);
+        let latency = model
+            .kvm
+            .set_memory_region_base
+            .saturating_add(per_region.saturating_mul(self.regions));
         self.regions += 1;
         clock.charge(latency);
         latency

@@ -30,7 +30,8 @@ impl Bencher {
     }
 }
 
-/// Throughput annotation (accepted, unused).
+/// Throughput annotation: the work one iteration performs, used to print
+/// a rate next to the wall-clock numbers.
 #[derive(Debug, Clone, Copy)]
 pub enum Throughput {
     /// Bytes processed per iteration.
@@ -44,6 +45,7 @@ pub enum Throughput {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: u32,
+    throughput: Option<Throughput>,
     _parent: &'a mut Criterion,
 }
 
@@ -54,14 +56,20 @@ impl<'a> BenchmarkGroup<'a> {
         self
     }
 
-    /// Records the group's throughput basis (accepted, unused).
-    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+    /// Records the group's throughput basis, printed per benchmark.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
     /// Runs one benchmark in the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        run_one(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        run_one(
+            &format!("{}/{}", self.name, name),
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
         self
     }
 
@@ -72,7 +80,7 @@ impl<'a> BenchmarkGroup<'a> {
 impl Criterion {
     /// Runs one free-standing benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        run_one(name, 10, &mut f);
+        run_one(name, 10, None, &mut f);
         self
     }
 
@@ -81,20 +89,33 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_string(),
             sample_size: 10,
+            throughput: None,
             _parent: self,
         }
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, iters: u32, f: &mut F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    iters: u32,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
     let start = Instant::now();
     let mut b = Bencher { iters };
     f(&mut b);
     let elapsed = start.elapsed();
+    let per_iter = elapsed / iters.max(1);
+    let rate = throughput.map(|t| {
+        let secs = per_iter.as_secs_f64().max(f64::MIN_POSITIVE);
+        match t {
+            Throughput::Bytes(n) => format!(", {:.1} MiB/s", n as f64 / secs / (1 << 20) as f64),
+            Throughput::Elements(n) => format!(", {:.1} elem/s", n as f64 / secs),
+        }
+    });
     println!(
-        "bench {name}: {iters} iters in {:?} (~{:?}/iter)",
-        elapsed,
-        elapsed / iters.max(1)
+        "bench {name}: {iters} iters in {elapsed:?} (~{per_iter:?}/iter{})",
+        rate.unwrap_or_default()
     );
 }
 

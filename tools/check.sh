@@ -1,55 +1,72 @@
 #!/usr/bin/env bash
 # One-shot local gate: everything CI runs, in the order it runs it.
-# Fails fast; run from anywhere inside the repo.
+# Fails fast; run from anywhere inside the repo. Each step is timed and a
+# wall-clock summary table prints at the end — when the gate feels slow,
+# the table says which step to blame (catalint itself is benchmarked
+# separately by `cargo bench -p bench --bench analyzerbench`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
+STEP_NAMES=()
+STEP_SECS=()
+
+step() {
+  local name="$1"
+  shift
+  echo "==> ${name}"
+  local t0 t1
+  t0=$(date +%s.%N)
+  "$@"
+  t1=$(date +%s.%N)
+  STEP_NAMES+=("${name}")
+  STEP_SECS+=("$(awk -v a="${t0}" -v b="${t1}" 'BEGIN { printf "%6.1f", b - a }')")
+}
 
 # No --all-targets on purpose: test code may unwrap/expect freely (the
 # parse crates re-allow those lints under cfg(test)); the deny lints are
 # aimed at library code handling untrusted images.
-echo "==> cargo clippy (workspace, -D warnings)"
-cargo clippy --workspace -- -D warnings
-
-echo "==> catalint (workspace invariants, zero-debt)"
-cargo run -q -p catalint
+clippy_workspace() { cargo clippy --workspace -- -D warnings; }
 
 # Machine-readable output must stay both parseable and schema-stable:
 # downstream tooling pins tools/catalint-schema.json, so a field rename or
 # removal has to land together with a fixture update (and a version bump).
-echo "==> catalint --emit json (valid) + schema fixture (up to date)"
-cargo run -q -p catalint -- --emit json | python3 -m json.tool >/dev/null
-cargo run -q -p catalint -- --emit schema | diff -u tools/catalint-schema.json -
-
-echo "==> cargo build --release"
-cargo build --release
-
-echo "==> cargo test"
-cargo test -q
+# SARIF goes through the same parseability bar.
+catalint_emit() {
+  cargo run -q -p catalint -- --emit json | python3 -m json.tool >/dev/null
+  cargo run -q -p catalint -- --emit sarif | python3 -m json.tool >/dev/null
+  cargo run -q -p catalint -- --emit schema | diff -u tools/catalint-schema.json -
+}
 
 # The fault-injection crate and its cross-layer integration suite: typed
 # surfacing, recovery ladder, zero-overhead-when-inactive, and replay
 # determinism (proptests included).
-echo "==> faultsim suite"
-cargo test -q -p faultsim
-cargo test -q --test faultsim
+faultsim_suite() {
+  cargo test -q -p faultsim
+  cargo test -q --test faultsim
+}
+
+step "cargo fmt --check" cargo fmt --all --check
+step "cargo clippy (workspace, -D warnings)" clippy_workspace
+step "catalint (workspace invariants, zero-debt)" cargo run -q -p catalint
+step "catalint --emit json/sarif (valid) + schema fixture (up to date)" catalint_emit
+step "cargo build --release" cargo build --release
+step "cargo test" cargo test -q
+step "faultsim suite" faultsim_suite
 
 # Regenerates the observability export in-memory and verifies the checked-in
 # BENCH_pr2.json is valid (every Fig. 11 engine present, monotone span
 # nesting, non-empty histograms, phase attribution sums to the boot total)
 # and byte-identical — i.e. the tracing layer is still deterministic.
-echo "==> bench export (BENCH_pr2.json valid + up to date)"
-cargo run -q -p bench --bin repro -- export --check BENCH_pr2.json
+step "bench export (BENCH_pr2.json valid + up to date)" \
+  cargo run -q -p bench --bin repro -- export --check BENCH_pr2.json
 
 # Same staleness gate for the fault sweep: regenerates the rate × policy
 # grid in-memory and verifies the checked-in BENCH_pr3.json is valid
 # (zero-rate and full-ladder rows at availability 1.0, the no-recovery
 # baseline losing requests, storm recovery visible in the p99) and
 # byte-identical — i.e. fault injection and recovery are deterministic.
-echo "==> fault sweep (BENCH_pr3.json valid + up to date)"
-cargo run -q -p bench --bin repro -- faults --check BENCH_pr3.json
+step "fault sweep (BENCH_pr3.json valid + up to date)" \
+  cargo run -q -p bench --bin repro -- faults --check BENCH_pr3.json
 
 # And for the overload sweep: regenerates the admission grid and the
 # baseline-vs-full storm comparison in-memory and verifies the checked-in
@@ -59,7 +76,14 @@ cargo run -q -p bench --bin repro -- faults --check BENCH_pr3.json
 # goodput collapsing while the full policy bounds its p99) and
 # byte-identical — i.e. admission, breakers, and the repair loop are
 # deterministic. `repro all --check` runs all three gates in one shot.
-echo "==> overload sweep (BENCH_pr4.json valid + up to date)"
-cargo run -q -p bench --bin repro -- overload --check BENCH_pr4.json
+step "overload sweep (BENCH_pr4.json valid + up to date)" \
+  cargo run -q -p bench --bin repro -- overload --check BENCH_pr4.json
 
+echo
 echo "All checks passed."
+echo
+echo "  seconds  step"
+echo "  -------  ----"
+for i in "${!STEP_NAMES[@]}"; do
+  echo "  ${STEP_SECS[$i]}  ${STEP_NAMES[$i]}"
+done
