@@ -1,0 +1,99 @@
+//! Criterion benchmarks for the discrete-event simulation core.
+//!
+//! Measures *simulated requests per wall-clock second* — the engine's own
+//! throughput, not the virtual latencies it reports. Two regimes:
+//!
+//! - `closed_loop`: the full-fidelity path (`Simulation::run`) serving
+//!   every request through real instance pools;
+//! - `fleet`: the open-loop event engine (`Simulation::run_fleet`) on
+//!   calibrated costs — the path that carries the 10^5–10^6-instance
+//!   density grid, expected one to two orders of magnitude faster per
+//!   request.
+//!
+//! `cargo bench -p bench --bench simbench -- --test` runs one iteration of
+//! each as a smoke check (wired into `tools/check.sh`).
+
+use bench::fleetbench;
+use catalyzer::{BootMode, CatalyzerEngine};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use platform::simulate::TraceRequest;
+use platform::Simulation;
+use runtimes::AppProfile;
+use simtime::{CostModel, SimNanos};
+use std::hint::black_box;
+use workloads::catalogue;
+use workloads::generator::{open_loop, Arrivals, Popularity, TraceSpec};
+
+const CLOSED_REQUESTS: u64 = 400;
+const FLEET_REQUESTS: usize = 20_000;
+
+fn closed_trace() -> Vec<TraceRequest> {
+    (0..CLOSED_REQUESTS)
+        .map(|i| TraceRequest {
+            arrival: SimNanos::from_micros(500).saturating_mul(i),
+            function: usize::try_from(i % 2).unwrap_or(0),
+        })
+        .collect()
+}
+
+fn fleet_trace() -> Vec<TraceRequest> {
+    let spec = TraceSpec {
+        functions: fleetbench::FUNCTIONS,
+        count: FLEET_REQUESTS,
+        arrivals: Arrivals::Poisson { rate_hz: 5_000.0 },
+        popularity: Popularity::Zipf { exponent: 1.0 },
+        seed: 0x51B3,
+    };
+    open_loop(&spec)
+        .into_iter()
+        .map(|r| TraceRequest {
+            arrival: r.arrival,
+            function: r.function,
+        })
+        .collect()
+}
+
+/// Closed-loop engine throughput: requests through real instance pools.
+fn closed_loop(c: &mut Criterion) {
+    let model = CostModel::experimental_machine();
+    let trace = closed_trace();
+    let mut group = c.benchmark_group("simbench");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(CLOSED_REQUESTS));
+    group.bench_function("closed_loop_400req_2fn", |b| {
+        b.iter(|| {
+            let report = Simulation::new(vec![AppProfile::c_hello(), AppProfile::c_nginx()])
+                .with_engine(|_| CatalyzerEngine::standalone(BootMode::Fork))
+                .with_model(model.clone())
+                .run(&trace)
+                .unwrap();
+            black_box(report.completed)
+        })
+    });
+}
+
+/// Fleet engine throughput: the same simulated platform dynamics on the
+/// arena + calibrated-cost path, at 50x the trace length.
+fn fleet(c: &mut Criterion) {
+    let model = CostModel::experimental_machine();
+    let trace = fleet_trace();
+    let mut group = c.benchmark_group("simbench");
+    // Each iteration re-calibrates the 10k-function catalogue (~2 s);
+    // three samples keep the smoke gate in tools/check.sh quick.
+    group.sample_size(3);
+    group.throughput(Throughput::Elements(
+        u64::try_from(FLEET_REQUESTS).unwrap_or(u64::MAX),
+    ));
+    group.bench_function("fleet_20kreq_10kfn", |b| {
+        b.iter(|| {
+            let outcome = Simulation::new(catalogue::synthetic(fleetbench::FUNCTIONS, 0x51B3))
+                .with_model(model.clone())
+                .run_fleet(&trace)
+                .unwrap();
+            black_box(outcome.completed)
+        })
+    });
+}
+
+criterion_group!(benches, closed_loop, fleet);
+criterion_main!(benches);

@@ -7,7 +7,8 @@
 //! repro list           # available experiment ids
 //! repro faults         # fault-injection sweep -> BENCH_pr3.json
 //! repro overload       # admission/overload sweep -> BENCH_pr4.json
-//! repro all --check    # validate all three checked-in bench exports
+//! repro fleet          # fleet density grid -> BENCH_pr7.json
+//! repro all --check    # validate all four checked-in bench exports
 //! ```
 
 use bench::figures::{
@@ -222,6 +223,39 @@ fn overload(path: &str, check: bool) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Writes the fleet density grid (open-loop event engine over a 10k-function
+/// synthetic catalogue, burst ladder 10^3–10^6 concurrent instances) to
+/// `path`, or with `check = true` re-generates it and verifies `path` is
+/// valid and byte-identical (determinism gate).
+fn fleet(path: &str, check: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let model = CostModel::experimental_machine();
+    let fresh = bench::fleetbench::generate(&model)?;
+    bench::fleetbench::validate(&fresh)?;
+    let text = bench::fleetbench::to_json(&fresh)?;
+    if check {
+        let on_disk = std::fs::read_to_string(path)?;
+        let parsed = bench::fleetbench::from_json(&on_disk)?;
+        bench::fleetbench::validate(&parsed)?;
+        if on_disk != text {
+            return Err(format!("{path} is stale: regenerate with 'repro fleet {path}'").into());
+        }
+        let top = parsed.cells.last().map_or(0, |c| c.peak_instances);
+        println!(
+            "{path}: valid, {} cells, peak {top} instances, up to date",
+            parsed.cells.len()
+        );
+    } else {
+        std::fs::write(path, &text)?;
+        let top = fresh.cells.last().map_or(0, |c| c.peak_instances);
+        println!(
+            "wrote {path} ({} cells, peak {top} instances, {} bytes)",
+            fresh.cells.len(),
+            text.len()
+        );
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("all");
@@ -262,6 +296,16 @@ fn main() {
                 .unwrap_or("BENCH_pr4.json");
             overload(path, check)
         }
+        "fleet" => {
+            let check = args.iter().any(|a| a == "--check");
+            let path = args
+                .iter()
+                .skip(1)
+                .find(|a| *a != "--check")
+                .map(String::as_str)
+                .unwrap_or("BENCH_pr7.json");
+            fleet(path, check)
+        }
         "csv" => match args.get(1) {
             Some(id) => csv(id),
             None => {
@@ -275,6 +319,7 @@ fn main() {
             export("BENCH_pr2.json", true)
                 .and_then(|()| faults("BENCH_pr3.json", true))
                 .and_then(|()| overload("BENCH_pr4.json", true))
+                .and_then(|()| fleet("BENCH_pr7.json", true))
         }
         "all" | "quick" => {
             let fig15_max = if command == "quick" { 100 } else { 1000 };

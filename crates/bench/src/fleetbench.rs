@@ -1,0 +1,402 @@
+//! Deterministic JSON export of the fleet density grid (`repro fleet`).
+//!
+//! `generate` drives the open-loop event engine
+//! ([`platform::Simulation::run_fleet`]) through a density ladder that
+//! extends Figure 15 past its 1 000-instance ceiling: each cell fires a
+//! flash-crowd burst (all arrivals inside a window shorter than one cold
+//! fork boot, so none can be absorbed by completions) on top of a Poisson
+//! baseline, over a 10 000-function synthetic catalogue with Zipf-skewed
+//! popularity. The ladder climbs 10^3 → 10^4 → 10^5 → 10^6 peak concurrent
+//! instances — the closed-loop simulator tops out around 10^4 requests per
+//! practical run, so the top cells are only reachable through the event
+//! engine's arena + calibrated-cost path.
+//!
+//! Per cell the export records peak density (instances and in-flight
+//! requests), cold boots vs keep-alive reuses, expirations, and
+//! fixed-ladder startup / end-to-end quantiles. Everything runs on virtual
+//! time from seeded traces, so two runs produce byte-identical output —
+//! `tools/check.sh` validates `BENCH_pr7.json` the same way it gates the
+//! pr2–pr4 exports.
+
+use platform::simulate::fleet::{FleetOutcome, Quantiles};
+use platform::simulate::TraceRequest;
+use platform::{PlatformError, Simulation};
+use serde::{Deserialize, Serialize};
+use simtime::{CostModel, SimNanos};
+use workloads::catalogue;
+use workloads::generator::{open_loop, Arrivals, Popularity, TraceSpec};
+
+/// Schema tag so downstream tooling can reject stale files.
+pub const SCHEMA: &str = "catalyzer-bench/pr7-v1";
+
+/// Seed for both the synthetic catalogue and the per-cell traces.
+pub const SEED: u64 = 0x0F1E_E701;
+
+/// Functions in every cell's catalogue (the "10k+ functions" axis).
+pub const FUNCTIONS: usize = 10_000;
+
+/// Zipf exponent of function popularity (the classic web skew).
+pub const ZIPF_EXPONENT: f64 = 1.0;
+
+/// Keep-alive every cell runs with.
+pub const KEEP_ALIVE: SimNanos = SimNanos::from_secs(5);
+
+/// Warm instances retained per function.
+pub const MAX_IDLE: usize = 4;
+
+/// Poisson baseline rate under the burst (drives reuse traffic).
+pub const BASE_RATE_HZ: f64 = 2_000.0;
+
+/// Burst period: one burst, fired after a second of baseline warm-up.
+pub const BURST_EVERY: SimNanos = SimNanos::from_secs(1);
+
+/// Window the burst's arrivals spread over. Shorter than one cold fork
+/// boot (≈ 620 µs), so the whole burst is airborne before any of its own
+/// boots complete — peak density is guaranteed to reach the burst size.
+pub const BURST_WIDTH: SimNanos = SimNanos::from_micros(500);
+
+/// Baseline requests added around each burst (≈ 1 s before, ≈ 2 s after,
+/// exercising warm reuse and keep-alive expiry on both sides).
+pub const TAIL: usize = 6_000;
+
+/// The density ladder: `(label, burst size)`, ascending.
+pub const LADDER: [(&str, usize); 4] = [
+    ("1e3", 1_000),
+    ("1e4", 10_000),
+    ("1e5", 120_000),
+    ("1e6", 1_000_000),
+];
+
+/// Latency digest row (fixed-ladder quantiles; upper bounds except
+/// min/max/mean, which are exact).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QuantRow {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact mean.
+    pub mean: SimNanos,
+    /// Exact minimum.
+    pub min: SimNanos,
+    /// Exact maximum.
+    pub max: SimNanos,
+    /// Median upper bound.
+    pub p50: SimNanos,
+    /// 90th-percentile upper bound.
+    pub p90: SimNanos,
+    /// 99th-percentile upper bound.
+    pub p99: SimNanos,
+}
+
+impl From<Quantiles> for QuantRow {
+    fn from(q: Quantiles) -> QuantRow {
+        QuantRow {
+            count: q.count,
+            mean: q.mean,
+            min: q.min,
+            max: q.max,
+            p50: q.p50,
+            p90: q.p90,
+            p99: q.p99,
+        }
+    }
+}
+
+/// One rung of the density ladder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetCell {
+    /// Density label (`1e3` … `1e6`).
+    pub label: String,
+    /// Functions in the catalogue.
+    pub functions: u64,
+    /// Burst size — the density target.
+    pub burst: u64,
+    /// Requests in the trace (burst + baseline).
+    pub requests: u64,
+    /// Requests that ran to completion.
+    pub completed: u64,
+    /// Requests shed (zero: the grid runs without admission caps).
+    pub shed: u64,
+    /// Cold boots across the fleet.
+    pub cold_boots: u64,
+    /// Warm reuses.
+    pub reuses: u64,
+    /// `reuses / completed`.
+    pub reuse_rate: f64,
+    /// Instances reclaimed by keep-alive expiry.
+    pub expirations: u64,
+    /// Most instances (busy + warm) ever live at once — the density axis.
+    pub peak_instances: u64,
+    /// Most requests ever concurrently in flight.
+    pub peak_in_flight: u64,
+    /// Events the queue processed.
+    pub events: u64,
+    /// Virtual time of the last event.
+    pub horizon: SimNanos,
+    /// Startup-latency distribution.
+    pub startup: QuantRow,
+    /// End-to-end latency distribution.
+    pub end_to_end: QuantRow,
+}
+
+/// The whole `BENCH_pr7.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetBenchExport {
+    /// Format tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Machine model the latencies were simulated on.
+    pub machine: String,
+    /// Catalogue/trace seed.
+    pub seed: u64,
+    /// Functions per cell.
+    pub functions: u64,
+    /// Zipf exponent of function popularity.
+    pub zipf_exponent: f64,
+    /// Keep-alive every cell runs with.
+    pub keep_alive: SimNanos,
+    /// Warm instances retained per function.
+    pub max_idle: u64,
+    /// Poisson baseline rate.
+    pub base_rate_hz: f64,
+    /// Burst window width.
+    pub burst_width: SimNanos,
+    /// The density ladder, ascending.
+    pub cells: Vec<FleetCell>,
+}
+
+fn cell_row(label: &str, burst: usize, requests: usize, outcome: &FleetOutcome) -> FleetCell {
+    FleetCell {
+        label: label.to_string(),
+        functions: u64::try_from(FUNCTIONS).unwrap_or(u64::MAX),
+        burst: u64::try_from(burst).unwrap_or(u64::MAX),
+        requests: u64::try_from(requests).unwrap_or(u64::MAX),
+        completed: outcome.completed,
+        shed: outcome.shed,
+        cold_boots: outcome.cold_boots,
+        reuses: outcome.reuses,
+        reuse_rate: outcome.reuse_rate,
+        expirations: outcome.expirations,
+        peak_instances: u64::try_from(outcome.peak_instances).unwrap_or(u64::MAX),
+        peak_in_flight: u64::try_from(outcome.peak_in_flight).unwrap_or(u64::MAX),
+        events: outcome.events,
+        horizon: outcome.horizon,
+        startup: outcome.startup.into(),
+        end_to_end: outcome.end_to_end.into(),
+    }
+}
+
+/// One cell's trace: a burst of `burst` arrivals inside [`BURST_WIDTH`] at
+/// t ≈ [`BURST_EVERY`], over a Poisson baseline contributing [`TAIL`]
+/// requests of reuse traffic.
+fn cell_trace(burst: usize) -> Vec<TraceRequest> {
+    let spec = TraceSpec {
+        functions: FUNCTIONS,
+        count: burst + TAIL,
+        arrivals: Arrivals::Bursty {
+            rate_hz: BASE_RATE_HZ,
+            every: BURST_EVERY,
+            size: burst,
+            width: BURST_WIDTH,
+        },
+        popularity: Popularity::Zipf {
+            exponent: ZIPF_EXPONENT,
+        },
+        seed: SEED ^ u64::try_from(burst).unwrap_or(u64::MAX),
+    };
+    open_loop(&spec)
+        .into_iter()
+        .map(|r| TraceRequest {
+            arrival: r.arrival,
+            function: r.function,
+        })
+        .collect()
+}
+
+/// Runs the density ladder.
+///
+/// # Errors
+///
+/// Propagates [`PlatformError`] from the engine (none in practice: the
+/// generated traces are valid by construction).
+pub fn generate(model: &CostModel) -> Result<FleetBenchExport, PlatformError> {
+    let mut cells = Vec::new();
+    for (label, burst) in LADDER {
+        let trace = cell_trace(burst);
+        let outcome = Simulation::new(catalogue::synthetic(FUNCTIONS, SEED))
+            .with_model(model.clone())
+            .with_keep_alive(KEEP_ALIVE)
+            .with_max_idle(MAX_IDLE)
+            .run_fleet(&trace)?;
+        cells.push(cell_row(label, burst, trace.len(), &outcome));
+    }
+    Ok(FleetBenchExport {
+        schema: SCHEMA.to_string(),
+        machine: model.machine.label().to_string(),
+        seed: SEED,
+        functions: u64::try_from(FUNCTIONS).unwrap_or(u64::MAX),
+        zipf_exponent: ZIPF_EXPONENT,
+        keep_alive: KEEP_ALIVE,
+        max_idle: u64::try_from(MAX_IDLE).unwrap_or(u64::MAX),
+        base_rate_hz: BASE_RATE_HZ,
+        burst_width: BURST_WIDTH,
+        cells,
+    })
+}
+
+/// Serializes an export to its canonical JSON form.
+///
+/// # Errors
+///
+/// Serialization errors (none in practice: the types are closed).
+pub fn to_json(export: &FleetBenchExport) -> Result<String, serde_json::Error> {
+    serde_json::to_string(export)
+}
+
+/// Parses a previously exported document.
+///
+/// # Errors
+///
+/// Malformed JSON or schema drift.
+pub fn from_json(text: &str) -> Result<FleetBenchExport, serde_json::Error> {
+    serde_json::from_str(text)
+}
+
+/// Validates an export's internal consistency: schema tag, the full
+/// ascending ladder, count arithmetic per cell, and the density claims the
+/// grid exists to demonstrate — every cell's peak reaches its burst size,
+/// density climbs monotonically, the top rung clears 10^5 concurrent
+/// instances, and warm reuse plus keep-alive expiry stay exercised at
+/// every scale.
+///
+/// # Errors
+///
+/// A description of the first violated invariant.
+pub fn validate(export: &FleetBenchExport) -> Result<(), String> {
+    if export.schema != SCHEMA {
+        return Err(format!(
+            "schema mismatch: {} (expected {SCHEMA})",
+            export.schema
+        ));
+    }
+    if export.cells.len() != LADDER.len() {
+        return Err(format!(
+            "ladder incomplete: {} cells (expected {})",
+            export.cells.len(),
+            LADDER.len()
+        ));
+    }
+    let mut prev_peak = 0u64;
+    for cell in &export.cells {
+        let tag = format!("cell {}", cell.label);
+        if cell.requests == 0 {
+            return Err(format!("{tag}: empty cell"));
+        }
+        if cell.completed + cell.shed != cell.requests {
+            return Err(format!("{tag}: completed + shed != requests"));
+        }
+        if cell.shed != 0 {
+            return Err(format!("{tag}: shed without an admission cap"));
+        }
+        if cell.cold_boots + cell.reuses != cell.completed {
+            return Err(format!("{tag}: cold_boots + reuses != completed"));
+        }
+        if cell.peak_instances < cell.burst {
+            return Err(format!(
+                "{tag}: peak {} never reached the {}-instance burst",
+                cell.peak_instances, cell.burst
+            ));
+        }
+        if cell.peak_instances <= prev_peak {
+            return Err(format!("{tag}: density ladder is not ascending"));
+        }
+        prev_peak = cell.peak_instances;
+        if cell.reuses == 0 || cell.expirations == 0 {
+            return Err(format!("{tag}: baseline reuse/expiry went unexercised"));
+        }
+        if cell.startup.count != cell.completed || cell.end_to_end.count != cell.completed {
+            return Err(format!("{tag}: latency samples != completions"));
+        }
+        if cell.end_to_end.max < cell.startup.max || cell.horizon < cell.end_to_end.max {
+            return Err(format!("{tag}: latency ordering violated"));
+        }
+    }
+    if prev_peak < 100_000 {
+        return Err(format!(
+            "top rung peaks at {prev_peak} instances — the grid never left Figure 15's regime"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A shrunk ladder exercising the same machinery (the full 10^6 rung
+    /// belongs to `repro fleet`, not the unit suite).
+    fn small_cell(burst: usize) -> FleetCell {
+        let model = CostModel::experimental_machine();
+        let trace = cell_trace(burst);
+        let outcome = Simulation::new(catalogue::synthetic(FUNCTIONS, SEED))
+            .with_model(model)
+            .with_keep_alive(KEEP_ALIVE)
+            .with_max_idle(MAX_IDLE)
+            .run_fleet(&trace)
+            .unwrap();
+        cell_row("test", burst, trace.len(), &outcome)
+    }
+
+    #[test]
+    fn burst_density_is_reached_and_deterministic() {
+        let a = small_cell(2_000);
+        let b = small_cell(2_000);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        assert!(a.peak_instances >= 2_000, "peak {}", a.peak_instances);
+        assert_eq!(a.completed + a.shed, a.requests);
+        assert!(a.reuses > 0 && a.expirations > 0);
+    }
+
+    #[test]
+    fn validate_rejects_schema_drift_and_a_flat_ladder() {
+        let cell = small_cell(1_200);
+        let mut export = FleetBenchExport {
+            schema: SCHEMA.to_string(),
+            machine: "test".to_string(),
+            seed: SEED,
+            functions: u64::try_from(FUNCTIONS).unwrap_or(u64::MAX),
+            zipf_exponent: ZIPF_EXPONENT,
+            keep_alive: KEEP_ALIVE,
+            max_idle: u64::try_from(MAX_IDLE).unwrap_or(u64::MAX),
+            base_rate_hz: BASE_RATE_HZ,
+            burst_width: BURST_WIDTH,
+            cells: vec![cell.clone(), cell.clone(), cell.clone(), cell],
+        };
+        let err = validate(&export).unwrap_err();
+        assert!(err.contains("not ascending"), "{err}");
+        export.schema = "catalyzer-bench/pr0-v0".to_string();
+        let err = validate(&export).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn export_roundtrips_through_json() {
+        let cell = small_cell(1_500);
+        let export = FleetBenchExport {
+            schema: SCHEMA.to_string(),
+            machine: "test".to_string(),
+            seed: SEED,
+            functions: u64::try_from(FUNCTIONS).unwrap_or(u64::MAX),
+            zipf_exponent: ZIPF_EXPONENT,
+            keep_alive: KEEP_ALIVE,
+            max_idle: u64::try_from(MAX_IDLE).unwrap_or(u64::MAX),
+            base_rate_hz: BASE_RATE_HZ,
+            burst_width: BURST_WIDTH,
+            cells: vec![cell],
+        };
+        let text = to_json(&export).unwrap();
+        let back = from_json(&text).unwrap();
+        assert_eq!(to_json(&back).unwrap(), text);
+    }
+}

@@ -19,6 +19,7 @@ pub mod admitbench;
 pub mod export;
 pub mod faultbench;
 pub mod figures;
+pub mod fleetbench;
 
 /// Formats a `SimNanos` latency as the paper prints them (ms with 2–3
 /// significant decimals).

@@ -107,7 +107,10 @@ impl Config {
                 "invoke".into(),
                 "invoke_detailed".into(),
                 "invoke_at".into(),
+                "call".into(),
                 "run_admitted".into(),
+                "run_closed".into(),
+                "run_fleet".into(),
                 "resilient_boot".into(),
             ],
             seam_ops: vec![

@@ -45,6 +45,69 @@ pub enum PlatformError {
         /// Virtual time at which the breaker will admit a probe.
         until: SimNanos,
     },
+    /// The request trace handed to the simulator is malformed. The
+    /// simulation never panics on bad input: every malformation is typed
+    /// here, down to the offending request index.
+    InvalidTrace(TraceError),
+}
+
+/// Why a request trace was rejected by the simulator, with the offending
+/// position — the typed replacement for the old `simulate::run` panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// The trace is empty: there is nothing to simulate (and no
+    /// distribution to summarize).
+    Empty,
+    /// A request targets a function index past the catalogue.
+    UnknownFunction {
+        /// Position of the offending request in the trace.
+        at: usize,
+        /// The out-of-range function index it carried.
+        function: usize,
+        /// How many functions the catalogue actually holds.
+        functions: usize,
+    },
+    /// Arrivals go backwards: the trace is not time-sorted.
+    Unsorted {
+        /// Position of the first request that arrives before its
+        /// predecessor.
+        at: usize,
+        /// Its arrival time.
+        arrival: SimNanos,
+        /// The predecessor's (later) arrival time.
+        previous: SimNanos,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "trace is empty"),
+            TraceError::UnknownFunction {
+                at,
+                function,
+                functions,
+            } => write!(
+                f,
+                "request {at} targets function {function}, but the catalogue has {functions}"
+            ),
+            TraceError::Unsorted {
+                at,
+                arrival,
+                previous,
+            } => write!(
+                f,
+                "request {at} arrives at {arrival}, before its predecessor at {previous} — trace must be time-sorted"
+            ),
+        }
+    }
+}
+
+impl From<TraceError> for PlatformError {
+    fn from(e: TraceError) -> Self {
+        PlatformError::InvalidTrace(e)
+    }
 }
 
 impl PlatformError {
@@ -86,6 +149,7 @@ impl fmt::Display for PlatformError {
             PlatformError::CircuitOpen { function, until } => {
                 write!(f, "circuit open: '{function}' fast-fails until {until}")
             }
+            PlatformError::InvalidTrace(e) => write!(f, "invalid trace: {e}"),
         }
     }
 }

@@ -25,6 +25,36 @@ use crate::admission::{AdmissionController, AdmissionPolicy, HealthSignal, SPAN_
 use crate::resilience::{resilient_boot, ResiliencePolicy};
 use crate::{FunctionRegistry, PlatformError};
 
+/// One request against the gateway — the single input shape behind
+/// [`Gateway::call`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvokeRequest<'a> {
+    /// The function to invoke.
+    pub function: &'a str,
+    /// Arrival on the platform timeline; `None` runs on a request-local
+    /// clock (and bypasses admission), the classic single-request mode.
+    pub arrival: Option<SimNanos>,
+}
+
+impl<'a> InvokeRequest<'a> {
+    /// An untimestamped request: request-local clock, no admission gating.
+    pub fn new(function: &'a str) -> InvokeRequest<'a> {
+        InvokeRequest {
+            function,
+            arrival: None,
+        }
+    }
+
+    /// A request arriving at `arrival` on the platform timeline, gated by
+    /// admission control when the gateway has it armed.
+    pub fn at(function: &'a str, arrival: SimNanos) -> InvokeRequest<'a> {
+        InvokeRequest {
+            function,
+            arrival: Some(arrival),
+        }
+    }
+}
+
 /// One end-to-end invocation: boot + handler execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InvocationReport {
@@ -195,104 +225,31 @@ impl<E: BootEngine> Gateway<E> {
     /// Serves one request end to end: boot an ephemeral sandbox, run the
     /// handler, tear down. Returns the latency split.
     ///
+    /// Equivalent to `call(InvokeRequest::new(function))?.report`.
+    ///
     /// # Errors
     ///
     /// [`PlatformError::UnknownFunction`]; engine and handler errors.
     pub fn invoke(&mut self, function: &str) -> Result<InvocationReport, PlatformError> {
-        Ok(self.invoke_detailed(function)?.report)
+        Ok(self.call(InvokeRequest::new(function))?.report)
     }
 
     /// [`Gateway::invoke`], returning the full [`Invocation`] for
     /// experiments that need breakdowns, the span tree, or the live sandbox.
     ///
+    /// Equivalent to `call(InvokeRequest::new(function))`.
+    ///
     /// # Errors
     ///
     /// Same as [`Gateway::invoke`].
     pub fn invoke_detailed(&mut self, function: &str) -> Result<Invocation, PlatformError> {
-        let profile = self
-            .registry
-            .get(function)
-            .ok_or_else(|| PlatformError::UnknownFunction {
-                name: function.to_string(),
-            })?
-            .clone();
-        let mut ctx = BootCtx::fresh(&self.model);
-        if let Some(injector) = &self.injector {
-            ctx = ctx.with_injector(Rc::clone(injector));
-        }
-        ctx.tracer_mut().begin(names::invoke_span(function));
-
-        let booted = resilient_boot(
-            &mut self.engine,
-            &profile,
-            &self.policy,
-            &mut ctx,
-            &mut self.metrics,
-        );
-        let mut booted = match booted {
-            Ok(booted) => booted,
-            Err(e) => {
-                self.metrics.inc(names::INVOKE_ERRORS);
-                ctx.tracer_mut().end();
-                return Err(e.into());
-            }
-        };
-        let (exec_result, exec_span) = ctx.span_out(SPAN_EXEC, |ctx| {
-            booted
-                .outcome
-                .program
-                .invoke_handler(ctx.clock(), ctx.model())
-        });
-        let trace = ctx.tracer_mut().end();
-        let exec = match exec_result {
-            Ok(report) => report,
-            Err(e) => {
-                self.metrics.inc(names::INVOKE_ERRORS);
-                return Err(e.into());
-            }
-        };
-
-        // Both latency legs come from the span tree itself — the report can
-        // never drift from the trace. The boot leg is everything before the
-        // handler ran: failed attempts, backoff, and quarantine included
-        // (equal to the winning boot span's duration when nothing faulted).
-        let report = InvocationReport {
-            boot: trace.duration().saturating_sub(exec_span.duration()),
-            exec: exec_span.duration(),
-        };
-        self.invocations += 1;
-        self.metrics.inc(names::INVOKE_COUNT);
-        self.metrics.inc(&names::invoke_fn_count(function));
-        self.metrics
-            .observe(&names::boot_hist(function), report.boot);
-        self.metrics
-            .observe(&names::exec_hist(function), report.exec);
-        if booted.degraded() {
-            self.metrics.inc(names::INVOKE_DEGRADED);
-            self.metrics
-                .observe(names::INVOKE_RECOVERY, booted.recovery);
-            if let Some(rung) = booted.fallback_path {
-                self.metrics.inc(&names::invoke_degraded_rung(rung));
-            }
-        }
-        Ok(Invocation {
-            report,
-            queued: SimNanos::ZERO,
-            outcome: booted.outcome,
-            exec,
-            trace,
-        })
+        self.call(InvokeRequest::new(function))
     }
 
-    /// Serves one request arriving at `arrival` on the *platform* timeline:
-    /// the boot context's clock starts at the admitted start time, so fault
-    /// windows ([`FaultPlan::storm`](faultsim::FaultPlan::storm)) and span
-    /// stamps line up with arrivals instead of being request-local.
+    /// Serves one request arriving at `arrival` on the *platform* timeline,
+    /// gated by admission control when armed.
     ///
-    /// On an admission-controlled gateway the request is first gated: the
-    /// queue wait appears as an `admission` span inside the invoke root and
-    /// in [`Invocation::queued`], and the completion feeds the function's
-    /// circuit breaker. Arrivals must be time-sorted.
+    /// Equivalent to `call(InvokeRequest::at(function, arrival))`.
     ///
     /// # Errors
     ///
@@ -304,6 +261,32 @@ impl<E: BootEngine> Gateway<E> {
         function: &str,
         arrival: SimNanos,
     ) -> Result<Invocation, PlatformError> {
+        self.call(InvokeRequest::at(function, arrival))
+    }
+
+    /// Serves one request — the single entry point behind
+    /// [`Gateway::invoke`], [`Gateway::invoke_detailed`], and
+    /// [`Gateway::invoke_at`], which are one-line wrappers over this.
+    ///
+    /// An untimestamped request ([`InvokeRequest::new`]) runs on a
+    /// request-local clock starting at zero and bypasses admission control —
+    /// the classic single-request experiment. A timestamped request
+    /// ([`InvokeRequest::at`]) runs on the *platform* timeline: the boot
+    /// context's clock starts at the admitted start time, so fault windows
+    /// ([`FaultPlan::storm`](faultsim::FaultPlan::storm)) and span stamps
+    /// line up with arrivals; on an admission-controlled gateway it is first
+    /// gated (the queue wait appears as an `admission` span inside the
+    /// invoke root and in [`Invocation::queued`]) and its completion feeds
+    /// the function's circuit breaker. Timestamped arrivals must be
+    /// time-sorted.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::UnknownFunction`]; typed admission sheds
+    /// (`Overload`, `DeadlineExceeded`, `CircuitOpen` — timestamped
+    /// requests only); engine and handler errors.
+    pub fn call(&mut self, req: InvokeRequest<'_>) -> Result<Invocation, PlatformError> {
+        let function = req.function;
         let profile = self
             .registry
             .get(function)
@@ -312,15 +295,15 @@ impl<E: BootEngine> Gateway<E> {
             })?
             .clone();
 
-        let (queued, _deadline) = match &mut self.admission {
-            Some(ctrl) => match ctrl.admit(function, arrival) {
+        let queued = match (req.arrival, &mut self.admission) {
+            (Some(arrival), Some(ctrl)) => match ctrl.admit(function, arrival) {
                 Ok(admitted) => {
                     self.metrics.inc(names::ADMIT_COUNT);
                     if !admitted.queued.is_zero() {
                         self.metrics.inc(names::ADMIT_QUEUED);
                         self.metrics.observe(names::ADMIT_WAIT, admitted.queued);
                     }
-                    (admitted.queued, admitted.deadline)
+                    admitted.queued
                 }
                 Err(err) => {
                     self.metrics.inc(match &err {
@@ -332,16 +315,18 @@ impl<E: BootEngine> Gateway<E> {
                     return Err(err);
                 }
             },
-            None => (SimNanos::ZERO, None),
+            _ => SimNanos::ZERO,
         };
 
-        let clock = SimClock::starting_at(arrival);
-        let mut ctx = BootCtx::new(&clock, &self.model);
+        let mut ctx = match req.arrival {
+            Some(arrival) => BootCtx::new(&SimClock::starting_at(arrival), &self.model),
+            None => BootCtx::fresh(&self.model),
+        };
         if let Some(injector) = &self.injector {
             ctx = ctx.with_injector(Rc::clone(injector));
         }
         ctx.tracer_mut().begin(names::invoke_span(function));
-        if self.admission.is_some() {
+        if req.arrival.is_some() && self.admission.is_some() {
             // Always present on admitted requests (zero when unqueued), so
             // the span shape is stable: [admission, boot, exec].
             ctx.charge_span(SPAN_ADMISSION, queued);
@@ -359,7 +344,9 @@ impl<E: BootEngine> Gateway<E> {
             Err(e) => {
                 self.metrics.inc(names::INVOKE_ERRORS);
                 ctx.tracer_mut().end();
-                self.finish_admitted(function, ctx.now(), HealthSignal::Failed);
+                if req.arrival.is_some() {
+                    self.finish_admitted(function, ctx.now(), HealthSignal::Failed);
+                }
                 return Err(e.into());
             }
         };
@@ -374,14 +361,18 @@ impl<E: BootEngine> Gateway<E> {
             Ok(report) => report,
             Err(e) => {
                 self.metrics.inc(names::INVOKE_ERRORS);
-                self.finish_admitted(function, ctx.now(), HealthSignal::Failed);
+                if req.arrival.is_some() {
+                    self.finish_admitted(function, ctx.now(), HealthSignal::Failed);
+                }
                 return Err(e.into());
             }
         };
 
-        // Same trace-derived accounting as `invoke_detailed`, minus the
-        // admission wait: the boot leg is what the *platform* spent, the
-        // queue wait is reported separately.
+        // Both latency legs come from the span tree itself — the report can
+        // never drift from the trace. The boot leg is everything the
+        // *platform* spent before the handler ran: failed attempts, backoff,
+        // and quarantine included, the admission wait excluded (`queued` is
+        // zero on untimestamped requests).
         let report = InvocationReport {
             boot: trace
                 .duration()
@@ -404,12 +395,14 @@ impl<E: BootEngine> Gateway<E> {
                 self.metrics.inc(&names::invoke_degraded_rung(rung));
             }
         }
-        let signal = if !booted.poisoned.is_empty() || booted.quarantines > 0 {
-            HealthSignal::Poisoned
-        } else {
-            HealthSignal::Healthy
-        };
-        self.finish_admitted(function, ctx.now(), signal);
+        if req.arrival.is_some() {
+            let signal = if !booted.poisoned.is_empty() || booted.quarantines > 0 {
+                HealthSignal::Poisoned
+            } else {
+                HealthSignal::Healthy
+            };
+            self.finish_admitted(function, ctx.now(), signal);
+        }
         Ok(Invocation {
             report,
             queued,

@@ -21,7 +21,13 @@
 //!   the above — deadline-aware admission queues with per-function
 //!   concurrency limits, circuit breakers driven by the fault signals, and
 //!   self-healing capacity pools that repair poisoned prepared state off
-//!   the request path.
+//!   the request path;
+//! - [`simulate`]: the discrete-event simulation core — one central event
+//!   queue and generational instance arenas behind the builder-style
+//!   [`Simulation`] API, with a full-fidelity closed-loop engine
+//!   ([`Simulation::run`]) and a calibrated open-loop fleet engine
+//!   ([`Simulation::run_fleet`]) that extends Fig. 15's density axis to
+//!   10^5–10^6 concurrent instances.
 //!
 //! # Example
 //!
@@ -56,9 +62,12 @@ pub mod simulate;
 pub use admission::{
     AdmissionController, AdmissionPolicy, BreakerPolicy, BreakerState, CircuitBreaker, HealthSignal,
 };
-pub use error::PlatformError;
-pub use gateway::{Gateway, Invocation, InvocationReport};
+pub use error::{PlatformError, TraceError};
+pub use gateway::{Gateway, Invocation, InvocationReport, InvokeRequest};
 pub use pool::{InstancePool, PoolServe, RepairStats};
 pub use registry::FunctionRegistry;
 pub use resilience::{resilient_boot, ResiliencePolicy, ResilientBoot};
-pub use simulate::{run_admitted, AdmittedOutcome};
+pub use simulate::{
+    run, run_admitted, run_with_faults, AdmittedOutcome, FleetOutcome, SimReport, Simulation,
+    SimulationOutcome, TraceRequest,
+};

@@ -257,7 +257,7 @@ impl<E: BootEngine> InstancePool<E> {
                 // Reuse: scheduler hand-off only.
                 (
                     instance.outcome,
-                    SimNanos::from_micros(150),
+                    crate::simulate::REUSE_HANDOFF,
                     true,
                     false,
                     false,

@@ -1,0 +1,240 @@
+//! The central event queue of the discrete-event engine.
+//!
+//! One `BinaryHeap` keyed on [`SimNanos`] drives the whole simulation;
+//! every state change is an [`Event`] popped in deterministic order. The
+//! tie-break at equal timestamps is total and *insertion-order
+//! independent*: `(time, event class, payload key)` — the sequence number
+//! is consulted only for exact duplicates, which the engine never
+//! schedules. Class order encodes the platform's causality at an instant:
+//! completions free capacity, expiries reclaim it, background work runs,
+//! and only then does a new arrival see the world.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use simtime::SimNanos;
+
+use super::arena::{FnId, InstanceId};
+
+/// One scheduled state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Request `request` (its index in the trace) arrives at the platform.
+    Arrival {
+        /// Trace position of the arriving request.
+        request: u64,
+    },
+    /// A cold boot finished: the instance is ready to run its request.
+    BootComplete {
+        /// The instance that finished booting.
+        instance: InstanceId,
+    },
+    /// Request `request` finished executing.
+    ExecComplete {
+        /// Trace position of the completing request.
+        request: u64,
+        /// The instance it ran on (`None` in the closed-loop engine, where
+        /// pools own their instances).
+        instance: Option<InstanceId>,
+    },
+    /// An idle instance's keep-alive window lapsed. The generational id
+    /// makes stale expiries (instance reused or reclaimed since) miss.
+    KeepAliveExpiry {
+        /// The instance whose window lapsed.
+        instance: InstanceId,
+    },
+    /// A self-healing sweep is due for `function`: repair suspect prepared
+    /// state and replenish the warm floor, off the request path.
+    PoolTick {
+        /// The function owed the sweep.
+        function: FnId,
+    },
+}
+
+impl Event {
+    /// Dispatch rank at equal timestamps: completions before expiries
+    /// before boot/background work before arrivals — the order in which a
+    /// real platform's state settles within one instant.
+    fn class(&self) -> u8 {
+        match self {
+            Event::ExecComplete { .. } => 0,
+            Event::KeepAliveExpiry { .. } => 1,
+            Event::BootComplete { .. } => 2,
+            Event::PoolTick { .. } => 3,
+            Event::Arrival { .. } => 4,
+        }
+    }
+
+    /// Payload key making the tie-break total across distinct events of
+    /// one class (trace order for arrivals/completions, slot identity for
+    /// instance events).
+    fn key(&self) -> u64 {
+        match self {
+            Event::Arrival { request } | Event::ExecComplete { request, .. } => *request,
+            Event::BootComplete { instance } | Event::KeepAliveExpiry { instance } => {
+                instance.key()
+            }
+            Event::PoolTick { function } => function.index() as u64,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    at: SimNanos,
+    class: u8,
+    key: u64,
+    seq: u64,
+    event: Event,
+}
+
+// Reverse ordering: `BinaryHeap` is a max-heap, we pop earliest first.
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.class, other.key, other.seq)
+            .cmp(&(self.at, self.class, self.key, self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The engine's priority queue: min-ordered on `(time, class, key)`.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// An empty queue with room for `capacity` pending events.
+    pub fn with_capacity(capacity: usize) -> EventQueue {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn schedule(&mut self, at: SimNanos, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            class: event.class(),
+            key: event.key(),
+            seq,
+            event,
+        });
+    }
+
+    /// Pops the earliest event, with its fire time.
+    pub fn pop(&mut self) -> Option<(SimNanos, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Events ever scheduled (the engine's `events` accounting).
+    pub fn scheduled(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nanos(n: u64) -> SimNanos {
+        SimNanos::from_nanos(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(nanos(30), Event::Arrival { request: 2 });
+        q.schedule(nanos(10), Event::Arrival { request: 0 });
+        q.schedule(nanos(20), Event::Arrival { request: 1 });
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t).collect();
+        assert_eq!(order, vec![nanos(10), nanos(20), nanos(30)]);
+    }
+
+    #[test]
+    fn completion_beats_arrival_at_the_same_instant() {
+        let mut q = EventQueue::new();
+        q.schedule(nanos(5), Event::Arrival { request: 7 });
+        q.schedule(
+            nanos(5),
+            Event::ExecComplete {
+                request: 3,
+                instance: None,
+            },
+        );
+        let (_, first) = q.pop().unwrap();
+        assert!(matches!(first, Event::ExecComplete { request: 3, .. }));
+    }
+
+    #[test]
+    fn equal_time_arrivals_pop_in_trace_order() {
+        let mut q = EventQueue::new();
+        for request in [4u64, 1, 3, 0, 2] {
+            q.schedule(nanos(9), Event::Arrival { request });
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Arrival { request } => request,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let events = [
+            (nanos(10), Event::Arrival { request: 0 }),
+            (
+                nanos(10),
+                Event::ExecComplete {
+                    request: 9,
+                    instance: None,
+                },
+            ),
+            (
+                nanos(10),
+                Event::PoolTick {
+                    function: crate::simulate::FnId::from_index(2),
+                },
+            ),
+            (nanos(4), Event::Arrival { request: 1 }),
+        ];
+        let mut forward = EventQueue::new();
+        let mut backward = EventQueue::new();
+        for (at, e) in events {
+            forward.schedule(at, e);
+        }
+        for (at, e) in events.iter().rev() {
+            backward.schedule(*at, *e);
+        }
+        let a: Vec<_> = std::iter::from_fn(|| forward.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| backward.pop()).collect();
+        assert_eq!(a, b);
+        assert_eq!(forward.scheduled(), 4);
+    }
+}

@@ -317,6 +317,62 @@ pub trait BootEngine {
     }
 }
 
+/// A boxed engine is an engine: every method — including the ones with
+/// provided defaults — delegates to the underlying implementation, so
+/// type-erased fleets (`Box<dyn BootEngine>` behind one factory) behave
+/// byte-for-byte like their concrete counterparts.
+impl BootEngine for Box<dyn BootEngine> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn isolation(&self) -> IsolationLevel {
+        (**self).isolation()
+    }
+
+    fn boot(
+        &mut self,
+        profile: &AppProfile,
+        ctx: &mut BootCtx,
+    ) -> Result<BootOutcome, SandboxError> {
+        (**self).boot(profile, ctx)
+    }
+
+    fn warm(&mut self, profile: &AppProfile, model: &CostModel) -> Result<(), SandboxError> {
+        (**self).warm(profile, model)
+    }
+
+    fn degrade(&mut self) -> Option<&'static str> {
+        (**self).degrade()
+    }
+
+    fn reset_path(&mut self) {
+        (**self).reset_path()
+    }
+
+    fn quarantine(
+        &mut self,
+        profile: &AppProfile,
+        point: InjectionPoint,
+        clock: &SimClock,
+        model: &CostModel,
+    ) -> Result<(), SandboxError> {
+        (**self).quarantine(profile, point, clock, model)
+    }
+
+    fn mark_suspect(&mut self, profile: &AppProfile, point: InjectionPoint) {
+        (**self).mark_suspect(profile, point)
+    }
+
+    fn repair(
+        &mut self,
+        profile: &AppProfile,
+        model: &CostModel,
+    ) -> Result<SimNanos, SandboxError> {
+        (**self).repair(profile, model)
+    }
+}
+
 /// Wraps an engine's boot body in the [`SPAN_BOOT`] root span and assembles
 /// the [`BootOutcome`] from the finished span: `boot_latency` is the span's
 /// duration and `breakdown` its direct children, so the flat report and the

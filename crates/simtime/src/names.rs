@@ -137,6 +137,26 @@ pub fn fallback_rung(rung: &str) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Open-loop fleet engine (platform::simulate::fleet).
+
+/// Counter: events the fleet's discrete-event queue processed.
+pub const FLEET_EVENTS: &str = "fleet.events";
+/// Counter: cold boots across the fleet.
+pub const FLEET_COLD_BOOTS: &str = "fleet.boots";
+/// Counter: requests served by reusing a warm instance.
+pub const FLEET_REUSES: &str = "fleet.reuses";
+/// Counter: instances reclaimed by keep-alive expiry.
+pub const FLEET_EXPIRATIONS: &str = "fleet.expirations";
+/// Counter: instances booted in the background to hold the warm floor.
+pub const FLEET_PREWARM: &str = "fleet.prewarm";
+/// Counter: requests shed by the per-function concurrency cap.
+pub const FLEET_SHED: &str = "fleet.shed";
+/// Counter: background repair sweeps (heal + replenish) the fleet ran.
+pub const FLEET_REPAIRS: &str = "fleet.repairs";
+/// Gauge: peak instances concurrently live across the fleet.
+pub const FLEET_PEAK_INSTANCES: &str = "fleet.peak-instances";
+
+// ---------------------------------------------------------------------------
 // Autoscaling sweep (platform::scaling).
 
 /// Counter: background (off-path) boots issued by the scaler.

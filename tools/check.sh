@@ -79,6 +79,22 @@ step "fault sweep (BENCH_pr3.json valid + up to date)" \
 step "overload sweep (BENCH_pr4.json valid + up to date)" \
   cargo run -q -p bench --bin repro -- overload --check BENCH_pr4.json
 
+# And for the fleet density grid: regenerates the open-loop event-engine
+# ladder (10k-function Zipf catalogue, flash-crowd bursts 10^3 → 10^6
+# concurrent instances) in-memory and verifies the checked-in
+# BENCH_pr7.json is valid (every rung reaching its burst density, the
+# ladder ascending, the top rung past 10^5 instances, reuse and expiry
+# exercised at every scale) and byte-identical — i.e. the event queue,
+# arenas, and calibration are deterministic.
+step "fleet density grid (BENCH_pr7.json valid + up to date)" \
+  cargo run -q -p bench --bin repro -- fleet --check BENCH_pr7.json
+
+# Smoke-run the simulation-core throughput bench (closed-loop vs fleet
+# engine, simulated requests per wall-clock second): it must build and
+# complete, keeping the density grid's engine path benchable.
+step "simbench smoke (closed-loop + fleet engine throughput)" \
+  cargo bench -q -p bench --bench simbench
+
 echo
 echo "All checks passed."
 echo
