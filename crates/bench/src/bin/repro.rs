@@ -8,7 +8,8 @@
 //! repro faults         # fault-injection sweep -> BENCH_pr3.json
 //! repro overload       # admission/overload sweep -> BENCH_pr4.json
 //! repro fleet          # fleet density grid -> BENCH_pr7.json
-//! repro all --check    # validate all four checked-in bench exports
+//! repro cluster        # cluster routing sweep -> BENCH_pr8.json
+//! repro all --check    # validate all five checked-in bench exports
 //! ```
 
 use bench::figures::{
@@ -256,6 +257,38 @@ fn fleet(path: &str, check: bool) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Writes the cluster sweep (nodes × placement budget × routing policy on
+/// a shared viral flash-crowd trace, plus the single-node parity probe and
+/// the poisoned-transfer storm) to `path`, or with `check = true`
+/// re-generates it and verifies `path` is valid and byte-identical
+/// (determinism gate).
+fn cluster(path: &str, check: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let model = CostModel::experimental_machine();
+    let fresh = bench::clusterbench::generate(&model)?;
+    bench::clusterbench::validate(&fresh)?;
+    let text = bench::clusterbench::to_json(&fresh)?;
+    if check {
+        let on_disk = std::fs::read_to_string(path)?;
+        let parsed = bench::clusterbench::from_json(&on_disk)?;
+        bench::clusterbench::validate(&parsed)?;
+        if on_disk != text {
+            return Err(format!("{path} is stale: regenerate with 'repro cluster {path}'").into());
+        }
+        println!(
+            "{path}: valid, {} cells + parity + storm, up to date",
+            parsed.cells.len()
+        );
+    } else {
+        std::fs::write(path, &text)?;
+        println!(
+            "wrote {path} ({} cells + parity + storm, {} bytes)",
+            fresh.cells.len(),
+            text.len()
+        );
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("all");
@@ -306,6 +339,16 @@ fn main() {
                 .unwrap_or("BENCH_pr7.json");
             fleet(path, check)
         }
+        "cluster" => {
+            let check = args.iter().any(|a| a == "--check");
+            let path = args
+                .iter()
+                .skip(1)
+                .find(|a| *a != "--check")
+                .map(String::as_str)
+                .unwrap_or("BENCH_pr8.json");
+            cluster(path, check)
+        }
         "csv" => match args.get(1) {
             Some(id) => csv(id),
             None => {
@@ -320,6 +363,7 @@ fn main() {
                 .and_then(|()| faults("BENCH_pr3.json", true))
                 .and_then(|()| overload("BENCH_pr4.json", true))
                 .and_then(|()| fleet("BENCH_pr7.json", true))
+                .and_then(|()| cluster("BENCH_pr8.json", true))
         }
         "all" | "quick" => {
             let fig15_max = if command == "quick" { 100 } else { 1000 };

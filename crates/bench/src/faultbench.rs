@@ -187,7 +187,18 @@ fn run_cell(rate: f64, policy: ResiliencePolicy, model: &CostModel) -> FaultCell
         .with_faults(FaultPlan::uniform(SEED, rate));
     let (ok, failed, degraded, totals, gateway) = drive(gateway, REQUESTS_PER_CELL);
     let metrics = gateway.metrics();
-    let faults = InjectionPoint::ALL
+    // The six boot-pipeline points the single-node gateway consults. The
+    // cluster-only `TemplateTransfer` seam never fires on this path and is
+    // deliberately excluded so the export's rows (and bytes) are stable.
+    const BOOT_POINTS: [InjectionPoint; 6] = [
+        InjectionPoint::ImageMmap,
+        InjectionPoint::ArenaMap,
+        InjectionPoint::Relink,
+        InjectionPoint::IoReconnect,
+        InjectionPoint::ZygoteSpecialize,
+        InjectionPoint::SforkMerge,
+    ];
+    let faults = BOOT_POINTS
         .iter()
         .map(|point| PointCount {
             point: point.label().to_string(),

@@ -111,6 +111,10 @@ impl Config {
                 "run_admitted".into(),
                 "run_closed".into(),
                 "run_fleet".into(),
+                // The cluster layer: the open-loop cluster engine and the
+                // closed-loop scheduler's routing decision.
+                "run_cluster".into(),
+                "route".into(),
                 "resilient_boot".into(),
             ],
             seam_ops: vec![
@@ -129,6 +133,9 @@ impl Config {
                 ),
                 ("ZygoteSpecialize".into(), vec!["specialize".into()]),
                 ("SforkMerge".into(), vec!["expand".into()]),
+                // The cluster's remote-sfork rung: the cross-node template
+                // transfer (platform::cluster) behind its own seam.
+                ("TemplateTransfer".into(), vec!["transfer_template".into()]),
             ],
             simarith_exempt: vec!["crates/simtime/".into()],
             spanflow_exempt: vec!["crates/simtime/".into()],
@@ -211,6 +218,10 @@ mod tests {
         assert_eq!(c.seam_point_for("restore_metadata"), Some("ArenaMap"));
         assert_eq!(c.seam_point_for("ensure_connected"), Some("IoReconnect"));
         assert_eq!(c.seam_point_for("specialize"), Some("ZygoteSpecialize"));
+        assert_eq!(
+            c.seam_point_for("transfer_template"),
+            Some("TemplateTransfer")
+        );
         assert_eq!(c.seam_point_for("unrelated_op"), None);
         assert!(c.is_simarith_exempt("crates/simtime/src/duration.rs"));
         assert!(!c.is_simarith_exempt("crates/platform/src/gateway.rs"));

@@ -930,8 +930,9 @@ fn check_live_range(
 /// string literal starting with one of these, anywhere in library code
 /// outside the registry itself, must be replaced by the registry constant
 /// (or helper) so emitters and bench validators cannot drift.
-pub const NAME_PREFIXES: [&str; 21] = [
+pub const NAME_PREFIXES: [&str; 23] = [
     "boot.",
+    "cluster.",
     "exec.",
     "invoke.",
     "invoke:",
@@ -952,6 +953,7 @@ pub const NAME_PREFIXES: [&str; 21] = [
     "map-file:",
     "mem:",
     "io:",
+    "transfer:",
 ];
 
 /// Flags registry-grammar string literals outside `simtime::names`.

@@ -10,7 +10,7 @@
 //!
 //! The model has three pieces:
 //!
-//! - [`InjectionPoint`]: the six named places in the boot pipeline where a
+//! - [`InjectionPoint`]: the seven named places in the boot pipeline where a
 //!   fault can fire (image mmap, stage-1 arena map, stage-2 relink, I/O
 //!   reconnect, zygote specialization, sfork thread merge);
 //! - [`FaultPlan`]: a seeded, [`SimNanos`]-windowed schedule — per-point

@@ -31,17 +31,22 @@ pub enum InjectionPoint {
     /// The sfork single-thread merge/expand discipline (§4.2): the template
     /// cannot re-expand its thread set, poisoning the template.
     SforkMerge,
+    /// Cross-node template transfer backing a *remote* sfork (MITOSIS-style
+    /// RDMA fork): the RDMA read of the holder's template state fails or
+    /// delivers a corrupt replica, poisoning the receiving node's copy.
+    TemplateTransfer,
 }
 
 impl InjectionPoint {
     /// Every injection point, in pipeline order.
-    pub const ALL: [InjectionPoint; 6] = [
+    pub const ALL: [InjectionPoint; 7] = [
         InjectionPoint::ImageMmap,
         InjectionPoint::ArenaMap,
         InjectionPoint::Relink,
         InjectionPoint::IoReconnect,
         InjectionPoint::ZygoteSpecialize,
         InjectionPoint::SforkMerge,
+        InjectionPoint::TemplateTransfer,
     ];
 
     /// Stable metric/label name (`fault.<label>` counters, span names).
@@ -53,6 +58,7 @@ impl InjectionPoint {
             InjectionPoint::IoReconnect => "io-reconnect",
             InjectionPoint::ZygoteSpecialize => "zygote-specialize",
             InjectionPoint::SforkMerge => "sfork-merge",
+            InjectionPoint::TemplateTransfer => "template-transfer",
         }
     }
 
@@ -65,16 +71,20 @@ impl InjectionPoint {
             InjectionPoint::IoReconnect => 3,
             InjectionPoint::ZygoteSpecialize => 4,
             InjectionPoint::SforkMerge => 5,
+            InjectionPoint::TemplateTransfer => 6,
         }
     }
 
-    /// True when a fault here corrupts *prepared* state (a zygote or a
-    /// template sandbox) rather than the attempt alone: recovery requires
-    /// quarantining and rebuilding that state, not merely retrying.
+    /// True when a fault here corrupts *prepared* state (a zygote, a
+    /// template sandbox, or a transferred template replica) rather than the
+    /// attempt alone: recovery requires quarantining and rebuilding that
+    /// state, not merely retrying.
     pub fn poisons_prepared_state(self) -> bool {
         matches!(
             self,
-            InjectionPoint::ZygoteSpecialize | InjectionPoint::SforkMerge
+            InjectionPoint::ZygoteSpecialize
+                | InjectionPoint::SforkMerge
+                | InjectionPoint::TemplateTransfer
         )
     }
 }
@@ -145,7 +155,11 @@ mod tests {
             .collect();
         assert_eq!(
             poisoning,
-            [InjectionPoint::ZygoteSpecialize, InjectionPoint::SforkMerge]
+            [
+                InjectionPoint::ZygoteSpecialize,
+                InjectionPoint::SforkMerge,
+                InjectionPoint::TemplateTransfer,
+            ]
         );
     }
 }

@@ -1,0 +1,822 @@
+//! The open-loop cluster engine: calibrated per-node costs, template
+//! transfers and node repairs as event classes, fleet-scale traces.
+//!
+//! [`Cluster`](super::Cluster) serves requests through real per-node
+//! gateways — full fidelity, closed loop. This module is its open-loop
+//! sibling, built on the same discrete-event core as
+//! [`Simulation::run_fleet`](crate::simulate::Simulation::run_fleet):
+//! per-boot microstructure is calibrated once per distinct cost shape, and
+//! the trace then flows through the event queue at 10k-function scale. The
+//! cluster dynamics the bench sweeps — placement budget versus remote-fork
+//! traffic, flash crowds saturating the template holders, transfer faults
+//! degrading down the ladder — all live in the event loop:
+//!
+//! - **local** — a template-holder node under capacity sforks at the
+//!   calibrated steady fork cost;
+//! - **remote** — holders saturated: a non-holder starts (or joins) a
+//!   template transfer ([`Event::TransferComplete`]) and forks when it
+//!   lands. The transfer consults [`InjectionPoint::TemplateTransfer`]; a
+//!   poison corrupts the in-flight replica, the request degrades to a cold
+//!   boot, and a background [`Event::NodeRepair`] heals the fabric;
+//! - **cold** — no reachable template (or the [`RoutingPolicy::LocalCold`]
+//!   baseline): pay the registry pull once per node, then the full cold
+//!   boot;
+//! - **shed** — every node at capacity.
+//!
+//! Holder nodes are *provisioned*: their templates are built offline (the
+//! placement budget is exactly the provisioned-concurrency knob), so a
+//! holder's first boot already runs at the steady fork cost.
+//!
+//! Determinism is byte-exact: same catalogue, config, knobs, and trace —
+//! same [`ClusterOutcome`], including the routing-decision hash.
+
+use faultsim::{FaultInjector, FaultKind, FaultPlan, InjectionPoint};
+use runtimes::AppProfile;
+use sandbox::BootCtx;
+use serde::Serialize;
+use simtime::names;
+use simtime::{CostModel, LatencyHistogram, MetricsRegistry, SimNanos};
+
+use super::{ClusterConfig, RoutingPolicy};
+use crate::resilience::{resilient_boot, ResiliencePolicy};
+use crate::simulate::{
+    validate_trace, Arena, Event, EventQueue, FnId, InstanceId, Quantiles, TraceRequest,
+    REUSE_HANDOFF,
+};
+use crate::PlatformError;
+
+use catalyzer::{BootMode, CatalyzerEngine};
+
+/// How one request was served — the alphabet of the routing history hash.
+const ROUTE_REUSE: u64 = 0;
+const ROUTE_LOCAL: u64 = 1;
+const ROUTE_REMOTE: u64 = 2;
+const ROUTE_COLD: u64 = 3;
+const ROUTE_SHED: u64 = 4;
+
+/// Builder for an open-loop cluster run: the catalogue, the cluster shape,
+/// and the per-node serving knobs.
+#[derive(Debug)]
+pub struct ClusterSim {
+    catalogue: Vec<AppProfile>,
+    config: ClusterConfig,
+    model: CostModel,
+    keep_alive: SimNanos,
+    max_idle: usize,
+    /// Per-node concurrent-instance cap; `0` means unbounded.
+    node_capacity: usize,
+    plan: Option<FaultPlan>,
+    /// Retry backoff charged when a transfer absorbs a transient or stall.
+    backoff: SimNanos,
+    /// Background delay before a poisoned transfer fabric is repaired.
+    repair_delay: SimNanos,
+}
+
+impl ClusterSim {
+    /// A cluster simulation over `catalogue` with shape `config` and
+    /// defaults matching the single-node fleet engine: 5 s keep-alive, a
+    /// warm set of 4 per (node, function), unbounded node capacity.
+    pub fn new(catalogue: impl Into<Vec<AppProfile>>, config: ClusterConfig) -> ClusterSim {
+        ClusterSim {
+            catalogue: catalogue.into(),
+            config,
+            model: CostModel::experimental_machine(),
+            keep_alive: SimNanos::from_secs(5),
+            max_idle: 4,
+            node_capacity: 0,
+            plan: None,
+            backoff: SimNanos::from_micros(200),
+            repair_delay: SimNanos::from_millis(5),
+        }
+    }
+
+    /// Replaces the cost model, builder-style.
+    pub fn with_model(mut self, model: CostModel) -> ClusterSim {
+        self.model = model;
+        self
+    }
+
+    /// Sets the keep-alive window, builder-style.
+    pub fn with_keep_alive(mut self, keep_alive: SimNanos) -> ClusterSim {
+        self.keep_alive = keep_alive;
+        self
+    }
+
+    /// Caps the warm set per (node, function), builder-style.
+    pub fn with_max_idle(mut self, max_idle: usize) -> ClusterSim {
+        self.max_idle = max_idle;
+        self
+    }
+
+    /// Caps concurrent instances per node (`0` = unbounded), builder-style
+    /// — the density axis of the bench sweep.
+    pub fn with_node_capacity(mut self, node_capacity: usize) -> ClusterSim {
+        self.node_capacity = node_capacity;
+        self
+    }
+
+    /// Arms the deterministic fault injector with `plan`, builder-style.
+    /// Only the template-transfer seam is consulted at cluster fleet
+    /// scale; boot-path faults are the single-node engines' concern.
+    pub fn with_faults(mut self, plan: FaultPlan) -> ClusterSim {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Sets the background repair delay after a poisoned transfer,
+    /// builder-style.
+    pub fn with_repair_delay(mut self, repair_delay: SimNanos) -> ClusterSim {
+        self.repair_delay = repair_delay;
+        self
+    }
+}
+
+/// What one open-loop cluster run produced: the nodes × placement-budget ×
+/// routing-policy grid cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterOutcome {
+    /// Requests in the trace.
+    pub requests: u64,
+    /// Requests that ran to completion.
+    pub completed: u64,
+    /// Requests shed with every node at capacity.
+    pub shed: u64,
+    /// Requests served by a warm instance.
+    pub reuses: u64,
+    /// Requests served by a local sfork on a template holder.
+    pub local: u64,
+    /// Requests served by a remote sfork (transfer started or joined).
+    pub remote: u64,
+    /// Requests served by a cold boot.
+    pub cold: u64,
+    /// Requests pushed off the template-local nodes by saturation.
+    pub reroutes: u64,
+    /// Template transfers started.
+    pub transfers: u64,
+    /// Transfers that absorbed an injected fault.
+    pub transfer_faults: u64,
+    /// Background node repairs after poisoned transfers.
+    pub node_repairs: u64,
+    /// Instances reclaimed by keep-alive expiry.
+    pub expirations: u64,
+    /// Events the queue processed.
+    pub events: u64,
+    /// Virtual time of the last event.
+    pub horizon: SimNanos,
+    /// Most instances ever live at once, per node — the density profile
+    /// placement is trading against.
+    pub per_node_peak: Vec<usize>,
+    /// `max(per_node_peak)`.
+    pub peak_node_instances: usize,
+    /// `completed / requests`.
+    pub goodput: f64,
+    /// `cold / requests` — what the remote rung is suppressing.
+    pub cold_rate: f64,
+    /// Startup-latency distribution across every served request.
+    pub startup: Quantiles,
+    /// End-to-end (startup + execution) distribution.
+    pub end_to_end: Quantiles,
+    /// Startup distribution of the remote-sfork rung alone.
+    pub remote_startup: Quantiles,
+    /// Startup distribution of the cold rung alone.
+    pub cold_startup: Quantiles,
+    /// FNV-1a digest of every routing decision `(request, node, kind)` in
+    /// order — two same-seed runs must agree byte-for-byte.
+    pub route_hash: u64,
+    /// Cluster counter rollup (`cluster.*`).
+    pub metrics: MetricsRegistry,
+}
+
+/// Calibrated per-function costs.
+struct ClusterFn {
+    /// Steady-state local sfork on a provisioned holder.
+    boot: SimNanos,
+    /// Handler execution.
+    exec: SimNanos,
+    /// Template transfer to a non-holder (from the cost model).
+    transfer: SimNanos,
+    /// Full cold boot (restore path), excluding the registry pull.
+    cold_boot: SimNanos,
+}
+
+/// Index of `(node, function)` in the flat per-node function-state table.
+fn slot_index(node: usize, width: usize, function: usize) -> usize {
+    node * width + function
+}
+
+/// Per-(node, function) serving state.
+#[derive(Default)]
+struct NodeFn {
+    /// The node holds a usable template replica (placement holder, or a
+    /// completed transfer).
+    has_template: bool,
+    /// An in-flight transfer lands at this instant.
+    transfer_done: Option<SimNanos>,
+    /// The cold image has been pulled to this node already.
+    pulled: bool,
+    /// LIFO warm stack (lazily pruned against the arena generation).
+    idle: Vec<InstanceId>,
+    /// Warm instances actually live.
+    idle_live: usize,
+}
+
+/// Per-node aggregates.
+#[derive(Default)]
+struct NodeState {
+    /// Instances (busy + warm) live on the node.
+    live: usize,
+    /// High-water mark of `live`.
+    peak: usize,
+    /// A repair event is already queued for this node.
+    repair_pending: bool,
+}
+
+/// One live instance slot.
+struct Slot {
+    node: usize,
+    function: FnId,
+    request: u64,
+    busy: bool,
+    idle_since: SimNanos,
+}
+
+fn mix(hash: &mut u64, value: u64) {
+    for byte in value.to_le_bytes() {
+        *hash = (*hash ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+impl ClusterSim {
+    /// Drives `trace` through the open-loop cluster engine — see the
+    /// module docs for the rung semantics. This is the entry point the
+    /// `BENCH_pr8` grid sweeps.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::ClusterConfig`] for a zero node count or placement
+    /// budget; [`PlatformError::InvalidTrace`] for malformed traces;
+    /// engine or handler errors surfaced during calibration.
+    pub fn run_cluster(mut self, trace: &[TraceRequest]) -> Result<ClusterOutcome, PlatformError> {
+        self.config.ensure_valid()?;
+        validate_trace(trace, self.catalogue.len())?;
+        let fns = self.calibrate()?;
+        let nodes = self.config.nodes;
+        let cap = if self.node_capacity == 0 {
+            usize::MAX
+        } else {
+            self.node_capacity
+        };
+        let mut injector = self.plan.take().map(FaultInjector::new);
+
+        // Placement: the same round-robin spread as the closed-loop
+        // scheduler — holders are provisioned (template built offline).
+        let replicas = self.config.placement_budget.min(nodes);
+        let mut state: Vec<NodeFn> = Vec::new();
+        state.resize_with(nodes.saturating_mul(fns.len()), NodeFn::default);
+        for f in 0..fns.len() {
+            for r in 0..replicas {
+                let node = (f + r) % nodes;
+                state[slot_index(node, fns.len(), f)].has_template = true;
+            }
+        }
+        let mut node_state: Vec<NodeState> = Vec::new();
+        node_state.resize_with(nodes, NodeState::default);
+
+        let mut instances: Arena<Slot> = Arena::with_capacity(trace.len().min(1 << 20));
+        let mut queue = EventQueue::with_capacity(trace.len().saturating_mul(2));
+        for (i, req) in trace.iter().enumerate() {
+            queue.schedule(req.arrival, Event::Arrival { request: i as u64 });
+        }
+
+        let mut completed = 0u64;
+        let mut shed = 0u64;
+        let mut reuses = 0u64;
+        let mut local = 0u64;
+        let mut remote = 0u64;
+        let mut cold = 0u64;
+        let mut reroutes = 0u64;
+        let mut transfers = 0u64;
+        let mut transfer_faults = 0u64;
+        let mut node_repairs = 0u64;
+        let mut expirations = 0u64;
+        let mut horizon = SimNanos::ZERO;
+        let mut startup_hist = LatencyHistogram::new();
+        let mut e2e_hist = LatencyHistogram::new();
+        let mut remote_hist = LatencyHistogram::new();
+        let mut cold_hist = LatencyHistogram::new();
+        let mut route_hash = 0xcbf2_9ce4_8422_2325u64;
+
+        while let Some((now, event)) = queue.pop() {
+            horizon = now;
+            match event {
+                Event::Arrival { request } => {
+                    let Some(req) = trace.get(usize::try_from(request).unwrap_or(usize::MAX))
+                    else {
+                        continue;
+                    };
+                    let Some(f) = fns.get(req.function) else {
+                        continue;
+                    };
+                    let fnid = FnId::from_index(req.function);
+                    let nf = |node: usize| slot_index(node, fns.len(), req.function);
+
+                    // Rung 0 — reuse: the lowest-indexed node with a live
+                    // warm instance serves at the hand-off cost.
+                    let mut warm = None;
+                    for node in 0..nodes {
+                        let s = &mut state[nf(node)];
+                        while let Some(id) = s.idle.pop() {
+                            if instances.contains(id) {
+                                s.idle_live = s.idle_live.saturating_sub(1);
+                                warm = Some((node, id));
+                                break;
+                            }
+                        }
+                        if warm.is_some() {
+                            break;
+                        }
+                    }
+                    if let Some((node, id)) = warm {
+                        if let Some(slot) = instances.get_mut(id) {
+                            slot.busy = true;
+                            slot.request = request;
+                        }
+                        reuses += 1;
+                        startup_hist.record(REUSE_HANDOFF);
+                        e2e_hist.record(REUSE_HANDOFF.saturating_add(f.exec));
+                        mix(&mut route_hash, request);
+                        mix(&mut route_hash, node as u64);
+                        mix(&mut route_hash, ROUTE_REUSE);
+                        queue.schedule(
+                            now.saturating_add(REUSE_HANDOFF).saturating_add(f.exec),
+                            Event::ExecComplete {
+                                request,
+                                instance: Some(id),
+                            },
+                        );
+                        continue;
+                    }
+
+                    // Rung 1 — local sfork on the least-loaded template
+                    // holder under capacity.
+                    let holder = (0..nodes)
+                        .filter(|&n| state[nf(n)].has_template && node_state[n].live < cap)
+                        .min_by_key(|&n| (node_state[n].live, n));
+                    let (node, kind, cost) = if let Some(node) = holder {
+                        local += 1;
+                        (node, ROUTE_LOCAL, f.boot)
+                    } else {
+                        // Template-local nodes saturated (or nonexistent):
+                        // the scheduler pushes the request off-holder. A
+                        // re-route is only counted when some other node
+                        // actually serves it — with nowhere to go, the
+                        // request sheds and only the shed bucket moves.
+                        let joinable = (0..nodes)
+                            .filter(|&n| {
+                                self.config.routing == RoutingPolicy::RemoteFork
+                                    && state[nf(n)].transfer_done.is_some()
+                                    && node_state[n].live < cap
+                            })
+                            .min_by_key(|&n| (node_state[n].live, n));
+                        let transferable = (0..nodes)
+                            .filter(|&n| {
+                                self.config.routing == RoutingPolicy::RemoteFork
+                                    && !state[nf(n)].has_template
+                                    && state[nf(n)].transfer_done.is_none()
+                                    && node_state[n].live < cap
+                            })
+                            .min_by_key(|&n| (node_state[n].live, n));
+                        let coldable = (0..nodes)
+                            .filter(|&n| node_state[n].live < cap)
+                            .min_by_key(|&n| (node_state[n].live, n));
+                        if let Some(node) = joinable {
+                            // Rung 2a — join the in-flight transfer: fork
+                            // the moment the template lands.
+                            let done = state[nf(node)].transfer_done.unwrap_or(now);
+                            reroutes += 1;
+                            remote += 1;
+                            let cost = done.saturating_sub(now).saturating_add(f.boot);
+                            remote_hist.record(cost);
+                            (node, ROUTE_REMOTE, cost)
+                        } else if let Some(node) = transferable {
+                            // Rung 2b — start a transfer from a holder.
+                            reroutes += 1;
+                            let mut wire = f.transfer;
+                            let mut poisoned = false;
+                            let mut detect = SimNanos::ZERO;
+                            if let Some(injector) = &mut injector {
+                                if let Some(fault) =
+                                    injector.check(InjectionPoint::TemplateTransfer, now)
+                                {
+                                    transfer_faults += 1;
+                                    if fault.kind == FaultKind::Poison {
+                                        // The in-flight replica is corrupt:
+                                        // degrade this request down the
+                                        // ladder and repair the fabric in
+                                        // the background.
+                                        poisoned = true;
+                                        detect = fault.delay;
+                                        if !node_state[node].repair_pending {
+                                            node_state[node].repair_pending = true;
+                                            queue.schedule(
+                                                now.saturating_add(self.repair_delay),
+                                                Event::NodeRepair { node: node as u32 },
+                                            );
+                                        }
+                                    } else {
+                                        // Transient/stall: detection delay
+                                        // plus one retry backoff, then the
+                                        // retry goes through.
+                                        wire = wire
+                                            .saturating_add(fault.delay)
+                                            .saturating_add(self.backoff);
+                                    }
+                                }
+                            }
+                            if poisoned {
+                                let s = &mut state[nf(node)];
+                                let mut cost = detect.saturating_add(f.cold_boot);
+                                if !s.pulled {
+                                    cost = cost.saturating_add(self.config.costs.cold_pull);
+                                    s.pulled = true;
+                                }
+                                cold += 1;
+                                cold_hist.record(cost);
+                                (node, ROUTE_COLD, cost)
+                            } else {
+                                transfers += 1;
+                                let done = now.saturating_add(wire);
+                                state[nf(node)].transfer_done = Some(done);
+                                queue.schedule(
+                                    done,
+                                    Event::TransferComplete {
+                                        node: node as u32,
+                                        function: fnid,
+                                    },
+                                );
+                                remote += 1;
+                                let cost = wire.saturating_add(f.boot);
+                                remote_hist.record(cost);
+                                (node, ROUTE_REMOTE, cost)
+                            }
+                        } else if let Some(node) = coldable {
+                            // Rung 3 — cold: registry pull (once per node)
+                            // plus the full cold boot. The LocalCold
+                            // baseline always lands here.
+                            reroutes += 1;
+                            let s = &mut state[nf(node)];
+                            let mut cost = f.cold_boot;
+                            if !s.pulled {
+                                cost = cost.saturating_add(self.config.costs.cold_pull);
+                                s.pulled = true;
+                            }
+                            cold += 1;
+                            cold_hist.record(cost);
+                            (node, ROUTE_COLD, cost)
+                        } else {
+                            // Every node at capacity: shed.
+                            shed += 1;
+                            mix(&mut route_hash, request);
+                            mix(&mut route_hash, u64::MAX);
+                            mix(&mut route_hash, ROUTE_SHED);
+                            continue;
+                        }
+                    };
+
+                    mix(&mut route_hash, request);
+                    mix(&mut route_hash, node as u64);
+                    mix(&mut route_hash, kind);
+                    let id = instances.insert(Slot {
+                        node,
+                        function: fnid,
+                        request,
+                        busy: true,
+                        idle_since: SimNanos::ZERO,
+                    });
+                    let ns = &mut node_state[node];
+                    ns.live += 1;
+                    ns.peak = ns.peak.max(ns.live);
+                    startup_hist.record(cost);
+                    e2e_hist.record(cost.saturating_add(f.exec));
+                    queue.schedule(
+                        now.saturating_add(cost),
+                        Event::BootComplete { instance: id },
+                    );
+                }
+                Event::BootComplete { instance } => {
+                    let Some(slot) = instances.get(instance) else {
+                        continue;
+                    };
+                    let exec = fns
+                        .get(slot.function.index())
+                        .map_or(SimNanos::ZERO, |f| f.exec);
+                    queue.schedule(
+                        now.saturating_add(exec),
+                        Event::ExecComplete {
+                            request: slot.request,
+                            instance: Some(instance),
+                        },
+                    );
+                }
+                Event::ExecComplete { instance, .. } => {
+                    let Some(id) = instance else { continue };
+                    let Some(slot) = instances.get_mut(id) else {
+                        continue;
+                    };
+                    completed += 1;
+                    let node = slot.node;
+                    let function = slot.function;
+                    let s = &mut state[slot_index(node, fns.len(), function.index())];
+                    if s.idle_live < self.max_idle {
+                        slot.busy = false;
+                        slot.idle_since = now;
+                        s.idle.push(id);
+                        s.idle_live += 1;
+                        queue.schedule(
+                            now.saturating_add(self.keep_alive),
+                            Event::KeepAliveExpiry { instance: id },
+                        );
+                    } else {
+                        instances.remove(id);
+                        node_state[node].live = node_state[node].live.saturating_sub(1);
+                    }
+                }
+                Event::KeepAliveExpiry { instance } => {
+                    let due = match instances.get(instance) {
+                        Some(slot) if slot.busy => false,
+                        Some(slot) => now.saturating_sub(slot.idle_since) >= self.keep_alive,
+                        None => false,
+                    };
+                    if due {
+                        if let Some(slot) = instances.remove(instance) {
+                            expirations += 1;
+                            let s =
+                                &mut state[slot_index(slot.node, fns.len(), slot.function.index())];
+                            s.idle_live = s.idle_live.saturating_sub(1);
+                            node_state[slot.node].live =
+                                node_state[slot.node].live.saturating_sub(1);
+                        }
+                    }
+                }
+                Event::TransferComplete { node, function } => {
+                    let node = usize::try_from(node).unwrap_or(usize::MAX);
+                    if let Some(s) = state.get_mut(slot_index(node, fns.len(), function.index())) {
+                        s.transfer_done = None;
+                        s.has_template = true;
+                    }
+                }
+                Event::NodeRepair { node } => {
+                    let node = usize::try_from(node).unwrap_or(usize::MAX);
+                    if let Some(ns) = node_state.get_mut(node) {
+                        ns.repair_pending = false;
+                        node_repairs += 1;
+                        if let Some(injector) = &mut injector {
+                            injector.heal(InjectionPoint::TemplateTransfer);
+                        }
+                    }
+                }
+                Event::PoolTick { .. } => {}
+            }
+        }
+
+        let per_node_peak: Vec<usize> = node_state.iter().map(|n| n.peak).collect();
+        let peak_node_instances = per_node_peak.iter().copied().max().unwrap_or(0);
+        let mut metrics = MetricsRegistry::new();
+        metrics.add(names::CLUSTER_LOCAL, local);
+        metrics.add(names::CLUSTER_REMOTE, remote);
+        metrics.add(names::CLUSTER_COLD, cold);
+        metrics.add(names::CLUSTER_REUSE, reuses);
+        metrics.add(names::CLUSTER_SHED, shed);
+        metrics.add(names::CLUSTER_REROUTES, reroutes);
+        metrics.add(names::CLUSTER_TRANSFERS, transfers);
+        metrics.add(names::CLUSTER_TRANSFER_FAULTS, transfer_faults);
+        metrics.add(names::CLUSTER_NODE_REPAIRS, node_repairs);
+        metrics.set_gauge(
+            names::CLUSTER_PEAK_NODE_INSTANCES,
+            i64::try_from(peak_node_instances).unwrap_or(i64::MAX),
+        );
+
+        let requests = u64::try_from(trace.len()).unwrap_or(u64::MAX);
+        Ok(ClusterOutcome {
+            requests,
+            completed,
+            shed,
+            reuses,
+            local,
+            remote,
+            cold,
+            reroutes,
+            transfers,
+            transfer_faults,
+            node_repairs,
+            expirations,
+            events: queue.scheduled(),
+            horizon,
+            per_node_peak,
+            peak_node_instances,
+            goodput: crate::simulate::fraction(completed, requests),
+            cold_rate: crate::simulate::fraction(cold, requests),
+            startup: Quantiles::from_histogram(&startup_hist),
+            end_to_end: Quantiles::from_histogram(&e2e_hist),
+            remote_startup: Quantiles::from_histogram(&remote_hist),
+            cold_startup: Quantiles::from_histogram(&cold_hist),
+            route_hash,
+            metrics,
+        })
+    }
+
+    /// Boots each distinct cost shape's real engines on an offline clock:
+    /// steady local sfork and handler execution (Fork mode, template built
+    /// first), plus the full cold restore (Cold mode) for the rung the
+    /// remote fork is competing against. Functions differing only in name
+    /// share one calibration.
+    fn calibrate(&mut self) -> Result<Vec<ClusterFn>, PlatformError> {
+        let calibration = ResiliencePolicy::none();
+        let mut scratch = MetricsRegistry::new();
+        type Costs = (SimNanos, SimNanos, SimNanos);
+        let mut shapes: Vec<(AppProfile, Costs)> = Vec::new();
+        let mut out = Vec::with_capacity(self.catalogue.len());
+        for profile in &self.catalogue {
+            let mut key = profile.clone();
+            key.name = String::new();
+            let costs = match shapes.iter().find(|(shape, _)| *shape == key) {
+                Some((_, costs)) => *costs,
+                None => {
+                    let mut fork = CatalyzerEngine::standalone(BootMode::Fork);
+                    // Pay template construction offline — holders are
+                    // provisioned, so only the steady boot is on-path.
+                    let mut first_ctx = BootCtx::fresh(&self.model);
+                    resilient_boot(
+                        &mut fork,
+                        profile,
+                        &calibration,
+                        &mut first_ctx,
+                        &mut scratch,
+                    )?;
+                    let mut steady_ctx = BootCtx::fresh(&self.model);
+                    let booted = resilient_boot(
+                        &mut fork,
+                        profile,
+                        &calibration,
+                        &mut steady_ctx,
+                        &mut scratch,
+                    )?;
+                    let mut outcome = booted.outcome;
+                    let exec_ctx = BootCtx::fresh(&self.model);
+                    outcome
+                        .program
+                        .invoke_handler(exec_ctx.clock(), exec_ctx.model())?;
+                    let mut cold_engine = CatalyzerEngine::standalone(BootMode::Cold);
+                    let mut cold_ctx = BootCtx::fresh(&self.model);
+                    resilient_boot(
+                        &mut cold_engine,
+                        profile,
+                        &calibration,
+                        &mut cold_ctx,
+                        &mut scratch,
+                    )?;
+                    let costs = (steady_ctx.now(), exec_ctx.now(), cold_ctx.now());
+                    shapes.push((key, costs));
+                    costs
+                }
+            };
+            out.push(ClusterFn {
+                boot: costs.0,
+                exec: costs.1,
+                transfer: self.config.costs.transfer_time(profile),
+                cold_boot: costs.2,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::TransferCosts;
+    use super::*;
+
+    fn burst(n: u64, function: usize) -> Vec<TraceRequest> {
+        (0..n)
+            .map(|i| TraceRequest {
+                arrival: SimNanos::from_nanos(i),
+                function,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_node_cluster_serves_everything_locally() {
+        let trace: Vec<TraceRequest> = (0..50u64)
+            .map(|i| TraceRequest {
+                arrival: SimNanos::from_millis(i.saturating_mul(5)),
+                function: 0,
+            })
+            .collect();
+        let out = ClusterSim::new(vec![AppProfile::c_hello()], ClusterConfig::new(1, 1))
+            .run_cluster(&trace)
+            .unwrap();
+        assert_eq!(out.completed, 50);
+        assert_eq!(out.shed, 0);
+        assert_eq!(out.remote, 0);
+        assert_eq!(out.cold, 0);
+        assert_eq!(out.local + out.reuses, 50);
+        assert!((out.goodput - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn flash_crowd_remote_fork_beats_the_cold_baseline() {
+        let trace = burst(350, 0);
+        let cell = |routing: RoutingPolicy| {
+            let mut config = ClusterConfig::new(4, 1);
+            config.routing = routing;
+            ClusterSim::new(vec![AppProfile::c_hello()], config)
+                .with_node_capacity(100)
+                .run_cluster(&trace)
+                .unwrap()
+        };
+        let forked = cell(RoutingPolicy::RemoteFork);
+        let baseline = cell(RoutingPolicy::LocalCold);
+        assert_eq!(forked.shed, 0, "{forked:?}");
+        assert!(forked.remote > 0, "{forked:?}");
+        assert_eq!(forked.cold, 0, "remote sfork suppresses cold boots");
+        assert!(baseline.cold > 0, "{baseline:?}");
+        assert!(
+            forked.startup.p99 < baseline.startup.p99,
+            "remote {:?} vs cold {:?}",
+            forked.startup,
+            baseline.startup
+        );
+        assert!(forked.cold_rate < baseline.cold_rate);
+    }
+
+    #[test]
+    fn poisoned_transfers_degrade_to_cold_and_repair() {
+        let plan = FaultPlan::zero(0xC11)
+            .with_point(
+                InjectionPoint::TemplateTransfer,
+                faultsim::PointPlan {
+                    rate: 1.0,
+                    stall_ratio: 0.0,
+                    max_burst: 1,
+                },
+            )
+            .with_poison_ratio(1.0);
+        let out = ClusterSim::new(vec![AppProfile::c_hello()], ClusterConfig::new(3, 1))
+            .with_node_capacity(40)
+            .with_faults(plan)
+            .run_cluster(&burst(150, 0))
+            .unwrap();
+        assert_eq!(out.completed + out.shed, out.requests);
+        assert!(out.transfer_faults > 0, "{out:?}");
+        assert!(out.cold > 0, "poisoned transfers fall to the cold rung");
+        assert!(out.node_repairs > 0, "repairs run in the background");
+        assert_eq!(
+            out.metrics.counter(names::CLUSTER_TRANSFER_FAULTS),
+            out.transfer_faults
+        );
+    }
+
+    #[test]
+    fn transient_transfer_faults_only_slow_the_wire() {
+        let plan = FaultPlan::zero(0xC12).with_point(
+            InjectionPoint::TemplateTransfer,
+            faultsim::PointPlan {
+                rate: 1.0,
+                stall_ratio: 0.0,
+                max_burst: 1,
+            },
+        );
+        let out = ClusterSim::new(vec![AppProfile::c_hello()], ClusterConfig::new(3, 1))
+            .with_node_capacity(64)
+            .with_faults(plan)
+            .run_cluster(&burst(150, 0))
+            .unwrap();
+        assert_eq!(out.shed, 0);
+        assert!(out.transfer_faults > 0);
+        assert_eq!(out.cold, 0, "transients retry on the remote rung");
+        assert_eq!(out.completed, out.requests);
+    }
+
+    #[test]
+    fn cluster_fleet_is_deterministic() {
+        let trace = burst(400, 0);
+        let once = || {
+            let out = ClusterSim::new(
+                vec![AppProfile::c_hello()],
+                ClusterConfig {
+                    nodes: 4,
+                    placement_budget: 2,
+                    routing: RoutingPolicy::RemoteFork,
+                    costs: TransferCosts::rdma_defaults(),
+                },
+            )
+            .with_node_capacity(64)
+            .with_faults(FaultPlan::uniform(0xD00D, 0.2))
+            .run_cluster(&trace)
+            .unwrap();
+            serde_json::to_string(&out).unwrap()
+        };
+        assert_eq!(once(), once(), "same inputs, byte-identical outcome");
+    }
+}

@@ -49,6 +49,12 @@ pub enum PlatformError {
     /// simulation never panics on bad input: every malformation is typed
     /// here, down to the offending request index.
     InvalidTrace(TraceError),
+    /// The cluster configuration is unusable: zero nodes, or a zero
+    /// placement budget that leaves no node holding any template.
+    ClusterConfig {
+        /// What was wrong with the configuration.
+        detail: String,
+    },
 }
 
 /// Why a request trace was rejected by the simulator, with the offending
@@ -150,6 +156,9 @@ impl fmt::Display for PlatformError {
                 write!(f, "circuit open: '{function}' fast-fails until {until}")
             }
             PlatformError::InvalidTrace(e) => write!(f, "invalid trace: {e}"),
+            PlatformError::ClusterConfig { detail } => {
+                write!(f, "cluster config: {detail}")
+            }
         }
     }
 }
@@ -209,5 +218,10 @@ mod tests {
         }
         .is_shed());
         assert!(!PlatformError::UnknownFunction { name: "f".into() }.is_shed());
+        let e = PlatformError::ClusterConfig {
+            detail: "zero nodes".into(),
+        };
+        assert!(!e.is_shed());
+        assert!(e.to_string().contains("zero nodes"));
     }
 }

@@ -27,7 +27,12 @@
 //!   [`Simulation`] API, with a full-fidelity closed-loop engine
 //!   ([`Simulation::run`]) and a calibrated open-loop fleet engine
 //!   ([`Simulation::run_fleet`]) that extends Fig. 15's density axis to
-//!   10^5–10^6 concurrent instances.
+//!   10^5–10^6 concurrent instances;
+//! - [`cluster`]: the multi-node layer above all of it — per-node gateways
+//!   behind a placement/routing scheduler, a MITOSIS-style *remote sfork*
+//!   rung (cross-node template transfer, its own fault seam) between local
+//!   sfork and warm/cold, and an open-loop cluster engine
+//!   ([`ClusterSim`]) sweeping nodes × placement budget × routing policy.
 //!
 //! # Example
 //!
@@ -49,6 +54,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod admission;
+pub mod cluster;
 mod error;
 mod gateway;
 pub mod memory;
@@ -61,6 +67,10 @@ pub mod simulate;
 
 pub use admission::{
     AdmissionController, AdmissionPolicy, BreakerPolicy, BreakerState, CircuitBreaker, HealthSignal,
+};
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterEngine, ClusterOutcome, ClusterSim, RouteDecision, RouteRecord,
+    RoutingPolicy, TransferCosts,
 };
 pub use error::{PlatformError, TraceError};
 pub use gateway::{Gateway, Invocation, InvocationReport, InvokeRequest};

@@ -15,6 +15,11 @@
 //! the engine's suspect prepared state on its own offline clock, heals the
 //! injector, and replenishes the pool back to its ready floor — so the
 //! rebuild cost never lands on a request's latency.
+//!
+//! In a multi-node deployment every [`cluster`](crate::cluster) node runs
+//! its own pools behind its own gateway: pool capacity is strictly
+//! node-local, and the cluster scheduler routes *around* a saturated
+//! node's pools (remote sfork) rather than growing them.
 
 use std::cell::RefCell;
 use std::collections::{BTreeSet, VecDeque};

@@ -11,8 +11,11 @@
 //! 1. **retry** the current boot path up to [`ResiliencePolicy::max_retries`]
 //!    times, charging exponential backoff on the virtual clock;
 //! 2. **fall back** one rung down the engine's boot ladder
-//!    ([`BootEngine::degrade`]: sfork → warm restore → cold boot) and start
-//!    retrying there;
+//!    ([`BootEngine::degrade`]: sfork → warm restore → cold boot — or, on a
+//!    cluster node with a reachable remote template, local sfork → *remote
+//!    sfork* → warm → cold, see
+//!    [`ClusterEngine`](crate::cluster::ClusterEngine)) and start retrying
+//!    there;
 //! 3. when the ladder is exhausted, surface the typed error.
 //!
 //! A `Poison` fault additionally **quarantines** the corrupt prepared state

@@ -49,25 +49,46 @@ pub enum Event {
         /// The function owed the sweep.
         function: FnId,
     },
+    /// A cross-node template transfer landed: node `node` now holds a local
+    /// replica of `function`'s template and can sfork without the network.
+    TransferComplete {
+        /// The receiving node's index in the cluster.
+        node: u32,
+        /// The function whose template was transferred.
+        function: FnId,
+    },
+    /// A failed node's background repair finished: its poisoned template
+    /// replicas are rebuilt and the node rejoins the routable set.
+    NodeRepair {
+        /// The repaired node's index in the cluster.
+        node: u32,
+    },
 }
 
 impl Event {
     /// Dispatch rank at equal timestamps: completions before expiries
-    /// before boot/background work before arrivals — the order in which a
-    /// real platform's state settles within one instant.
+    /// before transfers/boot/background work before arrivals — the order in
+    /// which a real platform's state settles within one instant. The two
+    /// cluster classes slot *between* the legacy ones without disturbing
+    /// their relative order, so single-node runs are bit-for-bit unchanged:
+    /// a transfer landing at `t` must be visible to a boot completing at
+    /// `t` (the boot forked from it), and a node repair is background work
+    /// that must settle before the next arrival routes.
     fn class(&self) -> u8 {
         match self {
             Event::ExecComplete { .. } => 0,
             Event::KeepAliveExpiry { .. } => 1,
-            Event::BootComplete { .. } => 2,
-            Event::PoolTick { .. } => 3,
-            Event::Arrival { .. } => 4,
+            Event::TransferComplete { .. } => 2,
+            Event::BootComplete { .. } => 3,
+            Event::PoolTick { .. } => 4,
+            Event::NodeRepair { .. } => 5,
+            Event::Arrival { .. } => 6,
         }
     }
 
     /// Payload key making the tie-break total across distinct events of
     /// one class (trace order for arrivals/completions, slot identity for
-    /// instance events).
+    /// instance events, `(node, function)` for cluster events).
     fn key(&self) -> u64 {
         match self {
             Event::Arrival { request } | Event::ExecComplete { request, .. } => *request,
@@ -75,6 +96,10 @@ impl Event {
                 instance.key()
             }
             Event::PoolTick { function } => function.index() as u64,
+            Event::TransferComplete { node, function } => {
+                ((*node as u64) << 32) | function.index() as u64
+            }
+            Event::NodeRepair { node } => *node as u64,
         }
     }
 }
@@ -203,6 +228,32 @@ mod tests {
             })
             .collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn transfer_lands_before_the_boot_that_forks_from_it() {
+        let mut arena: super::super::arena::Arena<()> = super::super::arena::Arena::new();
+        let instance = arena.insert(());
+        let mut q = EventQueue::new();
+        q.schedule(nanos(8), Event::BootComplete { instance });
+        q.schedule(
+            nanos(8),
+            Event::TransferComplete {
+                node: 1,
+                function: FnId::from_index(0),
+            },
+        );
+        let (_, first) = q.pop().unwrap();
+        assert!(matches!(first, Event::TransferComplete { node: 1, .. }));
+    }
+
+    #[test]
+    fn node_repair_settles_before_the_next_arrival() {
+        let mut q = EventQueue::new();
+        q.schedule(nanos(3), Event::Arrival { request: 0 });
+        q.schedule(nanos(3), Event::NodeRepair { node: 2 });
+        let (_, first) = q.pop().unwrap();
+        assert!(matches!(first, Event::NodeRepair { node: 2 }));
     }
 
     #[test]

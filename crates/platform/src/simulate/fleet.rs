@@ -70,7 +70,7 @@ pub struct Quantiles {
 }
 
 impl Quantiles {
-    fn from_histogram(h: &LatencyHistogram) -> Quantiles {
+    pub(crate) fn from_histogram(h: &LatencyHistogram) -> Quantiles {
         Quantiles {
             count: h.count(),
             mean: h.mean().unwrap_or(SimNanos::ZERO),
@@ -368,6 +368,9 @@ impl Simulation {
                         }
                     }
                 }
+                // Cluster-only classes: the single-node fleet never
+                // schedules them.
+                Event::TransferComplete { .. } | Event::NodeRepair { .. } => {}
                 Event::PoolTick { function } => {
                     let Some(f) = fns.get_mut(function.index()) else {
                         continue;

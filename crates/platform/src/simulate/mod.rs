@@ -112,7 +112,7 @@ pub struct SimulationOutcome {
 /// Checks the trace contract once, up front: time-sorted arrivals,
 /// in-range function indices, at least one request. The typed replacement
 /// for the panics the legacy drivers documented.
-fn validate_trace(trace: &[TraceRequest], functions: usize) -> Result<(), TraceError> {
+pub(crate) fn validate_trace(trace: &[TraceRequest], functions: usize) -> Result<(), TraceError> {
     if trace.is_empty() {
         return Err(TraceError::Empty);
     }
@@ -331,6 +331,9 @@ impl Simulation {
                 Event::ExecComplete { .. } => {
                     in_flight = in_flight.saturating_sub(1);
                 }
+                // Cluster-only classes: the closed-loop engine never
+                // schedules them.
+                Event::TransferComplete { .. } | Event::NodeRepair { .. } => {}
                 Event::Arrival { request } => {
                     let Some(req) = trace.get(usize::try_from(request).unwrap_or(usize::MAX))
                     else {
@@ -742,7 +745,7 @@ impl AdmittedOutcome {
 }
 
 /// Exact for the request counts involved (< 2^32) without numeric casts.
-fn fraction(part: u64, whole: u64) -> f64 {
+pub(crate) fn fraction(part: u64, whole: u64) -> f64 {
     if whole == 0 {
         return 0.0;
     }

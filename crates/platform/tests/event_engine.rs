@@ -279,9 +279,14 @@ fn fingerprint(at: SimNanos, event: &Event) -> (u64, u8, u64) {
     let (class, key) = match event {
         Event::ExecComplete { request, .. } => (0, *request),
         Event::KeepAliveExpiry { instance } => (1, instance.key()),
-        Event::BootComplete { instance } => (2, instance.key()),
-        Event::PoolTick { function } => (3, u64::try_from(function.index()).unwrap_or(u64::MAX)),
-        Event::Arrival { request } => (4, *request),
+        Event::TransferComplete { node, function } => (
+            2,
+            (u64::from(*node) << 32) | u64::try_from(function.index()).unwrap_or(u64::MAX),
+        ),
+        Event::BootComplete { instance } => (3, instance.key()),
+        Event::PoolTick { function } => (4, u64::try_from(function.index()).unwrap_or(u64::MAX)),
+        Event::NodeRepair { node } => (5, u64::from(*node)),
+        Event::Arrival { request } => (6, *request),
     };
     (at.as_nanos(), class, key)
 }
@@ -308,7 +313,7 @@ proptest! {
     /// scheduled: forward and reverse insertion produce identical pops.
     #[test]
     fn drain_order_is_insertion_order_independent(
-        raw in prop::collection::vec((0u64..400, 0u8..5, 0u64..24), 1..80),
+        raw in prop::collection::vec((0u64..400, 0u8..7, 0u64..24), 1..80),
     ) {
         let mut arena: Arena<u8> = Arena::new();
         let ids: Vec<InstanceId> = (0..24).map(|_| arena.insert(0)).collect();
@@ -321,6 +326,11 @@ proptest! {
                     1 => Event::KeepAliveExpiry { instance: ids[slot] },
                     2 => Event::BootComplete { instance: ids[slot] },
                     3 => Event::PoolTick { function: FnId::from_index(slot) },
+                    4 => Event::TransferComplete {
+                        node: u32::try_from(key % 4).unwrap_or(0),
+                        function: FnId::from_index(slot),
+                    },
+                    5 => Event::NodeRepair { node: u32::try_from(key).unwrap_or(0) },
                     _ => Event::Arrival { request: key },
                 };
                 (SimNanos::from_nanos(t), event)

@@ -157,6 +157,37 @@ pub const FLEET_REPAIRS: &str = "fleet.repairs";
 pub const FLEET_PEAK_INSTANCES: &str = "fleet.peak-instances";
 
 // ---------------------------------------------------------------------------
+// Cluster scheduler and remote sfork (platform::cluster).
+
+/// Counter: requests routed to a template-local node (local sfork boot).
+pub const CLUSTER_LOCAL: &str = "cluster.local";
+/// Counter: requests served by a remote sfork (template transferred in).
+pub const CLUSTER_REMOTE: &str = "cluster.remote";
+/// Counter: requests that fell all the way to a cold image pull.
+pub const CLUSTER_COLD: &str = "cluster.cold";
+/// Counter: requests served by reusing a node-local warm instance.
+pub const CLUSTER_REUSE: &str = "cluster.reuse";
+/// Counter: requests shed because every routable node was saturated.
+pub const CLUSTER_SHED: &str = "cluster.shed";
+/// Counter: requests re-routed off an overloaded or breaker-open node.
+pub const CLUSTER_REROUTES: &str = "cluster.reroutes";
+/// Counter: cross-node template transfers started.
+pub const CLUSTER_TRANSFERS: &str = "cluster.transfers";
+/// Counter: faults injected at the template-transfer seam.
+pub const CLUSTER_TRANSFER_FAULTS: &str = "cluster.transfer-faults";
+/// Counter: background node repairs that healed poisoned replicas.
+pub const CLUSTER_NODE_REPAIRS: &str = "cluster.node-repairs";
+/// Gauge: peak instances concurrently live on the busiest node.
+pub const CLUSTER_PEAK_NODE_INSTANCES: &str = "cluster.peak-node-instances";
+
+/// Span label for the cross-node transfer of a template (the RDMA read a
+/// remote sfork performs before forking from the received replica).
+pub const SPAN_TRANSFER: &str = "transfer:template";
+/// Span label for pulling the function's cold image from the registry when
+/// no template is reachable on any node.
+pub const SPAN_COLD_PULL: &str = "transfer:cold-pull";
+
+// ---------------------------------------------------------------------------
 // Autoscaling sweep (platform::scaling).
 
 /// Counter: background (off-path) boots issued by the scaler.

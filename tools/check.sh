@@ -89,6 +89,18 @@ step "overload sweep (BENCH_pr4.json valid + up to date)" \
 step "fleet density grid (BENCH_pr7.json valid + up to date)" \
   cargo run -q -p bench --bin repro -- fleet --check BENCH_pr7.json
 
+# And for the cluster sweep: regenerates the nodes × placement-budget ×
+# routing-policy grid on the shared viral flash-crowd trace and verifies
+# the checked-in BENCH_pr8.json is valid (the single-node cluster digesting
+# byte-identically to the plain gateway, every multi-node remote-fork cell
+# holding availability 1.0 with zero cold boots while the local-cold
+# baseline cold-boots with a worse startup tail, the poisoned-transfer
+# storm degrading to cold instead of shedding while background repairs
+# run) and byte-identical — i.e. placement, routing, the remote-sfork rung,
+# and the transfer fault seam are deterministic.
+step "cluster sweep (BENCH_pr8.json valid + up to date)" \
+  cargo run -q -p bench --bin repro -- cluster --check BENCH_pr8.json
+
 # Smoke-run the simulation-core throughput bench (closed-loop vs fleet
 # engine, simulated requests per wall-clock second): it must build and
 # complete, keeping the density grid's engine path benchable.
