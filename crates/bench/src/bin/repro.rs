@@ -9,7 +9,8 @@
 //! repro overload       # admission/overload sweep -> BENCH_pr4.json
 //! repro fleet          # fleet density grid -> BENCH_pr7.json
 //! repro cluster        # cluster routing sweep -> BENCH_pr8.json
-//! repro all --check    # validate all five checked-in bench exports
+//! repro chaos          # node-fault survivability grid -> BENCH_pr9.json
+//! repro all --check    # validate all six checked-in bench exports
 //! ```
 
 use bench::figures::{
@@ -289,6 +290,37 @@ fn cluster(path: &str, check: bool) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Exports the chaos/survivability grid (fault class × cluster size ×
+/// failover policy, plus the gray-then-crash storm) to `path`, or with
+/// `check = true` re-generates it and verifies `path` is valid and
+/// byte-identical (determinism gate).
+fn chaos(path: &str, check: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let model = CostModel::experimental_machine();
+    let fresh = bench::chaosbench::generate(&model)?;
+    bench::chaosbench::validate(&fresh)?;
+    let text = bench::chaosbench::to_json(&fresh)?;
+    if check {
+        let on_disk = std::fs::read_to_string(path)?;
+        let parsed = bench::chaosbench::from_json(&on_disk)?;
+        bench::chaosbench::validate(&parsed)?;
+        if on_disk != text {
+            return Err(format!("{path} is stale: regenerate with 'repro chaos {path}'").into());
+        }
+        println!(
+            "{path}: valid, {} cells + 2 storms, up to date",
+            parsed.cells.len()
+        );
+    } else {
+        std::fs::write(path, &text)?;
+        println!(
+            "wrote {path} ({} cells + 2 storms, {} bytes)",
+            fresh.cells.len(),
+            text.len()
+        );
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("all");
@@ -349,6 +381,16 @@ fn main() {
                 .unwrap_or("BENCH_pr8.json");
             cluster(path, check)
         }
+        "chaos" => {
+            let check = args.iter().any(|a| a == "--check");
+            let path = args
+                .iter()
+                .skip(1)
+                .find(|a| *a != "--check")
+                .map(String::as_str)
+                .unwrap_or("BENCH_pr9.json");
+            chaos(path, check)
+        }
         "csv" => match args.get(1) {
             Some(id) => csv(id),
             None => {
@@ -364,6 +406,7 @@ fn main() {
                 .and_then(|()| overload("BENCH_pr4.json", true))
                 .and_then(|()| fleet("BENCH_pr7.json", true))
                 .and_then(|()| cluster("BENCH_pr8.json", true))
+                .and_then(|()| chaos("BENCH_pr9.json", true))
         }
         "all" | "quick" => {
             let fig15_max = if command == "quick" { 100 } else { 1000 };

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 
 pub mod admitbench;
+pub mod chaosbench;
 pub mod clusterbench;
 pub mod export;
 pub mod faultbench;

@@ -114,6 +114,9 @@ impl Config {
                 // The cluster layer: the open-loop cluster engine and the
                 // closed-loop scheduler's routing decision.
                 "run_cluster".into(),
+                // The chaos engine: node faults, failover, hedged
+                // transfers — all SimNanos arithmetic on the hot path.
+                "run_chaos".into(),
                 "route".into(),
                 "resilient_boot".into(),
             ],

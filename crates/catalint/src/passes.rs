@@ -930,9 +930,11 @@ fn check_live_range(
 /// string literal starting with one of these, anywhere in library code
 /// outside the registry itself, must be replaced by the registry constant
 /// (or helper) so emitters and bench validators cannot drift.
-pub const NAME_PREFIXES: [&str; 23] = [
+pub const NAME_PREFIXES: [&str; 25] = [
     "boot.",
+    "chaos.",
     "cluster.",
+    "hedge:",
     "exec.",
     "invoke.",
     "invoke:",

@@ -20,7 +20,10 @@
 //! - [`FaultInjector`]: the stateful consultant a `BootCtx` carries.
 //!   Engines call `check` at each injection point; `Some(InjectedFault)`
 //!   means the operation fails *now*, after charging the fault's detection
-//!   latency.
+//!   latency;
+//! - [`NodePlan`]: the layer above the seams — whole-machine faults
+//!   (crash, partition, gray/fail-slow) as a sorted, replayable schedule
+//!   the cluster engines consume in virtual-time order.
 //!
 //! Faults come in three [`FaultKind`]s: `Transient` (clears once its burst
 //! drains — a retry recovers), `Stall` (the operation hangs until a timeout;
@@ -59,9 +62,11 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod injector;
+mod nodeplan;
 mod plan;
 mod point;
 
 pub use injector::{FaultInjector, FaultRecord, InjectedFault};
+pub use nodeplan::{NodeFault, NodeFaultEvent, NodePlan};
 pub use plan::{FaultPlan, PointPlan};
 pub use point::{FaultKind, InjectionPoint};

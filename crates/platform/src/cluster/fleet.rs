@@ -30,13 +30,14 @@
 //! Determinism is byte-exact: same catalogue, config, knobs, and trace —
 //! same [`ClusterOutcome`], including the routing-decision hash.
 
-use faultsim::{FaultInjector, FaultKind, FaultPlan, InjectionPoint};
+use faultsim::{FaultInjector, FaultKind, FaultPlan, InjectionPoint, NodePlan};
 use runtimes::AppProfile;
 use sandbox::BootCtx;
 use serde::Serialize;
 use simtime::names;
 use simtime::{CostModel, LatencyHistogram, MetricsRegistry, SimNanos};
 
+use super::chaos::{ChaosEvent, ChaosPolicy, ChaosRecord, ChaosState, NodeHealth};
 use super::{ClusterConfig, RoutingPolicy};
 use crate::resilience::{resilient_boot, ResiliencePolicy};
 use crate::simulate::{
@@ -53,6 +54,9 @@ const ROUTE_LOCAL: u64 = 1;
 const ROUTE_REMOTE: u64 = 2;
 const ROUTE_COLD: u64 = 3;
 const ROUTE_SHED: u64 = 4;
+/// The request was routed at a node the fabric could not reach (crash or
+/// partition) and failed typed — chaos runs only.
+const ROUTE_FAILED: u64 = 5;
 
 /// Builder for an open-loop cluster run: the catalogue, the cluster shape,
 /// and the per-node serving knobs.
@@ -70,6 +74,10 @@ pub struct ClusterSim {
     backoff: SimNanos,
     /// Background delay before a poisoned transfer fabric is repaired.
     repair_delay: SimNanos,
+    /// Node-level fault schedule and failover policy, consulted only by
+    /// [`ClusterSim::run_chaos`] — [`ClusterSim::run_cluster`] never reads
+    /// it, so installing chaos cannot perturb the plain grid.
+    chaos: Option<(NodePlan, ChaosPolicy)>,
 }
 
 impl ClusterSim {
@@ -87,6 +95,7 @@ impl ClusterSim {
             plan: None,
             backoff: SimNanos::from_micros(200),
             repair_delay: SimNanos::from_millis(5),
+            chaos: None,
         }
     }
 
@@ -127,6 +136,14 @@ impl ClusterSim {
     /// builder-style.
     pub fn with_repair_delay(mut self, repair_delay: SimNanos) -> ClusterSim {
         self.repair_delay = repair_delay;
+        self
+    }
+
+    /// Installs a node-level fault schedule and failover policy,
+    /// builder-style. Drive the run with [`ClusterSim::run_chaos`];
+    /// [`ClusterSim::run_cluster`] ignores this field entirely.
+    pub fn with_chaos(mut self, plan: NodePlan, policy: ChaosPolicy) -> ClusterSim {
+        self.chaos = Some((plan, policy));
         self
     }
 }
@@ -187,6 +204,48 @@ pub struct ClusterOutcome {
     pub metrics: MetricsRegistry,
 }
 
+/// What one chaos run produced: the plain cluster outcome plus the
+/// fault/repair ledger. A separate struct — not new [`ClusterOutcome`]
+/// fields — so the chaos layer cannot move a byte of the plain grid's
+/// serialized output.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosOutcome {
+    /// The underlying cluster outcome. Conservation under chaos is
+    /// `cluster.completed + cluster.shed + failed == cluster.requests`.
+    pub cluster: ClusterOutcome,
+    /// Requests that failed outright: killed in flight by a crash, routed
+    /// at an unreachable node, or hung on an orphaned transfer. Failures,
+    /// not sheds — capacity existed, the fabric (or the policy) lost them.
+    pub failed: u64,
+    /// Of `failed`: transfer waiters still stranded when the run ended
+    /// (the no-failover baseline's signature pathology).
+    pub hung: u64,
+    /// Scheduled node crashes that fired.
+    pub crashes: u64,
+    /// Heartbeat rounds the health tracker ran.
+    pub heartbeats: u64,
+    /// Heartbeat transitions into `Suspect` — gray nodes caught slow-ack.
+    pub suspected: u64,
+    /// Waiters re-routed off an aborted transfer by the failover policy.
+    pub failovers: u64,
+    /// Template replicas rebuilt on new holders after a crash.
+    pub rereplications: u64,
+    /// Hedged (second-source) transfers fired.
+    pub hedges: u64,
+    /// Hedges that beat their primary (the loser's completion lazy-misses
+    /// on its stale generation).
+    pub hedge_wins: u64,
+    /// In-flight transfers aborted by a source-node crash.
+    pub aborted_transfers: u64,
+    /// Requests that failed typed at an unreachable node.
+    pub unreachable: u64,
+    /// `completed / requests` — the survivability gate's headline number.
+    pub availability: f64,
+    /// The chaos observation history, in order — byte-identical across
+    /// same-seed runs.
+    pub chaos_log: Vec<ChaosRecord>,
+}
+
 /// Calibrated per-function costs.
 struct ClusterFn {
     /// Steady-state local sfork on a provisioned holder.
@@ -238,6 +297,54 @@ struct Slot {
     request: u64,
     busy: bool,
     idle_since: SimNanos,
+}
+
+/// One in-flight template transfer under chaos. Unlike the plain engine's
+/// `transfer_done` instant, a chaos transfer is a first-class object: it
+/// knows its source (so a source crash can abort it), carries a generation
+/// (so a cancelled or hedged-out completion lazy-misses), and holds its
+/// waiters (so the initiator and every joiner share one fate — the
+/// timeout/degrade path the plain engine's joiners never had).
+struct Transfer {
+    /// Generation this transfer's events carry; stale events miss.
+    gen: u32,
+    /// The holder node sourcing the template.
+    source: usize,
+    /// When the template lands — [`SimNanos::MAX`] marks an orphan whose
+    /// source crashed under the no-failover baseline.
+    done: SimNanos,
+    /// A hedge already fired (or is suppressed) for this transfer.
+    hedged: bool,
+    /// Requests (and their reserved instances) forking when it lands.
+    waiters: Vec<(u64, InstanceId)>,
+}
+
+/// Per-(node, function) serving state under chaos.
+#[derive(Default)]
+struct ChaosFn {
+    /// The node physically holds a usable template replica.
+    has_template: bool,
+    /// The in-flight transfer targeting this node, if any.
+    transfer: Option<Transfer>,
+    /// Monotone per-slot generation source: every transfer (and every
+    /// orphaning) takes the next value, so no stale event ever collides.
+    gen_counter: u32,
+    /// The cold image has been pulled to this node already.
+    pulled: bool,
+    /// LIFO warm stack (lazily pruned against the arena generation).
+    idle: Vec<InstanceId>,
+    /// Warm instances actually live.
+    idle_live: usize,
+}
+
+/// `t` stretched by a gray node's latency multiplier; the healthy `1.0`
+/// case takes the untouched value, not a `scale(1.0)` round-trip.
+fn stretch(t: SimNanos, slowdown: f64) -> SimNanos {
+    if slowdown > 1.0 {
+        t.scale(slowdown)
+    } else {
+        t
+    }
 }
 
 fn mix(hash: &mut u64, value: u64) {
@@ -452,6 +559,7 @@ impl ClusterSim {
                                     Event::TransferComplete {
                                         node: node as u32,
                                         function: fnid,
+                                        gen: 0,
                                     },
                                 );
                                 remote += 1;
@@ -558,7 +666,7 @@ impl ClusterSim {
                         }
                     }
                 }
-                Event::TransferComplete { node, function } => {
+                Event::TransferComplete { node, function, .. } => {
                     let node = usize::try_from(node).unwrap_or(usize::MAX);
                     if let Some(s) = state.get_mut(slot_index(node, fns.len(), function.index())) {
                         s.transfer_done = None;
@@ -575,7 +683,13 @@ impl ClusterSim {
                         }
                     }
                 }
-                Event::PoolTick { .. } => {}
+                // Chaos-only classes: without a node plan the engine never
+                // schedules them — the chaos layer is provably inert here.
+                Event::PoolTick { .. }
+                | Event::NodeCrash { .. }
+                | Event::PartitionHeal { .. }
+                | Event::HedgeFire { .. }
+                | Event::HeartbeatTick { .. } => {}
             }
         }
 
@@ -622,6 +736,826 @@ impl ClusterSim {
             cold_startup: Quantiles::from_histogram(&cold_hist),
             route_hash,
             metrics,
+        })
+    }
+
+    /// Drives `trace` through the chaos-aware cluster engine: the same
+    /// serving ladder as [`ClusterSim::run_cluster`], with the installed
+    /// [`NodePlan`] misbehaving underneath and the [`ChaosPolicy`] deciding
+    /// what the scheduler does about it — health-aware routing, holder
+    /// re-replication, hedged transfers, and waiter timeouts under
+    /// [`ChaosPolicy::full`]; static-placement routing that fails typed,
+    /// hangs, and sheds under [`ChaosPolicy::none`].
+    ///
+    /// Requests end in exactly one of three buckets — completed, shed,
+    /// failed — and `completed + shed + failed == requests` under every
+    /// schedule. Rung counters (`local`, `remote`, ...) count *routings*:
+    /// a request re-routed after a transfer abort is routed twice.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::ClusterConfig`] for a zero node count, zero
+    /// placement budget, or a plan touching a node the cluster lacks;
+    /// [`PlatformError::InvalidTrace`]; calibration errors.
+    pub fn run_chaos(mut self, trace: &[TraceRequest]) -> Result<ChaosOutcome, PlatformError> {
+        self.config.ensure_valid()?;
+        validate_trace(trace, self.catalogue.len())?;
+        let fns = self.calibrate()?;
+        let nodes = self.config.nodes;
+        let width = fns.len();
+        let cap = if self.node_capacity == 0 {
+            usize::MAX
+        } else {
+            self.node_capacity
+        };
+        let (plan, policy) = self
+            .chaos
+            .take()
+            .unwrap_or((NodePlan::quiet(0), ChaosPolicy::full()));
+        let mut chaos = ChaosState::new(plan, policy, nodes)?;
+
+        let replicas = self.config.placement_budget.min(nodes);
+        let original_holder = |node: usize, function: usize| -> bool {
+            (0..replicas).any(|r| (function + r) % nodes == node)
+        };
+        let mut state: Vec<ChaosFn> = Vec::new();
+        state.resize_with(nodes.saturating_mul(width), ChaosFn::default);
+        for f in 0..width {
+            for r in 0..replicas {
+                state[slot_index((f + r) % nodes, width, f)].has_template = true;
+            }
+        }
+        let mut node_state: Vec<NodeState> = Vec::new();
+        node_state.resize_with(nodes, NodeState::default);
+
+        let mut instances: Arena<Slot> = Arena::with_capacity(trace.len().min(1 << 20));
+        let mut queue = EventQueue::with_capacity(trace.len().saturating_mul(2));
+        for (i, req) in trace.iter().enumerate() {
+            queue.schedule(req.arrival, Event::Arrival { request: i as u64 });
+        }
+        // The fault schedule becomes event classes: crashes fire as
+        // `NodeCrash`, partition heals as `PartitionHeal` (epoch = plan
+        // order). Partition *starts* and gray windows need no events —
+        // reachability and slowdown are pure functions of the plan.
+        for event in chaos.plan().events() {
+            if event.fault == faultsim::NodeFault::Crash {
+                queue.schedule(event.at, Event::NodeCrash { node: event.node });
+            }
+        }
+        let heals: Vec<(SimNanos, u32)> = chaos
+            .partitions()
+            .enumerate()
+            .map(|(epoch, (_, until, _))| (until, u32::try_from(epoch).unwrap_or(u32::MAX)))
+            .collect();
+        for (until, epoch) in heals {
+            queue.schedule(until, Event::PartitionHeal { epoch });
+        }
+        let hb_end = trace.last().map_or(SimNanos::ZERO, |r| r.arrival);
+        if policy.heartbeat_interval <= hb_end {
+            queue.schedule(policy.heartbeat_interval, Event::HeartbeatTick { round: 0 });
+        }
+
+        let mut completed = 0u64;
+        let mut shed = 0u64;
+        let mut failed = 0u64;
+        let mut reuses = 0u64;
+        let mut local = 0u64;
+        let mut remote = 0u64;
+        let mut cold = 0u64;
+        let mut reroutes = 0u64;
+        let mut transfers = 0u64;
+        let mut expirations = 0u64;
+        let mut crashes = 0u64;
+        let mut failovers = 0u64;
+        let mut rereplications = 0u64;
+        let mut hedges = 0u64;
+        let mut hedge_wins = 0u64;
+        let mut aborted_transfers = 0u64;
+        let mut unreachable = 0u64;
+        let mut horizon = SimNanos::ZERO;
+        let mut startup_hist = LatencyHistogram::new();
+        let mut e2e_hist = LatencyHistogram::new();
+        let mut remote_hist = LatencyHistogram::new();
+        let mut cold_hist = LatencyHistogram::new();
+        let mut route_hash = 0xcbf2_9ce4_8422_2325u64;
+
+        while let Some((now, event)) = queue.pop() {
+            horizon = now;
+            match event {
+                Event::Arrival { request } => {
+                    let Some(req) = trace.get(usize::try_from(request).unwrap_or(usize::MAX))
+                    else {
+                        continue;
+                    };
+                    let Some(f) = fns.get(req.function) else {
+                        continue;
+                    };
+                    let fnid = FnId::from_index(req.function);
+                    let nf = |node: usize| slot_index(node, width, req.function);
+                    // A failover re-arrival is served later than the trace
+                    // arrival; its latency honestly includes the wait.
+                    let lag = now.saturating_sub(req.arrival);
+                    let reach: Vec<bool> = (0..nodes).map(|n| chaos.reachable(n, now)).collect();
+                    let slow: Vec<f64> = (0..nodes).map(|n| chaos.slowdown(n, now)).collect();
+                    // Full policy routes only at reachable nodes believed
+                    // `Up`, falling back to any reachable node when the
+                    // belief map offers none. The baseline believes static
+                    // placement and routes anywhere — and pays for it.
+                    let any_up = (0..nodes).any(|n| reach[n] && chaos.health(n) == NodeHealth::Up);
+                    let elig: Vec<bool> = (0..nodes)
+                        .map(|n| {
+                            if !policy.failover {
+                                true
+                            } else {
+                                reach[n] && (!any_up || chaos.health(n) == NodeHealth::Up)
+                            }
+                        })
+                        .collect();
+                    macro_rules! fail_unreachable {
+                        ($node:expr) => {{
+                            let node = $node;
+                            failed += 1;
+                            unreachable += 1;
+                            chaos.record(now, node, ChaosEvent::Unreachable);
+                            mix(&mut route_hash, request);
+                            mix(&mut route_hash, node as u64);
+                            mix(&mut route_hash, ROUTE_FAILED);
+                            continue;
+                        }};
+                    }
+
+                    // Rung 0 — reuse a warm instance on a routable node.
+                    let mut warm = None;
+                    for node in 0..nodes {
+                        if !elig[node] {
+                            continue;
+                        }
+                        let s = &mut state[nf(node)];
+                        while let Some(id) = s.idle.pop() {
+                            if instances.contains(id) {
+                                s.idle_live = s.idle_live.saturating_sub(1);
+                                warm = Some((node, id));
+                                break;
+                            }
+                        }
+                        if warm.is_some() {
+                            break;
+                        }
+                    }
+                    if let Some((node, id)) = warm {
+                        if !reach[node] {
+                            // Baseline only: the believed-warm node is on
+                            // an island — the request fails typed.
+                            fail_unreachable!(node);
+                        }
+                        if let Some(slot) = instances.get_mut(id) {
+                            slot.busy = true;
+                            slot.request = request;
+                        }
+                        reuses += 1;
+                        let exec_s = stretch(f.exec, slow[node]);
+                        startup_hist.record(lag.saturating_add(REUSE_HANDOFF));
+                        e2e_hist.record(lag.saturating_add(REUSE_HANDOFF).saturating_add(exec_s));
+                        mix(&mut route_hash, request);
+                        mix(&mut route_hash, node as u64);
+                        mix(&mut route_hash, ROUTE_REUSE);
+                        queue.schedule(
+                            now.saturating_add(REUSE_HANDOFF).saturating_add(exec_s),
+                            Event::ExecComplete {
+                                request,
+                                instance: Some(id),
+                            },
+                        );
+                        continue;
+                    }
+
+                    // Rung 1 — local sfork on a believed template holder.
+                    // Full policy believes physical placement (crashes
+                    // clear it, re-replication restores it); the baseline
+                    // believes the original round-robin spread.
+                    let believed = |state: &[ChaosFn], n: usize| {
+                        if policy.failover {
+                            state[nf(n)].has_template
+                        } else {
+                            original_holder(n, req.function) || state[nf(n)].has_template
+                        }
+                    };
+                    let holder = (0..nodes)
+                        .filter(|&n| elig[n] && believed(&state, n) && node_state[n].live < cap)
+                        .min_by_key(|&n| (node_state[n].live, n));
+                    if let Some(node) = holder {
+                        if !reach[node] {
+                            fail_unreachable!(node);
+                        }
+                        local += 1;
+                        let cost = stretch(f.boot, slow[node]);
+                        let exec_s = stretch(f.exec, slow[node]);
+                        mix(&mut route_hash, request);
+                        mix(&mut route_hash, node as u64);
+                        mix(&mut route_hash, ROUTE_LOCAL);
+                        let id = instances.insert(Slot {
+                            node,
+                            function: fnid,
+                            request,
+                            busy: true,
+                            idle_since: SimNanos::ZERO,
+                        });
+                        let ns = &mut node_state[node];
+                        ns.live += 1;
+                        ns.peak = ns.peak.max(ns.live);
+                        startup_hist.record(lag.saturating_add(cost));
+                        e2e_hist.record(lag.saturating_add(cost).saturating_add(exec_s));
+                        queue.schedule(
+                            now.saturating_add(cost).saturating_add(exec_s),
+                            Event::ExecComplete {
+                                request,
+                                instance: Some(id),
+                            },
+                        );
+                        continue;
+                    }
+
+                    // Rung 2a — join the in-flight transfer: the joiner
+                    // becomes a waiter with the same fate as the initiator
+                    // (timeout and re-route on abort under the full
+                    // policy; a hang under the baseline).
+                    let joinable = (0..nodes)
+                        .filter(|&n| {
+                            self.config.routing == RoutingPolicy::RemoteFork
+                                && elig[n]
+                                && state[nf(n)].transfer.is_some()
+                                && node_state[n].live < cap
+                        })
+                        .min_by_key(|&n| (node_state[n].live, n));
+                    if let Some(node) = joinable {
+                        if !reach[node] {
+                            fail_unreachable!(node);
+                        }
+                        reroutes += 1;
+                        remote += 1;
+                        mix(&mut route_hash, request);
+                        mix(&mut route_hash, node as u64);
+                        mix(&mut route_hash, ROUTE_REMOTE);
+                        let id = instances.insert(Slot {
+                            node,
+                            function: fnid,
+                            request,
+                            busy: true,
+                            idle_since: SimNanos::ZERO,
+                        });
+                        let ns = &mut node_state[node];
+                        ns.live += 1;
+                        ns.peak = ns.peak.max(ns.live);
+                        if let Some(t) = state[nf(node)].transfer.as_mut() {
+                            t.waiters.push((request, id));
+                        }
+                        continue;
+                    }
+
+                    // Rung 2b — start a transfer from a holder the policy
+                    // believes in. A gray source stretches the wire time —
+                    // exactly what the hedge exists to beat.
+                    let transferable = (0..nodes)
+                        .filter(|&n| {
+                            self.config.routing == RoutingPolicy::RemoteFork
+                                && elig[n]
+                                && !state[nf(n)].has_template
+                                && state[nf(n)].transfer.is_none()
+                                && node_state[n].live < cap
+                        })
+                        .min_by_key(|&n| (node_state[n].live, n));
+                    let mut transfer_started = false;
+                    if let Some(node) = transferable {
+                        if !reach[node] {
+                            fail_unreachable!(node);
+                        }
+                        let source = (0..nodes)
+                            .filter(|&n| {
+                                n != node
+                                    && if policy.failover {
+                                        state[nf(n)].has_template && reach[n]
+                                    } else {
+                                        original_holder(n, req.function)
+                                            || state[nf(n)].has_template
+                                    }
+                            })
+                            .min_by_key(|&n| (node_state[n].live, n));
+                        match source {
+                            Some(src) if !reach[src] => {
+                                // Baseline only: the believed holder is
+                                // gone — the transfer dies at setup.
+                                fail_unreachable!(src);
+                            }
+                            Some(src) => {
+                                reroutes += 1;
+                                remote += 1;
+                                transfers += 1;
+                                mix(&mut route_hash, request);
+                                mix(&mut route_hash, node as u64);
+                                mix(&mut route_hash, ROUTE_REMOTE);
+                                let id = instances.insert(Slot {
+                                    node,
+                                    function: fnid,
+                                    request,
+                                    busy: true,
+                                    idle_since: SimNanos::ZERO,
+                                });
+                                let ns = &mut node_state[node];
+                                ns.live += 1;
+                                ns.peak = ns.peak.max(ns.live);
+                                let wire = stretch(f.transfer, slow[src]);
+                                let done = now.saturating_add(wire);
+                                let s = &mut state[nf(node)];
+                                let gen = s.gen_counter;
+                                s.gen_counter += 1;
+                                s.transfer = Some(Transfer {
+                                    gen,
+                                    source: src,
+                                    done,
+                                    hedged: !policy.failover,
+                                    waiters: vec![(request, id)],
+                                });
+                                queue.schedule(
+                                    done,
+                                    Event::TransferComplete {
+                                        node: node as u32,
+                                        function: fnid,
+                                        gen,
+                                    },
+                                );
+                                if policy.failover {
+                                    queue.schedule(
+                                        now.saturating_add(policy.hedge_delay),
+                                        Event::HedgeFire {
+                                            node: node as u32,
+                                            function: fnid,
+                                            gen,
+                                        },
+                                    );
+                                }
+                                transfer_started = true;
+                            }
+                            // No holder left anywhere: fall to cold.
+                            None => {}
+                        }
+                    }
+                    if transfer_started {
+                        continue;
+                    }
+
+                    // Rung 3 — cold: registry pull (once per node) plus
+                    // the full cold boot.
+                    let coldable = (0..nodes)
+                        .filter(|&n| elig[n] && node_state[n].live < cap)
+                        .min_by_key(|&n| (node_state[n].live, n));
+                    if let Some(node) = coldable {
+                        if !reach[node] {
+                            fail_unreachable!(node);
+                        }
+                        reroutes += 1;
+                        cold += 1;
+                        let s = &mut state[nf(node)];
+                        let mut cost = stretch(f.cold_boot, slow[node]);
+                        if !s.pulled {
+                            cost = cost.saturating_add(self.config.costs.cold_pull);
+                            s.pulled = true;
+                        }
+                        let exec_s = stretch(f.exec, slow[node]);
+                        mix(&mut route_hash, request);
+                        mix(&mut route_hash, node as u64);
+                        mix(&mut route_hash, ROUTE_COLD);
+                        let id = instances.insert(Slot {
+                            node,
+                            function: fnid,
+                            request,
+                            busy: true,
+                            idle_since: SimNanos::ZERO,
+                        });
+                        let ns = &mut node_state[node];
+                        ns.live += 1;
+                        ns.peak = ns.peak.max(ns.live);
+                        cold_hist.record(lag.saturating_add(cost));
+                        startup_hist.record(lag.saturating_add(cost));
+                        e2e_hist.record(lag.saturating_add(cost).saturating_add(exec_s));
+                        queue.schedule(
+                            now.saturating_add(cost).saturating_add(exec_s),
+                            Event::ExecComplete {
+                                request,
+                                instance: Some(id),
+                            },
+                        );
+                        continue;
+                    }
+
+                    // Every routable node at capacity: shed.
+                    shed += 1;
+                    mix(&mut route_hash, request);
+                    mix(&mut route_hash, u64::MAX);
+                    mix(&mut route_hash, ROUTE_SHED);
+                }
+                Event::ExecComplete { instance, .. } => {
+                    let Some(id) = instance else { continue };
+                    let Some(slot) = instances.get_mut(id) else {
+                        continue;
+                    };
+                    completed += 1;
+                    let node = slot.node;
+                    let function = slot.function;
+                    let s = &mut state[slot_index(node, width, function.index())];
+                    if s.idle_live < self.max_idle {
+                        slot.busy = false;
+                        slot.idle_since = now;
+                        s.idle.push(id);
+                        s.idle_live += 1;
+                        queue.schedule(
+                            now.saturating_add(self.keep_alive),
+                            Event::KeepAliveExpiry { instance: id },
+                        );
+                    } else {
+                        instances.remove(id);
+                        node_state[node].live = node_state[node].live.saturating_sub(1);
+                    }
+                }
+                Event::KeepAliveExpiry { instance } => {
+                    let due = match instances.get(instance) {
+                        Some(slot) if slot.busy => false,
+                        Some(slot) => now.saturating_sub(slot.idle_since) >= self.keep_alive,
+                        None => false,
+                    };
+                    if due {
+                        if let Some(slot) = instances.remove(instance) {
+                            expirations += 1;
+                            let s = &mut state[slot_index(slot.node, width, slot.function.index())];
+                            s.idle_live = s.idle_live.saturating_sub(1);
+                            node_state[slot.node].live =
+                                node_state[slot.node].live.saturating_sub(1);
+                        }
+                    }
+                }
+                Event::TransferComplete {
+                    node,
+                    function,
+                    gen,
+                } => {
+                    let node = usize::try_from(node).unwrap_or(usize::MAX);
+                    let idx = slot_index(node, width, function.index());
+                    let current = state
+                        .get(idx)
+                        .and_then(|s| s.transfer.as_ref())
+                        .is_some_and(|t| t.gen == gen);
+                    if !current {
+                        // Stale generation: aborted, orphaned, hedged out,
+                        // or the destination crashed — lazy miss.
+                        continue;
+                    }
+                    let t = state[idx].transfer.take().unwrap_or(Transfer {
+                        gen,
+                        source: node,
+                        done: now,
+                        hedged: true,
+                        waiters: Vec::new(),
+                    });
+                    state[idx].has_template = true;
+                    let Some(f) = fns.get(function.index()) else {
+                        continue;
+                    };
+                    let slowdown = chaos.slowdown(node, now);
+                    let boot_s = stretch(f.boot, slowdown);
+                    let exec_s = stretch(f.exec, slowdown);
+                    for (request, id) in t.waiters {
+                        if !instances.contains(id) {
+                            continue;
+                        }
+                        let arrival = trace
+                            .get(usize::try_from(request).unwrap_or(usize::MAX))
+                            .map_or(now, |r| r.arrival);
+                        let startup = now.saturating_sub(arrival).saturating_add(boot_s);
+                        startup_hist.record(startup);
+                        remote_hist.record(startup);
+                        e2e_hist.record(startup.saturating_add(exec_s));
+                        queue.schedule(
+                            now.saturating_add(boot_s).saturating_add(exec_s),
+                            Event::ExecComplete {
+                                request,
+                                instance: Some(id),
+                            },
+                        );
+                    }
+                }
+                Event::NodeCrash { node } => {
+                    let node = usize::try_from(node).unwrap_or(usize::MAX);
+                    crashes += 1;
+                    chaos.record(now, node, ChaosEvent::Crash);
+                    // 1. Kill sweep: every instance on the node dies; busy
+                    // ones take their requests with them. Their pending
+                    // events lazy-miss on the bumped arena generation.
+                    let victims: Vec<InstanceId> = instances
+                        .iter()
+                        .filter(|(_, slot)| slot.node == node)
+                        .map(|(id, _)| id)
+                        .collect();
+                    for id in victims {
+                        if let Some(slot) = instances.remove(id) {
+                            if slot.busy {
+                                failed += 1;
+                            }
+                        }
+                    }
+                    if let Some(ns) = node_state.get_mut(node) {
+                        ns.live = 0;
+                    }
+                    // 2. Clear the node's per-function state, remembering
+                    // which templates it held for re-replication. A
+                    // transfer *into* the dead node dies with it — its
+                    // waiters were just killed above.
+                    let mut held: Vec<usize> = Vec::new();
+                    for fi in 0..width {
+                        let s = &mut state[slot_index(node, width, fi)];
+                        if s.has_template {
+                            held.push(fi);
+                        }
+                        s.has_template = false;
+                        s.pulled = false;
+                        s.idle.clear();
+                        s.idle_live = 0;
+                        s.transfer = None;
+                    }
+                    // 3. Abort sweep: transfers *sourced* from the dead
+                    // node lose their template mid-wire. The full policy
+                    // times the waiters out onto a fresh route; the
+                    // baseline orphans them — `done = MAX`, generation
+                    // bumped so the pending completion lazy-misses, and
+                    // the waiters hang.
+                    for (n, ns) in node_state.iter_mut().enumerate() {
+                        if n == node {
+                            continue;
+                        }
+                        for fi in 0..width {
+                            let idx = slot_index(n, width, fi);
+                            let sourced = state[idx]
+                                .transfer
+                                .as_ref()
+                                .is_some_and(|t| t.source == node);
+                            if !sourced {
+                                continue;
+                            }
+                            aborted_transfers += 1;
+                            chaos.record(now, n, ChaosEvent::TransferAbort);
+                            if policy.failover {
+                                if let Some(t) = state[idx].transfer.take() {
+                                    for (request, id) in t.waiters {
+                                        if instances.remove(id).is_some() {
+                                            ns.live = ns.live.saturating_sub(1);
+                                        }
+                                        failovers += 1;
+                                        queue.schedule(
+                                            now.saturating_add(policy.transfer_timeout),
+                                            Event::Arrival { request },
+                                        );
+                                    }
+                                }
+                                chaos.record(now, n, ChaosEvent::Failover);
+                            } else {
+                                let s = &mut state[idx];
+                                if let Some(t) = s.transfer.as_mut() {
+                                    t.done = SimNanos::MAX;
+                                    t.gen = s.gen_counter;
+                                }
+                                s.gen_counter += 1;
+                            }
+                        }
+                    }
+                    // 4. Re-replication: the full policy rebuilds each
+                    // lost template back up to the placement budget, from
+                    // the least-loaded surviving holder onto the lowest
+                    // reachable non-holder.
+                    if policy.failover {
+                        for fi in held {
+                            let holders: Vec<usize> = (0..nodes)
+                                .filter(|&n| {
+                                    state[slot_index(n, width, fi)].has_template
+                                        && chaos.reachable(n, now)
+                                })
+                                .collect();
+                            if holders.len() >= replicas {
+                                continue;
+                            }
+                            let dest = (0..nodes).find(|&n| {
+                                chaos.reachable(n, now)
+                                    && !state[slot_index(n, width, fi)].has_template
+                                    && state[slot_index(n, width, fi)].transfer.is_none()
+                            });
+                            let source = holders
+                                .iter()
+                                .copied()
+                                .min_by_key(|&n| (node_state[n].live, n));
+                            let (Some(dest), Some(src)) = (dest, source) else {
+                                continue;
+                            };
+                            let Some(f) = fns.get(fi) else { continue };
+                            let wire = self
+                                .repair_delay
+                                .saturating_add(stretch(f.transfer, chaos.slowdown(src, now)));
+                            let idx = slot_index(dest, width, fi);
+                            let s = &mut state[idx];
+                            let gen = s.gen_counter;
+                            s.gen_counter += 1;
+                            s.transfer = Some(Transfer {
+                                gen,
+                                source: src,
+                                done: now.saturating_add(wire),
+                                // Background repairs are not hedged.
+                                hedged: true,
+                                waiters: Vec::new(),
+                            });
+                            queue.schedule(
+                                now.saturating_add(wire),
+                                Event::TransferComplete {
+                                    node: dest as u32,
+                                    function: FnId::from_index(fi),
+                                    gen,
+                                },
+                            );
+                            rereplications += 1;
+                            chaos.record(now, dest, ChaosEvent::Rereplicate);
+                        }
+                    }
+                }
+                Event::PartitionHeal { epoch } => {
+                    chaos.heal(epoch, now);
+                }
+                Event::HedgeFire {
+                    node,
+                    function,
+                    gen,
+                } => {
+                    let node = usize::try_from(node).unwrap_or(usize::MAX);
+                    let idx = slot_index(node, width, function.index());
+                    let pending = state.get(idx).and_then(|s| s.transfer.as_ref());
+                    let Some(t) = pending else { continue };
+                    if t.gen != gen || t.hedged {
+                        continue;
+                    }
+                    let (primary_src, primary_done) = (t.source, t.done);
+                    // A second source, distinct from the primary: the
+                    // least-loaded other reachable holder.
+                    let alt = (0..nodes)
+                        .filter(|&n| {
+                            n != node
+                                && n != primary_src
+                                && state[slot_index(n, width, function.index())].has_template
+                                && chaos.reachable(n, now)
+                        })
+                        .min_by_key(|&n| (node_state[n].live, n));
+                    let Some(s) = state.get_mut(idx) else {
+                        continue;
+                    };
+                    let Some(t) = s.transfer.as_mut() else {
+                        continue;
+                    };
+                    t.hedged = true;
+                    let Some(alt) = alt else { continue };
+                    let Some(f) = fns.get(function.index()) else {
+                        continue;
+                    };
+                    hedges += 1;
+                    chaos.record(now, node, ChaosEvent::HedgeFired);
+                    let alt_wire = stretch(f.transfer, chaos.slowdown(alt, now));
+                    let alt_done = now.saturating_add(alt_wire);
+                    if alt_done < primary_done {
+                        // The hedge wins: re-point the transfer at the new
+                        // source under a fresh generation. The primary's
+                        // completion event now lazy-misses — cancellation
+                        // by generation, no un-scheduling needed.
+                        hedge_wins += 1;
+                        chaos.record(now, node, ChaosEvent::HedgeWon);
+                        let gen = s.gen_counter;
+                        s.gen_counter += 1;
+                        let t = s.transfer.as_mut().unwrap();
+                        t.gen = gen;
+                        t.source = alt;
+                        t.done = alt_done;
+                        transfers += 1;
+                        queue.schedule(
+                            alt_done,
+                            Event::TransferComplete {
+                                node: node as u32,
+                                function,
+                                gen,
+                            },
+                        );
+                    }
+                }
+                Event::HeartbeatTick { round } => {
+                    chaos.heartbeat(now);
+                    let next = now.saturating_add(policy.heartbeat_interval);
+                    if next <= hb_end {
+                        queue.schedule(
+                            next,
+                            Event::HeartbeatTick {
+                                round: round.wrapping_add(1),
+                            },
+                        );
+                    }
+                }
+                // Never scheduled by the chaos engine: boots collapse into
+                // `ExecComplete`, and the injector seam belongs to
+                // `run_cluster`.
+                Event::BootComplete { .. } | Event::NodeRepair { .. } | Event::PoolTick { .. } => {}
+            }
+        }
+
+        // End sweep: waiters still parked on an orphaned transfer never
+        // got a completion path — the baseline's hang, counted as failed.
+        let mut hung = 0u64;
+        for n in 0..nodes {
+            for fi in 0..width {
+                let Some(t) = &state[slot_index(n, width, fi)].transfer else {
+                    continue;
+                };
+                if t.done != SimNanos::MAX {
+                    continue;
+                }
+                for &(_, id) in &t.waiters {
+                    if instances.contains(id) {
+                        hung += 1;
+                        failed += 1;
+                        chaos.record(horizon, n, ChaosEvent::Hung);
+                    }
+                }
+            }
+        }
+
+        let per_node_peak: Vec<usize> = node_state.iter().map(|n| n.peak).collect();
+        let peak_node_instances = per_node_peak.iter().copied().max().unwrap_or(0);
+        let heartbeats = chaos.heartbeats();
+        let suspected = chaos.count(ChaosEvent::Suspect);
+        let mut metrics = MetricsRegistry::new();
+        metrics.add(names::CLUSTER_LOCAL, local);
+        metrics.add(names::CLUSTER_REMOTE, remote);
+        metrics.add(names::CLUSTER_COLD, cold);
+        metrics.add(names::CLUSTER_REUSE, reuses);
+        metrics.add(names::CLUSTER_SHED, shed);
+        metrics.add(names::CLUSTER_REROUTES, reroutes);
+        metrics.add(names::CLUSTER_TRANSFERS, transfers);
+        metrics.add(names::CHAOS_CRASHES, crashes);
+        metrics.add(names::CHAOS_FAILED, failed);
+        metrics.add(names::CHAOS_HUNG, hung);
+        metrics.add(names::CHAOS_FAILOVERS, failovers);
+        metrics.add(names::CHAOS_REREPLICATIONS, rereplications);
+        metrics.add(names::CHAOS_HEDGES, hedges);
+        metrics.add(names::CHAOS_HEDGE_WINS, hedge_wins);
+        metrics.add(names::CHAOS_ABORTED_TRANSFERS, aborted_transfers);
+        metrics.add(names::CHAOS_UNREACHABLE, unreachable);
+        metrics.add(names::CHAOS_HEARTBEATS, heartbeats);
+        metrics.add(names::CHAOS_SUSPECTED, suspected);
+        metrics.set_gauge(
+            names::CLUSTER_PEAK_NODE_INSTANCES,
+            i64::try_from(peak_node_instances).unwrap_or(i64::MAX),
+        );
+
+        let requests = u64::try_from(trace.len()).unwrap_or(u64::MAX);
+        let availability = crate::simulate::fraction(completed, requests);
+        Ok(ChaosOutcome {
+            cluster: ClusterOutcome {
+                requests,
+                completed,
+                shed,
+                reuses,
+                local,
+                remote,
+                cold,
+                reroutes,
+                transfers,
+                transfer_faults: 0,
+                node_repairs: 0,
+                expirations,
+                events: queue.scheduled(),
+                horizon,
+                per_node_peak,
+                peak_node_instances,
+                goodput: availability,
+                cold_rate: crate::simulate::fraction(cold, requests),
+                startup: Quantiles::from_histogram(&startup_hist),
+                end_to_end: Quantiles::from_histogram(&e2e_hist),
+                remote_startup: Quantiles::from_histogram(&remote_hist),
+                cold_startup: Quantiles::from_histogram(&cold_hist),
+                route_hash,
+                metrics,
+            },
+            failed,
+            hung,
+            crashes,
+            heartbeats,
+            suspected,
+            failovers,
+            rereplications,
+            hedges,
+            hedge_wins,
+            aborted_transfers,
+            unreachable,
+            availability,
+            chaos_log: chaos.log().to_vec(),
         })
     }
 
@@ -796,6 +1730,168 @@ mod tests {
         assert!(out.transfer_faults > 0);
         assert_eq!(out.cold, 0, "transients retry on the remote rung");
         assert_eq!(out.completed, out.requests);
+    }
+
+    fn chaos_cell(
+        nodes: usize,
+        budget: usize,
+        plan: NodePlan,
+        policy: ChaosPolicy,
+        n: u64,
+    ) -> ChaosOutcome {
+        ClusterSim::new(
+            vec![AppProfile::c_hello()],
+            ClusterConfig::new(nodes, budget),
+        )
+        .with_node_capacity(100)
+        .with_chaos(plan, policy)
+        .run_chaos(&burst(n, 0))
+        .unwrap()
+    }
+
+    #[test]
+    fn quiet_chaos_conserves_and_fails_nothing() {
+        let out = chaos_cell(4, 2, NodePlan::quiet(0), ChaosPolicy::full(), 300);
+        assert_eq!(out.failed, 0);
+        assert_eq!(out.hung, 0);
+        assert_eq!(out.crashes, 0);
+        assert_eq!(
+            out.cluster.completed + out.cluster.shed + out.failed,
+            out.cluster.requests
+        );
+        assert!((out.availability - 1.0).abs() < f64::EPSILON, "{out:?}");
+    }
+
+    #[test]
+    fn holder_crash_fails_over_and_rereplicates() {
+        // Nodes 0 and 1 hold the replicas; node 0 dies mid-run. The full
+        // policy re-routes everything and rebuilds the lost replica from
+        // node 1; the baseline keeps routing at the corpse (it looks
+        // idle!) and fails typed.
+        let trace: Vec<TraceRequest> = (0..200u64)
+            .map(|i| TraceRequest {
+                arrival: SimNanos::from_micros(i.saturating_mul(50)),
+                function: 0,
+            })
+            .collect();
+        let plan = || NodePlan::quiet(1).with_crash(0, SimNanos::from_millis(3));
+        let cell = |policy: ChaosPolicy| {
+            ClusterSim::new(vec![AppProfile::c_hello()], ClusterConfig::new(4, 2))
+                .with_node_capacity(100)
+                .with_chaos(plan(), policy)
+                .run_chaos(&trace)
+                .unwrap()
+        };
+        let full = cell(ChaosPolicy::full());
+        let none = cell(ChaosPolicy::none());
+        assert_eq!(full.crashes, 1);
+        assert!(full.rereplications > 0, "{full:?}");
+        assert_eq!(
+            full.unreachable, 0,
+            "full policy never routes at the corpse"
+        );
+        assert!(
+            full.availability >= 3.0 / 4.0,
+            "single crash must hold the (N-1)/N floor: {full:?}"
+        );
+        assert!(none.unreachable > 0, "{none:?}");
+        assert!(
+            none.availability < full.availability,
+            "baseline {:.3} vs full {:.3}",
+            none.availability,
+            full.availability
+        );
+        for out in [&full, &none] {
+            assert_eq!(
+                out.cluster.completed + out.cluster.shed + out.failed,
+                out.cluster.requests,
+                "conservation: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gray_source_is_hedged_around() {
+        // Node 0 (a holder) goes gray with a huge stretch right before a
+        // flash crowd forces transfers; the hedge fires and the second
+        // source wins.
+        let plan = NodePlan::quiet(2).with_gray(0, SimNanos::ZERO, SimNanos::from_secs(1), 200.0);
+        let out = chaos_cell(4, 2, plan, ChaosPolicy::full(), 350);
+        assert!(out.hedges > 0, "{out:?}");
+        assert!(out.hedge_wins > 0, "{out:?}");
+        assert_eq!(out.failed, 0);
+        assert_eq!(
+            out.cluster.completed + out.cluster.shed + out.failed,
+            out.cluster.requests
+        );
+    }
+
+    #[test]
+    fn source_crash_reroutes_waiters_or_hangs_them() {
+        // A flash crowd starts a transfer sourced from node 0, which then
+        // crashes mid-wire (the wire is ~30 µs of RDMA setup; the crash
+        // lands at 20 µs). Full policy: waiters time out and re-route.
+        // Baseline: the transfer is orphaned and its waiters hang.
+        let plan = || NodePlan::quiet(3).with_crash(0, SimNanos::from_micros(20));
+        let cell = |policy: ChaosPolicy| {
+            ClusterSim::new(vec![AppProfile::c_hello()], ClusterConfig::new(3, 1))
+                .with_node_capacity(100)
+                .with_chaos(plan(), policy)
+                .run_chaos(&burst(120, 0))
+                .unwrap()
+        };
+        let full = cell(ChaosPolicy::full());
+        let none = cell(ChaosPolicy::none());
+        assert!(full.aborted_transfers > 0, "{full:?}");
+        assert!(full.failovers > 0, "{full:?}");
+        assert_eq!(full.hung, 0, "waiters get the timeout path: {full:?}");
+        assert!(none.hung > 0, "baseline waiters hang: {none:?}");
+        for out in [&full, &none] {
+            assert_eq!(
+                out.cluster.completed + out.cluster.shed + out.failed,
+                out.cluster.requests,
+                "conservation: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_heals_and_routing_returns() {
+        let plan = NodePlan::quiet(4).with_partition(
+            vec![1],
+            SimNanos::from_micros(10),
+            SimNanos::from_millis(2),
+        );
+        let trace: Vec<TraceRequest> = (0..200u64)
+            .map(|i| TraceRequest {
+                arrival: SimNanos::from_micros(i.saturating_mul(50)),
+                function: 0,
+            })
+            .collect();
+        let out = ClusterSim::new(vec![AppProfile::c_hello()], ClusterConfig::new(2, 2))
+            .with_node_capacity(100)
+            .with_chaos(plan, ChaosPolicy::full())
+            .run_chaos(&trace)
+            .unwrap();
+        assert!(
+            out.chaos_log
+                .iter()
+                .any(|r| r.kind == ChaosEvent::Heal && r.node == 1),
+            "{:?}",
+            out.chaos_log
+        );
+        assert_eq!(out.failed, 0, "{out:?}");
+        assert!((out.availability - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn chaos_runs_are_byte_deterministic() {
+        let once = || {
+            let plan = NodePlan::storm(0xC0FFEE, 4, 6, SimNanos::ZERO, SimNanos::from_millis(1));
+            let out = chaos_cell(4, 2, plan, ChaosPolicy::full(), 400);
+            serde_json::to_string(&out).unwrap()
+        };
+        assert_eq!(once(), once(), "same seed, byte-identical chaos history");
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! — the equivalence the `cluster` integration tests and the `BENCH_pr8`
 //! validator both pin.
 
+pub mod chaos;
 pub mod engine;
 pub mod fleet;
 
@@ -34,7 +35,7 @@ use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use faultsim::FaultPlan;
+use faultsim::{FaultPlan, NodePlan};
 use runtimes::AppProfile;
 use serde::Serialize;
 use simtime::names;
@@ -45,8 +46,9 @@ use crate::gateway::{Gateway, Invocation, InvokeRequest};
 use crate::resilience::ResiliencePolicy;
 use crate::PlatformError;
 
+pub use chaos::{ChaosEvent, ChaosPolicy, ChaosRecord, ChaosState, NodeHealth};
 pub use engine::{transfer_template, ClusterEngine, RouteCell, RouteDecision};
-pub use fleet::{ClusterOutcome, ClusterSim};
+pub use fleet::{ChaosOutcome, ClusterOutcome, ClusterSim};
 
 /// The per-node cost model separating the three ways a function's state can
 /// reach a node: it is already there (local fork — free), it is RDMA-read
@@ -180,7 +182,8 @@ pub struct RouteRecord {
     pub function: String,
     /// The node that served (or shed) the request.
     pub node: usize,
-    /// How it was served: `local`, `remote`, `cold`, or `shed`.
+    /// How it was served: `local`, `remote`, `cold`, `shed` — or `failed`
+    /// when the node was unreachable and no failover applied.
     pub kind: &'static str,
     /// True when the primary (template-local) node shed and the scheduler
     /// re-routed.
@@ -201,6 +204,11 @@ pub struct Cluster {
     requests: u64,
     metrics: MetricsRegistry,
     history: Vec<RouteRecord>,
+    /// Node-level chaos, when installed via [`Cluster::with_chaos`].
+    chaos: Option<ChaosState>,
+    /// High-water mark of arrival times seen — the closed loop's virtual
+    /// clock, driving the chaos schedule and health beliefs.
+    virtual_now: SimNanos,
 }
 
 impl Cluster {
@@ -231,6 +239,8 @@ impl Cluster {
             requests: 0,
             metrics: MetricsRegistry::new(),
             history: Vec::new(),
+            chaos: None,
+            virtual_now: SimNanos::ZERO,
         })
     }
 
@@ -260,6 +270,25 @@ impl Cluster {
             })
             .collect();
         self
+    }
+
+    /// Installs a node-level fault schedule and failover policy,
+    /// builder-style — the closed-loop twin of
+    /// [`ClusterSim::with_chaos`](fleet::ClusterSim::with_chaos). The
+    /// schedule advances on the virtual arrival clock: each [`Cluster::call`]
+    /// with an arrival time fires every fault due by then.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::ClusterConfig`] when the plan touches a node the
+    /// cluster does not have.
+    pub fn with_chaos(
+        mut self,
+        plan: NodePlan,
+        policy: ChaosPolicy,
+    ) -> Result<Cluster, PlatformError> {
+        self.chaos = Some(ChaosState::new(plan, policy, self.config.nodes)?);
+        Ok(self)
     }
 
     /// Arms every node's admission control with `policy`, builder-style.
@@ -333,10 +362,12 @@ impl Cluster {
     /// [`PlatformError::UnknownFunction`].
     pub fn route(&self, function: &str) -> Result<usize, PlatformError> {
         let holders = self.holders(function)?;
-        let primary = holders
-            .iter()
-            .copied()
-            .min_by_key(|&i| {
+        // Under a full chaos policy, holders the health tracker would not
+        // route at (unreachable, or believed Suspect/Down) are skipped —
+        // unless that empties the pool, in which case the plain pick
+        // stands and fails typed downstream.
+        let pick = |pool: &mut dyn Iterator<Item = usize>| {
+            pool.min_by_key(|&i| {
                 (
                     self.nodes
                         .get(i)
@@ -344,8 +375,93 @@ impl Cluster {
                     i,
                 )
             })
+        };
+        let primary = pick(&mut holders.iter().copied().filter(|&i| self.routable(i)))
+            .or_else(|| pick(&mut holders.iter().copied()))
             .unwrap_or(0);
         Ok(primary)
+    }
+
+    /// True when the installed chaos policy lets the scheduler route new
+    /// work at `node` right now. Always true without chaos — and under the
+    /// no-failover baseline, which routes on static placement alone.
+    fn routable(&self, node: usize) -> bool {
+        self.chaos
+            .as_ref()
+            .is_none_or(|c| c.routable(node, self.virtual_now))
+    }
+
+    /// True when the installed chaos policy re-routes around node failures.
+    fn failover_on(&self) -> bool {
+        self.chaos.as_ref().is_some_and(|c| c.policy().failover)
+    }
+
+    /// Advances the chaos schedule to the arrival clock, applying crash
+    /// side effects: under failover, a dead holder is dropped from every
+    /// placement it was in and each lost replica is rebuilt (and warmed)
+    /// on the lowest reachable non-holder — the closed-loop twin of the
+    /// open loop's re-replication sweep. The baseline leaves placement
+    /// static and keeps routing at the corpse.
+    fn advance_chaos(&mut self, now: SimNanos) {
+        self.virtual_now = self.virtual_now.max(now);
+        let crashes = match self.chaos.as_mut() {
+            Some(chaos) => chaos.advance(self.virtual_now),
+            None => return,
+        };
+        if crashes.is_empty() {
+            return;
+        }
+        let failover = self.failover_on();
+        let budget = self.config.placement_budget.min(self.config.nodes);
+        for event in crashes {
+            let dead = usize::try_from(event.node).unwrap_or(usize::MAX);
+            self.metrics.inc(names::CHAOS_CRASHES);
+            if !failover {
+                continue;
+            }
+            let reachable: Vec<usize> = (0..self.config.nodes)
+                .filter(|&n| {
+                    self.chaos
+                        .as_ref()
+                        .is_some_and(|c| c.reachable(n, self.virtual_now))
+                })
+                .collect();
+            let affected: Vec<String> = self
+                .placement
+                .iter()
+                .filter(|(_, holders)| holders.contains(&dead))
+                .map(|(name, _)| name.clone())
+                .collect();
+            let mut rebuilt: Vec<(String, usize)> = Vec::new();
+            for function in affected {
+                let Some(holders) = self.placement.get_mut(&function) else {
+                    continue;
+                };
+                holders.retain(|&n| n != dead);
+                while holders.len() < budget {
+                    let Some(next) = reachable.iter().copied().find(|n| !holders.contains(n))
+                    else {
+                        break;
+                    };
+                    holders.push(next);
+                    holders.sort_unstable();
+                    rebuilt.push((function.clone(), next));
+                }
+            }
+            for (function, holder) in rebuilt {
+                self.metrics.inc(names::CHAOS_REREPLICATIONS);
+                // Warm the new holder off-path; a preparation failure just
+                // means its first request pays the cold path.
+                if let Some(node) = self.nodes.get_mut(holder) {
+                    let _ = node.gateway.warm(&function);
+                }
+            }
+        }
+    }
+
+    /// The chaos observation history, when chaos is installed.
+    pub fn chaos_log(&self) -> &[ChaosRecord] {
+        self.chaos.as_ref().map_or(&[], |c| c.log())
     }
 
     /// Serves one request end to end through the cluster: route to the
@@ -364,6 +480,9 @@ impl Cluster {
         function: &str,
         arrival: Option<SimNanos>,
     ) -> Result<(usize, Invocation), PlatformError> {
+        if let Some(now) = arrival {
+            self.advance_chaos(now);
+        }
         let request = self.requests;
         self.requests += 1;
         let primary = self.route(function)?;
@@ -381,7 +500,15 @@ impl Cluster {
                 self.record(request, function, primary, "local", false);
                 Ok((primary, invocation))
             }
-            Err(err) if err.is_shed() && self.config.nodes > 1 => {
+            Err(err)
+                if self.config.nodes > 1
+                    && (err.is_shed()
+                        || (matches!(err, PlatformError::Unreachable { .. })
+                            && self.failover_on())) =>
+            {
+                if matches!(err, PlatformError::Unreachable { .. }) {
+                    self.metrics.inc(names::CHAOS_FAILOVERS);
+                }
                 let overflow = self.overflow_node(primary);
                 let decision = if holders.contains(&overflow) {
                     RouteDecision::local(remote_available)
@@ -410,34 +537,57 @@ impl Cluster {
                         Ok((overflow, invocation))
                     }
                     Err(err) => {
-                        self.metrics.inc(names::CLUSTER_SHED);
-                        self.record(request, function, overflow, "shed", true);
+                        let kind = if matches!(err, PlatformError::Unreachable { .. }) {
+                            self.metrics.inc(names::CHAOS_FAILED);
+                            "failed"
+                        } else {
+                            self.metrics.inc(names::CLUSTER_SHED);
+                            "shed"
+                        };
+                        self.record(request, function, overflow, kind, true);
                         Err(err)
                     }
                 }
             }
             Err(err) => {
-                if err.is_shed() {
-                    self.metrics.inc(names::CLUSTER_SHED);
-                }
-                self.record(request, function, primary, "shed", false);
+                let kind = if matches!(err, PlatformError::Unreachable { .. }) {
+                    // The fabric failed and no failover applied (the
+                    // no-failover baseline, or a single-node cluster):
+                    // a failure, not a shed.
+                    self.metrics.inc(names::CHAOS_FAILED);
+                    "failed"
+                } else {
+                    if err.is_shed() {
+                        self.metrics.inc(names::CLUSTER_SHED);
+                    }
+                    "shed"
+                };
+                self.record(request, function, primary, kind, false);
                 Err(err)
             }
         }
     }
 
     /// The least-loaded node other than `primary` (ties break to the lowest
-    /// index), the re-route target.
+    /// index), the re-route target. Routable nodes are preferred; the pool
+    /// only falls back to unroutable ones when chaos has taken everything
+    /// else (and the call then fails typed).
     fn overflow_node(&self, primary: usize) -> usize {
+        let load = |i: usize| {
+            (
+                self.nodes
+                    .get(i)
+                    .map_or(u64::MAX, |n| n.gateway.invocations()),
+                i,
+            )
+        };
         (0..self.nodes.len())
-            .filter(|&i| i != primary)
-            .min_by_key(|&i| {
-                (
-                    self.nodes
-                        .get(i)
-                        .map_or(u64::MAX, |n| n.gateway.invocations()),
-                    i,
-                )
+            .filter(|&i| i != primary && self.routable(i))
+            .min_by_key(|&i| load(i))
+            .or_else(|| {
+                (0..self.nodes.len())
+                    .filter(|&i| i != primary)
+                    .min_by_key(|&i| load(i))
             })
             .unwrap_or(primary)
     }
@@ -449,6 +599,18 @@ impl Cluster {
         function: &str,
         arrival: Option<SimNanos>,
     ) -> Result<Invocation, PlatformError> {
+        // Physical reachability gates every dispatch: a crashed or
+        // islanded node refuses the connection no matter what the
+        // scheduler believed when it routed here.
+        if let Some(chaos) = &self.chaos {
+            if !chaos.reachable(index, self.virtual_now) {
+                self.metrics.inc(names::CHAOS_UNREACHABLE);
+                return Err(PlatformError::Unreachable {
+                    node: index,
+                    until: chaos.unreachable_until(index, self.virtual_now),
+                });
+            }
+        }
         let node = self
             .nodes
             .get_mut(index)
@@ -540,6 +702,98 @@ mod tests {
         assert_eq!(cluster.metrics().counter(names::CLUSTER_LOCAL), 1);
         assert_eq!(cluster.history().len(), 1);
         assert_eq!(cluster.history()[0].kind, "local");
+    }
+
+    #[test]
+    fn closed_loop_crash_fails_over_under_full_policy() {
+        let model = CostModel::experimental_machine();
+        let plan = NodePlan::quiet(1).with_crash(0, SimNanos::from_millis(10));
+        let mut cluster = Cluster::new(ClusterConfig::new(3, 2), &model)
+            .unwrap()
+            .with_chaos(plan, ChaosPolicy::full())
+            .unwrap();
+        cluster.register(AppProfile::c_hello());
+        assert_eq!(cluster.holders("C-hello").unwrap(), &[0, 1]);
+        let (node, _) = cluster
+            .call("C-hello", Some(SimNanos::from_millis(1)))
+            .unwrap();
+        assert_eq!(node, 0, "before the crash node 0 serves");
+        // Past the crash: the schedule fires, node 0 is dropped from the
+        // placement, the replica is rebuilt, and routing moves on.
+        let (node, _) = cluster
+            .call("C-hello", Some(SimNanos::from_millis(20)))
+            .unwrap();
+        assert_ne!(node, 0, "the corpse never serves again");
+        assert_eq!(
+            cluster.metrics().counter(names::CHAOS_CRASHES),
+            1,
+            "{:?}",
+            cluster.metrics()
+        );
+        assert_eq!(cluster.metrics().counter(names::CHAOS_REREPLICATIONS), 1);
+        assert_eq!(
+            cluster.holders("C-hello").unwrap(),
+            &[1, 2],
+            "placement healed back up to budget"
+        );
+        assert_eq!(cluster.metrics().counter(names::CHAOS_FAILED), 0);
+    }
+
+    #[test]
+    fn closed_loop_baseline_fails_typed_at_the_corpse() {
+        let model = CostModel::experimental_machine();
+        let plan = NodePlan::quiet(2).with_crash(0, SimNanos::from_millis(10));
+        let mut cluster = Cluster::new(ClusterConfig::new(2, 1), &model)
+            .unwrap()
+            .with_chaos(plan, ChaosPolicy::none())
+            .unwrap();
+        cluster.register(AppProfile::c_hello());
+        let err = cluster
+            .call("C-hello", Some(SimNanos::from_millis(20)))
+            .unwrap_err();
+        assert!(
+            matches!(err, PlatformError::Unreachable { node: 0, until } if until == SimNanos::MAX),
+            "{err:?}"
+        );
+        assert!(!err.is_shed(), "a fabric failure is not a shed");
+        assert_eq!(cluster.metrics().counter(names::CHAOS_UNREACHABLE), 1);
+        assert_eq!(cluster.metrics().counter(names::CHAOS_FAILED), 1);
+        assert_eq!(cluster.history().last().unwrap().kind, "failed");
+        assert_eq!(
+            cluster.holders("C-hello").unwrap(),
+            &[0],
+            "baseline placement never heals"
+        );
+    }
+
+    #[test]
+    fn closed_loop_partition_blocks_then_heals() {
+        let model = CostModel::experimental_machine();
+        let plan = NodePlan::quiet(3).with_partition(
+            vec![0],
+            SimNanos::from_millis(5),
+            SimNanos::from_millis(50),
+        );
+        let mut cluster = Cluster::new(ClusterConfig::new(2, 2), &model)
+            .unwrap()
+            .with_chaos(plan, ChaosPolicy::full())
+            .unwrap();
+        cluster.register(AppProfile::c_hello());
+        // Mid-partition: node 0 is islanded; full policy routes around it.
+        let (node, _) = cluster
+            .call("C-hello", Some(SimNanos::from_millis(10)))
+            .unwrap();
+        assert_eq!(node, 1);
+        // After the heal, node 0 is reachable and routable again — no
+        // permanent blacklisting.
+        for i in 0..4u64 {
+            let at = SimNanos::from_millis(60 + i);
+            let (node, _) = cluster.call("C-hello", Some(at)).unwrap();
+            if node == 0 {
+                return;
+            }
+        }
+        panic!("healed node never routed again: {:?}", cluster.history());
     }
 
     #[test]

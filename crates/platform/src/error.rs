@@ -55,6 +55,16 @@ pub enum PlatformError {
         /// What was wrong with the configuration.
         detail: String,
     },
+    /// The routed node cannot be reached: it crashed, or sits on the far
+    /// side of a network partition. Not a shed — capacity existed, the
+    /// fabric failed — and not retryable on the same node before `until`.
+    Unreachable {
+        /// The unreachable node's index.
+        node: usize,
+        /// When the node might become reachable again: the partition's
+        /// scheduled heal, or [`SimNanos::MAX`] for a crash (never).
+        until: SimNanos,
+    },
 }
 
 /// Why a request trace was rejected by the simulator, with the offending
@@ -159,6 +169,13 @@ impl fmt::Display for PlatformError {
             PlatformError::ClusterConfig { detail } => {
                 write!(f, "cluster config: {detail}")
             }
+            PlatformError::Unreachable { node, until } => {
+                if *until == SimNanos::MAX {
+                    write!(f, "unreachable: node {node} crashed")
+                } else {
+                    write!(f, "unreachable: node {node} partitioned until {until}")
+                }
+            }
         }
     }
 }
@@ -168,6 +185,9 @@ impl Error for PlatformError {
         match self {
             PlatformError::Sandbox(e) => Some(e),
             PlatformError::Runtime(e) => Some(e),
+            // `Unreachable` is a leaf: the fabric itself failed — there is
+            // no inner sandbox/runtime error to chain to.
+            PlatformError::Unreachable { .. } => None,
             _ => None,
         }
     }
@@ -223,5 +243,21 @@ mod tests {
         };
         assert!(!e.is_shed());
         assert!(e.to_string().contains("zero nodes"));
+    }
+
+    #[test]
+    fn unreachable_is_a_failure_not_a_shed() {
+        let crashed = PlatformError::Unreachable {
+            node: 3,
+            until: SimNanos::MAX,
+        };
+        assert!(!crashed.is_shed(), "capacity existed; the fabric failed");
+        assert!(Error::source(&crashed).is_none());
+        assert!(crashed.to_string().contains("node 3 crashed"));
+        let partitioned = PlatformError::Unreachable {
+            node: 1,
+            until: SimNanos::from_millis(40),
+        };
+        assert!(partitioned.to_string().contains("partitioned until"));
     }
 }

@@ -173,6 +173,22 @@ impl<T> Arena<T> {
     pub fn capacity(&self) -> usize {
         self.slots.len()
     }
+
+    /// Every live instance with its current handle, in slot order —
+    /// deterministic. The chaos layer sweeps a crashed node with this.
+    pub fn iter(&self) -> impl Iterator<Item = (InstanceId, &T)> {
+        self.slots.iter().enumerate().filter_map(|(index, slot)| {
+            slot.value.as_ref().map(|value| {
+                (
+                    InstanceId {
+                        index: u32::try_from(index).unwrap_or(u32::MAX),
+                        generation: slot.generation,
+                    },
+                    value,
+                )
+            })
+        })
+    }
 }
 
 impl<T> Default for Arena<T> {

@@ -51,11 +51,15 @@ pub enum Event {
     },
     /// A cross-node template transfer landed: node `node` now holds a local
     /// replica of `function`'s template and can sfork without the network.
+    /// The generation makes superseded transfers (hedge losers, aborts
+    /// after a source crash) lazy-miss, exactly like stale instance ids.
     TransferComplete {
         /// The receiving node's index in the cluster.
         node: u32,
         /// The function whose template was transferred.
         function: FnId,
+        /// The transfer generation this completion belongs to.
+        gen: u32,
     },
     /// A failed node's background repair finished: its poisoned template
     /// replicas are rebuilt and the node rejoins the routable set.
@@ -63,17 +67,50 @@ pub enum Event {
         /// The repaired node's index in the cluster.
         node: u32,
     },
+    /// A scheduled node crash fires: the node drops its in-flight work and
+    /// template replicas and leaves the cluster for the rest of the run.
+    NodeCrash {
+        /// The crashing node's index in the cluster.
+        node: u32,
+    },
+    /// A scheduled partition heals: the islanded nodes rejoin the
+    /// scheduler's side of the network. The epoch makes heals of
+    /// superseded partitions lazy-miss.
+    PartitionHeal {
+        /// The partition epoch this heal belongs to.
+        epoch: u32,
+    },
+    /// The hedge delay on an in-flight transfer elapsed: if the transfer
+    /// is still pending, fire a second transfer from another holder and
+    /// let the first completion win.
+    HedgeFire {
+        /// The transfer's destination node.
+        node: u32,
+        /// The function being transferred.
+        function: FnId,
+        /// The transfer generation the hedge belongs to.
+        gen: u32,
+    },
+    /// A virtual-time heartbeat round: every node's health belief is
+    /// refreshed from its (possibly gray-stretched) ack latency.
+    HeartbeatTick {
+        /// Monotone round counter, keying the tie-break.
+        round: u32,
+    },
 }
 
 impl Event {
     /// Dispatch rank at equal timestamps: completions before expiries
     /// before transfers/boot/background work before arrivals — the order in
-    /// which a real platform's state settles within one instant. The two
-    /// cluster classes slot *between* the legacy ones without disturbing
-    /// their relative order, so single-node runs are bit-for-bit unchanged:
-    /// a transfer landing at `t` must be visible to a boot completing at
-    /// `t` (the boot forked from it), and a node repair is background work
-    /// that must settle before the next arrival routes.
+    /// which a real platform's state settles within one instant. The
+    /// cluster and chaos classes slot *between* the legacy ones without
+    /// disturbing their relative order, so single-node and chaos-free runs
+    /// are bit-for-bit unchanged: a transfer landing at `t` must be
+    /// visible to a boot completing at `t` (the boot forked from it);
+    /// work completing at `t` finishes before a crash at `t` drops the
+    /// node; a primary transfer tying with its own hedge fire wins; and
+    /// all fault/heal/health background work settles before the next
+    /// arrival routes.
     fn class(&self) -> u8 {
         match self {
             Event::ExecComplete { .. } => 0,
@@ -82,7 +119,11 @@ impl Event {
             Event::BootComplete { .. } => 3,
             Event::PoolTick { .. } => 4,
             Event::NodeRepair { .. } => 5,
-            Event::Arrival { .. } => 6,
+            Event::NodeCrash { .. } => 6,
+            Event::PartitionHeal { .. } => 7,
+            Event::HedgeFire { .. } => 8,
+            Event::HeartbeatTick { .. } => 9,
+            Event::Arrival { .. } => 10,
         }
     }
 
@@ -96,10 +137,19 @@ impl Event {
                 instance.key()
             }
             Event::PoolTick { function } => function.index() as u64,
-            Event::TransferComplete { node, function } => {
-                ((*node as u64) << 32) | function.index() as u64
+            Event::TransferComplete {
+                node,
+                function,
+                gen,
             }
-            Event::NodeRepair { node } => *node as u64,
+            | Event::HedgeFire {
+                node,
+                function,
+                gen,
+            } => (u64::from(*gen) << 48) ^ (((*node as u64) << 32) | function.index() as u64),
+            Event::NodeRepair { node } | Event::NodeCrash { node } => *node as u64,
+            Event::PartitionHeal { epoch } => u64::from(*epoch),
+            Event::HeartbeatTick { round } => u64::from(*round),
         }
     }
 }
@@ -241,10 +291,72 @@ mod tests {
             Event::TransferComplete {
                 node: 1,
                 function: FnId::from_index(0),
+                gen: 0,
             },
         );
         let (_, first) = q.pop().unwrap();
         assert!(matches!(first, Event::TransferComplete { node: 1, .. }));
+    }
+
+    #[test]
+    fn completions_land_before_a_crash_at_the_same_instant() {
+        let mut q = EventQueue::new();
+        q.schedule(nanos(6), Event::NodeCrash { node: 0 });
+        q.schedule(
+            nanos(6),
+            Event::ExecComplete {
+                request: 1,
+                instance: None,
+            },
+        );
+        let (_, first) = q.pop().unwrap();
+        assert!(
+            matches!(first, Event::ExecComplete { .. }),
+            "work finishing at t completes before the crash at t drops the node"
+        );
+    }
+
+    #[test]
+    fn primary_transfer_beats_its_own_hedge_fire() {
+        let mut q = EventQueue::new();
+        q.schedule(
+            nanos(7),
+            Event::HedgeFire {
+                node: 2,
+                function: FnId::from_index(0),
+                gen: 0,
+            },
+        );
+        q.schedule(
+            nanos(7),
+            Event::TransferComplete {
+                node: 2,
+                function: FnId::from_index(0),
+                gen: 0,
+            },
+        );
+        let (_, first) = q.pop().unwrap();
+        assert!(
+            matches!(first, Event::TransferComplete { .. }),
+            "a transfer landing exactly at the hedge delay wins; the hedge lazy-misses"
+        );
+    }
+
+    #[test]
+    fn chaos_background_work_settles_before_the_next_arrival() {
+        let mut q = EventQueue::new();
+        q.schedule(nanos(4), Event::Arrival { request: 0 });
+        q.schedule(nanos(4), Event::HeartbeatTick { round: 3 });
+        q.schedule(nanos(4), Event::PartitionHeal { epoch: 1 });
+        q.schedule(nanos(4), Event::NodeCrash { node: 1 });
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert!(matches!(order[0], Event::NodeCrash { node: 1 }));
+        assert!(matches!(order[1], Event::PartitionHeal { epoch: 1 }));
+        assert!(matches!(order[2], Event::HeartbeatTick { round: 3 }));
+        assert!(
+            matches!(order[3], Event::Arrival { request: 0 }),
+            "the arrival routes against fully-settled fault state"
+        );
     }
 
     #[test]

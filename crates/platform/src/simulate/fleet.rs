@@ -368,9 +368,14 @@ impl Simulation {
                         }
                     }
                 }
-                // Cluster-only classes: the single-node fleet never
-                // schedules them.
-                Event::TransferComplete { .. } | Event::NodeRepair { .. } => {}
+                // Cluster- and chaos-only classes: the single-node fleet
+                // never schedules them.
+                Event::TransferComplete { .. }
+                | Event::NodeRepair { .. }
+                | Event::NodeCrash { .. }
+                | Event::PartitionHeal { .. }
+                | Event::HedgeFire { .. }
+                | Event::HeartbeatTick { .. } => {}
                 Event::PoolTick { function } => {
                     let Some(f) = fns.get_mut(function.index()) else {
                         continue;

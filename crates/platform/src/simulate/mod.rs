@@ -331,9 +331,14 @@ impl Simulation {
                 Event::ExecComplete { .. } => {
                     in_flight = in_flight.saturating_sub(1);
                 }
-                // Cluster-only classes: the closed-loop engine never
-                // schedules them.
-                Event::TransferComplete { .. } | Event::NodeRepair { .. } => {}
+                // Cluster- and chaos-only classes: the closed-loop engine
+                // never schedules them.
+                Event::TransferComplete { .. }
+                | Event::NodeRepair { .. }
+                | Event::NodeCrash { .. }
+                | Event::PartitionHeal { .. }
+                | Event::HedgeFire { .. }
+                | Event::HeartbeatTick { .. } => {}
                 Event::Arrival { request } => {
                     let Some(req) = trace.get(usize::try_from(request).unwrap_or(usize::MAX))
                     else {

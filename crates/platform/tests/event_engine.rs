@@ -279,14 +279,31 @@ fn fingerprint(at: SimNanos, event: &Event) -> (u64, u8, u64) {
     let (class, key) = match event {
         Event::ExecComplete { request, .. } => (0, *request),
         Event::KeepAliveExpiry { instance } => (1, instance.key()),
-        Event::TransferComplete { node, function } => (
+        Event::TransferComplete {
+            node,
+            function,
+            gen,
+        } => (
             2,
-            (u64::from(*node) << 32) | u64::try_from(function.index()).unwrap_or(u64::MAX),
+            (u64::from(*gen) << 48)
+                ^ ((u64::from(*node) << 32) | u64::try_from(function.index()).unwrap_or(u64::MAX)),
         ),
         Event::BootComplete { instance } => (3, instance.key()),
         Event::PoolTick { function } => (4, u64::try_from(function.index()).unwrap_or(u64::MAX)),
         Event::NodeRepair { node } => (5, u64::from(*node)),
-        Event::Arrival { request } => (6, *request),
+        Event::NodeCrash { node } => (6, u64::from(*node)),
+        Event::PartitionHeal { epoch } => (7, u64::from(*epoch)),
+        Event::HedgeFire {
+            node,
+            function,
+            gen,
+        } => (
+            8,
+            (u64::from(*gen) << 48)
+                ^ ((u64::from(*node) << 32) | u64::try_from(function.index()).unwrap_or(u64::MAX)),
+        ),
+        Event::HeartbeatTick { round } => (9, u64::from(*round)),
+        Event::Arrival { request } => (10, *request),
     };
     (at.as_nanos(), class, key)
 }
@@ -313,7 +330,7 @@ proptest! {
     /// scheduled: forward and reverse insertion produce identical pops.
     #[test]
     fn drain_order_is_insertion_order_independent(
-        raw in prop::collection::vec((0u64..400, 0u8..7, 0u64..24), 1..80),
+        raw in prop::collection::vec((0u64..400, 0u8..11, 0u64..24), 1..80),
     ) {
         let mut arena: Arena<u8> = Arena::new();
         let ids: Vec<InstanceId> = (0..24).map(|_| arena.insert(0)).collect();
@@ -329,8 +346,17 @@ proptest! {
                     4 => Event::TransferComplete {
                         node: u32::try_from(key % 4).unwrap_or(0),
                         function: FnId::from_index(slot),
+                        gen: u32::try_from(key % 3).unwrap_or(0),
                     },
                     5 => Event::NodeRepair { node: u32::try_from(key).unwrap_or(0) },
+                    6 => Event::NodeCrash { node: u32::try_from(key).unwrap_or(0) },
+                    7 => Event::PartitionHeal { epoch: u32::try_from(key).unwrap_or(0) },
+                    8 => Event::HedgeFire {
+                        node: u32::try_from(key % 4).unwrap_or(0),
+                        function: FnId::from_index(slot),
+                        gen: u32::try_from(key % 3).unwrap_or(0),
+                    },
+                    9 => Event::HeartbeatTick { round: u32::try_from(key).unwrap_or(0) },
                     _ => Event::Arrival { request: key },
                 };
                 (SimNanos::from_nanos(t), event)

@@ -180,6 +180,36 @@ pub const CLUSTER_NODE_REPAIRS: &str = "cluster.node-repairs";
 /// Gauge: peak instances concurrently live on the busiest node.
 pub const CLUSTER_PEAK_NODE_INSTANCES: &str = "cluster.peak-node-instances";
 
+// ---------------------------------------------------------------------------
+// Node-level chaos and failover (platform::cluster::chaos).
+
+/// Counter: scheduled node crashes that fired.
+pub const CHAOS_CRASHES: &str = "chaos.crashes";
+/// Counter: requests that failed outright — killed by a crash, routed at an
+/// unreachable node, or hung on an orphaned transfer. Not sheds.
+pub const CHAOS_FAILED: &str = "chaos.failed";
+/// Counter: transfer waiters left with no completion path at run end (the
+/// no-failover baseline's signature pathology).
+pub const CHAOS_HUNG: &str = "chaos.hung";
+/// Counter: requests re-routed off a failed node by the failover policy.
+pub const CHAOS_FAILOVERS: &str = "chaos.failovers";
+/// Counter: template replicas rebuilt on new holders after a crash.
+pub const CHAOS_REREPLICATIONS: &str = "chaos.rereplications";
+/// Counter: hedged (second-source) transfers fired after the hedge delay.
+pub const CHAOS_HEDGES: &str = "chaos.hedges";
+/// Counter: hedged transfers that beat their primary.
+pub const CHAOS_HEDGE_WINS: &str = "chaos.hedge-wins";
+/// Counter: in-flight transfers aborted by a source-node crash.
+pub const CHAOS_ABORTED_TRANSFERS: &str = "chaos.aborted-transfers";
+/// Counter: requests that failed typed (`Unreachable`) at a crashed or
+/// partitioned node.
+pub const CHAOS_UNREACHABLE: &str = "chaos.unreachable";
+/// Counter: virtual-time heartbeat rounds the health tracker ran.
+pub const CHAOS_HEARTBEATS: &str = "chaos.heartbeats";
+/// Counter: heartbeat rounds that marked a node `Suspect` (slow-ack — the
+/// gray-node catch a liveness bit would miss).
+pub const CHAOS_SUSPECTED: &str = "chaos.suspected";
+
 /// Span label for the cross-node transfer of a template (the RDMA read a
 /// remote sfork performs before forking from the received replica).
 pub const SPAN_TRANSFER: &str = "transfer:template";

@@ -13,8 +13,10 @@
 //!    typed error; open-loop, every request is completed or shed, none
 //!    are lost.
 
-use catalyzer_suite::faultsim::{FaultPlan, InjectionPoint, PointPlan};
-use catalyzer_suite::platform::cluster::{Cluster, ClusterConfig, ClusterSim, RoutingPolicy};
+use catalyzer_suite::faultsim::{FaultPlan, InjectionPoint, NodePlan, PointPlan};
+use catalyzer_suite::platform::cluster::{
+    ChaosPolicy, Cluster, ClusterConfig, ClusterSim, RoutingPolicy,
+};
 use catalyzer_suite::platform::simulate::TraceRequest;
 use catalyzer_suite::platform::{AdmissionPolicy, PlatformError, ResiliencePolicy};
 use catalyzer_suite::prelude::*;
@@ -212,6 +214,46 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Closed loop under a node partition: while the island is cut off the
+    /// scheduler never routes at it, and after the heal it is routed again
+    /// — whatever the cluster shape or partition window.
+    #[test]
+    fn partitioned_node_is_never_routed_until_heal(
+        nodes in 2usize..5,
+        cut_us in 10u64..200,
+        width_us in 50u64..400,
+        calls in 8usize..24,
+    ) {
+        let cut = SimNanos::from_micros(cut_us);
+        let heal = SimNanos::from_micros(cut_us + width_us);
+        let plan = NodePlan::quiet(9).with_partition([0], cut, heal);
+        let mut cluster = Cluster::new(ClusterConfig::new(nodes, nodes), &model())
+            .unwrap()
+            .with_chaos(plan, ChaosPolicy::full())
+            .unwrap();
+        cluster.register(AppProfile::c_hello());
+
+        // Paced arrivals spanning 0..2×heal: before the cut, inside the
+        // window, and (the back half) past the heal.
+        let step_ns = heal.as_nanos() * 2 / calls as u64;
+        let mut routed_after_heal = false;
+        for i in 0..calls {
+            let now = SimNanos::from_nanos(step_ns * i as u64);
+            let (node, _) = cluster.call("C-hello", Some(now)).unwrap();
+            prop_assert!(
+                !(now >= cut && now < heal) || node != 0,
+                "routed at the islanded node at {now:?} (cut {cut:?}..{heal:?})"
+            );
+            if now >= heal && node == 0 {
+                routed_after_heal = true;
+            }
+        }
+        prop_assert!(
+            routed_after_heal,
+            "node 0 was never routed again after the heal"
+        );
     }
 
     /// Open loop, same story at fleet scale: under any transfer-seam plan

@@ -101,6 +101,18 @@ step "fleet density grid (BENCH_pr7.json valid + up to date)" \
 step "cluster sweep (BENCH_pr8.json valid + up to date)" \
   cargo run -q -p bench --bin repro -- cluster --check BENCH_pr8.json
 
+# And for the chaos grid: regenerates the node-fault × cluster-size ×
+# failover-policy survivability sweep on the same viral flash-crowd shape
+# and verifies the checked-in BENCH_pr9.json is valid (full failover
+# holding availability ≥ (N−1)/N at a sub-millisecond startup p99 under
+# crash, gray, and partition; templates re-replicated after holder death;
+# hedges firing and winning around the gray transfer source; the
+# no-failover baseline failing typed at corpses and hanging waiters in
+# the storm) and byte-identical — i.e. node faults, health tracking,
+# failover, and hedged transfers are deterministic.
+step "chaos grid (BENCH_pr9.json valid + up to date)" \
+  cargo run -q -p bench --bin repro -- chaos --check BENCH_pr9.json
+
 # Smoke-run the simulation-core throughput bench (closed-loop vs fleet
 # engine, simulated requests per wall-clock second): it must build and
 # complete, keeping the density grid's engine path benchable.
