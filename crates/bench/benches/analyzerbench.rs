@@ -1,10 +1,10 @@
 //! Criterion benchmark of catalint itself: full-workspace scan
-//! throughput, cold vs. warm.
+//! throughput, cold vs. warm vs. parallel.
 //!
 //! The checker runs inside the tier-1 test suite and `tools/check.sh`,
-//! so its wall-clock cost is paid on every push. Two cases over the real
-//! workspace source (bytes/sec throughput so the numbers survive the
-//! repo growing):
+//! so its wall-clock cost is paid on every push. Three cases over the
+//! real workspace source (bytes/sec throughput so the numbers survive
+//! the repo growing):
 //!
 //! - **cold** — a fresh [`AnalysisCache`] per iteration: every file is
 //!   lexed and segmented from scratch. This is what one-shot
@@ -13,13 +13,19 @@
 //!   hash-hits and the scan rebuilds only the call graph, dataflow
 //!   summaries, and passes. This is the rescans-after-one-edit regime
 //!   the cache exists for; it must be measurably faster than cold.
+//! - **parallel** — a fresh cache per iteration with `--jobs 4`: the
+//!   lex/segment work fans out over the worker pool while the passes
+//!   stay serial. Speedup over cold bounds what parallelism buys a
+//!   one-shot scan; findings are byte-identical by construction.
 
 use std::hint::black_box;
 use std::path::Path;
 
 use catalint::cache::AnalysisCache;
 use catalint::config::Config;
-use catalint::{analyze_with_cache, collect_workspace, find_workspace_root};
+use catalint::{
+    analyze_with_cache, analyze_with_cache_jobs, collect_workspace, find_workspace_root,
+};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn analyzer_scan(c: &mut Criterion) {
@@ -45,6 +51,18 @@ fn analyzer_scan(c: &mut Criterion) {
         // Prime the cache outside the measured region.
         let _ = analyze_with_cache(&files, &cfg, &mut cache);
         b.iter(|| black_box(analyze_with_cache(black_box(&files), &cfg, &mut cache)))
+    });
+
+    group.bench_function("scan-parallel", |b| {
+        b.iter(|| {
+            let mut cache = AnalysisCache::new();
+            black_box(analyze_with_cache_jobs(
+                black_box(&files),
+                &cfg,
+                &mut cache,
+                4,
+            ))
+        })
     });
 
     group.finish();

@@ -6,9 +6,15 @@
 //! decreasing, new debt is impossible to land silently, and the file never
 //! churns on unrelated line-number changes.
 //!
-//! The format is a strict subset of TOML (`[[allow]]` tables with string
-//! and integer values), parsed here directly so the checker has zero
-//! dependencies.
+//! The format is a strict subset of TOML (`[[allow]]` and `[[clock_seam]]`
+//! tables with string and integer values), parsed here directly so the
+//! checker has zero dependencies.
+//!
+//! `[[clock_seam]]` tables are *not* debt: they register the sanctioned
+//! nondeterminism boundary the `hermetic` pass stops at (the future
+//! `Clock` seam of ROADMAP item 2). The registry ships empty — every
+//! entry added later is a reviewed hole in the hermeticity certificate,
+//! visible in the same file that holds the (empty) allow list.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -63,10 +69,41 @@ impl Diff {
     }
 }
 
-/// Parses baseline text. Accepts only the subset this module renders.
-pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
-    let mut entries: Vec<BaselineEntry> = Vec::new();
-    let mut cur: Option<BaselineEntry> = None;
+/// One sanctioned clock-seam boundary function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClockSeamEntry {
+    /// Bare function name the `hermetic` pass stops at.
+    pub function: String,
+}
+
+/// The full parsed `catalint.toml`: tolerated debt plus the declared
+/// nondeterminism boundary.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineDoc {
+    /// `[[allow]]` buckets — tolerated debt.
+    pub allows: Vec<BaselineEntry>,
+    /// `[[clock_seam]]` entries — the hermeticity boundary registry.
+    pub clock_seam: Vec<ClockSeamEntry>,
+}
+
+/// Which table an in-flight entry belongs to.
+enum Table {
+    Allow(BaselineEntry),
+    Seam(ClockSeamEntry),
+}
+
+/// Parses the full document. Accepts only the subset this module renders.
+pub fn parse_document(text: &str) -> Result<BaselineDoc, String> {
+    fn finish(cur: &mut Option<Table>, doc: &mut BaselineDoc, lineno: usize) -> Result<(), String> {
+        match cur.take() {
+            Some(Table::Allow(e)) => doc.allows.push(validate(e, lineno)?),
+            Some(Table::Seam(e)) => doc.clock_seam.push(validate_seam(e, lineno)?),
+            None => {}
+        }
+        Ok(())
+    }
+    let mut doc = BaselineDoc::default();
+    let mut cur: Option<Table> = None;
     for (ix, raw) in text.lines().enumerate() {
         let lineno = ix + 1;
         let line = strip_comment(raw).trim();
@@ -74,10 +111,13 @@ pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
             continue;
         }
         if line == "[[allow]]" {
-            if let Some(done) = cur.take() {
-                entries.push(validate(done, lineno)?);
-            }
-            cur = Some(BaselineEntry::default());
+            finish(&mut cur, &mut doc, lineno)?;
+            cur = Some(Table::Allow(BaselineEntry::default()));
+            continue;
+        }
+        if line == "[[clock_seam]]" {
+            finish(&mut cur, &mut doc, lineno)?;
+            cur = Some(Table::Seam(ClockSeamEntry::default()));
             continue;
         }
         if line.starts_with('[') {
@@ -86,26 +126,53 @@ pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
         let Some((k, v)) = line.split_once('=') else {
             return Err(format!("line {lineno}: expected `key = value`"));
         };
-        let Some(entry) = cur.as_mut() else {
-            return Err(format!("line {lineno}: key outside an [[allow]] table"));
-        };
         let (k, v) = (k.trim(), v.trim());
-        match k {
-            "pass" => entry.pass = unquote(v, lineno)?,
-            "file" => entry.file = unquote(v, lineno)?,
-            "function" => entry.function = unquote(v, lineno)?,
-            "count" => {
-                entry.count = v
-                    .parse::<u32>()
-                    .map_err(|e| format!("line {lineno}: bad count `{v}`: {e}"))?;
+        match cur.as_mut() {
+            None => {
+                return Err(format!(
+                    "line {lineno}: key outside an [[allow]] or [[clock_seam]] table"
+                ))
             }
-            other => return Err(format!("line {lineno}: unknown key `{other}`")),
+            Some(Table::Allow(entry)) => match k {
+                "pass" => entry.pass = unquote(v, lineno)?,
+                "file" => entry.file = unquote(v, lineno)?,
+                "function" => entry.function = unquote(v, lineno)?,
+                "count" => {
+                    entry.count = v
+                        .parse::<u32>()
+                        .map_err(|e| format!("line {lineno}: bad count `{v}`: {e}"))?;
+                }
+                other => return Err(format!("line {lineno}: unknown key `{other}`")),
+            },
+            Some(Table::Seam(entry)) => match k {
+                "function" => entry.function = unquote(v, lineno)?,
+                other => {
+                    return Err(format!(
+                        "line {lineno}: unknown key `{other}` in [[clock_seam]]"
+                    ))
+                }
+            },
         }
     }
-    if let Some(done) = cur.take() {
-        entries.push(validate(done, 0)?);
+    finish(&mut cur, &mut doc, 0)?;
+    Ok(doc)
+}
+
+/// Parses baseline text, returning only the `[[allow]]` buckets.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    Ok(parse_document(text)?.allows)
+}
+
+fn validate_seam(e: ClockSeamEntry, lineno: usize) -> Result<ClockSeamEntry, String> {
+    let at = if lineno == 0 {
+        "last entry".to_string()
+    } else {
+        format!("entry ending before line {lineno}")
+    };
+    if e.function.is_empty() {
+        return Err(format!("{at}: [[clock_seam]] requires a function name"));
     }
-    Ok(entries)
+    Ok(e)
 }
 
 fn validate(e: BaselineEntry, lineno: usize) -> Result<BaselineEntry, String> {
@@ -244,7 +311,7 @@ pub fn diff(violations: &[Violation], baseline: &[BaselineEntry]) -> Diff {
 
 #[cfg(test)]
 mod tests {
-    use super::{diff, parse_baseline, render_baseline, summarize, BaselineEntry};
+    use super::{diff, parse_baseline, parse_document, render_baseline, summarize, BaselineEntry};
     use crate::Violation;
 
     fn v(pass: &'static str, file: &str, func: &str, line: u32) -> Violation {
@@ -303,6 +370,23 @@ mod tests {
         let entries = parse_baseline(text).expect("parse");
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].count, 2);
+    }
+
+    #[test]
+    fn clock_seam_tables_parse() {
+        let text = "[[clock_seam]]\nfunction = \"realtime_now\"\n\n[[allow]]\npass = \"panic\"\nfile = \"a.rs\"\nfunction = \"f\"\ncount = 1\n";
+        let doc = parse_document(text).expect("parse");
+        assert_eq!(doc.clock_seam.len(), 1);
+        assert_eq!(doc.clock_seam[0].function, "realtime_now");
+        assert_eq!(doc.allows.len(), 1);
+        // The allow-only view hides the seam registry.
+        assert_eq!(parse_baseline(text).expect("parse").len(), 1);
+        // Seam entries carry exactly one key.
+        assert!(parse_document("[[clock_seam]]\npass = \"x\"").is_err());
+        assert!(parse_document("[[clock_seam]]\n").is_err()); // missing function
+                                                              // A comments-only document is an empty registry and zero debt.
+        let doc = parse_document("# nothing\n").expect("parse");
+        assert!(doc.allows.is_empty() && doc.clock_seam.is_empty());
     }
 
     #[test]

@@ -33,6 +33,18 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Lexes and segments one file. Pure, `Send`-friendly (no `Rc`), and the
+/// unit of work the `--jobs` worker pool farms out; the cache wraps the
+/// result in `Rc` on the coordinating thread.
+pub fn parse_source(file: &SrcFile) -> ParsedFile {
+    let lexed = lex(&file.content);
+    ParsedFile {
+        path: file.path.clone(),
+        items: segment(&lexed.toks),
+        allows: lexed.allows,
+    }
+}
+
 /// Per-file parse cache keyed by path, validated by content hash.
 #[derive(Default)]
 pub struct AnalysisCache {
@@ -49,26 +61,38 @@ impl AnalysisCache {
         AnalysisCache::default()
     }
 
+    /// Cache probe for a precomputed content hash: a hit bumps the
+    /// counter and shares the stored parse; a miss reserves nothing (the
+    /// caller parses — possibly on a worker thread — and stores the
+    /// result via [`AnalysisCache::insert_parsed`]).
+    pub fn lookup(&mut self, path: &str, hash: u64) -> Option<Rc<ParsedFile>> {
+        if let Some((stored, parsed)) = self.entries.get(path) {
+            if *stored == hash {
+                self.hits += 1;
+                return Some(Rc::clone(parsed));
+            }
+        }
+        None
+    }
+
+    /// Stores a freshly parsed file under its content hash and returns
+    /// the shared handle.
+    pub fn insert_parsed(&mut self, hash: u64, parsed: ParsedFile) -> Rc<ParsedFile> {
+        self.misses += 1;
+        let parsed = Rc::new(parsed);
+        self.entries
+            .insert(parsed.path.clone(), (hash, Rc::clone(&parsed)));
+        parsed
+    }
+
     /// Returns the parsed form of `file`, reusing the cached result when
     /// the content hash matches the last scan.
     pub fn parse(&mut self, file: &SrcFile) -> Rc<ParsedFile> {
         let hash = fnv1a(file.content.as_bytes());
-        if let Some((stored, parsed)) = self.entries.get(&file.path) {
-            if *stored == hash {
-                self.hits += 1;
-                return Rc::clone(parsed);
-            }
+        if let Some(parsed) = self.lookup(&file.path, hash) {
+            return parsed;
         }
-        self.misses += 1;
-        let lexed = lex(&file.content);
-        let parsed = Rc::new(ParsedFile {
-            path: file.path.clone(),
-            items: segment(&lexed.toks),
-            allows: lexed.allows,
-        });
-        self.entries
-            .insert(file.path.clone(), (hash, Rc::clone(&parsed)));
-        parsed
+        self.insert_parsed(hash, parse_source(file))
     }
 
     /// Number of cached files.

@@ -51,6 +51,25 @@ pub struct Config {
     /// every public entry in it is emitted somewhere in the workspace
     /// (namereg checks the other direction: every literal is registered).
     pub registry_file: String,
+    /// Bare names of the sanctioned nondeterminism boundary: functions the
+    /// hermetic pass does not traverse *into* or scan. Policy keeps this
+    /// empty; entries come from the `[[clock_seam]]` registry in
+    /// `catalint.toml`, so the dual-clock PR flips them on in review.
+    pub clock_seam: Vec<String>,
+    /// The DES event-protocol file: where the `Event` enum and its
+    /// tie-break key functions live.
+    pub events_file: String,
+    /// Name of the DES event enum.
+    pub event_enum: String,
+    /// The tie-break key functions on the event enum. Together they must
+    /// bind every payload field, or insertion order leaks into pop order.
+    pub tiebreak_fns: Vec<String>,
+    /// Bare names of the open-loop run loops whose event matches the
+    /// eventproto pass holds to full variant coverage.
+    pub event_loops: Vec<String>,
+    /// The generational-arena module. Raw slab access is legal only here;
+    /// everyone else goes through the generation-checked `get`.
+    pub arena_file: String,
 }
 
 impl Config {
@@ -143,6 +162,20 @@ impl Config {
             simarith_exempt: vec!["crates/simtime/".into()],
             spanflow_exempt: vec!["crates/simtime/".into()],
             registry_file: "crates/simtime/src/names.rs".into(),
+            // Empty on purpose: the workspace is fully hermetic today.
+            // The dual-clock PR registers its `Realtime` boundary in
+            // catalint.toml's `[[clock_seam]]` tables, not here.
+            clock_seam: vec![],
+            events_file: "crates/platform/src/simulate/events.rs".into(),
+            event_enum: "Event".into(),
+            tiebreak_fns: vec!["class".into(), "key".into(), "subkey".into()],
+            event_loops: vec![
+                "run_closed".into(),
+                "run_fleet".into(),
+                "run_cluster".into(),
+                "run_chaos".into(),
+            ],
+            arena_file: "crates/platform/src/simulate/arena.rs".into(),
         }
     }
 
@@ -229,5 +262,18 @@ mod tests {
         assert!(c.is_simarith_exempt("crates/simtime/src/duration.rs"));
         assert!(!c.is_simarith_exempt("crates/platform/src/gateway.rs"));
         assert!(c.is_spanflow_exempt("crates/simtime/src/trace.rs"));
+    }
+
+    #[test]
+    fn hermeticity_policy() {
+        let c = Config::workspace_default();
+        // The clock seam ships empty: full hermeticity is certified until
+        // the dual-clock PR registers its boundary in catalint.toml.
+        assert!(c.clock_seam.is_empty());
+        assert_eq!(c.events_file, "crates/platform/src/simulate/events.rs");
+        assert_eq!(c.event_enum, "Event");
+        assert_eq!(c.tiebreak_fns, ["class", "key", "subkey"]);
+        assert!(c.event_loops.iter().any(|l| l == "run_chaos"));
+        assert_eq!(c.arena_file, "crates/platform/src/simulate/arena.rs");
     }
 }

@@ -8,14 +8,15 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use catalint::baseline::{render_baseline, summarize};
-use catalint::passes::{severity, ALL_PASSES};
-use catalint::{check_workspace, find_workspace_root, CatalintError, CheckOutcome, Violation};
+use catalint::passes::{describe, severity, ALL_PASSES};
+use catalint::{check_workspace_jobs, find_workspace_root, CatalintError, CheckOutcome, Violation};
 
 struct Args {
     root: Option<PathBuf>,
     baseline_out: bool,
     emit: Emit,
     explain: Option<String>,
+    jobs: usize,
 }
 
 #[derive(PartialEq)]
@@ -26,21 +27,28 @@ enum Emit {
     Schema,
 }
 
-const USAGE: &str = "usage: catalint [--root DIR] [--write-baseline]
+const USAGE: &str = "usage: catalint [--root DIR] [--write-baseline] [--jobs N]
                 [--emit text|json|sarif|schema] [--explain PASS]
 
 Checks the workspace against its mechanical invariants (determinism,
 panic-free image parsing, restore hot-path copy discipline, RefCell guard
-discipline, metric-name registry use, hash-order hygiene, error hygiene)
-and its dataflow contracts (fault-seam coverage, span/registry balance,
-SimNanos arithmetic safety), then diffs the findings against catalint.toml.
+discipline, metric-name registry use, hash-order hygiene, error hygiene),
+its dataflow contracts (fault-seam coverage, span/registry balance,
+SimNanos arithmetic safety), and its hermeticity certificate (clock-seam
+taint, DES event-protocol conformance, generational-arena access), then
+diffs the findings against catalint.toml.
 
   --root DIR          workspace root (default: walk up from the cwd)
   --write-baseline    rewrite catalint.toml from the current findings
+  --jobs N            parse files on N worker threads (findings identical
+                      to serial; default 1)
   --emit json         machine-readable findings on stdout (stable schema)
   --emit sarif        SARIF 2.1.0 findings on stdout (for code-scanning UIs)
   --emit schema       print the JSON output schema and exit
   --explain PASS      print what a pass checks, why, and how to fix findings
+
+Exit codes: 0 = clean (no findings above catalint.toml), 1 = findings,
+2 = usage or I/O error.
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         baseline_out: false,
         emit: Emit::Text,
         explain: None,
+        jobs: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -58,6 +67,14 @@ fn parse_args() -> Result<Args, String> {
                 args.root = Some(PathBuf::from(v));
             }
             "--write-baseline" => args.baseline_out = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a thread count")?;
+                args.jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs needs a positive integer, got `{v}`"))?;
+            }
             "--emit" => {
                 let v = it
                     .next()
@@ -149,7 +166,7 @@ fn run(args: Args) -> Result<ExitCode, CatalintError> {
         return Ok(ExitCode::from(2));
     }
 
-    let outcome = check_workspace(&root)?;
+    let outcome = check_workspace_jobs(&root, args.jobs)?;
 
     if outcome.files_scanned == 0 {
         eprintln!("catalint: no .rs files found under {}", root.display());
@@ -228,20 +245,23 @@ fn run(args: Args) -> Result<ExitCode, CatalintError> {
 /// Version history: 1 = seven passes, findings + summary. 2 = adds the
 /// top-level `passes` array (name + severity of every registered pass,
 /// so consumers can render empty reports without hard-coding the list).
+/// 3 = thirteen passes (hermetic/eventproto/genarena); each `passes`
+/// entry gains a required one-line `description`.
 const JSON_SCHEMA: &str = r#"{
-  "$comment": "catalint --emit json output schema, version 2",
+  "$comment": "catalint --emit json output schema, version 3",
   "type": "object",
   "properties": {
-    "version": { "type": "integer", "const": 2 },
+    "version": { "type": "integer", "const": 3 },
     "passes": {
       "type": "array",
       "items": {
         "type": "object",
         "properties": {
           "name": { "type": "string" },
-          "severity": { "enum": ["error", "warning"] }
+          "severity": { "enum": ["error", "warning"] },
+          "description": { "type": "string" }
         },
-        "required": ["name", "severity"]
+        "required": ["name", "severity", "description"]
       }
     },
     "findings": {
@@ -276,16 +296,17 @@ const JSON_SCHEMA: &str = r#"{
 "#;
 
 fn render_json(outcome: &CheckOutcome) -> String {
-    let mut s = String::from("{\n  \"version\": 2,\n  \"passes\": [");
+    let mut s = String::from("{\n  \"version\": 3,\n  \"passes\": [");
     for (i, p) in ALL_PASSES.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
         let _ = write!(
             s,
-            "\n    {{ \"name\": {}, \"severity\": {} }}",
+            "\n    {{ \"name\": {}, \"severity\": {}, \"description\": {} }}",
             json_str(p),
-            json_str(severity(p))
+            json_str(severity(p)),
+            json_str(describe(p))
         );
     }
     s.push_str("\n  ],\n  \"findings\": [");
@@ -357,8 +378,10 @@ fn render_sarif(outcome: &CheckOutcome) -> String {
         }
         let _ = write!(
             s,
-            "\n            {{ \"id\": {}, \"defaultConfiguration\": {{ \"level\": {} }} }}",
+            "\n            {{ \"id\": {}, \"shortDescription\": {{ \"text\": {} }}, \
+             \"defaultConfiguration\": {{ \"level\": {} }} }}",
             json_str(p),
+            json_str(describe(p)),
             json_str(sarif_level(p))
         );
     }
@@ -525,6 +548,56 @@ fn explain(pass: &str) -> Option<&'static str> {
              Fix: `a.saturating_add(b)` / `saturating_sub` / `saturating_mul`\n\
              when clamping is the right answer (accumulators, cost models),\n\
              or the checked_* form when overflow should be an error.\n"
+        }
+        "hermetic" => {
+            "hermetic — no nondeterminism source reachable from the sim roots.\n\n\
+             The determinism pass flags ambient time/entropy per file; this\n\
+             pass proves the interprocedural property the dual-clock refactor\n\
+             needs: nothing reachable from the simulation and boot roots\n\
+             (run_closed, run_fleet, run_cluster, run_chaos, call, boot, …)\n\
+             reads a wall clock (`Instant::now`, `SystemTime::now`,\n\
+             `.elapsed()`), ambient entropy (`thread_rng`, `from_entropy`,\n\
+             `OsRng`), the environment (`env::var`), the OS scheduler\n\
+             (`thread::sleep`), or `std::process`. The one sanctioned\n\
+             boundary is the `[[clock_seam]]` registry in catalint.toml —\n\
+             empty today — where the future `ClockInner::Realtime` seam will\n\
+             be declared, entry by reviewed entry. Findings carry their\n\
+             root → … → sink call chain.\n\n\
+             Fix: thread the virtual clock (or a seeded StdRng) in from the\n\
+             caller; only a reviewed [[clock_seam]] entry may keep an\n\
+             ambient read.\n"
+        }
+        "eventproto" => {
+            "eventproto — DES event-protocol conformance.\n\n\
+             The event queue pops by (time, class, key, subkey, seq); results\n\
+             are only insertion-order-free if the declared tie-break covers\n\
+             every payload field and every run loop handles every variant.\n\
+             Three directions over platform/src/simulate/events.rs and the\n\
+             run loops: (a) every `Event` payload field must be bound by one\n\
+             of the tie-break key functions (class/key/subkey) — a field\n\
+             hidden behind `..` everywhere means two distinct events compare\n\
+             equal and pop in insertion order; (b) each run loop must match\n\
+             every variant by name (no `_` wildcard) and must not schedule a\n\
+             variant whose only arm is empty; (c) a variant never scheduled\n\
+             anywhere, or handled non-emptily nowhere, is dead protocol\n\
+             surface.\n\n\
+             Fix: extend class()/key()/subkey() to bind the field, add the\n\
+             missing handler arm (an explicit empty arm documents a\n\
+             provably-inert class), or delete the dead variant.\n"
+        }
+        "genarena" => {
+            "genarena — generation-checked instance-slab access only.\n\n\
+             Keep-alive expiry, hedge losers, and crash kills all rely on\n\
+             stale `InstanceId`s *missing* when the slot was reused — which\n\
+             only holds if every read outside the arena module goes through\n\
+             the generation-checked `Arena::get(InstanceId)`. Two reads\n\
+             defeat it: `.index()` on a generational id (the raw slot with\n\
+             the generation stripped) and raw `slots[...]` slab indexing.\n\
+             `FnId::index()` is exempt: functions are never removed, so a\n\
+             plain index cannot go stale.\n\n\
+             Fix: pass the `InstanceId` down and resolve it at the point of\n\
+             use with `arena.get(id)` / `get_mut(id)`; treat `None` as the\n\
+             stale-miss it is.\n"
         }
         "hygiene" => {
             "hygiene — public library functions return crate error types.\n\n\

@@ -1,4 +1,4 @@
-//! The ten invariant passes.
+//! The thirteen invariant passes.
 //!
 //! Each pass is a pattern scan over token trees (see [`crate::lexer`]);
 //! the interprocedural ones additionally consult the approximate call
@@ -48,6 +48,26 @@
 //!   in functions reachable from the boot/simulate roots must use the
 //!   saturating/checked forms; a latency underflow panics or wraps into
 //!   a 500-year duration, either of which corrupts exported figures.
+//!
+//! The hermeticity-certification passes (PR 10) close the loop on the
+//! determinism contract ahead of the dual-clock refactor (ROADMAP item 2):
+//!
+//! - **hermetic** — taint analysis over the call graph: no nondeterminism
+//!   source (`Instant::now`, `SystemTime`, ambient RNG, `env::var`,
+//!   OS sleep, `std::process`, `.elapsed()`-style reads) may be reachable
+//!   from the simulation roots. The only allowed boundary is the
+//!   `[[clock_seam]]` registry in `catalint.toml` — empty today — so the
+//!   future `ClockInner::Realtime` seam flips entries on instead of
+//!   weakening the pass.
+//! - **eventproto** — DES event-protocol conformance: every `Event`
+//!   variant parsed from the enum has a handler arm in each run loop,
+//!   every scheduled variant lands in a non-empty arm, and the
+//!   `(time, class, key, subkey)` tie-break binds every payload field so
+//!   insertion order can never leak into pop order.
+//! - **genarena** — generational-arena access discipline: instance-slab
+//!   reads outside the arena module go through the generation-checked
+//!   `Arena::get(InstanceId)`; raw `.index()` reads off a generational id
+//!   and raw `slots` indexing are findings.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
@@ -80,9 +100,17 @@ pub const PASS_SEAMCOVER: &str = "seamcover";
 pub const PASS_SPANFLOW: &str = "spanflow";
 /// Pass name: checked/saturating `SimNanos` arithmetic on boot paths.
 pub const PASS_SIMARITH: &str = "simarith";
+/// Pass name: no nondeterminism source reachable from the sim roots
+/// outside the declared clock seam.
+pub const PASS_HERMETIC: &str = "hermetic";
+/// Pass name: DES event-protocol conformance (handler coverage, schedule
+/// discipline, total tie-break).
+pub const PASS_EVENTPROTO: &str = "eventproto";
+/// Pass name: generation-checked instance-slab access discipline.
+pub const PASS_GENARENA: &str = "genarena";
 
 /// All pass names, for validating baselines and allow directives.
-pub const ALL_PASSES: [&str; 10] = [
+pub const ALL_PASSES: [&str; 13] = [
     PASS_DETERMINISM,
     PASS_PANIC,
     PASS_HOTPATH,
@@ -93,6 +121,9 @@ pub const ALL_PASSES: [&str; 10] = [
     PASS_SEAMCOVER,
     PASS_SPANFLOW,
     PASS_SIMARITH,
+    PASS_HERMETIC,
+    PASS_EVENTPROTO,
+    PASS_GENARENA,
 ];
 
 /// Severity of a pass's findings, for machine-readable output. `error`
@@ -101,8 +132,40 @@ pub const ALL_PASSES: [&str; 10] = [
 pub fn severity(pass: &str) -> &'static str {
     match pass {
         PASS_DETERMINISM | PASS_PANIC | PASS_HOTPATH | PASS_BORROWCELL | PASS_SEAMCOVER
-        | PASS_SIMARITH => "error",
+        | PASS_SIMARITH | PASS_HERMETIC | PASS_EVENTPROTO | PASS_GENARENA => "error",
         _ => "warning",
+    }
+}
+
+/// One-line description of each pass, for `--emit json` (schema v3) and
+/// the SARIF rule metadata. Kept to a single sentence; `--explain` has
+/// the long form.
+pub fn describe(pass: &str) -> &'static str {
+    match pass {
+        PASS_DETERMINISM => {
+            "Simulated time and seeded randomness only; no ambient clocks or entropy."
+        }
+        PASS_PANIC => "Image parsing returns typed errors; no panic reachable from parse modules.",
+        PASS_HOTPATH => "No eager full-buffer copies reachable from the restore roots.",
+        PASS_BORROWCELL => {
+            "RefCell borrow guards stay short-lived; no cross-`?` or re-entrant holds."
+        }
+        PASS_NAMEREG => "Metric/span name literals come from the simtime::names registry.",
+        PASS_HASHORDER => "No HashMap/HashSet iteration order leaks into consumed output.",
+        PASS_HYGIENE => "Public library functions return crate error types, not Box<dyn Error>.",
+        PASS_SEAMCOVER => "Every fault-injection seam is consulted on the boot paths.",
+        PASS_SPANFLOW => "Span guards close on every path; the name registry balances both ways.",
+        PASS_SIMARITH => "SimNanos arithmetic on boot-reachable paths is saturating or checked.",
+        PASS_HERMETIC => {
+            "No nondeterminism source reachable from the sim roots outside the clock seam."
+        }
+        PASS_EVENTPROTO => {
+            "DES event protocol: handler coverage, schedule discipline, total tie-break."
+        }
+        PASS_GENARENA => {
+            "Instance-slab reads go through generation-checked Arena::get, never raw indices."
+        }
+        _ => "",
     }
 }
 
@@ -1679,5 +1742,806 @@ fn scan_unchecked_arith(
         if let Tok::Group(_, inner, _) = &toks[i] {
             scan_unchecked_arith(inner, taint, duration_fns, out);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// hermetic
+// ---------------------------------------------------------------------------
+
+/// Nondeterminism-source taint from the simulation roots.
+///
+/// The determinism pass flags ambient time/entropy *everywhere*; this pass
+/// proves the stronger property the dual-clock refactor (ROADMAP item 2)
+/// needs: nothing *reachable from the simulation and boot roots* reads a
+/// wall clock, ambient entropy, the environment, the OS scheduler, or a
+/// child process. Reachability follows both edge kinds (missing a source
+/// is worse than over-reporting) and stops only at the `[[clock_seam]]`
+/// registry in `catalint.toml` — the sanctioned boundary behind which the
+/// future `ClockInner::Realtime` arm will live. The registry is empty
+/// today, so the pass certifies full hermeticity; the dual-clock PR flips
+/// entries on instead of weakening the analysis. Findings carry their
+/// root → sink call chain.
+pub(crate) fn hermetic(cfg: &Config, graph: &CallGraph<'_>, out: &mut Vec<Violation>) {
+    let roots: Vec<usize> = cfg
+        .sim_roots
+        .iter()
+        .chain(cfg.seam_roots.iter())
+        .flat_map(|n| graph.by_name(n))
+        .collect();
+    let reach = graph.reach(&roots, |site, _| {
+        !cfg.clock_seam.iter().any(|s| s == &site.bare)
+    });
+    for ix in 0..graph.nodes.len() {
+        if !reach.seen[ix] {
+            continue;
+        }
+        let node = &graph.nodes[ix];
+        // A seam function reached as a root (by name collision) is still
+        // sanctioned: the registry names the boundary itself.
+        if cfg.clock_seam.iter().any(|s| s == &node.name) {
+            continue;
+        }
+        let mut sites: Vec<(u32, String)> = Vec::new();
+        scan_hermetic(&graph.items[ix].body, &mut sites);
+        if sites.is_empty() {
+            continue;
+        }
+        let chain = graph.chain(&reach, ix);
+        for (line, what) in sites {
+            out.push(Violation {
+                pass: PASS_HERMETIC,
+                file: node.file.clone(),
+                func: node.name.clone(),
+                line,
+                what,
+                chain: chain.clone(),
+            });
+        }
+    }
+}
+
+/// Collects nondeterminism sources in one body: wall clocks, ambient
+/// entropy, environment reads, OS sleeps, process spawns, and
+/// elapsed-time method reads.
+fn scan_hermetic(toks: &[Tok], out: &mut Vec<(u32, String)>) {
+    for i in 0..toks.len() {
+        if let Tok::Ident(w, line) = &toks[i] {
+            let method = i > 0 && toks[i - 1].is_punct('.') && next_is_paren(toks, i);
+            match w.as_str() {
+                "SystemTime" | "Instant" if is_path_to(toks, i, "now") => out.push((
+                    *line,
+                    format!("wall-clock `{w}::now()` on a sim-reachable path; read the virtual clock (or register the function under [[clock_seam]])"),
+                )),
+                "thread" if is_path_to(toks, i, "sleep") => out.push((
+                    *line,
+                    "OS `thread::sleep` on a sim-reachable path; charge simulated time".to_string(),
+                )),
+                "sleep" if next_is_paren(toks, i) && !prev_blocks_bare_sleep(toks, i) => out.push((
+                    *line,
+                    "bare `sleep()` on a sim-reachable path; charge simulated time".to_string(),
+                )),
+                "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => out.push((
+                    *line,
+                    format!("ambient entropy `{w}` on a sim-reachable path; seed an StdRng explicitly"),
+                )),
+                "env"
+                    if is_path_to(toks, i, "var")
+                        || is_path_to(toks, i, "var_os")
+                        || is_path_to(toks, i, "vars") =>
+                {
+                    out.push((
+                        *line,
+                        "environment read (`env::var`-family) on a sim-reachable path; results must not depend on ambient configuration".to_string(),
+                    ));
+                }
+                "process"
+                    if toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                        && toks.get(i + 2).is_some_and(|t| t.is_punct(':')) =>
+                {
+                    out.push((
+                        *line,
+                        "`std::process` use on a sim-reachable path; child processes are outside the simulation".to_string(),
+                    ));
+                }
+                "elapsed" | "duration_since" if method => out.push((
+                    *line,
+                    format!("ambient `.{w}()` read on a sim-reachable path; durations come from the virtual clock"),
+                )),
+                _ => {}
+            }
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            scan_hermetic(inner, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// eventproto
+// ---------------------------------------------------------------------------
+
+/// One `Event` variant parsed from the enum declaration.
+struct EventVariant {
+    name: String,
+    /// Declared payload field names (struct variants; tuple variants are
+    /// not used by the engine and contribute no fields).
+    fields: Vec<String>,
+    line: u32,
+}
+
+/// DES event-protocol conformance, in three directions.
+///
+/// (a) *Tie-break totality*: the `Event` enum is parsed from the
+/// configured events file, and every declared payload field must be bound
+/// by at least one of the tie-break key functions (`class`/`key`/
+/// `subkey`). A field hidden behind `..` in all of them means two
+/// distinct events can compare equal at one instant — and then the
+/// sequence number (insertion order) decides pop order, which is exactly
+/// the leak the PR 7 queue design forbids.
+///
+/// (b) *Per-loop conformance*: each configured run-loop function must
+/// match every variant (no `_` wildcard hiding future ones), and every
+/// variant it schedules must land in a non-empty arm of its own match —
+/// an event constructed and then dropped in an empty arm is dead state
+/// transition the engine silently loses.
+///
+/// (c) *Ghost variants*: every declared variant must be constructed at
+/// some schedule site and handled non-emptily in at least one loop;
+/// anything else is protocol surface that exists only on paper.
+pub(crate) fn eventproto(
+    parsed: &[Rc<ParsedFile>],
+    cfg: &Config,
+    graph: &CallGraph<'_>,
+    out: &mut Vec<Violation>,
+) {
+    let Some(events) = parsed.iter().find(|p| p.path == cfg.events_file) else {
+        return;
+    };
+    let mut variants: Vec<EventVariant> = Vec::new();
+    collect_event_variants(&events.items.loose, &cfg.event_enum, &mut variants);
+    if variants.is_empty() {
+        return;
+    }
+
+    // (a) Tie-break field coverage, unioned across the key functions.
+    let mut bound: BTreeMap<String, BTreeSet<String>> = variants
+        .iter()
+        .map(|v| (v.name.clone(), BTreeSet::new()))
+        .collect();
+    let mut saw_tiebreak = false;
+    for f in &events.items.fns {
+        if cfg.tiebreak_fns.iter().any(|n| n == &f.name) {
+            saw_tiebreak = true;
+            collect_bound_fields(&f.body, &cfg.event_enum, &mut bound);
+        }
+    }
+    if saw_tiebreak {
+        for v in &variants {
+            let covered = &bound[&v.name];
+            for field in &v.fields {
+                if !covered.contains(field) {
+                    push(
+                        out,
+                        PASS_EVENTPROTO,
+                        &cfg.events_file,
+                        MODULE_SCOPE,
+                        v.line,
+                        format!(
+                            "tie-break blind spot: `{}::{}` field `{field}` is bound by none of \
+                             the tie-break keys ({}); two events differing only in `{field}` \
+                             compare equal and pop in insertion order",
+                            cfg.event_enum,
+                            v.name,
+                            cfg.tiebreak_fns.join("/"),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Schedule sites across all library code (for the ghost check).
+    let mut scheduled_anywhere: BTreeSet<String> = BTreeSet::new();
+    for pf in parsed.iter() {
+        if cfg.is_non_library_path(&pf.path) {
+            continue;
+        }
+        for f in &pf.items.fns {
+            collect_schedule_variants(&f.body, &cfg.event_enum, &mut |v, _| {
+                scheduled_anywhere.insert(v.to_string());
+            });
+        }
+    }
+
+    // (b) Per-loop conformance.
+    let mut handled_somewhere: BTreeSet<String> = BTreeSet::new();
+    let mut saw_loop = false;
+    for loop_name in &cfg.event_loops {
+        for ix in graph.by_name(loop_name) {
+            let item = graph.items[ix];
+            let node = &graph.nodes[ix];
+            let mut arms: BTreeMap<String, bool> = BTreeMap::new();
+            let mut wildcard: Option<u32> = None;
+            collect_event_arms(&item.body, &cfg.event_enum, &mut arms, &mut wildcard);
+            if arms.is_empty() {
+                // A function that merely shares the loop's name.
+                continue;
+            }
+            saw_loop = true;
+            if let Some(line) = wildcard {
+                push(
+                    out,
+                    PASS_EVENTPROTO,
+                    &node.file,
+                    &node.name,
+                    line,
+                    format!(
+                        "`_` wildcard arm in `{loop_name}`'s event match; every `{}` variant \
+                         must be matched by name so new variants fail loudly here",
+                        cfg.event_enum
+                    ),
+                );
+            }
+            let mut sched: BTreeMap<String, u32> = BTreeMap::new();
+            collect_schedule_variants(&item.body, &cfg.event_enum, &mut |v, line| {
+                sched.entry(v.to_string()).or_insert(line);
+            });
+            for (v, line) in &sched {
+                match arms.get(v) {
+                    Some(true) => {}
+                    Some(false) => push(
+                        out,
+                        PASS_EVENTPROTO,
+                        &node.file,
+                        &node.name,
+                        *line,
+                        format!(
+                            "`{loop_name}` schedules `{}::{v}` but its only handler arm is \
+                             empty — the event is constructed, popped, and dropped",
+                            cfg.event_enum
+                        ),
+                    ),
+                    None if wildcard.is_none() => push(
+                        out,
+                        PASS_EVENTPROTO,
+                        &node.file,
+                        &node.name,
+                        *line,
+                        format!(
+                            "`{loop_name}` schedules `{}::{v}` but has no handler arm for it",
+                            cfg.event_enum
+                        ),
+                    ),
+                    None => {}
+                }
+            }
+            if wildcard.is_none() {
+                for v in &variants {
+                    if !arms.contains_key(&v.name) {
+                        push(
+                            out,
+                            PASS_EVENTPROTO,
+                            &node.file,
+                            &node.name,
+                            node.line,
+                            format!(
+                                "`{loop_name}`'s event match has no arm for `{}::{}`; every \
+                                 variant must be handled (an explicit empty arm documents \
+                                 a provably-inert class)",
+                                cfg.event_enum, v.name
+                            ),
+                        );
+                    }
+                }
+            }
+            for (v, nonempty) in arms {
+                if nonempty {
+                    handled_somewhere.insert(v);
+                }
+            }
+        }
+    }
+
+    // (c) Ghost variants — only meaningful once a real loop was seen.
+    if saw_loop {
+        for v in &variants {
+            if !scheduled_anywhere.contains(&v.name) {
+                push(
+                    out,
+                    PASS_EVENTPROTO,
+                    &cfg.events_file,
+                    MODULE_SCOPE,
+                    v.line,
+                    format!(
+                        "`{}::{}` is never constructed at any schedule site; dead protocol \
+                         surface (delete it or wire it up)",
+                        cfg.event_enum, v.name
+                    ),
+                );
+            }
+            if !handled_somewhere.contains(&v.name) {
+                push(
+                    out,
+                    PASS_EVENTPROTO,
+                    &cfg.events_file,
+                    MODULE_SCOPE,
+                    v.line,
+                    format!(
+                        "`{}::{}` has a handler arm in no run loop (or only empty ones \
+                         everywhere); an event class nothing ever acts on",
+                        cfg.event_enum, v.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Parses `enum <name> { … }`, collecting each variant's name, struct
+/// payload field names, and line. Attributes are skipped; tuple payloads
+/// contribute no named fields.
+fn collect_event_variants(toks: &[Tok], enum_name: &str, out: &mut Vec<EventVariant>) {
+    for i in 0..toks.len() {
+        if toks[i].ident() == Some("enum")
+            && matches!(toks.get(i + 1), Some(Tok::Ident(w, _)) if w == enum_name)
+        {
+            if let Some(Tok::Group(Delim::Brace, inner, _)) = toks
+                .iter()
+                .skip(i + 2)
+                .find(|t| matches!(t, Tok::Group(Delim::Brace, _, _)))
+            {
+                let mut expect = true;
+                let mut j = 0usize;
+                while j < inner.len() {
+                    match &inner[j] {
+                        Tok::Punct(',', _) => expect = true,
+                        Tok::Punct('#', _) => {
+                            // Skip the attribute's bracket group.
+                            if matches!(inner.get(j + 1), Some(Tok::Group(Delim::Bracket, _, _))) {
+                                j += 1;
+                            }
+                        }
+                        Tok::Ident(w, line) if expect => {
+                            let mut fields = Vec::new();
+                            if let Some(Tok::Group(Delim::Brace, body, _)) = inner.get(j + 1) {
+                                collect_field_names(body, &mut fields);
+                                j += 1;
+                            } else if matches!(
+                                inner.get(j + 1),
+                                Some(Tok::Group(Delim::Paren, _, _))
+                            ) {
+                                j += 1;
+                            }
+                            out.push(EventVariant {
+                                name: w.clone(),
+                                fields,
+                                line: *line,
+                            });
+                            expect = false;
+                        }
+                        _ => expect = false,
+                    }
+                    j += 1;
+                }
+            }
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            collect_event_variants(inner, enum_name, out);
+        }
+    }
+}
+
+/// Field names of a struct-variant body: `name: Type, …` (attributes and
+/// the type tokens are skipped).
+fn collect_field_names(toks: &[Tok], out: &mut Vec<String>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i] {
+            Tok::Punct('#', _) => {
+                if matches!(toks.get(i + 1), Some(Tok::Group(Delim::Bracket, _, _))) {
+                    i += 1;
+                }
+            }
+            Tok::Ident(name, _) if toks.get(i + 1).is_some_and(|t| t.is_punct(':')) => {
+                out.push(name.clone());
+                // Skip the type up to the next comma at this level.
+                while i < toks.len() && !toks[i].is_punct(',') {
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Field names bound by `Event::V { … }` patterns, per variant. `..` and
+/// wildcard sub-patterns bind nothing; `field: binding` binds `field`.
+fn collect_bound_fields(
+    toks: &[Tok],
+    enum_name: &str,
+    out: &mut BTreeMap<String, BTreeSet<String>>,
+) {
+    for i in 0..toks.len() {
+        if let Some((variant, group)) = event_variant_at(toks, i, enum_name) {
+            if let Some(set) = out.get_mut(variant) {
+                if let Some(Tok::Group(Delim::Brace, body, _)) = group {
+                    let mut names = Vec::new();
+                    collect_pattern_fields(body, &mut names);
+                    set.extend(names);
+                }
+            }
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            collect_bound_fields(inner, enum_name, out);
+        }
+    }
+}
+
+/// Field names a `{ … }` pattern body binds: shorthand `field`, renamed
+/// `field: binding`, never `..`.
+fn collect_pattern_fields(toks: &[Tok], out: &mut Vec<String>) {
+    let mut i = 0usize;
+    let mut at_field = true;
+    while i < toks.len() {
+        match &toks[i] {
+            Tok::Punct(',', _) => at_field = true,
+            Tok::Ident(name, _) if at_field && name != "ref" && name != "mut" => {
+                out.push(name.clone());
+                at_field = false;
+                // Skip a renaming/sub-pattern up to the next comma.
+                while i + 1 < toks.len() && !toks[i + 1].is_punct(',') {
+                    i += 1;
+                }
+            }
+            Tok::Punct('.', _) => at_field = false,
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// If `toks[i]` starts an `Enum :: Variant` path, returns the variant
+/// ident and the payload group right after it (if any).
+fn event_variant_at<'t>(
+    toks: &'t [Tok],
+    i: usize,
+    enum_name: &str,
+) -> Option<(&'t str, Option<&'t Tok>)> {
+    if toks[i].ident() != Some(enum_name) {
+        return None;
+    }
+    if !(toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':')))
+    {
+        return None;
+    }
+    let Some(Tok::Ident(variant, _)) = toks.get(i + 3) else {
+        return None;
+    };
+    let group = toks
+        .get(i + 4)
+        .filter(|t| matches!(t, Tok::Group(Delim::Brace | Delim::Paren, _, _)));
+    Some((variant.as_str(), group))
+}
+
+/// Match arms over `Enum::Variant` patterns at every nesting level:
+/// `variant → the arm body is non-empty`, unioned across or-patterns and
+/// repeated matches. `_ =>` at a level that also has variant arms is
+/// reported via `wildcard`.
+fn collect_event_arms(
+    toks: &[Tok],
+    enum_name: &str,
+    out: &mut BTreeMap<String, bool>,
+    wildcard: &mut Option<u32>,
+) {
+    let mut level_has_arms = false;
+    let mut level_wildcard: Option<u32> = None;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some((variant, group)) = event_variant_at(toks, i, enum_name) {
+            // Walk the or-pattern chain: collect variants until `=>`.
+            let mut chain: Vec<String> = vec![variant.to_string()];
+            let mut j = i + if group.is_some() { 5 } else { 4 };
+            while toks.get(j).is_some_and(|t| t.is_punct('|')) && j + 1 < toks.len() {
+                if let Some((v, g)) = event_variant_at(toks, j + 1, enum_name) {
+                    chain.push(v.to_string());
+                    j += 1 + if g.is_some() { 5 } else { 4 };
+                } else {
+                    break;
+                }
+            }
+            // An arm iff `=>` follows the (last) pattern.
+            let is_arm = toks.get(j).is_some_and(|t| t.is_punct('='))
+                && toks.get(j + 1).is_some_and(|t| t.is_punct('>'));
+            if is_arm {
+                level_has_arms = true;
+                let nonempty = match toks.get(j + 2) {
+                    Some(Tok::Group(Delim::Brace, body, _)) => !body.is_empty(),
+                    Some(_) => true,
+                    None => false,
+                };
+                for v in chain {
+                    let e = out.entry(v).or_insert(false);
+                    *e = *e || nonempty;
+                }
+                i = j + 2;
+                continue;
+            }
+        }
+        // `_ =>` at this level (judged at level end: it only counts as a
+        // hole if variant arms share this match body — a `_` arm in some
+        // unrelated match must not trip the pass).
+        if level_wildcard.is_none()
+            && toks[i].ident() == Some("_")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('='))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('>'))
+        {
+            level_wildcard = Some(toks[i].line());
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            collect_event_arms(inner, enum_name, out, wildcard);
+        }
+        i += 1;
+    }
+    if level_has_arms && wildcard.is_none() {
+        if let Some(line) = level_wildcard {
+            *wildcard = Some(line);
+        }
+    }
+}
+
+/// Variants constructed inside `schedule(…)` / `push(…)`-style call
+/// arguments: any `Enum::Variant` expression inside the argument list of
+/// a call whose bare name is `schedule`.
+fn collect_schedule_variants(toks: &[Tok], enum_name: &str, sink: &mut impl FnMut(&str, u32)) {
+    for i in 0..toks.len() {
+        if let Tok::Ident(w, _) = &toks[i] {
+            if w == "schedule" {
+                if let Some(Tok::Group(Delim::Paren, args, _)) = toks.get(i + 1) {
+                    collect_variant_mentions(args, enum_name, sink);
+                }
+            }
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            collect_schedule_variants(inner, enum_name, sink);
+        }
+    }
+}
+
+fn collect_variant_mentions(toks: &[Tok], enum_name: &str, sink: &mut impl FnMut(&str, u32)) {
+    for i in 0..toks.len() {
+        if let Some((variant, _)) = event_variant_at(toks, i, enum_name) {
+            sink(variant, toks[i].line());
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            collect_variant_mentions(inner, enum_name, sink);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// genarena
+// ---------------------------------------------------------------------------
+
+/// Generational-arena access discipline outside the arena module.
+///
+/// The lazy-stale-miss pattern (PR 7–9: keep-alive expiries, hedge
+/// losers, crash kills) only works because every instance-slab read goes
+/// through the generation-checked `Arena::get(InstanceId)`: a stale id
+/// must *miss*, not alias whoever reused the slot. Two reads defeat that:
+///
+/// - `.index()` on a generational id — the raw slot number with the
+///   generation stripped. Receivers are tracked from `: InstanceId`
+///   ascriptions in signatures and `let` statements, plus the `Event`
+///   payload fields declared with an `InstanceId` type (match bindings).
+/// - raw indexing of a `slots` slab field (`arena.slots[i]`) — bypassing
+///   the generation check entirely.
+///
+/// `FnId::index()` is exempt by construction: functions are never
+/// removed, so a plain index cannot go stale — and only names the
+/// tracker can see carry `InstanceId`.
+pub(crate) fn genarena(parsed: &[Rc<ParsedFile>], cfg: &Config, out: &mut Vec<Violation>) {
+    // Event payload field names declared with an InstanceId type: a match
+    // arm binding one of these holds a generational id under the field's
+    // name (`instance`), invisible to ascription tracking.
+    let mut id_fields: Vec<String> = Vec::new();
+    if let Some(events) = parsed.iter().find(|p| p.path == cfg.events_file) {
+        let mut typed = BTreeSet::new();
+        collect_instance_typed_fields(&events.items.loose, &cfg.event_enum, &mut typed);
+        id_fields.extend(typed);
+    }
+
+    for pf in parsed {
+        if cfg.is_non_library_path(&pf.path) || pf.path == cfg.arena_file {
+            continue;
+        }
+        for f in &pf.items.fns {
+            let mut tracked: Vec<String> = id_fields.clone();
+            if let Some(Tok::Group(Delim::Paren, params, _)) = f.sig.first() {
+                collect_instance_params(params, &mut tracked);
+            }
+            scan_genarena(&f.body, &mut tracked, &pf.path, &f.name, out);
+        }
+    }
+}
+
+/// `name: …InstanceId…` declarations up to the next `,` at this level.
+fn collect_instance_params(toks: &[Tok], out: &mut Vec<String>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let (Some(Tok::Ident(name, _)), Some(t)) = (toks.get(i), toks.get(i + 1)) {
+            if t.is_punct(':') && !is_keyword(name) {
+                let end = toks[i + 2..]
+                    .iter()
+                    .position(|t| t.is_punct(','))
+                    .map_or(toks.len(), |p| i + 2 + p);
+                if toks[i + 2..end]
+                    .iter()
+                    .any(|t| matches!(t.ident(), Some("InstanceId")))
+                {
+                    out.push(name.clone());
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Field names of the event enum's variants whose declared type mentions
+/// `InstanceId`.
+fn collect_instance_typed_fields(toks: &[Tok], enum_name: &str, out: &mut BTreeSet<String>) {
+    for i in 0..toks.len() {
+        if toks[i].ident() == Some("enum")
+            && matches!(toks.get(i + 1), Some(Tok::Ident(w, _)) if w == enum_name)
+        {
+            if let Some(Tok::Group(Delim::Brace, inner, _)) = toks
+                .iter()
+                .skip(i + 2)
+                .find(|t| matches!(t, Tok::Group(Delim::Brace, _, _)))
+            {
+                for t in inner {
+                    if let Tok::Group(Delim::Brace, body, _) = t {
+                        let mut j = 0usize;
+                        while j < body.len() {
+                            if let (Some(Tok::Ident(name, _)), Some(c)) =
+                                (body.get(j), body.get(j + 1))
+                            {
+                                if c.is_punct(':') {
+                                    let end = body[j + 2..]
+                                        .iter()
+                                        .position(|t| t.is_punct(','))
+                                        .map_or(body.len(), |p| j + 2 + p);
+                                    if body[j + 2..end]
+                                        .iter()
+                                        .any(|t| matches!(t.ident(), Some("InstanceId")))
+                                    {
+                                        out.insert(name.clone());
+                                    }
+                                    j = end + 1;
+                                    continue;
+                                }
+                            }
+                            j += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if let Tok::Group(_, inner, _) = &toks[i] {
+            collect_instance_typed_fields(inner, enum_name, out);
+        }
+    }
+}
+
+fn scan_genarena(
+    toks: &[Tok],
+    tracked: &mut Vec<String>,
+    file: &str,
+    func: &str,
+    out: &mut Vec<Violation>,
+) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        let stmt_end = toks[i..]
+            .iter()
+            .position(|t| t.is_punct(';'))
+            .map_or(toks.len(), |p| i + p);
+        let stmt = &toks[i..stmt_end];
+
+        // `let [mut] name = …InstanceId…` bindings join the tracked set.
+        if stmt.first().and_then(Tok::ident) == Some("let") {
+            let mut j = 1;
+            if stmt.get(j).and_then(Tok::ident) == Some("mut") {
+                j += 1;
+            }
+            if let Some(Tok::Ident(name, _)) = stmt.get(j) {
+                if stmt.iter().any(|t| flat_has(t, &["InstanceId"][..])) {
+                    tracked.push(name.clone());
+                }
+            }
+        }
+
+        for k in 0..stmt.len() {
+            match &stmt[k] {
+                // `id.index()` on a tracked generational id, including
+                // through transparent `.unwrap()`/`.expect(…)` hops.
+                Tok::Ident(w, line)
+                    if w == "index"
+                        && k > 0
+                        && stmt[k - 1].is_punct('.')
+                        && next_is_paren(stmt, k) =>
+                {
+                    let Some(dot) = genarena_receiver_dot(stmt, k - 1, tracked) else {
+                        continue;
+                    };
+                    push(
+                        out,
+                        PASS_GENARENA,
+                        file,
+                        func,
+                        *line,
+                        format!(
+                            "raw `.index()` read off a generational id `{}`; the generation is \
+                             stripped, so a stale id aliases whoever reused the slot — go \
+                             through the generation-checked `Arena::get(InstanceId)`",
+                            render_chain(&stmt[chain_start(stmt, dot)..dot]),
+                        ),
+                    );
+                }
+                // `…​.slots[i]` — raw slab-field indexing.
+                Tok::Ident(w, line)
+                    if w == "slots"
+                        && k > 0
+                        && stmt[k - 1].is_punct('.')
+                        && matches!(stmt.get(k + 1), Some(Tok::Group(Delim::Bracket, _, _))) =>
+                {
+                    push(
+                        out,
+                        PASS_GENARENA,
+                        file,
+                        func,
+                        *line,
+                        "raw `slots[…]` slab indexing outside the arena module bypasses the \
+                         generation check; use `Arena::get(InstanceId)`"
+                            .to_string(),
+                    );
+                }
+                _ => {}
+            }
+        }
+
+        for t in stmt {
+            if let Tok::Group(_, inner, _) = t {
+                scan_genarena(inner, tracked, file, func, out);
+            }
+        }
+        i = stmt_end.saturating_add(1);
+    }
+}
+
+/// Resolves the receiver of a `.index()` call back to a tracked
+/// generational id, stepping through transparent `.unwrap()`/`.expect(…)`
+/// hops — `instance.unwrap().index()` reads the same id as
+/// `instance.index()`. Returns the dot whose left side is the tracked
+/// chain, so the caller can render it.
+fn genarena_receiver_dot(stmt: &[Tok], mut dot: usize, tracked: &[String]) -> Option<usize> {
+    loop {
+        if receiver_is_tracked(stmt, dot, tracked) {
+            return Some(dot);
+        }
+        // `… . unwrap ( ) .` — step to the dot before the hop.
+        if dot >= 3
+            && matches!(stmt.get(dot - 1), Some(Tok::Group(Delim::Paren, _, _)))
+            && matches!(stmt[dot - 2].ident(), Some("unwrap" | "expect"))
+            && stmt[dot - 3].is_punct('.')
+        {
+            dot -= 3;
+            continue;
+        }
+        return None;
     }
 }

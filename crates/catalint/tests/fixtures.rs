@@ -6,8 +6,8 @@ use std::process::Command;
 
 use catalint::config::Config;
 use catalint::passes::{
-    PASS_DETERMINISM, PASS_HOTPATH, PASS_HYGIENE, PASS_PANIC, PASS_SEAMCOVER, PASS_SIMARITH,
-    PASS_SPANFLOW,
+    PASS_DETERMINISM, PASS_EVENTPROTO, PASS_GENARENA, PASS_HERMETIC, PASS_HOTPATH, PASS_HYGIENE,
+    PASS_PANIC, PASS_SEAMCOVER, PASS_SIMARITH, PASS_SPANFLOW,
 };
 use catalint::{analyze, SrcFile};
 
@@ -16,6 +16,10 @@ fn run(path: &str, content: &str) -> Vec<catalint::Violation> {
 }
 
 fn run_files(files: &[(&str, &str)]) -> Vec<catalint::Violation> {
+    run_files_cfg(files, &Config::workspace_default())
+}
+
+fn run_files_cfg(files: &[(&str, &str)], cfg: &Config) -> Vec<catalint::Violation> {
     let files: Vec<SrcFile> = files
         .iter()
         .map(|(p, c)| SrcFile {
@@ -23,7 +27,7 @@ fn run_files(files: &[(&str, &str)]) -> Vec<catalint::Violation> {
             content: (*c).into(),
         })
         .collect();
-    analyze(&files, &Config::workspace_default())
+    analyze(&files, cfg)
 }
 
 #[test]
@@ -489,5 +493,342 @@ fn finding_order_is_deterministic_and_sorted() {
     assert!(
         keys.len() >= 3,
         "fixture must produce findings in both files, got: {a:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// PR 10: the hermeticity certificate passes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hermetic_taint_reaches_through_helpers_with_chain() {
+    // The wall-clock read sits two hops below a sim root; the hermetic
+    // pass must follow the call graph there and carry the chain.
+    let v = run(
+        "crates/platform/src/scratch_gw.rs",
+        r#"
+pub fn invoke(&mut self) {
+    stage();
+}
+fn stage() {
+    finish();
+}
+fn finish() {
+    let _t0 = std::time::Instant::now();
+}
+"#,
+    );
+    let hit = v
+        .iter()
+        .find(|v| v.pass == PASS_HERMETIC && v.func == "finish")
+        .unwrap_or_else(|| panic!("expected a hermetic finding in `finish`, got: {v:?}"));
+    assert_eq!(
+        hit.chain,
+        vec!["invoke", "stage", "finish"],
+        "the finding must carry the root-to-sink chain"
+    );
+}
+
+#[test]
+fn hermetic_flags_entropy_env_and_process_spawn() {
+    let v = run(
+        "crates/platform/src/scratch_gw.rs",
+        r#"
+pub fn run_fleet(&mut self) {
+    let mut rng = thread_rng();
+    let _home = std::env::var("HOME");
+    let _out = std::process::Command::new("date").output();
+}
+"#,
+    );
+    let hermetic: Vec<&catalint::Violation> =
+        v.iter().filter(|v| v.pass == PASS_HERMETIC).collect();
+    assert!(
+        hermetic.iter().any(|v| v.what.contains("thread_rng"))
+            && hermetic.iter().any(|v| v.what.contains("env::var"))
+            && hermetic.iter().any(|v| v.what.contains("std::process")),
+        "expected entropy + env + process findings, got: {v:?}"
+    );
+}
+
+#[test]
+fn unreachable_wall_clock_is_not_a_hermetic_finding() {
+    // No sim root reaches `offline_report`: the determinism pass still
+    // flags the raw read, but the hermetic certificate is about the
+    // simulation's transitive closure only.
+    let v = run(
+        "crates/platform/src/scratch_gw.rs",
+        "pub fn offline_report() { let _t = std::time::Instant::now(); }\n",
+    );
+    assert!(
+        v.iter().all(|v| v.pass != PASS_HERMETIC),
+        "hermetic is scoped to sim-reachable code, got: {v:?}"
+    );
+    assert!(
+        v.iter().any(|v| v.pass == PASS_DETERMINISM),
+        "the raw read itself is still a determinism finding, got: {v:?}"
+    );
+}
+
+#[test]
+fn clock_seam_registration_stops_the_taint() {
+    // The dual-clock boundary: a function registered under [[clock_seam]]
+    // may read the wall clock, and the taint does not cross into it.
+    let files = [(
+        "crates/platform/src/scratch_gw.rs",
+        r#"
+pub fn invoke(&mut self) {
+    let _t = realtime_now();
+}
+fn realtime_now() -> std::time::Instant {
+    std::time::Instant::now()
+}
+"#,
+    )];
+    let unsealed = run_files(&files);
+    assert!(
+        unsealed
+            .iter()
+            .any(|v| v.pass == PASS_HERMETIC && v.func == "realtime_now"),
+        "without the registry entry the read is a finding, got: {unsealed:?}"
+    );
+
+    let mut cfg = Config::workspace_default();
+    cfg.clock_seam.push("realtime_now".into());
+    let sealed = run_files_cfg(&files, &cfg);
+    assert!(
+        sealed.iter().all(|v| v.pass != PASS_HERMETIC),
+        "a registered clock seam is a sanctioned boundary, got: {sealed:?}"
+    );
+}
+
+/// A minimal conforming events file + run loop: two variants, every
+/// payload field bound by a tie-break key, both variants scheduled and
+/// handled non-emptily. The eventproto tests below each break exactly one
+/// clause of this contract.
+const EVENTS_OK: &str = r#"
+pub enum Event {
+    Arrive { request: u64 },
+    Done { request: u64, instance: Option<InstanceId> },
+}
+impl Event {
+    fn class(&self) -> u8 {
+        match self {
+            Event::Arrive { .. } => 0,
+            Event::Done { .. } => 1,
+        }
+    }
+    fn key(&self) -> u64 {
+        match self {
+            Event::Arrive { request } => *request,
+            Event::Done { request, .. } => *request,
+        }
+    }
+    fn subkey(&self) -> u64 {
+        match self {
+            Event::Done { instance, .. } => instance.map_or(0, |i| i.key()),
+            Event::Arrive { .. } => 0,
+        }
+    }
+}
+"#;
+
+const LOOP_OK: &str = r#"
+pub fn run_fleet(&mut self) {
+    self.queue.schedule(t0, Event::Arrive { request: 1 });
+    match ev {
+        Event::Arrive { request } => {
+            self.queue.schedule(t1, Event::Done { request, instance: None });
+        }
+        Event::Done { request, instance } => {
+            self.finish(request, instance);
+        }
+    }
+}
+"#;
+
+const EVENTS_PATH: &str = "crates/platform/src/simulate/events.rs";
+const LOOP_PATH: &str = "crates/platform/src/simulate/scratch_loop.rs";
+
+#[test]
+fn conforming_event_protocol_is_clean() {
+    let v = run_files(&[(EVENTS_PATH, EVENTS_OK), (LOOP_PATH, LOOP_OK)]);
+    assert!(
+        v.iter().all(|v| v.pass != PASS_EVENTPROTO),
+        "the conforming fixture must be clean, got: {v:?}"
+    );
+}
+
+#[test]
+fn tie_break_blind_spot_is_caught() {
+    // Drop the `instance` binding from subkey: two `Done` events differing
+    // only in `instance` now compare equal, and insertion order leaks.
+    let blinded = EVENTS_OK.replace(
+        "Event::Done { instance, .. } => instance.map_or(0, |i| i.key()),",
+        "Event::Done { .. } => 0,",
+    );
+    let v = run_files(&[(EVENTS_PATH, &blinded), (LOOP_PATH, LOOP_OK)]);
+    assert!(
+        v.iter().any(|v| v.pass == PASS_EVENTPROTO
+            && v.file == EVENTS_PATH
+            && v.what.contains("tie-break blind spot")
+            && v.what.contains("`instance`")),
+        "expected a blind-spot finding for `instance`, got: {v:?}"
+    );
+}
+
+#[test]
+fn scheduled_but_unhandled_variant_is_caught() {
+    // Delete the `Done` arm: the loop still schedules the variant but can
+    // never consume it.
+    let broken: String = LOOP_OK
+        .lines()
+        .filter(|l| !l.contains("Event::Done { request, instance } =>"))
+        .filter(|l| !l.contains("self.finish"))
+        .collect::<Vec<_>>()
+        .join("\n")
+        // Drop the now-orphaned closing brace of the deleted arm.
+        .replacen("        }\n    }\n}", "    }\n}", 1);
+    let v = run_files(&[(EVENTS_PATH, EVENTS_OK), (LOOP_PATH, &broken)]);
+    assert!(
+        v.iter().any(|v| v.pass == PASS_EVENTPROTO
+            && v.func == "run_fleet"
+            && v.what.contains("no handler arm")
+            && v.what.contains("Done")),
+        "expected a schedules-but-never-handles finding, got: {v:?}"
+    );
+}
+
+#[test]
+fn wildcard_arm_in_a_run_loop_is_caught() {
+    let lazy = LOOP_OK.replace("Event::Done { request, instance } =>", "_ =>");
+    let v = run_files(&[(EVENTS_PATH, EVENTS_OK), (LOOP_PATH, &lazy)]);
+    assert!(
+        v.iter().any(|v| v.pass == PASS_EVENTPROTO
+            && v.func == "run_fleet"
+            && v.what.contains("wildcard")),
+        "expected a wildcard-arm finding, got: {v:?}"
+    );
+}
+
+#[test]
+fn ghost_variant_is_caught() {
+    // Declare a variant nothing schedules or handles. The tie-break keys
+    // cover it so the only findings are the ghost ones (plus the loop's
+    // missing-arm conformance finding).
+    let ghosted = EVENTS_OK
+        .replace(
+            "    Done { request: u64, instance: Option<InstanceId> },",
+            "    Done { request: u64, instance: Option<InstanceId> },\n    Phantom { request: u64 },",
+        )
+        .replace(
+            "            Event::Arrive { request } => *request,",
+            "            Event::Arrive { request } | Event::Phantom { request } => *request,",
+        );
+    let v = run_files(&[(EVENTS_PATH, &ghosted), (LOOP_PATH, LOOP_OK)]);
+    assert!(
+        v.iter().any(|v| v.pass == PASS_EVENTPROTO
+            && v.file == EVENTS_PATH
+            && v.what.contains("Phantom")
+            && v.what.contains("never constructed")),
+        "expected a never-scheduled ghost finding, got: {v:?}"
+    );
+    assert!(
+        v.iter().any(|v| v.pass == PASS_EVENTPROTO
+            && v.file == EVENTS_PATH
+            && v.what.contains("Phantom")
+            && v.what.contains("handler arm in no run loop")),
+        "expected a handled-nowhere ghost finding, got: {v:?}"
+    );
+}
+
+#[test]
+fn raw_index_read_off_a_generational_id_is_caught() {
+    let v = run_files(&[
+        (EVENTS_PATH, EVENTS_OK),
+        (
+            "crates/platform/src/simulate/scratch_fleet.rs",
+            r#"
+pub fn complete(&mut self, instance: InstanceId) {
+    let slot = instance.index();
+    self.touch(slot);
+}
+"#,
+        ),
+    ]);
+    assert!(
+        v.iter().any(|v| v.pass == PASS_GENARENA
+            && v.func == "complete"
+            && v.what.contains(".index()")
+            && v.what.contains("instance")),
+        "expected a raw-index finding on the InstanceId param, got: {v:?}"
+    );
+}
+
+#[test]
+fn event_payload_binding_is_tracked_into_the_arm() {
+    // `instance` is declared `Option<InstanceId>` in the events file; a
+    // match arm binding it by field name holds a generational id even
+    // with no ascription in sight.
+    let v = run_files(&[
+        (EVENTS_PATH, EVENTS_OK),
+        (
+            "crates/platform/src/simulate/scratch_fleet.rs",
+            r#"
+pub fn drain(&mut self) {
+    match ev {
+        Event::Done { request, instance } => {
+            let raw = instance.unwrap().index();
+            self.touch(request, raw);
+        }
+    }
+}
+"#,
+        ),
+    ]);
+    assert!(
+        v.iter()
+            .any(|v| v.pass == PASS_GENARENA && v.func == "drain"),
+        "expected a raw-index finding on the bound payload field, got: {v:?}"
+    );
+}
+
+#[test]
+fn raw_slots_indexing_is_caught_and_arena_is_exempt() {
+    let body = r#"
+pub fn peek(&self) -> u64 {
+    let hot = self.arena.slots[3];
+    hot.request
+}
+"#;
+    let outside = run("crates/platform/src/simulate/scratch_fleet.rs", body);
+    assert!(
+        outside
+            .iter()
+            .any(|v| v.pass == PASS_GENARENA && v.what.contains("slots")),
+        "expected a raw-slots finding outside the arena, got: {outside:?}"
+    );
+    let inside = run("crates/platform/src/simulate/arena.rs", body);
+    assert!(
+        inside.iter().all(|v| v.pass != PASS_GENARENA),
+        "arena.rs owns the slab and indexes it freely, got: {inside:?}"
+    );
+}
+
+#[test]
+fn untracked_receiver_index_is_not_a_genarena_finding() {
+    // `.index()` on something that never flowed from an InstanceId is
+    // someone else's method; flagging it would make the pass unusable.
+    let v = run(
+        "crates/platform/src/simulate/scratch_fleet.rs",
+        r#"
+pub fn column(&self) -> usize {
+    self.header.index()
+}
+"#,
+    );
+    assert!(
+        v.iter().all(|v| v.pass != PASS_GENARENA),
+        "untracked receivers are out of scope, got: {v:?}"
     );
 }

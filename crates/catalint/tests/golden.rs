@@ -215,3 +215,99 @@ fn golden_simarith_interprocedural_chain() {
         ]
     );
 }
+
+#[test]
+fn golden_hermetic_chain() {
+    // The wall clock read in the helper produces two findings at the same
+    // site: the flat determinism one, and the hermetic one carrying the
+    // sim-root chain.
+    let got = render(&[(
+        "crates/platform/src/scratch_gw.rs",
+        "pub fn invoke(&mut self) {\n    \
+             stamp();\n\
+         }\n\
+         fn stamp() {\n    \
+             let _t0 = std::time::Instant::now();\n\
+         }\n",
+    )]);
+    assert_eq!(
+        got,
+        [
+            "crates/platform/src/scratch_gw.rs:5 [determinism] fn stamp: \
+          wall-clock `Instant::now()`; use simtime::SimClock",
+            "crates/platform/src/scratch_gw.rs:5 [hermetic] invoke → stamp: \
+          wall-clock `Instant::now()` on a sim-reachable path; read the virtual clock \
+          (or register the function under [[clock_seam]])"
+        ]
+    );
+}
+
+#[test]
+fn golden_eventproto_tie_break_blind_spot() {
+    let got = render(&[
+        (
+            "crates/platform/src/simulate/events.rs",
+            "pub enum Event {\n    \
+                 Arrive { request: u64 },\n    \
+                 Done { request: u64, instance: u64 },\n\
+             }\n\
+             impl Event {\n    \
+                 fn class(&self) -> u8 {\n        \
+                     match self {\n            \
+                         Event::Arrive { .. } => 0,\n            \
+                         Event::Done { .. } => 1,\n        \
+                     }\n    \
+                 }\n    \
+                 fn key(&self) -> u64 {\n        \
+                     match self {\n            \
+                         Event::Arrive { request } => *request,\n            \
+                         Event::Done { request, .. } => *request,\n        \
+                     }\n    \
+                 }\n\
+             }\n",
+        ),
+        (
+            "crates/platform/src/simulate/scratch_loop.rs",
+            "pub fn run_fleet(&mut self) {\n    \
+                 self.queue.schedule(t0, Event::Arrive { request: 1 });\n    \
+                 match ev {\n        \
+                     Event::Arrive { request } => {\n            \
+                         self.queue.schedule(t1, Event::Done { request, instance: 0 });\n        \
+                     }\n        \
+                     Event::Done { request, instance } => {\n            \
+                         self.finish(request, instance);\n        \
+                     }\n    \
+                 }\n\
+             }\n",
+        ),
+    ]);
+    assert_eq!(
+        got,
+        [
+            "crates/platform/src/simulate/events.rs:3 [eventproto] fn <module>: \
+          tie-break blind spot: `Event::Done` field `instance` is bound by none of the \
+          tie-break keys (class/key/subkey); two events differing only in `instance` \
+          compare equal and pop in insertion order"
+        ]
+    );
+}
+
+#[test]
+fn golden_genarena_raw_index() {
+    let got = render(&[(
+        "crates/platform/src/simulate/scratch_fleet.rs",
+        "pub fn complete(&mut self, instance: InstanceId) {\n    \
+             let slot = instance.index();\n    \
+             self.touch(slot);\n\
+         }\n",
+    )]);
+    assert_eq!(
+        got,
+        [
+            "crates/platform/src/simulate/scratch_fleet.rs:2 [genarena] fn complete: \
+          raw `.index()` read off a generational id `instance`; the generation is \
+          stripped, so a stale id aliases whoever reused the slot — go through the \
+          generation-checked `Arena::get(InstanceId)`"
+        ]
+    );
+}

@@ -43,7 +43,14 @@
 
 // Tests may unwrap freely; the lint ban is about library code that
 // handles untrusted images.
-#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::cast_possible_truncation
+    )
+)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 

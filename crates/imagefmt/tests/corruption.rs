@@ -7,6 +7,14 @@
 //! arithmetic-overflow panics) fail these tests; proptest shrinks to the
 //! offending image.
 
+// Tests may unwrap and narrow freely; the crate's lint ban is about
+// library code that handles untrusted images.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation
+)]
+
 use bytes::Bytes;
 use imagefmt::{flat, CheckpointSource, ImageError, IoConn, ObjKind, ObjRecord, PagePayload};
 use memsim::{MappedImage, PAGE_SIZE};

@@ -1,6 +1,14 @@
 //! Property-based tests: both image formats are faithful, agree with each
 //! other, and reject corruption.
 
+// Tests may unwrap and narrow freely; the crate's lint ban is about
+// library code that handles untrusted images.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation
+)]
+
 use bytes::Bytes;
 use imagefmt::{classic, flat, CheckpointSource, IoConn, ObjKind, ObjRecord, PagePayload};
 use memsim::{MappedImage, PAGE_SIZE};

@@ -675,7 +675,6 @@ mod tests {
         // Child writes: parent unchanged.
         child.write(1, 0, b"XXX", &clock, &model).unwrap();
         let mut pbuf = [0u8; 3];
-        let mut parent = parent; // reborrow mutably
         parent.read(1, 0, &mut pbuf, &clock, &model).unwrap();
         assert_eq!(&pbuf, b"JVM", "child write leaked into template");
         assert_eq!(child.stats().cow_faults, 1);
@@ -700,7 +699,6 @@ mod tests {
         let mut c = s.sfork_clone("c").unwrap();
         c.write(0, 0, &[9], &clock, &model).unwrap();
         let mut buf = [0u8; 1];
-        let mut s = s;
         s.read(0, 0, &mut buf, &clock, &model).unwrap();
         assert_eq!(buf[0], 7);
     }

@@ -1,6 +1,14 @@
 //! Property-based tests for the memory substrate invariants that Catalyzer's
 //! overlay memory (paper §3.1) depends on.
 
+// Tests may unwrap and narrow freely; the crate's lint ban is about
+// library code that handles untrusted images.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::cast_possible_truncation
+)]
+
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -96,7 +104,6 @@ proptest! {
         }
 
         // c2 must equal the template byte-for-byte on the touched window.
-        let mut t = t;
         for vpn in 0..4u64 {
             let mut a = vec![0u8; 64];
             let mut b = vec![0u8; 64];

@@ -3,11 +3,14 @@
 //! One `BinaryHeap` keyed on [`SimNanos`] drives the whole simulation;
 //! every state change is an [`Event`] popped in deterministic order. The
 //! tie-break at equal timestamps is total and *insertion-order
-//! independent*: `(time, event class, payload key)` — the sequence number
-//! is consulted only for exact duplicates, which the engine never
-//! schedules. Class order encodes the platform's causality at an instant:
-//! completions free capacity, expiries reclaim it, background work runs,
-//! and only then does a new arrival see the world.
+//! independent*: `(time, event class, payload key, payload subkey)` — the
+//! sequence number is consulted only for exact duplicates, which the
+//! engine never schedules. Together the key and subkey bind every payload
+//! field (catalint's `eventproto` pass checks this mechanically), so two
+//! distinct events can never compare equal. Class order encodes the
+//! platform's causality at an instant: completions free capacity,
+//! expiries reclaim it, background work runs, and only then does a new
+//! arrival see the world.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -152,6 +155,21 @@ impl Event {
             Event::HeartbeatTick { round } => u64::from(*round),
         }
     }
+
+    /// Secondary payload key, covering the fields `key` leaves free so the
+    /// tie-break binds the *whole* payload. Today that is only
+    /// `ExecComplete`'s instance: its `key` is the trace position, so two
+    /// completions of one request (which the engine never schedules, but
+    /// the total order must not rely on that) would otherwise fall through
+    /// to insertion order. Instance keys `(index << 32) | generation` are
+    /// injective over handles, so shifting them all by one keeps them
+    /// distinct from each other and from the `None` encoding of 0.
+    fn subkey(&self) -> u64 {
+        match self {
+            Event::ExecComplete { instance, .. } => instance.map_or(0, |i| i.key().wrapping_add(1)),
+            _ => 0,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,6 +177,7 @@ struct Scheduled {
     at: SimNanos,
     class: u8,
     key: u64,
+    subkey: u64,
     seq: u64,
     event: Event,
 }
@@ -166,8 +185,13 @@ struct Scheduled {
 // Reverse ordering: `BinaryHeap` is a max-heap, we pop earliest first.
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.class, other.key, other.seq)
-            .cmp(&(self.at, self.class, self.key, self.seq))
+        (other.at, other.class, other.key, other.subkey, other.seq).cmp(&(
+            self.at,
+            self.class,
+            self.key,
+            self.subkey,
+            self.seq,
+        ))
     }
 }
 
@@ -177,7 +201,7 @@ impl PartialOrd for Scheduled {
     }
 }
 
-/// The engine's priority queue: min-ordered on `(time, class, key)`.
+/// The engine's priority queue: min-ordered on `(time, class, key, subkey)`.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Scheduled>,
@@ -206,6 +230,7 @@ impl EventQueue {
             at,
             class: event.class(),
             key: event.key(),
+            subkey: event.subkey(),
             seq,
             event,
         });
@@ -366,6 +391,34 @@ mod tests {
         q.schedule(nanos(3), Event::NodeRepair { node: 2 });
         let (_, first) = q.pop().unwrap();
         assert!(matches!(first, Event::NodeRepair { node: 2 }));
+    }
+
+    #[test]
+    fn exec_complete_tie_break_binds_the_instance() {
+        // Two completions at one instant sharing a trace position but
+        // differing in `instance` must pop in a fixed order regardless of
+        // insertion order: the subkey (None < any instance) decides, not
+        // the sequence number.
+        let mut arena: super::super::arena::Arena<()> = super::super::arena::Arena::new();
+        let instance = arena.insert(());
+        let with_instance = Event::ExecComplete {
+            request: 5,
+            instance: Some(instance),
+        };
+        let without = Event::ExecComplete {
+            request: 5,
+            instance: None,
+        };
+        let mut forward = EventQueue::new();
+        forward.schedule(nanos(2), with_instance);
+        forward.schedule(nanos(2), without);
+        let mut backward = EventQueue::new();
+        backward.schedule(nanos(2), without);
+        backward.schedule(nanos(2), with_instance);
+        let a: Vec<_> = std::iter::from_fn(|| forward.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| backward.pop()).collect();
+        assert_eq!(a, b);
+        assert!(matches!(a[0].1, Event::ExecComplete { instance: None, .. }));
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! Tier-1 gate: the workspace carries zero lint debt.
 //!
 //! This is `cargo run -p catalint` wired into the ordinary test suite, so
-//! plain `cargo test` refuses new determinism, panic-safety, hot-path-copy,
-//! borrow-discipline, name-registry, hash-order, or error-hygiene debt even
-//! when nobody invokes the binary. There is no tolerated baseline: the gate
-//! is zero findings, full stop. A genuinely intended exception gets a
-//! `catalint: allow(<pass>)` comment at the site — visible in the diff it
-//! excuses — not a bucket in `catalint.toml`.
+//! plain `cargo test` refuses new debt across all thirteen passes — from
+//! determinism and panic-safety through the v4 hermeticity certificate
+//! (clock-discipline taint, event-protocol conformance, generational-arena
+//! access) — even when nobody invokes the binary. There is no tolerated
+//! baseline: the gate is zero findings, full stop. A genuinely intended
+//! exception gets a `catalint: allow(<pass>)` comment at the site — visible
+//! in the diff it excuses — not a bucket in `catalint.toml`.
 
 #[test]
 fn workspace_carries_zero_lint_debt() {
@@ -25,6 +26,52 @@ fn workspace_carries_zero_lint_debt() {
          `catalint: allow(<pass>)` comment (see DESIGN.md §12):\n{report}",
         outcome.violations.len()
     );
+}
+
+/// The CLI's exit-code contract, which CI and scripts branch on: 0 for a
+/// clean scan, 1 when findings exceed the baseline, 2 for a usage or I/O
+/// error. Conflating 1 and 2 would let a typo'd flag read as "findings"
+/// (or worse, a missing root read as "clean"), so each code is pinned
+/// against the real binary.
+#[test]
+fn cli_exit_codes_are_split_by_cause() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let run = |extra: &[&str]| {
+        let out = std::process::Command::new(env!("CARGO"))
+            .args(["run", "-q", "-p", "catalint", "--"])
+            .args(extra)
+            .current_dir(root)
+            .output()
+            .expect("run catalint via cargo");
+        (
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+
+    // 0: the checked-in tree is clean.
+    let (code, err) = run(&["--root", root.to_str().expect("utf-8 root")]);
+    assert_eq!(code, Some(0), "clean tree must exit 0, stderr:\n{err}");
+
+    // 1: findings. Plant a panicking parse module in a scratch workspace.
+    let scratch = std::env::temp_dir().join(format!("catalint-gate-{}", std::process::id()));
+    let parse_dir = scratch.join("crates/imagefmt/src");
+    std::fs::create_dir_all(&parse_dir).expect("mkdir");
+    std::fs::write(scratch.join("Cargo.toml"), "[workspace]\n").expect("write");
+    std::fs::write(
+        parse_dir.join("flat.rs"),
+        "pub fn parse(b: &[u8]) -> u8 { *b.first().unwrap() }\n",
+    )
+    .expect("write fixture");
+    let (code, err) = run(&["--root", scratch.to_str().expect("utf-8 scratch")]);
+    assert_eq!(code, Some(1), "findings must exit 1, stderr:\n{err}");
+    std::fs::remove_dir_all(&scratch).ok();
+
+    // 2: usage error (unknown flag) and I/O error (unreadable root).
+    let (code, err) = run(&["--bogus-flag"]);
+    assert_eq!(code, Some(2), "usage error must exit 2, stderr:\n{err}");
+    let (code, err) = run(&["--root", "/nonexistent/catalint-gate-root"]);
+    assert_eq!(code, Some(2), "I/O error must exit 2, stderr:\n{err}");
 }
 
 /// The baseline file must stay empty: an `[[allow]]` bucket that sneaks in

@@ -111,6 +111,62 @@ fn span_trees_are_byte_identical_across_runs() {
     }
 }
 
+/// The fleet simulation owns all of its state: no globals, no wall clock,
+/// no ambient entropy — that is what the catalint hermeticity certificate
+/// pins statically. This is the dynamic counterpart: the same chaos run
+/// executed on several OS threads, spawned in different orders across
+/// rounds, must serialize to byte-identical `ChaosOutcome` JSON. Any
+/// drift means hidden shared state the static passes missed.
+#[test]
+fn chaos_outcome_is_identical_across_thread_orderings() {
+    use catalyzer_suite::faultsim::NodePlan;
+    use catalyzer_suite::platform::cluster::{ChaosPolicy, ClusterConfig, ClusterSim};
+    use catalyzer_suite::platform::simulate::TraceRequest;
+
+    let digest = || {
+        let plan = NodePlan::quiet(3).with_crash(0, SimNanos::from_millis(2));
+        let trace: Vec<TraceRequest> = (0..200u64)
+            .map(|i| TraceRequest {
+                arrival: SimNanos::from_micros(i * 20),
+                function: 0,
+            })
+            .collect();
+        let outcome = ClusterSim::new(vec![AppProfile::c_hello()], ClusterConfig::new(3, 1))
+            .with_model(model())
+            .with_node_capacity(50)
+            .with_chaos(plan, ChaosPolicy::full())
+            .run_chaos(&trace)
+            .unwrap();
+        serde_json::to_string(&outcome).unwrap()
+    };
+
+    let round = |order: &[usize]| -> Vec<String> {
+        let mut tagged: Vec<(usize, String)> = std::thread::scope(|s| {
+            let handles: Vec<_> = order
+                .iter()
+                .map(|&id| s.spawn(move || (id, digest())))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("chaos worker panicked"))
+                .collect()
+        });
+        tagged.sort_by_key(|(id, _)| *id);
+        tagged.into_iter().map(|(_, d)| d).collect()
+    };
+
+    let forward = round(&[0, 1, 2, 3]);
+    let reversed = round(&[3, 2, 1, 0]);
+    assert_eq!(
+        forward, reversed,
+        "spawn order leaked into the chaos outcome"
+    );
+    assert!(
+        forward.windows(2).all(|w| w[0] == w[1]),
+        "two workers in the same round disagreed"
+    );
+}
+
 #[test]
 fn offline_work_is_deterministic_as_well() {
     let model = model();
